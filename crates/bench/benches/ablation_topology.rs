@@ -1,0 +1,35 @@
+//! Ablation D: sensitivity of the path-vector results to the input topology.
+//!
+//! The paper evaluates only random graphs of average degree three; this
+//! ablation runs the same protocol over regular topologies to separate what
+//! the security schemes cost from what the graph shape costs (a star
+//! converges in two rounds, a ring needs O(n) rounds, a full mesh floods).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use secureblox::apps::pathvector::{self, PathVectorConfig};
+use secureblox::policy::SecurityConfig;
+use secureblox::{AuthScheme, EncScheme};
+use secureblox_net::Topology;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_topology");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let security = SecurityConfig::new(AuthScheme::HmacSha1, EncScheme::None);
+    for topology in [Topology::Ring, Topology::Star, Topology::Grid, Topology::paper_default()] {
+        let config = PathVectorConfig {
+            num_nodes: 8,
+            edges: Some(topology.edges(8, 1)),
+            security: security.clone(),
+            ..PathVectorConfig::default()
+        };
+        group.bench_function(topology.label(), |b| {
+            b.iter(|| pathvector::run(&config).expect("path-vector run failed"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

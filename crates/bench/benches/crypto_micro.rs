@@ -1,0 +1,31 @@
+//! Ablation A: micro-costs of the cryptographic primitives underlying the
+//! authentication schemes (explains the orderings of Figures 4–7).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use secureblox_crypto::{aes128_ctr_encrypt, hmac_sha1, sha1, RsaKeyPair};
+
+fn bench(c: &mut Criterion) {
+    let payload = vec![0xabu8; 1024];
+    let mut rng = StdRng::seed_from_u64(1);
+    let keypair = RsaKeyPair::generate(&mut rng, 512).unwrap();
+    let signature = keypair.sign(&payload);
+
+    let mut group = c.benchmark_group("crypto_micro");
+    group.throughput(Throughput::Bytes(payload.len() as u64));
+    group.bench_function("sha1_1k", |b| b.iter(|| sha1(&payload)));
+    group.bench_function("hmac_sha1_1k", |b| b.iter(|| hmac_sha1(b"secret", &payload)));
+    group.bench_function("aes128_ctr_1k", |b| b.iter(|| aes128_ctr_encrypt(b"secret", &payload)));
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("rsa_sign_512", |b| b.iter(|| keypair.sign(&payload)));
+    group.bench_function("rsa_verify_512", |b| {
+        b.iter(|| assert!(keypair.public_key().verify(&payload, &signature)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Ablation B: DatalogLB engine micro-benchmarks — fixpoint evaluation,
+//! transactional batches with constraint checking, and incremental deletion.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use secureblox_datalog::{Value, Workspace};
+
+fn chain_workspace(n: usize) -> Workspace {
+    let mut ws = Workspace::new();
+    ws.install_source(
+        "reachable(X, Y) <- link(X, Y).\n\
+         reachable(X, Y) <- link(X, Z), reachable(Z, Y).",
+    )
+    .unwrap();
+    for i in 0..n {
+        ws.assert_fact("link", vec![Value::str(format!("n{i}")), Value::str(format!("n{}", i + 1))])
+            .unwrap();
+    }
+    ws
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_micro");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("transitive_closure_40", |b| {
+        b.iter(|| {
+            let mut ws = chain_workspace(40);
+            ws.fixpoint().unwrap();
+            ws.count("reachable")
+        })
+    });
+    group.bench_function("transaction_with_constraints", |b| {
+        let mut ws = Workspace::new();
+        ws.install_source(
+            "says_link(P, Q) -> principal(P), principal(Q).\n\
+             link(X, Y) <- says_link(X, Y).\n\
+             principal(alice). principal(bob).",
+        )
+        .unwrap();
+        b.iter(|| {
+            ws.transaction(vec![("says_link".into(), vec![Value::str("alice"), Value::str("bob")])])
+                .unwrap()
+        })
+    });
+    group.bench_function("dred_retract_one_link", |b| {
+        b.iter(|| {
+            let mut ws = chain_workspace(20);
+            ws.fixpoint().unwrap();
+            ws.retract(vec![("link".into(), vec![Value::str("n10"), Value::str("n11")])]).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

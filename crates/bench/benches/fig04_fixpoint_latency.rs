@@ -1,0 +1,21 @@
+//! Figure 4: path-vector fixpoint latency vs. network size, no encryption.
+//! Benchmarks one full distributed run per authentication scheme.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use secureblox_bench::{pathvector_point, plain_schemes};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig04_fixpoint_latency");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for scheme in plain_schemes() {
+        group.bench_function(scheme.label(), |b| {
+            b.iter(|| pathvector_point(6, &scheme, 1));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Figure 5: path-vector fixpoint latency vs. network size, with encryption.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use secureblox_bench::{encrypted_schemes, pathvector_point};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig05_fixpoint_latency_enc");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for scheme in encrypted_schemes() {
+        group.bench_function(scheme.label(), |b| {
+            b.iter(|| pathvector_point(6, &scheme, 1));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Figure 8: cumulative fraction of converged nodes for one random graph
+//! (36 nodes in the paper; 12 at bench scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use secureblox_bench::convergence_cdf;
+use secureblox::policy::SecurityConfig;
+use secureblox::{AuthScheme, EncScheme};
+
+fn bench(c: &mut Criterion) {
+    let schemes = [
+        SecurityConfig::new(AuthScheme::NoAuth, EncScheme::None),
+        SecurityConfig::new(AuthScheme::HmacSha1, EncScheme::None),
+        SecurityConfig::new(AuthScheme::Rsa, EncScheme::Aes128),
+    ];
+    let mut group = c.benchmark_group("fig08_convergence_36");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for scheme in &schemes {
+        group.bench_function(scheme.label(), |b| b.iter(|| convergence_cdf(9, scheme, 20)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Figure 9: cumulative fraction of converged nodes for a larger random
+//! graph (72 nodes in the paper; 18 at bench scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use secureblox_bench::convergence_cdf;
+use secureblox::policy::SecurityConfig;
+use secureblox::{AuthScheme, EncScheme};
+
+fn bench(c: &mut Criterion) {
+    let schemes = [
+        SecurityConfig::new(AuthScheme::NoAuth, EncScheme::None),
+        SecurityConfig::new(AuthScheme::Rsa, EncScheme::Aes128),
+    ];
+    let mut group = c.benchmark_group("fig09_convergence_72");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for scheme in &schemes {
+        group.bench_function(scheme.label(), |b| b.iter(|| convergence_cdf(12, scheme, 20)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

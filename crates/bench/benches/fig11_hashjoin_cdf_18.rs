@@ -1,0 +1,21 @@
+//! Figure 11: CDF of join-result transaction completion at the initiator of
+//! an 18-node secure hash join (6 nodes at bench scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use secureblox_bench::{hashjoin_completion_cdf, hashjoin_schemes, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_hashjoin_cdf_18");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for scheme in hashjoin_schemes() {
+        group.bench_function(scheme.label(), |b| {
+            b.iter(|| hashjoin_completion_cdf(6, &scheme, Scale::Bench, 20));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

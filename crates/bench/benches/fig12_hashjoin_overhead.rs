@@ -1,0 +1,25 @@
+//! Figure 12: per-node communication overhead for the secure hash join as
+//! the experiment grows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use secureblox_bench::{hashjoin_overhead_series, hashjoin_schemes, Scale};
+
+fn bench(c: &mut Criterion) {
+    let points = hashjoin_overhead_series(Scale::Quick, &hashjoin_schemes());
+    for point in &points {
+        println!("fig12 {:<8} nodes={} per-node-KB={:.2}", point.label, point.nodes, point.per_node_kb);
+    }
+    let mut group = c.benchmark_group("fig12_hashjoin_overhead");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for scheme in hashjoin_schemes() {
+        group.bench_function(scheme.label(), |b| {
+            b.iter(|| hashjoin_overhead_series(Scale::Bench, std::slice::from_ref(&scheme)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Ablation C: BloxGenerics compilation cost as the number of exportable
+//! predicates (and hence generated policy instantiations) grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use secureblox::policy::{compile_secured_program, SecurityConfig};
+use secureblox::{AuthScheme, EncScheme};
+
+fn app_with_predicates(count: usize) -> String {
+    let mut source = String::new();
+    for i in 0..count {
+        source.push_str(&format!("table{i}(X, Y) -> int[32](X), int[32](Y).\n"));
+        source.push_str(&format!("exportable(`table{i}).\n"));
+    }
+    source
+}
+
+fn bench(c: &mut Criterion) {
+    let config = SecurityConfig::new(AuthScheme::Rsa, EncScheme::None);
+    let mut group = c.benchmark_group("generics_compile");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for count in [1usize, 4, 16] {
+        let source = app_with_predicates(count);
+        group.bench_with_input(BenchmarkId::from_parameter(count), &source, |b, source| {
+            b.iter(|| compile_secured_program(source, &config, &[]).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Regenerate the SecureBlox paper's evaluation figures as text tables.
+//!
+//! Usage:
+//! ```text
+//! figures [fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|ablation|all] [--full]
+//! ```
+//!
+//! Without `--full`, reduced network sizes are used so the whole set finishes
+//! in a few minutes; `--full` reproduces the paper's 6–72 node sweep.
+
+use secureblox_bench::*;
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let scale = if full { Scale::Full } else { Scale::Quick };
+    let which: Vec<String> = args.iter().filter(|a| !a.starts_with("--")).cloned().collect();
+    let wanted = |name: &str| which.is_empty() || which.iter().any(|w| w == name || w == "all");
+
+    if wanted("fig4") || wanted("fig6") || wanted("fig7") {
+        let points = pathvector_series(scale, &plain_schemes());
+        if wanted("fig4") {
+            println!("{}", render_series("Figure 4: path-vector fixpoint latency, no encryption", "nodes", &points));
+        }
+        if wanted("fig6") {
+            println!("{}", render_series("Figure 6: per-node communication overhead (KB), no encryption", "nodes", &points));
+        }
+        if wanted("fig7") {
+            println!("{}", render_series("Figure 7: average transaction duration", "nodes", &points));
+        }
+    }
+    if wanted("fig5") {
+        let points = pathvector_series(scale, &encrypted_schemes());
+        println!("{}", render_series("Figure 5: path-vector fixpoint latency, with encryption", "nodes", &points));
+    }
+    if wanted("fig8") || wanted("fig9") {
+        let sizes = if full { (36usize, 72usize) } else { (12, 18) };
+        for (fig, nodes) in [("fig8", sizes.0), ("fig9", sizes.1)] {
+            if !wanted(fig) {
+                continue;
+            }
+            let series: Vec<(String, Vec<(Duration, f64)>)> = plain_schemes()
+                .iter()
+                .chain(std::iter::once(&secureblox::policy::SecurityConfig::new(
+                    secureblox::AuthScheme::Rsa,
+                    secureblox::EncScheme::Aes128,
+                )))
+                .filter(|s| ["NoAuth", "HMAC", "RSA-AES"].contains(&s.label().as_str()))
+                .map(|scheme| (scheme.label(), convergence_cdf(nodes, scheme, 20)))
+                .collect();
+            println!(
+                "{}",
+                render_cdf(
+                    &format!("Figure {}: cumulative fraction of converged nodes, {nodes}-node graph", &fig[3..]),
+                    &series
+                )
+            );
+        }
+    }
+    if wanted("fig10") || wanted("fig11") {
+        let sizes = if full { (6usize, 18usize) } else { (3, 6) };
+        for (fig, nodes) in [("fig10", sizes.0), ("fig11", sizes.1)] {
+            if !wanted(fig) {
+                continue;
+            }
+            let series: Vec<(String, Vec<(Duration, f64)>)> = hashjoin_schemes()
+                .iter()
+                .map(|scheme| (scheme.label(), hashjoin_completion_cdf(nodes, scheme, scale, 20)))
+                .collect();
+            println!(
+                "{}",
+                render_cdf(
+                    &format!("Figure {}: hash-join completion CDF at the initiator, {nodes} nodes", &fig[3..]),
+                    &series
+                )
+            );
+        }
+    }
+    if wanted("fig12") {
+        let points = hashjoin_overhead_series(scale, &hashjoin_schemes());
+        println!("{}", render_series("Figure 12: per-node overhead (KB) for the secure hash join", "nodes", &points));
+    }
+    if wanted("ablation") {
+        let nodes = if full { 18 } else { 8 };
+        let security = secureblox::policy::SecurityConfig::new(
+            secureblox::AuthScheme::HmacSha1,
+            secureblox::EncScheme::None,
+        );
+        let points = topology_series(nodes, &security, 1);
+        println!("# Ablation D: path-vector sensitivity to the input topology ({nodes} nodes, HMAC)");
+        println!(
+            "{:<14} {:>16} {:>16} {:>16}",
+            "topology", "latency (ms)", "per-node KB", "avg txn (ms)"
+        );
+        for (label, point) in points {
+            println!(
+                "{:<14} {:>16.2} {:>16.2} {:>16.3}",
+                label,
+                point.fixpoint_latency.as_secs_f64() * 1e3,
+                point.per_node_kb,
+                point.avg_transaction.as_secs_f64() * 1e3,
+            );
+        }
+    }
+}

@@ -1,0 +1,377 @@
+//! Experiment harness reproducing the SecureBlox paper's evaluation (§8).
+//!
+//! Each public function regenerates the data series behind one of the
+//! paper's figures.  The `figures` binary prints them as tables;
+//! the Criterion benches in `benches/` wrap the same drivers so
+//! `cargo bench` exercises every figure end to end.
+//!
+//! Absolute numbers differ from the paper (the substrate is a from-scratch
+//! engine on a simulated cluster — see DESIGN.md), but the comparisons the
+//! paper makes (NoAuth < HMAC < RSA, AES adds a little, step-shaped
+//! convergence CDFs, per-node overhead falling with parallelism) are
+//! reproduced; EXPERIMENTS.md records a paper-vs-measured comparison.
+
+use secureblox::apps::{hashjoin, pathvector};
+use secureblox::policy::SecurityConfig;
+use secureblox::{AuthScheme, EncScheme};
+use std::time::Duration;
+
+/// How large an experiment to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Tiny sizes for Criterion iterations (each sample is a full distributed
+    /// run, so the per-iteration workload has to stay small).
+    Bench,
+    /// Reduced network sizes, suitable for CI and the `figures` binary.
+    Quick,
+    /// The paper's full sweep (6..72 nodes for the path-vector protocol).
+    Full,
+}
+
+impl Scale {
+    /// Network sizes for the path-vector sweep (Figures 4–7).
+    pub fn pathvector_sizes(&self) -> Vec<usize> {
+        match self {
+            Scale::Bench => vec![6],
+            Scale::Quick => vec![6, 12, 18],
+            Scale::Full => (1..=12).map(|i| i * 6).collect(),
+        }
+    }
+
+    /// Network sizes for the hash-join overhead sweep (Figure 12).
+    pub fn hashjoin_sizes(&self) -> Vec<usize> {
+        match self {
+            Scale::Bench => vec![3, 6],
+            Scale::Quick => vec![3, 6, 12],
+            Scale::Full => (1..=8).map(|i| i * 6).collect(),
+        }
+    }
+
+    /// Rows for the hash-join tables (paper: 900 × 800 with 72 join values).
+    pub fn hashjoin_rows(&self) -> (usize, usize, usize) {
+        match self {
+            Scale::Bench => (90, 80, 18),
+            Scale::Quick => (180, 160, 24),
+            Scale::Full => (900, 800, 72),
+        }
+    }
+
+    /// Number of random-graph trials per data point (paper: 10).
+    pub fn trials(&self) -> usize {
+        match self {
+            Scale::Bench | Scale::Quick => 1,
+            Scale::Full => 3,
+        }
+    }
+}
+
+/// One data point of a figure series.
+#[derive(Debug, Clone)]
+pub struct SeriesPoint {
+    /// Security-configuration label (`NoAuth`, `HMAC`, `RSA-AES`, …).
+    pub label: String,
+    /// Network size (x-axis of most figures).
+    pub nodes: usize,
+    /// Distributed fixpoint latency (Figures 4/5).
+    pub fixpoint_latency: Duration,
+    /// Average per-node communication overhead in KB (Figures 6/12).
+    pub per_node_kb: f64,
+    /// Average transaction duration (Figure 7).
+    pub avg_transaction: Duration,
+    /// Committed transactions across the run.
+    pub transactions: usize,
+}
+
+/// The security configurations of Figures 4/6/7 (no encryption).
+pub fn plain_schemes() -> Vec<SecurityConfig> {
+    vec![
+        SecurityConfig::new(AuthScheme::NoAuth, EncScheme::None),
+        SecurityConfig::new(AuthScheme::HmacSha1, EncScheme::None),
+        SecurityConfig::new(AuthScheme::Rsa, EncScheme::None),
+    ]
+}
+
+/// The security configurations of Figure 5 (with encryption).
+pub fn encrypted_schemes() -> Vec<SecurityConfig> {
+    vec![
+        SecurityConfig::new(AuthScheme::NoAuth, EncScheme::None),
+        SecurityConfig::new(AuthScheme::NoAuth, EncScheme::Aes128),
+        SecurityConfig::new(AuthScheme::HmacSha1, EncScheme::Aes128),
+        SecurityConfig::new(AuthScheme::Rsa, EncScheme::Aes128),
+    ]
+}
+
+/// The configurations used in the hash-join figures (Figures 10–12).
+pub fn hashjoin_schemes() -> Vec<SecurityConfig> {
+    vec![
+        SecurityConfig::new(AuthScheme::NoAuth, EncScheme::None),
+        SecurityConfig::new(AuthScheme::Rsa, EncScheme::Aes128),
+    ]
+}
+
+/// Run the path-vector protocol once and summarize it as a series point.
+pub fn pathvector_point(nodes: usize, security: &SecurityConfig, seed: u64) -> SeriesPoint {
+    let config = pathvector::PathVectorConfig {
+        num_nodes: nodes,
+        security: security.clone(),
+        seed,
+        ..pathvector::PathVectorConfig::default()
+    };
+    let outcome = pathvector::run(&config).expect("path-vector run failed");
+    SeriesPoint {
+        label: security.label(),
+        nodes,
+        fixpoint_latency: outcome.report.fixpoint_latency,
+        per_node_kb: outcome.report.per_node_kb,
+        avg_transaction: outcome.report.average_transaction,
+        transactions: outcome.report.total_transactions,
+    }
+}
+
+/// Figures 4–7: the path-vector sweep over network sizes and schemes,
+/// averaging `trials` random graphs per point (the paper averages ten).
+pub fn pathvector_series(scale: Scale, schemes: &[SecurityConfig]) -> Vec<SeriesPoint> {
+    let mut points = Vec::new();
+    for &nodes in &scale.pathvector_sizes() {
+        for scheme in schemes {
+            let trials = scale.trials();
+            let mut latency = Duration::ZERO;
+            let mut kb = 0.0;
+            let mut txn = Duration::ZERO;
+            let mut transactions = 0usize;
+            for trial in 0..trials {
+                let point = pathvector_point(nodes, scheme, 100 + trial as u64);
+                latency += point.fixpoint_latency;
+                kb += point.per_node_kb;
+                txn += point.avg_transaction;
+                transactions += point.transactions;
+            }
+            points.push(SeriesPoint {
+                label: scheme.label(),
+                nodes,
+                fixpoint_latency: latency / trials as u32,
+                per_node_kb: kb / trials as f64,
+                avg_transaction: txn / trials as u32,
+                transactions: transactions / trials,
+            });
+        }
+    }
+    points
+}
+
+/// Figures 8/9: the cumulative fraction of converged nodes over time for one
+/// random graph of `nodes` nodes.
+pub fn convergence_cdf(nodes: usize, security: &SecurityConfig, samples: usize) -> Vec<(Duration, f64)> {
+    let config = pathvector::PathVectorConfig {
+        num_nodes: nodes,
+        security: security.clone(),
+        seed: 42,
+        ..pathvector::PathVectorConfig::default()
+    };
+    let outcome = pathvector::run(&config).expect("path-vector run failed");
+    outcome.report.convergence_cdf(samples)
+}
+
+/// Figures 10/11: the CDF of join-result transaction completion times at the
+/// initiator of a secure hash join.
+pub fn hashjoin_completion_cdf(
+    nodes: usize,
+    security: &SecurityConfig,
+    scale: Scale,
+    samples: usize,
+) -> Vec<(Duration, f64)> {
+    let (rows_a, rows_b, joins) = scale.hashjoin_rows();
+    let config = hashjoin::HashJoinConfig {
+        num_nodes: nodes,
+        table_a_rows: rows_a,
+        table_b_rows: rows_b,
+        distinct_join_values: joins,
+        security: security.clone(),
+        seed: 7,
+        ..hashjoin::HashJoinConfig::default()
+    };
+    let outcome = hashjoin::run(&config).expect("hash-join run failed");
+    let completions = outcome.initiator_completions;
+    if completions.is_empty() {
+        return Vec::new();
+    }
+    let end = completions.iter().copied().max().unwrap_or(Duration::ZERO).max(Duration::from_nanos(1));
+    (0..=samples)
+        .map(|i| {
+            let t = end.mul_f64(i as f64 / samples.max(1) as f64);
+            let fraction = completions.iter().filter(|&&c| c <= t).count() as f64 / completions.len() as f64;
+            (t, fraction)
+        })
+        .collect()
+}
+
+/// Figure 12: per-node communication overhead of the secure hash join as the
+/// experiment size grows.
+pub fn hashjoin_overhead_series(scale: Scale, schemes: &[SecurityConfig]) -> Vec<SeriesPoint> {
+    let (rows_a, rows_b, joins) = scale.hashjoin_rows();
+    let mut points = Vec::new();
+    for &nodes in &scale.hashjoin_sizes() {
+        for scheme in schemes {
+            let config = hashjoin::HashJoinConfig {
+                num_nodes: nodes,
+                table_a_rows: rows_a,
+                table_b_rows: rows_b,
+                distinct_join_values: joins,
+                security: scheme.clone(),
+                seed: 7,
+                ..hashjoin::HashJoinConfig::default()
+            };
+            let outcome = hashjoin::run(&config).expect("hash-join run failed");
+            points.push(SeriesPoint {
+                label: scheme.label(),
+                nodes,
+                fixpoint_latency: outcome.report.fixpoint_latency,
+                per_node_kb: outcome.report.per_node_kb,
+                avg_transaction: outcome.report.average_transaction,
+                transactions: outcome.report.total_transactions,
+            });
+        }
+    }
+    points
+}
+
+/// Ablation: run the path-vector protocol over regular topologies (ring,
+/// star, grid, full mesh) in addition to the paper's random graphs, to show
+/// how much of the latency / overhead shape comes from the input graph.
+pub fn topology_series(nodes: usize, security: &SecurityConfig, seed: u64) -> Vec<(String, SeriesPoint)> {
+    use secureblox_net::Topology;
+    let topologies = [
+        Topology::Ring,
+        Topology::Star,
+        Topology::Grid,
+        Topology::FullMesh,
+        Topology::paper_default(),
+    ];
+    topologies
+        .iter()
+        .map(|topology| {
+            let config = pathvector::PathVectorConfig {
+                num_nodes: nodes,
+                edges: Some(topology.edges(nodes, seed)),
+                security: security.clone(),
+                seed,
+                ..pathvector::PathVectorConfig::default()
+            };
+            let outcome = pathvector::run(&config).expect("path-vector run failed");
+            (
+                topology.label(),
+                SeriesPoint {
+                    label: security.label(),
+                    nodes,
+                    fixpoint_latency: outcome.report.fixpoint_latency,
+                    per_node_kb: outcome.report.per_node_kb,
+                    avg_transaction: outcome.report.average_transaction,
+                    transactions: outcome.report.total_transactions,
+                },
+            )
+        })
+        .collect()
+}
+
+/// Render a series as an aligned text table, grouped by scheme like the
+/// paper's plots.
+pub fn render_series(title: &str, x_label: &str, points: &[SeriesPoint]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {title}\n"));
+    out.push_str(&format!(
+        "{:<10} {:<10} {:>16} {:>16} {:>16}\n",
+        "scheme", x_label, "latency (ms)", "per-node KB", "avg txn (ms)"
+    ));
+    let mut seen: Vec<String> = Vec::new();
+    for point in points {
+        if !seen.contains(&point.label) {
+            seen.push(point.label.clone());
+        }
+    }
+    for label in seen {
+        for point in points.iter().filter(|p| p.label == label) {
+            out.push_str(&format!(
+                "{:<10} {:<10} {:>16.2} {:>16.2} {:>16.3}\n",
+                point.label,
+                point.nodes,
+                point.fixpoint_latency.as_secs_f64() * 1e3,
+                point.per_node_kb,
+                point.avg_transaction.as_secs_f64() * 1e3,
+            ));
+        }
+    }
+    out
+}
+
+/// Render one or more CDFs as two-column tables.
+pub fn render_cdf(title: &str, series: &[(String, Vec<(Duration, f64)>)]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {title}\n"));
+    for (label, cdf) in series {
+        out.push_str(&format!("## {label}\n"));
+        out.push_str(&format!("{:>14} {:>12}\n", "time (ms)", "fraction"));
+        for (t, fraction) in cdf {
+            out.push_str(&format!("{:>14.3} {:>12.3}\n", t.as_secs_f64() * 1e3, fraction));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scale_sizes_are_small() {
+        assert_eq!(Scale::Quick.pathvector_sizes(), vec![6, 12, 18]);
+        assert_eq!(Scale::Full.pathvector_sizes().last(), Some(&72));
+        assert!(Scale::Quick.hashjoin_rows().0 < Scale::Full.hashjoin_rows().0);
+    }
+
+    #[test]
+    fn scheme_lists_match_figures() {
+        let labels: Vec<String> = plain_schemes().iter().map(|s| s.label()).collect();
+        assert_eq!(labels, vec!["NoAuth", "HMAC", "RSA"]);
+        let labels: Vec<String> = encrypted_schemes().iter().map(|s| s.label()).collect();
+        assert_eq!(labels, vec!["NoAuth", "NoAuth-AES", "HMAC-AES", "RSA-AES"]);
+        let labels: Vec<String> = hashjoin_schemes().iter().map(|s| s.label()).collect();
+        assert_eq!(labels, vec!["NoAuth", "RSA-AES"]);
+    }
+
+    #[test]
+    fn pathvector_point_produces_sane_numbers() {
+        let point = pathvector_point(6, &SecurityConfig::new(AuthScheme::NoAuth, EncScheme::None), 1);
+        assert_eq!(point.nodes, 6);
+        assert!(point.fixpoint_latency > Duration::ZERO);
+        assert!(point.per_node_kb > 0.0);
+        assert!(point.transactions >= 6);
+    }
+
+    #[test]
+    fn topology_ablation_covers_all_topologies() {
+        let points = topology_series(4, &SecurityConfig::new(AuthScheme::NoAuth, EncScheme::None), 1);
+        let labels: Vec<&str> = points.iter().map(|(label, _)| label.as_str()).collect();
+        assert_eq!(labels, vec!["ring", "star", "grid", "full-mesh", "random-deg3"]);
+        assert!(points.iter().all(|(_, p)| p.fixpoint_latency > Duration::ZERO));
+        // A full mesh moves more bytes per node than a star of the same size.
+        let kb = |name: &str| points.iter().find(|(l, _)| l == name).unwrap().1.per_node_kb;
+        assert!(kb("full-mesh") > kb("star"));
+    }
+
+    #[test]
+    fn render_helpers_produce_tables() {
+        let point = SeriesPoint {
+            label: "NoAuth".into(),
+            nodes: 6,
+            fixpoint_latency: Duration::from_millis(15),
+            per_node_kb: 197.0,
+            avg_transaction: Duration::from_millis(12),
+            transactions: 42,
+        };
+        let table = render_series("Figure 4", "nodes", &[point]);
+        assert!(table.contains("Figure 4"));
+        assert!(table.contains("NoAuth"));
+        let cdf = render_cdf("Figure 8", &[("NoAuth".into(), vec![(Duration::from_millis(1), 0.5)])]);
+        assert!(cdf.contains("0.500"));
+    }
+}

@@ -1,0 +1,235 @@
+//! The secure parallel hash join use case (paper §7.2, evaluated in §8.2).
+//!
+//! Two tables are initially partitioned across the nodes by a hash of their
+//! first key attribute.  To join on the *second* attribute, every node
+//! rehashes its tuples on the join attribute and `says` them to the node
+//! responsible for that hash range; the bucket owners join the co-located
+//! tuples and `says` the results back to the initiator.
+
+use crate::policy::SecurityConfig;
+use crate::runtime::engine::{Deployment, DeploymentConfig, DeploymentReport, NodeSpec};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use secureblox_datalog::error::Result;
+use secureblox_datalog::value::Value;
+use secureblox_net::LatencyModel;
+use std::time::Duration;
+
+/// The DatalogLB program for the parallel hash join.
+pub fn app_source() -> String {
+    r#"
+    // Schema: two tables joined on their second attribute.
+    tableA(E1, E2) -> int[32](E1), int[32](E2).
+    tableB(E3, E2) -> int[32](E3), int[32](E2).
+    rehashA(E1, E2) -> int[32](E1), int[32](E2).
+    rehashB(E3, E2) -> int[32](E3), int[32](E2).
+    joinresult(E1, E2, E3) -> int[32](E1), int[32](E2), int[32](E3).
+    prin_minhash[U] = Lo -> principal(U), int[32](Lo).
+    prin_maxhash[U] = Hi -> principal(U), int[32](Hi).
+    initiator[] = U -> principal(U).
+
+    exportable(`rehashA).
+    exportable(`rehashB).
+    exportable(`joinresult).
+
+    // Rehash both tables on the join attribute and say each tuple to the
+    // principal whose hash range contains it (paper §7.2).
+    says[`rehashA](self[], U, E1, E2)
+      <- tableA(E1, E2), sha1hash(E2, H),
+         prin_minhash[U] = Lo, prin_maxhash[U] = Hi,
+         H >= Lo, H <= Hi.
+
+    says[`rehashB](self[], U, E3, E2)
+      <- tableB(E3, E2), sha1hash(E2, H),
+         prin_minhash[U] = Lo, prin_maxhash[U] = Hi,
+         H >= Lo, H <= Hi.
+
+    // Join the co-located rehashed tuples and send results to the initiator.
+    says[`joinresult](self[], U, E1, E2, E3)
+      <- rehashA(E1, E2), rehashB(E3, E2), initiator[] = U.
+    "#
+    .to_string()
+}
+
+/// Configuration of one hash-join experiment (defaults match §8.2).
+#[derive(Debug, Clone)]
+pub struct HashJoinConfig {
+    pub num_nodes: usize,
+    /// Tuples in table A (the paper uses 900).
+    pub table_a_rows: usize,
+    /// Tuples in table B (the paper uses 800).
+    pub table_b_rows: usize,
+    /// Number of distinct join values (the paper uses 72).
+    pub distinct_join_values: usize,
+    pub security: SecurityConfig,
+    pub latency: LatencyModel,
+    pub seed: u64,
+}
+
+impl Default for HashJoinConfig {
+    fn default() -> Self {
+        HashJoinConfig {
+            num_nodes: 6,
+            table_a_rows: 900,
+            table_b_rows: 800,
+            distinct_join_values: 72,
+            security: SecurityConfig::default(),
+            latency: LatencyModel::default(),
+            seed: 1,
+        }
+    }
+}
+
+/// Outcome of a hash-join run.
+#[derive(Debug, Clone)]
+pub struct HashJoinOutcome {
+    pub report: DeploymentReport,
+    /// Join tuples received at the initiator.
+    pub results_at_initiator: usize,
+    /// The exact expected number of join results (computed from the input).
+    pub expected_results: usize,
+    /// Virtual completion times of the transactions at the initiator (the
+    /// series behind Figures 10 and 11).
+    pub initiator_completions: Vec<Duration>,
+}
+
+/// The principal name of node `i`.
+pub fn principal_name(i: usize) -> String {
+    format!("n{i}")
+}
+
+/// Mirror of the engine's `sha1hash` UDF, used to partition the hash space.
+fn bucket_hash(value: i64) -> i64 {
+    let encoded = crate::runtime::codec::serialize_tuple(&[Value::Int(value)]);
+    let digest = secureblox_crypto::sha1(&encoded);
+    let mut raw = [0u8; 8];
+    raw.copy_from_slice(&digest[..8]);
+    i64::from_be_bytes(raw).unsigned_abs() as i64 & i64::MAX
+}
+
+/// Generate the two input tables: join attributes are drawn uniformly from
+/// `distinct_join_values` randomized values (as in §8.2).
+pub fn generate_tables(config: &HashJoinConfig) -> (Vec<(i64, i64)>, Vec<(i64, i64)>) {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let join_values: Vec<i64> = (0..config.distinct_join_values as i64)
+        .map(|i| 10_000 + i * 7 + rng.gen_range(0..3))
+        .collect();
+    let table_a: Vec<(i64, i64)> = (0..config.table_a_rows as i64)
+        .map(|i| (i, *join_values.choose(&mut rng).expect("non-empty join values")))
+        .collect();
+    let table_b: Vec<(i64, i64)> = (0..config.table_b_rows as i64)
+        .map(|i| (100_000 + i, *join_values.choose(&mut rng).expect("non-empty join values")))
+        .collect();
+    (table_a, table_b)
+}
+
+/// The number of (E1, E2, E3) join results the tables should produce.
+pub fn expected_join_size(table_a: &[(i64, i64)], table_b: &[(i64, i64)]) -> usize {
+    let mut counts = std::collections::HashMap::new();
+    for (_, join) in table_b {
+        *counts.entry(*join).or_insert(0usize) += 1;
+    }
+    table_a.iter().map(|(_, join)| counts.get(join).copied().unwrap_or(0)).sum()
+}
+
+/// Build (but do not run) a deployment for the hash-join experiment.
+pub fn build_deployment(config: &HashJoinConfig) -> Result<(Deployment, usize)> {
+    let (table_a, table_b) = generate_tables(config);
+    let expected = expected_join_size(&table_a, &table_b);
+    let principals: Vec<String> = (0..config.num_nodes).map(principal_name).collect();
+
+    // Initial partitioning: tuples are placed by a hash of their FIRST key
+    // attribute (so a join on the second attribute requires rehashing).
+    let mut specs: Vec<NodeSpec> = principals.iter().map(NodeSpec::new).collect();
+    let place = |key: i64| (bucket_hash(key) % config.num_nodes as i64) as usize;
+    for (e1, e2) in &table_a {
+        specs[place(*e1)]
+            .base_facts
+            .push(("tableA".into(), vec![Value::Int(*e1), Value::Int(*e2)]));
+    }
+    for (e3, e2) in &table_b {
+        specs[place(*e3)]
+            .base_facts
+            .push(("tableB".into(), vec![Value::Int(*e3), Value::Int(*e2)]));
+    }
+
+    // Hash-range assignment: split the positive i64 space evenly (the
+    // prin_minhash / prin_maxhash relations of §7.2).
+    let mut shared_facts: Vec<(String, Vec<Value>)> = Vec::new();
+    let slice = i64::MAX / config.num_nodes as i64;
+    for (i, principal) in principals.iter().enumerate() {
+        let lo = slice * i as i64;
+        let hi = if i + 1 == config.num_nodes { i64::MAX } else { slice * (i as i64 + 1) - 1 };
+        shared_facts.push(("prin_minhash".into(), vec![Value::str(principal), Value::Int(lo)]));
+        shared_facts.push(("prin_maxhash".into(), vec![Value::str(principal), Value::Int(hi)]));
+    }
+
+    let deployment_config = DeploymentConfig {
+        security: config.security.clone(),
+        latency: config.latency.clone(),
+        seed: config.seed,
+        singletons: vec![("initiator".into(), Value::str(principal_name(0)))],
+        shared_facts,
+        ..DeploymentConfig::default()
+    };
+    Deployment::build(&app_source(), &specs, deployment_config).map(|d| (d, expected))
+}
+
+/// Run the hash-join experiment.
+pub fn run(config: &HashJoinConfig) -> Result<HashJoinOutcome> {
+    let (mut deployment, expected_results) = build_deployment(config)?;
+    let report = deployment.run()?;
+    let initiator = principal_name(0);
+    let results_at_initiator = deployment.query(&initiator, "joinresult").len();
+    let initiator_completions = deployment.completion_times(&initiator);
+    Ok(HashJoinOutcome { report, results_at_initiator, expected_results, initiator_completions })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secureblox_crypto::{AuthScheme, EncScheme};
+
+    fn small_config(auth: AuthScheme, enc: EncScheme) -> HashJoinConfig {
+        HashJoinConfig {
+            num_nodes: 3,
+            table_a_rows: 60,
+            table_b_rows: 50,
+            distinct_join_values: 12,
+            security: SecurityConfig::new(auth, enc),
+            ..HashJoinConfig::default()
+        }
+    }
+
+    #[test]
+    fn table_generation_is_deterministic_and_sized() {
+        let config = small_config(AuthScheme::NoAuth, EncScheme::None);
+        let (a1, b1) = generate_tables(&config);
+        let (a2, b2) = generate_tables(&config);
+        assert_eq!(a1, a2);
+        assert_eq!(b1, b2);
+        assert_eq!(a1.len(), 60);
+        assert_eq!(b1.len(), 50);
+        assert!(expected_join_size(&a1, &b1) > 0);
+    }
+
+    #[test]
+    fn noauth_join_produces_exactly_the_expected_results() {
+        let outcome = run(&small_config(AuthScheme::NoAuth, EncScheme::None)).unwrap();
+        assert_eq!(outcome.results_at_initiator, outcome.expected_results, "{outcome:?}");
+        assert_eq!(outcome.report.rejected_batches, 0);
+        assert!(!outcome.initiator_completions.is_empty());
+    }
+
+    #[test]
+    fn rsa_aes_join_matches_noauth_results_with_more_bytes() {
+        let plain = run(&small_config(AuthScheme::NoAuth, EncScheme::None)).unwrap();
+        let secured = run(&small_config(AuthScheme::Rsa, EncScheme::Aes128)).unwrap();
+        assert_eq!(secured.results_at_initiator, plain.results_at_initiator);
+        assert_eq!(secured.report.rejected_batches, 0);
+        assert!(secured.report.per_node_kb > plain.report.per_node_kb);
+        // Cryptography also slows the run down (Figure 10's right shift).
+        assert!(secured.report.average_transaction >= plain.report.average_transaction);
+    }
+}

@@ -1,0 +1,5 @@
+//! The paper's use cases (§7), implemented against the public SecureBlox API.
+
+pub mod anonjoin;
+pub mod hashjoin;
+pub mod pathvector;

@@ -1,0 +1,51 @@
+//! # SecureBlox — customizable secure distributed data processing
+//!
+//! A from-scratch Rust reproduction of *SecureBlox: Customizable Secure
+//! Distributed Data Processing* (Marczak, Huang, Bravenboer, Sherr, Loo,
+//! Aref — SIGMOD 2010).
+//!
+//! SecureBlox unifies a distributed Datalog query processor with a security
+//! policy framework: authentication (`says`), authorization, trust
+//! delegation, confidentiality, and anonymity are expressed as declarative
+//! *meta-programs* over the application's predicates, compiled by the
+//! BloxGenerics compiler into plain DatalogLB, and enforced by ordinary
+//! integrity constraints inside each node's local ACID transactions.
+//!
+//! This crate ties the substrates together:
+//!
+//! * [`policy`] — generates the policy source text (the paper's §3.2 and §6
+//!   listings) from a [`SecurityConfig`], and compiles application + policy
+//!   with the BloxGenerics compiler.
+//! * [`runtime`] — the distributed query processor: a [`Deployment`] of
+//!   simulated nodes, each a transactional DatalogLB workspace, exchanging
+//!   signed/encrypted `says` batches and onion-routed anonymity cells over a
+//!   discrete-event network.
+//! * [`apps`] — the paper's three use cases (path-vector routing, secure
+//!   parallel hash join, anonymous join) built purely on the public API.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use secureblox::apps::pathvector::{self, PathVectorConfig};
+//! use secureblox::policy::SecurityConfig;
+//! use secureblox::{AuthScheme, EncScheme};
+//!
+//! let config = PathVectorConfig {
+//!     num_nodes: 6,
+//!     security: SecurityConfig::new(AuthScheme::HmacSha1, EncScheme::None),
+//!     ..PathVectorConfig::default()
+//! };
+//! let outcome = pathvector::run(&config).unwrap();
+//! println!("fixpoint latency: {:?}", outcome.report.fixpoint_latency);
+//! ```
+
+pub mod apps;
+pub mod policy;
+pub mod runtime;
+
+pub use policy::{compile_secured_program, SecurityConfig, TrustModel};
+pub use runtime::{Deployment, DeploymentConfig, DeploymentReport, NodeSpec};
+pub use secureblox_crypto::{AuthScheme, EncScheme};
+pub use secureblox_datalog::{parse_program, DatalogError, Value, Workspace};
+pub use secureblox_generics::GenericsCompiler;
+pub use secureblox_net::LatencyModel;

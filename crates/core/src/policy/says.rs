@@ -1,0 +1,140 @@
+//! The customizable `says` policy (paper §3.2) and its variants.
+//!
+//! Everything here is *source text* in the DatalogLB / BloxGenerics dialect,
+//! exactly as a SecureBlox user would write it: the meaning of `says` is not
+//! baked into the runtime.  The distributed runtime only assumes the naming
+//! convention that `says[T]` compiles to the concrete predicate `says$T` and
+//! `sig[T]` to `sig$T`.
+
+use super::scheme::{SecurityConfig, TrustModel};
+use secureblox_crypto::AuthScheme;
+
+/// The core authentication block: the `says` mapping, its type/authentication
+/// constraint, the export-scope generic constraint, the import (delegation)
+/// rule, and — depending on the scheme — signature generation and
+/// verification.
+pub fn says_policy(config: &SecurityConfig) -> String {
+    let mut policy = String::new();
+
+    // says[T] = ST: one "said" counterpart per exportable predicate, with the
+    // constraint that both principals are known (simple authentication) and
+    // the payload has T's types.
+    policy.push_str(
+        "says[T] = ST, predicate(ST),\n\
+         '{\n\
+           ST(P1, P2, V*) -> principal(P1), principal(P2), types[T](V*).\n\
+         }\n\
+         <-- predicate(T), exportable(T).\n\n",
+    );
+
+    // Compile-time scope check: only exportable predicates may be said.
+    policy.push_str("says(P, SP) --> exportable(P).\n\n");
+
+    // Import / trust delegation (paper §6.1).
+    match config.trust {
+        TrustModel::TrustAll => policy.push_str(
+            "'{ T(V*) <- says[T](P, self[], V*). }\n<-- predicate(T), exportable(T).\n\n",
+        ),
+        TrustModel::Trustworthy => policy.push_str(
+            "'{ T(V*) <- says[T](P, self[], V*), trustworthy(P). }\n\
+             <-- predicate(T), exportable(T).\n\n",
+        ),
+        TrustModel::PerPredicate => policy.push_str(
+            "'{ T(V*) <- says[T](P, self[], V*), trustworthyPerPred[T](P). }\n\
+             <-- predicate(T), exportable(T).\n\n",
+        ),
+    }
+
+    // Authorization (paper §3.2 "Authorization").
+    if config.write_access {
+        policy.push_str(&authorization_policy());
+        policy.push('\n');
+    }
+
+    // Cryptographic signatures (paper §3.2 "Cryptography" and the HMAC
+    // variant under "Alternate Cryptographic Scheme").
+    match config.auth {
+        AuthScheme::NoAuth => {}
+        AuthScheme::Rsa => policy.push_str(
+            "'{\n\
+               sig[T](self[], P2, V*, S) <- says[T](self[], P2, V*), private_key[] = K, rsa_sign(K, V*, S).\n\
+               says[T](P1, self[], V*) -> sig[T](P1, self[], V*, S), public_key(P1, K), rsa_verify(K, V*, S).\n\
+             }\n\
+             <-- predicate(T), exportable(T).\n\n",
+        ),
+        AuthScheme::HmacSha1 => policy.push_str(
+            "'{\n\
+               sig[T](self[], P2, V*, S) <- says[T](self[], P2, V*), secret(P2, K), hmac_sign(K, V*, S).\n\
+               says[T](P1, self[], V*) -> sig[T](P1, self[], V*, S), secret(P1, K), hmac_verify(K, V*, S).\n\
+             }\n\
+             <-- predicate(T), exportable(T).\n\n",
+        ),
+    }
+    policy
+}
+
+/// The write-access authorization constraint: "if a principal P1 wishes to
+/// say a fact about predicate T, then P1 must have write-access to T".
+pub fn authorization_policy() -> String {
+    "'{ says[T](P1, P2, V*) -> writeAccess[T](P1). }\n<-- predicate(T), exportable(T).\n".to_string()
+}
+
+/// A per-predicate delegation constraint restricting which principals may be
+/// trusted for `pred` (paper §6.1's credit-agency example).
+pub fn delegation_restriction(pred: &str, allowed: &str) -> String {
+    format!("trustworthyPerPred[`{pred}](U) -> U = \"{allowed}\".\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secureblox_crypto::EncScheme;
+    use secureblox_datalog::parse_program;
+
+    fn parses(policy: &str) {
+        parse_program(policy).unwrap_or_else(|e| panic!("policy does not parse: {e}\n{policy}"));
+    }
+
+    #[test]
+    fn all_scheme_combinations_parse() {
+        for auth in [AuthScheme::NoAuth, AuthScheme::HmacSha1, AuthScheme::Rsa] {
+            for trust in [TrustModel::TrustAll, TrustModel::Trustworthy, TrustModel::PerPredicate] {
+                for write_access in [false, true] {
+                    let config = SecurityConfig {
+                        auth,
+                        enc: EncScheme::None,
+                        trust,
+                        write_access,
+                        ..SecurityConfig::default()
+                    };
+                    parses(&says_policy(&config));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rsa_policy_mentions_rsa_udfs_and_hmac_does_not() {
+        let rsa = says_policy(&SecurityConfig::new(AuthScheme::Rsa, EncScheme::None));
+        assert!(rsa.contains("rsa_sign") && rsa.contains("rsa_verify") && rsa.contains("private_key"));
+        let hmac = says_policy(&SecurityConfig::new(AuthScheme::HmacSha1, EncScheme::None));
+        assert!(hmac.contains("hmac_sign") && !hmac.contains("rsa_sign"));
+        let noauth = says_policy(&SecurityConfig::new(AuthScheme::NoAuth, EncScheme::None));
+        assert!(!noauth.contains("sig[T]"));
+    }
+
+    #[test]
+    fn trust_models_change_the_import_rule() {
+        let all = says_policy(&SecurityConfig { trust: TrustModel::TrustAll, ..Default::default() });
+        assert!(!all.contains("trustworthy(P)"));
+        let some = says_policy(&SecurityConfig { trust: TrustModel::Trustworthy, ..Default::default() });
+        assert!(some.contains("trustworthy(P)"));
+        let per = says_policy(&SecurityConfig { trust: TrustModel::PerPredicate, ..Default::default() });
+        assert!(per.contains("trustworthyPerPred[T](P)"));
+    }
+
+    #[test]
+    fn delegation_restriction_parses() {
+        parses(&delegation_restriction("creditscore", "CA"));
+    }
+}

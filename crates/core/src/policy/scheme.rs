@@ -1,0 +1,94 @@
+//! Security configuration: which authentication, confidentiality, trust and
+//! authorization mechanisms the generated policies should use.
+
+pub use secureblox_crypto::{AuthScheme, EncScheme};
+
+/// How incoming `says` facts are accepted into local predicates (paper §6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrustModel {
+    /// "In a benign world, where a principal trusts all other principals, he
+    /// may derive a fact for predicate T for every T fact said to him."
+    TrustAll,
+    /// Only facts said by principals in the local `trustworthy` relation are
+    /// imported.
+    Trustworthy,
+    /// Per-predicate delegation: only principals in `trustworthyPerPred[T]`
+    /// are trusted for predicate `T`.
+    PerPredicate,
+}
+
+/// The complete security configuration of a deployment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SecurityConfig {
+    /// Authentication scheme for exported tuples.
+    pub auth: AuthScheme,
+    /// Confidentiality scheme for exported batches.
+    pub enc: EncScheme,
+    /// RSA modulus size in bits (the paper uses 1024; the simulation defaults
+    /// to 512 to keep key generation cheap — signature cost and size still
+    /// dominate HMAC, which is the relationship the figures show).
+    pub rsa_bits: usize,
+    /// Trust/delegation model for imports.
+    pub trust: TrustModel,
+    /// Whether the `writeAccess` authorization constraint is generated.
+    pub write_access: bool,
+}
+
+impl Default for SecurityConfig {
+    fn default() -> Self {
+        SecurityConfig {
+            auth: AuthScheme::NoAuth,
+            enc: EncScheme::None,
+            rsa_bits: 512,
+            trust: TrustModel::TrustAll,
+            write_access: false,
+        }
+    }
+}
+
+impl SecurityConfig {
+    /// Convenience constructor matching the paper's figure labels.
+    pub fn new(auth: AuthScheme, enc: EncScheme) -> Self {
+        SecurityConfig { auth, enc, ..Self::default() }
+    }
+
+    /// The label used in the paper's figures, e.g. `NoAuth`, `HMAC`, `RSA-AES`.
+    pub fn label(&self) -> String {
+        match self.enc {
+            EncScheme::None => self.auth.label().to_string(),
+            EncScheme::Aes128 => format!("{}-{}", self.auth.label(), self.enc.label()),
+        }
+    }
+
+    /// Whether any RSA material must be provisioned.
+    pub fn needs_rsa(&self) -> bool {
+        self.auth == AuthScheme::Rsa
+    }
+
+    /// Whether pairwise shared secrets must be provisioned.
+    pub fn needs_secrets(&self) -> bool {
+        self.auth == AuthScheme::HmacSha1 || self.enc == EncScheme::Aes128
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_figures() {
+        assert_eq!(SecurityConfig::new(AuthScheme::NoAuth, EncScheme::None).label(), "NoAuth");
+        assert_eq!(SecurityConfig::new(AuthScheme::HmacSha1, EncScheme::None).label(), "HMAC");
+        assert_eq!(SecurityConfig::new(AuthScheme::Rsa, EncScheme::Aes128).label(), "RSA-AES");
+        assert_eq!(SecurityConfig::new(AuthScheme::NoAuth, EncScheme::Aes128).label(), "NoAuth-AES");
+    }
+
+    #[test]
+    fn provisioning_needs() {
+        assert!(!SecurityConfig::new(AuthScheme::NoAuth, EncScheme::None).needs_secrets());
+        assert!(SecurityConfig::new(AuthScheme::NoAuth, EncScheme::Aes128).needs_secrets());
+        assert!(SecurityConfig::new(AuthScheme::HmacSha1, EncScheme::None).needs_secrets());
+        assert!(SecurityConfig::new(AuthScheme::Rsa, EncScheme::None).needs_rsa());
+        assert!(!SecurityConfig::new(AuthScheme::HmacSha1, EncScheme::None).needs_rsa());
+    }
+}

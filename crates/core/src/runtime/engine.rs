@@ -1,0 +1,976 @@
+//! The distributed query processor: simulated nodes, each running a
+//! transactional DatalogLB workspace, exchanging authenticated (and
+//! optionally encrypted) batches of `says` tuples over a discrete-event
+//! network.
+//!
+//! Execution model (paper §5):
+//!
+//! * every node installs the same compiled program (queries + policies),
+//! * a batch of incoming facts is processed in a local ACID transaction —
+//!   insert, fixpoint, constraint check, commit or roll back,
+//! * tuples derived for a `says$T` predicate whose receiving principal is
+//!   remote are serialized, signed (per the generated `sig$T` rules),
+//!   optionally AES-encrypted, and shipped; the receiver inserts the `says$T`
+//!   and `sig$T` facts and its own constraints decide whether to accept them,
+//! * anonymity-circuit traffic (`anon_says$T`) is onion-wrapped and relayed
+//!   hop by hop.
+//!
+//! Virtual time: each node's transaction advances its own clock by the
+//! *measured* wall-clock compute time, and the network adds latency per
+//! message, so the latency / convergence figures reflect N nodes running in
+//! parallel even though the simulation executes them in one process.
+
+use crate::policy::{compile_secured_program, SecurityConfig};
+use crate::runtime::codec::SaysEnvelope;
+use crate::runtime::udfs::register_crypto_udfs;
+use secureblox_crypto::{aes128_ctr_decrypt, aes128_ctr_encrypt, EncScheme, KeyStore};
+use secureblox_datalog::error::{DatalogError, Result};
+use secureblox_datalog::value::{Tuple, Value};
+use secureblox_datalog::{EvalConfig, Workspace};
+use secureblox_net::stats::TimingStats;
+use secureblox_net::{LatencyModel, Message, MessageKind, NodeId, NodeInfo, SimNetwork, VirtualTime};
+use std::collections::{HashMap, HashSet};
+use std::time::{Duration, Instant};
+
+/// Specification of one simulated node.
+#[derive(Debug, Clone)]
+pub struct NodeSpec {
+    /// The principal hosted at this node (also used as its node name).
+    pub principal: String,
+    /// Facts delivered to the node at virtual time zero.
+    pub base_facts: Vec<(String, Tuple)>,
+}
+
+impl NodeSpec {
+    /// A node with no initial facts.
+    pub fn new(principal: impl Into<String>) -> Self {
+        NodeSpec { principal: principal.into(), base_facts: Vec::new() }
+    }
+}
+
+/// An anonymity circuit to pre-establish at deployment time.
+#[derive(Debug, Clone)]
+pub struct CircuitSpec {
+    pub initiator: String,
+    pub relays: Vec<String>,
+    pub endpoint: String,
+}
+
+/// Deployment-wide configuration.
+#[derive(Debug, Clone)]
+pub struct DeploymentConfig {
+    pub security: SecurityConfig,
+    pub latency: LatencyModel,
+    /// Seed for key provisioning (experiments vary it per trial).
+    pub seed: u64,
+    /// Permit recursive negation (needed by the path-vector protocol's
+    /// "do not advertise to a node already on the path" guard).
+    pub allow_recursive_negation: bool,
+    /// Disable static type checking for programs with intentionally partial
+    /// schemas.
+    pub strict_typing: bool,
+    /// Singletons set identically on every node (e.g. `initiator[]`).
+    pub singletons: Vec<(String, Value)>,
+    /// Additional facts asserted on every node (e.g. `node(X)` universe).
+    pub shared_facts: Vec<(String, Tuple)>,
+    /// Anonymity circuits to establish.
+    pub circuits: Vec<CircuitSpec>,
+    /// Extra policy sources appended to the generated `says` policy.
+    pub extra_policies: Vec<String>,
+    /// When true (the default), every node's `trustworthy` relation is
+    /// pre-populated with every principal.  Set to false to provision trust
+    /// explicitly through [`NodeSpec::base_facts`] or
+    /// [`DeploymentConfig::shared_facts`] — required to exercise the
+    /// `Trustworthy` / `PerPredicate` delegation models of paper §6.1.
+    pub grant_default_trust: bool,
+    /// When true (the default) and the policy enables `write_access`, every
+    /// principal is granted `writeAccess[T]` for every exportable predicate.
+    /// Set to false to grant write access explicitly per node.
+    pub grant_default_write_access: bool,
+}
+
+impl Default for DeploymentConfig {
+    fn default() -> Self {
+        DeploymentConfig {
+            security: SecurityConfig::default(),
+            latency: LatencyModel::default(),
+            seed: 1,
+            allow_recursive_negation: false,
+            strict_typing: true,
+            singletons: Vec::new(),
+            shared_facts: Vec::new(),
+            circuits: Vec::new(),
+            extra_policies: Vec::new(),
+            grant_default_trust: true,
+            grant_default_write_access: true,
+        }
+    }
+}
+
+/// Summary of one deployment run — the quantities the paper's figures plot.
+#[derive(Debug, Clone)]
+pub struct DeploymentReport {
+    /// Figure label, e.g. `RSA-AES`.
+    pub label: String,
+    pub num_nodes: usize,
+    /// Virtual time until no node had any further work (Figures 4/5).
+    pub fixpoint_latency: Duration,
+    /// Average committed-transaction duration (Figure 7).
+    pub average_transaction: Duration,
+    /// Average per-node communication overhead in KB (Figures 6/12).
+    pub per_node_kb: f64,
+    pub total_transactions: usize,
+    /// Batches refused by a security constraint (unknown principal, invalid
+    /// signature, missing write access, forbidden delegation, undecryptable
+    /// payload).
+    pub rejected_batches: usize,
+    /// Batches rolled back by a functional-dependency conflict — duplicate
+    /// data rather than a security decision.  The path-vector protocol
+    /// produces these when the same path entity is advertised to a node along
+    /// two different branches (see `apps::pathvector`).
+    pub conflicting_batches: usize,
+    /// Per-node convergence times (Figures 8/9).
+    pub convergence_times: Vec<Duration>,
+    /// Per-node sent bytes.
+    pub per_node_bytes: Vec<usize>,
+    pub total_messages: usize,
+}
+
+impl DeploymentReport {
+    /// Cumulative fraction of nodes converged at `samples` evenly spaced
+    /// points in time (the series of Figures 8 and 9).
+    pub fn convergence_cdf(&self, samples: usize) -> Vec<(Duration, f64)> {
+        let end = self
+            .convergence_times
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(Duration::ZERO)
+            .max(Duration::from_nanos(1));
+        let n = self.convergence_times.len().max(1);
+        (0..=samples)
+            .map(|i| {
+                let t = end.mul_f64(i as f64 / samples.max(1) as f64);
+                let converged = self.convergence_times.iter().filter(|&&c| c <= t).count();
+                (t, converged as f64 / n as f64)
+            })
+            .collect()
+    }
+}
+
+/// A pre-established anonymity circuit.
+#[derive(Debug, Clone)]
+struct Circuit {
+    id: u64,
+    initiator: usize,
+    /// Relay node indices in forward order.
+    relays: Vec<usize>,
+    endpoint: usize,
+    /// Per-hop symmetric keys: one per relay, then the endpoint's key.
+    keys: Vec<Vec<u8>>,
+}
+
+/// State of one simulated node.
+struct NodeState {
+    info: NodeInfo,
+    workspace: Workspace,
+    /// Outgoing `says`/`anon` tuples already exported (avoid duplicates).
+    sent: HashSet<(String, Tuple)>,
+    available_at: VirtualTime,
+    pending_bootstrap: Vec<(String, Tuple)>,
+}
+
+/// A complete simulated SecureBlox deployment.
+pub struct Deployment {
+    nodes: Vec<NodeState>,
+    principal_index: HashMap<String, usize>,
+    network: SimNetwork,
+    timing: TimingStats,
+    config: DeploymentConfig,
+    keystore: KeyStore,
+    circuits: Vec<Circuit>,
+    exportable: Vec<String>,
+}
+
+impl Deployment {
+    /// Build a deployment: provision keys, generate and compile the policies
+    /// together with `app_source`, and install the result on every node.
+    pub fn build(app_source: &str, specs: &[NodeSpec], config: DeploymentConfig) -> Result<Self> {
+        let principals: Vec<String> = specs.iter().map(|s| s.principal.clone()).collect();
+        let needs_secrets = config.security.needs_secrets() || !config.circuits.is_empty();
+        let keystore = if config.security.needs_rsa() {
+            KeyStore::provision(&principals, config.security.rsa_bits, 4, config.seed)
+        } else if needs_secrets {
+            KeyStore::provision_secrets_only(&principals, config.seed)
+        } else {
+            Ok(KeyStore::empty())
+        }
+        .map_err(|e| DatalogError::Eval(format!("key provisioning failed: {e}")))?;
+
+        let compiled = compile_secured_program(app_source, &config.security, &config.extra_policies)?;
+        let exportable: Vec<String> = compiled
+            .mappings
+            .iter()
+            .filter(|((generic, _), _)| generic == "says")
+            .map(|((_, param), _)| param.clone())
+            .collect();
+
+        let principal_index: HashMap<String, usize> =
+            principals.iter().enumerate().map(|(i, p)| (p.clone(), i)).collect();
+
+        let mut nodes = Vec::with_capacity(specs.len());
+        for (index, spec) in specs.iter().enumerate() {
+            let mut workspace = Workspace::with_config(EvalConfig::default());
+            workspace.set_strict_typing(config.strict_typing);
+            workspace.set_allow_recursive_negation(config.allow_recursive_negation);
+            workspace.set_entity_namespace(index as u64 + 1);
+            register_crypto_udfs(&mut workspace);
+            workspace.install_program(&compiled.program)?;
+            workspace.set_singleton("self", Value::str(&spec.principal))?;
+            for (pred, value) in &config.singletons {
+                workspace.set_singleton(pred, value.clone())?;
+            }
+            // Every node knows the universe of principals / nodes and the
+            // principal → node mapping (1:1 in the simulation).
+            for principal in &principals {
+                workspace.assert_fact("principal", vec![Value::str(principal)])?;
+                workspace.assert_fact("node", vec![Value::str(principal)])?;
+                workspace.assert_fact(
+                    "principal_node",
+                    vec![Value::str(principal), Value::str(principal)],
+                )?;
+                if config.grant_default_trust {
+                    workspace.assert_fact("trustworthy", vec![Value::str(principal)])?;
+                }
+            }
+            for (pred, tuple) in &config.shared_facts {
+                workspace.assert_fact(pred, tuple.clone())?;
+            }
+            // Key material relations referenced by the generated policies.
+            if config.security.needs_rsa() {
+                let own = keystore
+                    .keypair(&spec.principal)
+                    .map_err(|e| DatalogError::Eval(e.to_string()))?;
+                workspace.set_singleton("private_key", Value::bytes(own.to_bytes()))?;
+                for principal in &principals {
+                    let public = keystore
+                        .public_key(principal)
+                        .map_err(|e| DatalogError::Eval(e.to_string()))?;
+                    workspace.assert_fact(
+                        "public_key",
+                        vec![Value::str(principal), Value::bytes(public.to_bytes())],
+                    )?;
+                }
+            }
+            if needs_secrets {
+                for principal in &principals {
+                    let secret = if principal == &spec.principal {
+                        // A principal's "secret with itself" only matters for
+                        // locally-routed says tuples; derive it from the seed.
+                        secureblox_crypto::hmac_sha1(spec.principal.as_bytes(), &config.seed.to_be_bytes())
+                            .to_vec()
+                    } else {
+                        keystore
+                            .shared_secret(&spec.principal, principal)
+                            .map_err(|e| DatalogError::Eval(e.to_string()))?
+                            .to_vec()
+                    };
+                    workspace.assert_fact(
+                        "secret",
+                        vec![Value::str(principal), Value::bytes(secret)],
+                    )?;
+                }
+            }
+            if config.security.write_access && config.grant_default_write_access {
+                for exported in &exportable {
+                    for principal in &principals {
+                        workspace.assert_fact(
+                            &format!("writeAccess${exported}"),
+                            vec![Value::str(principal)],
+                        )?;
+                    }
+                }
+            }
+            nodes.push(NodeState {
+                info: NodeInfo::new(index as u32, spec.principal.clone()),
+                workspace,
+                sent: HashSet::new(),
+                available_at: 0,
+                pending_bootstrap: spec.base_facts.clone(),
+            });
+        }
+
+        // Pre-establish anonymity circuits.
+        let mut circuits = Vec::new();
+        for (id, spec) in config.circuits.iter().enumerate() {
+            let lookup = |name: &str| -> Result<usize> {
+                principal_index
+                    .get(name)
+                    .copied()
+                    .ok_or_else(|| DatalogError::Eval(format!("unknown circuit principal {name}")))
+            };
+            let initiator = lookup(&spec.initiator)?;
+            let endpoint = lookup(&spec.endpoint)?;
+            let relays: Vec<usize> = spec.relays.iter().map(|r| lookup(r)).collect::<Result<_>>()?;
+            let mut keys = Vec::with_capacity(relays.len() + 1);
+            for hop in spec.relays.iter().chain(std::iter::once(&spec.endpoint)) {
+                keys.push(
+                    keystore
+                        .circuit_key(&spec.initiator, hop, id as u64)
+                        .map_err(|e| DatalogError::Eval(e.to_string()))?,
+                );
+            }
+            circuits.push(Circuit { id: id as u64, initiator, relays, endpoint, keys });
+        }
+
+        let network = SimNetwork::new(specs.len(), config.latency.clone());
+        let timing = TimingStats::new(specs.len());
+        Ok(Deployment {
+            nodes,
+            principal_index,
+            network,
+            timing,
+            config,
+            keystore,
+            circuits,
+            exportable,
+        })
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The predicates covered by the `says` policy.
+    pub fn exportable_predicates(&self) -> &[String] {
+        &self.exportable
+    }
+
+    /// Query a predicate on the node hosting `principal`.
+    pub fn query(&self, principal: &str, pred: &str) -> Vec<Tuple> {
+        self.principal_index
+            .get(principal)
+            .map(|&i| self.nodes[i].workspace.query(pred))
+            .unwrap_or_default()
+    }
+
+    /// Completion times (virtual) of committed transactions at `principal`'s
+    /// node — the series behind the hash-join CDFs.
+    pub fn completion_times(&self, principal: &str) -> Vec<Duration> {
+        self.principal_index
+            .get(principal)
+            .map(|&i| {
+                self.timing
+                    .completions(NodeId(i as u32))
+                    .iter()
+                    .map(|&t| Duration::from_nanos(t))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Run to the distributed fixpoint: no batches pending and no messages in
+    /// flight.
+    pub fn run(&mut self) -> Result<DeploymentReport> {
+        // Bootstrap batches at virtual time zero.
+        for index in 0..self.nodes.len() {
+            let batch = std::mem::take(&mut self.nodes[index].pending_bootstrap);
+            self.process_batch(index, batch, 0)?;
+        }
+        // Message loop.
+        let mut guard = 0usize;
+        let message_budget = 10_000_000usize;
+        while let Some((arrival, message)) = self.network.next_delivery() {
+            guard += 1;
+            if guard > message_budget {
+                return Err(DatalogError::Eval(
+                    "distributed execution exceeded its message budget; the protocol is not converging"
+                        .into(),
+                ));
+            }
+            self.deliver(message, arrival)?;
+        }
+        Ok(self.report())
+    }
+
+    /// Summarize the run.
+    pub fn report(&self) -> DeploymentReport {
+        let stats = self.network.stats();
+        DeploymentReport {
+            label: self.config.security.label(),
+            num_nodes: self.nodes.len(),
+            fixpoint_latency: Duration::from_nanos(self.timing.fixpoint_time()),
+            average_transaction: self.timing.average_transaction_duration(),
+            per_node_kb: stats.average_per_node_kb(),
+            total_transactions: self.timing.total_transactions(),
+            rejected_batches: self.timing.total_rejections(),
+            conflicting_batches: self.timing.total_conflicts(),
+            convergence_times: self
+                .timing
+                .convergence_times()
+                .iter()
+                .map(|&t| Duration::from_nanos(t))
+                .collect(),
+            per_node_bytes: stats.nodes().iter().map(|n| n.bytes_sent).collect(),
+            total_messages: stats.nodes().iter().map(|n| n.messages_sent).sum(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Batch processing and export
+    // ------------------------------------------------------------------
+
+    fn process_batch(&mut self, index: usize, batch: Vec<(String, Tuple)>, arrival: VirtualTime) -> Result<()> {
+        let start_virtual = arrival.max(self.nodes[index].available_at);
+        let started = Instant::now();
+        let outcome = self.nodes[index].workspace.transaction(batch);
+        let elapsed = started.elapsed();
+        let finish = start_virtual + elapsed.as_nanos() as u64;
+        self.nodes[index].available_at = finish;
+        match outcome {
+            Ok(_) => {
+                self.timing.record_transaction(NodeId(index as u32), elapsed, finish);
+                self.flush_outbox(index, finish)?;
+                Ok(())
+            }
+            Err(DatalogError::ConstraintViolation(_)) => {
+                // The paper's semantics: the whole batch (including the input
+                // tuples) rolls back; the sender is not notified.
+                self.timing.record_rejection(NodeId(index as u32), finish);
+                Ok(())
+            }
+            Err(DatalogError::FunctionalDependency { .. }) => {
+                // Same rollback semantics, but counted separately: this is a
+                // data-level duplicate (e.g. a second composition for an
+                // already-known path entity), not a policy refusing the batch.
+                self.timing.record_conflict(NodeId(index as u32), finish);
+                Ok(())
+            }
+            Err(other) => Err(other),
+        }
+    }
+
+    /// Export newly derived `says$T` and anonymity tuples from node `index`.
+    fn flush_outbox(&mut self, index: usize, now: VirtualTime) -> Result<()> {
+        let self_principal = self.nodes[index].info.principal.clone();
+        let started = Instant::now();
+        let mut outgoing: Vec<Message> = Vec::new();
+        let mut anon_outgoing: Vec<(usize, Message)> = Vec::new();
+
+        let predicate_names = self.nodes[index].workspace.predicate_names();
+        for pred in &predicate_names {
+            if let Some(param) = pred.strip_prefix("says$") {
+                let tuples = self.nodes[index].workspace.query(pred);
+                for tuple in tuples {
+                    if tuple.len() < 2 {
+                        continue;
+                    }
+                    let from = tuple[0].as_str().unwrap_or_default().to_string();
+                    let to = tuple[1].as_str().unwrap_or_default().to_string();
+                    if from != self_principal || to == self_principal {
+                        continue;
+                    }
+                    let key = (pred.clone(), tuple.clone());
+                    if self.nodes[index].sent.contains(&key) {
+                        continue;
+                    }
+                    self.nodes[index].sent.insert(key);
+                    let Some(&dest) = self.principal_index.get(&to) else { continue };
+                    let signature = self.lookup_signature(index, param, &tuple);
+                    let envelope = SaysEnvelope { pred: param.to_string(), tuple, signature };
+                    let mut payload = envelope.encode();
+                    if self.config.security.enc == EncScheme::Aes128 {
+                        let secret = self
+                            .keystore
+                            .shared_secret(&self_principal, &to)
+                            .map_err(|e| DatalogError::Eval(e.to_string()))?;
+                        payload = aes128_ctr_encrypt(secret, &payload);
+                    }
+                    outgoing.push(Message::new(
+                        NodeId(index as u32),
+                        NodeId(dest as u32),
+                        MessageKind::Says,
+                        payload,
+                    ));
+                }
+            } else if let Some(param) = pred.strip_prefix("anon_says$") {
+                let tuples = self.nodes[index].workspace.query(pred);
+                for tuple in tuples {
+                    if tuple.len() < 2 {
+                        continue;
+                    }
+                    let from = tuple[0].as_str().unwrap_or_default().to_string();
+                    let to = tuple[1].as_str().unwrap_or_default().to_string();
+                    if from != self_principal {
+                        continue;
+                    }
+                    let key = (pred.clone(), tuple.clone());
+                    if self.nodes[index].sent.contains(&key) {
+                        continue;
+                    }
+                    self.nodes[index].sent.insert(key);
+                    let message = self.onion_wrap_forward(index, param, &to, &tuple)?;
+                    anon_outgoing.push(message);
+                }
+            } else if let Some(param) = pred.strip_prefix("anon_says_id_out$") {
+                let tuples = self.nodes[index].workspace.query(pred);
+                for tuple in tuples {
+                    if tuple.is_empty() {
+                        continue;
+                    }
+                    let key = (pred.clone(), tuple.clone());
+                    if self.nodes[index].sent.contains(&key) {
+                        continue;
+                    }
+                    self.nodes[index].sent.insert(key);
+                    if let Some(message) = self.onion_wrap_backward(index, param, &tuple)? {
+                        anon_outgoing.push(message);
+                    }
+                }
+            }
+        }
+
+        // Export processing (serialization, signature lookup, encryption)
+        // costs real compute; charge it to the node's virtual clock.
+        let overhead = started.elapsed();
+        let send_time = now + overhead.as_nanos() as u64;
+        self.nodes[index].available_at = self.nodes[index].available_at.max(send_time);
+        for message in outgoing {
+            self.network.send(message, send_time);
+        }
+        for (_, message) in anon_outgoing {
+            self.network.send(message, send_time);
+        }
+        Ok(())
+    }
+
+    /// Find the detached signature for a `says$T` tuple in the corresponding
+    /// `sig$T` relation (empty when the scheme carries no signatures).
+    fn lookup_signature(&self, index: usize, param: &str, says_tuple: &[Value]) -> Vec<u8> {
+        let sig_pred = format!("sig${param}");
+        let Some(relation) = self.nodes[index].workspace.relation(&sig_pred) else {
+            return Vec::new();
+        };
+        for tuple in relation.iter() {
+            if tuple.len() == says_tuple.len() + 1 && tuple[..says_tuple.len()] == *says_tuple {
+                if let Some(bytes) = tuple[says_tuple.len()].as_bytes() {
+                    return bytes.to_vec();
+                }
+            }
+        }
+        Vec::new()
+    }
+
+    // ------------------------------------------------------------------
+    // Anonymity circuits
+    // ------------------------------------------------------------------
+
+    fn circuit_for(&self, initiator: usize, endpoint: &str) -> Option<&Circuit> {
+        let endpoint_index = *self.principal_index.get(endpoint)?;
+        self.circuits
+            .iter()
+            .find(|c| c.initiator == initiator && c.endpoint == endpoint_index)
+    }
+
+    /// Wrap an `anon_says$T` tuple in onion layers and address it to the
+    /// first hop of the initiator's circuit to the destination.
+    fn onion_wrap_forward(
+        &self,
+        index: usize,
+        param: &str,
+        destination: &str,
+        tuple: &[Value],
+    ) -> Result<(usize, Message)> {
+        let circuit = self.circuit_for(index, destination).ok_or_else(|| {
+            DatalogError::Eval(format!(
+                "no anonymity circuit from {} to {destination}; declare it in DeploymentConfig::circuits",
+                self.nodes[index].info.principal
+            ))
+        })?;
+        // The serialized payload omits the initiator: the endpoint can only
+        // name the circuit (paper §6.2).
+        let envelope = SaysEnvelope {
+            pred: param.to_string(),
+            tuple: tuple[2..].to_vec(),
+            signature: Vec::new(),
+        };
+        let mut body = envelope.encode();
+        for key in circuit.keys.iter().rev() {
+            body = aes128_ctr_encrypt(key, &body);
+        }
+        let first_hop = circuit.relays.first().copied().unwrap_or(circuit.endpoint);
+        let payload = encode_anon_cell(circuit.id, 0, &body);
+        Ok((
+            first_hop,
+            Message::new(NodeId(index as u32), NodeId(first_hop as u32), MessageKind::AnonForward, payload),
+        ))
+    }
+
+    /// Wrap an `anon_says_id_out$T` reply for the backward direction.
+    fn onion_wrap_backward(
+        &self,
+        index: usize,
+        param: &str,
+        tuple: &[Value],
+    ) -> Result<Option<(usize, Message)>> {
+        let Some(circuit_id) = tuple[0].as_int() else { return Ok(None) };
+        let Some(circuit) = self.circuits.iter().find(|c| c.id == circuit_id as u64 && c.endpoint == index)
+        else {
+            return Ok(None);
+        };
+        let envelope = SaysEnvelope {
+            pred: param.to_string(),
+            tuple: tuple[1..].to_vec(),
+            signature: Vec::new(),
+        };
+        // The endpoint adds its own layer; each relay will add one more on
+        // the way back and the initiator peels them all.
+        let body = aes128_ctr_encrypt(circuit.keys.last().expect("endpoint key"), &envelope.encode());
+        let (next, hop) = match circuit.relays.last() {
+            Some(&relay) => (relay, circuit.relays.len() as u32 - 1),
+            None => (circuit.initiator, u32::MAX),
+        };
+        let payload = encode_anon_cell(circuit.id, hop, &body);
+        Ok(Some((
+            next,
+            Message::new(NodeId(index as u32), NodeId(next as u32), MessageKind::AnonBackward, payload),
+        )))
+    }
+
+    // ------------------------------------------------------------------
+    // Delivery
+    // ------------------------------------------------------------------
+
+    fn deliver(&mut self, message: Message, arrival: VirtualTime) -> Result<()> {
+        match message.kind {
+            MessageKind::Says => self.deliver_says(message, arrival),
+            MessageKind::AnonForward => self.deliver_anon_forward(message, arrival),
+            MessageKind::AnonBackward => self.deliver_anon_backward(message, arrival),
+            MessageKind::Bootstrap => Ok(()),
+        }
+    }
+
+    fn deliver_says(&mut self, message: Message, arrival: VirtualTime) -> Result<()> {
+        let to = message.to.index();
+        let from_principal = self.nodes[message.from.index()].info.principal.clone();
+        let to_principal = self.nodes[to].info.principal.clone();
+        let mut payload = message.payload.to_vec();
+        if self.config.security.enc == EncScheme::Aes128 {
+            let secret = self
+                .keystore
+                .shared_secret(&to_principal, &from_principal)
+                .map_err(|e| DatalogError::Eval(e.to_string()))?;
+            match aes128_ctr_decrypt(secret, &payload) {
+                Ok(plain) => payload = plain,
+                Err(_) => {
+                    self.timing.record_rejection(message.to, arrival);
+                    return Ok(());
+                }
+            }
+        }
+        let envelope = match SaysEnvelope::decode(&payload) {
+            Ok(envelope) => envelope,
+            Err(_) => {
+                self.timing.record_rejection(message.to, arrival);
+                return Ok(());
+            }
+        };
+        let mut batch: Vec<(String, Tuple)> =
+            vec![(format!("says${}", envelope.pred), envelope.tuple.clone())];
+        if !envelope.signature.is_empty() {
+            let mut sig_tuple = envelope.tuple.clone();
+            sig_tuple.push(Value::bytes(envelope.signature.clone()));
+            batch.push((format!("sig${}", envelope.pred), sig_tuple));
+        }
+        self.process_batch(to, batch, arrival)
+    }
+
+    fn deliver_anon_forward(&mut self, message: Message, arrival: VirtualTime) -> Result<()> {
+        let here = message.to.index();
+        let Some((circuit_id, hop, body)) = decode_anon_cell(&message.payload) else {
+            self.timing.record_rejection(message.to, arrival);
+            return Ok(());
+        };
+        let Some(circuit) = self.circuits.iter().find(|c| c.id == circuit_id).cloned() else {
+            self.timing.record_rejection(message.to, arrival);
+            return Ok(());
+        };
+        let key = circuit.keys.get(hop as usize).cloned().unwrap_or_default();
+        let Ok(peeled) = aes128_ctr_decrypt(&key, &body) else {
+            self.timing.record_rejection(message.to, arrival);
+            return Ok(());
+        };
+        let is_endpoint = (hop as usize) == circuit.relays.len();
+        if is_endpoint || circuit.relays.is_empty() && here == circuit.endpoint {
+            // Deliver into the endpoint's workspace keyed by the circuit.
+            let envelope = match SaysEnvelope::decode(&peeled) {
+                Ok(envelope) => envelope,
+                Err(_) => {
+                    self.timing.record_rejection(message.to, arrival);
+                    return Ok(());
+                }
+            };
+            let mut tuple = vec![Value::Int(circuit.id as i64)];
+            tuple.extend(envelope.tuple);
+            let batch = vec![(format!("anon_says_id_in${}", envelope.pred), tuple)];
+            return self.process_batch(here, batch, arrival);
+        }
+        // Relay: forward the peeled cell to the next hop.
+        let next_hop_index = hop as usize + 1;
+        let next = if next_hop_index == circuit.relays.len() {
+            circuit.endpoint
+        } else {
+            circuit.relays[next_hop_index]
+        };
+        let forward = Message::new(
+            NodeId(here as u32),
+            NodeId(next as u32),
+            MessageKind::AnonForward,
+            encode_anon_cell(circuit_id, next_hop_index as u32, &peeled),
+        );
+        let send_at = arrival.max(self.nodes[here].available_at);
+        self.nodes[here].available_at = send_at;
+        self.network.send(forward, send_at);
+        Ok(())
+    }
+
+    fn deliver_anon_backward(&mut self, message: Message, arrival: VirtualTime) -> Result<()> {
+        let here = message.to.index();
+        let Some((circuit_id, hop, body)) = decode_anon_cell(&message.payload) else {
+            self.timing.record_rejection(message.to, arrival);
+            return Ok(());
+        };
+        let Some(circuit) = self.circuits.iter().find(|c| c.id == circuit_id).cloned() else {
+            self.timing.record_rejection(message.to, arrival);
+            return Ok(());
+        };
+        if hop == u32::MAX || here == circuit.initiator {
+            // Initiator: peel every layer (relays in forward order, then the
+            // endpoint's innermost layer).
+            let mut plain = body;
+            for key in &circuit.keys {
+                match aes128_ctr_decrypt(key, &plain) {
+                    Ok(next) => plain = next,
+                    Err(_) => {
+                        self.timing.record_rejection(message.to, arrival);
+                        return Ok(());
+                    }
+                }
+            }
+            let envelope = match SaysEnvelope::decode(&plain) {
+                Ok(envelope) => envelope,
+                Err(_) => {
+                    self.timing.record_rejection(message.to, arrival);
+                    return Ok(());
+                }
+            };
+            let batch = vec![(format!("anon_reply${}", envelope.pred), envelope.tuple)];
+            return self.process_batch(here, batch, arrival);
+        }
+        // Relay: add this hop's layer and forward towards the initiator.
+        let key = circuit.keys.get(hop as usize).cloned().unwrap_or_default();
+        let wrapped = aes128_ctr_encrypt(&key, &body);
+        let (next, next_hop) = if hop == 0 {
+            (circuit.initiator, u32::MAX)
+        } else {
+            (circuit.relays[hop as usize - 1], hop - 1)
+        };
+        let forward = Message::new(
+            NodeId(here as u32),
+            NodeId(next as u32),
+            MessageKind::AnonBackward,
+            encode_anon_cell(circuit_id, next_hop, &wrapped),
+        );
+        let send_at = arrival.max(self.nodes[here].available_at);
+        self.nodes[here].available_at = send_at;
+        self.network.send(forward, send_at);
+        Ok(())
+    }
+}
+
+/// Encode an anonymity cell: circuit id, hop index, body.
+fn encode_anon_cell(circuit_id: u64, hop: u32, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(12 + body.len());
+    out.extend_from_slice(&circuit_id.to_be_bytes());
+    out.extend_from_slice(&hop.to_be_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+/// Decode an anonymity cell.
+fn decode_anon_cell(payload: &[u8]) -> Option<(u64, u32, Vec<u8>)> {
+    if payload.len() < 12 {
+        return None;
+    }
+    let circuit_id = u64::from_be_bytes(payload[0..8].try_into().ok()?);
+    let hop = u32::from_be_bytes(payload[8..12].try_into().ok()?);
+    Some((circuit_id, hop, payload[12..].to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{SecurityConfig, TrustModel};
+    use secureblox_crypto::{AuthScheme, EncScheme};
+
+    /// A two-node "reachability gossip" application: each node says its links
+    /// to the other node, which imports them into `remote_link`.
+    const GOSSIP_APP: &str = r#"
+        link(N1, N2) -> node(N1), node(N2).
+        remote_link(N1, N2) -> node(N1), node(N2).
+        exportable(`remote_link).
+
+        says[`remote_link](self[], U, X, Y) <- link(X, Y), principal(U), U != self[].
+    "#;
+
+    fn two_node_specs() -> Vec<NodeSpec> {
+        vec![
+            NodeSpec {
+                principal: "n0".into(),
+                base_facts: vec![("link".into(), vec![Value::str("n0"), Value::str("n1")])],
+            },
+            NodeSpec {
+                principal: "n1".into(),
+                base_facts: vec![("link".into(), vec![Value::str("n1"), Value::str("n0")])],
+            },
+        ]
+    }
+
+    fn run_gossip(security: SecurityConfig) -> (Deployment, DeploymentReport) {
+        let config = DeploymentConfig { security, ..DeploymentConfig::default() };
+        let mut deployment = Deployment::build(GOSSIP_APP, &two_node_specs(), config).unwrap();
+        let report = deployment.run().unwrap();
+        (deployment, report)
+    }
+
+    #[test]
+    fn noauth_gossip_exchanges_facts() {
+        let (deployment, report) = run_gossip(SecurityConfig::new(AuthScheme::NoAuth, EncScheme::None));
+        assert_eq!(
+            deployment.query("n0", "remote_link"),
+            vec![vec![Value::str("n1"), Value::str("n0")]]
+        );
+        assert_eq!(
+            deployment.query("n1", "remote_link"),
+            vec![vec![Value::str("n0"), Value::str("n1")]]
+        );
+        assert_eq!(report.rejected_batches, 0);
+        assert!(report.total_messages >= 2);
+        assert!(report.fixpoint_latency > Duration::ZERO);
+        assert!(report.per_node_kb > 0.0);
+    }
+
+    #[test]
+    fn hmac_and_rsa_gossip_verify_and_cost_more_bytes() {
+        let (_, noauth) = run_gossip(SecurityConfig::new(AuthScheme::NoAuth, EncScheme::None));
+        let (hmac_dep, hmac) = run_gossip(SecurityConfig::new(AuthScheme::HmacSha1, EncScheme::None));
+        let (rsa_dep, rsa) = run_gossip(SecurityConfig::new(AuthScheme::Rsa, EncScheme::None));
+        // Facts still arrive.
+        assert_eq!(hmac_dep.query("n0", "remote_link").len(), 1);
+        assert_eq!(rsa_dep.query("n0", "remote_link").len(), 1);
+        assert_eq!(hmac.rejected_batches, 0);
+        assert_eq!(rsa.rejected_batches, 0);
+        // Signature overhead ordering matches Figure 6.
+        assert!(noauth.per_node_kb < hmac.per_node_kb);
+        assert!(hmac.per_node_kb < rsa.per_node_kb);
+    }
+
+    #[test]
+    fn aes_encryption_still_delivers_and_adds_bytes() {
+        let (deployment, plain) = run_gossip(SecurityConfig::new(AuthScheme::HmacSha1, EncScheme::None));
+        let (enc_dep, enc) = run_gossip(SecurityConfig::new(AuthScheme::HmacSha1, EncScheme::Aes128));
+        assert_eq!(
+            deployment.query("n0", "remote_link"),
+            enc_dep.query("n0", "remote_link")
+        );
+        assert!(enc.per_node_kb > plain.per_node_kb);
+    }
+
+    #[test]
+    fn untrusted_principal_rejected_with_trustworthy_model() {
+        // n1 is not trustworthy at n0, so n0 must not import its fact, but n1
+        // (which trusts everyone it lists) still imports n0's fact.
+        let security = SecurityConfig {
+            auth: AuthScheme::NoAuth,
+            trust: TrustModel::Trustworthy,
+            ..SecurityConfig::default()
+        };
+        let config = DeploymentConfig { security, ..DeploymentConfig::default() };
+        let mut deployment = Deployment::build(GOSSIP_APP, &two_node_specs(), config).unwrap();
+        // Remove n1 from n0's trustworthy relation before running.
+        deployment.nodes[0]
+            .workspace
+            .retract(vec![("trustworthy".into(), vec![Value::str("n1")])])
+            .unwrap();
+        deployment.run().unwrap();
+        assert_eq!(deployment.query("n0", "remote_link").len(), 0);
+        assert_eq!(deployment.query("n1", "remote_link").len(), 1);
+        // The says fact from n1 itself was accepted (n1 is a known
+        // principal); only the import into remote_link is withheld.  n0 also
+        // stores its own outgoing says tuple, hence two rows.
+        let incoming: Vec<_> = deployment
+            .query("n0", "says$remote_link")
+            .into_iter()
+            .filter(|t| t[1].as_str() == Some("n0"))
+            .collect();
+        assert_eq!(incoming.len(), 1);
+    }
+
+    #[test]
+    fn forged_signature_rolls_back_batch() {
+        let security = SecurityConfig::new(AuthScheme::HmacSha1, EncScheme::None);
+        let config = DeploymentConfig { security, ..DeploymentConfig::default() };
+        let mut deployment = Deployment::build(GOSSIP_APP, &two_node_specs(), config).unwrap();
+        // Forge a message from n1 to n0 with a bad tag by injecting it
+        // directly into the network.
+        let envelope = SaysEnvelope {
+            pred: "remote_link".into(),
+            tuple: vec![
+                Value::str("n1"),
+                Value::str("n0"),
+                Value::str("evil"),
+                Value::str("evil2"),
+            ],
+            signature: vec![0u8; 20],
+        };
+        let forged = Message::new(NodeId(1), NodeId(0), MessageKind::Says, envelope.encode());
+        deployment.network.send(forged, 0);
+        let report = deployment.run().unwrap();
+        assert!(report.rejected_batches >= 1);
+        assert!(!deployment
+            .query("n0", "remote_link")
+            .contains(&vec![Value::str("evil"), Value::str("evil2")]));
+        // Legitimate traffic still arrived.
+        assert_eq!(deployment.query("n0", "remote_link").len(), 1);
+    }
+
+    #[test]
+    fn write_access_constraint_enforced() {
+        let security = SecurityConfig {
+            auth: AuthScheme::NoAuth,
+            write_access: true,
+            ..SecurityConfig::default()
+        };
+        let config = DeploymentConfig { security, ..DeploymentConfig::default() };
+        let mut deployment = Deployment::build(GOSSIP_APP, &two_node_specs(), config).unwrap();
+        // Revoke n1's write access to remote_link at n0.
+        deployment.nodes[0]
+            .workspace
+            .retract(vec![("writeAccess$remote_link".into(), vec![Value::str("n1")])])
+            .unwrap();
+        let report = deployment.run().unwrap();
+        assert!(report.rejected_batches >= 1);
+        assert_eq!(deployment.query("n0", "remote_link").len(), 0);
+        assert_eq!(deployment.query("n1", "remote_link").len(), 1);
+    }
+
+    #[test]
+    fn anon_cell_roundtrip() {
+        let cell = encode_anon_cell(7, 2, b"body bytes");
+        let (id, hop, body) = decode_anon_cell(&cell).unwrap();
+        assert_eq!((id, hop), (7, 2));
+        assert_eq!(body, b"body bytes");
+        assert!(decode_anon_cell(&cell[..5]).is_none());
+    }
+}

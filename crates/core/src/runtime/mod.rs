@@ -1,0 +1,10 @@
+//! The SecureBlox distributed runtime: tuple serialization, cryptographic
+//! user-defined functions, and the simulated distributed query processor.
+
+pub mod codec;
+pub mod engine;
+pub mod udfs;
+
+pub use codec::{deserialize_tuple, serialize_tuple, SaysEnvelope};
+pub use engine::{CircuitSpec, Deployment, DeploymentConfig, DeploymentReport, NodeSpec};
+pub use udfs::register_crypto_udfs;

@@ -1,0 +1,293 @@
+//! AES-128 (FIPS 197) and a CTR-mode stream construction.
+//!
+//! The paper's confidentiality option applies AES with a 128-bit pairwise
+//! shared secret to the serialized tuple batch before export (§5.1, §8).
+//! CTR mode is used here so ciphertext length equals plaintext length plus a
+//! 16-byte nonce prefix, which keeps the communication-overhead accounting in
+//! the benchmark harness straightforward.
+
+use crate::error::CryptoError;
+
+/// AES block size in bytes.
+pub const BLOCK_SIZE: usize = 16;
+
+/// AES-128 key size in bytes.
+pub const KEY_SIZE: usize = 16;
+
+/// The AES S-box.
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
+    0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
+    0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75,
+    0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84,
+    0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8,
+    0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2,
+    0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb,
+    0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+    0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a,
+    0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e,
+    0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
+];
+
+/// Round constants for the AES-128 key schedule.
+const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+
+/// Multiply two elements of GF(2^8) with the AES reduction polynomial.
+fn gmul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    for _ in 0..8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        let hi = a & 0x80;
+        a <<= 1;
+        if hi != 0 {
+            a ^= 0x1b;
+        }
+        b >>= 1;
+    }
+    p
+}
+
+/// An expanded AES-128 key ready for block encryption.
+#[derive(Debug, Clone)]
+pub struct Aes128 {
+    /// 11 round keys of 16 bytes each.
+    round_keys: [[u8; 16]; 11],
+}
+
+impl Aes128 {
+    /// Expand a 16-byte key.
+    pub fn new(key: &[u8; KEY_SIZE]) -> Self {
+        let mut w = [[0u8; 4]; 44];
+        for i in 0..4 {
+            w[i] = [key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]];
+        }
+        for i in 4..44 {
+            let mut temp = w[i - 1];
+            if i % 4 == 0 {
+                temp.rotate_left(1);
+                for byte in temp.iter_mut() {
+                    *byte = SBOX[*byte as usize];
+                }
+                temp[0] ^= RCON[i / 4 - 1];
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - 4][j] ^ temp[j];
+            }
+        }
+        let mut round_keys = [[0u8; 16]; 11];
+        for (round, rk) in round_keys.iter_mut().enumerate() {
+            for col in 0..4 {
+                rk[4 * col..4 * col + 4].copy_from_slice(&w[round * 4 + col]);
+            }
+        }
+        Aes128 { round_keys }
+    }
+
+    /// Build a cipher from an arbitrary-length shared secret by hashing it
+    /// down to 16 bytes with SHA-1 (the paper uses 128-bit random shared
+    /// secrets; this keeps arbitrary-length secrets usable in tests).
+    pub fn from_secret(secret: &[u8]) -> Self {
+        if secret.len() == KEY_SIZE {
+            let mut key = [0u8; KEY_SIZE];
+            key.copy_from_slice(secret);
+            Self::new(&key)
+        } else {
+            let digest = crate::sha1::sha1(secret);
+            let mut key = [0u8; KEY_SIZE];
+            key.copy_from_slice(&digest[..KEY_SIZE]);
+            Self::new(&key)
+        }
+    }
+
+    /// Encrypt a single 16-byte block in place.
+    pub fn encrypt_block(&self, block: &mut [u8; BLOCK_SIZE]) {
+        add_round_key(block, &self.round_keys[0]);
+        for round in 1..10 {
+            sub_bytes(block);
+            shift_rows(block);
+            mix_columns(block);
+            add_round_key(block, &self.round_keys[round]);
+        }
+        sub_bytes(block);
+        shift_rows(block);
+        add_round_key(block, &self.round_keys[10]);
+    }
+}
+
+fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+    for i in 0..16 {
+        state[i] ^= rk[i];
+    }
+}
+
+fn sub_bytes(state: &mut [u8; 16]) {
+    for byte in state.iter_mut() {
+        *byte = SBOX[*byte as usize];
+    }
+}
+
+/// State is column-major: byte `r + 4c` is row `r`, column `c`.
+fn shift_rows(state: &mut [u8; 16]) {
+    let copy = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[r + 4 * c] = copy[r + 4 * ((c + r) % 4)];
+        }
+    }
+}
+
+fn mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        state[4 * c] = gmul(col[0], 2) ^ gmul(col[1], 3) ^ col[2] ^ col[3];
+        state[4 * c + 1] = col[0] ^ gmul(col[1], 2) ^ gmul(col[2], 3) ^ col[3];
+        state[4 * c + 2] = col[0] ^ col[1] ^ gmul(col[2], 2) ^ gmul(col[3], 3);
+        state[4 * c + 3] = gmul(col[0], 3) ^ col[1] ^ col[2] ^ gmul(col[3], 2);
+    }
+}
+
+/// Generate the CTR keystream block for counter `ctr` under `nonce`.
+fn keystream_block(cipher: &Aes128, nonce: &[u8; 8], ctr: u64) -> [u8; BLOCK_SIZE] {
+    let mut block = [0u8; BLOCK_SIZE];
+    block[..8].copy_from_slice(nonce);
+    block[8..].copy_from_slice(&ctr.to_be_bytes());
+    cipher.encrypt_block(&mut block);
+    block
+}
+
+/// Encrypt `plaintext` under `secret` with AES-128-CTR.
+///
+/// Output layout: `nonce (8 bytes) || ciphertext (len(plaintext) bytes)`.
+/// The nonce is derived deterministically from the plaintext and secret so
+/// that repeated simulation runs are reproducible; uniqueness per (secret,
+/// plaintext) pair is what CTR needs here because messages are never replayed
+/// with the same content on the same pairwise key within a run.
+pub fn aes128_ctr_encrypt(secret: &[u8], plaintext: &[u8]) -> Vec<u8> {
+    let cipher = Aes128::from_secret(secret);
+    let digest = crate::sha1::sha1(&[secret, plaintext, &plaintext.len().to_be_bytes()].concat());
+    let mut nonce = [0u8; 8];
+    nonce.copy_from_slice(&digest[..8]);
+
+    let mut out = Vec::with_capacity(8 + plaintext.len());
+    out.extend_from_slice(&nonce);
+    for (i, chunk) in plaintext.chunks(BLOCK_SIZE).enumerate() {
+        let ks = keystream_block(&cipher, &nonce, i as u64);
+        for (j, &byte) in chunk.iter().enumerate() {
+            out.push(byte ^ ks[j]);
+        }
+    }
+    out
+}
+
+/// Decrypt data produced by [`aes128_ctr_encrypt`].
+pub fn aes128_ctr_decrypt(secret: &[u8], data: &[u8]) -> Result<Vec<u8>, CryptoError> {
+    if data.len() < 8 {
+        return Err(CryptoError::MalformedCiphertext(format!(
+            "ciphertext of {} bytes is shorter than the 8-byte nonce",
+            data.len()
+        )));
+    }
+    let cipher = Aes128::from_secret(secret);
+    let mut nonce = [0u8; 8];
+    nonce.copy_from_slice(&data[..8]);
+    let body = &data[8..];
+
+    let mut out = Vec::with_capacity(body.len());
+    for (i, chunk) in body.chunks(BLOCK_SIZE).enumerate() {
+        let ks = keystream_block(&cipher, &nonce, i as u64);
+        for (j, &byte) in chunk.iter().enumerate() {
+            out.push(byte ^ ks[j]);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// FIPS-197 Appendix B known-answer test.
+    #[test]
+    fn fips197_block() {
+        let key: [u8; 16] = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let mut block: [u8; 16] = [
+            0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+            0x07, 0x34,
+        ];
+        let expected: [u8; 16] = [
+            0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a,
+            0x0b, 0x32,
+        ];
+        Aes128::new(&key).encrypt_block(&mut block);
+        assert_eq!(block, expected);
+    }
+
+    /// NIST SP 800-38A F.5.1 AES-128 CTR keystream check (first block).
+    #[test]
+    fn sp800_38a_ctr_first_block() {
+        let key: [u8; 16] = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let mut counter: [u8; 16] = [
+            0xf0, 0xf1, 0xf2, 0xf3, 0xf4, 0xf5, 0xf6, 0xf7, 0xf8, 0xf9, 0xfa, 0xfb, 0xfc, 0xfd,
+            0xfe, 0xff,
+        ];
+        let plaintext: [u8; 16] = [
+            0x6b, 0xc1, 0xbe, 0xe2, 0x2e, 0x40, 0x9f, 0x96, 0xe9, 0x3d, 0x7e, 0x11, 0x73, 0x93,
+            0x17, 0x2a,
+        ];
+        let expected: [u8; 16] = [
+            0x87, 0x4d, 0x61, 0x91, 0xb6, 0x20, 0xe3, 0x26, 0x1b, 0xef, 0x68, 0x64, 0x99, 0x0d,
+            0xb6, 0xce,
+        ];
+        Aes128::new(&key).encrypt_block(&mut counter);
+        let ct: Vec<u8> = plaintext.iter().zip(counter.iter()).map(|(p, k)| p ^ k).collect();
+        assert_eq!(ct, expected);
+    }
+
+    #[test]
+    fn ctr_roundtrip_various_lengths() {
+        let secret = b"128-bit shared secret key paper";
+        for len in [0usize, 1, 15, 16, 17, 31, 32, 33, 100, 1000, 4096] {
+            let plaintext: Vec<u8> = (0..len).map(|i| (i * 7 % 251) as u8).collect();
+            let ct = aes128_ctr_encrypt(secret, &plaintext);
+            assert_eq!(ct.len(), plaintext.len() + 8, "len {len}");
+            let pt = aes128_ctr_decrypt(secret, &ct).unwrap();
+            assert_eq!(pt, plaintext, "len {len}");
+        }
+    }
+
+    #[test]
+    fn decrypt_rejects_short_input() {
+        assert!(aes128_ctr_decrypt(b"k", &[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn wrong_key_scrambles() {
+        let ct = aes128_ctr_encrypt(b"key-one", b"reachable(n1, n2)");
+        let pt = aes128_ctr_decrypt(b"key-two", &ct).unwrap();
+        assert_ne!(pt, b"reachable(n1, n2)".to_vec());
+    }
+
+    #[test]
+    fn from_secret_handles_any_length() {
+        let c1 = Aes128::from_secret(b"short");
+        let c2 = Aes128::from_secret(b"exactly-16-bytes");
+        let mut b1 = [0u8; 16];
+        let mut b2 = [0u8; 16];
+        c1.encrypt_block(&mut b1);
+        c2.encrypt_block(&mut b2);
+        assert_ne!(b1, b2);
+    }
+}

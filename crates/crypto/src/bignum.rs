@@ -1,0 +1,804 @@
+//! Arbitrary-precision unsigned integers.
+//!
+//! Only the operations needed by RSA are implemented: comparison, addition,
+//! subtraction, multiplication, division with remainder, modular
+//! exponentiation, modular inverse, and Miller–Rabin primality testing.
+//! Limbs are 32-bit, stored little-endian, so all intermediate products fit
+//! in `u64` without overflow.
+
+use rand::Rng;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An arbitrary-precision unsigned integer.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BigUint {
+    /// Little-endian 32-bit limbs with no trailing zero limbs (canonical form);
+    /// zero is represented by an empty limb vector.
+    limbs: Vec<u32>,
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigUint(0x{})", self.to_hex())
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{}", self.to_hex())
+    }
+}
+
+impl BigUint {
+    /// Zero.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// One.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// Construct from a `u64`.
+    pub fn from_u64(value: u64) -> Self {
+        let mut out = BigUint {
+            limbs: vec![value as u32, (value >> 32) as u32],
+        };
+        out.normalize();
+        out
+    }
+
+    /// Construct from big-endian bytes.
+    pub fn from_bytes_be(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len() / 4 + 1);
+        let mut iter = bytes.rchunks(4);
+        for chunk in &mut iter {
+            let mut limb = 0u32;
+            for &byte in chunk {
+                limb = (limb << 8) | byte as u32;
+            }
+            limbs.push(limb);
+        }
+        let mut out = BigUint { limbs };
+        out.normalize();
+        out
+    }
+
+    /// Big-endian byte representation without leading zero bytes (empty for zero).
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        if self.is_zero() {
+            return Vec::new();
+        }
+        let mut bytes = Vec::with_capacity(self.limbs.len() * 4);
+        for limb in self.limbs.iter().rev() {
+            bytes.extend_from_slice(&limb.to_be_bytes());
+        }
+        let first_nonzero = bytes.iter().position(|&b| b != 0).unwrap_or(bytes.len());
+        bytes.split_off(first_nonzero)
+    }
+
+    /// Big-endian bytes left-padded with zeros to exactly `len` bytes.
+    /// Panics if the value does not fit.
+    pub fn to_bytes_be_padded(&self, len: usize) -> Vec<u8> {
+        let bytes = self.to_bytes_be();
+        assert!(bytes.len() <= len, "value does not fit in {len} bytes");
+        let mut out = vec![0u8; len - bytes.len()];
+        out.extend_from_slice(&bytes);
+        out
+    }
+
+    /// Lowercase hexadecimal representation without a `0x` prefix.
+    pub fn to_hex(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        let mut s = String::new();
+        for (i, limb) in self.limbs.iter().rev().enumerate() {
+            if i == 0 {
+                s.push_str(&format!("{limb:x}"));
+            } else {
+                s.push_str(&format!("{limb:08x}"));
+            }
+        }
+        s
+    }
+
+    /// Parse a hexadecimal string (no prefix).
+    pub fn from_hex(s: &str) -> Option<Self> {
+        let mut bytes = Vec::with_capacity(s.len() / 2 + 1);
+        let s = if s.len() % 2 == 1 {
+            format!("0{s}")
+        } else {
+            s.to_string()
+        };
+        for i in (0..s.len()).step_by(2) {
+            bytes.push(u8::from_str_radix(&s[i..i + 2], 16).ok()?);
+        }
+        Some(Self::from_bytes_be(&bytes))
+    }
+
+    /// True if this value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// True if this value is even.
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().map_or(true, |l| l & 1 == 0)
+    }
+
+    /// Number of significant bits.
+    pub fn bits(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => (self.limbs.len() - 1) * 32 + (32 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// Test bit `i` (zero-based from the least significant bit).
+    pub fn bit(&self, i: usize) -> bool {
+        let limb = i / 32;
+        let offset = i % 32;
+        self.limbs.get(limb).map_or(false, |l| (l >> offset) & 1 == 1)
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// Addition.
+    pub fn add(&self, other: &BigUint) -> BigUint {
+        let (long, short) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..long.len() {
+            let sum = long[i] as u64 + short.get(i).copied().unwrap_or(0) as u64 + carry;
+            out.push(sum as u32);
+            carry = sum >> 32;
+        }
+        if carry != 0 {
+            out.push(carry as u32);
+        }
+        let mut result = BigUint { limbs: out };
+        result.normalize();
+        result
+    }
+
+    /// Subtraction; panics if `other > self`.
+    pub fn sub(&self, other: &BigUint) -> BigUint {
+        assert!(self.cmp(other) != Ordering::Less, "BigUint subtraction underflow");
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0i64;
+        for i in 0..self.limbs.len() {
+            let diff = self.limbs[i] as i64 - other.limbs.get(i).copied().unwrap_or(0) as i64 - borrow;
+            if diff < 0 {
+                out.push((diff + (1i64 << 32)) as u32);
+                borrow = 1;
+            } else {
+                out.push(diff as u32);
+                borrow = 0;
+            }
+        }
+        let mut result = BigUint { limbs: out };
+        result.normalize();
+        result
+    }
+
+    /// Multiplication (schoolbook).
+    pub fn mul(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u32; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u64;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let cur = out[i + j] as u64 + a as u64 * b as u64 + carry;
+                out[i + j] = cur as u32;
+                carry = cur >> 32;
+            }
+            let mut k = i + other.limbs.len();
+            while carry != 0 {
+                let cur = out[k] as u64 + carry;
+                out[k] = cur as u32;
+                carry = cur >> 32;
+                k += 1;
+            }
+        }
+        let mut result = BigUint { limbs: out };
+        result.normalize();
+        result
+    }
+
+    /// Shift left by `bits`.
+    pub fn shl(&self, bits: usize) -> BigUint {
+        if self.is_zero() {
+            return BigUint::zero();
+        }
+        let limb_shift = bits / 32;
+        let bit_shift = bits % 32;
+        let mut out = vec![0u32; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u32;
+            for &limb in &self.limbs {
+                out.push((limb << bit_shift) | carry);
+                carry = (limb >> (32 - bit_shift)) as u32;
+            }
+            if carry != 0 {
+                out.push(carry);
+            }
+        }
+        let mut result = BigUint { limbs: out };
+        result.normalize();
+        result
+    }
+
+    /// Shift right by `bits`.
+    pub fn shr(&self, bits: usize) -> BigUint {
+        let limb_shift = bits / 32;
+        let bit_shift = bits % 32;
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() - limb_shift);
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs[limb_shift..]);
+        } else {
+            for i in limb_shift..self.limbs.len() {
+                let mut limb = self.limbs[i] >> bit_shift;
+                if i + 1 < self.limbs.len() {
+                    limb |= self.limbs[i + 1] << (32 - bit_shift);
+                }
+                out.push(limb);
+            }
+        }
+        let mut result = BigUint { limbs: out };
+        result.normalize();
+        result
+    }
+
+    /// Comparison.
+    pub fn cmp(&self, other: &BigUint) -> Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+            match a.cmp(b) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Division with remainder (binary long division).
+    pub fn div_rem(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        assert!(!divisor.is_zero(), "division by zero");
+        if self.cmp(divisor) == Ordering::Less {
+            return (BigUint::zero(), self.clone());
+        }
+        // Fast path for single-limb divisors.
+        if divisor.limbs.len() == 1 {
+            let d = divisor.limbs[0] as u64;
+            let mut quotient = vec![0u32; self.limbs.len()];
+            let mut rem = 0u64;
+            for i in (0..self.limbs.len()).rev() {
+                let cur = (rem << 32) | self.limbs[i] as u64;
+                quotient[i] = (cur / d) as u32;
+                rem = cur % d;
+            }
+            let mut q = BigUint { limbs: quotient };
+            q.normalize();
+            return (q, BigUint::from_u64(rem));
+        }
+
+        let shift = self.bits() - divisor.bits();
+        let mut remainder = self.clone();
+        let mut quotient = BigUint::zero();
+        let mut shifted = divisor.shl(shift);
+        for i in (0..=shift).rev() {
+            if remainder.cmp(&shifted) != Ordering::Less {
+                remainder = remainder.sub(&shifted);
+                quotient = quotient.set_bit(i);
+            }
+            shifted = shifted.shr(1);
+        }
+        (quotient, remainder)
+    }
+
+    /// Return a copy with bit `i` set.
+    fn set_bit(&self, i: usize) -> BigUint {
+        let limb = i / 32;
+        let offset = i % 32;
+        let mut limbs = self.limbs.clone();
+        if limbs.len() <= limb {
+            limbs.resize(limb + 1, 0);
+        }
+        limbs[limb] |= 1 << offset;
+        let mut out = BigUint { limbs };
+        out.normalize();
+        out
+    }
+
+    /// `self mod modulus`.
+    pub fn rem(&self, modulus: &BigUint) -> BigUint {
+        self.div_rem(modulus).1
+    }
+
+    /// Modular multiplication.
+    pub fn mulmod(&self, other: &BigUint, modulus: &BigUint) -> BigUint {
+        self.mul(other).rem(modulus)
+    }
+
+    /// Modular exponentiation via square-and-multiply.
+    ///
+    /// Odd moduli (every RSA modulus and Miller–Rabin candidate) take a
+    /// Montgomery-multiplication fast path; even moduli fall back to repeated
+    /// `mulmod`, which reduces with long division.
+    pub fn modpow(&self, exponent: &BigUint, modulus: &BigUint) -> BigUint {
+        assert!(!modulus.is_zero(), "modpow with zero modulus");
+        if modulus.cmp(&BigUint::one()) == Ordering::Equal {
+            return BigUint::zero();
+        }
+        if !modulus.is_even() {
+            return self.modpow_montgomery(exponent, modulus);
+        }
+        let mut result = BigUint::one();
+        let mut base = self.rem(modulus);
+        for i in 0..exponent.bits() {
+            if exponent.bit(i) {
+                result = result.mulmod(&base, modulus);
+            }
+            base = base.mulmod(&base, modulus);
+        }
+        result
+    }
+
+    /// Montgomery-form modular exponentiation for odd moduli.
+    fn modpow_montgomery(&self, exponent: &BigUint, modulus: &BigUint) -> BigUint {
+        let l = modulus.limbs.len();
+        let n = &modulus.limbs;
+        let n0inv = montgomery_n0inv(n[0]);
+
+        // R = 2^(32·l); enter the Montgomery domain with two slow reductions.
+        let r_mod_n = BigUint::one().shl(32 * l).rem(modulus);
+        let base_mont = self.rem(modulus).shl(32 * l).rem(modulus);
+
+        let pad = |value: &BigUint| -> Vec<u32> {
+            let mut limbs = value.limbs.clone();
+            limbs.resize(l, 0);
+            limbs
+        };
+        let mut result = pad(&r_mod_n);
+        let mut base = pad(&base_mont);
+        for i in 0..exponent.bits() {
+            if exponent.bit(i) {
+                result = montgomery_mul(&result, &base, n, n0inv);
+            }
+            base = montgomery_mul(&base, &base, n, n0inv);
+        }
+        // Leave the Montgomery domain: multiply by 1.
+        let mut one = vec![0u32; l];
+        one[0] = 1;
+        let out = montgomery_mul(&result, &one, n, n0inv);
+        let mut value = BigUint { limbs: out };
+        value.normalize();
+        value
+    }
+
+    /// Greatest common divisor (Euclid).
+    pub fn gcd(&self, other: &BigUint) -> BigUint {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        while !b.is_zero() {
+            let r = a.rem(&b);
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// Modular inverse of `self` modulo `modulus`, if it exists.
+    ///
+    /// Uses the extended Euclidean algorithm over signed cofactors tracked as
+    /// (sign, magnitude) pairs.
+    pub fn modinv(&self, modulus: &BigUint) -> Option<BigUint> {
+        if modulus.is_zero() {
+            return None;
+        }
+        // Signed value as (negative?, magnitude).
+        type Signed = (bool, BigUint);
+        fn sub_signed(a: &Signed, b: &Signed) -> Signed {
+            match (a.0, b.0) {
+                (false, false) => {
+                    if a.1.cmp(&b.1) != Ordering::Less {
+                        (false, a.1.sub(&b.1))
+                    } else {
+                        (true, b.1.sub(&a.1))
+                    }
+                }
+                (true, true) => {
+                    if b.1.cmp(&a.1) != Ordering::Less {
+                        (false, b.1.sub(&a.1))
+                    } else {
+                        (true, a.1.sub(&b.1))
+                    }
+                }
+                (false, true) => (false, a.1.add(&b.1)),
+                (true, false) => (true, a.1.add(&b.1)),
+            }
+        }
+        fn mul_signed(a: &Signed, b: &BigUint) -> Signed {
+            (a.0, a.1.mul(b))
+        }
+
+        let mut old_r = self.rem(modulus);
+        let mut r = modulus.clone();
+        // Invariant: old_r = old_s * self (mod modulus), r = s * self (mod modulus)
+        let mut old_s: Signed = (false, BigUint::one());
+        let mut s: Signed = (false, BigUint::zero());
+
+        while !r.is_zero() {
+            let (q, rem) = old_r.div_rem(&r);
+            old_r = std::mem::replace(&mut r, rem);
+            let qs = mul_signed(&s, &q);
+            let new_s = sub_signed(&old_s, &qs);
+            old_s = std::mem::replace(&mut s, new_s);
+        }
+
+        if old_r.cmp(&BigUint::one()) != Ordering::Equal {
+            return None; // not coprime
+        }
+        // Bring old_s into [0, modulus).
+        let magnitude = old_s.1.rem(modulus);
+        if old_s.0 && !magnitude.is_zero() {
+            Some(modulus.sub(&magnitude))
+        } else {
+            Some(magnitude)
+        }
+    }
+
+    /// Generate a uniformly random value with exactly `bits` bits (top bit set).
+    pub fn random_bits<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> BigUint {
+        assert!(bits > 0);
+        let limbs_needed = bits.div_ceil(32);
+        let mut limbs: Vec<u32> = (0..limbs_needed).map(|_| rng.gen()).collect();
+        // Mask off excess bits, then force the top bit.
+        let top_bits = bits % 32;
+        if top_bits != 0 {
+            let mask = (1u64 << top_bits) - 1;
+            let last = limbs.last_mut().expect("at least one limb");
+            *last &= mask as u32;
+            *last |= 1 << (top_bits - 1);
+        } else {
+            let last = limbs.last_mut().expect("at least one limb");
+            *last |= 1 << 31;
+        }
+        let mut out = BigUint { limbs };
+        out.normalize();
+        out
+    }
+
+    /// Generate a uniformly random value in `[0, bound)` via rejection sampling.
+    pub fn random_below<R: Rng + ?Sized>(rng: &mut R, bound: &BigUint) -> BigUint {
+        assert!(!bound.is_zero());
+        let bits = bound.bits();
+        loop {
+            let limbs_needed = bits.div_ceil(32);
+            let mut limbs: Vec<u32> = (0..limbs_needed).map(|_| rng.gen()).collect();
+            let top_bits = bits % 32;
+            if top_bits != 0 {
+                let mask = (1u64 << top_bits) - 1;
+                if let Some(last) = limbs.last_mut() {
+                    *last &= mask as u32;
+                }
+            }
+            let mut candidate = BigUint { limbs };
+            candidate.normalize();
+            if candidate.cmp(bound) == Ordering::Less {
+                return candidate;
+            }
+        }
+    }
+
+    /// Miller–Rabin probabilistic primality test with `rounds` random bases.
+    pub fn is_probably_prime<R: Rng + ?Sized>(&self, rng: &mut R, rounds: usize) -> bool {
+        let two = BigUint::from_u64(2);
+        let three = BigUint::from_u64(3);
+        if self.cmp(&two) == Ordering::Less {
+            return false;
+        }
+        if self.cmp(&two) == Ordering::Equal || self.cmp(&three) == Ordering::Equal {
+            return true;
+        }
+        if self.is_even() {
+            return false;
+        }
+
+        // Quick trial division by small primes.
+        const SMALL_PRIMES: [u64; 30] = [
+            3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83,
+            89, 97, 101, 103, 107, 109, 113, 127,
+        ];
+        for p in SMALL_PRIMES {
+            let bp = BigUint::from_u64(p);
+            if self.cmp(&bp) == Ordering::Equal {
+                return true;
+            }
+            if self.rem(&bp).is_zero() {
+                return false;
+            }
+        }
+
+        // Write self - 1 = d * 2^s with d odd.
+        let n_minus_1 = self.sub(&BigUint::one());
+        let mut d = n_minus_1.clone();
+        let mut s = 0usize;
+        while d.is_even() {
+            d = d.shr(1);
+            s += 1;
+        }
+
+        'witness: for _ in 0..rounds {
+            let a = BigUint::random_below(rng, &self.sub(&three)).add(&two);
+            let mut x = a.modpow(&d, self);
+            if x.cmp(&BigUint::one()) == Ordering::Equal || x.cmp(&n_minus_1) == Ordering::Equal {
+                continue 'witness;
+            }
+            for _ in 0..s - 1 {
+                x = x.mulmod(&x, self);
+                if x.cmp(&n_minus_1) == Ordering::Equal {
+                    continue 'witness;
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Generate a random probable prime with exactly `bits` bits.
+    pub fn random_prime<R: Rng + ?Sized>(rng: &mut R, bits: usize, mr_rounds: usize) -> BigUint {
+        loop {
+            let mut candidate = BigUint::random_bits(rng, bits);
+            // Force odd.
+            if candidate.is_even() {
+                candidate = candidate.add(&BigUint::one());
+            }
+            if candidate.is_probably_prime(rng, mr_rounds) {
+                return candidate;
+            }
+        }
+    }
+}
+
+/// `-n[0]^{-1} mod 2^32` for an odd least-significant limb, via Newton
+/// iteration on the 2-adic inverse.
+fn montgomery_n0inv(n0: u32) -> u32 {
+    debug_assert!(n0 & 1 == 1, "Montgomery reduction requires an odd modulus");
+    let mut inv = n0; // correct to 3 bits for odd n0
+    for _ in 0..5 {
+        inv = inv.wrapping_mul(2u32.wrapping_sub(n0.wrapping_mul(inv)));
+    }
+    inv.wrapping_neg()
+}
+
+/// CIOS Montgomery multiplication: returns `a · b · R⁻¹ mod n` where
+/// `R = 2^(32·n.len())`.  `a` and `b` must have exactly `n.len()` limbs.
+fn montgomery_mul(a: &[u32], b: &[u32], n: &[u32], n0inv: u32) -> Vec<u32> {
+    let l = n.len();
+    debug_assert_eq!(a.len(), l);
+    debug_assert_eq!(b.len(), l);
+    let mut t = vec![0u32; l + 2];
+    for &ai in a.iter() {
+        // t += ai · b
+        let ai = ai as u64;
+        let mut carry = 0u64;
+        for j in 0..l {
+            let cur = t[j] as u64 + ai * b[j] as u64 + carry;
+            t[j] = cur as u32;
+            carry = cur >> 32;
+        }
+        let cur = t[l] as u64 + carry;
+        t[l] = cur as u32;
+        t[l + 1] = (cur >> 32) as u32;
+
+        // m chosen so that (t + m·n) is divisible by 2^32.
+        let m = t[0].wrapping_mul(n0inv) as u64;
+        let cur = t[0] as u64 + m * n[0] as u64;
+        let mut carry = cur >> 32;
+        for j in 1..l {
+            let cur = t[j] as u64 + m * n[j] as u64 + carry;
+            t[j - 1] = cur as u32;
+            carry = cur >> 32;
+        }
+        let cur = t[l] as u64 + carry;
+        t[l - 1] = cur as u32;
+        carry = cur >> 32;
+        t[l] = (t[l + 1] as u64 + carry) as u32;
+        t[l + 1] = 0;
+    }
+    // t[0..=l] now holds the reduced product, strictly less than 2n.
+    let needs_sub = t[l] != 0 || {
+        // Compare t[0..l] with n from the most significant limb down.
+        let mut greater_or_equal = true;
+        for j in (0..l).rev() {
+            match t[j].cmp(&n[j]) {
+                Ordering::Greater => break,
+                Ordering::Equal => continue,
+                Ordering::Less => {
+                    greater_or_equal = false;
+                    break;
+                }
+            }
+        }
+        greater_or_equal
+    };
+    let mut out = vec![0u32; l];
+    if needs_sub {
+        let mut borrow = 0i64;
+        for j in 0..l {
+            let diff = t[j] as i64 - n[j] as i64 - borrow;
+            if diff < 0 {
+                out[j] = (diff + (1i64 << 32)) as u32;
+                borrow = 1;
+            } else {
+                out[j] = diff as u32;
+                borrow = 0;
+            }
+        }
+        // Any final borrow is absorbed by t[l] (t < 2n guarantees this).
+    } else {
+        out.copy_from_slice(&t[..l]);
+    }
+    out
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn big(v: u64) -> BigUint {
+        BigUint::from_u64(v)
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = big(0xFFFF_FFFF_FFFF_FFFF);
+        let b = big(12345);
+        let sum = a.add(&b);
+        assert_eq!(sum.sub(&b).cmp(&a), Ordering::Equal);
+        assert_eq!(sum.sub(&a).cmp(&b), Ordering::Equal);
+    }
+
+    #[test]
+    fn mul_small_values() {
+        assert_eq!(big(1000).mul(&big(1000)).cmp(&big(1_000_000)), Ordering::Equal);
+        assert_eq!(big(0).mul(&big(77)).cmp(&BigUint::zero()), Ordering::Equal);
+        let a = big(0xFFFF_FFFF);
+        assert_eq!(
+            a.mul(&a).cmp(&big(0xFFFF_FFFE_0000_0001)),
+            Ordering::Equal
+        );
+    }
+
+    #[test]
+    fn div_rem_matches_u64() {
+        let cases = [(100u64, 7u64), (0, 5), (12345678901234567, 9876543), (u64::MAX, 3)];
+        for (a, b) in cases {
+            let (q, r) = big(a).div_rem(&big(b));
+            assert_eq!(q.cmp(&big(a / b)), Ordering::Equal, "{a}/{b}");
+            assert_eq!(r.cmp(&big(a % b)), Ordering::Equal, "{a}%{b}");
+        }
+    }
+
+    #[test]
+    fn shifts() {
+        let a = big(0b1011);
+        assert_eq!(a.shl(3).cmp(&big(0b1011000)), Ordering::Equal);
+        assert_eq!(a.shr(2).cmp(&big(0b10)), Ordering::Equal);
+        assert_eq!(a.shl(40).shr(40).cmp(&a), Ordering::Equal);
+        assert!(a.shr(100).is_zero());
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let a = BigUint::from_bytes_be(&[0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09]);
+        assert_eq!(a.to_bytes_be(), vec![0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09]);
+        assert_eq!(a.to_bytes_be_padded(12)[..3], [0, 0, 0]);
+        assert!(BigUint::from_bytes_be(&[0, 0, 0]).is_zero());
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let a = BigUint::from_hex("deadbeef0123456789abcdef").unwrap();
+        assert_eq!(a.to_hex(), "deadbeef0123456789abcdef");
+        assert_eq!(BigUint::zero().to_hex(), "0");
+    }
+
+    #[test]
+    fn modpow_small() {
+        // 4^13 mod 497 = 445
+        assert_eq!(
+            big(4).modpow(&big(13), &big(497)).cmp(&big(445)),
+            Ordering::Equal
+        );
+        // Fermat: a^(p-1) = 1 mod p for prime p
+        let p = big(1_000_000_007);
+        assert_eq!(
+            big(123456).modpow(&p.sub(&BigUint::one()), &p).cmp(&BigUint::one()),
+            Ordering::Equal
+        );
+    }
+
+    #[test]
+    fn gcd_and_modinv() {
+        assert_eq!(big(54).gcd(&big(24)).cmp(&big(6)), Ordering::Equal);
+        let inv = big(3).modinv(&big(11)).unwrap();
+        assert_eq!(inv.cmp(&big(4)), Ordering::Equal);
+        assert!(big(6).modinv(&big(9)).is_none());
+        // e * d = 1 mod phi for RSA-style values
+        let e = big(65537);
+        let phi = big(3120);
+        if let Some(d) = e.modinv(&phi) {
+            assert_eq!(e.mulmod(&d, &phi).cmp(&BigUint::one()), Ordering::Equal);
+        }
+    }
+
+    #[test]
+    fn primality_known_values() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for p in [2u64, 3, 5, 7, 104729, 1_000_000_007] {
+            assert!(big(p).is_probably_prime(&mut rng, 16), "{p} should be prime");
+        }
+        for c in [1u64, 4, 100, 104730, 1_000_000_008, 561, 41041] {
+            assert!(!big(c).is_probably_prime(&mut rng, 16), "{c} should be composite");
+        }
+    }
+
+    #[test]
+    fn random_prime_has_requested_size() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let p = BigUint::random_prime(&mut rng, 64, 12);
+        assert_eq!(p.bits(), 64);
+        assert!(p.is_probably_prime(&mut rng, 16));
+    }
+
+    #[test]
+    fn random_below_stays_below() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let bound = big(1000);
+        for _ in 0..200 {
+            let v = BigUint::random_below(&mut rng, &bound);
+            assert!(v.cmp(&bound) == Ordering::Less);
+        }
+    }
+
+    #[test]
+    fn bits_and_bit_access() {
+        let a = big(0b10100);
+        assert_eq!(a.bits(), 5);
+        assert!(a.bit(2));
+        assert!(a.bit(4));
+        assert!(!a.bit(0));
+        assert!(!a.bit(100));
+        assert_eq!(BigUint::zero().bits(), 0);
+    }
+}

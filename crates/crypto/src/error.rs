@@ -1,0 +1,51 @@
+//! Error type shared by the cryptographic primitives.
+
+use std::fmt;
+
+/// Errors raised by the cryptographic substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CryptoError {
+    /// A signature failed to verify against the supplied key and message.
+    InvalidSignature,
+    /// Ciphertext was malformed (e.g. shorter than the nonce prefix).
+    MalformedCiphertext(String),
+    /// A key had an unexpected length or structure.
+    InvalidKey(String),
+    /// Key generation failed to find suitable parameters within its budget.
+    KeyGeneration(String),
+    /// The requested principal has no key material in the key store.
+    UnknownPrincipal(String),
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::InvalidSignature => write!(f, "signature verification failed"),
+            CryptoError::MalformedCiphertext(msg) => write!(f, "malformed ciphertext: {msg}"),
+            CryptoError::InvalidKey(msg) => write!(f, "invalid key: {msg}"),
+            CryptoError::KeyGeneration(msg) => write!(f, "key generation failed: {msg}"),
+            CryptoError::UnknownPrincipal(p) => write!(f, "no key material for principal {p}"),
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            CryptoError::InvalidSignature.to_string(),
+            "signature verification failed"
+        );
+        assert!(CryptoError::UnknownPrincipal("n1".into())
+            .to_string()
+            .contains("n1"));
+        assert!(CryptoError::MalformedCiphertext("too short".into())
+            .to_string()
+            .contains("too short"));
+    }
+}

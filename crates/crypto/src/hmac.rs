@@ -1,0 +1,102 @@
+//! HMAC-SHA1 (RFC 2104).
+//!
+//! The paper's HMAC authentication scheme derives a 20-byte tag by applying
+//! SHA-1 to a combination of the pairwise shared secret and the serialized
+//! batch of tuples (§8.1).  Keys of any length are supported: keys longer
+//! than the 64-byte SHA-1 block are first hashed, shorter keys are
+//! zero-padded, as the RFC specifies.
+
+use crate::sha1::{sha1, Sha1, BLOCK_LEN, DIGEST_LEN};
+
+/// Compute the HMAC-SHA1 tag of `message` under `key`.
+pub fn hmac_sha1(key: &[u8], message: &[u8]) -> [u8; DIGEST_LEN] {
+    let mut key_block = [0u8; BLOCK_LEN];
+    if key.len() > BLOCK_LEN {
+        let digest = sha1(key);
+        key_block[..DIGEST_LEN].copy_from_slice(&digest);
+    } else {
+        key_block[..key.len()].copy_from_slice(key);
+    }
+
+    let mut ipad = [0x36u8; BLOCK_LEN];
+    let mut opad = [0x5cu8; BLOCK_LEN];
+    for i in 0..BLOCK_LEN {
+        ipad[i] ^= key_block[i];
+        opad[i] ^= key_block[i];
+    }
+
+    let mut inner = Sha1::new();
+    inner.update(&ipad);
+    inner.update(message);
+    let inner_digest = inner.finalize();
+
+    let mut outer = Sha1::new();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finalize()
+}
+
+/// Verify an HMAC-SHA1 tag.  Comparison is over the full tag length; a
+/// truncated or padded tag never verifies.
+pub fn hmac_sha1_verify(key: &[u8], message: &[u8], tag: &[u8]) -> bool {
+    if tag.len() != DIGEST_LEN {
+        return false;
+    }
+    let expected = hmac_sha1(key, message);
+    // Constant-time-ish comparison: accumulate differences rather than
+    // early-returning on the first mismatching byte.
+    let mut diff = 0u8;
+    for (a, b) in expected.iter().zip(tag.iter()) {
+        diff |= a ^ b;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha1::to_hex;
+
+    // RFC 2202 test vectors for HMAC-SHA1.
+    #[test]
+    fn rfc2202_case_1() {
+        let key = [0x0b; 20];
+        let tag = hmac_sha1(&key, b"Hi There");
+        assert_eq!(to_hex(&tag), "b617318655057264e28bc0b6fb378c8ef146be00");
+    }
+
+    #[test]
+    fn rfc2202_case_2() {
+        let tag = hmac_sha1(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(to_hex(&tag), "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79");
+    }
+
+    #[test]
+    fn rfc2202_case_3() {
+        let key = [0xaa; 20];
+        let data = [0xdd; 50];
+        let tag = hmac_sha1(&key, &data);
+        assert_eq!(to_hex(&tag), "125d7342b9ac11cd91a39af48aa17b4f63f175d3");
+    }
+
+    #[test]
+    fn rfc2202_case_6_long_key() {
+        let key = [0xaa; 80];
+        let tag = hmac_sha1(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(to_hex(&tag), "aa4ae5e15272d00e95705637ce8a3b55ed402112");
+    }
+
+    #[test]
+    fn verify_accepts_and_rejects() {
+        let key = b"pairwise-shared-secret";
+        let msg = b"path(p1, n1, n3, 2)";
+        let tag = hmac_sha1(key, msg);
+        assert!(hmac_sha1_verify(key, msg, &tag));
+        assert!(!hmac_sha1_verify(key, b"path(p1, n1, n3, 3)", &tag));
+        assert!(!hmac_sha1_verify(b"other-secret", msg, &tag));
+        let mut tampered = tag;
+        tampered[0] ^= 1;
+        assert!(!hmac_sha1_verify(key, msg, &tampered));
+        assert!(!hmac_sha1_verify(key, msg, &tag[..19]));
+    }
+}

@@ -1,0 +1,300 @@
+//! RSA key generation, signing, and verification.
+//!
+//! The paper's strongest authentication scheme "signs a SHA-1 digest of the
+//! data with the private key of the sender" using 1024-bit keys (§8.1).  The
+//! construction here is textbook RSA with a minimal PKCS#1-v1.5-style
+//! encoding of the SHA-1 digest: `0x00 0x01 0xFF…0xFF 0x00 <digest>`.
+//!
+//! Signature length equals the modulus length in bytes, which is exactly the
+//! per-message size overhead the paper attributes to RSA in Figure 6.
+
+use crate::bignum::BigUint;
+use crate::error::CryptoError;
+use crate::sha1::{sha1, DIGEST_LEN};
+use rand::Rng;
+use std::cmp::Ordering;
+
+/// Default public exponent.
+const PUBLIC_EXPONENT: u64 = 65_537;
+
+/// Miller–Rabin rounds used during key generation.
+const MR_ROUNDS: usize = 16;
+
+/// An RSA public key (modulus and public exponent).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RsaPublicKey {
+    n: BigUint,
+    e: BigUint,
+    modulus_bytes: usize,
+}
+
+/// An RSA key pair.
+#[derive(Debug, Clone)]
+pub struct RsaKeyPair {
+    public: RsaPublicKey,
+    d: BigUint,
+}
+
+/// A detached RSA signature (big-endian, exactly modulus-length bytes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RsaSignature(pub Vec<u8>);
+
+impl RsaPublicKey {
+    /// The modulus size in bytes (and hence the signature size).
+    pub fn modulus_bytes(&self) -> usize {
+        self.modulus_bytes
+    }
+
+    /// The modulus size in bits.
+    pub fn modulus_bits(&self) -> usize {
+        self.n.bits()
+    }
+
+    /// Serialize the public key as `modulus_bytes || n || e` for transport.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let n_bytes = self.n.to_bytes_be();
+        let e_bytes = self.e.to_bytes_be();
+        let mut out = Vec::with_capacity(8 + n_bytes.len() + e_bytes.len());
+        out.extend_from_slice(&(n_bytes.len() as u32).to_be_bytes());
+        out.extend_from_slice(&n_bytes);
+        out.extend_from_slice(&(e_bytes.len() as u32).to_be_bytes());
+        out.extend_from_slice(&e_bytes);
+        out
+    }
+
+    /// Parse a public key serialized by [`RsaPublicKey::to_bytes`].
+    pub fn from_bytes(data: &[u8]) -> Result<Self, CryptoError> {
+        let err = || CryptoError::InvalidKey("truncated RSA public key encoding".into());
+        if data.len() < 4 {
+            return Err(err());
+        }
+        let n_len = u32::from_be_bytes([data[0], data[1], data[2], data[3]]) as usize;
+        if data.len() < 4 + n_len + 4 {
+            return Err(err());
+        }
+        let n = BigUint::from_bytes_be(&data[4..4 + n_len]);
+        let e_start = 4 + n_len;
+        let e_len = u32::from_be_bytes([
+            data[e_start],
+            data[e_start + 1],
+            data[e_start + 2],
+            data[e_start + 3],
+        ]) as usize;
+        if data.len() < e_start + 4 + e_len {
+            return Err(err());
+        }
+        let e = BigUint::from_bytes_be(&data[e_start + 4..e_start + 4 + e_len]);
+        if n.is_zero() || e.is_zero() {
+            return Err(CryptoError::InvalidKey("zero modulus or exponent".into()));
+        }
+        let modulus_bytes = n.bits().div_ceil(8);
+        Ok(RsaPublicKey { n, e, modulus_bytes })
+    }
+
+    /// Verify an RSA signature over the SHA-1 digest of `message`.
+    pub fn verify(&self, message: &[u8], signature: &RsaSignature) -> bool {
+        if signature.0.len() != self.modulus_bytes {
+            return false;
+        }
+        let sig_int = BigUint::from_bytes_be(&signature.0);
+        if sig_int.cmp(&self.n) != Ordering::Less {
+            return false;
+        }
+        let recovered = sig_int.modpow(&self.e, &self.n);
+        let expected = encode_digest(&sha1(message), self.modulus_bytes);
+        recovered.to_bytes_be_padded(self.modulus_bytes) == expected
+    }
+}
+
+impl RsaKeyPair {
+    /// Generate a fresh key pair with a modulus of roughly `bits` bits.
+    ///
+    /// `bits` must be at least 256 so the PKCS#1-style digest encoding fits.
+    pub fn generate<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> Result<Self, CryptoError> {
+        if bits < 256 {
+            return Err(CryptoError::KeyGeneration(format!(
+                "modulus of {bits} bits is too small to encode a SHA-1 digest"
+            )));
+        }
+        let e = BigUint::from_u64(PUBLIC_EXPONENT);
+        for _attempt in 0..64 {
+            let p = BigUint::random_prime(rng, bits / 2, MR_ROUNDS);
+            let q = BigUint::random_prime(rng, bits - bits / 2, MR_ROUNDS);
+            if p.cmp(&q) == Ordering::Equal {
+                continue;
+            }
+            let n = p.mul(&q);
+            let phi = p.sub(&BigUint::one()).mul(&q.sub(&BigUint::one()));
+            if phi.gcd(&e).cmp(&BigUint::one()) != Ordering::Equal {
+                continue;
+            }
+            let d = match e.modinv(&phi) {
+                Some(d) => d,
+                None => continue,
+            };
+            let modulus_bytes = n.bits().div_ceil(8);
+            return Ok(RsaKeyPair {
+                public: RsaPublicKey { n, e, modulus_bytes },
+                d,
+            });
+        }
+        Err(CryptoError::KeyGeneration(
+            "failed to find suitable primes within the attempt budget".into(),
+        ))
+    }
+
+    /// The public half of the key pair.
+    pub fn public_key(&self) -> &RsaPublicKey {
+        &self.public
+    }
+
+    /// Serialize the full key pair (public key followed by the private
+    /// exponent) so it can be stored in the `private_key[]` singleton that
+    /// the generated signing rules reference.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let public = self.public.to_bytes();
+        let d = self.d.to_bytes_be();
+        let mut out = Vec::with_capacity(8 + public.len() + d.len());
+        out.extend_from_slice(&(public.len() as u32).to_be_bytes());
+        out.extend_from_slice(&public);
+        out.extend_from_slice(&(d.len() as u32).to_be_bytes());
+        out.extend_from_slice(&d);
+        out
+    }
+
+    /// Parse a key pair serialized by [`RsaKeyPair::to_bytes`].
+    pub fn from_bytes(data: &[u8]) -> Result<Self, CryptoError> {
+        let err = || CryptoError::InvalidKey("truncated RSA key pair encoding".into());
+        if data.len() < 4 {
+            return Err(err());
+        }
+        let public_len = u32::from_be_bytes([data[0], data[1], data[2], data[3]]) as usize;
+        if data.len() < 4 + public_len + 4 {
+            return Err(err());
+        }
+        let public = RsaPublicKey::from_bytes(&data[4..4 + public_len])?;
+        let d_start = 4 + public_len;
+        let d_len = u32::from_be_bytes([
+            data[d_start],
+            data[d_start + 1],
+            data[d_start + 2],
+            data[d_start + 3],
+        ]) as usize;
+        if data.len() < d_start + 4 + d_len {
+            return Err(err());
+        }
+        let d = BigUint::from_bytes_be(&data[d_start + 4..d_start + 4 + d_len]);
+        if d.is_zero() {
+            return Err(CryptoError::InvalidKey("zero private exponent".into()));
+        }
+        Ok(RsaKeyPair { public, d })
+    }
+
+    /// Sign the SHA-1 digest of `message`.
+    pub fn sign(&self, message: &[u8]) -> RsaSignature {
+        let encoded = encode_digest(&sha1(message), self.public.modulus_bytes);
+        let m = BigUint::from_bytes_be(&encoded);
+        let s = m.modpow(&self.d, &self.public.n);
+        RsaSignature(s.to_bytes_be_padded(self.public.modulus_bytes))
+    }
+}
+
+/// PKCS#1 v1.5-style encoding of a SHA-1 digest into `len` bytes:
+/// `0x00 0x01 0xFF…0xFF 0x00 digest`.
+fn encode_digest(digest: &[u8; DIGEST_LEN], len: usize) -> Vec<u8> {
+    assert!(len >= DIGEST_LEN + 11, "modulus too small for digest encoding");
+    let mut out = Vec::with_capacity(len);
+    out.push(0x00);
+    out.push(0x01);
+    out.resize(len - DIGEST_LEN - 1, 0xFF);
+    out.push(0x00);
+    out.extend_from_slice(digest);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn keypair(bits: usize) -> RsaKeyPair {
+        let mut rng = StdRng::seed_from_u64(0x5ec0_b10c);
+        RsaKeyPair::generate(&mut rng, bits).expect("keygen")
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let kp = keypair(512);
+        let msg = b"says[reachable](n2, n1, n2, n5)";
+        let sig = kp.sign(msg);
+        assert_eq!(sig.0.len(), kp.public_key().modulus_bytes());
+        assert!(kp.public_key().verify(msg, &sig));
+    }
+
+    #[test]
+    fn verify_rejects_tampered_message() {
+        let kp = keypair(512);
+        let sig = kp.sign(b"path(p, n1, n3, 2)");
+        assert!(!kp.public_key().verify(b"path(p, n1, n3, 3)", &sig));
+    }
+
+    #[test]
+    fn verify_rejects_tampered_signature() {
+        let kp = keypair(512);
+        let mut sig = kp.sign(b"hello world");
+        sig.0[0] ^= 0x01;
+        assert!(!kp.public_key().verify(b"hello world", &sig));
+        let truncated = RsaSignature(sig.0[..sig.0.len() - 1].to_vec());
+        assert!(!kp.public_key().verify(b"hello world", &truncated));
+    }
+
+    #[test]
+    fn verify_rejects_wrong_key() {
+        let kp1 = keypair(512);
+        let mut rng = StdRng::seed_from_u64(999);
+        let kp2 = RsaKeyPair::generate(&mut rng, 512).unwrap();
+        let sig = kp1.sign(b"msg");
+        assert!(!kp2.public_key().verify(b"msg", &sig));
+    }
+
+    #[test]
+    fn public_key_serialization_roundtrip() {
+        let kp = keypair(512);
+        let bytes = kp.public_key().to_bytes();
+        let parsed = RsaPublicKey::from_bytes(&bytes).unwrap();
+        assert_eq!(&parsed, kp.public_key());
+        let sig = kp.sign(b"roundtrip");
+        assert!(parsed.verify(b"roundtrip", &sig));
+    }
+
+    #[test]
+    fn public_key_parse_rejects_garbage() {
+        assert!(RsaPublicKey::from_bytes(&[]).is_err());
+        assert!(RsaPublicKey::from_bytes(&[0, 0, 0, 200, 1, 2]).is_err());
+    }
+
+    #[test]
+    fn keypair_serialization_roundtrip() {
+        let kp = keypair(512);
+        let bytes = kp.to_bytes();
+        let parsed = RsaKeyPair::from_bytes(&bytes).unwrap();
+        let sig = parsed.sign(b"serialized key still signs");
+        assert!(kp.public_key().verify(b"serialized key still signs", &sig));
+        assert!(RsaKeyPair::from_bytes(&bytes[..10]).is_err());
+        assert!(RsaKeyPair::from_bytes(&[]).is_err());
+    }
+
+    #[test]
+    fn generate_rejects_tiny_modulus() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(RsaKeyPair::generate(&mut rng, 128).is_err());
+    }
+
+    #[test]
+    fn modulus_size_matches_request_roughly() {
+        let kp = keypair(512);
+        let bits = kp.public_key().modulus_bits();
+        assert!((500..=512).contains(&bits), "modulus bits {bits}");
+    }
+}

@@ -1,0 +1,248 @@
+//! Runtime integrity-constraint checking.
+//!
+//! A constraint `lhs -> rhs` holds when every binding satisfying the
+//! left-hand side can be extended to satisfy the right-hand side.  Checking
+//! happens inside the enclosing transaction after the fixpoint; a violation
+//! aborts the transaction and rolls back the entire incoming batch (paper
+//! §5.2).  This is the enforcement point for the generated security policies:
+//! "only accept facts said by known principals", "require a verifying
+//! signature", "the sayer must have write access", and so on.
+
+use crate::ast::Constraint;
+use crate::error::{ConstraintViolation, DatalogError, Result};
+use crate::eval::bindings::Bindings;
+use crate::eval::join::JoinContext;
+use crate::relation::Relation;
+use crate::udf::UdfRegistry;
+use std::collections::HashMap;
+
+/// Check a single constraint against the current relations.
+///
+/// Returns `Ok(())` when the constraint holds, or a
+/// [`DatalogError::ConstraintViolation`] describing the first violating
+/// left-hand-side binding.
+pub fn check_constraint(
+    constraint: &Constraint,
+    relations: &HashMap<String, Relation>,
+    udfs: &UdfRegistry,
+) -> Result<()> {
+    // An empty right-hand side (`p(X) -> .`) is a pure declaration.
+    if constraint.rhs.is_empty() {
+        return Ok(());
+    }
+    let ctx = JoinContext::new(relations, udfs);
+    let mut violation: Option<ConstraintViolation> = None;
+    let mut bindings = Bindings::new();
+    ctx.join(&constraint.lhs, None, &mut bindings, &mut |lhs_binding| {
+        if violation.is_some() {
+            return Ok(());
+        }
+        // Try to extend the binding to satisfy the right-hand side.
+        let mut satisfied = false;
+        let mut rhs_bindings = lhs_binding.clone();
+        ctx.join(&constraint.rhs, None, &mut rhs_bindings, &mut |_| {
+            satisfied = true;
+            Ok(())
+        })?;
+        if !satisfied {
+            violation = Some(ConstraintViolation {
+                constraint: constraint.to_string(),
+                witness: lhs_binding.render(),
+            });
+        }
+        Ok(())
+    })?;
+    match violation {
+        Some(v) => Err(DatalogError::ConstraintViolation(v)),
+        None => Ok(()),
+    }
+}
+
+/// Check constraints incrementally: only left-hand-side bindings that touch
+/// at least one tuple in `delta` (the tuples inserted by the current
+/// transaction) are examined.  This matches the engine description in the
+/// paper ("the engine checks for constraint violations for every new fact
+/// that is derived", §2) and keeps signature verification proportional to the
+/// batch size rather than to the whole database.
+pub fn check_constraints_incremental(
+    constraints: &[Constraint],
+    relations: &HashMap<String, Relation>,
+    udfs: &UdfRegistry,
+    delta: &HashMap<String, std::collections::HashSet<crate::value::Tuple>>,
+) -> Result<()> {
+    use crate::eval::join::DeltaRestriction;
+    let ctx = JoinContext::new(relations, udfs);
+    for constraint in constraints {
+        if constraint.rhs.is_empty() {
+            continue;
+        }
+        for (index, literal) in constraint.lhs.iter().enumerate() {
+            let Some(atom) = literal.as_pos() else { continue };
+            let Ok(pred) = crate::eval::runtime_pred_name(&atom.pred) else { continue };
+            let Some(pred_delta) = delta.get(&pred) else { continue };
+            if pred_delta.is_empty() {
+                continue;
+            }
+            let mut violation: Option<ConstraintViolation> = None;
+            let mut bindings = Bindings::new();
+            ctx.join(
+                &constraint.lhs,
+                Some(DeltaRestriction { literal_index: index, delta: pred_delta }),
+                &mut bindings,
+                &mut |lhs_binding| {
+                    if violation.is_some() {
+                        return Ok(());
+                    }
+                    let mut satisfied = false;
+                    let mut rhs_bindings = lhs_binding.clone();
+                    ctx.join(&constraint.rhs, None, &mut rhs_bindings, &mut |_| {
+                        satisfied = true;
+                        Ok(())
+                    })?;
+                    if !satisfied {
+                        violation = Some(ConstraintViolation {
+                            constraint: constraint.to_string(),
+                            witness: lhs_binding.render(),
+                        });
+                    }
+                    Ok(())
+                },
+            )?;
+            if let Some(v) = violation {
+                return Err(DatalogError::ConstraintViolation(v));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Check all constraints; the first violation wins.
+pub fn check_constraints(
+    constraints: &[Constraint],
+    relations: &HashMap<String, Relation>,
+    udfs: &UdfRegistry,
+) -> Result<()> {
+    for constraint in constraints {
+        check_constraint(constraint, relations, udfs)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use crate::value::Value;
+
+    fn relations_with(facts: &[(&str, Vec<Value>)]) -> HashMap<String, Relation> {
+        let mut relations: HashMap<String, Relation> = HashMap::new();
+        for (pred, tuple) in facts {
+            relations
+                .entry(pred.to_string())
+                .or_insert_with(|| Relation::new(*pred, None))
+                .insert(tuple.clone())
+                .unwrap();
+        }
+        relations
+    }
+
+    fn constraints_of(source: &str) -> Vec<Constraint> {
+        parse_program(source).unwrap().constraints().cloned().collect()
+    }
+
+    fn s(v: &str) -> Value {
+        Value::str(v)
+    }
+
+    #[test]
+    fn satisfied_constraint_passes() {
+        let constraints = constraints_of("says_link(P, Q) -> principal(P), principal(Q).");
+        let relations = relations_with(&[
+            ("says_link", vec![s("alice"), s("bob")]),
+            ("principal", vec![s("alice")]),
+            ("principal", vec![s("bob")]),
+        ]);
+        check_constraints(&constraints, &relations, &UdfRegistry::new()).unwrap();
+    }
+
+    #[test]
+    fn violation_reports_witness() {
+        let constraints = constraints_of("says_link(P, Q) -> principal(P).");
+        let relations = relations_with(&[
+            ("says_link", vec![s("mallory"), s("bob")]),
+            ("principal", vec![s("bob")]),
+        ]);
+        let err = check_constraints(&constraints, &relations, &UdfRegistry::new()).unwrap_err();
+        match err {
+            DatalogError::ConstraintViolation(v) => {
+                assert!(v.witness.contains("mallory"));
+                assert!(v.constraint.contains("says_link"));
+            }
+            other => panic!("expected constraint violation, got {other}"),
+        }
+    }
+
+    #[test]
+    fn empty_rhs_never_fails() {
+        let constraints = constraints_of("pathvar(P) -> .");
+        let relations = relations_with(&[("pathvar", vec![Value::Entity(1)])]);
+        check_constraints(&constraints, &relations, &UdfRegistry::new()).unwrap();
+    }
+
+    #[test]
+    fn rhs_with_existential_variable() {
+        // Every employee must have *some* manager.
+        let constraints = constraints_of("employee(E) -> manager(E, M).");
+        let good = relations_with(&[
+            ("employee", vec![s("ann")]),
+            ("manager", vec![s("ann"), s("bo")]),
+        ]);
+        check_constraints(&constraints, &good, &UdfRegistry::new()).unwrap();
+        let bad = relations_with(&[("employee", vec![s("ann")])]);
+        assert!(check_constraints(&constraints, &bad, &UdfRegistry::new()).is_err());
+    }
+
+    #[test]
+    fn builtin_type_constraints_check_value_types() {
+        let constraints = constraints_of("cost(X, C) -> string(X), int(C).");
+        let good = relations_with(&[("cost", vec![s("a"), Value::Int(4)])]);
+        check_constraints(&constraints, &good, &UdfRegistry::new()).unwrap();
+        let bad = relations_with(&[("cost", vec![s("a"), s("oops")])]);
+        assert!(check_constraints(&constraints, &bad, &UdfRegistry::new()).is_err());
+    }
+
+    #[test]
+    fn udf_in_rhs_acts_as_verifier() {
+        let mut udfs = UdfRegistry::new();
+        // verify(X) succeeds only for the magic value.
+        udfs.register("verify", |args| {
+            let v = crate::udf::require_bound(args, 0, "verify")?;
+            if v == Value::str("valid") {
+                Ok(vec![vec![v]])
+            } else {
+                Ok(vec![])
+            }
+        });
+        let constraints = constraints_of("msg(M) -> verify(M).");
+        let good = relations_with(&[("msg", vec![s("valid")])]);
+        check_constraints(&constraints, &good, &udfs).unwrap();
+        let bad = relations_with(&[("msg", vec![s("forged")])]);
+        assert!(check_constraints(&constraints, &bad, &udfs).is_err());
+    }
+
+    #[test]
+    fn comparison_in_rhs() {
+        let constraints = constraints_of("delegated(U) -> U = \"CA\".");
+        let good = relations_with(&[("delegated", vec![s("CA")])]);
+        check_constraints(&constraints, &good, &UdfRegistry::new()).unwrap();
+        let bad = relations_with(&[("delegated", vec![s("EvilCorp")])]);
+        assert!(check_constraints(&constraints, &bad, &UdfRegistry::new()).is_err());
+    }
+
+    #[test]
+    fn no_lhs_matches_means_satisfied() {
+        let constraints = constraints_of("says_link(P, Q) -> principal(P).");
+        let relations = relations_with(&[]);
+        check_constraints(&constraints, &relations, &UdfRegistry::new()).unwrap();
+    }
+}

@@ -1,0 +1,457 @@
+//! Nested-loop join over body literals with binding propagation.
+//!
+//! The join is the workhorse of both rule evaluation and constraint checking:
+//! given a sequence of body literals and an initial substitution, it
+//! enumerates every satisfying extension and invokes a callback per solution.
+//!
+//! Literal kinds handled:
+//!
+//! * positive atoms over stored relations (optionally restricted to a delta
+//!   set for semi-naïve evaluation),
+//! * positive atoms over built-in primitive types (`int(X)`, `string(X)`, …)
+//!   which type-check an already-bound value,
+//! * positive atoms over user-defined functions,
+//! * negated atoms (stratified negation with a ∄ semantics over unbound
+//!   positions),
+//! * comparisons, where `Var = ground-term` doubles as an assignment.
+
+use super::bindings::{eval_term, match_tuple, Bindings};
+use super::runtime_pred_name;
+use crate::ast::{Atom, CmpOp, Literal, Term};
+use crate::error::{DatalogError, Result};
+use crate::relation::Relation;
+use crate::schema::BUILTIN_TYPES;
+use crate::udf::UdfRegistry;
+use crate::value::{Tuple, Value};
+use std::collections::{HashMap, HashSet};
+
+/// A restriction of one body literal to a delta set (semi-naïve evaluation).
+#[derive(Debug, Clone, Copy)]
+pub struct DeltaRestriction<'a> {
+    /// Index of the body literal that must match a delta tuple.
+    pub literal_index: usize,
+    /// The delta tuples of that literal's predicate.
+    pub delta: &'a HashSet<Tuple>,
+}
+
+/// Join context: the relations and UDFs visible to the evaluation.
+pub struct JoinContext<'a> {
+    pub relations: &'a HashMap<String, Relation>,
+    pub udfs: &'a UdfRegistry,
+}
+
+impl<'a> JoinContext<'a> {
+    /// Create a join context.
+    pub fn new(relations: &'a HashMap<String, Relation>, udfs: &'a UdfRegistry) -> Self {
+        JoinContext { relations, udfs }
+    }
+
+    /// Enumerate all solutions of `literals` starting from `bindings`,
+    /// invoking `callback` once per solution.
+    pub fn join<F>(
+        &self,
+        literals: &[Literal],
+        delta: Option<DeltaRestriction<'_>>,
+        bindings: &mut Bindings,
+        callback: &mut F,
+    ) -> Result<()>
+    where
+        F: FnMut(&Bindings) -> Result<()>,
+    {
+        self.join_from(literals, 0, delta, bindings, callback)
+    }
+
+    fn join_from<F>(
+        &self,
+        literals: &[Literal],
+        index: usize,
+        delta: Option<DeltaRestriction<'_>>,
+        bindings: &mut Bindings,
+        callback: &mut F,
+    ) -> Result<()>
+    where
+        F: FnMut(&Bindings) -> Result<()>,
+    {
+        if index == literals.len() {
+            return callback(bindings);
+        }
+        match &literals[index] {
+            Literal::Pos(atom) => self.join_positive(literals, index, atom, delta, bindings, callback),
+            Literal::Neg(atom) => {
+                if self.negation_holds(atom, bindings)? {
+                    self.join_from(literals, index + 1, delta, bindings, callback)
+                } else {
+                    Ok(())
+                }
+            }
+            Literal::Cmp(lhs, op, rhs) => self.join_comparison(literals, index, lhs, *op, rhs, delta, bindings, callback),
+        }
+    }
+
+    fn join_positive<F>(
+        &self,
+        literals: &[Literal],
+        index: usize,
+        atom: &Atom,
+        delta: Option<DeltaRestriction<'_>>,
+        bindings: &mut Bindings,
+        callback: &mut F,
+    ) -> Result<()>
+    where
+        F: FnMut(&Bindings) -> Result<()>,
+    {
+        let name = runtime_pred_name(&atom.pred)?;
+
+        // Built-in primitive type check, e.g. `int(C)` from a type declaration.
+        if BUILTIN_TYPES.contains(&name.as_str()) && atom.terms.len() == 1 {
+            let value = eval_term(&atom.terms[0], bindings, self.relations)?;
+            return match value {
+                Some(v) if v.primitive_type() == name => {
+                    self.join_from(literals, index + 1, delta, bindings, callback)
+                }
+                // An unbound argument to a primitive type check cannot be
+                // enumerated; treat as failure of this branch.
+                _ => Ok(()),
+            };
+        }
+
+        // User-defined function.
+        if self.udfs.is_udf(&name) {
+            let mut pattern: Vec<Option<Value>> = Vec::with_capacity(atom.terms.len());
+            for term in &atom.terms {
+                pattern.push(match term {
+                    Term::Var(v) => bindings.get(v).cloned(),
+                    Term::Wildcard => None,
+                    other => eval_term(other, bindings, self.relations)?,
+                });
+            }
+            let rows = self
+                .udfs
+                .call(&name, &pattern)
+                .map_err(|message| DatalogError::Udf { function: name.clone(), message })?;
+            for row in rows {
+                if let Some(newly_bound) = match_tuple(&atom.terms, &row, bindings, self.relations)? {
+                    let result = self.join_from(literals, index + 1, delta, bindings, callback);
+                    for var in &newly_bound {
+                        bindings.unbind(var);
+                    }
+                    result?;
+                }
+            }
+            return Ok(());
+        }
+
+        // Stored relation (possibly restricted to the delta set).
+        let use_delta = delta.map_or(false, |d| d.literal_index == index);
+        if use_delta {
+            let delta_tuples = delta.expect("delta restriction checked above").delta;
+            for tuple in delta_tuples {
+                if let Some(newly_bound) = match_tuple(&atom.terms, tuple, bindings, self.relations)? {
+                    let result = self.join_from(literals, index + 1, delta, bindings, callback);
+                    for var in &newly_bound {
+                        bindings.unbind(var);
+                    }
+                    result?;
+                }
+            }
+            return Ok(());
+        }
+
+        let Some(relation) = self.relations.get(&name) else {
+            // Unknown / empty relation: no matches.
+            return Ok(());
+        };
+        // Functional fast path: if every key term is ground, look the value up
+        // directly instead of scanning.
+        if let Some(key_arity) = relation.key_arity() {
+            if atom.terms.len() == key_arity + 1 {
+                let mut key: Vec<Value> = Vec::with_capacity(key_arity);
+                let mut all_ground = true;
+                for term in &atom.terms[..key_arity] {
+                    match term {
+                        Term::Var(v) => match bindings.get(v) {
+                            Some(value) => key.push(value.clone()),
+                            None => {
+                                all_ground = false;
+                                break;
+                            }
+                        },
+                        Term::Wildcard => {
+                            all_ground = false;
+                            break;
+                        }
+                        other => match eval_term(other, bindings, self.relations)? {
+                            Some(value) => key.push(value),
+                            None => {
+                                all_ground = false;
+                                break;
+                            }
+                        },
+                    }
+                }
+                if all_ground {
+                    if let Some(value) = relation.functional_lookup(&key) {
+                        let mut tuple = key;
+                        tuple.push(value.clone());
+                        if let Some(newly_bound) = match_tuple(&atom.terms, &tuple, bindings, self.relations)? {
+                            let result = self.join_from(literals, index + 1, delta, bindings, callback);
+                            for var in &newly_bound {
+                                bindings.unbind(var);
+                            }
+                            result?;
+                        }
+                    }
+                    return Ok(());
+                }
+            }
+        }
+        // General scan.  Collect candidate tuples first to avoid holding the
+        // iterator across the recursive call.
+        let candidates: Vec<Tuple> = relation.iter().cloned().collect();
+        for tuple in &candidates {
+            if let Some(newly_bound) = match_tuple(&atom.terms, tuple, bindings, self.relations)? {
+                let result = self.join_from(literals, index + 1, delta, bindings, callback);
+                for var in &newly_bound {
+                    bindings.unbind(var);
+                }
+                result?;
+            }
+        }
+        Ok(())
+    }
+
+    /// `!p(args)` holds when no stored tuple matches the (partially ground)
+    /// argument pattern.  Unbound variables and wildcards act as "any value".
+    fn negation_holds(&self, atom: &Atom, bindings: &Bindings) -> Result<bool> {
+        let name = runtime_pred_name(&atom.pred)?;
+        if self.udfs.is_udf(&name) {
+            return Err(DatalogError::Eval(format!(
+                "negation over user-defined function {name} is not supported"
+            )));
+        }
+        let Some(relation) = self.relations.get(&name) else {
+            return Ok(true);
+        };
+        let mut pattern: Vec<Option<Value>> = Vec::with_capacity(atom.terms.len());
+        for term in &atom.terms {
+            pattern.push(match term {
+                Term::Var(v) => bindings.get(v).cloned(),
+                Term::Wildcard => None,
+                other => eval_term(other, bindings, self.relations)?,
+            });
+        }
+        Ok(!relation.matches_any(&pattern))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn join_comparison<F>(
+        &self,
+        literals: &[Literal],
+        index: usize,
+        lhs: &Term,
+        op: CmpOp,
+        rhs: &Term,
+        delta: Option<DeltaRestriction<'_>>,
+        bindings: &mut Bindings,
+        callback: &mut F,
+    ) -> Result<()>
+    where
+        F: FnMut(&Bindings) -> Result<()>,
+    {
+        let lhs_value = eval_term(lhs, bindings, self.relations)?;
+        let rhs_value = eval_term(rhs, bindings, self.relations)?;
+
+        // Assignment form: `X = ground` or `ground = X` with X unbound.
+        if op == CmpOp::Eq {
+            if let (Term::Var(v), None, Some(value)) = (lhs, &lhs_value, &rhs_value) {
+                if !bindings.is_bound(v) {
+                    bindings.bind(v, value.clone());
+                    let result = self.join_from(literals, index + 1, delta, bindings, callback);
+                    bindings.unbind(v);
+                    return result;
+                }
+            }
+            if let (Term::Var(v), None, Some(value)) = (rhs, &rhs_value, &lhs_value) {
+                if !bindings.is_bound(v) {
+                    bindings.bind(v, value.clone());
+                    let result = self.join_from(literals, index + 1, delta, bindings, callback);
+                    bindings.unbind(v);
+                    return result;
+                }
+            }
+        }
+
+        let (Some(a), Some(b)) = (lhs_value, rhs_value) else {
+            return Err(DatalogError::Eval(format!(
+                "comparison {lhs} {op} {rhs} has unbound operands"
+            )));
+        };
+        let ordering = a.total_cmp(&b);
+        let holds = match op {
+            CmpOp::Eq => ordering.is_eq(),
+            CmpOp::Ne => !ordering.is_eq(),
+            CmpOp::Lt => ordering.is_lt(),
+            CmpOp::Le => ordering.is_le(),
+            CmpOp::Gt => ordering.is_gt(),
+            CmpOp::Ge => ordering.is_ge(),
+        };
+        if holds {
+            self.join_from(literals, index + 1, delta, bindings, callback)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_rule;
+    use crate::udf::standard_udfs;
+
+    fn relations_with_edges(edges: &[(&str, &str)]) -> HashMap<String, Relation> {
+        let mut relations = HashMap::new();
+        let mut rel = Relation::new("link", None);
+        for (a, b) in edges {
+            rel.insert(vec![Value::str(*a), Value::str(*b)]).unwrap();
+        }
+        relations.insert("link".to_string(), rel);
+        relations
+    }
+
+    fn collect_solutions(
+        relations: &HashMap<String, Relation>,
+        udfs: &UdfRegistry,
+        body_source: &str,
+        vars: &[&str],
+    ) -> Vec<Vec<Value>> {
+        let rule = parse_rule(&format!("out(X) <- {body_source}.")).unwrap();
+        let ctx = JoinContext::new(relations, udfs);
+        let mut results = Vec::new();
+        let mut bindings = Bindings::new();
+        ctx.join(&rule.body, None, &mut bindings, &mut |b| {
+            results.push(vars.iter().map(|v| b.get(v).cloned().unwrap_or(Value::Bool(false))).collect());
+            Ok(())
+        })
+        .unwrap();
+        results.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+        results
+    }
+
+    #[test]
+    fn simple_join_enumerates_paths() {
+        let relations = relations_with_edges(&[("n1", "n2"), ("n2", "n3"), ("n2", "n4")]);
+        let udfs = UdfRegistry::new();
+        let solutions = collect_solutions(&relations, &udfs, "link(X, Z), link(Z, Y)", &["X", "Y"]);
+        assert_eq!(solutions.len(), 2);
+        assert!(solutions.contains(&vec![Value::str("n1"), Value::str("n3")]));
+        assert!(solutions.contains(&vec![Value::str("n1"), Value::str("n4")]));
+    }
+
+    #[test]
+    fn comparison_filters_and_assigns() {
+        let relations = relations_with_edges(&[("n1", "n2"), ("n2", "n2")]);
+        let udfs = UdfRegistry::new();
+        let solutions = collect_solutions(&relations, &udfs, "link(X, Y), X != Y", &["X", "Y"]);
+        assert_eq!(solutions.len(), 1);
+        let solutions = collect_solutions(&relations, &udfs, "link(X, Y), Z = 42", &["Z"]);
+        assert_eq!(solutions[0][0], Value::Int(42));
+    }
+
+    #[test]
+    fn negation_checks_absence() {
+        let relations = relations_with_edges(&[("n1", "n2"), ("n2", "n3")]);
+        let udfs = UdfRegistry::new();
+        let solutions = collect_solutions(&relations, &udfs, "link(X, Y), !link(Y, _)", &["X", "Y"]);
+        // Only n2 -> n3 has no outgoing link from its target.
+        assert_eq!(solutions, vec![vec![Value::str("n2"), Value::str("n3")]]);
+    }
+
+    #[test]
+    fn udf_calls_bind_outputs() {
+        let relations = relations_with_edges(&[("n1", "n2")]);
+        let mut udfs = standard_udfs();
+        udfs.register("length", |args| {
+            let s = crate::udf::require_bound(args, 0, "length")?;
+            let len = s.as_str().map(|s| s.len() as i64).ok_or("not a string")?;
+            Ok(vec![vec![s, Value::Int(len)]])
+        });
+        let solutions = collect_solutions(&relations, &udfs, "link(X, _), length(X, N)", &["X", "N"]);
+        assert_eq!(solutions, vec![vec![Value::str("n1"), Value::Int(2)]]);
+    }
+
+    #[test]
+    fn builtin_type_check_in_body() {
+        let mut relations = relations_with_edges(&[]);
+        let mut values = Relation::new("v", None);
+        values.insert(vec![Value::Int(3)]).unwrap();
+        values.insert(vec![Value::str("x")]).unwrap();
+        relations.insert("v".to_string(), values);
+        let udfs = UdfRegistry::new();
+        let solutions = collect_solutions(&relations, &udfs, "v(X), int(X)", &["X"]);
+        assert_eq!(solutions, vec![vec![Value::Int(3)]]);
+    }
+
+    #[test]
+    fn functional_lookup_fast_path() {
+        let mut relations = HashMap::new();
+        let mut rel = Relation::new("bestcost", Some(2));
+        rel.insert(vec![Value::str("a"), Value::str("b"), Value::Int(4)]).unwrap();
+        relations.insert("bestcost".to_string(), rel);
+        let udfs = UdfRegistry::new();
+        let rule = parse_rule("out(C) <- bestcost[X, Y] = C, X = a, Y = b.").unwrap();
+        // Reorder so the key is bound before the lookup: use explicit constants instead.
+        let rule2 = parse_rule("out(C) <- bestcost[a, b] = C.").unwrap();
+        let ctx = JoinContext::new(&relations, &udfs);
+        let mut results = Vec::new();
+        let mut bindings = Bindings::new();
+        ctx.join(&rule2.body, None, &mut bindings, &mut |b| {
+            results.push(b.get("C").cloned().unwrap());
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(results, vec![Value::Int(4)]);
+        // The unbound-key form still works by scanning.
+        let mut results = Vec::new();
+        let mut bindings = Bindings::new();
+        ctx.join(&rule.body, None, &mut bindings, &mut |b| {
+            results.push(b.get("C").cloned().unwrap());
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(results, vec![Value::Int(4)]);
+    }
+
+    #[test]
+    fn delta_restriction_limits_matches() {
+        let relations = relations_with_edges(&[("n1", "n2"), ("n2", "n3")]);
+        let udfs = UdfRegistry::new();
+        let rule = parse_rule("out(X, Y) <- link(X, Y).").unwrap();
+        let ctx = JoinContext::new(&relations, &udfs);
+        let delta: HashSet<Tuple> = [vec![Value::str("n2"), Value::str("n3")]].into_iter().collect();
+        let mut results = Vec::new();
+        let mut bindings = Bindings::new();
+        ctx.join(
+            &rule.body,
+            Some(DeltaRestriction { literal_index: 0, delta: &delta }),
+            &mut bindings,
+            &mut |b| {
+                results.push(b.get("X").cloned().unwrap());
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert_eq!(results, vec![Value::str("n2")]);
+    }
+
+    #[test]
+    fn unbound_comparison_is_error() {
+        let relations = relations_with_edges(&[("n1", "n2")]);
+        let udfs = UdfRegistry::new();
+        let rule = parse_rule("out(X) <- link(X, _), X < Undefined.").unwrap();
+        let ctx = JoinContext::new(&relations, &udfs);
+        let mut bindings = Bindings::new();
+        let result = ctx.join(&rule.body, None, &mut bindings, &mut |_| Ok(()));
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,77 @@
+//! Rule evaluation: bindings, joins, semi-naïve fixpoint, aggregation, and
+//! incremental deletion (DRed).
+
+pub mod aggregate;
+pub mod bindings;
+pub mod dred;
+pub mod join;
+pub mod seminaive;
+
+pub use bindings::Bindings;
+pub use seminaive::{Evaluator, FixpointStats};
+
+use crate::ast::PredRef;
+use crate::error::{DatalogError, Result};
+
+/// Evaluation limits and knobs.
+#[derive(Debug, Clone)]
+pub struct EvalConfig {
+    /// Maximum number of semi-naïve iterations per stratum before evaluation
+    /// is aborted with [`DatalogError::FixpointBudget`].
+    pub max_iterations: usize,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig { max_iterations: 10_000 }
+    }
+}
+
+/// Resolve the runtime (concrete) name of a predicate reference.
+///
+/// Parameterized references are mangled as `generic$param`, which is the
+/// naming convention used throughout the BloxGenerics compiler and the
+/// policy generators.
+pub fn runtime_pred_name(pred: &PredRef) -> Result<String> {
+    match pred {
+        PredRef::Named(n) => Ok(n.clone()),
+        PredRef::Parameterized { generic, param } => Ok(format!("{generic}${param}")),
+        PredRef::ParameterizedVar { generic, var } => Err(DatalogError::Eval(format!(
+            "meta-level predicate {generic}[{var}] reached the evaluator; run the BloxGenerics \
+             compiler first"
+        ))),
+        PredRef::Var(v) => Err(DatalogError::Eval(format!(
+            "unresolved predicate variable {v} reached the evaluator; run the BloxGenerics \
+             compiler first"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runtime_names() {
+        assert_eq!(runtime_pred_name(&PredRef::named("link")).unwrap(), "link");
+        assert_eq!(
+            runtime_pred_name(&PredRef::Parameterized {
+                generic: "says".into(),
+                param: "path".into()
+            })
+            .unwrap(),
+            "says$path"
+        );
+        assert!(runtime_pred_name(&PredRef::Var("T".into())).is_err());
+        assert!(runtime_pred_name(&PredRef::ParameterizedVar {
+            generic: "says".into(),
+            var: "T".into()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn default_config_budget() {
+        assert!(EvalConfig::default().max_iterations >= 1000);
+    }
+}

@@ -1,0 +1,463 @@
+//! Tokenizer for the DatalogLB / BloxGenerics surface syntax.
+
+use crate::error::{DatalogError, Result};
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Lowercase-initial identifier: predicate names and symbolic constants.
+    Ident(String),
+    /// Uppercase-initial identifier: variables (and predicate variables in
+    /// meta-programming contexts).
+    UpperIdent(String),
+    /// Integer literal.
+    Int(i64),
+    /// Double-quoted string literal.
+    Str(String),
+    /// The anonymous variable `_`.
+    Underscore,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `'` or `` ` `` — quotes a predicate name or opens a template when
+    /// followed by `{`.
+    Quote,
+    /// `<-`
+    RuleArrow,
+    /// `->`
+    ConstraintArrow,
+    /// `<--`
+    GenericRuleArrow,
+    /// `-->`
+    GenericConstraintArrow,
+    /// `<<`
+    LtLt,
+    /// `>>`
+    GtGt,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `!`
+    Bang,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) | Token::UpperIdent(s) => write!(f, "{s}"),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Str(s) => write!(f, "{s:?}"),
+            Token::Underscore => write!(f, "_"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::LBrace => write!(f, "{{"),
+            Token::RBrace => write!(f, "}}"),
+            Token::Comma => write!(f, ","),
+            Token::Dot => write!(f, "."),
+            Token::Quote => write!(f, "'"),
+            Token::RuleArrow => write!(f, "<-"),
+            Token::ConstraintArrow => write!(f, "->"),
+            Token::GenericRuleArrow => write!(f, "<--"),
+            Token::GenericConstraintArrow => write!(f, "-->"),
+            Token::LtLt => write!(f, "<<"),
+            Token::GtGt => write!(f, ">>"),
+            Token::Eq => write!(f, "="),
+            Token::Ne => write!(f, "!="),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::Bang => write!(f, "!"),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Star => write!(f, "*"),
+            Token::Slash => write!(f, "/"),
+            Token::Percent => write!(f, "%"),
+        }
+    }
+}
+
+/// A token paired with its source position (1-based).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedToken {
+    pub token: Token,
+    pub line: usize,
+    pub column: usize,
+}
+
+/// Tokenize DatalogLB source text.
+///
+/// `//` and `#` start line comments; `/* … */` block comments are supported
+/// (non-nesting).  The unicode left single quotation mark `‘` used in the
+/// paper's listings is accepted as a [`Token::Quote`].
+pub fn tokenize(source: &str) -> Result<Vec<SpannedToken>> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut column = 1usize;
+
+    let err = |message: String, line: usize, column: usize| DatalogError::Parse { message, line, column };
+
+    macro_rules! push {
+        ($tok:expr, $len:expr) => {{
+            tokens.push(SpannedToken { token: $tok, line, column });
+            i += $len;
+            column += $len;
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                column = 1;
+            }
+            ' ' | '\t' | '\r' => {
+                i += 1;
+                column += 1;
+            }
+            '/' if next == Some('/') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '#' => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if next == Some('*') => {
+                i += 2;
+                column += 2;
+                loop {
+                    if i + 1 >= chars.len() {
+                        return Err(err("unterminated block comment".into(), line, column));
+                    }
+                    if chars[i] == '*' && chars[i + 1] == '/' {
+                        i += 2;
+                        column += 2;
+                        break;
+                    }
+                    if chars[i] == '\n' {
+                        line += 1;
+                        column = 1;
+                    } else {
+                        column += 1;
+                    }
+                    i += 1;
+                }
+            }
+            '(' => push!(Token::LParen, 1),
+            ')' => push!(Token::RParen, 1),
+            '[' => push!(Token::LBracket, 1),
+            ']' => push!(Token::RBracket, 1),
+            '{' => push!(Token::LBrace, 1),
+            '}' => push!(Token::RBrace, 1),
+            ',' => push!(Token::Comma, 1),
+            '.' => push!(Token::Dot, 1),
+            '\'' | '`' | '‘' | '’' => push!(Token::Quote, 1),
+            '+' => push!(Token::Plus, 1),
+            '*' => push!(Token::Star, 1),
+            '/' => push!(Token::Slash, 1),
+            '%' => push!(Token::Percent, 1),
+            '=' => push!(Token::Eq, 1),
+            '!' => {
+                if next == Some('=') {
+                    push!(Token::Ne, 2);
+                } else {
+                    push!(Token::Bang, 1);
+                }
+            }
+            '<' => match next {
+                Some('-') => {
+                    if chars.get(i + 2) == Some(&'-') {
+                        push!(Token::GenericRuleArrow, 3);
+                    } else {
+                        push!(Token::RuleArrow, 2);
+                    }
+                }
+                Some('=') => push!(Token::Le, 2),
+                Some('<') => push!(Token::LtLt, 2),
+                _ => push!(Token::Lt, 1),
+            },
+            '>' => match next {
+                Some('=') => push!(Token::Ge, 2),
+                Some('>') => push!(Token::GtGt, 2),
+                _ => push!(Token::Gt, 1),
+            },
+            '-' => match next {
+                Some('-') if chars.get(i + 2) == Some(&'>') => push!(Token::GenericConstraintArrow, 3),
+                Some('>') => push!(Token::ConstraintArrow, 2),
+                Some(d) if d.is_ascii_digit() => {
+                    // Negative integer literal.
+                    let start = i + 1;
+                    let mut end = start;
+                    while end < chars.len() && chars[end].is_ascii_digit() {
+                        end += 1;
+                    }
+                    let text: String = chars[start..end].iter().collect();
+                    let value: i64 = text
+                        .parse()
+                        .map_err(|_| err(format!("integer literal -{text} out of range"), line, column))?;
+                    let len = end - i;
+                    push!(Token::Int(-value), len);
+                }
+                _ => push!(Token::Minus, 1),
+            },
+            '"' => {
+                let mut text = String::new();
+                let mut j = i + 1;
+                let mut consumed_newlines = 0usize;
+                loop {
+                    match chars.get(j) {
+                        None => return Err(err("unterminated string literal".into(), line, column)),
+                        Some('"') => break,
+                        Some('\\') => {
+                            match chars.get(j + 1) {
+                                Some('n') => text.push('\n'),
+                                Some('t') => text.push('\t'),
+                                Some('"') => text.push('"'),
+                                Some('\\') => text.push('\\'),
+                                Some(other) => text.push(*other),
+                                None => return Err(err("unterminated escape".into(), line, column)),
+                            }
+                            j += 2;
+                            continue;
+                        }
+                        Some('\n') => {
+                            consumed_newlines += 1;
+                            text.push('\n');
+                            j += 1;
+                        }
+                        Some(other) => {
+                            text.push(*other);
+                            j += 1;
+                        }
+                    }
+                }
+                let len = j + 1 - i;
+                tokens.push(SpannedToken { token: Token::Str(text), line, column });
+                i = j + 1;
+                if consumed_newlines > 0 {
+                    line += consumed_newlines;
+                    column = 1;
+                } else {
+                    column += len;
+                }
+            }
+            '_' => {
+                // `_` alone is a wildcard; `_foo` is an identifier.
+                let mut end = i + 1;
+                while end < chars.len() && (chars[end].is_ascii_alphanumeric() || chars[end] == '_') {
+                    end += 1;
+                }
+                if end == i + 1 {
+                    push!(Token::Underscore, 1);
+                } else {
+                    let text: String = chars[i..end].iter().collect();
+                    let len = end - i;
+                    push!(Token::Ident(text), len);
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut end = i;
+                while end < chars.len() && chars[end].is_ascii_digit() {
+                    end += 1;
+                }
+                let text: String = chars[i..end].iter().collect();
+                let value: i64 = text
+                    .parse()
+                    .map_err(|_| err(format!("integer literal {text} out of range"), line, column))?;
+                let len = end - i;
+                push!(Token::Int(value), len);
+            }
+            c if c.is_ascii_alphabetic() => {
+                let mut end = i;
+                while end < chars.len()
+                    && (chars[end].is_ascii_alphanumeric() || chars[end] == '_' || chars[end] == '$')
+                {
+                    end += 1;
+                }
+                let text: String = chars[i..end].iter().collect();
+                let len = end - i;
+                if c.is_ascii_uppercase() {
+                    push!(Token::UpperIdent(text), len);
+                } else {
+                    push!(Token::Ident(text), len);
+                }
+            }
+            other => {
+                return Err(err(format!("unexpected character {other:?}"), line, column));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(source: &str) -> Vec<Token> {
+        tokenize(source).unwrap().into_iter().map(|t| t.token).collect()
+    }
+
+    #[test]
+    fn arrows_disambiguated() {
+        assert_eq!(
+            toks("<- -> <-- --> << >> <= >= < > != ="),
+            vec![
+                Token::RuleArrow,
+                Token::ConstraintArrow,
+                Token::GenericRuleArrow,
+                Token::GenericConstraintArrow,
+                Token::LtLt,
+                Token::GtGt,
+                Token::Le,
+                Token::Ge,
+                Token::Lt,
+                Token::Gt,
+                Token::Ne,
+                Token::Eq,
+            ]
+        );
+    }
+
+    #[test]
+    fn idents_variables_and_constants() {
+        assert_eq!(
+            toks(r#"reachable(X, n1, 42, "CA")."#),
+            vec![
+                Token::Ident("reachable".into()),
+                Token::LParen,
+                Token::UpperIdent("X".into()),
+                Token::Comma,
+                Token::Ident("n1".into()),
+                Token::Comma,
+                Token::Int(42),
+                Token::Comma,
+                Token::Str("CA".into()),
+                Token::RParen,
+                Token::Dot,
+            ]
+        );
+    }
+
+    #[test]
+    fn negative_numbers_and_minus() {
+        assert_eq!(toks("-5"), vec![Token::Int(-5)]);
+        assert_eq!(
+            toks("C - 1"),
+            vec![Token::UpperIdent("C".into()), Token::Minus, Token::Int(1)]
+        );
+    }
+
+    #[test]
+    fn quotes_and_templates() {
+        assert_eq!(
+            toks("says[`reachable] '{ T(V) }"),
+            vec![
+                Token::Ident("says".into()),
+                Token::LBracket,
+                Token::Quote,
+                Token::Ident("reachable".into()),
+                Token::RBracket,
+                Token::Quote,
+                Token::LBrace,
+                Token::UpperIdent("T".into()),
+                Token::LParen,
+                Token::UpperIdent("V".into()),
+                Token::RParen,
+                Token::RBrace,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            toks("a(X). // comment\n# another\n/* block\ncomment */ b(Y)."),
+            vec![
+                Token::Ident("a".into()),
+                Token::LParen,
+                Token::UpperIdent("X".into()),
+                Token::RParen,
+                Token::Dot,
+                Token::Ident("b".into()),
+                Token::LParen,
+                Token::UpperIdent("Y".into()),
+                Token::RParen,
+                Token::Dot,
+            ]
+        );
+    }
+
+    #[test]
+    fn wildcard_vs_ident() {
+        assert_eq!(toks("_"), vec![Token::Underscore]);
+        assert_eq!(toks("_x"), vec![Token::Ident("_x".into())]);
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(toks(r#""a\"b\n""#), vec![Token::Str("a\"b\n".into())]);
+    }
+
+    #[test]
+    fn positions_reported() {
+        let spanned = tokenize("a\n  b").unwrap();
+        assert_eq!((spanned[0].line, spanned[0].column), (1, 1));
+        assert_eq!((spanned[1].line, spanned[1].column), (2, 3));
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(tokenize("\"abc").is_err());
+        assert!(tokenize("/* unterminated").is_err());
+    }
+
+    #[test]
+    fn unexpected_character_errors() {
+        let err = tokenize("a @ b").unwrap_err();
+        assert!(err.to_string().contains('@'));
+    }
+}

@@ -1,0 +1,283 @@
+//! Parser for the DatalogLB / BloxGenerics surface syntax.
+//!
+//! The grammar follows the listings in the SecureBlox paper:
+//!
+//! ```text
+//! program     := statement*
+//! statement   := clause "."
+//! clause      := heads "<-"  [agg] body        (rule)
+//!              | heads "->"  body?             (integrity constraint)
+//!              | heads "<--" body              (generic rule)
+//!              | heads "-->" body              (generic constraint)
+//!              | atom                          (ground fact)
+//! heads       := head_item ("," head_item)*
+//! head_item   := atom | "'{" statement* "}"    (code template)
+//! body        := literal ("," literal)*
+//! literal     := "!" atom | atom | term cmp term
+//! atom        := pred_ref "(" terms ")"
+//!              | name "[" terms "]" "=" term   (functional syntax)
+//!              | name
+//! pred_ref    := name | name "[" "`" name "]" | name "[" VAR "]" | VAR
+//! agg         := "agg" "<<" VAR "=" func "(" VAR ")" ">>"
+//! term        := arithmetic over: VAR | VAR "*" | "_" | constant
+//!              | name "[" "]"                  (singleton access, e.g. self[])
+//!              | "`" name                      (quoted predicate constant)
+//! ```
+
+pub mod lexer;
+mod recursive;
+
+pub use lexer::{tokenize, SpannedToken, Token};
+pub use recursive::Parser;
+
+use crate::ast::Program;
+use crate::error::Result;
+
+/// Parse a complete program from source text.
+pub fn parse_program(source: &str) -> Result<Program> {
+    let tokens = tokenize(source)?;
+    Parser::new(tokens).parse_program()
+}
+
+/// Parse a single rule from source text (convenience for tests and builders).
+pub fn parse_rule(source: &str) -> Result<crate::ast::Rule> {
+    let program = parse_program(source)?;
+    let rule = program.rules().next().cloned();
+    rule.ok_or_else(|| crate::error::DatalogError::Parse {
+        message: "expected a rule".into(),
+        line: 1,
+        column: 1,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{AggFunc, CmpOp, Literal, PredRef, Statement, Term};
+    use crate::value::Value;
+
+    #[test]
+    fn parses_transitive_closure() {
+        let program = parse_program(
+            "reachable(X, Y) <- link(X, Y).\n\
+             reachable(X, Y) <- link(X, Z), reachable(Z, Y).",
+        )
+        .unwrap();
+        assert_eq!(program.rules().count(), 2);
+        let rule = program.rules().nth(1).unwrap();
+        assert_eq!(rule.head.len(), 1);
+        assert_eq!(rule.body.len(), 2);
+        assert_eq!(rule.to_string(), "reachable(X, Y) <- link(X, Z), reachable(Z, Y).");
+    }
+
+    #[test]
+    fn parses_facts_with_symbols_strings_and_ints() {
+        let program = parse_program(r#"link(n1, n2). creditscore("CA", 720). flag(true)."#).unwrap();
+        let facts: Vec<_> = program.facts().collect();
+        assert_eq!(facts.len(), 3);
+        assert_eq!(facts[0].atom.terms[0], Term::Const(Value::str("n1")));
+        assert_eq!(facts[1].atom.terms[1], Term::Const(Value::Int(720)));
+        assert_eq!(facts[2].atom.terms[0], Term::Const(Value::Bool(true)));
+    }
+
+    #[test]
+    fn parses_type_declarations_and_empty_rhs() {
+        let program = parse_program(
+            "link(N1, N2) -> node(N1), node(N2).\n\
+             pathvar(P) -> .\n\
+             path[P, Src, Dst] = C -> pathvar(P), node(Src), node(Dst), int[32](C).",
+        )
+        .unwrap();
+        let constraints: Vec<_> = program.constraints().collect();
+        assert_eq!(constraints.len(), 3);
+        assert!(constraints[1].rhs.is_empty());
+        // int[32] collapses to the built-in type `int`.
+        let last = constraints[2];
+        let type_atom = last.rhs.last().unwrap().as_pos().unwrap();
+        assert_eq!(type_atom.pred, PredRef::named("int"));
+    }
+
+    #[test]
+    fn parses_functional_atoms_and_singletons() {
+        let rule = parse_rule(
+            "bestcost[Me, N] = C <- agg<< C = min(Cx) >> path[P, Me, N] = Cx.",
+        )
+        .unwrap();
+        assert!(rule.head[0].functional);
+        assert_eq!(rule.head[0].terms.len(), 3);
+        let agg = rule.agg.as_ref().unwrap();
+        assert_eq!(agg.func, AggFunc::Min);
+        assert_eq!(agg.result_var, "C");
+        assert_eq!(agg.input_var, "Cx");
+
+        let rule = parse_rule("out(K) <- private_key[] = K.").unwrap();
+        let atom = rule.body[0].as_pos().unwrap();
+        assert!(atom.functional);
+        assert_eq!(atom.terms.len(), 1);
+    }
+
+    #[test]
+    fn parses_self_singleton_as_term() {
+        let rule = parse_rule("says(Z, X) <- link(X, Z), says_reachable(Z, self[], Z, Y).").unwrap();
+        let atom = rule.body[1].as_pos().unwrap();
+        assert_eq!(atom.terms[1], Term::SingletonRef("self".into()));
+    }
+
+    #[test]
+    fn parses_parameterized_predicates() {
+        let rule = parse_rule(
+            "reachable(X, Y) <- link(X, Z), says[`reachable](Z, self[], Z, Y).",
+        )
+        .unwrap();
+        let atom = rule.body[1].as_pos().unwrap();
+        assert_eq!(
+            atom.pred,
+            PredRef::Parameterized { generic: "says".into(), param: "reachable".into() }
+        );
+        // ASCII apostrophe works the same way.
+        let rule2 = parse_rule(
+            "reachable(X, Y) <- link(X, Z), says['reachable](Z, self[], Z, Y).",
+        )
+        .unwrap();
+        assert_eq!(rule.body[1], rule2.body[1]);
+    }
+
+    #[test]
+    fn parses_negation_and_comparisons() {
+        let rule = parse_rule(
+            "adv(U, P, N) <- link(Me, N), path[P, Me, N2] = C, N != N2, !pathlink[P, N] = _, C + 1 < 16.",
+        )
+        .unwrap();
+        assert!(matches!(rule.body[2], Literal::Cmp(_, CmpOp::Ne, _)));
+        assert!(matches!(rule.body[3], Literal::Neg(_)));
+        match &rule.body[4] {
+            Literal::Cmp(lhs, CmpOp::Lt, rhs) => {
+                assert!(matches!(lhs, Term::BinOp(..)));
+                assert_eq!(rhs, &Term::Const(Value::Int(16)));
+            }
+            other => panic!("expected comparison, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_arithmetic_in_head() {
+        let rule = parse_rule("cost(X, C + 1) <- link(X), cost(X, C).").unwrap();
+        assert!(matches!(rule.head[0].terms[1], Term::BinOp(..)));
+    }
+
+    #[test]
+    fn parses_generic_rule_with_template() {
+        let program = parse_program(
+            "says[T] = ST, predicate(ST),\n\
+             '{\n\
+               ST(P1, P2, V*) -> principal(P1), principal(P2), types[T](V*).\n\
+             }\n\
+             <-- predicate(T).",
+        )
+        .unwrap();
+        let generic: Vec<_> = program.generic_rules().collect();
+        assert_eq!(generic.len(), 1);
+        let g = generic[0];
+        assert_eq!(g.head.len(), 2);
+        assert!(g.head[0].functional);
+        assert_eq!(g.templates.len(), 1);
+        assert_eq!(g.templates[0].statements.len(), 1);
+        match &g.templates[0].statements[0] {
+            Statement::Constraint(c) => {
+                let head_atom = c.lhs[0].as_pos().unwrap();
+                assert_eq!(head_atom.pred, PredRef::Var("ST".into()));
+                assert_eq!(head_atom.terms[2], Term::VarSeq("V".into()));
+                let types_atom = c.rhs[2].as_pos().unwrap();
+                assert_eq!(
+                    types_atom.pred,
+                    PredRef::ParameterizedVar { generic: "types".into(), var: "T".into() }
+                );
+            }
+            other => panic!("expected constraint, got {other:?}"),
+        }
+        assert_eq!(g.body.len(), 1);
+    }
+
+    #[test]
+    fn parses_generic_constraint() {
+        let program = parse_program("says(P, SP) --> exportable(P).").unwrap();
+        assert_eq!(program.generic_constraints().count(), 1);
+    }
+
+    #[test]
+    fn parses_template_with_rule_statements() {
+        let program = parse_program(
+            "'{ T(V*) <- says[T](P, self[], V*), trustworthy(P). } <-- predicate(T).",
+        )
+        .unwrap();
+        let g = program.generic_rules().next().unwrap();
+        assert!(g.head.is_empty());
+        assert_eq!(g.templates.len(), 1);
+        match &g.templates[0].statements[0] {
+            Statement::Rule(rule) => {
+                assert_eq!(rule.head[0].pred, PredRef::Var("T".into()));
+                assert_eq!(rule.body.len(), 2);
+            }
+            other => panic!("expected rule, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn varseq_vs_multiplication() {
+        let rule = parse_rule("p(X) <- q(X), r(Y), s(X * 2, Y).").unwrap();
+        let atom = rule.body[2].as_pos().unwrap();
+        assert!(matches!(atom.terms[0], Term::BinOp(..)));
+
+        let program = parse_program("'{ T(V*) <- s(V*). } <-- predicate(T).").unwrap();
+        let g = program.generic_rules().next().unwrap();
+        match &g.templates[0].statements[0] {
+            Statement::Rule(rule) => {
+                assert_eq!(rule.head[0].terms[0], Term::VarSeq("V".into()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_quoted_predicate_constant_argument() {
+        let program = parse_program("exportable(`path). trustworthyPerPred[`creditscore](\"CA\").").unwrap();
+        let facts: Vec<_> = program.facts().collect();
+        assert_eq!(facts[0].atom.terms[0], Term::Const(Value::pred("path")));
+        assert_eq!(
+            facts[1].atom.pred,
+            PredRef::Parameterized { generic: "trustworthyPerPred".into(), param: "creditscore".into() }
+        );
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let err = parse_program("p(X) <- q(X)\nr(Y).").unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("parse error"), "{text}");
+    }
+
+    #[test]
+    fn error_on_garbage() {
+        assert!(parse_program("p(X) <<- q(X).").is_err());
+        assert!(parse_program("p(X <- q(X).").is_err());
+    }
+
+    #[test]
+    fn multi_head_rule() {
+        let rule = parse_rule(
+            "pathvar(P), path[P, Me, N] = 1, pathlink[P, Me] = N <- link(Me, N).",
+        )
+        .unwrap();
+        assert_eq!(rule.head.len(), 3);
+        assert_eq!(rule.head_existentials(), vec!["P".to_string()]);
+    }
+
+    #[test]
+    fn display_reparse_roundtrip() {
+        let source = "reachable(X, Y) <- link(X, Z), reachable(Z, Y).\n\
+                      says_link(P, Q) -> principal(P).\n";
+        let program = parse_program(source).unwrap();
+        let reparsed = parse_program(&program.to_string()).unwrap();
+        assert_eq!(program, reparsed);
+    }
+}

@@ -1,0 +1,572 @@
+//! Recursive-descent parser over the token stream produced by
+//! [`super::lexer::tokenize`].
+
+use super::lexer::{SpannedToken, Token};
+use crate::ast::{
+    AggFunc, AggSpec, ArithOp, Atom, CmpOp, Constraint, FactDecl, GenericConstraint, GenericRule,
+    Literal, PredRef, Program, Rule, Statement, Template, Term,
+};
+use crate::error::{DatalogError, Result};
+use crate::value::Value;
+
+/// The kind of arrow found between the head and body of a clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Arrow {
+    Rule,
+    Constraint,
+    GenericRule,
+    GenericConstraint,
+    /// No arrow: the clause is a ground fact.
+    None,
+}
+
+/// Items that may appear on the left-hand side of a clause.
+#[derive(Debug, Clone)]
+enum HeadItem {
+    Atom(Atom),
+    Template(Template),
+}
+
+/// Recursive-descent parser.
+pub struct Parser {
+    tokens: Vec<SpannedToken>,
+    pos: usize,
+}
+
+impl Parser {
+    /// Create a parser over a token stream.
+    pub fn new(tokens: Vec<SpannedToken>) -> Self {
+        Parser { tokens, pos: 0 }
+    }
+
+    /// Parse the whole token stream as a program.
+    pub fn parse_program(mut self) -> Result<Program> {
+        let mut program = Program::new();
+        while !self.at_end() {
+            program.statements.push(self.parse_statement()?);
+        }
+        Ok(program)
+    }
+
+    // ------------------------------------------------------------------
+    // Token-stream helpers
+    // ------------------------------------------------------------------
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|t| &t.token)
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<&Token> {
+        self.tokens.get(self.pos + offset).map(|t| &t.token)
+    }
+
+    fn advance(&mut self) -> Option<Token> {
+        let token = self.tokens.get(self.pos).map(|t| t.token.clone());
+        if token.is_some() {
+            self.pos += 1;
+        }
+        token
+    }
+
+    fn position(&self) -> (usize, usize) {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map(|t| (t.line, t.column))
+            .unwrap_or((0, 0))
+    }
+
+    fn error(&self, message: impl Into<String>) -> DatalogError {
+        let (line, column) = self.position();
+        DatalogError::Parse { message: message.into(), line, column }
+    }
+
+    fn expect(&mut self, expected: &Token) -> Result<()> {
+        match self.peek() {
+            Some(token) if token == expected => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(token) => Err(self.error(format!("expected `{expected}`, found `{token}`"))),
+            None => Err(self.error(format!("expected `{expected}`, found end of input"))),
+        }
+    }
+
+    fn eat(&mut self, expected: &Token) -> bool {
+        if self.peek() == Some(expected) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Statements
+    // ------------------------------------------------------------------
+
+    /// Parse one top-level (or template-level) statement, consuming the
+    /// trailing dot.
+    pub fn parse_statement(&mut self) -> Result<Statement> {
+        let heads = self.parse_head_items()?;
+        let arrow = self.parse_arrow();
+        let statement = match arrow {
+            Arrow::None => {
+                // A ground fact (or several separated by commas would have
+                // been joined; each statement carries exactly one).
+                if heads.len() != 1 {
+                    return Err(self.error("a fact statement must contain exactly one atom"));
+                }
+                match heads.into_iter().next().unwrap() {
+                    HeadItem::Atom(atom) => Statement::Fact(FactDecl { atom }),
+                    HeadItem::Template(_) => {
+                        return Err(self.error("a template cannot stand alone as a fact"))
+                    }
+                }
+            }
+            Arrow::Rule => {
+                let agg = self.parse_optional_agg()?;
+                let body = self.parse_literals_until_dot()?;
+                let head = self.heads_to_atoms(heads)?;
+                let mut rule = Rule::new(head, body);
+                rule.agg = agg;
+                Statement::Rule(rule)
+            }
+            Arrow::Constraint => {
+                let rhs = self.parse_literals_until_dot()?;
+                let lhs = self.heads_to_literals(heads)?;
+                Statement::Constraint(Constraint { lhs, rhs })
+            }
+            Arrow::GenericRule => {
+                let body = self.parse_literals_until_dot()?;
+                let mut head_atoms = Vec::new();
+                let mut templates = Vec::new();
+                for item in heads {
+                    match item {
+                        HeadItem::Atom(a) => head_atoms.push(a),
+                        HeadItem::Template(t) => templates.push(t),
+                    }
+                }
+                Statement::GenericRule(GenericRule { head: head_atoms, templates, body })
+            }
+            Arrow::GenericConstraint => {
+                let rhs = self.parse_literals_until_dot()?;
+                let lhs = self.heads_to_literals(heads)?;
+                Statement::GenericConstraint(GenericConstraint { lhs, rhs })
+            }
+        };
+        if arrow == Arrow::None {
+            self.expect(&Token::Dot)?;
+        }
+        Ok(statement)
+    }
+
+    fn heads_to_atoms(&self, heads: Vec<HeadItem>) -> Result<Vec<Atom>> {
+        heads
+            .into_iter()
+            .map(|item| match item {
+                HeadItem::Atom(a) => Ok(a),
+                HeadItem::Template(_) => {
+                    Err(self.error("code templates may only appear in generic (<--) rules"))
+                }
+            })
+            .collect()
+    }
+
+    fn heads_to_literals(&self, heads: Vec<HeadItem>) -> Result<Vec<Literal>> {
+        Ok(self.heads_to_atoms(heads)?.into_iter().map(Literal::Pos).collect())
+    }
+
+    fn parse_arrow(&mut self) -> Arrow {
+        match self.peek() {
+            Some(Token::RuleArrow) => {
+                self.pos += 1;
+                Arrow::Rule
+            }
+            Some(Token::ConstraintArrow) => {
+                self.pos += 1;
+                Arrow::Constraint
+            }
+            Some(Token::GenericRuleArrow) => {
+                self.pos += 1;
+                Arrow::GenericRule
+            }
+            Some(Token::GenericConstraintArrow) => {
+                self.pos += 1;
+                Arrow::GenericConstraint
+            }
+            _ => Arrow::None,
+        }
+    }
+
+    fn parse_head_items(&mut self) -> Result<Vec<HeadItem>> {
+        let mut items = Vec::new();
+        loop {
+            // Template: quote followed by `{`.
+            if self.peek() == Some(&Token::Quote) && self.peek_at(1) == Some(&Token::LBrace) {
+                self.pos += 2;
+                items.push(HeadItem::Template(self.parse_template_body()?));
+            } else {
+                items.push(HeadItem::Atom(self.parse_atom()?));
+            }
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        Ok(items)
+    }
+
+    fn parse_template_body(&mut self) -> Result<Template> {
+        let mut statements = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Token::RBrace) => {
+                    self.pos += 1;
+                    break;
+                }
+                None => return Err(self.error("unterminated code template: expected `}`")),
+                _ => statements.push(self.parse_statement()?),
+            }
+        }
+        Ok(Template { statements })
+    }
+
+    // ------------------------------------------------------------------
+    // Bodies and literals
+    // ------------------------------------------------------------------
+
+    fn parse_optional_agg(&mut self) -> Result<Option<AggSpec>> {
+        if let Some(Token::Ident(name)) = self.peek() {
+            if name == "agg" && self.peek_at(1) == Some(&Token::LtLt) {
+                self.pos += 2;
+                let result_var = match self.advance() {
+                    Some(Token::UpperIdent(v)) => v,
+                    other => {
+                        return Err(self.error(format!(
+                            "expected aggregation result variable, found {other:?}"
+                        )))
+                    }
+                };
+                self.expect(&Token::Eq)?;
+                let func = match self.advance() {
+                    Some(Token::Ident(f)) => match f.as_str() {
+                        "min" => AggFunc::Min,
+                        "max" => AggFunc::Max,
+                        "count" => AggFunc::Count,
+                        "sum" => AggFunc::Sum,
+                        other => {
+                            return Err(self.error(format!("unknown aggregation function {other}")))
+                        }
+                    },
+                    other => {
+                        return Err(self.error(format!("expected aggregation function, found {other:?}")))
+                    }
+                };
+                self.expect(&Token::LParen)?;
+                let input_var = match self.advance() {
+                    Some(Token::UpperIdent(v)) => v,
+                    other => {
+                        return Err(self.error(format!(
+                            "expected aggregation input variable, found {other:?}"
+                        )))
+                    }
+                };
+                self.expect(&Token::RParen)?;
+                self.expect(&Token::GtGt)?;
+                return Ok(Some(AggSpec { result_var, func, input_var }));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Parse comma-separated body literals up to (and including) the closing
+    /// dot.  An immediately-following dot yields an empty body, which is how
+    /// `pathvar(P) -> .` declares an entity type.
+    fn parse_literals_until_dot(&mut self) -> Result<Vec<Literal>> {
+        let mut literals = Vec::new();
+        if self.eat(&Token::Dot) {
+            return Ok(literals);
+        }
+        loop {
+            literals.push(self.parse_literal()?);
+            if self.eat(&Token::Comma) {
+                continue;
+            }
+            self.expect(&Token::Dot)?;
+            break;
+        }
+        Ok(literals)
+    }
+
+    fn parse_literal(&mut self) -> Result<Literal> {
+        if self.eat(&Token::Bang) {
+            return Ok(Literal::Neg(self.parse_atom()?));
+        }
+        // An identifier followed by `(` or `[` begins an atom; anything else
+        // is the left operand of a comparison.
+        let starts_atom = match (self.peek(), self.peek_at(1)) {
+            (Some(Token::Ident(_)) | Some(Token::UpperIdent(_)), Some(Token::LParen)) => true,
+            (Some(Token::Ident(name)), Some(Token::LBracket)) => {
+                // `self[] = X` style comparisons never occur: singleton access
+                // in a comparison is always written inside an atom; treat a
+                // bracketed identifier as an atom unless the bracket is empty
+                // and the whole thing is followed by a comparison operator.
+                // `p[] = K` is functional-atom syntax, which the atom parser
+                // handles, so an atom is correct in every bracketed case.
+                let _ = name;
+                true
+            }
+            (Some(Token::UpperIdent(_)), Some(Token::LBracket)) => true,
+            _ => false,
+        };
+        if starts_atom {
+            return Ok(Literal::Pos(self.parse_atom()?));
+        }
+        // Comparison literal.
+        let lhs = self.parse_term()?;
+        let op = match self.advance() {
+            Some(Token::Eq) => CmpOp::Eq,
+            Some(Token::Ne) => CmpOp::Ne,
+            Some(Token::Lt) => CmpOp::Lt,
+            Some(Token::Le) => CmpOp::Le,
+            Some(Token::Gt) => CmpOp::Gt,
+            Some(Token::Ge) => CmpOp::Ge,
+            other => {
+                return Err(self.error(format!(
+                    "expected comparison operator after term, found {other:?}"
+                )))
+            }
+        };
+        let rhs = self.parse_term()?;
+        Ok(Literal::Cmp(lhs, op, rhs))
+    }
+
+    // ------------------------------------------------------------------
+    // Atoms
+    // ------------------------------------------------------------------
+
+    fn parse_atom(&mut self) -> Result<Atom> {
+        let name_token = self.advance();
+        let (name, is_upper) = match name_token {
+            Some(Token::Ident(n)) => (n, false),
+            Some(Token::UpperIdent(n)) => (n, true),
+            other => return Err(self.error(format!("expected predicate name, found {other:?}"))),
+        };
+
+        // Bracketed part: parameterization or functional keys.
+        if self.eat(&Token::LBracket) {
+            let mut bracket_items: Vec<BracketItem> = Vec::new();
+            if !self.eat(&Token::RBracket) {
+                loop {
+                    bracket_items.push(self.parse_bracket_item()?);
+                    if self.eat(&Token::Comma) {
+                        continue;
+                    }
+                    self.expect(&Token::RBracket)?;
+                    break;
+                }
+            }
+            match self.peek() {
+                Some(Token::LParen) => {
+                    // Parameterized atom, e.g. says[`reachable](…) or says[T](…)
+                    // or the width-annotated built-in type int[32](…).
+                    self.pos += 1;
+                    let terms = self.parse_terms_until_rparen()?;
+                    let pred = match bracket_items.as_slice() {
+                        [BracketItem::QuotedPred(p)] => {
+                            PredRef::Parameterized { generic: name, param: p.clone() }
+                        }
+                        [BracketItem::Term(Term::Var(v))] => {
+                            PredRef::ParameterizedVar { generic: name, var: v.clone() }
+                        }
+                        [BracketItem::Term(Term::Const(Value::Int(_)))] => {
+                            // `int[32]`, `int[64]`, … — width annotations on the
+                            // built-in integer type collapse to `int`.
+                            PredRef::Named(name)
+                        }
+                        _ => {
+                            return Err(self.error(format!(
+                                "predicate parameterization of {name} must be a single quoted \
+                                 predicate or predicate variable"
+                            )))
+                        }
+                    };
+                    Ok(Atom { pred, terms, functional: false })
+                }
+                Some(Token::Eq) => {
+                    // Functional syntax: name[keys…] = value.
+                    self.pos += 1;
+                    let value = self.parse_term()?;
+                    let mut terms: Vec<Term> = Vec::with_capacity(bracket_items.len() + 1);
+                    for item in bracket_items {
+                        terms.push(match item {
+                            BracketItem::Term(t) => t,
+                            BracketItem::QuotedPred(p) => Term::Const(Value::pred(p)),
+                        });
+                    }
+                    terms.push(value);
+                    let pred = if is_upper { PredRef::Var(name) } else { PredRef::Named(name) };
+                    Ok(Atom { pred, terms, functional: true })
+                }
+                _ => Err(self.error(format!(
+                    "expected `(` or `=` after bracketed predicate {name}[…]"
+                ))),
+            }
+        } else if self.eat(&Token::LParen) {
+            let terms = self.parse_terms_until_rparen()?;
+            let pred = if is_upper { PredRef::Var(name) } else { PredRef::Named(name) };
+            Ok(Atom { pred, terms, functional: false })
+        } else {
+            // Zero-argument (propositional) atom.
+            let pred = if is_upper { PredRef::Var(name) } else { PredRef::Named(name) };
+            Ok(Atom { pred, terms: Vec::new(), functional: false })
+        }
+    }
+
+    fn parse_terms_until_rparen(&mut self) -> Result<Vec<Term>> {
+        let mut terms = Vec::new();
+        if self.eat(&Token::RParen) {
+            return Ok(terms);
+        }
+        loop {
+            terms.push(self.parse_term()?);
+            if self.eat(&Token::Comma) {
+                continue;
+            }
+            self.expect(&Token::RParen)?;
+            break;
+        }
+        Ok(terms)
+    }
+
+    fn parse_bracket_item(&mut self) -> Result<BracketItem> {
+        if self.peek() == Some(&Token::Quote) {
+            // A quoted predicate parameter: `reachable
+            self.pos += 1;
+            match self.advance() {
+                Some(Token::Ident(p)) => Ok(BracketItem::QuotedPred(p)),
+                other => Err(self.error(format!("expected predicate name after quote, found {other:?}"))),
+            }
+        } else {
+            Ok(BracketItem::Term(self.parse_term()?))
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Terms
+    // ------------------------------------------------------------------
+
+    /// Parse a term with two precedence levels: `* / %` bind tighter than `+ -`.
+    fn parse_term(&mut self) -> Result<Term> {
+        let mut lhs = self.parse_term_factor()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => ArithOp::Add,
+                Some(Token::Minus) => ArithOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.parse_term_factor()?;
+            lhs = Term::BinOp(Box::new(lhs), op, Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_term_factor(&mut self) -> Result<Term> {
+        let mut lhs = self.parse_term_primary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => {
+                    // Distinguish the variable-sequence marker `V*` from
+                    // multiplication `V * 2`: a sequence marker is immediately
+                    // followed by a delimiter.
+                    let delimiter_follows = matches!(
+                        self.peek_at(1),
+                        Some(Token::Comma)
+                            | Some(Token::RParen)
+                            | Some(Token::RBracket)
+                            | Some(Token::Dot)
+                            | Some(Token::GtGt)
+                            | None
+                    );
+                    if delimiter_follows {
+                        if let Term::Var(v) = &lhs {
+                            self.pos += 1;
+                            lhs = Term::VarSeq(v.clone());
+                            continue;
+                        }
+                    }
+                    ArithOp::Mul
+                }
+                Some(Token::Slash) => ArithOp::Div,
+                Some(Token::Percent) => ArithOp::Mod,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.parse_term_primary()?;
+            lhs = Term::BinOp(Box::new(lhs), op, Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_term_primary(&mut self) -> Result<Term> {
+        match self.peek().cloned() {
+            Some(Token::Int(i)) => {
+                self.pos += 1;
+                Ok(Term::Const(Value::Int(i)))
+            }
+            Some(Token::Str(s)) => {
+                self.pos += 1;
+                Ok(Term::Const(Value::str(s)))
+            }
+            Some(Token::Underscore) => {
+                self.pos += 1;
+                Ok(Term::Wildcard)
+            }
+            Some(Token::UpperIdent(v)) => {
+                self.pos += 1;
+                Ok(Term::Var(v))
+            }
+            Some(Token::Quote) => {
+                self.pos += 1;
+                match self.advance() {
+                    Some(Token::Ident(p)) => Ok(Term::Const(Value::pred(p))),
+                    other => Err(self.error(format!(
+                        "expected a predicate name after quote in term position, found {other:?}"
+                    ))),
+                }
+            }
+            Some(Token::Ident(name)) => {
+                self.pos += 1;
+                // `name[]` in a term position accesses a zero-key functional
+                // predicate, e.g. `self[]`.
+                if self.peek() == Some(&Token::LBracket) && self.peek_at(1) == Some(&Token::RBracket) {
+                    self.pos += 2;
+                    return Ok(Term::SingletonRef(name));
+                }
+                match name.as_str() {
+                    "true" => Ok(Term::Const(Value::Bool(true))),
+                    "false" => Ok(Term::Const(Value::Bool(false))),
+                    _ => Ok(Term::Const(Value::str(name))),
+                }
+            }
+            Some(Token::LParen) => {
+                self.pos += 1;
+                let term = self.parse_term()?;
+                self.expect(&Token::RParen)?;
+                Ok(term)
+            }
+            other => Err(self.error(format!("expected a term, found {other:?}"))),
+        }
+    }
+}
+
+/// An item inside a bracketed predicate suffix `name[…]`.
+#[derive(Debug, Clone)]
+enum BracketItem {
+    Term(Term),
+    QuotedPred(String),
+}

@@ -1,0 +1,282 @@
+//! In-memory relation storage with functional-dependency enforcement.
+
+use crate::error::{DatalogError, Result};
+use crate::value::{Tuple, Value};
+use std::collections::{HashMap, HashSet};
+
+/// A stored relation: the extension of one predicate inside a workspace.
+#[derive(Debug, Clone, Default)]
+pub struct Relation {
+    name: String,
+    /// `Some(k)` if the predicate is functional with `k` key columns (the
+    /// remaining single column is the dependent value).
+    key_arity: Option<usize>,
+    tuples: HashSet<Tuple>,
+    /// Key → value index for functional predicates, used both for fast lookup
+    /// and for detecting functional-dependency violations.
+    fd_index: HashMap<Tuple, Value>,
+}
+
+impl Relation {
+    /// Create an empty relation.
+    pub fn new(name: impl Into<String>, key_arity: Option<usize>) -> Self {
+        Relation {
+            name: name.into(),
+            key_arity,
+            tuples: HashSet::new(),
+            fd_index: HashMap::new(),
+        }
+    }
+
+    /// The relation (predicate) name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The functional key arity, if the predicate is functional.
+    pub fn key_arity(&self) -> Option<usize> {
+        self.key_arity
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True if the relation has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, tuple: &[Value]) -> bool {
+        self.tuples.contains(tuple)
+    }
+
+    /// Iterate over all tuples (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.iter()
+    }
+
+    /// All tuples in a deterministic order (sorted by the total value order),
+    /// for stable output and tests.
+    pub fn sorted(&self) -> Vec<Tuple> {
+        let mut out: Vec<Tuple> = self.tuples.iter().cloned().collect();
+        out.sort_by(|a, b| {
+            for (x, y) in a.iter().zip(b.iter()) {
+                match x.total_cmp(y) {
+                    std::cmp::Ordering::Equal => continue,
+                    other => return other,
+                }
+            }
+            a.len().cmp(&b.len())
+        });
+        out
+    }
+
+    /// Insert a tuple.
+    ///
+    /// Returns `Ok(true)` if the tuple is new, `Ok(false)` if it was already
+    /// present, and a [`DatalogError::FunctionalDependency`] error if the
+    /// predicate is functional and the key already maps to a different value.
+    pub fn insert(&mut self, tuple: Tuple) -> Result<bool> {
+        if let Some(key_arity) = self.key_arity {
+            if tuple.len() != key_arity + 1 {
+                return Err(DatalogError::Eval(format!(
+                    "functional predicate {} expects {} columns, got {}",
+                    self.name,
+                    key_arity + 1,
+                    tuple.len()
+                )));
+            }
+            let key: Tuple = tuple[..key_arity].to_vec();
+            let value = tuple[key_arity].clone();
+            if let Some(existing) = self.fd_index.get(&key) {
+                if *existing == value {
+                    return Ok(false);
+                }
+                let mut existing_row = key.clone();
+                existing_row.push(existing.clone());
+                return Err(DatalogError::FunctionalDependency {
+                    predicate: self.name.clone(),
+                    key,
+                    existing: vec![existing_row[key_arity].clone()],
+                    attempted: vec![value],
+                });
+            }
+            self.fd_index.insert(key, value);
+        }
+        Ok(self.tuples.insert(tuple))
+    }
+
+    /// Insert a tuple for a functional predicate, replacing any existing
+    /// value for the same key (used by aggregation recomputation, where a
+    /// better aggregate legitimately supersedes the previous one).
+    pub fn insert_or_replace(&mut self, tuple: Tuple) -> Result<bool> {
+        if let Some(key_arity) = self.key_arity {
+            let key: Tuple = tuple[..key_arity].to_vec();
+            if let Some(existing) = self.fd_index.get(&key).cloned() {
+                if existing == tuple[key_arity] {
+                    return Ok(false);
+                }
+                let mut old_row = key.clone();
+                old_row.push(existing);
+                self.tuples.remove(&old_row);
+                self.fd_index.remove(&key);
+            }
+        }
+        self.insert(tuple)
+    }
+
+    /// Remove a tuple, returning whether it was present.
+    pub fn remove(&mut self, tuple: &[Value]) -> bool {
+        let removed = self.tuples.remove(tuple);
+        if removed {
+            if let Some(key_arity) = self.key_arity {
+                let key: Tuple = tuple[..key_arity].to_vec();
+                self.fd_index.remove(&key);
+            }
+        }
+        removed
+    }
+
+    /// Remove all tuples.
+    pub fn clear(&mut self) {
+        self.tuples.clear();
+        self.fd_index.clear();
+    }
+
+    /// Look up the dependent value for `key` in a functional predicate.
+    pub fn functional_lookup(&self, key: &[Value]) -> Option<&Value> {
+        self.fd_index.get(key)
+    }
+
+    /// The value of a zero-key functional predicate (`p[] = v`), if set.
+    pub fn singleton_value(&self) -> Option<&Value> {
+        if self.key_arity == Some(0) {
+            self.fd_index.get(&Vec::new() as &Tuple)
+        } else {
+            None
+        }
+    }
+
+    /// Tuples matching a partial binding pattern: `pattern[i] = Some(v)`
+    /// requires column `i` to equal `v`.
+    pub fn select(&self, pattern: &[Option<Value>]) -> Vec<&Tuple> {
+        self.tuples
+            .iter()
+            .filter(|tuple| {
+                tuple.len() == pattern.len()
+                    && pattern
+                        .iter()
+                        .zip(tuple.iter())
+                        .all(|(p, v)| p.as_ref().map_or(true, |expected| expected == v))
+            })
+            .collect()
+    }
+
+    /// True if at least one tuple matches the partial binding pattern.
+    pub fn matches_any(&self, pattern: &[Option<Value>]) -> bool {
+        self.tuples.iter().any(|tuple| {
+            tuple.len() == pattern.len()
+                && pattern
+                    .iter()
+                    .zip(tuple.iter())
+                    .all(|(p, v)| p.as_ref().map_or(true, |expected| expected == v))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(values: &[i64]) -> Tuple {
+        values.iter().map(|v| Value::Int(*v)).collect()
+    }
+
+    #[test]
+    fn insert_dedup_and_len() {
+        let mut rel = Relation::new("link", None);
+        assert!(rel.insert(t(&[1, 2])).unwrap());
+        assert!(!rel.insert(t(&[1, 2])).unwrap());
+        assert!(rel.insert(t(&[2, 3])).unwrap());
+        assert_eq!(rel.len(), 2);
+        assert!(rel.contains(&t(&[1, 2])));
+        assert!(!rel.contains(&t(&[3, 1])));
+    }
+
+    #[test]
+    fn functional_dependency_enforced() {
+        let mut rel = Relation::new("bestcost", Some(2));
+        rel.insert(t(&[1, 2, 5])).unwrap();
+        assert!(!rel.insert(t(&[1, 2, 5])).unwrap());
+        let err = rel.insert(t(&[1, 2, 7])).unwrap_err();
+        assert!(matches!(err, DatalogError::FunctionalDependency { .. }));
+        // Different key is fine.
+        rel.insert(t(&[1, 3, 7])).unwrap();
+        assert_eq!(rel.functional_lookup(&t(&[1, 2])), Some(&Value::Int(5)));
+    }
+
+    #[test]
+    fn insert_or_replace_updates_value() {
+        let mut rel = Relation::new("bestcost", Some(2));
+        rel.insert(t(&[1, 2, 5])).unwrap();
+        assert!(rel.insert_or_replace(t(&[1, 2, 3])).unwrap());
+        assert_eq!(rel.len(), 1);
+        assert_eq!(rel.functional_lookup(&t(&[1, 2])), Some(&Value::Int(3)));
+        assert!(!rel.contains(&t(&[1, 2, 5])));
+        assert!(!rel.insert_or_replace(t(&[1, 2, 3])).unwrap());
+    }
+
+    #[test]
+    fn singleton_value_access() {
+        let mut rel = Relation::new("self", Some(0));
+        assert!(rel.singleton_value().is_none());
+        rel.insert(vec![Value::str("n1")]).unwrap();
+        assert_eq!(rel.singleton_value(), Some(&Value::str("n1")));
+        // A non-singleton relation never reports a singleton value.
+        let rel2 = Relation::new("link", None);
+        assert!(rel2.singleton_value().is_none());
+    }
+
+    #[test]
+    fn remove_maintains_fd_index() {
+        let mut rel = Relation::new("m", Some(1));
+        rel.insert(t(&[1, 10])).unwrap();
+        assert!(rel.remove(&t(&[1, 10])));
+        assert!(!rel.remove(&t(&[1, 10])));
+        // After removal the key can be remapped without a violation.
+        rel.insert(t(&[1, 20])).unwrap();
+        assert_eq!(rel.functional_lookup(&t(&[1])), Some(&Value::Int(20)));
+    }
+
+    #[test]
+    fn select_filters_by_pattern() {
+        let mut rel = Relation::new("edge", None);
+        for (a, b) in [(1, 2), (1, 3), (2, 3)] {
+            rel.insert(t(&[a, b])).unwrap();
+        }
+        let matches = rel.select(&[Some(Value::Int(1)), None]);
+        assert_eq!(matches.len(), 2);
+        let matches = rel.select(&[None, Some(Value::Int(3))]);
+        assert_eq!(matches.len(), 2);
+        let matches = rel.select(&[None, None]);
+        assert_eq!(matches.len(), 3);
+    }
+
+    #[test]
+    fn sorted_is_deterministic() {
+        let mut rel = Relation::new("edge", None);
+        rel.insert(t(&[3, 1])).unwrap();
+        rel.insert(t(&[1, 2])).unwrap();
+        rel.insert(t(&[1, 1])).unwrap();
+        assert_eq!(rel.sorted(), vec![t(&[1, 1]), t(&[1, 2]), t(&[3, 1])]);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected_for_functional() {
+        let mut rel = Relation::new("f", Some(1));
+        assert!(rel.insert(t(&[1])).is_err());
+    }
+}

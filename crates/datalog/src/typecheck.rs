@@ -1,0 +1,254 @@
+//! Static type checking of rules against the declared schema.
+//!
+//! DatalogLB "employs a static type system, which guarantees at compile-time
+//! that certain kinds of constraints always hold for all possible
+//! instantiations of a given schema" (paper §2).  The check implemented here
+//! follows the paper's example: a rule deriving `p(x1,…,xn)` is accepted only
+//! if, for every argument position with a declared type, the rule body
+//! guarantees membership in that type — because the variable also appears at
+//! a body position with the same declared type, appears directly in an atom
+//! of the type predicate itself, is a constant of the right primitive type,
+//! or is a head-existential variable of an entity type (which the engine
+//! populates itself).
+//!
+//! Predicates without declared argument types are unchecked (gradual typing),
+//! so inferred-schema programs always pass.
+
+use crate::ast::{Atom, Literal, Program, Rule, Term};
+use crate::error::{DatalogError, Result};
+use crate::eval::runtime_pred_name;
+use crate::schema::{Schema, BUILTIN_TYPES};
+use crate::udf::UdfRegistry;
+use crate::value::Value;
+use std::collections::{HashMap, HashSet};
+
+/// Type-check every rule of `program` against `schema`.
+pub fn typecheck_program(program: &Program, schema: &Schema, udfs: &UdfRegistry) -> Result<()> {
+    for rule in program.rules() {
+        typecheck_rule(rule, schema, udfs)?;
+    }
+    Ok(())
+}
+
+/// Type-check a single rule.
+pub fn typecheck_rule(rule: &Rule, schema: &Schema, udfs: &UdfRegistry) -> Result<()> {
+    // 1. Infer the set of types guaranteed for each body variable.
+    let mut var_types: HashMap<String, HashSet<String>> = HashMap::new();
+    for literal in &rule.body {
+        let Literal::Pos(atom) = literal else { continue };
+        let Ok(pred) = runtime_pred_name(&atom.pred) else { continue };
+        if udfs.is_udf(&pred) {
+            continue;
+        }
+        // Membership in a declared type predicate (or builtin check).
+        if schema.is_type(&pred) && atom.terms.len() == 1 {
+            if let Term::Var(v) = &atom.terms[0] {
+                var_types.entry(v.clone()).or_default().insert(pred.clone());
+            }
+            continue;
+        }
+        let Some(decl) = schema.get(&pred) else { continue };
+        if decl.variadic {
+            continue;
+        }
+        for (term, declared) in atom.terms.iter().zip(decl.arg_types.iter()) {
+            if let (Term::Var(v), Some(ty)) = (term, declared) {
+                var_types.entry(v.clone()).or_default().insert(ty.clone());
+            }
+        }
+    }
+
+    let existentials: HashSet<String> = rule.head_existentials().into_iter().collect();
+
+    // 2. Check each head argument against the head predicate's declaration.
+    for atom in &rule.head {
+        check_atom_against_schema(rule, atom, schema, &var_types, &existentials)?;
+    }
+    Ok(())
+}
+
+fn check_atom_against_schema(
+    rule: &Rule,
+    atom: &Atom,
+    schema: &Schema,
+    var_types: &HashMap<String, HashSet<String>>,
+    existentials: &HashSet<String>,
+) -> Result<()> {
+    let Ok(pred) = runtime_pred_name(&atom.pred) else {
+        return Ok(());
+    };
+    let Some(decl) = schema.get(&pred) else {
+        return Ok(());
+    };
+    if decl.variadic {
+        return Ok(());
+    }
+    if decl.arity != atom.terms.len() {
+        return Err(DatalogError::Type(format!(
+            "rule `{rule}` derives {pred} with {} arguments but it is declared with arity {}",
+            atom.terms.len(),
+            decl.arity
+        )));
+    }
+    for (position, (term, declared)) in atom.terms.iter().zip(decl.arg_types.iter()).enumerate() {
+        let Some(required) = declared else { continue };
+        match term {
+            Term::Var(v) => {
+                if existentials.contains(v) {
+                    // Head-existential variables mint entities; they are only
+                    // valid at positions typed by an entity-style type.
+                    continue;
+                }
+                let inferred = var_types.get(v);
+                let satisfied = match inferred {
+                    Some(types) => {
+                        types.contains(required)
+                            || BUILTIN_TYPES.contains(&required.as_str())
+                                && types.iter().any(|t| t == required)
+                    }
+                    None => false,
+                };
+                // Gradual typing: only reject when we inferred *some* types
+                // for the variable and none of them is the required one, or
+                // when the required type is a declared (non-builtin) type and
+                // nothing at all is known about the variable.
+                let known_wrong = matches!(inferred, Some(types) if !types.is_empty()) && !satisfied;
+                let unknown_but_strict =
+                    inferred.is_none() && !BUILTIN_TYPES.contains(&required.as_str());
+                if known_wrong || unknown_but_strict {
+                    return Err(DatalogError::Type(format!(
+                        "in rule `{rule}`: argument {position} of {pred} requires type {required}, \
+                         but variable {v} is not guaranteed to be a {required} by the rule body"
+                    )));
+                }
+            }
+            Term::Const(value) => {
+                if BUILTIN_TYPES.contains(&required.as_str()) && value.primitive_type() != required {
+                    return Err(DatalogError::Type(format!(
+                        "in rule `{rule}`: argument {position} of {pred} requires type {required}, \
+                         but the constant {value} is a {}",
+                        value.primitive_type()
+                    )));
+                }
+            }
+            Term::BinOp(..) => {
+                // Arithmetic results are integers.
+                if BUILTIN_TYPES.contains(&required.as_str()) && required != "int" && required != "string" {
+                    return Err(DatalogError::Type(format!(
+                        "in rule `{rule}`: argument {position} of {pred} requires type {required}, \
+                         but an arithmetic expression produces an int"
+                    )));
+                }
+            }
+            // Singleton accesses, wildcards and sequences are not statically
+            // checkable here.
+            _ => {}
+        }
+    }
+    let _ = Value::Bool(true); // keep Value imported for doc-consistency
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn check(source: &str) -> Result<()> {
+        let program = parse_program(source).unwrap();
+        let mut schema = Schema::new();
+        schema.absorb_program(&program).unwrap();
+        typecheck_program(&program, &schema, &UdfRegistry::new())
+    }
+
+    #[test]
+    fn well_typed_rule_accepted() {
+        check(
+            "link(N1, N2) -> node(N1), node(N2).\n\
+             reachable(X, Y) -> node(X), node(Y).\n\
+             reachable(X, Y) <- link(X, Y).\n\
+             reachable(X, Y) <- link(X, Z), reachable(Z, Y).",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn untyped_variable_for_declared_type_rejected() {
+        // s provides no guarantee that its values are nodes (the paper's
+        // motivating example for the static type system).
+        let err = check(
+            "reachable(X, Y) -> node(X), node(Y).\n\
+             reachable(X, Y) <- s(X), s(Y).",
+        )
+        .unwrap_err();
+        assert!(matches!(err, DatalogError::Type(_)));
+    }
+
+    #[test]
+    fn declaring_subset_fixes_it() {
+        check(
+            "reachable(X, Y) -> node(X), node(Y).\n\
+             s(X) -> node(X).\n\
+             reachable(X, Y) <- s(X), s(Y).",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn membership_atom_satisfies_type() {
+        check(
+            "reachable(X, Y) -> node(X), node(Y).\n\
+             reachable(X, Y) <- candidate(X, Y), node(X), node(Y).",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn constant_of_wrong_primitive_type_rejected() {
+        let err = check(
+            "cost(N, C) -> node(N), int[32](C).\n\
+             cost(X, \"high\") <- node(X).",
+        )
+        .unwrap_err();
+        assert!(matches!(err, DatalogError::Type(_)));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        // Declared arity 2 but derived with arity 2 — craft a mismatch by
+        // declaring p explicitly and deriving with the wrong arity via a
+        // second program pass.
+        let program = parse_program("p(X, Y) -> node(X), node(Y).").unwrap();
+        let mut schema = Schema::new();
+        schema.absorb_program(&program).unwrap();
+        let bad = parse_program("p(X) <- node(X).").unwrap();
+        let err = typecheck_program(&bad, &schema, &UdfRegistry::new()).unwrap_err();
+        assert!(matches!(err, DatalogError::Type(_)));
+    }
+
+    #[test]
+    fn existential_head_variables_pass() {
+        check(
+            "pathvar(P) -> .\n\
+             path(P, X, Y) -> pathvar(P), node(X), node(Y).\n\
+             link(X, Y) -> node(X), node(Y).\n\
+             pathvar(P), path(P, X, Y) <- link(X, Y).",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn arithmetic_heads_accept_int_positions() {
+        check(
+            "dist(X, C) -> node(X), int[32](C).\n\
+             link(X, Y) -> node(X), node(Y).\n\
+             dist(X, C + 1) <- link(X, Y), dist(Y, C).",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn undeclared_predicates_are_gradually_typed() {
+        check("helper(X, Y) <- anything(X), whatever(Y).").unwrap();
+    }
+}

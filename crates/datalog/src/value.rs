@@ -1,0 +1,227 @@
+//! Runtime values stored in relations.
+//!
+//! DatalogLB values are dynamically typed at the storage layer; the static
+//! type system (unary "type" predicates plus built-in primitive types) is
+//! enforced by [`crate::typecheck`] at compile time and by runtime integrity
+//! constraints.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+/// A single column value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// 64-bit signed integer (`int[32]` and `int[64]` in DatalogLB syntax both
+    /// map here).
+    Int(i64),
+    /// Interned string / symbol.  Node names, principal names and string
+    /// literals all use this representation.
+    Str(Arc<str>),
+    /// Boolean.
+    Bool(bool),
+    /// Opaque byte string — serialized tuples, signatures, ciphertexts, keys.
+    Bytes(Arc<Vec<u8>>),
+    /// An entity minted by a head-existential variable (e.g. `pathvar`).
+    Entity(u64),
+    /// A reference to a predicate, used by meta-level (BloxGenerics) facts
+    /// such as `predicate(T)` or `exportable('path)`.
+    Pred(Arc<str>),
+}
+
+impl Value {
+    /// Construct a string value.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Construct a byte-string value.
+    pub fn bytes(b: impl Into<Vec<u8>>) -> Value {
+        Value::Bytes(Arc::new(b.into()))
+    }
+
+    /// Construct a predicate-reference value.
+    pub fn pred(name: impl AsRef<str>) -> Value {
+        Value::Pred(Arc::from(name.as_ref()))
+    }
+
+    /// The integer payload, if this is an [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a [`Value::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The byte payload, if this is a [`Value::Bytes`].
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            Value::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The referenced predicate name, if this is a [`Value::Pred`].
+    pub fn as_pred(&self) -> Option<&str> {
+        match self {
+            Value::Pred(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// The built-in primitive type name of this value, used in type checking
+    /// and error messages.
+    pub fn primitive_type(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "int",
+            Value::Str(_) => "string",
+            Value::Bool(_) => "bool",
+            Value::Bytes(_) => "bytes",
+            Value::Entity(_) => "entity",
+            Value::Pred(_) => "pred",
+        }
+    }
+
+    /// A deterministic total order across all values (used by aggregation and
+    /// for stable output ordering).  Values of different variants order by
+    /// variant first.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Int(_) => 0,
+                Value::Str(_) => 1,
+                Value::Bool(_) => 2,
+                Value::Bytes(_) => 3,
+                Value::Entity(_) => 4,
+                Value::Pred(_) => 5,
+            }
+        }
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Bytes(a), Value::Bytes(b)) => a.cmp(b),
+            (Value::Entity(a), Value::Entity(b)) => a.cmp(b),
+            (Value::Pred(a), Value::Pred(b)) => a.cmp(b),
+            _ => rank(self).cmp(&rank(other)),
+        }
+    }
+}
+
+/// `Display` writes values the way they appear in DatalogLB source text.
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => {
+                if s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '$')
+                    && s.chars().next().map_or(false, |c| c.is_ascii_lowercase())
+                {
+                    write!(f, "{s}")
+                } else {
+                    write!(f, "{s:?}")
+                }
+            }
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Bytes(b) => {
+                write!(f, "0x")?;
+                for byte in b.iter().take(16) {
+                    write!(f, "{byte:02x}")?;
+                }
+                if b.len() > 16 {
+                    write!(f, "..[{}B]", b.len())?;
+                }
+                Ok(())
+            }
+            Value::Entity(id) => write!(f, "@e{id}"),
+            Value::Pred(p) => write!(f, "`{p}"),
+        }
+    }
+}
+
+/// A tuple of values, i.e. one row of a relation.
+pub type Tuple = Vec<Value>;
+
+/// Render a tuple for diagnostics.
+pub fn format_tuple(tuple: &[Value]) -> String {
+    let parts: Vec<String> = tuple.iter().map(|v| v.to_string()).collect();
+    format!("({})", parts.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::str("n1").as_str(), Some("n1"));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::bytes(vec![1, 2]).as_bytes(), Some(&[1u8, 2][..]));
+        assert_eq!(Value::pred("link").as_pred(), Some("link"));
+        assert_eq!(Value::Int(3).as_str(), None);
+    }
+
+    #[test]
+    fn primitive_types() {
+        assert_eq!(Value::Int(1).primitive_type(), "int");
+        assert_eq!(Value::str("x").primitive_type(), "string");
+        assert_eq!(Value::Entity(1).primitive_type(), "entity");
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Int(-4).to_string(), "-4");
+        assert_eq!(Value::str("n1").to_string(), "n1");
+        assert_eq!(Value::str("Hello world").to_string(), "\"Hello world\"");
+        assert_eq!(Value::pred("reachable").to_string(), "`reachable");
+        assert_eq!(Value::Entity(9).to_string(), "@e9");
+        assert!(Value::bytes(vec![0xde, 0xad]).to_string().starts_with("0xdead"));
+    }
+
+    #[test]
+    fn total_ordering_is_total_and_consistent() {
+        let values = vec![
+            Value::Int(1),
+            Value::Int(5),
+            Value::str("a"),
+            Value::str("b"),
+            Value::Bool(false),
+            Value::bytes(vec![0]),
+            Value::Entity(3),
+            Value::pred("p"),
+        ];
+        for a in &values {
+            assert_eq!(a.total_cmp(a), Ordering::Equal);
+            for b in &values {
+                assert_eq!(a.total_cmp(b), b.total_cmp(a).reverse());
+            }
+        }
+        assert_eq!(Value::Int(1).total_cmp(&Value::Int(5)), Ordering::Less);
+        assert_eq!(Value::str("b").total_cmp(&Value::str("a")), Ordering::Greater);
+    }
+
+    #[test]
+    fn format_tuple_readable() {
+        assert_eq!(
+            format_tuple(&[Value::str("n1"), Value::Int(2)]),
+            "(n1, 2)"
+        );
+    }
+}

@@ -1,0 +1,596 @@
+//! The workspace: a database instance holding predicate definitions,
+//! installed rules, constraints, and data, evaluated transactionally.
+//!
+//! This mirrors the LogicBlox workspace of the paper's Figure 1: programs are
+//! compiled (parsed, type-checked) and installed; applications then add or
+//! remove facts, and the installed rules are maintained to fixpoint while
+//! runtime constraints are checked.  SecureBlox processes each batch of
+//! incoming network facts "in a local ACID transaction that encapsulates a
+//! fixpoint computation; if a derivation in the transaction violates a runtime
+//! constraint, then the transaction (including the input tuples) is rolled
+//! back" (§5.2) — [`Workspace::transaction`] implements exactly that.
+
+use crate::ast::{Constraint, Program, Rule, Statement, Term};
+use crate::constraint::{check_constraints, check_constraints_incremental};
+use crate::error::{DatalogError, Result};
+use crate::eval::dred::DeletionStats;
+use crate::eval::{Bindings, EvalConfig, Evaluator, FixpointStats};
+use crate::parser::parse_program;
+use crate::relation::Relation;
+use crate::schema::{PredicateKind, Schema};
+use crate::strata::stratify_with;
+use crate::typecheck::typecheck_program;
+use crate::udf::UdfRegistry;
+use crate::value::{Tuple, Value};
+use std::collections::{HashMap, HashSet};
+use std::time::{Duration, Instant};
+
+/// Outcome of a successfully committed transaction.
+#[derive(Debug, Clone, Default)]
+pub struct TransactionReport {
+    /// Base facts newly inserted by this transaction.
+    pub inserted: usize,
+    /// Tuples derived by the fixpoint computation.
+    pub derived: usize,
+    /// Semi-naïve iterations executed.
+    pub iterations: usize,
+    /// Wall-clock duration of the transaction (insert + fixpoint + constraint
+    /// check), which the evaluation harness reports as "transaction duration".
+    pub duration: Duration,
+}
+
+/// A LogicBlox-style workspace.
+#[derive(Clone)]
+pub struct Workspace {
+    schema: Schema,
+    relations: HashMap<String, Relation>,
+    rules: Vec<Rule>,
+    constraints: Vec<Constraint>,
+    udfs: UdfRegistry,
+    strata: Vec<Vec<usize>>,
+    config: EvalConfig,
+    entity_counter: u64,
+    existential_memo: HashMap<(usize, Vec<Value>), u64>,
+    /// Explicitly asserted (extensional) facts, tracked so incremental
+    /// deletion never removes a fact that has a non-rule justification.
+    edb_facts: HashMap<String, HashSet<Tuple>>,
+    /// When true, static type checking failures abort installation.
+    strict_typing: bool,
+    /// When true, negation is permitted inside recursive components
+    /// (locally-stratified programs such as the path-vector protocol).
+    allow_recursive_negation: bool,
+}
+
+impl std::fmt::Debug for Workspace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Workspace")
+            .field("predicates", &self.relations.len())
+            .field("rules", &self.rules.len())
+            .field("constraints", &self.constraints.len())
+            .field("facts", &self.relations.values().map(|r| r.len()).sum::<usize>())
+            .finish()
+    }
+}
+
+impl Default for Workspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Workspace {
+    /// Create an empty workspace with default evaluation limits.
+    pub fn new() -> Self {
+        Workspace {
+            schema: Schema::new(),
+            relations: HashMap::new(),
+            rules: Vec::new(),
+            constraints: Vec::new(),
+            udfs: UdfRegistry::new(),
+            strata: Vec::new(),
+            config: EvalConfig::default(),
+            entity_counter: 0,
+            existential_memo: HashMap::new(),
+            edb_facts: HashMap::new(),
+            strict_typing: true,
+            allow_recursive_negation: false,
+        }
+    }
+
+    /// Create a workspace with a custom evaluation configuration.
+    pub fn with_config(config: EvalConfig) -> Self {
+        Workspace { config, ..Self::new() }
+    }
+
+    /// Disable static type checking (useful for exploratory programs whose
+    /// schema is intentionally partial).
+    pub fn set_strict_typing(&mut self, strict: bool) {
+        self.strict_typing = strict;
+    }
+
+    /// Permit negation inside recursive components (locally-stratified
+    /// programs).  Must be called before programs are installed.
+    pub fn set_allow_recursive_negation(&mut self, allow: bool) {
+        self.allow_recursive_negation = allow;
+    }
+
+    /// Reserve a distinct entity-id namespace for this workspace so entities
+    /// minted on different simulated nodes never collide when tuples travel
+    /// between them.
+    pub fn set_entity_namespace(&mut self, namespace: u64) {
+        self.entity_counter = self.entity_counter.max(namespace << 32);
+    }
+
+    /// Access the declared schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Installed rules.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Installed constraints.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// The UDF registry (mutable, for registering application functions).
+    pub fn udfs_mut(&mut self) -> &mut UdfRegistry {
+        &mut self.udfs
+    }
+
+    /// Register a user-defined function.
+    pub fn register_udf<F>(&mut self, name: impl Into<String>, f: F)
+    where
+        F: Fn(&[Option<Value>]) -> std::result::Result<Vec<Vec<Value>>, String> + Send + Sync + 'static,
+    {
+        self.udfs.register(name, f);
+    }
+
+    /// Register a family of user-defined functions (`family$param`).
+    pub fn register_udf_family<F>(&mut self, family: impl Into<String>, f: F)
+    where
+        F: Fn(&str, &[Option<Value>]) -> std::result::Result<Vec<Vec<Value>>, String> + Send + Sync + 'static,
+    {
+        self.udfs.register_family(family, f);
+    }
+
+    /// Parse and install a program from source text.
+    pub fn install_source(&mut self, source: &str) -> Result<()> {
+        let program = parse_program(source)?;
+        self.install_program(&program)
+    }
+
+    /// Install a parsed program: absorb its schema, type-check it, add its
+    /// rules, constraints and facts, and recompute evaluation strata.
+    ///
+    /// Programs containing BloxGenerics statements must be compiled with the
+    /// meta-compiler first; installing them directly is an error.
+    pub fn install_program(&mut self, program: &Program) -> Result<()> {
+        if program.has_generics() {
+            return Err(DatalogError::Generics(
+                "program contains BloxGenerics statements; compile it with secureblox-generics \
+                 before installing"
+                    .into(),
+            ));
+        }
+        self.schema.absorb_program(program)?;
+        if self.strict_typing {
+            typecheck_program(program, &self.schema, &self.udfs)?;
+        }
+        for statement in &program.statements {
+            match statement {
+                Statement::Rule(rule) => self.rules.push(rule.clone()),
+                Statement::Constraint(constraint) => self.constraints.push(constraint.clone()),
+                Statement::Fact(fact) => {
+                    let pred = crate::eval::runtime_pred_name(&fact.atom.pred)?;
+                    let tuple = self.ground_terms(&fact.atom.terms)?;
+                    self.insert_edb(&pred, tuple)?;
+                }
+                Statement::GenericRule(_) | Statement::GenericConstraint(_) => unreachable!(),
+            }
+        }
+        self.strata = stratify_with(&self.rules, &self.udfs, self.allow_recursive_negation)?;
+        Ok(())
+    }
+
+    fn ground_terms(&self, terms: &[Term]) -> Result<Tuple> {
+        let bindings = Bindings::new();
+        let mut tuple = Vec::with_capacity(terms.len());
+        for term in terms {
+            match crate::eval::bindings::eval_term(term, &bindings, &self.relations)? {
+                Some(v) => tuple.push(v),
+                None => {
+                    return Err(DatalogError::Eval(format!(
+                        "fact argument {term} is not a ground value"
+                    )))
+                }
+            }
+        }
+        Ok(tuple)
+    }
+
+    /// Assert a single extensional fact (no fixpoint is run).
+    pub fn assert_fact(&mut self, pred: &str, tuple: Tuple) -> Result<()> {
+        self.insert_edb(pred, tuple)
+    }
+
+    /// Set the value of a zero-key functional (singleton) predicate, e.g.
+    /// `self[] = "n3"`.
+    pub fn set_singleton(&mut self, pred: &str, value: Value) -> Result<()> {
+        let relation = self
+            .relations
+            .entry(pred.to_string())
+            .or_insert_with(|| Relation::new(pred, Some(0)));
+        relation.insert_or_replace(vec![value.clone()])?;
+        self.edb_facts.entry(pred.to_string()).or_default().insert(vec![value]);
+        Ok(())
+    }
+
+    fn insert_edb(&mut self, pred: &str, tuple: Tuple) -> Result<()> {
+        let key_arity = self.schema.get(pred).and_then(|decl| match decl.kind {
+            PredicateKind::Functional { key_arity } => Some(key_arity),
+            PredicateKind::Relation => None,
+        });
+        let relation = self
+            .relations
+            .entry(pred.to_string())
+            .or_insert_with(|| Relation::new(pred, key_arity));
+        relation.insert(tuple.clone())?;
+        self.edb_facts.entry(pred.to_string()).or_default().insert(tuple);
+        Ok(())
+    }
+
+    /// All tuples of a predicate, in deterministic order.
+    pub fn query(&self, pred: &str) -> Vec<Tuple> {
+        self.relations.get(pred).map(|r| r.sorted()).unwrap_or_default()
+    }
+
+    /// Number of tuples stored for a predicate.
+    pub fn count(&self, pred: &str) -> usize {
+        self.relations.get(pred).map_or(0, |r| r.len())
+    }
+
+    /// Membership test for a fully ground tuple.
+    pub fn contains_fact(&self, pred: &str, tuple: &[Value]) -> bool {
+        self.relations.get(pred).map_or(false, |r| r.contains(tuple))
+    }
+
+    /// The value of a singleton predicate, if set.
+    pub fn singleton(&self, pred: &str) -> Option<Value> {
+        self.relations.get(pred).and_then(|r| r.singleton_value()).cloned()
+    }
+
+    /// Direct read access to a relation (used by the distributed runtime to
+    /// drain export buffers).
+    pub fn relation(&self, pred: &str) -> Option<&Relation> {
+        self.relations.get(pred)
+    }
+
+    /// Remove every tuple of a predicate without touching derived data (used
+    /// for transient outbox predicates such as `export`).
+    pub fn clear_relation(&mut self, pred: &str) {
+        if let Some(relation) = self.relations.get_mut(pred) {
+            relation.clear();
+        }
+        self.edb_facts.remove(pred);
+    }
+
+    /// Run installed rules to fixpoint and check all constraints, without
+    /// inserting new facts.  Rolls back on violation.
+    pub fn fixpoint(&mut self) -> Result<TransactionReport> {
+        self.transaction(Vec::new())
+    }
+
+    /// Process a batch of incoming facts inside a local ACID transaction:
+    /// insert the facts, run the installed rules to fixpoint, check every
+    /// constraint, and either commit or roll the whole batch back.
+    pub fn transaction(&mut self, batch: Vec<(String, Tuple)>) -> Result<TransactionReport> {
+        let start = Instant::now();
+        let snapshot_relations = self.relations.clone();
+        let snapshot_edb = self.edb_facts.clone();
+        let snapshot_counter = self.entity_counter;
+        let snapshot_memo = self.existential_memo.clone();
+
+        let result = self.transaction_inner(batch, &snapshot_relations);
+        match result {
+            Ok(mut report) => {
+                report.duration = start.elapsed();
+                Ok(report)
+            }
+            Err(error) => {
+                self.relations = snapshot_relations;
+                self.edb_facts = snapshot_edb;
+                self.entity_counter = snapshot_counter;
+                self.existential_memo = snapshot_memo;
+                Err(error)
+            }
+        }
+    }
+
+    fn transaction_inner(
+        &mut self,
+        batch: Vec<(String, Tuple)>,
+        snapshot: &HashMap<String, Relation>,
+    ) -> Result<TransactionReport> {
+        let mut report = TransactionReport::default();
+        for (pred, tuple) in batch {
+            self.insert_edb(&pred, tuple)?;
+            report.inserted += 1;
+        }
+        let stats = self.run_rules()?;
+        report.derived = stats.derived;
+        report.iterations = stats.iterations;
+        // Incremental constraint checking over the tuples this transaction
+        // added (paper §2: constraints are checked for every new fact).
+        let mut delta: HashMap<String, HashSet<Tuple>> = HashMap::new();
+        for (pred, relation) in &self.relations {
+            let before = snapshot.get(pred);
+            for tuple in relation.iter() {
+                if before.map_or(true, |r| !r.contains(tuple)) {
+                    delta.entry(pred.clone()).or_default().insert(tuple.clone());
+                }
+            }
+        }
+        check_constraints_incremental(&self.constraints, &self.relations, &self.udfs, &delta)?;
+        Ok(report)
+    }
+
+    fn run_rules(&mut self) -> Result<FixpointStats> {
+        let mut evaluator = Evaluator {
+            relations: &mut self.relations,
+            schema: &self.schema,
+            udfs: &self.udfs,
+            config: &self.config,
+            entity_counter: &mut self.entity_counter,
+            existential_memo: &mut self.existential_memo,
+        };
+        evaluator.run(&self.rules, &self.strata)
+    }
+
+    /// Retract base facts and incrementally maintain derived relations with
+    /// DRed.  Constraints are re-checked afterwards; a violation rolls the
+    /// whole retraction back.
+    pub fn retract(&mut self, batch: Vec<(String, Tuple)>) -> Result<DeletionStats> {
+        let snapshot_relations = self.relations.clone();
+        let snapshot_edb = self.edb_facts.clone();
+
+        for (pred, tuple) in &batch {
+            if let Some(set) = self.edb_facts.get_mut(pred) {
+                set.remove(tuple);
+            }
+        }
+        let edb = self.edb_facts.clone();
+        let stats = {
+            let mut evaluator = Evaluator {
+                relations: &mut self.relations,
+                schema: &self.schema,
+                udfs: &self.udfs,
+                config: &self.config,
+                entity_counter: &mut self.entity_counter,
+                existential_memo: &mut self.existential_memo,
+            };
+            evaluator.delete_with_dred(&self.rules, &self.strata, &batch, &edb)
+        };
+        let check = stats
+            .and_then(|s| check_constraints(&self.constraints, &self.relations, &self.udfs).map(|_| s));
+        match check {
+            Ok(stats) => Ok(stats),
+            Err(error) => {
+                self.relations = snapshot_relations;
+                self.edb_facts = snapshot_edb;
+                Err(error)
+            }
+        }
+    }
+
+    /// Names of all predicates with stored tuples (sorted, for diagnostics).
+    pub fn predicate_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.relations.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Total number of stored tuples across all predicates.
+    pub fn total_facts(&self) -> usize {
+        self.relations.values().map(|r| r.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &str) -> Value {
+        Value::str(v)
+    }
+
+    #[test]
+    fn install_and_run_transitive_closure() {
+        let mut ws = Workspace::new();
+        ws.install_source(
+            "reachable(X, Y) <- link(X, Y).\n\
+             reachable(X, Y) <- link(X, Z), reachable(Z, Y).\n\
+             link(n1, n2). link(n2, n3). link(n3, n4).",
+        )
+        .unwrap();
+        let report = ws.fixpoint().unwrap();
+        assert_eq!(ws.count("reachable"), 6);
+        assert!(report.derived >= 6);
+        assert!(ws.contains_fact("reachable", &[s("n1"), s("n4")]));
+    }
+
+    #[test]
+    fn transaction_commits_new_batch() {
+        let mut ws = Workspace::new();
+        ws.install_source(
+            "reachable(X, Y) <- link(X, Y).\n\
+             reachable(X, Y) <- link(X, Z), reachable(Z, Y).",
+        )
+        .unwrap();
+        ws.transaction(vec![("link".into(), vec![s("a"), s("b")])]).unwrap();
+        let report = ws
+            .transaction(vec![("link".into(), vec![s("b"), s("c")])])
+            .unwrap();
+        assert_eq!(report.inserted, 1);
+        assert!(ws.contains_fact("reachable", &[s("a"), s("c")]));
+        assert!(report.duration.as_nanos() > 0);
+    }
+
+    #[test]
+    fn constraint_violation_rolls_back_batch() {
+        let mut ws = Workspace::new();
+        ws.install_source(
+            "says_link(P, Q) -> principal(P), principal(Q).\n\
+             link(X, Y) <- says_link(X, Y).\n\
+             principal(alice).",
+        )
+        .unwrap();
+        // alice -> bob: bob is not a principal, so the whole batch must roll back.
+        let err = ws
+            .transaction(vec![("says_link".into(), vec![s("alice"), s("bob")])])
+            .unwrap_err();
+        assert!(matches!(err, DatalogError::ConstraintViolation(_)));
+        assert_eq!(ws.count("says_link"), 0);
+        assert_eq!(ws.count("link"), 0);
+
+        // Registering bob first makes the same batch commit.
+        ws.assert_fact("principal", vec![s("bob")]).unwrap();
+        ws.transaction(vec![("says_link".into(), vec![s("alice"), s("bob")])]).unwrap();
+        assert_eq!(ws.count("link"), 1);
+    }
+
+    #[test]
+    fn rollback_also_restores_derived_tuples() {
+        let mut ws = Workspace::new();
+        ws.install_source(
+            "even(X) -> int[32](X).\n\
+             twice(X, Y) <- pair(X, Y).\n\
+             bad(X) -> audit(X, X).\n\
+             bad(X) <- pair(X, _).",
+        )
+        .unwrap();
+        let before = ws.total_facts();
+        let err = ws
+            .transaction(vec![("pair".into(), vec![Value::Int(1), Value::Int(2)])])
+            .unwrap_err();
+        assert!(matches!(err, DatalogError::ConstraintViolation(_)));
+        assert_eq!(ws.total_facts(), before);
+        assert_eq!(ws.count("twice"), 0);
+    }
+
+    #[test]
+    fn functional_dependency_violation_rolls_back() {
+        let mut ws = Workspace::new();
+        ws.install_source("owner[X] = Y -> string(X), string(Y).\nowner[k] = v1.").unwrap();
+        ws.fixpoint().unwrap();
+        let err = ws
+            .transaction(vec![("owner".into(), vec![s("k"), s("v2")])])
+            .unwrap_err();
+        assert!(matches!(err, DatalogError::FunctionalDependency { .. }));
+        assert_eq!(ws.query("owner"), vec![vec![s("k"), s("v1")]]);
+    }
+
+    #[test]
+    fn singleton_set_and_read() {
+        let mut ws = Workspace::new();
+        ws.set_singleton("self", s("n7")).unwrap();
+        assert_eq!(ws.singleton("self"), Some(s("n7")));
+        ws.set_singleton("self", s("n8")).unwrap();
+        assert_eq!(ws.singleton("self"), Some(s("n8")));
+        assert_eq!(ws.singleton("other"), None);
+    }
+
+    #[test]
+    fn generic_program_rejected_without_metacompiler() {
+        let mut ws = Workspace::new();
+        let err = ws
+            .install_source("'{ T(V*) <- says[T](P, self[], V*). } <-- predicate(T).")
+            .unwrap_err();
+        assert!(matches!(err, DatalogError::Generics(_)));
+    }
+
+    #[test]
+    fn retract_maintains_derived_data() {
+        let mut ws = Workspace::new();
+        ws.install_source(
+            "reachable(X, Y) <- link(X, Y).\n\
+             reachable(X, Y) <- link(X, Z), reachable(Z, Y).\n\
+             link(a, b). link(b, c).",
+        )
+        .unwrap();
+        ws.fixpoint().unwrap();
+        assert!(ws.contains_fact("reachable", &[s("a"), s("c")]));
+        let stats = ws.retract(vec![("link".into(), vec![s("b"), s("c")])]).unwrap();
+        assert_eq!(stats.base_deleted, 1);
+        assert!(!ws.contains_fact("reachable", &[s("a"), s("c")]));
+        assert!(ws.contains_fact("reachable", &[s("a"), s("b")]));
+    }
+
+    #[test]
+    fn entity_namespace_prevents_collisions() {
+        let mut ws1 = Workspace::new();
+        let mut ws2 = Workspace::new();
+        ws2.set_entity_namespace(7);
+        for ws in [&mut ws1, &mut ws2] {
+            ws.install_source(
+                "pathvar(P) -> .\n\
+                 pathvar(P), path(P, X, Y) <- link(X, Y).\n\
+                 link(a, b).",
+            )
+            .unwrap();
+            ws.fixpoint().unwrap();
+        }
+        let e1 = &ws1.query("pathvar")[0][0];
+        let e2 = &ws2.query("pathvar")[0][0];
+        assert_ne!(e1, e2);
+    }
+
+    #[test]
+    fn udf_usable_from_installed_rules() {
+        let mut ws = Workspace::new();
+        ws.register_udf("hash10", |args| {
+            let v = crate::udf::require_bound(args, 0, "hash10")?;
+            let text = v.as_str().ok_or("expected string")?;
+            let h = text.bytes().map(|b| b as i64).sum::<i64>() % 10;
+            Ok(vec![vec![v, Value::Int(h)]])
+        });
+        ws.install_source("bucket(X, H) <- item(X), hash10(X, H).\nitem(abc).").unwrap();
+        ws.fixpoint().unwrap();
+        assert_eq!(ws.count("bucket"), 1);
+        let tuple = &ws.query("bucket")[0];
+        assert_eq!(tuple[1], Value::Int((b'a' as i64 + b'b' as i64 + b'c' as i64) % 10));
+    }
+
+    #[test]
+    fn query_and_predicate_listing() {
+        let mut ws = Workspace::new();
+        ws.install_source("p(1). p(2). q(x).").unwrap();
+        assert_eq!(ws.count("p"), 2);
+        assert_eq!(ws.predicate_names(), vec!["p".to_string(), "q".to_string()]);
+        assert_eq!(ws.total_facts(), 3);
+        assert!(ws.query("missing").is_empty());
+    }
+
+    #[test]
+    fn strict_typing_toggle() {
+        let mut ws = Workspace::new();
+        let source = "reachable(X, Y) -> node(X), node(Y).\n\
+                      reachable(X, Y) <- s(X), s(Y).";
+        assert!(ws.install_source(source).is_err());
+        let mut lenient = Workspace::new();
+        lenient.set_strict_typing(false);
+        lenient.install_source(source).unwrap();
+    }
+
+    #[test]
+    fn clear_relation_empties_outbox() {
+        let mut ws = Workspace::new();
+        ws.install_source("export(n1, payload).").unwrap();
+        assert_eq!(ws.count("export"), 1);
+        ws.clear_relation("export");
+        assert_eq!(ws.count("export"), 0);
+    }
+}

@@ -1,0 +1,395 @@
+//! Instantiation of code templates.
+//!
+//! A quoted template is a list of DatalogLB statements whose predicate
+//! positions and argument sequences may refer to meta-level variables.  Given
+//! one satisfying binding of the enclosing generic rule's body, instantiation
+//! substitutes:
+//!
+//! * predicate variables (`ST`) with the concrete predicate minted for them,
+//! * parameterized references over meta variables (`says[T]`) with the
+//!   mangled concrete name (`says$path`),
+//! * the special `types[T](V*)` form with one unary type atom per declared
+//!   argument type of the parameter predicate,
+//! * variable sequences (`V*`) with `arity(T)` fresh object-level variables,
+//! * meta variables bound to ground values with the corresponding constants,
+//!
+//! while leaving ordinary object-level variables (`P1`, `X`, …) untouched.
+
+use crate::mangle;
+use secureblox_datalog::ast::{
+    Atom, Constraint, FactDecl, Literal, PredRef, Rule, Statement, Template, Term,
+};
+use secureblox_datalog::error::{DatalogError, Result};
+use secureblox_datalog::eval::Bindings;
+use secureblox_datalog::schema::Schema;
+use secureblox_datalog::value::Value;
+use std::collections::HashMap;
+
+/// Everything needed to instantiate one template for one binding.
+pub struct InstantiationContext<'a> {
+    /// Meta-level bindings from the generic rule's body (e.g. `T → `path`).
+    pub bindings: &'a Bindings,
+    /// Names minted for head-existential predicate variables (e.g.
+    /// `ST → says$path`).
+    pub pred_var_names: &'a HashMap<String, String>,
+    /// Expansion length for `V*` sequences (the parameter predicate's arity).
+    pub seq_arity: Option<usize>,
+    /// Schema of the input program, for `types[T]` expansion.
+    pub schema: &'a Schema,
+}
+
+impl<'a> InstantiationContext<'a> {
+    fn generics_err(&self, message: impl Into<String>) -> DatalogError {
+        DatalogError::Generics(message.into())
+    }
+
+    /// Resolve a predicate variable to a concrete name: first the minted
+    /// head-existential names, then meta bindings to quoted predicates.
+    fn resolve_pred_var(&self, var: &str) -> Result<String> {
+        if let Some(name) = self.pred_var_names.get(var) {
+            return Ok(name.clone());
+        }
+        match self.bindings.get(var) {
+            Some(Value::Pred(p)) => Ok(p.to_string()),
+            Some(other) => Err(self.generics_err(format!(
+                "predicate variable {var} is bound to the non-predicate value {other}"
+            ))),
+            None => Err(self.generics_err(format!(
+                "predicate variable {var} is not bound by the generic rule body"
+            ))),
+        }
+    }
+
+    fn resolve_pred_ref(&self, pred: &PredRef) -> Result<PredRef> {
+        match pred {
+            PredRef::Named(n) => Ok(PredRef::Named(n.clone())),
+            PredRef::Parameterized { generic, param } => Ok(PredRef::Named(mangle(generic, param))),
+            PredRef::ParameterizedVar { generic, var } => {
+                let param = self.resolve_pred_var(var)?;
+                Ok(PredRef::Named(mangle(generic, &param)))
+            }
+            PredRef::Var(v) => Ok(PredRef::Named(self.resolve_pred_var(v)?)),
+        }
+    }
+
+    fn instantiate_term(&self, term: &Term, out: &mut Vec<Term>) -> Result<()> {
+        match term {
+            Term::VarSeq(base) => {
+                let arity = self.seq_arity.ok_or_else(|| {
+                    self.generics_err(format!(
+                        "cannot expand {base}*: no parameter predicate with a known arity is in \
+                         scope"
+                    ))
+                })?;
+                for i in 0..arity {
+                    out.push(Term::Var(format!("{base}${i}")));
+                }
+                Ok(())
+            }
+            Term::Var(v) => {
+                // A meta variable bound by the generic rule body becomes a
+                // constant; an object-level variable stays a variable.
+                match self.bindings.get(v) {
+                    Some(value) => out.push(Term::Const(value.clone())),
+                    None => out.push(Term::Var(v.clone())),
+                }
+                Ok(())
+            }
+            Term::BinOp(lhs, op, rhs) => {
+                let mut left = Vec::with_capacity(1);
+                let mut right = Vec::with_capacity(1);
+                self.instantiate_term(lhs, &mut left)?;
+                self.instantiate_term(rhs, &mut right)?;
+                if left.len() != 1 || right.len() != 1 {
+                    return Err(self.generics_err(
+                        "variable sequences cannot appear inside arithmetic expressions".to_string(),
+                    ));
+                }
+                out.push(Term::BinOp(
+                    Box::new(left.pop().expect("checked length")),
+                    *op,
+                    Box::new(right.pop().expect("checked length")),
+                ));
+                Ok(())
+            }
+            other => {
+                out.push(other.clone());
+                Ok(())
+            }
+        }
+    }
+
+    /// Instantiate an atom.  The special `types[T](args…)` form expands to a
+    /// list of unary type atoms (one per declared argument type of the
+    /// parameter predicate); every other atom instantiates to exactly one.
+    pub fn instantiate_atom(&self, atom: &Atom) -> Result<Vec<Atom>> {
+        if let PredRef::ParameterizedVar { generic, var } = &atom.pred {
+            if generic == "types" {
+                return self.expand_types_form(var, atom);
+            }
+        }
+        if let PredRef::Parameterized { generic, param } = &atom.pred {
+            if generic == "types" {
+                return self.expand_types_for(param, atom);
+            }
+        }
+        let pred = self.resolve_pred_ref(&atom.pred)?;
+        let mut terms = Vec::with_capacity(atom.terms.len());
+        for term in &atom.terms {
+            self.instantiate_term(term, &mut terms)?;
+        }
+        Ok(vec![Atom { pred, terms, functional: atom.functional }])
+    }
+
+    fn expand_types_form(&self, var: &str, atom: &Atom) -> Result<Vec<Atom>> {
+        let param = self.resolve_pred_var(var)?;
+        self.expand_types_for(&param, atom)
+    }
+
+    /// Expand `types[param](args…)` to `t0(a0), t1(a1), …` using the declared
+    /// argument types of `param`.  Positions without a declared type produce
+    /// no constraint.
+    fn expand_types_for(&self, param: &str, atom: &Atom) -> Result<Vec<Atom>> {
+        let decl = self.schema.get(param).ok_or_else(|| {
+            self.generics_err(format!(
+                "types[{param}] cannot be expanded: predicate {param} is not declared"
+            ))
+        })?;
+        let mut args = Vec::new();
+        for term in &atom.terms {
+            self.instantiate_term(term, &mut args)?;
+        }
+        if args.len() != decl.arity {
+            return Err(self.generics_err(format!(
+                "types[{param}] applied to {} arguments but {param} has arity {}",
+                args.len(),
+                decl.arity
+            )));
+        }
+        let mut atoms = Vec::new();
+        for (arg, ty) in args.into_iter().zip(decl.arg_types.iter()) {
+            if let Some(ty) = ty {
+                atoms.push(Atom { pred: PredRef::Named(ty.clone()), terms: vec![arg], functional: false });
+            }
+        }
+        Ok(atoms)
+    }
+
+    fn instantiate_literal(&self, literal: &Literal, out: &mut Vec<Literal>) -> Result<()> {
+        match literal {
+            Literal::Pos(atom) => {
+                for atom in self.instantiate_atom(atom)? {
+                    out.push(Literal::Pos(atom));
+                }
+            }
+            Literal::Neg(atom) => {
+                let atoms = self.instantiate_atom(atom)?;
+                if atoms.len() != 1 {
+                    return Err(self.generics_err(
+                        "the types[…] form cannot appear under negation".to_string(),
+                    ));
+                }
+                out.push(Literal::Neg(atoms.into_iter().next().expect("checked length")));
+            }
+            Literal::Cmp(lhs, op, rhs) => {
+                let mut left = Vec::with_capacity(1);
+                let mut right = Vec::with_capacity(1);
+                self.instantiate_term(lhs, &mut left)?;
+                self.instantiate_term(rhs, &mut right)?;
+                if left.len() != 1 || right.len() != 1 {
+                    return Err(self.generics_err(
+                        "variable sequences cannot appear in comparisons".to_string(),
+                    ));
+                }
+                out.push(Literal::Cmp(
+                    left.pop().expect("checked length"),
+                    *op,
+                    right.pop().expect("checked length"),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Instantiate one template statement into concrete statements.
+    pub fn instantiate_statement(&self, statement: &Statement) -> Result<Vec<Statement>> {
+        match statement {
+            Statement::Rule(rule) => {
+                let mut head = Vec::new();
+                for atom in &rule.head {
+                    head.extend(self.instantiate_atom(atom)?);
+                }
+                let mut body = Vec::new();
+                for literal in &rule.body {
+                    self.instantiate_literal(literal, &mut body)?;
+                }
+                Ok(vec![Statement::Rule(Rule { head, body, agg: rule.agg.clone() })])
+            }
+            Statement::Constraint(constraint) => {
+                let mut lhs = Vec::new();
+                for literal in &constraint.lhs {
+                    self.instantiate_literal(literal, &mut lhs)?;
+                }
+                let mut rhs = Vec::new();
+                for literal in &constraint.rhs {
+                    self.instantiate_literal(literal, &mut rhs)?;
+                }
+                Ok(vec![Statement::Constraint(Constraint { lhs, rhs })])
+            }
+            Statement::Fact(fact) => {
+                let atoms = self.instantiate_atom(&fact.atom)?;
+                Ok(atoms
+                    .into_iter()
+                    .map(|atom| Statement::Fact(FactDecl { atom }))
+                    .collect())
+            }
+            Statement::GenericRule(_) | Statement::GenericConstraint(_) => Err(self.generics_err(
+                "nested generic statements inside code templates are not supported".to_string(),
+            )),
+        }
+    }
+
+    /// Instantiate a whole template.
+    pub fn instantiate_template(&self, template: &Template) -> Result<Vec<Statement>> {
+        let mut statements = Vec::new();
+        for statement in &template.statements {
+            statements.extend(self.instantiate_statement(statement)?);
+        }
+        Ok(statements)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secureblox_datalog::parse_program;
+
+    struct Fixture {
+        schema: Schema,
+        bindings: Bindings,
+        pred_var_names: HashMap<String, String>,
+    }
+
+    impl Fixture {
+        fn new() -> Self {
+            let program = parse_program(
+                "path[P, Src, Dst] = C -> pathvar(P), node(Src), node(Dst), int[32](C).\n\
+                 reachable(X, Y) -> node(X), node(Y).",
+            )
+            .unwrap();
+            let mut schema = Schema::new();
+            schema.absorb_program(&program).unwrap();
+            let mut bindings = Bindings::new();
+            bindings.bind("T", Value::pred("path"));
+            let mut pred_var_names = HashMap::new();
+            pred_var_names.insert("ST".to_string(), "says$path".to_string());
+            Fixture { schema, bindings, pred_var_names }
+        }
+
+        fn ctx(&self) -> InstantiationContext<'_> {
+            InstantiationContext {
+                bindings: &self.bindings,
+                pred_var_names: &self.pred_var_names,
+                seq_arity: Some(4),
+                schema: &self.schema,
+            }
+        }
+
+        fn template(source: &str) -> Template {
+            let wrapped = format!("'{{ {source} }} <-- predicate(T).");
+            let program = parse_program(&wrapped).unwrap();
+            let template = program.generic_rules().next().unwrap().templates[0].clone();
+            template
+        }
+    }
+
+    #[test]
+    fn constraint_with_types_and_varseq() {
+        let fixture = Fixture::new();
+        let template =
+            Fixture::template("ST(P1, P2, V*) -> principal(P1), principal(P2), types[T](V*).");
+        let statements = fixture.ctx().instantiate_template(&template).unwrap();
+        assert_eq!(statements.len(), 1);
+        let text = match &statements[0] {
+            Statement::Constraint(c) => c.to_string(),
+            other => panic!("expected constraint, got {other:?}"),
+        };
+        assert_eq!(
+            text,
+            "says$path(P1, P2, V$0, V$1, V$2, V$3) -> principal(P1), principal(P2), \
+             pathvar(V$0), node(V$1), node(V$2), int(V$3)."
+        );
+    }
+
+    #[test]
+    fn import_rule_instantiation() {
+        let fixture = Fixture::new();
+        let template = Fixture::template("T(V*) <- says[T](P, self[], V*), trustworthy(P).");
+        let statements = fixture.ctx().instantiate_template(&template).unwrap();
+        let text = match &statements[0] {
+            Statement::Rule(r) => r.to_string(),
+            other => panic!("expected rule, got {other:?}"),
+        };
+        assert_eq!(
+            text,
+            "path(V$0, V$1, V$2, V$3) <- says$path(P, self[], V$0, V$1, V$2, V$3), trustworthy(P)."
+        );
+    }
+
+    #[test]
+    fn meta_variable_becomes_constant() {
+        let fixture = Fixture::new();
+        // U is object-level (stays a variable); T is meta (becomes `path).
+        let template = Fixture::template("audit(U, T) <- requests(U, T).");
+        let statements = fixture.ctx().instantiate_template(&template).unwrap();
+        let text = statements[0].clone();
+        match text {
+            Statement::Rule(r) => {
+                assert_eq!(r.head[0].terms[0], Term::Var("U".into()));
+                assert_eq!(r.head[0].terms[1], Term::Const(Value::pred("path")));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_seq_arity_is_error() {
+        let fixture = Fixture::new();
+        let template = Fixture::template("T(V*) <- says[T](P, self[], V*).");
+        let ctx = InstantiationContext {
+            bindings: &fixture.bindings,
+            pred_var_names: &fixture.pred_var_names,
+            seq_arity: None,
+            schema: &fixture.schema,
+        };
+        assert!(ctx.instantiate_template(&template).is_err());
+    }
+
+    #[test]
+    fn unbound_predicate_variable_is_error() {
+        let fixture = Fixture::new();
+        let template = Fixture::template("UNKNOWN(V*) <- says[T](P, self[], V*).");
+        assert!(fixture.ctx().instantiate_template(&template).is_err());
+    }
+
+    #[test]
+    fn quoted_parameterization_resolves() {
+        let fixture = Fixture::new();
+        let template = Fixture::template("out(X) <- says[`reachable](P, self[], X, Y).");
+        let statements = fixture.ctx().instantiate_template(&template).unwrap();
+        match &statements[0] {
+            Statement::Rule(r) => {
+                let atom = r.body[0].as_pos().unwrap();
+                assert_eq!(atom.pred, PredRef::Named("says$reachable".into()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn types_arity_mismatch_is_error() {
+        let fixture = Fixture::new();
+        let template = Fixture::template("ST(P1, X) -> types[T](X).");
+        assert!(fixture.ctx().instantiate_template(&template).is_err());
+    }
+}

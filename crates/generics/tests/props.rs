@@ -1,0 +1,165 @@
+//! Property-based tests for the BloxGenerics compiler.
+//!
+//! The security of every generated policy depends on the compiler doing the
+//! same thing for *every* predicate shape, so these properties sweep random
+//! predicate names and arities through the `says` policy of the paper's §3.2
+//! and check the structural guarantees: one mapping per exportable predicate,
+//! the arity convention of the "said" counterpart, determinism, and the
+//! generic-constraint scope check.
+
+use proptest::prelude::*;
+use secureblox_datalog::{parse_program, Workspace};
+use secureblox_generics::GenericsCompiler;
+use std::collections::BTreeSet;
+
+/// The core `says` policy, verbatim from the paper (§3.2 / §4.1), restricted
+/// to exportable predicates so the scope constraint holds.
+const SAYS_POLICY: &str = r#"
+    says[T] = ST, predicate(ST),
+    '{
+      ST(P1, P2, V*) -> principal(P1), principal(P2), types[T](V*).
+    }
+    <-- predicate(T), exportable(T).
+
+    says(P, SP) --> exportable(P).
+
+    '{ T(V*) <- says[T](P, self[], V*). }
+    <-- predicate(T), exportable(T).
+"#;
+
+fn pred_names() -> impl Strategy<Value = BTreeSet<String>> {
+    proptest::collection::btree_set("p_[a-z][a-z0-9_]{2,8}", 1..6)
+}
+
+/// Build an application program that declares each predicate with the given
+/// arity and marks a subset exportable.
+fn app_source(preds: &[(String, usize)], exportable: &[bool]) -> String {
+    let mut src = String::new();
+    for (name, arity) in preds {
+        let vars: Vec<String> = (0..*arity).map(|i| format!("X{i}")).collect();
+        let types: Vec<String> = (0..*arity).map(|i| format!("node(X{i})")).collect();
+        src.push_str(&format!("{name}({}) -> {}.\n", vars.join(", "), types.join(", ")));
+    }
+    for ((name, _), &exp) in preds.iter().zip(exportable) {
+        if exp {
+            src.push_str(&format!("exportable(`{name}).\n"));
+        }
+    }
+    src
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Exactly the exportable predicates receive a `says$…` mapping, and the
+    /// mapping follows the mangling convention.
+    #[test]
+    fn mappings_exist_exactly_for_exportable_predicates(
+        names in pred_names(),
+        arities in proptest::collection::vec(1usize..5, 6),
+        export_mask in proptest::collection::vec(any::<bool>(), 6),
+    ) {
+        let preds: Vec<(String, usize)> =
+            names.iter().cloned().zip(arities.iter().copied()).collect();
+        let mask: Vec<bool> = export_mask.iter().copied().take(preds.len()).collect();
+        let source = format!("{}\n{}", app_source(&preds, &mask), SAYS_POLICY);
+        let program = parse_program(&source).unwrap();
+        let compiled = GenericsCompiler::new().compile(&program).unwrap();
+        for ((name, _), &exp) in preds.iter().zip(&mask) {
+            let mapping = compiled.mapping("says", name);
+            if exp {
+                let expected = format!("says${name}");
+                prop_assert_eq!(mapping, Some(expected.as_str()));
+            } else {
+                prop_assert_eq!(mapping, None);
+            }
+        }
+    }
+
+    /// The generated "said" counterpart has arity `n + 2` (two principals in
+    /// front of the payload), for any payload arity `n`.
+    #[test]
+    fn said_counterpart_has_arity_plus_two(name in "p_[a-z][a-z0-9_]{2,8}", arity in 1usize..7) {
+        let preds = vec![(name.clone(), arity)];
+        let source = format!("{}\n{}", app_source(&preds, &[true]), SAYS_POLICY);
+        let program = parse_program(&source).unwrap();
+        let compiled = GenericsCompiler::new().compile(&program).unwrap();
+        let said = compiled.mapping("says", &name).unwrap().to_string();
+
+        let mut ws = Workspace::new();
+        ws.install_program(&compiled.program).unwrap();
+        let decl = ws.schema().get(&said).expect("said predicate is declared");
+        prop_assert_eq!(decl.arity, arity + 2);
+    }
+
+    /// Compilation is deterministic: compiling the same program twice yields
+    /// the same generated statements in the same order.
+    #[test]
+    fn compilation_is_deterministic(
+        names in pred_names(),
+        arities in proptest::collection::vec(1usize..4, 6),
+    ) {
+        let preds: Vec<(String, usize)> =
+            names.iter().cloned().zip(arities.iter().copied()).collect();
+        let mask = vec![true; preds.len()];
+        let source = format!("{}\n{}", app_source(&preds, &mask), SAYS_POLICY);
+        let program = parse_program(&source).unwrap();
+        let a = GenericsCompiler::new().compile(&program).unwrap();
+        let b = GenericsCompiler::new().compile(&program).unwrap();
+        prop_assert_eq!(a.program.to_string(), b.program.to_string());
+        prop_assert_eq!(a.generated_count(), b.generated_count());
+    }
+
+    /// The number of generated statements grows monotonically with the number
+    /// of exportable predicates (each exportable predicate contributes at
+    /// least its constraint and import rule).
+    #[test]
+    fn generated_statements_grow_with_exportable_set(
+        names in pred_names(),
+        arity in 1usize..4,
+    ) {
+        let preds: Vec<(String, usize)> =
+            names.iter().cloned().map(|n| (n, arity)).collect();
+        let mut previous = 0usize;
+        for k in 0..=preds.len() {
+            let mask: Vec<bool> = (0..preds.len()).map(|i| i < k).collect();
+            let source = format!("{}\n{}", app_source(&preds, &mask), SAYS_POLICY);
+            let program = parse_program(&source).unwrap();
+            let compiled = GenericsCompiler::new().compile(&program).unwrap();
+            if k > 0 {
+                prop_assert!(compiled.generated_count() > 0);
+            }
+            prop_assert!(compiled.generated_count() >= previous);
+            previous = compiled.generated_count();
+        }
+    }
+
+    /// The scope check rejects any program that tries to "say" a
+    /// non-exportable predicate through a parameterized reference, while the
+    /// exportable sibling predicate compiles fine.
+    #[test]
+    fn scope_check_rejects_saying_private_predicates(private in "p_[a-z][a-z0-9_]{2,8}",
+                                                     arity in 1usize..4) {
+        let public = format!("{private}_pub");
+        let preds = vec![(public.clone(), arity), (private.clone(), arity)];
+        // Only the first predicate is exportable; the second stays private.
+        let base = format!("{}\n{}", app_source(&preds, &[true, false]), SAYS_POLICY);
+        let vars: Vec<String> = (0..arity).map(|i| format!("Y{i}")).collect();
+
+        // Saying the exportable predicate is accepted …
+        let ok_source = format!(
+            "{base}\n{public}({vars}) <- says[`{public}](P, self[], {vars}).\n",
+            vars = vars.join(", ")
+        );
+        let ok_program = parse_program(&ok_source).unwrap();
+        prop_assert!(GenericsCompiler::new().compile(&ok_program).is_ok());
+
+        // … while saying the private predicate is rejected at compile time.
+        let bad_source = format!(
+            "{base}\n{private}({vars}) <- says[`{private}](P, self[], {vars}).\n",
+            vars = vars.join(", ")
+        );
+        let bad_program = parse_program(&bad_source).unwrap();
+        prop_assert!(GenericsCompiler::new().compile(&bad_program).is_err());
+    }
+}

@@ -1,0 +1,193 @@
+//! Discrete-event message delivery with a virtual clock.
+
+use crate::message::Message;
+use crate::stats::NetworkStats;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::Duration;
+
+/// Virtual time in nanoseconds since the start of the experiment.
+pub type VirtualTime = u64;
+
+/// Converts message sizes into delivery delays.
+///
+/// Delay = `propagation` + `wire_size / bandwidth`.  The defaults approximate
+/// the paper's Gigabit-Ethernet cluster: ~100 µs propagation (switch + kernel
+/// + UDP stack) and 1 Gbit/s of per-link bandwidth.
+#[derive(Debug, Clone)]
+pub struct LatencyModel {
+    pub propagation: Duration,
+    pub bandwidth_bytes_per_sec: u64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel {
+            propagation: Duration::from_micros(100),
+            bandwidth_bytes_per_sec: 125_000_000, // 1 Gbit/s
+        }
+    }
+}
+
+impl LatencyModel {
+    /// The delivery delay for a message of `wire_size` bytes.
+    pub fn delay(&self, wire_size: usize) -> Duration {
+        let transmission_ns =
+            (wire_size as u128 * 1_000_000_000u128) / self.bandwidth_bytes_per_sec.max(1) as u128;
+        self.propagation + Duration::from_nanos(transmission_ns as u64)
+    }
+}
+
+/// An in-flight message scheduled for delivery at a virtual time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Scheduled {
+    deliver_at: VirtualTime,
+    sequence: u64,
+    message: Message,
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deliver_at, self.sequence).cmp(&(other.deliver_at, other.sequence))
+    }
+}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The simulated network: a latency model, a delivery queue ordered by
+/// virtual time, and per-node traffic statistics.
+#[derive(Debug)]
+pub struct SimNetwork {
+    latency: LatencyModel,
+    queue: BinaryHeap<Reverse<Scheduled>>,
+    sequence: u64,
+    stats: NetworkStats,
+}
+
+impl SimNetwork {
+    /// Create a network with the given latency model for `nodes` nodes.
+    pub fn new(nodes: usize, latency: LatencyModel) -> Self {
+        SimNetwork {
+            latency,
+            queue: BinaryHeap::new(),
+            sequence: 0,
+            stats: NetworkStats::new(nodes),
+        }
+    }
+
+    /// Send a message at virtual time `now`; it will be delivered after the
+    /// modelled latency.  Traffic is recorded against both endpoints.
+    pub fn send(&mut self, message: Message, now: VirtualTime) -> VirtualTime {
+        let wire_size = message.wire_size();
+        let deliver_at = now + self.latency.delay(wire_size).as_nanos() as u64;
+        self.stats.record_send(message.from, message.to, wire_size, message.kind);
+        self.sequence += 1;
+        self.queue.push(Reverse(Scheduled { deliver_at, sequence: self.sequence, message }));
+        deliver_at
+    }
+
+    /// Schedule a message for delivery at an exact virtual time without
+    /// recording traffic (used for bootstrap fact distribution).
+    pub fn schedule_untracked(&mut self, message: Message, deliver_at: VirtualTime) {
+        self.sequence += 1;
+        self.queue.push(Reverse(Scheduled { deliver_at, sequence: self.sequence, message }));
+    }
+
+    /// Pop the next message in virtual-time order.
+    pub fn next_delivery(&mut self) -> Option<(VirtualTime, Message)> {
+        self.queue.pop().map(|Reverse(s)| (s.deliver_at, s.message))
+    }
+
+    /// Number of in-flight messages.
+    pub fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True if no messages are in flight — together with idle nodes this is
+    /// the distributed-fixpoint condition.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Traffic statistics collected so far.
+    pub fn stats(&self) -> &NetworkStats {
+        &self.stats
+    }
+
+    /// The latency model in force.
+    pub fn latency_model(&self) -> &LatencyModel {
+        &self.latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::MessageKind;
+    use crate::node::NodeId;
+
+    #[test]
+    fn latency_grows_with_size() {
+        let model = LatencyModel::default();
+        assert!(model.delay(100_000) > model.delay(100));
+        assert!(model.delay(0) >= model.propagation);
+    }
+
+    #[test]
+    fn deliveries_come_out_in_time_order() {
+        let mut network = SimNetwork::new(3, LatencyModel::default());
+        let a = Message::new(NodeId(0), NodeId(1), MessageKind::Says, vec![0u8; 10_000_000]);
+        let b = Message::new(NodeId(1), NodeId(2), MessageKind::Says, vec![0u8; 10]);
+        network.send(a.clone(), 0);
+        network.send(b.clone(), 0);
+        // The small message overtakes the large one despite being sent second.
+        let (t1, first) = network.next_delivery().unwrap();
+        let (t2, second) = network.next_delivery().unwrap();
+        assert_eq!(first, b);
+        assert_eq!(second, a);
+        assert!(t1 <= t2);
+        assert!(network.is_idle());
+    }
+
+    #[test]
+    fn fifo_for_equal_times() {
+        let mut network = SimNetwork::new(2, LatencyModel::default());
+        for i in 0..5u8 {
+            network.send(
+                Message::new(NodeId(0), NodeId(1), MessageKind::Says, vec![i]),
+                0,
+            );
+        }
+        let mut order = Vec::new();
+        while let Some((_, msg)) = network.next_delivery() {
+            order.push(msg.payload[0]);
+        }
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn stats_track_bytes() {
+        let mut network = SimNetwork::new(2, LatencyModel::default());
+        network.send(Message::new(NodeId(0), NodeId(1), MessageKind::Says, vec![0u8; 52]), 0);
+        let stats = network.stats();
+        assert_eq!(stats.node(NodeId(0)).bytes_sent, 100);
+        assert_eq!(stats.node(NodeId(1)).bytes_received, 100);
+        assert_eq!(stats.node(NodeId(0)).messages_sent, 1);
+    }
+
+    #[test]
+    fn untracked_schedule_skips_stats() {
+        let mut network = SimNetwork::new(2, LatencyModel::default());
+        network.schedule_untracked(
+            Message::new(NodeId(0), NodeId(1), MessageKind::Bootstrap, vec![0u8; 100]),
+            5,
+        );
+        assert_eq!(network.stats().total_bytes(), 0);
+        let (t, _) = network.next_delivery().unwrap();
+        assert_eq!(t, 5);
+    }
+}

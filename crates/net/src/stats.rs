@@ -1,0 +1,257 @@
+//! Per-node traffic and timing statistics.
+//!
+//! These are the raw measurements behind the paper's evaluation metrics
+//! (§8.1): per-node communication overhead in KB, average transaction
+//! duration, fixpoint latency, and the cumulative fraction of converged
+//! nodes over time.
+
+use crate::message::MessageKind;
+use crate::node::NodeId;
+use crate::sim::VirtualTime;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Traffic counters for one node.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NodeTraffic {
+    pub bytes_sent: usize,
+    pub bytes_received: usize,
+    pub messages_sent: usize,
+    pub messages_received: usize,
+}
+
+impl NodeTraffic {
+    /// Total traffic attributable to this node, in bytes.  The paper reports
+    /// per-node overhead as the node's aggregate bandwidth use; sent bytes are
+    /// the convention used here (received bytes mirror another node's sends).
+    pub fn total_bytes(&self) -> usize {
+        self.bytes_sent
+    }
+
+    /// Sent bytes expressed in kilobytes (the unit of Figures 6 and 12).
+    pub fn kilobytes_sent(&self) -> f64 {
+        self.bytes_sent as f64 / 1024.0
+    }
+}
+
+/// Traffic statistics for a whole deployment.
+#[derive(Debug, Clone, Default)]
+pub struct NetworkStats {
+    per_node: Vec<NodeTraffic>,
+    per_kind: HashMap<MessageKind, usize>,
+}
+
+impl NetworkStats {
+    /// Statistics for `nodes` nodes.
+    pub fn new(nodes: usize) -> Self {
+        NetworkStats { per_node: vec![NodeTraffic::default(); nodes], per_kind: HashMap::new() }
+    }
+
+    /// Record one message send.
+    pub fn record_send(&mut self, from: NodeId, to: NodeId, wire_size: usize, kind: MessageKind) {
+        if let Some(sender) = self.per_node.get_mut(from.index()) {
+            sender.bytes_sent += wire_size;
+            sender.messages_sent += 1;
+        }
+        if let Some(receiver) = self.per_node.get_mut(to.index()) {
+            receiver.bytes_received += wire_size;
+            receiver.messages_received += 1;
+        }
+        *self.per_kind.entry(kind).or_insert(0) += wire_size;
+    }
+
+    /// Counters for one node.
+    pub fn node(&self, id: NodeId) -> &NodeTraffic {
+        &self.per_node[id.index()]
+    }
+
+    /// Counters for every node.
+    pub fn nodes(&self) -> &[NodeTraffic] {
+        &self.per_node
+    }
+
+    /// Total bytes sent across the deployment.
+    pub fn total_bytes(&self) -> usize {
+        self.per_node.iter().map(|n| n.bytes_sent).sum()
+    }
+
+    /// Average per-node overhead in kilobytes — the metric of Figures 6 & 12.
+    pub fn average_per_node_kb(&self) -> f64 {
+        if self.per_node.is_empty() {
+            return 0.0;
+        }
+        self.per_node.iter().map(|n| n.kilobytes_sent()).sum::<f64>() / self.per_node.len() as f64
+    }
+
+    /// Bytes attributed to a message kind.
+    pub fn bytes_for_kind(&self, kind: MessageKind) -> usize {
+        self.per_kind.get(&kind).copied().unwrap_or(0)
+    }
+}
+
+/// Timing statistics for a whole deployment run.
+#[derive(Debug, Clone, Default)]
+pub struct TimingStats {
+    /// Wall-clock duration of every committed transaction, per node.
+    transaction_durations: Vec<Vec<Duration>>,
+    /// Virtual time at which each node last finished processing a batch.
+    last_activity: Vec<VirtualTime>,
+    /// Virtual times at which transactions completed (used for the hash-join
+    /// completion CDFs at the initiator).
+    completion_times: Vec<Vec<VirtualTime>>,
+    /// Batches rejected by constraint violations, per node.
+    rejected_batches: Vec<usize>,
+    /// Batches rolled back by functional-dependency conflicts (e.g. duplicate
+    /// advertisements of the same path entity), per node.
+    conflicting_batches: Vec<usize>,
+}
+
+impl TimingStats {
+    /// Timing statistics for `nodes` nodes.
+    pub fn new(nodes: usize) -> Self {
+        TimingStats {
+            transaction_durations: vec![Vec::new(); nodes],
+            last_activity: vec![0; nodes],
+            completion_times: vec![Vec::new(); nodes],
+            rejected_batches: vec![0; nodes],
+            conflicting_batches: vec![0; nodes],
+        }
+    }
+
+    /// Record a committed transaction on `node` finishing at virtual time
+    /// `finished_at` after running for `duration` of real compute time.
+    pub fn record_transaction(&mut self, node: NodeId, duration: Duration, finished_at: VirtualTime) {
+        self.transaction_durations[node.index()].push(duration);
+        self.completion_times[node.index()].push(finished_at);
+        self.last_activity[node.index()] = self.last_activity[node.index()].max(finished_at);
+    }
+
+    /// Record a batch rejected by a constraint violation (a security policy
+    /// refusing the batch: unknown principal, bad signature, missing write
+    /// access, forbidden delegation, undecryptable payload).
+    pub fn record_rejection(&mut self, node: NodeId, finished_at: VirtualTime) {
+        self.rejected_batches[node.index()] += 1;
+        self.last_activity[node.index()] = self.last_activity[node.index()].max(finished_at);
+    }
+
+    /// Record a batch rolled back by a functional-dependency conflict — a
+    /// data-level duplicate (e.g. the same path entity advertised along two
+    /// different branches), not a security decision.
+    pub fn record_conflict(&mut self, node: NodeId, finished_at: VirtualTime) {
+        self.conflicting_batches[node.index()] += 1;
+        self.last_activity[node.index()] = self.last_activity[node.index()].max(finished_at);
+    }
+
+    /// Average transaction duration across all nodes (Figure 7).
+    pub fn average_transaction_duration(&self) -> Duration {
+        let all: Vec<Duration> = self.transaction_durations.iter().flatten().copied().collect();
+        if all.is_empty() {
+            return Duration::ZERO;
+        }
+        all.iter().sum::<Duration>() / all.len() as u32
+    }
+
+    /// Number of committed transactions across all nodes.
+    pub fn total_transactions(&self) -> usize {
+        self.transaction_durations.iter().map(|v| v.len()).sum()
+    }
+
+    /// Number of rejected batches across all nodes.
+    pub fn total_rejections(&self) -> usize {
+        self.rejected_batches.iter().sum()
+    }
+
+    /// Number of functional-dependency-conflicting batches across all nodes.
+    pub fn total_conflicts(&self) -> usize {
+        self.conflicting_batches.iter().sum()
+    }
+
+    /// The virtual time at which the distributed fixpoint was reached
+    /// (Figures 4 and 5): the last activity of any node.
+    pub fn fixpoint_time(&self) -> VirtualTime {
+        self.last_activity.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Per-node convergence times: the virtual time each node last processed
+    /// or received a batch (Figures 8 and 9).
+    pub fn convergence_times(&self) -> &[VirtualTime] {
+        &self.last_activity
+    }
+
+    /// The cumulative fraction of nodes converged by each point of `samples`
+    /// evenly spaced virtual-time steps — the series plotted in Figures 8/9.
+    pub fn convergence_cdf(&self, samples: usize) -> Vec<(VirtualTime, f64)> {
+        let end = self.fixpoint_time().max(1);
+        let n = self.last_activity.len().max(1);
+        (0..=samples)
+            .map(|i| {
+                let t = end * i as u64 / samples.max(1) as u64;
+                let converged = self.last_activity.iter().filter(|&&a| a <= t).count();
+                (t, converged as f64 / n as f64)
+            })
+            .collect()
+    }
+
+    /// Completion times of transactions at one node (Figures 10 and 11 use
+    /// the join initiator's completions).
+    pub fn completions(&self, node: NodeId) -> &[VirtualTime] {
+        &self.completion_times[node.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_accounting() {
+        let mut stats = NetworkStats::new(2);
+        stats.record_send(NodeId(0), NodeId(1), 1024, MessageKind::Says);
+        stats.record_send(NodeId(1), NodeId(0), 2048, MessageKind::Says);
+        assert_eq!(stats.node(NodeId(0)).bytes_sent, 1024);
+        assert_eq!(stats.node(NodeId(0)).bytes_received, 2048);
+        assert_eq!(stats.total_bytes(), 3072);
+        assert!((stats.average_per_node_kb() - 1.5).abs() < 1e-9);
+        assert_eq!(stats.bytes_for_kind(MessageKind::Says), 3072);
+        assert_eq!(stats.bytes_for_kind(MessageKind::AnonForward), 0);
+    }
+
+    #[test]
+    fn timing_summaries() {
+        let mut timing = TimingStats::new(3);
+        timing.record_transaction(NodeId(0), Duration::from_millis(10), 1_000);
+        timing.record_transaction(NodeId(1), Duration::from_millis(30), 5_000);
+        timing.record_transaction(NodeId(1), Duration::from_millis(20), 9_000);
+        timing.record_rejection(NodeId(2), 2_000);
+        timing.record_conflict(NodeId(0), 500);
+        assert_eq!(timing.total_transactions(), 3);
+        assert_eq!(timing.total_rejections(), 1);
+        assert_eq!(timing.total_conflicts(), 1);
+        assert_eq!(timing.average_transaction_duration(), Duration::from_millis(20));
+        assert_eq!(timing.fixpoint_time(), 9_000);
+        assert_eq!(timing.convergence_times(), &[1_000, 9_000, 2_000]);
+    }
+
+    #[test]
+    fn convergence_cdf_is_monotone_and_ends_at_one() {
+        let mut timing = TimingStats::new(4);
+        for (i, t) in [1_000u64, 2_000, 3_000, 10_000].iter().enumerate() {
+            timing.record_transaction(NodeId(i as u32), Duration::from_millis(1), *t);
+        }
+        let cdf = timing.convergence_cdf(10);
+        assert_eq!(cdf.first().unwrap().1, 0.0);
+        assert_eq!(cdf.last().unwrap().1, 1.0);
+        for window in cdf.windows(2) {
+            assert!(window[1].1 >= window[0].1);
+        }
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let timing = TimingStats::new(0);
+        assert_eq!(timing.average_transaction_duration(), Duration::ZERO);
+        assert_eq!(timing.fixpoint_time(), 0);
+        let stats = NetworkStats::new(0);
+        assert_eq!(stats.average_per_node_kb(), 0.0);
+    }
+}

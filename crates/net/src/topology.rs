@@ -1,0 +1,284 @@
+//! Topology generators for simulated deployments.
+//!
+//! The paper's path-vector evaluation (§8.1) uses random graphs with an
+//! average node degree of three.  This module provides that generator plus a
+//! few regular topologies (ring, star, full mesh, grid) that the ablation
+//! benches use to show how the protocol's convergence behaviour and
+//! communication overhead depend on the input graph rather than on the
+//! security scheme.
+//!
+//! All generators return **undirected** edges as `(a, b)` pairs with
+//! `a < b`, without duplicates, over the node indices `0..num_nodes`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// A family of graph topologies over `num_nodes` nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// A single cycle: node `i` connects to node `(i + 1) mod n`.
+    Ring,
+    /// Node 0 connects to every other node.
+    Star,
+    /// Every pair of nodes is connected.
+    FullMesh,
+    /// A near-square grid with row-major adjacency.
+    Grid,
+    /// A connected random graph (ring plus random chords) with the given
+    /// average degree — the paper's workload when `average_degree == 3`.
+    Random {
+        /// Target average node degree (the ring already contributes 2).
+        average_degree: usize,
+    },
+}
+
+impl Topology {
+    /// The paper's input graphs: random, average degree three.
+    pub fn paper_default() -> Self {
+        Topology::Random { average_degree: 3 }
+    }
+
+    /// A short label for benchmark and figure output.
+    pub fn label(&self) -> String {
+        match self {
+            Topology::Ring => "ring".to_string(),
+            Topology::Star => "star".to_string(),
+            Topology::FullMesh => "full-mesh".to_string(),
+            Topology::Grid => "grid".to_string(),
+            Topology::Random { average_degree } => format!("random-deg{average_degree}"),
+        }
+    }
+
+    /// Generate the undirected edge set for `num_nodes` nodes.  `seed` only
+    /// affects [`Topology::Random`]; the regular topologies are deterministic.
+    pub fn edges(&self, num_nodes: usize, seed: u64) -> Vec<(usize, usize)> {
+        if num_nodes < 2 {
+            return Vec::new();
+        }
+        match self {
+            Topology::Ring => ring(num_nodes),
+            Topology::Star => (1..num_nodes).map(|i| (0, i)).collect(),
+            Topology::FullMesh => {
+                let mut edges = Vec::with_capacity(num_nodes * (num_nodes - 1) / 2);
+                for a in 0..num_nodes {
+                    for b in (a + 1)..num_nodes {
+                        edges.push((a, b));
+                    }
+                }
+                edges
+            }
+            Topology::Grid => grid(num_nodes),
+            Topology::Random { average_degree } => random(num_nodes, *average_degree, seed),
+        }
+    }
+
+    /// The average node degree of the generated graph.
+    pub fn average_degree(&self, num_nodes: usize, seed: u64) -> f64 {
+        if num_nodes == 0 {
+            return 0.0;
+        }
+        2.0 * self.edges(num_nodes, seed).len() as f64 / num_nodes as f64
+    }
+}
+
+fn ring(num_nodes: usize) -> Vec<(usize, usize)> {
+    (0..num_nodes)
+        .map(|i| {
+            let next = (i + 1) % num_nodes;
+            (i.min(next), i.max(next))
+        })
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .collect()
+}
+
+fn grid(num_nodes: usize) -> Vec<(usize, usize)> {
+    let cols = (num_nodes as f64).sqrt().ceil() as usize;
+    let mut edges = Vec::new();
+    for i in 0..num_nodes {
+        let (row, col) = (i / cols, i % cols);
+        // Right neighbour.
+        if col + 1 < cols && i + 1 < num_nodes {
+            edges.push((i, i + 1));
+        }
+        // Down neighbour.
+        if i + cols < num_nodes {
+            edges.push((i, i + cols));
+        }
+        let _ = row;
+    }
+    edges
+}
+
+fn random(num_nodes: usize, average_degree: usize, seed: u64) -> Vec<(usize, usize)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Start from a ring so the graph is always connected.
+    let mut edges: BTreeSet<(usize, usize)> = ring(num_nodes).into_iter().collect();
+    let target_edges = num_nodes * average_degree / 2;
+    let max_edges = num_nodes * (num_nodes - 1) / 2;
+    let target_edges = target_edges.min(max_edges);
+    let mut attempts = 0usize;
+    while edges.len() < target_edges && attempts < target_edges * 50 {
+        attempts += 1;
+        let a = rng.gen_range(0..num_nodes);
+        let b = rng.gen_range(0..num_nodes);
+        if a == b {
+            continue;
+        }
+        edges.insert((a.min(b), a.max(b)));
+    }
+    edges.into_iter().collect()
+}
+
+/// True if the undirected graph given by `edges` connects all `num_nodes`
+/// nodes.
+pub fn is_connected(num_nodes: usize, edges: &[(usize, usize)]) -> bool {
+    if num_nodes == 0 {
+        return true;
+    }
+    let mut adjacency = vec![Vec::new(); num_nodes];
+    for &(a, b) in edges {
+        if a >= num_nodes || b >= num_nodes {
+            return false;
+        }
+        adjacency[a].push(b);
+        adjacency[b].push(a);
+    }
+    let mut visited = vec![false; num_nodes];
+    let mut stack = vec![0usize];
+    visited[0] = true;
+    let mut seen = 1usize;
+    while let Some(node) = stack.pop() {
+        for &next in &adjacency[node] {
+            if !visited[next] {
+                visited[next] = true;
+                seen += 1;
+                stack.push(next);
+            }
+        }
+    }
+    seen == num_nodes
+}
+
+/// The eccentricity-free diameter bound used in tests: the longest shortest
+/// path between any two nodes (hop count), or `None` if disconnected.
+pub fn diameter(num_nodes: usize, edges: &[(usize, usize)]) -> Option<usize> {
+    if num_nodes == 0 {
+        return Some(0);
+    }
+    let mut adjacency = vec![Vec::new(); num_nodes];
+    for &(a, b) in edges {
+        adjacency[a].push(b);
+        adjacency[b].push(a);
+    }
+    let mut worst = 0usize;
+    for start in 0..num_nodes {
+        let mut dist = vec![usize::MAX; num_nodes];
+        dist[start] = 0;
+        let mut queue = std::collections::VecDeque::from([start]);
+        while let Some(node) = queue.pop_front() {
+            for &next in &adjacency[node] {
+                if dist[next] == usize::MAX {
+                    dist[next] = dist[node] + 1;
+                    queue.push_back(next);
+                }
+            }
+        }
+        let eccentricity = *dist.iter().max().expect("non-empty");
+        if eccentricity == usize::MAX {
+            return None;
+        }
+        worst = worst.max(eccentricity);
+    }
+    Some(worst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_a_single_cycle() {
+        let edges = Topology::Ring.edges(6, 0);
+        assert_eq!(edges.len(), 6);
+        assert!(is_connected(6, &edges));
+        assert_eq!(Topology::Ring.average_degree(6, 0), 2.0);
+        assert_eq!(diameter(6, &edges), Some(3));
+    }
+
+    #[test]
+    fn star_connects_everything_through_the_hub() {
+        let edges = Topology::Star.edges(8, 0);
+        assert_eq!(edges.len(), 7);
+        assert!(is_connected(8, &edges));
+        assert_eq!(diameter(8, &edges), Some(2));
+        assert!(edges.iter().all(|&(a, _)| a == 0));
+    }
+
+    #[test]
+    fn full_mesh_has_all_pairs_and_diameter_one() {
+        let edges = Topology::FullMesh.edges(5, 0);
+        assert_eq!(edges.len(), 10);
+        assert_eq!(diameter(5, &edges), Some(1));
+    }
+
+    #[test]
+    fn grid_is_connected_for_non_square_counts() {
+        for n in [2usize, 3, 5, 7, 9, 12, 16] {
+            let edges = Topology::Grid.edges(n, 0);
+            assert!(is_connected(n, &edges), "grid of {n} nodes should be connected");
+        }
+    }
+
+    #[test]
+    fn random_graphs_are_connected_and_near_target_degree() {
+        for seed in 0..5 {
+            let topology = Topology::Random { average_degree: 3 };
+            let edges = topology.edges(24, seed);
+            assert!(is_connected(24, &edges));
+            let degree = topology.average_degree(24, seed);
+            assert!((2.0..=3.5).contains(&degree), "degree {degree}");
+            // Deterministic per seed.
+            assert_eq!(edges, topology.edges(24, seed));
+        }
+        assert_ne!(
+            Topology::Random { average_degree: 3 }.edges(24, 1),
+            Topology::Random { average_degree: 3 }.edges(24, 2)
+        );
+    }
+
+    #[test]
+    fn degenerate_sizes_are_safe() {
+        for topology in [
+            Topology::Ring,
+            Topology::Star,
+            Topology::FullMesh,
+            Topology::Grid,
+            Topology::paper_default(),
+        ] {
+            assert!(topology.edges(0, 0).is_empty());
+            assert!(topology.edges(1, 0).is_empty());
+        }
+        assert!(is_connected(0, &[]));
+        assert!(is_connected(1, &[]));
+        assert_eq!(diameter(1, &[]), Some(0));
+        assert_eq!(diameter(2, &[]), None);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::BTreeSet<String> = [
+            Topology::Ring,
+            Topology::Star,
+            Topology::FullMesh,
+            Topology::Grid,
+            Topology::Random { average_degree: 3 },
+            Topology::Random { average_degree: 5 },
+        ]
+        .iter()
+        .map(|t| t.label())
+        .collect();
+        assert_eq!(labels.len(), 6);
+    }
+}

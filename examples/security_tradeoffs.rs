@@ -1,0 +1,76 @@
+//! Security / performance trade-off sweep — the headline claim of the paper:
+//! "results demonstrate SecureBlox's abilities … to enable tradeoffs between
+//! performance and security."
+//!
+//! Runs the authenticated path-vector protocol on one topology under every
+//! combination of authentication (NoAuth, HMAC-SHA1, RSA) and confidentiality
+//! (none, AES-128) and prints the metrics of Figures 4–7 side by side, so the
+//! cost of each security increment is visible at a glance.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example security_tradeoffs [nodes] [seed]
+//! ```
+
+use secureblox::apps::pathvector::{self, PathVectorConfig};
+use secureblox::policy::SecurityConfig;
+use secureblox::{AuthScheme, EncScheme};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let nodes: usize = args.first().and_then(|a| a.parse().ok()).unwrap_or(9);
+    let seed: u64 = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(1);
+
+    let schemes = [
+        (AuthScheme::NoAuth, EncScheme::None),
+        (AuthScheme::NoAuth, EncScheme::Aes128),
+        (AuthScheme::HmacSha1, EncScheme::None),
+        (AuthScheme::HmacSha1, EncScheme::Aes128),
+        (AuthScheme::Rsa, EncScheme::None),
+        (AuthScheme::Rsa, EncScheme::Aes128),
+    ];
+
+    println!("path-vector protocol, {nodes} nodes, random graph seed {seed}");
+    println!(
+        "{:<12} {:>14} {:>14} {:>14} {:>10} {:>10}",
+        "scheme", "fixpoint", "avg txn", "per-node KB", "messages", "routes"
+    );
+
+    let mut baseline_kb: Option<f64> = None;
+    for (auth, enc) in schemes {
+        let config = PathVectorConfig {
+            num_nodes: nodes,
+            seed,
+            security: SecurityConfig::new(auth, enc),
+            ..PathVectorConfig::default()
+        };
+        let label = config.security.label();
+        let outcome = pathvector::run(&config).expect("path-vector run failed");
+        assert_eq!(
+            outcome.nodes_with_route_to_zero,
+            nodes - 1,
+            "every node must find a route regardless of the security scheme"
+        );
+        assert_eq!(outcome.report.rejected_batches, 0);
+        let kb = outcome.report.per_node_kb;
+        let overhead = baseline_kb.map(|base| format!("({:+.0}%)", (kb / base - 1.0) * 100.0)).unwrap_or_default();
+        if baseline_kb.is_none() {
+            baseline_kb = Some(kb);
+        }
+        println!(
+            "{:<12} {:>14} {:>14} {:>10.1} KB {:>10} {:>10}   {overhead}",
+            label,
+            format!("{:.2?}", outcome.report.fixpoint_latency),
+            format!("{:.2?}", outcome.report.average_transaction),
+            kb,
+            outcome.report.total_messages,
+            outcome.nodes_with_route_to_zero,
+        );
+    }
+
+    println!();
+    println!("Reading the table: latency and per-node overhead grow monotonically with the");
+    println!("strength of the scheme (NoAuth < HMAC < RSA; AES adds a small increment) while");
+    println!("the protocol outcome — the routes found — is identical in every row.  The");
+    println!("security configuration is chosen per deployment, without touching the protocol.");
+}

@@ -1,0 +1,127 @@
+//! Trust delegation and restricted delegation (paper §6.1).
+//!
+//! Three principals exchange credit scores:
+//!
+//! * `ca` — a credit agency that reports genuine scores,
+//! * `mallory` — an imposter that also claims to report scores,
+//! * `alice` — a consumer who wants to accept `creditscore` facts **only**
+//!   from the credit agency.
+//!
+//! Alice runs the per-predicate delegation policy
+//! (`TrustModel::PerPredicate`): a said fact is imported into the local
+//! predicate only if the speaker appears in `trustworthyPerPred[T]`.  On top
+//! of that she installs the paper's restricted-delegation constraint
+//! `trustworthyPerPred[`creditscore](U) -> U = "ca"`, so even a
+//! misconfiguration that trusts someone else is rejected at runtime.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example trust_delegation
+//! ```
+
+use secureblox::policy::says::delegation_restriction;
+use secureblox::policy::{SecurityConfig, TrustModel};
+use secureblox::runtime::{Deployment, DeploymentConfig, NodeSpec};
+use secureblox::{AuthScheme, EncScheme, Value};
+
+/// The application: agencies report scores; consumers collect them.
+const APP: &str = r#"
+    customer(N) -> .
+    creditscore(N, S) -> customer(N), int[32](S).
+    myreport(N, S) -> customer(N), int[32](S).
+    consumer(U) -> principal(U).
+    exportable(`creditscore).
+
+    // Every agency tells every consumer about the scores it holds.
+    says[`creditscore](self[], U, N, S) <- myreport(N, S), consumer(U), U != self[].
+"#;
+
+fn specs(alice_trusts: &str) -> Vec<NodeSpec> {
+    let mut alice = NodeSpec::new("alice");
+    // Alice's local delegation decision: who she trusts for creditscore.
+    alice
+        .base_facts
+        .push(("trustworthyPerPred$creditscore".into(), vec![Value::str(alice_trusts)]));
+
+    let mut ca = NodeSpec::new("ca");
+    ca.base_facts.push(("myreport".into(), vec![Value::str("bob"), Value::Int(720)]));
+    ca.base_facts.push(("myreport".into(), vec![Value::str("carol"), Value::Int(810)]));
+
+    let mut mallory = NodeSpec::new("mallory");
+    mallory.base_facts.push(("myreport".into(), vec![Value::str("bob"), Value::Int(999)]));
+
+    vec![alice, ca, mallory]
+}
+
+fn deployment_config() -> DeploymentConfig {
+    DeploymentConfig {
+        security: SecurityConfig {
+            auth: AuthScheme::HmacSha1,
+            enc: EncScheme::None,
+            trust: TrustModel::PerPredicate,
+            ..SecurityConfig::default()
+        },
+        // Trust is provisioned explicitly per node, not granted to everyone.
+        grant_default_trust: false,
+        // The restricted-delegation constraint from the paper's §6.1 example.
+        extra_policies: vec![delegation_restriction("creditscore", "ca")],
+        shared_facts: vec![
+            ("customer".into(), vec![Value::str("bob")]),
+            ("customer".into(), vec![Value::str("carol")]),
+            ("consumer".into(), vec![Value::str("alice")]),
+        ],
+        ..DeploymentConfig::default()
+    }
+}
+
+fn main() {
+    // --- Scenario 1: Alice delegates creditscore to the credit agency. ---
+    let mut deployment =
+        Deployment::build(APP, &specs("ca"), deployment_config()).expect("deployment build failed");
+    let report = deployment.run().expect("deployment run failed");
+
+    let scores = deployment.query("alice", "creditscore");
+    println!("scenario 1: alice trusts `ca` for creditscore");
+    for row in &scores {
+        println!("  creditscore({}, {})", row[0], row[1]);
+    }
+    let said: Vec<_> = deployment
+        .query("alice", "says$creditscore")
+        .into_iter()
+        .filter(|t| t[0].as_str() == Some("mallory"))
+        .collect();
+    println!(
+        "  mallory's claim was received ({} said fact{}) but never imported",
+        said.len(),
+        if said.len() == 1 { "" } else { "s" }
+    );
+    assert_eq!(scores.len(), 2, "alice should hold exactly the agency's two scores");
+    assert!(scores.contains(&vec![Value::str("bob"), Value::Int(720)]));
+    assert!(scores.contains(&vec![Value::str("carol"), Value::Int(810)]));
+    assert!(
+        scores.iter().all(|t| t[1].as_int() != Some(999)),
+        "the imposter's score must not be imported"
+    );
+    assert_eq!(report.rejected_batches, 0);
+
+    // --- Scenario 2: Alice misconfigures trust towards mallory. ---
+    // The restricted-delegation constraint rejects the bootstrap batch that
+    // tries to install the bad delegation, so no score from mallory can ever
+    // be imported.
+    let mut misconfigured = Deployment::build(APP, &specs("mallory"), deployment_config())
+        .expect("deployment build failed");
+    let report = misconfigured.run().expect("deployment run failed");
+    let scores = misconfigured.query("alice", "creditscore");
+    println!("scenario 2: alice (mis)trusts `mallory` for creditscore");
+    println!(
+        "  delegation constraint rejected {} batch(es); alice holds {} creditscore facts",
+        report.rejected_batches,
+        scores.len()
+    );
+    assert!(report.rejected_batches >= 1, "the bad delegation must be rejected");
+    assert!(
+        scores.iter().all(|t| t[1].as_int() != Some(999)),
+        "the imposter's score must not appear even under misconfiguration"
+    );
+    println!("restricted delegation enforced: ok");
+}

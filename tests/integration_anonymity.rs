@@ -1,0 +1,39 @@
+//! Integration tests of the anonymity constructs (paper §6.2, §7.3).
+
+use secureblox::apps::anonjoin::{self, AnonJoinConfig};
+
+#[test]
+fn anonymous_join_is_correct_and_anonymous() {
+    let outcome = anonjoin::run(&AnonJoinConfig {
+        num_relays: 3,
+        public_rows: 90,
+        interest_rows: 6,
+        ..AnonJoinConfig::default()
+    })
+    .unwrap();
+    assert!(outcome.expected_matches > 0);
+    assert_eq!(outcome.replies_at_initiator, outcome.expected_matches);
+    assert!(outcome.owner_never_saw_initiator);
+}
+
+#[test]
+fn longer_circuits_cost_more_bandwidth() {
+    let short = anonjoin::run(&AnonJoinConfig {
+        num_relays: 1,
+        public_rows: 60,
+        interest_rows: 5,
+        ..AnonJoinConfig::default()
+    })
+    .unwrap();
+    let long = anonjoin::run(&AnonJoinConfig {
+        num_relays: 4,
+        public_rows: 60,
+        interest_rows: 5,
+        ..AnonJoinConfig::default()
+    })
+    .unwrap();
+    assert_eq!(short.replies_at_initiator, long.replies_at_initiator);
+    // Every extra relay forwards every cell once more.
+    assert!(long.report.per_node_kb * long.report.num_nodes as f64
+        > short.report.per_node_kb * short.report.num_nodes as f64);
+}

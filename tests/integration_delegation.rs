@@ -1,0 +1,189 @@
+//! Integration tests for trust delegation, restricted delegation, and
+//! explicit write-access authorization (paper §3.2 "Authorization" and §6.1),
+//! exercised purely through the public deployment API.
+
+use secureblox::policy::says::delegation_restriction;
+use secureblox::policy::{SecurityConfig, TrustModel};
+use secureblox::runtime::{Deployment, DeploymentConfig, NodeSpec};
+use secureblox::{AuthScheme, Value};
+
+/// Gossip application: every node tells every other principal about its local
+/// `observation` facts; receivers import them into `report`.
+const GOSSIP: &str = r#"
+    observation(K, V) -> int[32](K), int[32](V).
+    report(K, V) -> int[32](K), int[32](V).
+    exportable(`report).
+
+    says[`report](self[], U, K, V) <- observation(K, V), principal(U), U != self[].
+"#;
+
+/// Three nodes; node `i` observes the single fact (i, 100 + i).
+fn specs() -> Vec<NodeSpec> {
+    (0..3)
+        .map(|i| {
+            let mut spec = NodeSpec::new(format!("n{i}"));
+            spec.base_facts
+                .push(("observation".into(), vec![Value::Int(i as i64), Value::Int(100 + i as i64)]));
+            spec
+        })
+        .collect()
+}
+
+fn imported_senders(deployment: &Deployment, principal: &str) -> Vec<i64> {
+    let mut keys: Vec<i64> =
+        deployment.query(principal, "report").iter().filter_map(|t| t[0].as_int()).collect();
+    keys.sort_unstable();
+    keys
+}
+
+#[test]
+fn trustworthy_model_imports_only_from_trusted_principals() {
+    let mut specs = specs();
+    // n0 trusts only n1; n1 and n2 trust everyone.
+    specs[0].base_facts.push(("trustworthy".into(), vec![Value::str("n1")]));
+    for i in 1..3 {
+        for j in 0..3 {
+            specs[i].base_facts.push(("trustworthy".into(), vec![Value::str(format!("n{j}"))]));
+        }
+    }
+    let config = DeploymentConfig {
+        security: SecurityConfig {
+            auth: AuthScheme::HmacSha1,
+            trust: TrustModel::Trustworthy,
+            ..SecurityConfig::default()
+        },
+        grant_default_trust: false,
+        ..DeploymentConfig::default()
+    };
+    let mut deployment = Deployment::build(GOSSIP, &specs, config).unwrap();
+    let report = deployment.run().unwrap();
+    assert_eq!(report.rejected_batches, 0);
+
+    // n0 only imported n1's observation (key 1); the others imported both
+    // remote observations.
+    assert_eq!(imported_senders(&deployment, "n0"), vec![1]);
+    assert_eq!(imported_senders(&deployment, "n1"), vec![0, 2]);
+    assert_eq!(imported_senders(&deployment, "n2"), vec![0, 1]);
+
+    // The untrusted fact still arrived as a says tuple — it was received and
+    // authenticated, just not imported (delegation is a local decision).
+    let said_from_n2: Vec<_> = deployment
+        .query("n0", "says$report")
+        .into_iter()
+        .filter(|t| t[0].as_str() == Some("n2") && t[1].as_str() == Some("n0"))
+        .collect();
+    assert_eq!(said_from_n2.len(), 1);
+}
+
+#[test]
+fn default_trust_grant_preserves_the_benign_world() {
+    // With the default configuration (trust everyone), all observations flow.
+    let config = DeploymentConfig {
+        security: SecurityConfig {
+            auth: AuthScheme::NoAuth,
+            trust: TrustModel::Trustworthy,
+            ..SecurityConfig::default()
+        },
+        ..DeploymentConfig::default()
+    };
+    let mut deployment = Deployment::build(GOSSIP, &specs(), config).unwrap();
+    deployment.run().unwrap();
+    assert_eq!(imported_senders(&deployment, "n0"), vec![1, 2]);
+}
+
+#[test]
+fn per_predicate_delegation_is_scoped_to_the_predicate() {
+    // Two exportable predicates; n0 delegates `report` to n1 but `alert` to n2.
+    const APP: &str = r#"
+        observation(K, V) -> int[32](K), int[32](V).
+        report(K, V) -> int[32](K), int[32](V).
+        alert(K) -> int[32](K).
+        exportable(`report).
+        exportable(`alert).
+
+        says[`report](self[], U, K, V) <- observation(K, V), principal(U), U != self[].
+        says[`alert](self[], U, K) <- observation(K, V), V > 100, principal(U), U != self[].
+    "#;
+    let mut specs = specs();
+    specs[0]
+        .base_facts
+        .push(("trustworthyPerPred$report".into(), vec![Value::str("n1")]));
+    specs[0]
+        .base_facts
+        .push(("trustworthyPerPred$alert".into(), vec![Value::str("n2")]));
+    let config = DeploymentConfig {
+        security: SecurityConfig {
+            auth: AuthScheme::NoAuth,
+            trust: TrustModel::PerPredicate,
+            ..SecurityConfig::default()
+        },
+        grant_default_trust: false,
+        ..DeploymentConfig::default()
+    };
+    let mut deployment = Deployment::build(APP, &specs, config).unwrap();
+    deployment.run().unwrap();
+
+    // report came from n1 only; alert came from n2 only.
+    assert_eq!(imported_senders(&deployment, "n0"), vec![1]);
+    let alerts: Vec<i64> =
+        deployment.query("n0", "alert").iter().filter_map(|t| t[0].as_int()).collect();
+    assert_eq!(alerts, vec![2], "only n2's alert (observation key 2) is delegated");
+}
+
+#[test]
+fn restricted_delegation_constraint_rejects_bad_grants() {
+    // The §6.1 constraint: report may only be delegated to n1.
+    let mut specs = specs();
+    specs[0].base_facts.push(("trustworthyPerPred$report".into(), vec![Value::str("n2")]));
+    let config = DeploymentConfig {
+        security: SecurityConfig {
+            auth: AuthScheme::NoAuth,
+            trust: TrustModel::PerPredicate,
+            ..SecurityConfig::default()
+        },
+        grant_default_trust: false,
+        extra_policies: vec![delegation_restriction("report", "n1")],
+        ..DeploymentConfig::default()
+    };
+    let mut deployment = Deployment::build(GOSSIP, &specs, config).unwrap();
+    let report = deployment.run().unwrap();
+    // The bootstrap batch carrying the bad delegation (and n0's own
+    // observation) is rolled back; nothing from n2 is ever imported.
+    assert!(report.rejected_batches >= 1);
+    assert_eq!(imported_senders(&deployment, "n0"), Vec::<i64>::new());
+}
+
+#[test]
+fn explicit_write_access_grants_gate_imports() {
+    // writeAccess[T] is granted explicitly: n0 only accepts writes from n1
+    // (and from itself — the constraint covers locally derived says tuples
+    // too, exactly as the paper's generic rule is written).
+    let mut specs = specs();
+    specs[0].base_facts.push(("writeAccess$report".into(), vec![Value::str("n0")]));
+    specs[0].base_facts.push(("writeAccess$report".into(), vec![Value::str("n1")]));
+    // The other nodes grant write access to everyone.
+    for i in 1..3 {
+        for j in 0..3 {
+            specs[i]
+                .base_facts
+                .push(("writeAccess$report".into(), vec![Value::str(format!("n{j}"))]));
+        }
+    }
+    let config = DeploymentConfig {
+        security: SecurityConfig {
+            auth: AuthScheme::NoAuth,
+            write_access: true,
+            ..SecurityConfig::default()
+        },
+        grant_default_write_access: false,
+        ..DeploymentConfig::default()
+    };
+    let mut deployment = Deployment::build(GOSSIP, &specs, config).unwrap();
+    let report = deployment.run().unwrap();
+
+    // n2's write to n0 violates the authorization constraint, so that batch
+    // is rejected at n0; n1's write is accepted and imported.
+    assert!(report.rejected_batches >= 1);
+    assert_eq!(imported_senders(&deployment, "n0"), vec![1]);
+    assert_eq!(imported_senders(&deployment, "n1"), vec![0, 2]);
+}

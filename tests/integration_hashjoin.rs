@@ -1,0 +1,54 @@
+//! End-to-end integration test of the secure parallel hash join (paper §7.2).
+
+use secureblox::apps::hashjoin::{self, HashJoinConfig};
+use secureblox::policy::SecurityConfig;
+use secureblox::{AuthScheme, EncScheme};
+
+fn config(nodes: usize, auth: AuthScheme, enc: EncScheme) -> HashJoinConfig {
+    HashJoinConfig {
+        num_nodes: nodes,
+        table_a_rows: 120,
+        table_b_rows: 100,
+        distinct_join_values: 18,
+        security: SecurityConfig::new(auth, enc),
+        seed: 11,
+        ..HashJoinConfig::default()
+    }
+}
+
+#[test]
+fn join_is_correct_under_noauth_and_rsa_aes() {
+    let plain = hashjoin::run(&config(4, AuthScheme::NoAuth, EncScheme::None)).unwrap();
+    assert_eq!(plain.results_at_initiator, plain.expected_results);
+    assert!(plain.expected_results > 0);
+
+    let secured = hashjoin::run(&config(4, AuthScheme::Rsa, EncScheme::Aes128)).unwrap();
+    assert_eq!(secured.results_at_initiator, secured.expected_results);
+    assert_eq!(secured.expected_results, plain.expected_results);
+    assert_eq!(secured.report.rejected_batches, 0);
+}
+
+#[test]
+fn more_parallelism_reduces_per_node_overhead() {
+    // Figure 12: per-node overhead falls as the work spreads over more nodes.
+    let small = hashjoin::run(&config(2, AuthScheme::NoAuth, EncScheme::None)).unwrap();
+    let large = hashjoin::run(&config(8, AuthScheme::NoAuth, EncScheme::None)).unwrap();
+    assert!(large.report.per_node_kb < small.report.per_node_kb, "small {} vs large {}", small.report.per_node_kb, large.report.per_node_kb);
+}
+
+#[test]
+fn security_increases_overhead_but_not_results() {
+    let plain = hashjoin::run(&config(4, AuthScheme::NoAuth, EncScheme::None)).unwrap();
+    let secured = hashjoin::run(&config(4, AuthScheme::Rsa, EncScheme::Aes128)).unwrap();
+    assert!(secured.report.per_node_kb > plain.report.per_node_kb);
+    assert_eq!(secured.results_at_initiator, plain.results_at_initiator);
+}
+
+#[test]
+fn initiator_sees_results_arrive_over_time() {
+    let outcome = hashjoin::run(&config(4, AuthScheme::NoAuth, EncScheme::None)).unwrap();
+    assert!(!outcome.initiator_completions.is_empty());
+    let mut sorted = outcome.initiator_completions.clone();
+    sorted.sort();
+    assert_eq!(sorted, outcome.initiator_completions, "completions are recorded in order");
+}

@@ -1,0 +1,74 @@
+//! End-to-end integration test of the path-vector routing protocol (paper
+//! §7.1) across the full stack: parser → BloxGenerics → datalog engine →
+//! crypto → simulated network.
+
+use secureblox::apps::pathvector::{self, PathVectorConfig};
+use secureblox::policy::SecurityConfig;
+use secureblox::{AuthScheme, EncScheme};
+
+fn run(nodes: usize, auth: AuthScheme, enc: EncScheme) -> pathvector::PathVectorOutcome {
+    let config = PathVectorConfig {
+        num_nodes: nodes,
+        security: SecurityConfig::new(auth, enc),
+        seed: 3,
+        ..PathVectorConfig::default()
+    };
+    pathvector::run(&config).expect("path-vector run failed")
+}
+
+#[test]
+fn protocol_converges_under_every_scheme() {
+    for (auth, enc) in [
+        (AuthScheme::NoAuth, EncScheme::None),
+        (AuthScheme::HmacSha1, EncScheme::None),
+        (AuthScheme::Rsa, EncScheme::Aes128),
+    ] {
+        let outcome = run(6, auth, enc);
+        assert_eq!(outcome.nodes_with_route_to_zero, 5, "{auth:?}/{enc:?}: {outcome:?}");
+        assert_eq!(outcome.report.rejected_batches, 0, "{auth:?}/{enc:?}");
+        // All-pairs routes: every node should know a best cost to every other
+        // node in a connected graph.
+        assert!(outcome.best_cost_entries >= 6 * 5, "{auth:?}/{enc:?}: {outcome:?}");
+    }
+}
+
+#[test]
+fn stronger_authentication_costs_more_bandwidth_and_latency() {
+    let noauth = run(6, AuthScheme::NoAuth, EncScheme::None);
+    let hmac = run(6, AuthScheme::HmacSha1, EncScheme::None);
+    let rsa = run(6, AuthScheme::Rsa, EncScheme::None);
+    // Figure 6's ordering: per-node KB grows with signature size.
+    assert!(noauth.report.per_node_kb < hmac.report.per_node_kb);
+    assert!(hmac.report.per_node_kb < rsa.report.per_node_kb);
+    // Figure 4's ordering: RSA signing/verification dominates compute, so its
+    // fixpoint latency exceeds NoAuth's.
+    assert!(rsa.report.fixpoint_latency > noauth.report.fixpoint_latency);
+    assert!(rsa.report.average_transaction > noauth.report.average_transaction);
+}
+
+#[test]
+fn encryption_adds_bytes_on_top_of_authentication() {
+    let plain = run(6, AuthScheme::HmacSha1, EncScheme::None);
+    let encrypted = run(6, AuthScheme::HmacSha1, EncScheme::Aes128);
+    assert!(encrypted.report.per_node_kb > plain.report.per_node_kb);
+    assert_eq!(encrypted.report.rejected_batches, 0);
+}
+
+#[test]
+fn larger_networks_take_longer_and_ship_more_data() {
+    let small = run(6, AuthScheme::NoAuth, EncScheme::None);
+    let large = run(12, AuthScheme::NoAuth, EncScheme::None);
+    assert!(large.report.fixpoint_latency > small.report.fixpoint_latency);
+    assert!(large.report.per_node_kb > small.report.per_node_kb);
+    assert_eq!(large.nodes_with_route_to_zero, 11);
+}
+
+#[test]
+fn convergence_cdf_is_step_shaped_and_complete() {
+    let outcome = run(9, AuthScheme::NoAuth, EncScheme::None);
+    let cdf = outcome.report.convergence_cdf(20);
+    assert_eq!(cdf.last().unwrap().1, 1.0);
+    for window in cdf.windows(2) {
+        assert!(window[1].1 >= window[0].1, "CDF must be monotone");
+    }
+}

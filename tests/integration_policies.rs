@@ -1,0 +1,114 @@
+//! Integration tests of policy customization: the same application text under
+//! different `says` definitions, delegation models, and authorization rules
+//! (paper §3.2 and §6).
+
+use secureblox::policy::{compile_secured_program, says_policy, SecurityConfig, TrustModel};
+use secureblox::runtime::{Deployment, DeploymentConfig, NodeSpec};
+use secureblox::{AuthScheme, EncScheme, Value};
+
+const APP: &str = r#"
+    creditscore(U, S) -> string(U), int[32](S).
+    exportable(`creditscore).
+    says[`creditscore](self[], U, Name, Score) <- localscore(Name, Score), principal(U), U != self[].
+"#;
+
+fn specs() -> Vec<NodeSpec> {
+    vec![
+        NodeSpec {
+            principal: "CA".into(),
+            base_facts: vec![("localscore".into(), vec![Value::str("alice"), Value::Int(720)])],
+        },
+        NodeSpec {
+            principal: "EvilCorp".into(),
+            base_facts: vec![("localscore".into(), vec![Value::str("alice"), Value::Int(350)])],
+        },
+        NodeSpec { principal: "bank".into(), base_facts: vec![] },
+    ]
+}
+
+#[test]
+fn policy_source_changes_with_configuration_not_the_application() {
+    // The exact point of the paper: swapping authentication schemes changes
+    // only the policy text, never the application program.
+    let hmac = says_policy(&SecurityConfig::new(AuthScheme::HmacSha1, EncScheme::None));
+    let rsa = says_policy(&SecurityConfig::new(AuthScheme::Rsa, EncScheme::None));
+    assert_ne!(hmac, rsa);
+    for policy in [&hmac, &rsa] {
+        assert!(!policy.contains("creditscore"), "policies are generic over predicates");
+    }
+    // Both compile against the same application text.
+    for config in [
+        SecurityConfig::new(AuthScheme::HmacSha1, EncScheme::None),
+        SecurityConfig::new(AuthScheme::Rsa, EncScheme::None),
+    ] {
+        let compiled = compile_secured_program(APP, &config, &[]).unwrap();
+        assert_eq!(compiled.mapping("says", "creditscore"), Some("says$creditscore"));
+    }
+}
+
+#[test]
+fn per_predicate_delegation_only_accepts_the_credit_agency() {
+    // The bank trusts only "CA" for creditscore (paper §6.1); EvilCorp's
+    // report must not be imported even though EvilCorp is a known principal.
+    let security = SecurityConfig {
+        auth: AuthScheme::NoAuth,
+        enc: EncScheme::None,
+        trust: TrustModel::PerPredicate,
+        ..SecurityConfig::default()
+    };
+    let config = DeploymentConfig {
+        security,
+        shared_facts: vec![(
+            "trustworthyPerPred$creditscore".into(),
+            vec![Value::str("CA")],
+        )],
+        ..DeploymentConfig::default()
+    };
+    let mut deployment = Deployment::build(APP, &specs(), config).unwrap();
+    deployment.run().unwrap();
+    let scores = deployment.query("bank", "creditscore");
+    assert_eq!(scores, vec![vec![Value::str("alice"), Value::Int(720)]]);
+    // Both says facts arrived (both senders are known principals) …
+    assert_eq!(
+        deployment
+            .query("bank", "says$creditscore")
+            .iter()
+            .filter(|t| t[1] == Value::str("bank"))
+            .count(),
+        2
+    );
+    // … but only the delegated agency's fact was imported.
+}
+
+#[test]
+fn trust_all_imports_everything() {
+    let security = SecurityConfig {
+        auth: AuthScheme::NoAuth,
+        trust: TrustModel::TrustAll,
+        ..SecurityConfig::default()
+    };
+    let config = DeploymentConfig { security, ..DeploymentConfig::default() };
+    let mut deployment = Deployment::build(APP, &specs(), config).unwrap();
+    deployment.run().unwrap();
+    // With no delegation restriction the bank ends up with both reports —
+    // functional-dependency-free predicate, so both rows coexist.
+    assert_eq!(deployment.query("bank", "creditscore").len(), 2);
+}
+
+#[test]
+fn generic_constraint_rejects_saying_unexportable_predicates() {
+    let bad_app = r#"
+        secrets(X) -> string(X).
+        leak(X) <- says[`secrets](P, self[], X).
+    "#;
+    let err = compile_secured_program(bad_app, &SecurityConfig::default(), &[]).unwrap_err();
+    assert!(err.to_string().contains("secrets"), "{err}");
+}
+
+#[test]
+fn write_access_policy_appears_only_when_enabled() {
+    let without = says_policy(&SecurityConfig::default());
+    assert!(!without.contains("writeAccess"));
+    let with = says_policy(&SecurityConfig { write_access: true, ..SecurityConfig::default() });
+    assert!(with.contains("writeAccess[T](P1)"));
+}

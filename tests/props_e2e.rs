@@ -1,0 +1,209 @@
+//! Property-based tests over the public SecureBlox API: the tuple codec, the
+//! policy generators, and small end-to-end deployments on random inputs.
+//!
+//! The end-to-end properties deliberately use small node counts — the intent
+//! is to show that the protocol outcome (routes found, join results produced,
+//! no rejected batches) is independent of the random topology and of the
+//! authentication scheme, not to benchmark.
+
+use proptest::prelude::*;
+use secureblox::apps::{hashjoin, pathvector};
+use secureblox::policy::{says_policy, SecurityConfig, TrustModel};
+use secureblox::runtime::{deserialize_tuple, serialize_tuple, SaysEnvelope};
+use secureblox::{parse_program, AuthScheme, EncScheme, Value};
+
+// ---------------------------------------------------------------------------
+// Tuple codec
+// ---------------------------------------------------------------------------
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i64>().prop_map(Value::Int),
+        "[ -~]{0,24}".prop_map(Value::str),
+        any::<bool>().prop_map(Value::Bool),
+        proptest::collection::vec(any::<u8>(), 0..64).prop_map(Value::bytes),
+        any::<u64>().prop_map(Value::Entity),
+        "[a-z][a-z0-9_]{0,12}".prop_map(Value::pred),
+    ]
+}
+
+fn arb_tuple() -> impl Strategy<Value = Vec<Value>> {
+    proptest::collection::vec(arb_value(), 0..8)
+}
+
+proptest! {
+    /// serialize → deserialize is the identity, and consumes exactly the
+    /// bytes it produced (so batches of tuples can be concatenated).
+    #[test]
+    fn tuple_codec_roundtrip(tuple in arb_tuple()) {
+        let bytes = serialize_tuple(&tuple);
+        let mut pos = 0;
+        let back = deserialize_tuple(&bytes, &mut pos).unwrap();
+        prop_assert_eq!(back, tuple);
+        prop_assert_eq!(pos, bytes.len());
+    }
+
+    /// Concatenated tuples decode back in order.
+    #[test]
+    fn tuple_codec_supports_concatenation(tuples in proptest::collection::vec(arb_tuple(), 0..6)) {
+        let mut bytes = Vec::new();
+        for tuple in &tuples {
+            bytes.extend_from_slice(&serialize_tuple(tuple));
+        }
+        let mut pos = 0;
+        let mut decoded = Vec::new();
+        for _ in 0..tuples.len() {
+            decoded.push(deserialize_tuple(&bytes, &mut pos).unwrap());
+        }
+        prop_assert_eq!(decoded, tuples);
+        prop_assert_eq!(pos, bytes.len());
+    }
+
+    /// The canonical encoding is deterministic — a requirement for signature
+    /// verification, which re-serializes the received tuple.
+    #[test]
+    fn tuple_codec_is_canonical(tuple in arb_tuple()) {
+        prop_assert_eq!(serialize_tuple(&tuple), serialize_tuple(&tuple.clone()));
+    }
+
+    /// The says envelope (predicate + tuple + detached signature) roundtrips
+    /// for arbitrary contents.
+    #[test]
+    fn says_envelope_roundtrip(pred in "[a-z][a-z0-9_]{0,16}",
+                               tuple in arb_tuple(),
+                               signature in proptest::collection::vec(any::<u8>(), 0..160)) {
+        let envelope = SaysEnvelope { pred, tuple, signature };
+        let decoded = SaysEnvelope::decode(&envelope.encode()).unwrap();
+        prop_assert_eq!(decoded, envelope);
+    }
+
+    /// Decoding never panics on truncated envelopes: it either errors or (for
+    /// prefixes that happen to frame correctly) returns some envelope.
+    #[test]
+    fn says_envelope_decode_never_panics(pred in "[a-z][a-z0-9_]{0,8}",
+                                         tuple in arb_tuple(),
+                                         cut_fraction in 0.0f64..1.0) {
+        let envelope = SaysEnvelope { pred, tuple, signature: vec![7u8; 20] };
+        let bytes = envelope.encode();
+        let cut = ((bytes.len() as f64) * cut_fraction) as usize;
+        let _ = SaysEnvelope::decode(&bytes[..cut.min(bytes.len())]);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Policy generators
+// ---------------------------------------------------------------------------
+
+fn arb_security_config() -> impl Strategy<Value = SecurityConfig> {
+    (
+        prop_oneof![
+            Just(AuthScheme::NoAuth),
+            Just(AuthScheme::HmacSha1),
+            Just(AuthScheme::Rsa)
+        ],
+        prop_oneof![Just(EncScheme::None), Just(EncScheme::Aes128)],
+        prop_oneof![
+            Just(TrustModel::TrustAll),
+            Just(TrustModel::Trustworthy),
+            Just(TrustModel::PerPredicate)
+        ],
+        any::<bool>(),
+    )
+        .prop_map(|(auth, enc, trust, write_access)| SecurityConfig {
+            auth,
+            enc,
+            trust,
+            write_access,
+            ..SecurityConfig::default()
+        })
+}
+
+proptest! {
+    /// Every generated policy is valid DatalogLB/BloxGenerics source.
+    #[test]
+    fn generated_policies_always_parse(config in arb_security_config()) {
+        let policy = says_policy(&config);
+        parse_program(&policy).unwrap();
+    }
+
+    /// The policy text reflects the configuration: authentication UDFs appear
+    /// iff the scheme requests them, the authorization constraint appears iff
+    /// write_access is set, and the figure label matches the scheme pair.
+    #[test]
+    fn policy_text_tracks_configuration(config in arb_security_config()) {
+        let policy = says_policy(&config);
+        prop_assert_eq!(policy.contains("rsa_sign"), config.auth == AuthScheme::Rsa);
+        prop_assert_eq!(policy.contains("hmac_sign"), config.auth == AuthScheme::HmacSha1);
+        prop_assert_eq!(policy.contains("writeAccess"), config.write_access);
+        prop_assert_eq!(policy.contains("trustworthyPerPred"), config.trust == TrustModel::PerPredicate);
+        let label = config.label();
+        prop_assert_eq!(label.contains("AES"), config.enc == EncScheme::Aes128);
+        match config.auth {
+            AuthScheme::NoAuth => prop_assert!(label.starts_with("NoAuth")),
+            AuthScheme::HmacSha1 => prop_assert!(label.starts_with("HMAC")),
+            AuthScheme::Rsa => prop_assert!(label.starts_with("RSA")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: path-vector protocol on random topologies
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// On any connected random topology, every node learns a route to node 0,
+    /// no batch is rejected, and the stronger scheme never uses fewer bytes
+    /// per node than NoAuth (Figure 6's ordering, as a property).
+    #[test]
+    fn pathvector_converges_on_random_topologies(num_nodes in 4usize..7, seed in 0u64..1000) {
+        let base = pathvector::PathVectorConfig { num_nodes, seed, ..Default::default() };
+        let noauth = pathvector::run(&pathvector::PathVectorConfig {
+            security: SecurityConfig::new(AuthScheme::NoAuth, EncScheme::None),
+            ..base.clone()
+        })
+        .unwrap();
+        let hmac = pathvector::run(&pathvector::PathVectorConfig {
+            security: SecurityConfig::new(AuthScheme::HmacSha1, EncScheme::None),
+            ..base
+        })
+        .unwrap();
+        for outcome in [&noauth, &hmac] {
+            prop_assert_eq!(outcome.nodes_with_route_to_zero, num_nodes - 1);
+            prop_assert_eq!(outcome.report.rejected_batches, 0);
+            prop_assert!(outcome.best_cost_entries >= num_nodes * (num_nodes - 1));
+        }
+        prop_assert!(hmac.report.per_node_kb > noauth.report.per_node_kb);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: parallel hash join on random tables
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The distributed secure hash join computes exactly the same number of
+    /// results as a local reference join, for random table sizes and seeds.
+    #[test]
+    fn hashjoin_matches_reference_join(rows_a in 20usize..80, rows_b in 20usize..80,
+                                       distinct in 4usize..16, seed in 0u64..1000) {
+        let config = hashjoin::HashJoinConfig {
+            num_nodes: 3,
+            table_a_rows: rows_a,
+            table_b_rows: rows_b,
+            distinct_join_values: distinct,
+            security: SecurityConfig::new(AuthScheme::NoAuth, EncScheme::None),
+            seed,
+            ..Default::default()
+        };
+        let (table_a, table_b) = hashjoin::generate_tables(&config);
+        let expected = hashjoin::expected_join_size(&table_a, &table_b);
+        let outcome = hashjoin::run(&config).unwrap();
+        prop_assert_eq!(outcome.expected_results, expected);
+        prop_assert_eq!(outcome.results_at_initiator, expected);
+        prop_assert_eq!(outcome.report.rejected_batches, 0);
+    }
+}
