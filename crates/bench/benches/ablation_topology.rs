@@ -17,7 +17,12 @@ fn bench(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
     let security = SecurityConfig::new(AuthScheme::HmacSha1, EncScheme::None);
-    for topology in [Topology::Ring, Topology::Star, Topology::Grid, Topology::paper_default()] {
+    for topology in [
+        Topology::Ring,
+        Topology::Star,
+        Topology::Grid,
+        Topology::paper_default(),
+    ] {
         let config = PathVectorConfig {
             num_nodes: 8,
             edges: Some(topology.edges(8, 1)),

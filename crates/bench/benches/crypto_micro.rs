@@ -15,8 +15,12 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("crypto_micro");
     group.throughput(Throughput::Bytes(payload.len() as u64));
     group.bench_function("sha1_1k", |b| b.iter(|| sha1(&payload)));
-    group.bench_function("hmac_sha1_1k", |b| b.iter(|| hmac_sha1(b"secret", &payload)));
-    group.bench_function("aes128_ctr_1k", |b| b.iter(|| aes128_ctr_encrypt(b"secret", &payload)));
+    group.bench_function("hmac_sha1_1k", |b| {
+        b.iter(|| hmac_sha1(b"secret", &payload))
+    });
+    group.bench_function("aes128_ctr_1k", |b| {
+        b.iter(|| aes128_ctr_encrypt(b"secret", &payload))
+    });
     group.sample_size(20);
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));

@@ -12,8 +12,14 @@ fn chain_workspace(n: usize) -> Workspace {
     )
     .unwrap();
     for i in 0..n {
-        ws.assert_fact("link", vec![Value::str(format!("n{i}")), Value::str(format!("n{}", i + 1))])
-            .unwrap();
+        ws.assert_fact(
+            "link",
+            vec![
+                Value::str(format!("n{i}")),
+                Value::str(format!("n{}", i + 1)),
+            ],
+        )
+        .unwrap();
     }
     ws
 }
@@ -39,15 +45,22 @@ fn bench(c: &mut Criterion) {
         )
         .unwrap();
         b.iter(|| {
-            ws.transaction(vec![("says_link".into(), vec![Value::str("alice"), Value::str("bob")])])
-                .unwrap()
+            ws.transaction(vec![(
+                "says_link".into(),
+                vec![Value::str("alice"), Value::str("bob")],
+            )])
+            .unwrap()
         })
     });
     group.bench_function("dred_retract_one_link", |b| {
         b.iter(|| {
             let mut ws = chain_workspace(20);
             ws.fixpoint().unwrap();
-            ws.retract(vec![("link".into(), vec![Value::str("n10"), Value::str("n11")])]).unwrap()
+            ws.retract(vec![(
+                "link".into(),
+                vec![Value::str("n10"), Value::str("n11")],
+            )])
+            .unwrap()
         })
     });
     group.finish();

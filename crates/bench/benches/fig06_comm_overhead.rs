@@ -8,14 +8,19 @@ use secureblox_bench::{pathvector_point, plain_schemes};
 fn bench(c: &mut Criterion) {
     for scheme in plain_schemes() {
         let point = pathvector_point(6, &scheme, 1);
-        println!("fig06 {:<8} nodes={} per-node-KB={:.2}", point.label, point.nodes, point.per_node_kb);
+        println!(
+            "fig06 {:<8} nodes={} per-node-KB={:.2}",
+            point.label, point.nodes, point.per_node_kb
+        );
     }
     let mut group = c.benchmark_group("fig06_comm_overhead");
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
     for scheme in plain_schemes() {
-        group.bench_function(scheme.label(), |b| b.iter(|| pathvector_point(6, &scheme, 1).per_node_kb));
+        group.bench_function(scheme.label(), |b| {
+            b.iter(|| pathvector_point(6, &scheme, 1).per_node_kb)
+        });
     }
     group.finish();
 }

@@ -1,9 +1,9 @@
 //! Figure 7: average transaction duration per authentication scheme.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use secureblox_bench::pathvector_point;
 use secureblox::policy::SecurityConfig;
 use secureblox::{AuthScheme, EncScheme};
+use secureblox_bench::pathvector_point;
 
 fn bench(c: &mut Criterion) {
     let schemes = [
@@ -13,14 +13,19 @@ fn bench(c: &mut Criterion) {
     ];
     for scheme in &schemes {
         let point = pathvector_point(6, scheme, 1);
-        println!("fig07 {:<8} avg-txn={:?}", point.label, point.avg_transaction);
+        println!(
+            "fig07 {:<8} avg-txn={:?}",
+            point.label, point.avg_transaction
+        );
     }
     let mut group = c.benchmark_group("fig07_txn_duration");
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
     for scheme in &schemes {
-        group.bench_function(scheme.label(), |b| b.iter(|| pathvector_point(6, scheme, 1).avg_transaction));
+        group.bench_function(scheme.label(), |b| {
+            b.iter(|| pathvector_point(6, scheme, 1).avg_transaction)
+        });
     }
     group.finish();
 }

@@ -2,9 +2,9 @@
 //! graph (72 nodes in the paper; 18 at bench scale).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use secureblox_bench::convergence_cdf;
 use secureblox::policy::SecurityConfig;
 use secureblox::{AuthScheme, EncScheme};
+use secureblox_bench::convergence_cdf;
 
 fn bench(c: &mut Criterion) {
     let schemes = [
@@ -16,7 +16,9 @@ fn bench(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
     for scheme in &schemes {
-        group.bench_function(scheme.label(), |b| b.iter(|| convergence_cdf(12, scheme, 20)));
+        group.bench_function(scheme.label(), |b| {
+            b.iter(|| convergence_cdf(12, scheme, 20))
+        });
     }
     group.finish();
 }

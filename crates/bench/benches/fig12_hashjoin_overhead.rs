@@ -7,7 +7,10 @@ use secureblox_bench::{hashjoin_overhead_series, hashjoin_schemes, Scale};
 fn bench(c: &mut Criterion) {
     let points = hashjoin_overhead_series(Scale::Quick, &hashjoin_schemes());
     for point in &points {
-        println!("fig12 {:<8} nodes={} per-node-KB={:.2}", point.label, point.nodes, point.per_node_kb);
+        println!(
+            "fig12 {:<8} nodes={} per-node-KB={:.2}",
+            point.label, point.nodes, point.per_node_kb
+        );
     }
     let mut group = c.benchmark_group("fig12_hashjoin_overhead");
     group.sample_size(10);

@@ -15,24 +15,52 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
     let scale = if full { Scale::Full } else { Scale::Quick };
-    let which: Vec<String> = args.iter().filter(|a| !a.starts_with("--")).cloned().collect();
+    let which: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .collect();
     let wanted = |name: &str| which.is_empty() || which.iter().any(|w| w == name || w == "all");
 
     if wanted("fig4") || wanted("fig6") || wanted("fig7") {
         let points = pathvector_series(scale, &plain_schemes());
         if wanted("fig4") {
-            println!("{}", render_series("Figure 4: path-vector fixpoint latency, no encryption", "nodes", &points));
+            println!(
+                "{}",
+                render_series(
+                    "Figure 4: path-vector fixpoint latency, no encryption",
+                    "nodes",
+                    &points
+                )
+            );
         }
         if wanted("fig6") {
-            println!("{}", render_series("Figure 6: per-node communication overhead (KB), no encryption", "nodes", &points));
+            println!(
+                "{}",
+                render_series(
+                    "Figure 6: per-node communication overhead (KB), no encryption",
+                    "nodes",
+                    &points
+                )
+            );
         }
         if wanted("fig7") {
-            println!("{}", render_series("Figure 7: average transaction duration", "nodes", &points));
+            println!(
+                "{}",
+                render_series("Figure 7: average transaction duration", "nodes", &points)
+            );
         }
     }
     if wanted("fig5") {
         let points = pathvector_series(scale, &encrypted_schemes());
-        println!("{}", render_series("Figure 5: path-vector fixpoint latency, with encryption", "nodes", &points));
+        println!(
+            "{}",
+            render_series(
+                "Figure 5: path-vector fixpoint latency, with encryption",
+                "nodes",
+                &points
+            )
+        );
     }
     if wanted("fig8") || wanted("fig9") {
         let sizes = if full { (36usize, 72usize) } else { (12, 18) };
@@ -52,7 +80,10 @@ fn main() {
             println!(
                 "{}",
                 render_cdf(
-                    &format!("Figure {}: cumulative fraction of converged nodes, {nodes}-node graph", &fig[3..]),
+                    &format!(
+                        "Figure {}: cumulative fraction of converged nodes, {nodes}-node graph",
+                        &fig[3..]
+                    ),
                     &series
                 )
             );
@@ -66,12 +97,20 @@ fn main() {
             }
             let series: Vec<(String, Vec<(Duration, f64)>)> = hashjoin_schemes()
                 .iter()
-                .map(|scheme| (scheme.label(), hashjoin_completion_cdf(nodes, scheme, scale, 20)))
+                .map(|scheme| {
+                    (
+                        scheme.label(),
+                        hashjoin_completion_cdf(nodes, scheme, scale, 20),
+                    )
+                })
                 .collect();
             println!(
                 "{}",
                 render_cdf(
-                    &format!("Figure {}: hash-join completion CDF at the initiator, {nodes} nodes", &fig[3..]),
+                    &format!(
+                        "Figure {}: hash-join completion CDF at the initiator, {nodes} nodes",
+                        &fig[3..]
+                    ),
                     &series
                 )
             );
@@ -79,7 +118,14 @@ fn main() {
     }
     if wanted("fig12") {
         let points = hashjoin_overhead_series(scale, &hashjoin_schemes());
-        println!("{}", render_series("Figure 12: per-node overhead (KB) for the secure hash join", "nodes", &points));
+        println!(
+            "{}",
+            render_series(
+                "Figure 12: per-node overhead (KB) for the secure hash join",
+                "nodes",
+                &points
+            )
+        );
     }
     if wanted("ablation") {
         let nodes = if full { 18 } else { 8 };
@@ -88,7 +134,9 @@ fn main() {
             secureblox::EncScheme::None,
         );
         let points = topology_series(nodes, &security, 1);
-        println!("# Ablation D: path-vector sensitivity to the input topology ({nodes} nodes, HMAC)");
+        println!(
+            "# Ablation D: path-vector sensitivity to the input topology ({nodes} nodes, HMAC)"
+        );
         println!(
             "{:<14} {:>16} {:>16} {:>16}",
             "topology", "latency (ms)", "per-node KB", "avg txn (ms)"

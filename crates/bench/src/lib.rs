@@ -161,7 +161,11 @@ pub fn pathvector_series(scale: Scale, schemes: &[SecurityConfig]) -> Vec<Series
 
 /// Figures 8/9: the cumulative fraction of converged nodes over time for one
 /// random graph of `nodes` nodes.
-pub fn convergence_cdf(nodes: usize, security: &SecurityConfig, samples: usize) -> Vec<(Duration, f64)> {
+pub fn convergence_cdf(
+    nodes: usize,
+    security: &SecurityConfig,
+    samples: usize,
+) -> Vec<(Duration, f64)> {
     let config = pathvector::PathVectorConfig {
         num_nodes: nodes,
         security: security.clone(),
@@ -195,11 +199,17 @@ pub fn hashjoin_completion_cdf(
     if completions.is_empty() {
         return Vec::new();
     }
-    let end = completions.iter().copied().max().unwrap_or(Duration::ZERO).max(Duration::from_nanos(1));
+    let end = completions
+        .iter()
+        .copied()
+        .max()
+        .unwrap_or(Duration::ZERO)
+        .max(Duration::from_nanos(1));
     (0..=samples)
         .map(|i| {
             let t = end.mul_f64(i as f64 / samples.max(1) as f64);
-            let fraction = completions.iter().filter(|&&c| c <= t).count() as f64 / completions.len() as f64;
+            let fraction =
+                completions.iter().filter(|&&c| c <= t).count() as f64 / completions.len() as f64;
             (t, fraction)
         })
         .collect()
@@ -238,7 +248,11 @@ pub fn hashjoin_overhead_series(scale: Scale, schemes: &[SecurityConfig]) -> Vec
 /// Ablation: run the path-vector protocol over regular topologies (ring,
 /// star, grid, full mesh) in addition to the paper's random graphs, to show
 /// how much of the latency / overhead shape comes from the input graph.
-pub fn topology_series(nodes: usize, security: &SecurityConfig, seed: u64) -> Vec<(String, SeriesPoint)> {
+pub fn topology_series(
+    nodes: usize,
+    security: &SecurityConfig,
+    seed: u64,
+) -> Vec<(String, SeriesPoint)> {
     use secureblox_net::Topology;
     let topologies = [
         Topology::Ring,
@@ -311,7 +325,11 @@ pub fn render_cdf(title: &str, series: &[(String, Vec<(Duration, f64)>)]) -> Str
         out.push_str(&format!("## {label}\n"));
         out.push_str(&format!("{:>14} {:>12}\n", "time (ms)", "fraction"));
         for (t, fraction) in cdf {
-            out.push_str(&format!("{:>14.3} {:>12.3}\n", t.as_secs_f64() * 1e3, fraction));
+            out.push_str(&format!(
+                "{:>14.3} {:>12.3}\n",
+                t.as_secs_f64() * 1e3,
+                fraction
+            ));
         }
     }
     out
@@ -340,7 +358,11 @@ mod tests {
 
     #[test]
     fn pathvector_point_produces_sane_numbers() {
-        let point = pathvector_point(6, &SecurityConfig::new(AuthScheme::NoAuth, EncScheme::None), 1);
+        let point = pathvector_point(
+            6,
+            &SecurityConfig::new(AuthScheme::NoAuth, EncScheme::None),
+            1,
+        );
         assert_eq!(point.nodes, 6);
         assert!(point.fixpoint_latency > Duration::ZERO);
         assert!(point.per_node_kb > 0.0);
@@ -349,12 +371,28 @@ mod tests {
 
     #[test]
     fn topology_ablation_covers_all_topologies() {
-        let points = topology_series(4, &SecurityConfig::new(AuthScheme::NoAuth, EncScheme::None), 1);
+        let points = topology_series(
+            4,
+            &SecurityConfig::new(AuthScheme::NoAuth, EncScheme::None),
+            1,
+        );
         let labels: Vec<&str> = points.iter().map(|(label, _)| label.as_str()).collect();
-        assert_eq!(labels, vec!["ring", "star", "grid", "full-mesh", "random-deg3"]);
-        assert!(points.iter().all(|(_, p)| p.fixpoint_latency > Duration::ZERO));
+        assert_eq!(
+            labels,
+            vec!["ring", "star", "grid", "full-mesh", "random-deg3"]
+        );
+        assert!(points
+            .iter()
+            .all(|(_, p)| p.fixpoint_latency > Duration::ZERO));
         // A full mesh moves more bytes per node than a star of the same size.
-        let kb = |name: &str| points.iter().find(|(l, _)| l == name).unwrap().1.per_node_kb;
+        let kb = |name: &str| {
+            points
+                .iter()
+                .find(|(l, _)| l == name)
+                .unwrap()
+                .1
+                .per_node_kb
+        };
         assert!(kb("full-mesh") > kb("star"));
     }
 
@@ -371,7 +409,10 @@ mod tests {
         let table = render_series("Figure 4", "nodes", &[point]);
         assert!(table.contains("Figure 4"));
         assert!(table.contains("NoAuth"));
-        let cdf = render_cdf("Figure 8", &[("NoAuth".into(), vec![(Duration::from_millis(1), 0.5)])]);
+        let cdf = render_cdf(
+            "Figure 8",
+            &[("NoAuth".into(), vec![(Duration::from_millis(1), 0.5)])],
+        );
         assert!(cdf.contains("0.500"));
     }
 }

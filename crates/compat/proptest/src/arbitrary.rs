@@ -1,0 +1,110 @@
+//! `any::<T>()` — full-range generation for primitive types, with a bias
+//! toward boundary values (zero, MAX, MIN) so edge cases show up early.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary_value(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T> {
+    _marker: PhantomData<T>,
+}
+
+/// The canonical strategy for `T`'s full value range.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: PhantomData,
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary_value(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_value(rng: &mut TestRng) -> Self {
+                // 1-in-16 cases hit a boundary value.
+                if rng.below(16) == 0 {
+                    match rng.below(3) {
+                        0 => 0 as $t,
+                        1 => <$t>::MAX,
+                        _ => <$t>::MIN,
+                    }
+                } else {
+                    rng.next_u64() as $t
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for u128 {
+    fn arbitrary_value(rng: &mut TestRng) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary_value(rng: &mut TestRng) -> Self {
+        rng.gen_bool()
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary_value(rng: &mut TestRng) -> Self {
+        // Mostly printable ASCII, occasionally any scalar value.
+        if rng.below(4) == 0 {
+            char::from_u32(rng.next_u64() as u32 % 0xD800).unwrap_or('\u{FFFD}')
+        } else {
+            (0x20u8 + rng.below(0x5F) as u8) as char
+        }
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary_value(rng: &mut TestRng) -> Self {
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundaries_show_up() {
+        let mut rng = TestRng::seed_from_u64(1);
+        let strat = any::<u8>();
+        let values: Vec<u8> = (0..2000).map(|_| strat.generate(&mut rng)).collect();
+        assert!(values.contains(&0));
+        assert!(values.contains(&u8::MAX));
+        assert!(
+            values
+                .iter()
+                .collect::<std::collections::HashSet<_>>()
+                .len()
+                > 100
+        );
+    }
+
+    #[test]
+    fn bool_hits_both() {
+        let mut rng = TestRng::seed_from_u64(2);
+        let strat = any::<bool>();
+        let values: Vec<bool> = (0..64).map(|_| strat.generate(&mut rng)).collect();
+        assert!(values.contains(&true) && values.contains(&false));
+    }
+}

@@ -1,0 +1,226 @@
+//! String strategies from regex-like patterns.
+//!
+//! The real proptest lets any `&str` act as a strategy that generates strings
+//! matching the pattern.  This stand-in implements the subset of regex syntax
+//! the workspace's tests use: literal characters, escaped characters,
+//! character classes with ranges (`[a-z0-9_]`, `[ -~]`), the wildcard `.`,
+//! and the quantifiers `{m}`, `{m,n}`, `?`, `*`, `+` (unbounded quantifiers
+//! are capped at eight repetitions).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Literal(char),
+    /// Inclusive character ranges; single characters are `(c, c)`.
+    Class(Vec<(char, char)>),
+    Repeat(Box<Node>, usize, usize),
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars>) -> Vec<(char, char)> {
+    let mut ranges = Vec::new();
+    loop {
+        let c = chars
+            .next()
+            .expect("unterminated character class in pattern");
+        match c {
+            ']' => break,
+            '\\' => {
+                let escaped = chars.next().expect("dangling escape in character class");
+                ranges.push(expand_escape(escaped));
+            }
+            first => {
+                if chars.peek() == Some(&'-') {
+                    let mut lookahead = chars.clone();
+                    lookahead.next(); // the '-'
+                    match lookahead.peek() {
+                        Some(&']') | None => ranges.push((first, first)),
+                        Some(_) => {
+                            chars.next(); // consume '-'
+                            let last = chars.next().expect("unterminated range in class");
+                            assert!(first <= last, "inverted range in character class");
+                            ranges.push((first, last));
+                        }
+                    }
+                } else {
+                    ranges.push((first, first));
+                }
+            }
+        }
+    }
+    assert!(!ranges.is_empty(), "empty character class in pattern");
+    ranges
+}
+
+fn expand_escape(c: char) -> (char, char) {
+    match c {
+        'd' => ('0', '9'),
+        // Single-character classes for everything else (covers \\ \. \- …).
+        other => (other, other),
+    }
+}
+
+fn parse_quantifier(chars: &mut std::iter::Peekable<std::str::Chars>) -> Option<(usize, usize)> {
+    const UNBOUNDED_EXTRA: usize = 8;
+    match chars.peek() {
+        Some('{') => {
+            chars.next();
+            let mut min_text = String::new();
+            let mut max_text = None;
+            loop {
+                match chars.next().expect("unterminated {} quantifier") {
+                    '}' => break,
+                    ',' => max_text = Some(String::new()),
+                    digit => match &mut max_text {
+                        Some(text) => text.push(digit),
+                        None => min_text.push(digit),
+                    },
+                }
+            }
+            let min: usize = min_text.parse().expect("bad {} quantifier minimum");
+            let max = match max_text {
+                None => min,
+                Some(text) if text.is_empty() => min + UNBOUNDED_EXTRA,
+                Some(text) => text.parse().expect("bad {} quantifier maximum"),
+            };
+            Some((min, max))
+        }
+        Some('?') => {
+            chars.next();
+            Some((0, 1))
+        }
+        Some('*') => {
+            chars.next();
+            Some((0, UNBOUNDED_EXTRA))
+        }
+        Some('+') => {
+            chars.next();
+            Some((1, UNBOUNDED_EXTRA))
+        }
+        _ => None,
+    }
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Node> {
+    let mut nodes = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => Node::Class(parse_class(&mut chars)),
+            '\\' => {
+                let escaped = chars.next().expect("dangling escape in pattern");
+                let (lo, hi) = expand_escape(escaped);
+                if lo == hi {
+                    Node::Literal(lo)
+                } else {
+                    Node::Class(vec![(lo, hi)])
+                }
+            }
+            '.' => Node::Class(vec![(' ', '~')]),
+            literal => Node::Literal(literal),
+        };
+        match parse_quantifier(&mut chars) {
+            Some((min, max)) => nodes.push(Node::Repeat(Box::new(atom), min, max)),
+            None => nodes.push(atom),
+        }
+    }
+    nodes
+}
+
+fn generate_node(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Literal(c) => out.push(*c),
+        Node::Class(ranges) => {
+            let total: usize = ranges
+                .iter()
+                .map(|&(lo, hi)| hi as usize - lo as usize + 1)
+                .sum();
+            let mut pick = rng.below(total);
+            for &(lo, hi) in ranges {
+                let span = hi as usize - lo as usize + 1;
+                if pick < span {
+                    out.push(char::from_u32(lo as u32 + pick as u32).expect("class char"));
+                    return;
+                }
+                pick -= span;
+            }
+            unreachable!("class pick out of bounds");
+        }
+        Node::Repeat(inner, min, max) => {
+            let count = min + rng.below(max - min + 1);
+            for _ in 0..count {
+                generate_node(inner, rng, out);
+            }
+        }
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let nodes = parse_pattern(self);
+        let mut out = String::new();
+        for node in &nodes {
+            generate_node(node, rng, &mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn identifier_pattern() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = "[a-z][a-z0-9_]{0,8}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 9, "bad length: {s:?}");
+            let mut chars = s.chars();
+            assert!(chars.next().unwrap().is_ascii_lowercase());
+            assert!(chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn printable_ascii_class() {
+        let mut rng = rng();
+        for _ in 0..100 {
+            let s = "[ -~]{0,24}".generate(&mut rng);
+            assert!(s.len() <= 24);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn prefixed_pattern() {
+        let mut rng = rng();
+        for _ in 0..100 {
+            let s = "p_[a-z][a-z0-9_]{2,8}".generate(&mut rng);
+            assert!(s.starts_with("p_"));
+            assert!((5..=11).contains(&s.len()), "bad length: {s:?}");
+        }
+    }
+
+    #[test]
+    fn quantifiers_and_escapes() {
+        let mut rng = rng();
+        for _ in 0..50 {
+            let s = "a?b+c*\\dx{2}".generate(&mut rng);
+            assert!(s.contains('b'));
+            assert!(s.ends_with("xx"));
+        }
+        // Literal '-' at class edges stays literal.
+        for _ in 0..50 {
+            let s = "[a\\-z]".generate(&mut rng);
+            assert!(["a", "-", "z"].contains(&s.as_str()), "unexpected {s:?}");
+        }
+    }
+}

@@ -1,0 +1,304 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build container cannot reach crates.io, so the workspace vendors the
+//! subset of the `rand 0.8` API it uses: a seedable deterministic generator
+//! (`rngs::StdRng`), the `Rng`/`SeedableRng` traits with `gen`, `gen_range`
+//! and `fill_bytes`, and `seq::SliceRandom::{choose, shuffle}`.
+//!
+//! `StdRng` here is **xoshiro256++** seeded through SplitMix64 — a
+//! well-studied non-cryptographic generator whose statistical quality is more
+//! than sufficient for the workloads in this repository (random topologies,
+//! Miller–Rabin witnesses, pairwise-secret bytes for a *simulated*
+//! deployment).  It is deliberately not the ChaCha-based generator of the real
+//! `rand` crate: reproducibility within this workspace is what matters, not
+//! stream compatibility with upstream.
+
+/// Uniformly samplable primitive values (the `Standard` distribution of the
+/// real crate, collapsed into one trait).
+pub trait Standard: Sized {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_uint {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_uint!(u8, u16, u32, usize, i8, i16, i32);
+
+impl Standard for u64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for i64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl Standard for u128 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Integer types uniformly samplable from a range (drives type inference the
+/// same way `rand`'s `SampleUniform` does: one generic impl per range shape).
+pub trait UniformInt: Copy + PartialOrd {
+    fn to_i128(self) -> i128;
+    fn from_i128(value: i128) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn to_i128(self) -> i128 {
+                self as i128
+            }
+            fn from_i128(value: i128) -> Self {
+                value as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+/// Ranges acceptable to [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: UniformInt> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range called with empty range");
+        let (start, end) = (self.start.to_i128(), self.end.to_i128());
+        let span = (end - start) as u128;
+        let offset = (rng.next_u64() as u128) % span;
+        T::from_i128(start + offset as i128)
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let (start, end) = (self.start().to_i128(), self.end().to_i128());
+        assert!(start <= end, "gen_range called with empty range");
+        let span = (end - start) as u128 + 1;
+        let offset = (rng.next_u64() as u128) % span;
+        T::from_i128(start + offset as i128)
+    }
+}
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range called with empty range");
+        self.start + f64::sample(rng) * (self.end - self.start)
+    }
+}
+
+/// The random-generator trait: a 64-bit word source plus derived helpers.
+pub trait Rng {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        self.next_u64() as u32
+    }
+
+    /// Sample a uniformly distributed value.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Sample uniformly from a range.
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_from(self)
+    }
+
+    /// Return true with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        f64::sample(self) < p
+    }
+
+    /// Fill a byte slice with random data.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let word = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Deterministically seedable generators.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed (expanded through SplitMix64).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let state = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { state }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.state;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod seq {
+    use super::Rng;
+
+    /// Random selection and shuffling over slices.
+    pub trait SliceRandom {
+        type Item;
+
+        /// A uniformly random element, or `None` for an empty slice.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get(rng.gen_range(0..self.len()))
+            }
+        }
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                self.swap(i, rng.gen_range(0..=i));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = rng.gen_range(10usize..20);
+            assert!((10..20).contains(&x));
+            let y = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&y));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_produces_varied_bytes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let bytes: Vec<u8> = (0..64).map(|_| rng.gen::<u8>()).collect();
+        assert!(bytes.iter().collect::<std::collections::HashSet<_>>().len() > 16);
+    }
+
+    #[test]
+    fn choose_and_shuffle() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let items = [1, 2, 3, 4];
+        assert!(items.choose(&mut rng).is_some());
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let mut deck: Vec<u32> = (0..32).collect();
+        deck.shuffle(&mut rng);
+        let mut sorted = deck.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..32).collect::<Vec<_>>());
+        assert_ne!(deck, sorted, "32-card shuffle left the deck ordered");
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

@@ -7,7 +7,9 @@
 //! the same circuit identified only by the circuit id.
 
 use crate::policy::{anonymity_policy, SecurityConfig};
-use crate::runtime::engine::{CircuitSpec, Deployment, DeploymentConfig, DeploymentReport, NodeSpec};
+use crate::runtime::engine::{
+    CircuitSpec, Deployment, DeploymentConfig, DeploymentReport, NodeSpec,
+};
 use secureblox_datalog::error::Result;
 use secureblox_datalog::value::Value;
 use secureblox_net::LatencyModel;
@@ -85,11 +87,17 @@ pub struct AnonJoinOutcome {
 pub fn run(config: &AnonJoinConfig) -> Result<AnonJoinOutcome> {
     let initiator = "alice".to_string();
     let owner = "datahost".to_string();
-    let relays: Vec<String> = (0..config.num_relays).map(|i| format!("relay{i}")).collect();
+    let relays: Vec<String> = (0..config.num_relays)
+        .map(|i| format!("relay{i}"))
+        .collect();
 
     // Interests are a subset of the public keys, so matches are guaranteed.
-    let interests: Vec<(i64, i64)> = (0..config.interest_rows as i64).map(|i| (i * 3, i)).collect();
-    let publicdata: Vec<(i64, i64)> = (0..config.public_rows as i64).map(|i| (i, 1000 + i)).collect();
+    let interests: Vec<(i64, i64)> = (0..config.interest_rows as i64)
+        .map(|i| (i * 3, i))
+        .collect();
+    let publicdata: Vec<(i64, i64)> = (0..config.public_rows as i64)
+        .map(|i| (i, 1000 + i))
+        .collect();
     let expected_matches = publicdata
         .iter()
         .filter(|(x, _)| interests.iter().any(|(ix, _)| ix == x))
@@ -129,15 +137,23 @@ pub fn run(config: &AnonJoinConfig) -> Result<AnonJoinOutcome> {
     let replies_at_initiator = deployment.query(&initiator, "anon_reply$publicdata").len();
     // Anonymity check: no relation at the owner holding anonymity-path state
     // mentions the initiator's principal.
-    let owner_never_saw_initiator = ["anon_says_id_in$req_publicdata", "anon_says_id_out$publicdata"]
-        .iter()
-        .all(|pred| {
-            deployment
-                .query(&owner, pred)
-                .iter()
-                .all(|tuple| tuple.iter().all(|v| v.as_str() != Some(initiator.as_str())))
-        });
-    Ok(AnonJoinOutcome { report, replies_at_initiator, expected_matches, owner_never_saw_initiator })
+    let owner_never_saw_initiator = [
+        "anon_says_id_in$req_publicdata",
+        "anon_says_id_out$publicdata",
+    ]
+    .iter()
+    .all(|pred| {
+        deployment
+            .query(&owner, pred)
+            .iter()
+            .all(|tuple| tuple.iter().all(|v| v.as_str() != Some(initiator.as_str())))
+    });
+    Ok(AnonJoinOutcome {
+        report,
+        replies_at_initiator,
+        expected_matches,
+        owner_never_saw_initiator,
+    })
 }
 
 #[cfg(test)]
@@ -154,7 +170,10 @@ mod tests {
         };
         let outcome = run(&config).unwrap();
         assert!(outcome.expected_matches > 0);
-        assert_eq!(outcome.replies_at_initiator, outcome.expected_matches, "{outcome:?}");
+        assert_eq!(
+            outcome.replies_at_initiator, outcome.expected_matches,
+            "{outcome:?}"
+        );
         assert!(outcome.owner_never_saw_initiator);
         assert_eq!(outcome.report.rejected_batches, 0);
     }

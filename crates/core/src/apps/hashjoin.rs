@@ -108,18 +108,31 @@ fn bucket_hash(value: i64) -> i64 {
     i64::from_be_bytes(raw).unsigned_abs() as i64 & i64::MAX
 }
 
+/// A generated input table: `(join attribute, payload)` rows.
+pub type Table = Vec<(i64, i64)>;
+
 /// Generate the two input tables: join attributes are drawn uniformly from
 /// `distinct_join_values` randomized values (as in §8.2).
-pub fn generate_tables(config: &HashJoinConfig) -> (Vec<(i64, i64)>, Vec<(i64, i64)>) {
+pub fn generate_tables(config: &HashJoinConfig) -> (Table, Table) {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let join_values: Vec<i64> = (0..config.distinct_join_values as i64)
         .map(|i| 10_000 + i * 7 + rng.gen_range(0..3))
         .collect();
     let table_a: Vec<(i64, i64)> = (0..config.table_a_rows as i64)
-        .map(|i| (i, *join_values.choose(&mut rng).expect("non-empty join values")))
+        .map(|i| {
+            (
+                i,
+                *join_values.choose(&mut rng).expect("non-empty join values"),
+            )
+        })
         .collect();
     let table_b: Vec<(i64, i64)> = (0..config.table_b_rows as i64)
-        .map(|i| (100_000 + i, *join_values.choose(&mut rng).expect("non-empty join values")))
+        .map(|i| {
+            (
+                100_000 + i,
+                *join_values.choose(&mut rng).expect("non-empty join values"),
+            )
+        })
         .collect();
     (table_a, table_b)
 }
@@ -130,7 +143,10 @@ pub fn expected_join_size(table_a: &[(i64, i64)], table_b: &[(i64, i64)]) -> usi
     for (_, join) in table_b {
         *counts.entry(*join).or_insert(0usize) += 1;
     }
-    table_a.iter().map(|(_, join)| counts.get(join).copied().unwrap_or(0)).sum()
+    table_a
+        .iter()
+        .map(|(_, join)| counts.get(join).copied().unwrap_or(0))
+        .sum()
 }
 
 /// Build (but do not run) a deployment for the hash-join experiment.
@@ -160,9 +176,19 @@ pub fn build_deployment(config: &HashJoinConfig) -> Result<(Deployment, usize)> 
     let slice = i64::MAX / config.num_nodes as i64;
     for (i, principal) in principals.iter().enumerate() {
         let lo = slice * i as i64;
-        let hi = if i + 1 == config.num_nodes { i64::MAX } else { slice * (i as i64 + 1) - 1 };
-        shared_facts.push(("prin_minhash".into(), vec![Value::str(principal), Value::Int(lo)]));
-        shared_facts.push(("prin_maxhash".into(), vec![Value::str(principal), Value::Int(hi)]));
+        let hi = if i + 1 == config.num_nodes {
+            i64::MAX
+        } else {
+            slice * (i as i64 + 1) - 1
+        };
+        shared_facts.push((
+            "prin_minhash".into(),
+            vec![Value::str(principal), Value::Int(lo)],
+        ));
+        shared_facts.push((
+            "prin_maxhash".into(),
+            vec![Value::str(principal), Value::Int(hi)],
+        ));
     }
 
     let deployment_config = DeploymentConfig {
@@ -183,7 +209,12 @@ pub fn run(config: &HashJoinConfig) -> Result<HashJoinOutcome> {
     let initiator = principal_name(0);
     let results_at_initiator = deployment.query(&initiator, "joinresult").len();
     let initiator_completions = deployment.completion_times(&initiator);
-    Ok(HashJoinOutcome { report, results_at_initiator, expected_results, initiator_completions })
+    Ok(HashJoinOutcome {
+        report,
+        results_at_initiator,
+        expected_results,
+        initiator_completions,
+    })
 }
 
 #[cfg(test)]
@@ -217,7 +248,10 @@ mod tests {
     #[test]
     fn noauth_join_produces_exactly_the_expected_results() {
         let outcome = run(&small_config(AuthScheme::NoAuth, EncScheme::None)).unwrap();
-        assert_eq!(outcome.results_at_initiator, outcome.expected_results, "{outcome:?}");
+        assert_eq!(
+            outcome.results_at_initiator, outcome.expected_results,
+            "{outcome:?}"
+        );
         assert_eq!(outcome.report.rejected_batches, 0);
         assert!(!outcome.initiator_completions.is_empty());
     }

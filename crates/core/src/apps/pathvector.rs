@@ -156,14 +156,18 @@ pub fn principal_name(i: usize) -> String {
 /// Build the per-node specifications for a graph: each node starts with its
 /// outgoing links.
 pub fn node_specs(num_nodes: usize, edges: &[(usize, usize)]) -> Vec<NodeSpec> {
-    let mut specs: Vec<NodeSpec> = (0..num_nodes).map(|i| NodeSpec::new(principal_name(i))).collect();
+    let mut specs: Vec<NodeSpec> = (0..num_nodes)
+        .map(|i| NodeSpec::new(principal_name(i)))
+        .collect();
     for &(a, b) in edges {
-        specs[a]
-            .base_facts
-            .push(("link".into(), vec![Value::str(principal_name(a)), Value::str(principal_name(b))]));
-        specs[b]
-            .base_facts
-            .push(("link".into(), vec![Value::str(principal_name(b)), Value::str(principal_name(a))]));
+        specs[a].base_facts.push((
+            "link".into(),
+            vec![Value::str(principal_name(a)), Value::str(principal_name(b))],
+        ));
+        specs[b].base_facts.push((
+            "link".into(),
+            vec![Value::str(principal_name(b)), Value::str(principal_name(a))],
+        ));
     }
     specs
 }
@@ -205,7 +209,11 @@ pub fn run(config: &PathVectorConfig) -> Result<PathVectorOutcome> {
             nodes_with_route_to_zero += 1;
         }
     }
-    Ok(PathVectorOutcome { report, best_cost_entries, nodes_with_route_to_zero })
+    Ok(PathVectorOutcome {
+        report,
+        best_cost_entries,
+        nodes_with_route_to_zero,
+    })
 }
 
 #[cfg(test)]
@@ -280,7 +288,10 @@ mod tests {
 
     #[test]
     fn hmac_protocol_converges_and_costs_more_than_noauth() {
-        let base = PathVectorConfig { num_nodes: 6, ..PathVectorConfig::default() };
+        let base = PathVectorConfig {
+            num_nodes: 6,
+            ..PathVectorConfig::default()
+        };
         let noauth = run(&PathVectorConfig {
             security: SecurityConfig::new(AuthScheme::NoAuth, EncScheme::None),
             ..base.clone()

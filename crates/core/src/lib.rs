@@ -44,8 +44,11 @@ pub mod policy;
 pub mod runtime;
 
 pub use policy::{compile_secured_program, SecurityConfig, TrustModel};
-pub use runtime::{Deployment, DeploymentConfig, DeploymentReport, NodeSpec};
+pub use runtime::{
+    CheckpointInfo, Deployment, DeploymentConfig, DeploymentReport, DurabilityError, NodeSpec,
+};
 pub use secureblox_crypto::{AuthScheme, EncScheme};
 pub use secureblox_datalog::{parse_program, DatalogError, Value, Workspace};
 pub use secureblox_generics::GenericsCompiler;
 pub use secureblox_net::LatencyModel;
+pub use secureblox_store::{DurabilityConfig, StoreError};

@@ -51,9 +51,16 @@ mod tests {
             reachable(X, Y) <- link(X, Y).
         "#;
         for auth in [AuthScheme::NoAuth, AuthScheme::HmacSha1, AuthScheme::Rsa] {
-            let config = SecurityConfig { auth, enc: EncScheme::None, ..SecurityConfig::default() };
+            let config = SecurityConfig {
+                auth,
+                enc: EncScheme::None,
+                ..SecurityConfig::default()
+            };
             let compiled = compile_secured_program(app, &config, &[]).unwrap();
-            assert_eq!(compiled.mapping("says", "reachable"), Some("says$reachable"));
+            assert_eq!(
+                compiled.mapping("says", "reachable"),
+                Some("says$reachable")
+            );
         }
     }
 }

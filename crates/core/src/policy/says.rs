@@ -76,7 +76,8 @@ pub fn says_policy(config: &SecurityConfig) -> String {
 /// The write-access authorization constraint: "if a principal P1 wishes to
 /// say a fact about predicate T, then P1 must have write-access to T".
 pub fn authorization_policy() -> String {
-    "'{ says[T](P1, P2, V*) -> writeAccess[T](P1). }\n<-- predicate(T), exportable(T).\n".to_string()
+    "'{ says[T](P1, P2, V*) -> writeAccess[T](P1). }\n<-- predicate(T), exportable(T).\n"
+        .to_string()
 }
 
 /// A per-predicate delegation constraint restricting which principals may be
@@ -98,7 +99,11 @@ mod tests {
     #[test]
     fn all_scheme_combinations_parse() {
         for auth in [AuthScheme::NoAuth, AuthScheme::HmacSha1, AuthScheme::Rsa] {
-            for trust in [TrustModel::TrustAll, TrustModel::Trustworthy, TrustModel::PerPredicate] {
+            for trust in [
+                TrustModel::TrustAll,
+                TrustModel::Trustworthy,
+                TrustModel::PerPredicate,
+            ] {
                 for write_access in [false, true] {
                     let config = SecurityConfig {
                         auth,
@@ -116,7 +121,9 @@ mod tests {
     #[test]
     fn rsa_policy_mentions_rsa_udfs_and_hmac_does_not() {
         let rsa = says_policy(&SecurityConfig::new(AuthScheme::Rsa, EncScheme::None));
-        assert!(rsa.contains("rsa_sign") && rsa.contains("rsa_verify") && rsa.contains("private_key"));
+        assert!(
+            rsa.contains("rsa_sign") && rsa.contains("rsa_verify") && rsa.contains("private_key")
+        );
         let hmac = says_policy(&SecurityConfig::new(AuthScheme::HmacSha1, EncScheme::None));
         assert!(hmac.contains("hmac_sign") && !hmac.contains("rsa_sign"));
         let noauth = says_policy(&SecurityConfig::new(AuthScheme::NoAuth, EncScheme::None));
@@ -125,11 +132,20 @@ mod tests {
 
     #[test]
     fn trust_models_change_the_import_rule() {
-        let all = says_policy(&SecurityConfig { trust: TrustModel::TrustAll, ..Default::default() });
+        let all = says_policy(&SecurityConfig {
+            trust: TrustModel::TrustAll,
+            ..Default::default()
+        });
         assert!(!all.contains("trustworthy(P)"));
-        let some = says_policy(&SecurityConfig { trust: TrustModel::Trustworthy, ..Default::default() });
+        let some = says_policy(&SecurityConfig {
+            trust: TrustModel::Trustworthy,
+            ..Default::default()
+        });
         assert!(some.contains("trustworthy(P)"));
-        let per = says_policy(&SecurityConfig { trust: TrustModel::PerPredicate, ..Default::default() });
+        let per = says_policy(&SecurityConfig {
+            trust: TrustModel::PerPredicate,
+            ..Default::default()
+        });
         assert!(per.contains("trustworthyPerPred[T](P)"));
     }
 

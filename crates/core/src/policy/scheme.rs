@@ -49,7 +49,11 @@ impl Default for SecurityConfig {
 impl SecurityConfig {
     /// Convenience constructor matching the paper's figure labels.
     pub fn new(auth: AuthScheme, enc: EncScheme) -> Self {
-        SecurityConfig { auth, enc, ..Self::default() }
+        SecurityConfig {
+            auth,
+            enc,
+            ..Self::default()
+        }
     }
 
     /// The label used in the paper's figures, e.g. `NoAuth`, `HMAC`, `RSA-AES`.
@@ -77,10 +81,22 @@ mod tests {
 
     #[test]
     fn labels_match_paper_figures() {
-        assert_eq!(SecurityConfig::new(AuthScheme::NoAuth, EncScheme::None).label(), "NoAuth");
-        assert_eq!(SecurityConfig::new(AuthScheme::HmacSha1, EncScheme::None).label(), "HMAC");
-        assert_eq!(SecurityConfig::new(AuthScheme::Rsa, EncScheme::Aes128).label(), "RSA-AES");
-        assert_eq!(SecurityConfig::new(AuthScheme::NoAuth, EncScheme::Aes128).label(), "NoAuth-AES");
+        assert_eq!(
+            SecurityConfig::new(AuthScheme::NoAuth, EncScheme::None).label(),
+            "NoAuth"
+        );
+        assert_eq!(
+            SecurityConfig::new(AuthScheme::HmacSha1, EncScheme::None).label(),
+            "HMAC"
+        );
+        assert_eq!(
+            SecurityConfig::new(AuthScheme::Rsa, EncScheme::Aes128).label(),
+            "RSA-AES"
+        );
+        assert_eq!(
+            SecurityConfig::new(AuthScheme::NoAuth, EncScheme::Aes128).label(),
+            "NoAuth-AES"
+        );
     }
 
     #[test]

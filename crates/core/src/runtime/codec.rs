@@ -1,106 +1,14 @@
-//! Tuple serialization.
+//! Tuple serialization and the `says` export envelope.
 //!
-//! The generated export rules in the paper call a `serialize[P]` user-defined
-//! function before signing and shipping tuples; this module provides that
-//! canonical byte encoding.  The same encoding is used (a) as the message
-//! payload on the simulated network, (b) as the byte string that HMAC / RSA
-//! signatures cover, and (c) as the plaintext of AES-encrypted batches, so
-//! the communication-overhead figures count exactly what the crypto operates
-//! on.
+//! The canonical tuple byte encoding lives in
+//! [`secureblox_datalog::codec`] — it is shared between this runtime (network
+//! payloads, signature coverage, AES plaintexts) and the durable fact store
+//! (WAL records, content-addressed snapshot objects).  This module re-exports
+//! it and adds the network-level [`SaysEnvelope`] framing.
 
-use secureblox_datalog::value::{Tuple, Value};
+pub use secureblox_datalog::codec::{deserialize_tuple, serialize_tuple};
 
-/// Encode a single value.
-fn write_value(out: &mut Vec<u8>, value: &Value) {
-    match value {
-        Value::Int(i) => {
-            out.push(0);
-            out.extend_from_slice(&i.to_be_bytes());
-        }
-        Value::Str(s) => {
-            out.push(1);
-            out.extend_from_slice(&(s.len() as u32).to_be_bytes());
-            out.extend_from_slice(s.as_bytes());
-        }
-        Value::Bool(b) => {
-            out.push(2);
-            out.push(u8::from(*b));
-        }
-        Value::Bytes(b) => {
-            out.push(3);
-            out.extend_from_slice(&(b.len() as u32).to_be_bytes());
-            out.extend_from_slice(b);
-        }
-        Value::Entity(e) => {
-            out.push(4);
-            out.extend_from_slice(&e.to_be_bytes());
-        }
-        Value::Pred(p) => {
-            out.push(5);
-            out.extend_from_slice(&(p.len() as u32).to_be_bytes());
-            out.extend_from_slice(p.as_bytes());
-        }
-    }
-}
-
-fn read_value(data: &[u8], pos: &mut usize) -> Result<Value, String> {
-    let tag = *data.get(*pos).ok_or("truncated value tag")?;
-    *pos += 1;
-    let take = |data: &[u8], pos: &mut usize, n: usize| -> Result<Vec<u8>, String> {
-        let slice = data.get(*pos..*pos + n).ok_or("truncated value body")?.to_vec();
-        *pos += n;
-        Ok(slice)
-    };
-    match tag {
-        0 => {
-            let bytes = take(data, pos, 8)?;
-            Ok(Value::Int(i64::from_be_bytes(bytes.try_into().expect("8 bytes"))))
-        }
-        1 | 5 => {
-            let len_bytes = take(data, pos, 4)?;
-            let len = u32::from_be_bytes(len_bytes.try_into().expect("4 bytes")) as usize;
-            let body = take(data, pos, len)?;
-            let text = String::from_utf8(body).map_err(|_| "invalid utf-8 in string value")?;
-            Ok(if tag == 1 { Value::str(text) } else { Value::pred(text) })
-        }
-        2 => {
-            let byte = take(data, pos, 1)?;
-            Ok(Value::Bool(byte[0] != 0))
-        }
-        3 => {
-            let len_bytes = take(data, pos, 4)?;
-            let len = u32::from_be_bytes(len_bytes.try_into().expect("4 bytes")) as usize;
-            Ok(Value::bytes(take(data, pos, len)?))
-        }
-        4 => {
-            let bytes = take(data, pos, 8)?;
-            Ok(Value::Entity(u64::from_be_bytes(bytes.try_into().expect("8 bytes"))))
-        }
-        other => Err(format!("unknown value tag {other}")),
-    }
-}
-
-/// Serialize a tuple of values (the byte string covered by signatures).
-pub fn serialize_tuple(tuple: &[Value]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(tuple.len() * 12);
-    out.extend_from_slice(&(tuple.len() as u32).to_be_bytes());
-    for value in tuple {
-        write_value(&mut out, value);
-    }
-    out
-}
-
-/// Deserialize a tuple serialized with [`serialize_tuple`].
-pub fn deserialize_tuple(data: &[u8], pos: &mut usize) -> Result<Tuple, String> {
-    let len_bytes = data.get(*pos..*pos + 4).ok_or("truncated tuple length")?;
-    *pos += 4;
-    let len = u32::from_be_bytes(len_bytes.try_into().expect("4 bytes")) as usize;
-    let mut tuple = Vec::with_capacity(len);
-    for _ in 0..len {
-        tuple.push(read_value(data, pos)?);
-    }
-    Ok(tuple)
-}
+use secureblox_datalog::value::Tuple;
 
 /// A serialized `says` export: the said predicate, the tuple, and an optional
 /// detached signature.
@@ -139,14 +47,22 @@ impl SaysEnvelope {
         let sig_len_bytes = data.get(pos..pos + 4).ok_or("truncated signature length")?;
         pos += 4;
         let sig_len = u32::from_be_bytes(sig_len_bytes.try_into().expect("4 bytes")) as usize;
-        let signature = data.get(pos..pos + sig_len).ok_or("truncated signature")?.to_vec();
-        Ok(SaysEnvelope { pred, tuple, signature })
+        let signature = data
+            .get(pos..pos + sig_len)
+            .ok_or("truncated signature")?
+            .to_vec();
+        Ok(SaysEnvelope {
+            pred,
+            tuple,
+            signature,
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use secureblox_datalog::value::Value;
 
     fn sample_tuple() -> Tuple {
         vec![
@@ -158,16 +74,6 @@ mod tests {
             Value::pred("path"),
             Value::str("unicode ✓"),
         ]
-    }
-
-    #[test]
-    fn tuple_roundtrip() {
-        let tuple = sample_tuple();
-        let bytes = serialize_tuple(&tuple);
-        let mut pos = 0;
-        let back = deserialize_tuple(&bytes, &mut pos).unwrap();
-        assert_eq!(back, tuple);
-        assert_eq!(pos, bytes.len());
     }
 
     #[test]
@@ -184,33 +90,25 @@ mod tests {
 
     #[test]
     fn envelope_without_signature() {
-        let envelope = SaysEnvelope { pred: "rehashA".into(), tuple: vec![Value::Int(1)], signature: Vec::new() };
+        let envelope = SaysEnvelope {
+            pred: "rehashA".into(),
+            tuple: vec![Value::Int(1)],
+            signature: Vec::new(),
+        };
         let back = SaysEnvelope::decode(&envelope.encode()).unwrap();
         assert!(back.signature.is_empty());
     }
 
     #[test]
     fn decode_rejects_truncation() {
-        let envelope = SaysEnvelope { pred: "p".into(), tuple: sample_tuple(), signature: vec![1, 2] };
+        let envelope = SaysEnvelope {
+            pred: "p".into(),
+            tuple: sample_tuple(),
+            signature: vec![1, 2],
+        };
         let bytes = envelope.encode();
         for cut in [0usize, 3, 7, bytes.len() - 1] {
             assert!(SaysEnvelope::decode(&bytes[..cut]).is_err(), "cut at {cut}");
         }
-        assert!(deserialize_tuple(&[0, 0, 0, 5, 9], &mut 0).is_err());
-    }
-
-    #[test]
-    fn serialization_is_canonical() {
-        // Equal tuples encode to equal bytes (required for signature checks).
-        assert_eq!(serialize_tuple(&sample_tuple()), serialize_tuple(&sample_tuple()));
-        assert_ne!(
-            serialize_tuple(&[Value::Int(1)]),
-            serialize_tuple(&[Value::Int(2)])
-        );
-        // Str and Pred with the same text are distinguishable.
-        assert_ne!(
-            serialize_tuple(&[Value::str("path")]),
-            serialize_tuple(&[Value::pred("path")])
-        );
     }
 }

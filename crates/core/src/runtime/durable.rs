@@ -1,0 +1,220 @@
+//! Checkpointing and crash recovery for durable deployments.
+//!
+//! With [`DeploymentConfig::durability`] set, every node appends its
+//! committed base facts to an HMAC-chained WAL as it runs.
+//! [`Deployment::checkpoint`] then writes one Merkle-committed,
+//! content-addressed snapshot per node, and [`Deployment::recover`] rebuilds
+//! an equivalent deployment from disk alone:
+//!
+//! 1. re-provision the deterministic parts (compiled program, key material,
+//!    principal universe, shared facts) by re-running the normal build with
+//!    the same `app_source`/`specs`/`config`;
+//! 2. per node, open the [`FactStore`] — which verifies every content
+//!    address, the snapshot Merkle root, and the full WAL HMAC chain,
+//!    surfacing tampering as typed [`StoreError`]s;
+//! 3. replay the snapshot facts as one transaction, then the WAL suffix
+//!    grouped by the original commit watermarks, re-running the seminaive
+//!    fixpoint — derived state is rebuilt, never read from disk;
+//! 4. resume each node's virtual clock at its watermark, with an empty
+//!    outbox dedup set: exports have at-least-once semantics across a
+//!    crash (messages in flight at the crash may never have arrived), so
+//!    the first `run()` re-ships the outbox and receivers absorb
+//!    duplicates idempotently.
+//!
+//! A recovered deployment answers the same queries and commits to the same
+//! per-node Merkle roots as the one that was dropped.
+
+use crate::runtime::engine::{Deployment, DeploymentConfig, NodeSpec};
+use secureblox_datalog::error::DatalogError;
+use secureblox_datalog::value::Tuple;
+use secureblox_store::{derive_node_key, DurabilityConfig, FactStore, StoreError, WalOp};
+use std::fmt;
+use std::path::PathBuf;
+
+/// Errors from the durability layer of a deployment.  Storage corruption and
+/// engine replay failures stay distinguishable so callers (and tests) can
+/// react to tampering specifically.
+#[derive(Debug)]
+pub enum DurabilityError {
+    /// The deployment was built without [`DeploymentConfig::durability`].
+    Disabled,
+    /// A typed storage failure: I/O, tampered WAL record, content-address
+    /// mismatch, corrupt snapshot, Merkle-root mismatch.
+    Store(StoreError),
+    /// The Datalog engine failed while replaying recovered facts.
+    Engine(DatalogError),
+}
+
+impl fmt::Display for DurabilityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurabilityError::Disabled => {
+                write!(f, "durability is not enabled on this deployment")
+            }
+            DurabilityError::Store(e) => write!(f, "store error: {e}"),
+            DurabilityError::Engine(e) => write!(f, "replay error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DurabilityError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DurabilityError::Disabled => None,
+            DurabilityError::Store(e) => Some(e),
+            DurabilityError::Engine(e) => Some(e),
+        }
+    }
+}
+
+impl From<StoreError> for DurabilityError {
+    fn from(e: StoreError) -> Self {
+        DurabilityError::Store(e)
+    }
+}
+
+impl From<DatalogError> for DurabilityError {
+    fn from(e: DatalogError) -> Self {
+        DurabilityError::Engine(e)
+    }
+}
+
+/// One node's checkpoint: the snapshot identity the test suite compares
+/// across crash/recover boundaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointInfo {
+    pub principal: String,
+    /// Merkle root (hex) committing the node's entire dynamic EDB.
+    pub root: String,
+    /// Virtual-time watermark (ns) the snapshot was taken at.
+    pub watermark: u64,
+    /// Content address of the snapshot manifest object.
+    pub manifest_id: String,
+}
+
+impl Deployment {
+    /// The durability configuration, if any.
+    pub fn durability(&self) -> Option<&DurabilityConfig> {
+        self.config.durability.as_ref()
+    }
+
+    /// Snapshot every node's base-fact state at its current virtual time.
+    /// Returns one [`CheckpointInfo`] per node, in node order.
+    pub fn checkpoint(&mut self) -> Result<Vec<CheckpointInfo>, DurabilityError> {
+        let mut out = Vec::with_capacity(self.nodes.len());
+        for node in &mut self.nodes {
+            let store = node.store.as_mut().ok_or(DurabilityError::Disabled)?;
+            let info = store.checkpoint(node.available_at)?;
+            out.push(CheckpointInfo {
+                principal: node.info.principal.clone(),
+                root: info.root_hex(),
+                watermark: info.watermark,
+                manifest_id: info.manifest_id,
+            });
+        }
+        Ok(out)
+    }
+
+    /// The Merkle root (hex) each node's current base-fact state commits to,
+    /// computed in memory without writing a snapshot.
+    pub fn edb_roots(&self) -> Result<Vec<(String, String)>, DurabilityError> {
+        self.nodes
+            .iter()
+            .map(|node| {
+                let store = node.store.as_ref().ok_or(DurabilityError::Disabled)?;
+                Ok((node.info.principal.clone(), store.base_root_hex()))
+            })
+            .collect()
+    }
+
+    /// Rebuild a deployment from the durable stores under `dir`, verifying
+    /// integrity and re-converging to the fixpoint the dropped deployment
+    /// had.  `app_source`, `specs`, and `config` must match the original
+    /// build — the deterministic provisioned state (compiled program, keys,
+    /// principal universe) is a pure function of them and is reconstructed,
+    /// not persisted.
+    pub fn recover(
+        dir: impl Into<PathBuf>,
+        app_source: &str,
+        specs: &[NodeSpec],
+        config: DeploymentConfig,
+    ) -> Result<Deployment, DurabilityError> {
+        // The `dir` argument always names the stores being recovered from —
+        // a config that happens to carry a different durability dir (e.g. a
+        // restore-from-backup) must not silently win over it.  Other
+        // durability settings (flush cadence) are kept from the config.
+        let durability = match config.durability.clone() {
+            Some(mut durability) => {
+                durability.dir = dir.into();
+                durability
+            }
+            None => DurabilityConfig::new(dir.into()),
+        };
+        // Build without durability so the fresh-build guard (which refuses
+        // non-empty stores) does not trip; stores attach below, after replay.
+        let mut stripped = config;
+        stripped.durability = None;
+        let mut deployment = Deployment::build(app_source, specs, stripped)?;
+        deployment.config.durability = Some(durability.clone());
+
+        for index in 0..deployment.nodes.len() {
+            let principal = deployment.nodes[index].info.principal.clone();
+            let key = derive_node_key(deployment.config.seed, &principal);
+            let mut store = FactStore::open(durability.node_dir(&principal), &key)?;
+            store.set_flush_each_batch(durability.flush_each_batch);
+
+            let node = &mut deployment.nodes[index];
+            // Once a node's store holds any history, the WAL supersedes the
+            // bootstrap facts (they were logged when the original deployment
+            // committed them at virtual time zero).  An empty store means the
+            // original crashed between build and run — keep the bootstrap so
+            // a subsequent run() commits (and logs) it normally.
+            if store.wal_seq() > 0 || store.snapshot().is_some() {
+                node.pending_bootstrap.clear();
+            }
+
+            // Replay the snapshot as one transaction, then the WAL suffix
+            // with the original commit boundaries (records sharing a
+            // watermark committed together).
+            let snapshot_facts = store.recovered_snapshot_facts().to_vec();
+            if !snapshot_facts.is_empty() {
+                node.workspace.transaction(snapshot_facts)?;
+            }
+            let mut pending: Vec<(String, Tuple)> = Vec::new();
+            let mut pending_mark = 0u64;
+            for record in store.recovered_suffix().to_vec() {
+                match record.op {
+                    WalOp::Insert => {
+                        if !pending.is_empty() && record.watermark != pending_mark {
+                            node.workspace.transaction(std::mem::take(&mut pending))?;
+                        }
+                        pending_mark = record.watermark;
+                        pending.push((record.pred, record.tuple));
+                    }
+                    WalOp::Retract => {
+                        if !pending.is_empty() {
+                            node.workspace.transaction(std::mem::take(&mut pending))?;
+                        }
+                        node.workspace.retract(vec![(record.pred, record.tuple)])?;
+                    }
+                }
+            }
+            if !pending.is_empty() {
+                node.workspace.transaction(pending)?;
+            }
+            // Derive IDB state even when the store was empty (the provisioned
+            // facts alone may drive rules).
+            node.workspace.fixpoint()?;
+
+            // `sent` is deliberately left empty: a crash may have dropped
+            // exported messages that were still in flight, and the WAL gives
+            // no way to know which arrived.  Recovery therefore has
+            // at-least-once export semantics — the first run() re-ships the
+            // whole outbox, and receivers that already logged a tuple absorb
+            // the duplicate as an idempotent set insert.
+            node.available_at = store.watermark();
+            node.store = Some(store);
+        }
+        Ok(deployment)
+    }
+}

@@ -28,7 +28,10 @@ use secureblox_datalog::error::{DatalogError, Result};
 use secureblox_datalog::value::{Tuple, Value};
 use secureblox_datalog::{EvalConfig, Workspace};
 use secureblox_net::stats::TimingStats;
-use secureblox_net::{LatencyModel, Message, MessageKind, NodeId, NodeInfo, SimNetwork, VirtualTime};
+use secureblox_net::{
+    LatencyModel, Message, MessageKind, NodeId, NodeInfo, SimNetwork, VirtualTime,
+};
+use secureblox_store::{derive_node_key, DurabilityConfig, FactStore};
 use std::collections::{HashMap, HashSet};
 use std::time::{Duration, Instant};
 
@@ -44,7 +47,10 @@ pub struct NodeSpec {
 impl NodeSpec {
     /// A node with no initial facts.
     pub fn new(principal: impl Into<String>) -> Self {
-        NodeSpec { principal: principal.into(), base_facts: Vec::new() }
+        NodeSpec {
+            principal: principal.into(),
+            base_facts: Vec::new(),
+        }
     }
 }
 
@@ -87,6 +93,10 @@ pub struct DeploymentConfig {
     /// principal is granted `writeAccess[T]` for every exportable predicate.
     /// Set to false to grant write access explicitly per node.
     pub grant_default_write_access: bool,
+    /// When set, every node persists its dynamic base facts to an HMAC-chained
+    /// WAL under `durability.dir/<principal>`, enabling
+    /// [`Deployment::checkpoint`] and [`Deployment::recover`].
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl Default for DeploymentConfig {
@@ -103,6 +113,7 @@ impl Default for DeploymentConfig {
             extra_policies: Vec::new(),
             grant_default_trust: true,
             grant_default_write_access: true,
+            durability: None,
         }
     }
 }
@@ -171,22 +182,24 @@ struct Circuit {
 }
 
 /// State of one simulated node.
-struct NodeState {
-    info: NodeInfo,
-    workspace: Workspace,
+pub(crate) struct NodeState {
+    pub(crate) info: NodeInfo,
+    pub(crate) workspace: Workspace,
     /// Outgoing `says`/`anon` tuples already exported (avoid duplicates).
-    sent: HashSet<(String, Tuple)>,
-    available_at: VirtualTime,
-    pending_bootstrap: Vec<(String, Tuple)>,
+    pub(crate) sent: HashSet<(String, Tuple)>,
+    pub(crate) available_at: VirtualTime,
+    pub(crate) pending_bootstrap: Vec<(String, Tuple)>,
+    /// The node's durable fact store, when durability is configured.
+    pub(crate) store: Option<FactStore>,
 }
 
 /// A complete simulated SecureBlox deployment.
 pub struct Deployment {
-    nodes: Vec<NodeState>,
-    principal_index: HashMap<String, usize>,
-    network: SimNetwork,
-    timing: TimingStats,
-    config: DeploymentConfig,
+    pub(crate) nodes: Vec<NodeState>,
+    pub(crate) principal_index: HashMap<String, usize>,
+    pub(crate) network: SimNetwork,
+    pub(crate) timing: TimingStats,
+    pub(crate) config: DeploymentConfig,
     keystore: KeyStore,
     circuits: Vec<Circuit>,
     exportable: Vec<String>,
@@ -207,7 +220,8 @@ impl Deployment {
         }
         .map_err(|e| DatalogError::Eval(format!("key provisioning failed: {e}")))?;
 
-        let compiled = compile_secured_program(app_source, &config.security, &config.extra_policies)?;
+        let compiled =
+            compile_secured_program(app_source, &config.security, &config.extra_policies)?;
         let exportable: Vec<String> = compiled
             .mappings
             .iter()
@@ -215,8 +229,11 @@ impl Deployment {
             .map(|((_, param), _)| param.clone())
             .collect();
 
-        let principal_index: HashMap<String, usize> =
-            principals.iter().enumerate().map(|(i, p)| (p.clone(), i)).collect();
+        let principal_index: HashMap<String, usize> = principals
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.clone(), i))
+            .collect();
 
         let mut nodes = Vec::with_capacity(specs.len());
         for (index, spec) in specs.iter().enumerate() {
@@ -267,18 +284,19 @@ impl Deployment {
                     let secret = if principal == &spec.principal {
                         // A principal's "secret with itself" only matters for
                         // locally-routed says tuples; derive it from the seed.
-                        secureblox_crypto::hmac_sha1(spec.principal.as_bytes(), &config.seed.to_be_bytes())
-                            .to_vec()
+                        secureblox_crypto::hmac_sha1(
+                            spec.principal.as_bytes(),
+                            &config.seed.to_be_bytes(),
+                        )
+                        .to_vec()
                     } else {
                         keystore
                             .shared_secret(&spec.principal, principal)
                             .map_err(|e| DatalogError::Eval(e.to_string()))?
                             .to_vec()
                     };
-                    workspace.assert_fact(
-                        "secret",
-                        vec![Value::str(principal), Value::bytes(secret)],
-                    )?;
+                    workspace
+                        .assert_fact("secret", vec![Value::str(principal), Value::bytes(secret)])?;
                 }
             }
             if config.security.write_access && config.grant_default_write_access {
@@ -297,6 +315,7 @@ impl Deployment {
                 sent: HashSet::new(),
                 available_at: 0,
                 pending_bootstrap: spec.base_facts.clone(),
+                store: None,
             });
         }
 
@@ -311,7 +330,11 @@ impl Deployment {
             };
             let initiator = lookup(&spec.initiator)?;
             let endpoint = lookup(&spec.endpoint)?;
-            let relays: Vec<usize> = spec.relays.iter().map(|r| lookup(r)).collect::<Result<_>>()?;
+            let relays: Vec<usize> = spec
+                .relays
+                .iter()
+                .map(|r| lookup(r))
+                .collect::<Result<_>>()?;
             let mut keys = Vec::with_capacity(relays.len() + 1);
             for hop in spec.relays.iter().chain(std::iter::once(&spec.endpoint)) {
                 keys.push(
@@ -320,12 +343,18 @@ impl Deployment {
                         .map_err(|e| DatalogError::Eval(e.to_string()))?,
                 );
             }
-            circuits.push(Circuit { id: id as u64, initiator, relays, endpoint, keys });
+            circuits.push(Circuit {
+                id: id as u64,
+                initiator,
+                relays,
+                endpoint,
+                keys,
+            });
         }
 
         let network = SimNetwork::new(specs.len(), config.latency.clone());
         let timing = TimingStats::new(specs.len());
-        Ok(Deployment {
+        let mut deployment = Deployment {
             nodes,
             principal_index,
             network,
@@ -334,7 +363,23 @@ impl Deployment {
             keystore,
             circuits,
             exportable,
-        })
+        };
+        if let Some(durability) = deployment.config.durability.clone() {
+            for node in &mut deployment.nodes {
+                let key = derive_node_key(deployment.config.seed, &node.info.principal);
+                let mut store = FactStore::open(durability.node_dir(&node.info.principal), &key)
+                    .map_err(|e| DatalogError::Eval(format!("durability: {e}")))?;
+                if store.wal_seq() != 0 || store.snapshot().is_some() {
+                    return Err(DatalogError::Eval(format!(
+                        "durable store for {} already holds state; use Deployment::recover",
+                        node.info.principal
+                    )));
+                }
+                store.set_flush_each_batch(durability.flush_each_batch);
+                node.store = Some(store);
+            }
+        }
+        Ok(deployment)
     }
 
     /// Number of nodes.
@@ -368,6 +413,26 @@ impl Deployment {
                     .collect()
             })
             .unwrap_or_default()
+    }
+
+    /// Retract base facts at `principal`'s node: incremental deletion (DRed)
+    /// in the workspace, logged to the node's durable store when durability
+    /// is enabled so recovery replays the retraction in order.
+    pub fn retract(&mut self, principal: &str, batch: Vec<(String, Tuple)>) -> Result<()> {
+        let &index = self
+            .principal_index
+            .get(principal)
+            .ok_or_else(|| DatalogError::Eval(format!("unknown principal {principal}")))?;
+        let started = Instant::now();
+        self.nodes[index].workspace.retract(batch.clone())?;
+        let finish = self.nodes[index].available_at + started.elapsed().as_nanos() as u64;
+        self.nodes[index].available_at = finish;
+        if let Some(store) = &mut self.nodes[index].store {
+            store
+                .log_retracts(batch.iter().map(|(p, t)| (p.as_str(), t)), finish)
+                .map_err(|e| DatalogError::Eval(format!("durability: {e}")))?;
+        }
+        Ok(())
     }
 
     /// Run to the distributed fixpoint: no batches pending and no messages in
@@ -421,16 +486,33 @@ impl Deployment {
     // Batch processing and export
     // ------------------------------------------------------------------
 
-    fn process_batch(&mut self, index: usize, batch: Vec<(String, Tuple)>, arrival: VirtualTime) -> Result<()> {
+    fn process_batch(
+        &mut self,
+        index: usize,
+        batch: Vec<(String, Tuple)>,
+        arrival: VirtualTime,
+    ) -> Result<()> {
         let start_virtual = arrival.max(self.nodes[index].available_at);
         let started = Instant::now();
+        let log_batch = match &self.nodes[index].store {
+            Some(_) if !batch.is_empty() => Some(batch.clone()),
+            _ => None,
+        };
         let outcome = self.nodes[index].workspace.transaction(batch);
         let elapsed = started.elapsed();
         let finish = start_virtual + elapsed.as_nanos() as u64;
         self.nodes[index].available_at = finish;
         match outcome {
             Ok(_) => {
-                self.timing.record_transaction(NodeId(index as u32), elapsed, finish);
+                // Log only *committed* batches: rolled-back facts are not
+                // part of the EDB and must not resurface at recovery.
+                if let (Some(store), Some(batch)) = (&mut self.nodes[index].store, log_batch) {
+                    store
+                        .log_inserts(batch.iter().map(|(p, t)| (p.as_str(), t)), finish)
+                        .map_err(|e| DatalogError::Eval(format!("durability: {e}")))?;
+                }
+                self.timing
+                    .record_transaction(NodeId(index as u32), elapsed, finish);
                 self.flush_outbox(index, finish)?;
                 Ok(())
             }
@@ -476,9 +558,15 @@ impl Deployment {
                         continue;
                     }
                     self.nodes[index].sent.insert(key);
-                    let Some(&dest) = self.principal_index.get(&to) else { continue };
+                    let Some(&dest) = self.principal_index.get(&to) else {
+                        continue;
+                    };
                     let signature = self.lookup_signature(index, param, &tuple);
-                    let envelope = SaysEnvelope { pred: param.to_string(), tuple, signature };
+                    let envelope = SaysEnvelope {
+                        pred: param.to_string(),
+                        tuple,
+                        signature,
+                    };
                     let mut payload = envelope.encode();
                     if self.config.security.enc == EncScheme::Aes128 {
                         let secret = self
@@ -603,7 +691,12 @@ impl Deployment {
         let payload = encode_anon_cell(circuit.id, 0, &body);
         Ok((
             first_hop,
-            Message::new(NodeId(index as u32), NodeId(first_hop as u32), MessageKind::AnonForward, payload),
+            Message::new(
+                NodeId(index as u32),
+                NodeId(first_hop as u32),
+                MessageKind::AnonForward,
+                payload,
+            ),
         ))
     }
 
@@ -614,8 +707,13 @@ impl Deployment {
         param: &str,
         tuple: &[Value],
     ) -> Result<Option<(usize, Message)>> {
-        let Some(circuit_id) = tuple[0].as_int() else { return Ok(None) };
-        let Some(circuit) = self.circuits.iter().find(|c| c.id == circuit_id as u64 && c.endpoint == index)
+        let Some(circuit_id) = tuple[0].as_int() else {
+            return Ok(None);
+        };
+        let Some(circuit) = self
+            .circuits
+            .iter()
+            .find(|c| c.id == circuit_id as u64 && c.endpoint == index)
         else {
             return Ok(None);
         };
@@ -626,7 +724,10 @@ impl Deployment {
         };
         // The endpoint adds its own layer; each relay will add one more on
         // the way back and the initiator peels them all.
-        let body = aes128_ctr_encrypt(circuit.keys.last().expect("endpoint key"), &envelope.encode());
+        let body = aes128_ctr_encrypt(
+            circuit.keys.last().expect("endpoint key"),
+            &envelope.encode(),
+        );
         let (next, hop) = match circuit.relays.last() {
             Some(&relay) => (relay, circuit.relays.len() as u32 - 1),
             None => (circuit.initiator, u32::MAX),
@@ -634,7 +735,12 @@ impl Deployment {
         let payload = encode_anon_cell(circuit.id, hop, &body);
         Ok(Some((
             next,
-            Message::new(NodeId(index as u32), NodeId(next as u32), MessageKind::AnonBackward, payload),
+            Message::new(
+                NodeId(index as u32),
+                NodeId(next as u32),
+                MessageKind::AnonBackward,
+                payload,
+            ),
         )))
     }
 
@@ -838,7 +944,10 @@ mod tests {
     }
 
     fn run_gossip(security: SecurityConfig) -> (Deployment, DeploymentReport) {
-        let config = DeploymentConfig { security, ..DeploymentConfig::default() };
+        let config = DeploymentConfig {
+            security,
+            ..DeploymentConfig::default()
+        };
         let mut deployment = Deployment::build(GOSSIP_APP, &two_node_specs(), config).unwrap();
         let report = deployment.run().unwrap();
         (deployment, report)
@@ -846,7 +955,8 @@ mod tests {
 
     #[test]
     fn noauth_gossip_exchanges_facts() {
-        let (deployment, report) = run_gossip(SecurityConfig::new(AuthScheme::NoAuth, EncScheme::None));
+        let (deployment, report) =
+            run_gossip(SecurityConfig::new(AuthScheme::NoAuth, EncScheme::None));
         assert_eq!(
             deployment.query("n0", "remote_link"),
             vec![vec![Value::str("n1"), Value::str("n0")]]
@@ -864,7 +974,8 @@ mod tests {
     #[test]
     fn hmac_and_rsa_gossip_verify_and_cost_more_bytes() {
         let (_, noauth) = run_gossip(SecurityConfig::new(AuthScheme::NoAuth, EncScheme::None));
-        let (hmac_dep, hmac) = run_gossip(SecurityConfig::new(AuthScheme::HmacSha1, EncScheme::None));
+        let (hmac_dep, hmac) =
+            run_gossip(SecurityConfig::new(AuthScheme::HmacSha1, EncScheme::None));
         let (rsa_dep, rsa) = run_gossip(SecurityConfig::new(AuthScheme::Rsa, EncScheme::None));
         // Facts still arrive.
         assert_eq!(hmac_dep.query("n0", "remote_link").len(), 1);
@@ -878,8 +989,10 @@ mod tests {
 
     #[test]
     fn aes_encryption_still_delivers_and_adds_bytes() {
-        let (deployment, plain) = run_gossip(SecurityConfig::new(AuthScheme::HmacSha1, EncScheme::None));
-        let (enc_dep, enc) = run_gossip(SecurityConfig::new(AuthScheme::HmacSha1, EncScheme::Aes128));
+        let (deployment, plain) =
+            run_gossip(SecurityConfig::new(AuthScheme::HmacSha1, EncScheme::None));
+        let (enc_dep, enc) =
+            run_gossip(SecurityConfig::new(AuthScheme::HmacSha1, EncScheme::Aes128));
         assert_eq!(
             deployment.query("n0", "remote_link"),
             enc_dep.query("n0", "remote_link")
@@ -896,7 +1009,10 @@ mod tests {
             trust: TrustModel::Trustworthy,
             ..SecurityConfig::default()
         };
-        let config = DeploymentConfig { security, ..DeploymentConfig::default() };
+        let config = DeploymentConfig {
+            security,
+            ..DeploymentConfig::default()
+        };
         let mut deployment = Deployment::build(GOSSIP_APP, &two_node_specs(), config).unwrap();
         // Remove n1 from n0's trustworthy relation before running.
         deployment.nodes[0]
@@ -920,7 +1036,10 @@ mod tests {
     #[test]
     fn forged_signature_rolls_back_batch() {
         let security = SecurityConfig::new(AuthScheme::HmacSha1, EncScheme::None);
-        let config = DeploymentConfig { security, ..DeploymentConfig::default() };
+        let config = DeploymentConfig {
+            security,
+            ..DeploymentConfig::default()
+        };
         let mut deployment = Deployment::build(GOSSIP_APP, &two_node_specs(), config).unwrap();
         // Forge a message from n1 to n0 with a bad tag by injecting it
         // directly into the network.
@@ -952,12 +1071,18 @@ mod tests {
             write_access: true,
             ..SecurityConfig::default()
         };
-        let config = DeploymentConfig { security, ..DeploymentConfig::default() };
+        let config = DeploymentConfig {
+            security,
+            ..DeploymentConfig::default()
+        };
         let mut deployment = Deployment::build(GOSSIP_APP, &two_node_specs(), config).unwrap();
         // Revoke n1's write access to remote_link at n0.
         deployment.nodes[0]
             .workspace
-            .retract(vec![("writeAccess$remote_link".into(), vec![Value::str("n1")])])
+            .retract(vec![(
+                "writeAccess$remote_link".into(),
+                vec![Value::str("n1")],
+            )])
             .unwrap();
         let report = deployment.run().unwrap();
         assert!(report.rejected_batches >= 1);

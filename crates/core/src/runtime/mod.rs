@@ -2,9 +2,11 @@
 //! user-defined functions, and the simulated distributed query processor.
 
 pub mod codec;
+pub mod durable;
 pub mod engine;
 pub mod udfs;
 
 pub use codec::{deserialize_tuple, serialize_tuple, SaysEnvelope};
+pub use durable::{CheckpointInfo, DurabilityError};
 pub use engine::{CircuitSpec, Deployment, DeploymentConfig, DeploymentReport, NodeSpec};
 pub use udfs::register_crypto_udfs;

@@ -9,8 +9,10 @@
 //! runtime — only different relations and different generated rules.
 
 use crate::runtime::codec::serialize_tuple;
-use secureblox_crypto::{aes128_ctr_decrypt, aes128_ctr_encrypt, hmac_sha1, hmac_sha1_verify, sha1};
 use secureblox_crypto::rsa::{RsaKeyPair, RsaPublicKey, RsaSignature};
+use secureblox_crypto::{
+    aes128_ctr_decrypt, aes128_ctr_encrypt, hmac_sha1, hmac_sha1_verify, sha1,
+};
 use secureblox_datalog::udf::require_bound;
 use secureblox_datalog::value::Value;
 use secureblox_datalog::Workspace;
@@ -32,7 +34,10 @@ pub fn register_crypto_udfs(workspace: &mut Workspace) {
     workspace.register_udf_family("serialize", |_param, args| {
         let mut values = Vec::with_capacity(args.len().saturating_sub(1));
         for (i, arg) in args.iter().enumerate().take(args.len().saturating_sub(1)) {
-            values.push(arg.clone().ok_or_else(|| format!("serialize: argument {i} must be bound"))?);
+            values.push(
+                arg.clone()
+                    .ok_or_else(|| format!("serialize: argument {i} must be bound"))?,
+            );
         }
         let mut row = values.clone();
         row.push(Value::bytes(serialize_tuple(&values)));
@@ -50,7 +55,10 @@ pub fn register_crypto_udfs(workspace: &mut Workspace) {
             .map_err(|e| format!("rsa_sign: {e}"))?;
         let mut values = Vec::new();
         for (i, arg) in args.iter().enumerate().take(args.len() - 1).skip(1) {
-            values.push(arg.clone().ok_or_else(|| format!("rsa_sign: argument {i} must be bound"))?);
+            values.push(
+                arg.clone()
+                    .ok_or_else(|| format!("rsa_sign: argument {i} must be bound"))?,
+            );
         }
         let signature = keypair.sign(&serialize_tuple(&values));
         let mut row = vec![key];
@@ -66,12 +74,16 @@ pub fn register_crypto_udfs(workspace: &mut Workspace) {
             return Err("rsa_verify: expected key, values..., signature".into());
         }
         let key = require_bound(args, 0, "rsa_verify")?;
-        let public = RsaPublicKey::from_bytes(key.as_bytes().ok_or("rsa_verify: key must be bytes")?)
-            .map_err(|e| format!("rsa_verify: {e}"))?;
+        let public =
+            RsaPublicKey::from_bytes(key.as_bytes().ok_or("rsa_verify: key must be bytes")?)
+                .map_err(|e| format!("rsa_verify: {e}"))?;
         let signature = require_bound(args, args.len() - 1, "rsa_verify")?;
         let mut values = Vec::new();
         for (i, arg) in args.iter().enumerate().take(args.len() - 1).skip(1) {
-            values.push(arg.clone().ok_or_else(|| format!("rsa_verify: argument {i} must be bound"))?);
+            values.push(
+                arg.clone()
+                    .ok_or_else(|| format!("rsa_verify: argument {i} must be bound"))?,
+            );
         }
         let valid = public.verify(
             &serialize_tuple(&values),
@@ -95,7 +107,10 @@ pub fn register_crypto_udfs(workspace: &mut Workspace) {
         let key = require_bound(args, 0, "hmac_sign")?;
         let mut values = Vec::new();
         for (i, arg) in args.iter().enumerate().take(args.len() - 1).skip(1) {
-            values.push(arg.clone().ok_or_else(|| format!("hmac_sign: argument {i} must be bound"))?);
+            values.push(
+                arg.clone()
+                    .ok_or_else(|| format!("hmac_sign: argument {i} must be bound"))?,
+            );
         }
         let tag = hmac_sha1(
             key.as_bytes().ok_or("hmac_sign: key must be bytes")?,
@@ -114,7 +129,10 @@ pub fn register_crypto_udfs(workspace: &mut Workspace) {
         let tag = require_bound(args, args.len() - 1, "hmac_verify")?;
         let mut values = Vec::new();
         for (i, arg) in args.iter().enumerate().take(args.len() - 1).skip(1) {
-            values.push(arg.clone().ok_or_else(|| format!("hmac_verify: argument {i} must be bound"))?);
+            values.push(
+                arg.clone()
+                    .ok_or_else(|| format!("hmac_verify: argument {i} must be bound"))?,
+            );
         }
         let valid = hmac_sha1_verify(
             key.as_bytes().ok_or("hmac_verify: key must be bytes")?,
@@ -137,7 +155,9 @@ pub fn register_crypto_udfs(workspace: &mut Workspace) {
         let key = require_bound(args, 1, "aesencrypt")?;
         let ciphertext = aes128_ctr_encrypt(
             key.as_bytes().ok_or("aesencrypt: key must be bytes")?,
-            plaintext.as_bytes().ok_or("aesencrypt: plaintext must be bytes")?,
+            plaintext
+                .as_bytes()
+                .ok_or("aesencrypt: plaintext must be bytes")?,
         );
         Ok(vec![vec![plaintext, key, Value::bytes(ciphertext)]])
     });
@@ -146,7 +166,9 @@ pub fn register_crypto_udfs(workspace: &mut Workspace) {
         let key = require_bound(args, 1, "aesdecrypt")?;
         let plaintext = aes128_ctr_decrypt(
             key.as_bytes().ok_or("aesdecrypt: key must be bytes")?,
-            ciphertext.as_bytes().ok_or("aesdecrypt: ciphertext must be bytes")?,
+            ciphertext
+                .as_bytes()
+                .ok_or("aesdecrypt: ciphertext must be bytes")?,
         )
         .map_err(|e| format!("aesdecrypt: {e}"))?;
         Ok(vec![vec![ciphertext, key, Value::bytes(plaintext)]])
@@ -192,14 +214,23 @@ mod tests {
              verified(M) <- signed(M, S), public_key(K), rsa_verify(K, M, S).",
         )
         .unwrap();
-        ws.set_singleton("private_key", Value::bytes(keypair.to_bytes())).unwrap();
-        ws.assert_fact("public_key", vec![Value::bytes(keypair.public_key().to_bytes())]).unwrap();
-        ws.assert_fact("msg", vec![Value::str("attack at dawn")]).unwrap();
+        ws.set_singleton("private_key", Value::bytes(keypair.to_bytes()))
+            .unwrap();
+        ws.assert_fact(
+            "public_key",
+            vec![Value::bytes(keypair.public_key().to_bytes())],
+        )
+        .unwrap();
+        ws.assert_fact("msg", vec![Value::str("attack at dawn")])
+            .unwrap();
         ws.fixpoint().unwrap();
         assert_eq!(ws.count("signed"), 1);
         assert_eq!(ws.count("verified"), 1);
         let sig = ws.query("signed")[0][1].clone();
-        assert_eq!(sig.as_bytes().unwrap().len(), keypair.public_key().modulus_bytes());
+        assert_eq!(
+            sig.as_bytes().unwrap().len(),
+            keypair.public_key().modulus_bytes()
+        );
     }
 
     #[test]
@@ -210,8 +241,10 @@ mod tests {
              accepted(M) <- tagged(M, S), secret_in(K), hmac_verify(K, M, S).",
         )
         .unwrap();
-        ws.assert_fact("secret_out", vec![Value::bytes(b"key-A".to_vec())]).unwrap();
-        ws.assert_fact("secret_in", vec![Value::bytes(b"key-B".to_vec())]).unwrap();
+        ws.assert_fact("secret_out", vec![Value::bytes(b"key-A".to_vec())])
+            .unwrap();
+        ws.assert_fact("secret_in", vec![Value::bytes(b"key-B".to_vec())])
+            .unwrap();
         ws.assert_fact("msg", vec![Value::str("hello")]).unwrap();
         ws.fixpoint().unwrap();
         assert_eq!(ws.count("tagged"), 1);
@@ -226,8 +259,10 @@ mod tests {
              roundtrip(P2) <- ct(C), key(K), aesdecrypt(C, K, P2).",
         )
         .unwrap();
-        ws.assert_fact("key", vec![Value::bytes(vec![7u8; 16])]).unwrap();
-        ws.assert_fact("pt", vec![Value::bytes(b"plaintext tuple batch".to_vec())]).unwrap();
+        ws.assert_fact("key", vec![Value::bytes(vec![7u8; 16])])
+            .unwrap();
+        ws.assert_fact("pt", vec![Value::bytes(b"plaintext tuple batch".to_vec())])
+            .unwrap();
         ws.fixpoint().unwrap();
         assert_eq!(
             ws.query("roundtrip")[0][0],
@@ -238,7 +273,8 @@ mod tests {
     #[test]
     fn serialize_family_produces_bytes() {
         let mut ws = workspace_with_udfs();
-        ws.install_source("wire(B) <- pair(X, Y), serialize(X, Y, B).\npair(a, 2).").unwrap();
+        ws.install_source("wire(B) <- pair(X, Y), serialize(X, Y, B).\npair(a, 2).")
+            .unwrap();
         ws.fixpoint().unwrap();
         let bytes = ws.query("wire")[0][0].clone();
         assert!(bytes.as_bytes().unwrap().len() > 4);

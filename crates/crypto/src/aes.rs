@@ -145,7 +145,12 @@ fn shift_rows(state: &mut [u8; 16]) {
 
 fn mix_columns(state: &mut [u8; 16]) {
     for c in 0..4 {
-        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        let col = [
+            state[4 * c],
+            state[4 * c + 1],
+            state[4 * c + 2],
+            state[4 * c + 3],
+        ];
         state[4 * c] = gmul(col[0], 2) ^ gmul(col[1], 3) ^ col[2] ^ col[3];
         state[4 * c + 1] = col[0] ^ gmul(col[1], 2) ^ gmul(col[2], 3) ^ col[3];
         state[4 * c + 2] = col[0] ^ col[1] ^ gmul(col[2], 2) ^ gmul(col[3], 3);
@@ -252,7 +257,11 @@ mod tests {
             0xb6, 0xce,
         ];
         Aes128::new(&key).encrypt_block(&mut counter);
-        let ct: Vec<u8> = plaintext.iter().zip(counter.iter()).map(|(p, k)| p ^ k).collect();
+        let ct: Vec<u8> = plaintext
+            .iter()
+            .zip(counter.iter())
+            .map(|(p, k)| p ^ k)
+            .collect();
         assert_eq!(ct, expected);
     }
 

@@ -126,7 +126,7 @@ impl BigUint {
 
     /// True if this value is even.
     pub fn is_even(&self) -> bool {
-        self.limbs.first().map_or(true, |l| l & 1 == 0)
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
     }
 
     /// Number of significant bits.
@@ -141,7 +141,7 @@ impl BigUint {
     pub fn bit(&self, i: usize) -> bool {
         let limb = i / 32;
         let offset = i % 32;
-        self.limbs.get(limb).map_or(false, |l| (l >> offset) & 1 == 1)
+        self.limbs.get(limb).is_some_and(|l| (l >> offset) & 1 == 1)
     }
 
     fn normalize(&mut self) {
@@ -159,8 +159,8 @@ impl BigUint {
         };
         let mut out = Vec::with_capacity(long.len() + 1);
         let mut carry = 0u64;
-        for i in 0..long.len() {
-            let sum = long[i] as u64 + short.get(i).copied().unwrap_or(0) as u64 + carry;
+        for (i, &limb) in long.iter().enumerate() {
+            let sum = limb as u64 + short.get(i).copied().unwrap_or(0) as u64 + carry;
             out.push(sum as u32);
             carry = sum >> 32;
         }
@@ -174,11 +174,15 @@ impl BigUint {
 
     /// Subtraction; panics if `other > self`.
     pub fn sub(&self, other: &BigUint) -> BigUint {
-        assert!(self.cmp(other) != Ordering::Less, "BigUint subtraction underflow");
+        assert!(
+            self.cmp(other) != Ordering::Less,
+            "BigUint subtraction underflow"
+        );
         let mut out = Vec::with_capacity(self.limbs.len());
         let mut borrow = 0i64;
         for i in 0..self.limbs.len() {
-            let diff = self.limbs[i] as i64 - other.limbs.get(i).copied().unwrap_or(0) as i64 - borrow;
+            let diff =
+                self.limbs[i] as i64 - other.limbs.get(i).copied().unwrap_or(0) as i64 - borrow;
             if diff < 0 {
                 out.push((diff + (1i64 << 32)) as u32);
                 borrow = 1;
@@ -232,7 +236,7 @@ impl BigUint {
             let mut carry = 0u32;
             for &limb in &self.limbs {
                 out.push((limb << bit_shift) | carry);
-                carry = (limb >> (32 - bit_shift)) as u32;
+                carry = limb >> (32 - bit_shift);
             }
             if carry != 0 {
                 out.push(carry);
@@ -268,6 +272,7 @@ impl BigUint {
     }
 
     /// Comparison.
+    #[allow(clippy::should_implement_trait)]
     pub fn cmp(&self, other: &BigUint) -> Ordering {
         if self.limbs.len() != other.limbs.len() {
             return self.limbs.len().cmp(&other.limbs.len());
@@ -690,18 +695,23 @@ mod tests {
 
     #[test]
     fn mul_small_values() {
-        assert_eq!(big(1000).mul(&big(1000)).cmp(&big(1_000_000)), Ordering::Equal);
-        assert_eq!(big(0).mul(&big(77)).cmp(&BigUint::zero()), Ordering::Equal);
-        let a = big(0xFFFF_FFFF);
         assert_eq!(
-            a.mul(&a).cmp(&big(0xFFFF_FFFE_0000_0001)),
+            big(1000).mul(&big(1000)).cmp(&big(1_000_000)),
             Ordering::Equal
         );
+        assert_eq!(big(0).mul(&big(77)).cmp(&BigUint::zero()), Ordering::Equal);
+        let a = big(0xFFFF_FFFF);
+        assert_eq!(a.mul(&a).cmp(&big(0xFFFF_FFFE_0000_0001)), Ordering::Equal);
     }
 
     #[test]
     fn div_rem_matches_u64() {
-        let cases = [(100u64, 7u64), (0, 5), (12345678901234567, 9876543), (u64::MAX, 3)];
+        let cases = [
+            (100u64, 7u64),
+            (0, 5),
+            (12345678901234567, 9876543),
+            (u64::MAX, 3),
+        ];
         for (a, b) in cases {
             let (q, r) = big(a).div_rem(&big(b));
             assert_eq!(q.cmp(&big(a / b)), Ordering::Equal, "{a}/{b}");
@@ -721,7 +731,10 @@ mod tests {
     #[test]
     fn bytes_roundtrip() {
         let a = BigUint::from_bytes_be(&[0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09]);
-        assert_eq!(a.to_bytes_be(), vec![0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09]);
+        assert_eq!(
+            a.to_bytes_be(),
+            vec![0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09]
+        );
         assert_eq!(a.to_bytes_be_padded(12)[..3], [0, 0, 0]);
         assert!(BigUint::from_bytes_be(&[0, 0, 0]).is_zero());
     }
@@ -743,7 +756,9 @@ mod tests {
         // Fermat: a^(p-1) = 1 mod p for prime p
         let p = big(1_000_000_007);
         assert_eq!(
-            big(123456).modpow(&p.sub(&BigUint::one()), &p).cmp(&BigUint::one()),
+            big(123456)
+                .modpow(&p.sub(&BigUint::one()), &p)
+                .cmp(&BigUint::one()),
             Ordering::Equal
         );
     }
@@ -766,10 +781,16 @@ mod tests {
     fn primality_known_values() {
         let mut rng = StdRng::seed_from_u64(42);
         for p in [2u64, 3, 5, 7, 104729, 1_000_000_007] {
-            assert!(big(p).is_probably_prime(&mut rng, 16), "{p} should be prime");
+            assert!(
+                big(p).is_probably_prime(&mut rng, 16),
+                "{p} should be prime"
+            );
         }
         for c in [1u64, 4, 100, 104730, 1_000_000_008, 561, 41041] {
-            assert!(!big(c).is_probably_prime(&mut rng, 16), "{c} should be composite");
+            assert!(
+                !big(c).is_probably_prime(&mut rng, 16),
+                "{c} should be composite"
+            );
         }
     }
 

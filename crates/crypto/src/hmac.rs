@@ -82,7 +82,10 @@ mod tests {
     #[test]
     fn rfc2202_case_6_long_key() {
         let key = [0xaa; 80];
-        let tag = hmac_sha1(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        let tag = hmac_sha1(
+            &key,
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
         assert_eq!(to_hex(&tag), "aa4ae5e15272d00e95705637ce8a3b55ed402112");
     }
 

@@ -33,8 +33,10 @@ use std::sync::{Arc, Mutex, OnceLock};
 /// the deterministic pool across repeated experiment runs in one process —
 /// tests sweeping schemes, Criterion iterating a benchmark — changes nothing
 /// observable while removing minutes of redundant Miller–Rabin search.
-fn rsa_pool_cache() -> &'static Mutex<HashMap<(usize, usize, u64), Vec<Arc<RsaKeyPair>>>> {
-    static CACHE: OnceLock<Mutex<HashMap<(usize, usize, u64), Vec<Arc<RsaKeyPair>>>>> = OnceLock::new();
+type RsaPoolCache = Mutex<HashMap<(usize, usize, u64), Vec<Arc<RsaKeyPair>>>>;
+
+fn rsa_pool_cache() -> &'static RsaPoolCache {
+    static CACHE: OnceLock<RsaPoolCache> = OnceLock::new();
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
@@ -96,7 +98,11 @@ impl KeyStore {
         let mut pool: Vec<Arc<RsaKeyPair>> = Vec::new();
         if let Some(bits) = rsa_bits {
             let cache_key = (bits, pool_size, seed);
-            if let Some(cached) = rsa_pool_cache().lock().expect("rsa pool cache").get(&cache_key) {
+            if let Some(cached) = rsa_pool_cache()
+                .lock()
+                .expect("rsa pool cache")
+                .get(&cache_key)
+            {
                 pool = cached.clone();
             }
             if pool.is_empty() {
@@ -119,7 +125,11 @@ impl KeyStore {
             store.principals.insert(
                 principal.as_ref().to_string(),
                 PrincipalKeys {
-                    rsa: if pool.is_empty() { None } else { Some(Arc::clone(&pool[i % pool.len()])) },
+                    rsa: if pool.is_empty() {
+                        None
+                    } else {
+                        Some(Arc::clone(&pool[i % pool.len()]))
+                    },
                 },
             );
         }

@@ -45,7 +45,7 @@ pub use error::CryptoError;
 pub use hmac::{hmac_sha1, hmac_sha1_verify};
 pub use keys::{KeyStore, PrincipalKeys};
 pub use rsa::{RsaKeyPair, RsaPublicKey, RsaSignature};
-pub use sha1::{sha1, Sha1};
+pub use sha1::{sha1, to_hex, Sha1};
 
 /// Authentication schemes evaluated in the paper (§8).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]

@@ -88,7 +88,11 @@ impl RsaPublicKey {
             return Err(CryptoError::InvalidKey("zero modulus or exponent".into()));
         }
         let modulus_bytes = n.bits().div_ceil(8);
-        Ok(RsaPublicKey { n, e, modulus_bytes })
+        Ok(RsaPublicKey {
+            n,
+            e,
+            modulus_bytes,
+        })
     }
 
     /// Verify an RSA signature over the SHA-1 digest of `message`.
@@ -134,7 +138,11 @@ impl RsaKeyPair {
             };
             let modulus_bytes = n.bits().div_ceil(8);
             return Ok(RsaKeyPair {
-                public: RsaPublicKey { n, e, modulus_bytes },
+                public: RsaPublicKey {
+                    n,
+                    e,
+                    modulus_bytes,
+                },
                 d,
             });
         }
@@ -202,7 +210,10 @@ impl RsaKeyPair {
 /// PKCS#1 v1.5-style encoding of a SHA-1 digest into `len` bytes:
 /// `0x00 0x01 0xFF…0xFF 0x00 digest`.
 fn encode_digest(digest: &[u8; DIGEST_LEN], len: usize) -> Vec<u8> {
-    assert!(len >= DIGEST_LEN + 11, "modulus too small for digest encoding");
+    assert!(
+        len >= DIGEST_LEN + 11,
+        "modulus too small for digest encoding"
+    );
     let mut out = Vec::with_capacity(len);
     out.push(0x00);
     out.push(0x01);

@@ -32,7 +32,13 @@ impl Sha1 {
     /// Create a hasher in the initial state.
     pub fn new() -> Self {
         Sha1 {
-            state: [0x6745_2301, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0],
+            state: [
+                0x6745_2301,
+                0xEFCD_AB89,
+                0x98BA_DCFE,
+                0x1032_5476,
+                0xC3D2_E1F0,
+            ],
             length: 0,
             buffer: [0u8; BLOCK_LEN],
             buffered: 0,

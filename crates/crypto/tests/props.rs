@@ -7,8 +7,8 @@
 
 use proptest::prelude::*;
 use secureblox_crypto::{
-    aes128_ctr_decrypt, aes128_ctr_encrypt, hmac_sha1, hmac_sha1_verify, sha1, BigUint,
-    RsaKeyPair, RsaSignature, Sha1,
+    aes128_ctr_decrypt, aes128_ctr_encrypt, hmac_sha1, hmac_sha1_verify, sha1, BigUint, RsaKeyPair,
+    RsaSignature, Sha1,
 };
 use std::sync::OnceLock;
 
@@ -359,5 +359,8 @@ fn rsa_keypair_roundtrips_through_bytes() {
     let msg = b"the quick brown fox";
     let sig = decoded.sign(msg);
     assert!(kp.public_key().verify(msg, &sig));
-    assert_eq!(decoded.public_key().modulus_bytes(), kp.public_key().modulus_bytes());
+    assert_eq!(
+        decoded.public_key().modulus_bytes(),
+        kp.public_key().modulus_bytes()
+    );
 }

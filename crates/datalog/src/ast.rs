@@ -133,20 +133,12 @@ impl Term {
     /// Collect the variables mentioned in this term into `out`.
     pub fn collect_vars(&self, out: &mut Vec<String>) {
         match self {
-            Term::Var(v) => {
-                if !out.contains(v) {
-                    out.push(v.clone());
-                }
-            }
+            Term::Var(v) if !out.contains(v) => out.push(v.clone()),
             Term::BinOp(l, _, r) => {
                 l.collect_vars(out);
                 r.collect_vars(out);
             }
-            Term::VarSeq(v) => {
-                if !out.contains(v) {
-                    out.push(v.clone());
-                }
-            }
+            Term::VarSeq(v) if !out.contains(v) => out.push(v.clone()),
             _ => {}
         }
     }
@@ -296,7 +288,11 @@ pub struct AggSpec {
 
 impl fmt::Display for AggSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "agg<< {} = {}({}) >>", self.result_var, self.func, self.input_var)
+        write!(
+            f,
+            "agg<< {} = {}({}) >>",
+            self.result_var, self.func, self.input_var
+        )
     }
 }
 
@@ -311,7 +307,11 @@ pub struct Rule {
 impl Rule {
     /// Construct a rule without aggregation.
     pub fn new(head: Vec<Atom>, body: Vec<Literal>) -> Self {
-        Rule { head, body, agg: None }
+        Rule {
+            head,
+            body,
+            agg: None,
+        }
     }
 
     /// Variables that appear in the head but are never bound in the body —
@@ -423,7 +423,10 @@ pub enum Statement {
 impl Statement {
     /// True if the statement is a meta-level (BloxGenerics) statement.
     pub fn is_generic(&self) -> bool {
-        matches!(self, Statement::GenericRule(_) | Statement::GenericConstraint(_))
+        matches!(
+            self,
+            Statement::GenericRule(_) | Statement::GenericConstraint(_)
+        )
     }
 }
 
@@ -436,7 +439,9 @@ pub struct Program {
 impl Program {
     /// An empty program.
     pub fn new() -> Self {
-        Program { statements: Vec::new() }
+        Program {
+            statements: Vec::new(),
+        }
     }
 
     /// Append all statements of `other`.
@@ -496,14 +501,10 @@ impl Program {
                             Literal::Cmp(..) => false,
                         })
                 }
-                Statement::Constraint(c) => c
-                    .lhs
-                    .iter()
-                    .chain(c.rhs.iter())
-                    .any(|l| match l {
-                        Literal::Pos(a) | Literal::Neg(a) => !a.pred.is_concrete(),
-                        Literal::Cmp(..) => false,
-                    }),
+                Statement::Constraint(c) => c.lhs.iter().chain(c.rhs.iter()).any(|l| match l {
+                    Literal::Pos(a) | Literal::Neg(a) => !a.pred.is_concrete(),
+                    Literal::Cmp(..) => false,
+                }),
                 _ => false,
             })
     }
@@ -542,7 +543,15 @@ mod tests {
         let rule = Rule::new(
             vec![
                 atom("pathvar", &["P"]),
-                Atom::functional("path", vec![Term::var("P"), Term::var("X"), Term::var("Y"), Term::Const(Value::Int(1))]),
+                Atom::functional(
+                    "path",
+                    vec![
+                        Term::var("P"),
+                        Term::var("X"),
+                        Term::var("Y"),
+                        Term::Const(Value::Int(1)),
+                    ],
+                ),
             ],
             vec![Literal::Pos(atom("link", &["X", "Y"]))],
         );
@@ -567,7 +576,12 @@ mod tests {
             )],
             vec![Literal::Pos(Atom::functional(
                 "path",
-                vec![Term::var("X"), Term::var("Y"), Term::Wildcard, Term::var("Cx")],
+                vec![
+                    Term::var("X"),
+                    Term::var("Y"),
+                    Term::Wildcard,
+                    Term::var("Cx"),
+                ],
             ))],
         );
         rule.agg = Some(AggSpec {
@@ -587,7 +601,10 @@ mod tests {
                 Literal::Pos(atom("reachable", &["Z", "Y"])),
             ],
         );
-        assert_eq!(rule.to_string(), "reachable(X, Y) <- link(X, Z), reachable(Z, Y).");
+        assert_eq!(
+            rule.to_string(),
+            "reachable(X, Y) <- link(X, Z), reachable(Z, Y)."
+        );
 
         let c = Constraint {
             lhs: vec![Literal::Pos(atom("says_link", &["P", "Q"]))],
@@ -606,11 +623,19 @@ mod tests {
     fn predref_display_and_kind() {
         assert_eq!(PredRef::named("link").to_string(), "link");
         assert_eq!(
-            PredRef::Parameterized { generic: "says".into(), param: "reachable".into() }.to_string(),
+            PredRef::Parameterized {
+                generic: "says".into(),
+                param: "reachable".into()
+            }
+            .to_string(),
             "says[`reachable]"
         );
         assert_eq!(
-            PredRef::ParameterizedVar { generic: "says".into(), var: "T".into() }.to_string(),
+            PredRef::ParameterizedVar {
+                generic: "says".into(),
+                var: "T".into()
+            }
+            .to_string(),
             "says[T]"
         );
         assert!(PredRef::named("x").is_concrete());
@@ -642,7 +667,10 @@ mod tests {
         let mut program = Program::new();
         program.statements.push(Statement::Rule(Rule::new(
             vec![Atom {
-                pred: PredRef::ParameterizedVar { generic: "says".into(), var: "T".into() },
+                pred: PredRef::ParameterizedVar {
+                    generic: "says".into(),
+                    var: "T".into(),
+                },
                 terms: vec![Term::var("P")],
                 functional: false,
             }],
@@ -656,7 +684,11 @@ mod tests {
         let term = Term::BinOp(
             Box::new(Term::var("C")),
             ArithOp::Add,
-            Box::new(Term::BinOp(Box::new(Term::var("C")), ArithOp::Mul, Box::new(Term::Const(Value::Int(2))))),
+            Box::new(Term::BinOp(
+                Box::new(Term::var("C")),
+                ArithOp::Mul,
+                Box::new(Term::Const(Value::Int(2))),
+            )),
         );
         let mut vars = Vec::new();
         term.collect_vars(&mut vars);

@@ -77,9 +77,15 @@ pub fn check_constraints_incremental(
             continue;
         }
         for (index, literal) in constraint.lhs.iter().enumerate() {
-            let Some(atom) = literal.as_pos() else { continue };
-            let Ok(pred) = crate::eval::runtime_pred_name(&atom.pred) else { continue };
-            let Some(pred_delta) = delta.get(&pred) else { continue };
+            let Some(atom) = literal.as_pos() else {
+                continue;
+            };
+            let Ok(pred) = crate::eval::runtime_pred_name(&atom.pred) else {
+                continue;
+            };
+            let Some(pred_delta) = delta.get(&pred) else {
+                continue;
+            };
             if pred_delta.is_empty() {
                 continue;
             }
@@ -87,7 +93,10 @@ pub fn check_constraints_incremental(
             let mut bindings = Bindings::new();
             ctx.join(
                 &constraint.lhs,
-                Some(DeltaRestriction { literal_index: index, delta: pred_delta }),
+                Some(DeltaRestriction {
+                    literal_index: index,
+                    delta: pred_delta,
+                }),
                 &mut bindings,
                 &mut |lhs_binding| {
                     if violation.is_some() {
@@ -147,7 +156,11 @@ mod tests {
     }
 
     fn constraints_of(source: &str) -> Vec<Constraint> {
-        parse_program(source).unwrap().constraints().cloned().collect()
+        parse_program(source)
+            .unwrap()
+            .constraints()
+            .cloned()
+            .collect()
     }
 
     fn s(v: &str) -> Value {

@@ -8,7 +8,11 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq)]
 pub enum DatalogError {
     /// Lexical or syntactic error with position information.
-    Parse { message: String, line: usize, column: usize },
+    Parse {
+        message: String,
+        line: usize,
+        column: usize,
+    },
     /// A static type error detected at compile time.
     Type(String),
     /// A schema inconsistency (arity mismatch, redeclaration, unknown predicate).
@@ -48,16 +52,29 @@ pub struct ConstraintViolation {
 impl fmt::Display for DatalogError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DatalogError::Parse { message, line, column } => {
+            DatalogError::Parse {
+                message,
+                line,
+                column,
+            } => {
                 write!(f, "parse error at {line}:{column}: {message}")
             }
             DatalogError::Type(msg) => write!(f, "type error: {msg}"),
             DatalogError::Schema(msg) => write!(f, "schema error: {msg}"),
             DatalogError::Stratification(msg) => write!(f, "stratification error: {msg}"),
             DatalogError::ConstraintViolation(v) => {
-                write!(f, "constraint violation: {} (witness {})", v.constraint, v.witness)
+                write!(
+                    f,
+                    "constraint violation: {} (witness {})",
+                    v.constraint, v.witness
+                )
             }
-            DatalogError::FunctionalDependency { predicate, key, existing, attempted } => write!(
+            DatalogError::FunctionalDependency {
+                predicate,
+                key,
+                existing,
+                attempted,
+            } => write!(
                 f,
                 "functional dependency violation on {predicate}: key {} maps to both {} and {}",
                 format_tuple(key),
@@ -68,7 +85,10 @@ impl fmt::Display for DatalogError {
                 write!(f, "user-defined function {function} failed: {message}")
             }
             DatalogError::FixpointBudget { iterations } => {
-                write!(f, "fixpoint evaluation did not terminate within {iterations} iterations")
+                write!(
+                    f,
+                    "fixpoint evaluation did not terminate within {iterations} iterations"
+                )
             }
             DatalogError::Generics(msg) => write!(f, "BloxGenerics error: {msg}"),
             DatalogError::Eval(msg) => write!(f, "evaluation error: {msg}"),
@@ -88,7 +108,11 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        let err = DatalogError::Parse { message: "unexpected token".into(), line: 3, column: 7 };
+        let err = DatalogError::Parse {
+            message: "unexpected token".into(),
+            line: 3,
+            column: 7,
+        };
         assert!(err.to_string().contains("3:7"));
 
         let err = DatalogError::FunctionalDependency {

@@ -22,10 +22,9 @@ pub fn evaluate_agg_rule(
     relations: &HashMap<String, Relation>,
     udfs: &UdfRegistry,
 ) -> Result<Vec<(String, Tuple)>> {
-    let agg = rule
-        .agg
-        .as_ref()
-        .ok_or_else(|| DatalogError::Eval("evaluate_agg_rule called on a non-aggregate rule".into()))?;
+    let agg = rule.agg.as_ref().ok_or_else(|| {
+        DatalogError::Eval("evaluate_agg_rule called on a non-aggregate rule".into())
+    })?;
 
     // Group-by variables: every head variable except the aggregation result.
     let mut head_vars: Vec<String> = Vec::new();
@@ -59,16 +58,16 @@ pub fn evaluate_agg_rule(
         }
         let input = match func {
             AggFunc::Count => Value::Int(1),
-            _ => b
-                .get(&input_var)
-                .cloned()
-                .ok_or_else(|| {
-                    DatalogError::Eval(format!(
-                        "aggregation input variable {input_var} is not bound by the rule body"
-                    ))
-                })?,
+            _ => b.get(&input_var).cloned().ok_or_else(|| {
+                DatalogError::Eval(format!(
+                    "aggregation input variable {input_var} is not bound by the rule body"
+                ))
+            })?,
         };
-        groups.entry(key).or_insert_with(|| AggAccumulator::new(func)).add(&input)?;
+        groups
+            .entry(key)
+            .or_insert_with(|| AggAccumulator::new(func))
+            .add(&input)?;
         Ok(())
     })?;
 
@@ -114,7 +113,12 @@ struct AggAccumulator {
 
 impl AggAccumulator {
     fn new(func: AggFunc) -> Self {
-        AggAccumulator { func, current: None, count: 0, sum: 0 }
+        AggAccumulator {
+            func,
+            current: None,
+            count: 0,
+            sum: 0,
+        }
     }
 
     fn add(&mut self, value: &Value) -> Result<()> {
@@ -218,9 +222,16 @@ mod tests {
             ("path3", vec![s("me"), s("n2"), Value::Int(2)]),
         ]);
         let udfs = UdfRegistry::new();
-        let rule = parse_rule("bestcost[Me, N] = C <- agg<< C = min(Cx) >> path3(Me, N, Cx).").unwrap();
+        let rule =
+            parse_rule("bestcost[Me, N] = C <- agg<< C = min(Cx) >> path3(Me, N, Cx).").unwrap();
         let derived = evaluate_agg_rule(&rule, &relations, &udfs).unwrap();
-        assert_eq!(derived, vec![("bestcost".to_string(), vec![s("me"), s("n2"), Value::Int(2)])]);
+        assert_eq!(
+            derived,
+            vec![(
+                "bestcost".to_string(),
+                vec![s("me"), s("n2"), Value::Int(2)]
+            )]
+        );
     }
 
     #[test]

@@ -19,7 +19,9 @@ pub struct Bindings {
 impl Bindings {
     /// An empty substitution.
     pub fn new() -> Self {
-        Bindings { map: HashMap::new() }
+        Bindings {
+            map: HashMap::new(),
+        }
     }
 
     /// Look up a variable.
@@ -100,7 +102,10 @@ pub fn eval_term(
         Term::Var(v) => Ok(bindings.get(v).cloned()),
         Term::Wildcard => Ok(None),
         Term::Const(v) => Ok(Some(v.clone())),
-        Term::SingletonRef(pred) => Ok(relations.get(pred).and_then(|r| r.singleton_value()).cloned()),
+        Term::SingletonRef(pred) => Ok(relations
+            .get(pred)
+            .and_then(|r| r.singleton_value())
+            .cloned()),
         Term::VarSeq(v) => Err(DatalogError::Eval(format!(
             "variable sequence {v}* reached the evaluator; sequences are expanded by the \
              BloxGenerics compiler"
@@ -127,9 +132,9 @@ pub fn eval_term(
                             a.checked_rem(b)
                         }
                     };
-                    value
-                        .map(|v| Some(Value::Int(v)))
-                        .ok_or_else(|| DatalogError::Eval(format!("integer overflow in {a} {op} {b}")))
+                    value.map(|v| Some(Value::Int(v))).ok_or_else(|| {
+                        DatalogError::Eval(format!("integer overflow in {a} {op} {b}"))
+                    })
                 }
                 (Some(Value::Str(a)), Some(Value::Str(b))) if *op == ArithOp::Add => {
                     Ok(Some(Value::str(format!("{a}{b}"))))
@@ -212,13 +217,28 @@ mod tests {
     fn eval_arithmetic() {
         let mut b = Bindings::new();
         b.bind("C", Value::Int(4));
-        let term = Term::BinOp(Box::new(Term::var("C")), ArithOp::Add, Box::new(Term::Const(Value::Int(1))));
-        assert_eq!(eval_term(&term, &b, &no_relations()).unwrap(), Some(Value::Int(5)));
+        let term = Term::BinOp(
+            Box::new(Term::var("C")),
+            ArithOp::Add,
+            Box::new(Term::Const(Value::Int(1))),
+        );
+        assert_eq!(
+            eval_term(&term, &b, &no_relations()).unwrap(),
+            Some(Value::Int(5))
+        );
         // Unbound operand → not ground.
-        let term = Term::BinOp(Box::new(Term::var("Z")), ArithOp::Mul, Box::new(Term::Const(Value::Int(2))));
+        let term = Term::BinOp(
+            Box::new(Term::var("Z")),
+            ArithOp::Mul,
+            Box::new(Term::Const(Value::Int(2))),
+        );
         assert_eq!(eval_term(&term, &b, &no_relations()).unwrap(), None);
         // Division by zero is an error.
-        let term = Term::BinOp(Box::new(Term::Const(Value::Int(1))), ArithOp::Div, Box::new(Term::Const(Value::Int(0))));
+        let term = Term::BinOp(
+            Box::new(Term::Const(Value::Int(1))),
+            ArithOp::Div,
+            Box::new(Term::Const(Value::Int(0))),
+        );
         assert!(eval_term(&term, &b, &no_relations()).is_err());
         // String concatenation with `+`.
         let term = Term::BinOp(
@@ -226,7 +246,10 @@ mod tests {
             ArithOp::Add,
             Box::new(Term::Const(Value::str("path"))),
         );
-        assert_eq!(eval_term(&term, &b, &no_relations()).unwrap(), Some(Value::str("says$path")));
+        assert_eq!(
+            eval_term(&term, &b, &no_relations()).unwrap(),
+            Some(Value::str("says$path"))
+        );
     }
 
     #[test]
@@ -235,10 +258,20 @@ mod tests {
         let mut rel = Relation::new("self", Some(0));
         rel.insert(vec![Value::str("n1")]).unwrap();
         relations.insert("self".to_string(), rel);
-        let value = eval_term(&Term::SingletonRef("self".into()), &Bindings::new(), &relations).unwrap();
+        let value = eval_term(
+            &Term::SingletonRef("self".into()),
+            &Bindings::new(),
+            &relations,
+        )
+        .unwrap();
         assert_eq!(value, Some(Value::str("n1")));
         // Unset singleton is simply not ground.
-        let value = eval_term(&Term::SingletonRef("missing".into()), &Bindings::new(), &relations).unwrap();
+        let value = eval_term(
+            &Term::SingletonRef("missing".into()),
+            &Bindings::new(),
+            &relations,
+        )
+        .unwrap();
         assert_eq!(value, None);
     }
 
@@ -253,16 +286,27 @@ mod tests {
         let mut b = Bindings::new();
         let terms = vec![Term::var("X"), Term::var("Y"), Term::var("X")];
         // Matching tuple: X=1, Y=2, X=1 again.
-        let bound = match_tuple(&terms, &[Value::Int(1), Value::Int(2), Value::Int(1)], &mut b, &relations)
-            .unwrap()
-            .unwrap();
+        let bound = match_tuple(
+            &terms,
+            &[Value::Int(1), Value::Int(2), Value::Int(1)],
+            &mut b,
+            &relations,
+        )
+        .unwrap()
+        .unwrap();
         assert_eq!(bound.len(), 2);
         assert_eq!(b.get("Y"), Some(&Value::Int(2)));
         for var in &bound {
             b.unbind(var);
         }
         // Mismatching tuple: X cannot be both 1 and 3; bindings must be restored.
-        let result = match_tuple(&terms, &[Value::Int(1), Value::Int(2), Value::Int(3)], &mut b, &relations).unwrap();
+        let result = match_tuple(
+            &terms,
+            &[Value::Int(1), Value::Int(2), Value::Int(3)],
+            &mut b,
+            &relations,
+        )
+        .unwrap();
         assert!(result.is_none());
         assert!(b.is_empty());
     }
@@ -272,14 +316,26 @@ mod tests {
         let relations = no_relations();
         let mut b = Bindings::new();
         let terms = vec![Term::Const(Value::str("n1")), Term::Wildcard];
-        assert!(match_tuple(&terms, &[Value::str("n1"), Value::Int(9)], &mut b, &relations)
-            .unwrap()
-            .is_some());
-        assert!(match_tuple(&terms, &[Value::str("n2"), Value::Int(9)], &mut b, &relations)
+        assert!(match_tuple(
+            &terms,
+            &[Value::str("n1"), Value::Int(9)],
+            &mut b,
+            &relations
+        )
+        .unwrap()
+        .is_some());
+        assert!(match_tuple(
+            &terms,
+            &[Value::str("n2"), Value::Int(9)],
+            &mut b,
+            &relations
+        )
+        .unwrap()
+        .is_none());
+        // Arity mismatch never matches.
+        assert!(match_tuple(&terms, &[Value::str("n1")], &mut b, &relations)
             .unwrap()
             .is_none());
-        // Arity mismatch never matches.
-        assert!(match_tuple(&terms, &[Value::str("n1")], &mut b, &relations).unwrap().is_none());
     }
 
     #[test]

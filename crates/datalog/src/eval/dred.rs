@@ -51,7 +51,10 @@ impl<'a> Evaluator<'a> {
             if let Some(relation) = self.relations.get_mut(pred) {
                 if relation.remove(tuple) {
                     stats.base_deleted += 1;
-                    deleted.entry(pred.clone()).or_default().insert(tuple.clone());
+                    deleted
+                        .entry(pred.clone())
+                        .or_default()
+                        .insert(tuple.clone());
                 }
             }
         }
@@ -67,9 +70,13 @@ impl<'a> Evaluator<'a> {
             let mut next_frontier: HashMap<String, HashSet<Tuple>> = HashMap::new();
             for (rule_index, rule) in rules.iter().enumerate() {
                 for (literal_index, literal) in rule.body.iter().enumerate() {
-                    let Literal::Pos(atom) = literal else { continue };
+                    let Literal::Pos(atom) = literal else {
+                        continue;
+                    };
                     let pred = runtime_pred_name(&atom.pred)?;
-                    let Some(pred_deleted) = frontier.get(&pred) else { continue };
+                    let Some(pred_deleted) = frontier.get(&pred) else {
+                        continue;
+                    };
                     if pred_deleted.is_empty() {
                         continue;
                     }
@@ -80,7 +87,10 @@ impl<'a> Evaluator<'a> {
                     let mut bindings = super::bindings::Bindings::new();
                     ctx.join(
                         &rule.body,
-                        Some(DeltaRestriction { literal_index, delta: pred_deleted }),
+                        Some(DeltaRestriction {
+                            literal_index,
+                            delta: pred_deleted,
+                        }),
                         &mut bindings,
                         &mut |b| {
                             solutions.push(b.clone());
@@ -104,19 +114,29 @@ impl<'a> Evaluator<'a> {
                     };
                     for (head_pred, tuple) in derived {
                         // Explicitly asserted facts survive over-deletion.
-                        if edb_facts.get(&head_pred).map_or(false, |set| set.contains(&tuple)) {
+                        if edb_facts
+                            .get(&head_pred)
+                            .is_some_and(|set| set.contains(&tuple))
+                        {
                             continue;
                         }
-                        let already =
-                            deleted.get(&head_pred).map_or(false, |set| set.contains(&tuple));
+                        let already = deleted
+                            .get(&head_pred)
+                            .is_some_and(|set| set.contains(&tuple));
                         if already {
                             continue;
                         }
                         if let Some(relation) = self.relations.get_mut(&head_pred) {
                             if relation.remove(&tuple) {
                                 stats.over_deleted += 1;
-                                deleted.entry(head_pred.clone()).or_default().insert(tuple.clone());
-                                next_frontier.entry(head_pred.clone()).or_default().insert(tuple);
+                                deleted
+                                    .entry(head_pred.clone())
+                                    .or_default()
+                                    .insert(tuple.clone());
+                                next_frontier
+                                    .entry(head_pred.clone())
+                                    .or_default()
+                                    .insert(tuple);
                             }
                         }
                     }
@@ -190,7 +210,9 @@ mod tests {
                     .or_insert_with(|| Relation::new(*pred, None))
                     .insert(tuple.clone())
                     .unwrap();
-                edb.entry(pred.to_string()).or_default().insert(tuple.clone());
+                edb.entry(pred.to_string())
+                    .or_default()
+                    .insert(tuple.clone());
             }
             let mut fixture = Fixture {
                 rules,
@@ -232,12 +254,19 @@ mod tests {
             // Keep the EDB bookkeeping in sync.
             self.edb.get_mut(pred).map(|set| set.remove(&tuple));
             evaluator
-                .delete_with_dred(&self.rules, &self.strata, &[(pred.to_string(), tuple)], &self.edb)
+                .delete_with_dred(
+                    &self.rules,
+                    &self.strata,
+                    &[(pred.to_string(), tuple)],
+                    &self.edb,
+                )
                 .unwrap()
         }
 
         fn contains(&self, pred: &str, tuple: &[Value]) -> bool {
-            self.relations.get(pred).map_or(false, |r| r.contains(tuple))
+            self.relations
+                .get(pred)
+                .map_or(false, |r| r.contains(tuple))
         }
     }
 
@@ -258,7 +287,10 @@ mod tests {
         assert!(fixture.contains("reachable", &[s("a"), s("c")]));
         let stats = fixture.delete("link", vec![s("b"), s("c")]);
         assert_eq!(stats.base_deleted, 1);
-        assert!(stats.over_deleted >= 2, "a->c and b->c must be over-deleted");
+        assert!(
+            stats.over_deleted >= 2,
+            "a->c and b->c must be over-deleted"
+        );
         assert!(!fixture.contains("reachable", &[s("a"), s("c")]));
         assert!(!fixture.contains("reachable", &[s("b"), s("c")]));
         assert!(fixture.contains("reachable", &[s("a"), s("b")]));
@@ -279,7 +311,10 @@ mod tests {
         );
         assert!(fixture.contains("reachable", &[s("a"), s("c")]));
         let stats = fixture.delete("link", vec![s("b"), s("c")]);
-        assert!(fixture.contains("reachable", &[s("a"), s("c")]), "alternative path via d survives");
+        assert!(
+            fixture.contains("reachable", &[s("a"), s("c")]),
+            "alternative path via d survives"
+        );
         assert!(!fixture.contains("reachable", &[s("b"), s("c")]));
         assert!(stats.rederived >= 1);
     }
@@ -289,14 +324,14 @@ mod tests {
         // c is both derived and explicitly asserted.
         let mut fixture = Fixture::new(
             "c(X) <- a(X).\n",
-            &[
-                ("a", vec![s("v")]),
-                ("c", vec![s("v")]),
-            ],
+            &[("a", vec![s("v")]), ("c", vec![s("v")])],
         );
         let stats = fixture.delete("a", vec![s("v")]);
         assert_eq!(stats.base_deleted, 1);
-        assert!(fixture.contains("c", &[s("v")]), "explicit fact must survive");
+        assert!(
+            fixture.contains("c", &[s("v")]),
+            "explicit fact must survive"
+        );
     }
 
     #[test]
@@ -313,10 +348,17 @@ mod tests {
     #[test]
     fn incremental_matches_recompute_from_scratch() {
         let edges = [
-            ("a", "b"), ("b", "c"), ("c", "d"), ("a", "d"), ("d", "e"), ("b", "e"),
+            ("a", "b"),
+            ("b", "c"),
+            ("c", "d"),
+            ("a", "d"),
+            ("d", "e"),
+            ("b", "e"),
         ];
-        let facts: Vec<(&str, Vec<Value>)> =
-            edges.iter().map(|(x, y)| ("link", vec![s(x), s(y)])).collect();
+        let facts: Vec<(&str, Vec<Value>)> = edges
+            .iter()
+            .map(|(x, y)| ("link", vec![s(x), s(y)]))
+            .collect();
         let mut incremental = Fixture::new(
             "reachable(X, Y) <- link(X, Y).\n\
              reachable(X, Y) <- link(X, Z), reachable(Z, Y).",

@@ -76,7 +76,9 @@ impl<'a> JoinContext<'a> {
             return callback(bindings);
         }
         match &literals[index] {
-            Literal::Pos(atom) => self.join_positive(literals, index, atom, delta, bindings, callback),
+            Literal::Pos(atom) => {
+                self.join_positive(literals, index, atom, delta, bindings, callback)
+            }
             Literal::Neg(atom) => {
                 if self.negation_holds(atom, bindings)? {
                     self.join_from(literals, index + 1, delta, bindings, callback)
@@ -84,7 +86,9 @@ impl<'a> JoinContext<'a> {
                     Ok(())
                 }
             }
-            Literal::Cmp(lhs, op, rhs) => self.join_comparison(literals, index, lhs, *op, rhs, delta, bindings, callback),
+            Literal::Cmp(lhs, op, rhs) => {
+                self.join_comparison(literals, index, lhs, *op, rhs, delta, bindings, callback)
+            }
         }
     }
 
@@ -128,9 +132,13 @@ impl<'a> JoinContext<'a> {
             let rows = self
                 .udfs
                 .call(&name, &pattern)
-                .map_err(|message| DatalogError::Udf { function: name.clone(), message })?;
+                .map_err(|message| DatalogError::Udf {
+                    function: name.clone(),
+                    message,
+                })?;
             for row in rows {
-                if let Some(newly_bound) = match_tuple(&atom.terms, &row, bindings, self.relations)? {
+                if let Some(newly_bound) = match_tuple(&atom.terms, &row, bindings, self.relations)?
+                {
                     let result = self.join_from(literals, index + 1, delta, bindings, callback);
                     for var in &newly_bound {
                         bindings.unbind(var);
@@ -142,11 +150,13 @@ impl<'a> JoinContext<'a> {
         }
 
         // Stored relation (possibly restricted to the delta set).
-        let use_delta = delta.map_or(false, |d| d.literal_index == index);
+        let use_delta = delta.is_some_and(|d| d.literal_index == index);
         if use_delta {
             let delta_tuples = delta.expect("delta restriction checked above").delta;
             for tuple in delta_tuples {
-                if let Some(newly_bound) = match_tuple(&atom.terms, tuple, bindings, self.relations)? {
+                if let Some(newly_bound) =
+                    match_tuple(&atom.terms, tuple, bindings, self.relations)?
+                {
                     let result = self.join_from(literals, index + 1, delta, bindings, callback);
                     for var in &newly_bound {
                         bindings.unbind(var);
@@ -193,8 +203,11 @@ impl<'a> JoinContext<'a> {
                     if let Some(value) = relation.functional_lookup(&key) {
                         let mut tuple = key;
                         tuple.push(value.clone());
-                        if let Some(newly_bound) = match_tuple(&atom.terms, &tuple, bindings, self.relations)? {
-                            let result = self.join_from(literals, index + 1, delta, bindings, callback);
+                        if let Some(newly_bound) =
+                            match_tuple(&atom.terms, &tuple, bindings, self.relations)?
+                        {
+                            let result =
+                                self.join_from(literals, index + 1, delta, bindings, callback);
                             for var in &newly_bound {
                                 bindings.unbind(var);
                             }
@@ -330,7 +343,11 @@ mod tests {
         let mut results = Vec::new();
         let mut bindings = Bindings::new();
         ctx.join(&rule.body, None, &mut bindings, &mut |b| {
-            results.push(vars.iter().map(|v| b.get(v).cloned().unwrap_or(Value::Bool(false))).collect());
+            results.push(
+                vars.iter()
+                    .map(|v| b.get(v).cloned().unwrap_or(Value::Bool(false)))
+                    .collect(),
+            );
             Ok(())
         })
         .unwrap();
@@ -362,7 +379,8 @@ mod tests {
     fn negation_checks_absence() {
         let relations = relations_with_edges(&[("n1", "n2"), ("n2", "n3")]);
         let udfs = UdfRegistry::new();
-        let solutions = collect_solutions(&relations, &udfs, "link(X, Y), !link(Y, _)", &["X", "Y"]);
+        let solutions =
+            collect_solutions(&relations, &udfs, "link(X, Y), !link(Y, _)", &["X", "Y"]);
         // Only n2 -> n3 has no outgoing link from its target.
         assert_eq!(solutions, vec![vec![Value::str("n2"), Value::str("n3")]]);
     }
@@ -376,7 +394,8 @@ mod tests {
             let len = s.as_str().map(|s| s.len() as i64).ok_or("not a string")?;
             Ok(vec![vec![s, Value::Int(len)]])
         });
-        let solutions = collect_solutions(&relations, &udfs, "link(X, _), length(X, N)", &["X", "N"]);
+        let solutions =
+            collect_solutions(&relations, &udfs, "link(X, _), length(X, N)", &["X", "N"]);
         assert_eq!(solutions, vec![vec![Value::str("n1"), Value::Int(2)]]);
     }
 
@@ -396,7 +415,8 @@ mod tests {
     fn functional_lookup_fast_path() {
         let mut relations = HashMap::new();
         let mut rel = Relation::new("bestcost", Some(2));
-        rel.insert(vec![Value::str("a"), Value::str("b"), Value::Int(4)]).unwrap();
+        rel.insert(vec![Value::str("a"), Value::str("b"), Value::Int(4)])
+            .unwrap();
         relations.insert("bestcost".to_string(), rel);
         let udfs = UdfRegistry::new();
         let rule = parse_rule("out(C) <- bestcost[X, Y] = C, X = a, Y = b.").unwrap();
@@ -428,12 +448,17 @@ mod tests {
         let udfs = UdfRegistry::new();
         let rule = parse_rule("out(X, Y) <- link(X, Y).").unwrap();
         let ctx = JoinContext::new(&relations, &udfs);
-        let delta: HashSet<Tuple> = [vec![Value::str("n2"), Value::str("n3")]].into_iter().collect();
+        let delta: HashSet<Tuple> = [vec![Value::str("n2"), Value::str("n3")]]
+            .into_iter()
+            .collect();
         let mut results = Vec::new();
         let mut bindings = Bindings::new();
         ctx.join(
             &rule.body,
-            Some(DeltaRestriction { literal_index: 0, delta: &delta }),
+            Some(DeltaRestriction {
+                literal_index: 0,
+                delta: &delta,
+            }),
             &mut bindings,
             &mut |b| {
                 results.push(b.get("X").cloned().unwrap());

@@ -23,7 +23,9 @@ pub struct EvalConfig {
 
 impl Default for EvalConfig {
     fn default() -> Self {
-        EvalConfig { max_iterations: 10_000 }
+        EvalConfig {
+            max_iterations: 10_000,
+        }
     }
 }
 

@@ -74,8 +74,10 @@ impl<'a> Evaluator<'a> {
             }
         }
 
-        let (agg_rules, normal_rules): (Vec<usize>, Vec<usize>) =
-            stratum.iter().copied().partition(|&i| rules[i].agg.is_some());
+        let (agg_rules, normal_rules): (Vec<usize>, Vec<usize>) = stratum
+            .iter()
+            .copied()
+            .partition(|&i| rules[i].agg.is_some());
 
         // Initial (naïve) round over the full relations.
         let mut delta: HashMap<String, HashSet<Tuple>> = HashMap::new();
@@ -92,18 +94,24 @@ impl<'a> Evaluator<'a> {
         // Semi-naïve iterations.
         while delta.values().any(|d| !d.is_empty()) {
             if stats.iterations > self.config.max_iterations {
-                return Err(DatalogError::FixpointBudget { iterations: self.config.max_iterations });
+                return Err(DatalogError::FixpointBudget {
+                    iterations: self.config.max_iterations,
+                });
             }
             let mut next_delta: HashMap<String, HashSet<Tuple>> = HashMap::new();
             for &rule_index in &normal_rules {
                 let rule = &rules[rule_index];
                 for (literal_index, literal) in rule.body.iter().enumerate() {
-                    let Literal::Pos(atom) = literal else { continue };
+                    let Literal::Pos(atom) = literal else {
+                        continue;
+                    };
                     let pred = runtime_pred_name(&atom.pred)?;
                     if !idb_preds.contains(&pred) {
                         continue;
                     }
-                    let Some(pred_delta) = delta.get(&pred) else { continue };
+                    let Some(pred_delta) = delta.get(&pred) else {
+                        continue;
+                    };
                     if pred_delta.is_empty() {
                         continue;
                     }
@@ -147,9 +155,10 @@ impl<'a> Evaluator<'a> {
         let ctx = JoinContext::new(self.relations, self.udfs);
         let mut solutions: Vec<Bindings> = Vec::new();
         let mut bindings = Bindings::new();
-        let restriction = delta
-            .as_ref()
-            .map(|(index, tuples)| DeltaRestriction { literal_index: *index, delta: tuples });
+        let restriction = delta.as_ref().map(|(index, tuples)| DeltaRestriction {
+            literal_index: *index,
+            delta: tuples,
+        });
         ctx.join(&rule.body, restriction, &mut bindings, &mut |b| {
             solutions.push(b.clone());
             Ok(())
@@ -185,12 +194,12 @@ impl<'a> Evaluator<'a> {
                     };
                     match value {
                         Some(v) => tuple.push(v),
-                        None =>
-
+                        None => {
                             return Err(DatalogError::Eval(format!(
                                 "unsafe rule: head term {term} of {pred} is not bound by the body \
                                  in rule `{rule}`"
-                            ))),
+                            )))
+                        }
                     }
                 }
                 derived.push((pred, tuple));
@@ -200,7 +209,11 @@ impl<'a> Evaluator<'a> {
     }
 
     /// Recompute an aggregation rule from the full body relations.
-    fn recompute_aggregate(&mut self, rules: &[Rule], rule_index: usize) -> Result<Vec<(String, Tuple)>> {
+    fn recompute_aggregate(
+        &mut self,
+        rules: &[Rule],
+        rule_index: usize,
+    ) -> Result<Vec<(String, Tuple)>> {
         evaluate_agg_rule(&rules[rule_index], self.relations, self.udfs)
     }
 
@@ -251,7 +264,9 @@ impl<'a> Evaluator<'a> {
             self.relations
                 .insert(pred.to_string(), Relation::new(pred, key_arity));
         }
-        self.relations.get_mut(pred).expect("relation just inserted")
+        self.relations
+            .get_mut(pred)
+            .expect("relation just inserted")
     }
 }
 
@@ -318,7 +333,10 @@ mod tests {
         }
 
         fn tuples(&self, pred: &str) -> Vec<Tuple> {
-            self.relations.get(pred).map(|r| r.sorted()).unwrap_or_default()
+            self.relations
+                .get(pred)
+                .map(|r| r.sorted())
+                .unwrap_or_default()
         }
     }
 
@@ -355,7 +373,10 @@ mod tests {
              node(X) <- link(X, _).\n\
              node(Y) <- link(_, Y).\n\
              unreachable(X, Y) <- node(X), node(Y), !reachable(X, Y).",
-            &[("link", vec![s("a"), s("b")]), ("link", vec![s("c"), s("c")])],
+            &[
+                ("link", vec![s("a"), s("b")]),
+                ("link", vec![s("c"), s("c")]),
+            ],
         );
         fixture.run();
         let unreachable = fixture.tuples("unreachable");
@@ -388,7 +409,10 @@ mod tests {
         let mut fixture = Fixture::new(
             "pathvar(P) -> .\n\
              pathvar(P), path(P, X, Y) <- link(X, Y).",
-            &[("link", vec![s("a"), s("b")]), ("link", vec![s("b"), s("c")])],
+            &[
+                ("link", vec![s("a"), s("b")]),
+                ("link", vec![s("b"), s("c")]),
+            ],
         );
         fixture.run();
         let paths = fixture.tuples("path");
@@ -420,7 +444,10 @@ mod tests {
 
     #[test]
     fn unsafe_rule_rejected() {
-        let mut fixture = Fixture::new("out(X, Y) <- link(X, _).", &[("link", vec![s("a"), s("b")])]);
+        let mut fixture = Fixture::new(
+            "out(X, Y) <- link(X, _).",
+            &[("link", vec![s("a"), s("b")])],
+        );
         let config = EvalConfig::default();
         let mut evaluator = Evaluator {
             relations: &mut fixture.relations,

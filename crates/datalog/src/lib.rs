@@ -40,6 +40,7 @@
 //! ```
 
 pub mod ast;
+pub mod codec;
 pub mod constraint;
 pub mod error;
 pub mod eval;
@@ -53,6 +54,7 @@ pub mod value;
 pub mod workspace;
 
 pub use ast::{Atom, Constraint, Literal, PredRef, Program, Rule, Statement, Term};
+pub use codec::{deserialize_tuple, serialize_tuple};
 pub use error::{DatalogError, Result};
 pub use eval::EvalConfig;
 pub use parser::{parse_program, parse_rule};

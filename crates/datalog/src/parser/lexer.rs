@@ -132,11 +132,19 @@ pub fn tokenize(source: &str) -> Result<Vec<SpannedToken>> {
     let mut line = 1usize;
     let mut column = 1usize;
 
-    let err = |message: String, line: usize, column: usize| DatalogError::Parse { message, line, column };
+    let err = |message: String, line: usize, column: usize| DatalogError::Parse {
+        message,
+        line,
+        column,
+    };
 
     macro_rules! push {
         ($tok:expr, $len:expr) => {{
-            tokens.push(SpannedToken { token: $tok, line, column });
+            tokens.push(SpannedToken {
+                token: $tok,
+                line,
+                column,
+            });
             i += $len;
             column += $len;
         }};
@@ -225,7 +233,9 @@ pub fn tokenize(source: &str) -> Result<Vec<SpannedToken>> {
                 _ => push!(Token::Gt, 1),
             },
             '-' => match next {
-                Some('-') if chars.get(i + 2) == Some(&'>') => push!(Token::GenericConstraintArrow, 3),
+                Some('-') if chars.get(i + 2) == Some(&'>') => {
+                    push!(Token::GenericConstraintArrow, 3)
+                }
                 Some('>') => push!(Token::ConstraintArrow, 2),
                 Some(d) if d.is_ascii_digit() => {
                     // Negative integer literal.
@@ -235,9 +245,13 @@ pub fn tokenize(source: &str) -> Result<Vec<SpannedToken>> {
                         end += 1;
                     }
                     let text: String = chars[start..end].iter().collect();
-                    let value: i64 = text
-                        .parse()
-                        .map_err(|_| err(format!("integer literal -{text} out of range"), line, column))?;
+                    let value: i64 = text.parse().map_err(|_| {
+                        err(
+                            format!("integer literal -{text} out of range"),
+                            line,
+                            column,
+                        )
+                    })?;
                     let len = end - i;
                     push!(Token::Int(-value), len);
                 }
@@ -249,7 +263,9 @@ pub fn tokenize(source: &str) -> Result<Vec<SpannedToken>> {
                 let mut consumed_newlines = 0usize;
                 loop {
                     match chars.get(j) {
-                        None => return Err(err("unterminated string literal".into(), line, column)),
+                        None => {
+                            return Err(err("unterminated string literal".into(), line, column))
+                        }
                         Some('"') => break,
                         Some('\\') => {
                             match chars.get(j + 1) {
@@ -258,7 +274,9 @@ pub fn tokenize(source: &str) -> Result<Vec<SpannedToken>> {
                                 Some('"') => text.push('"'),
                                 Some('\\') => text.push('\\'),
                                 Some(other) => text.push(*other),
-                                None => return Err(err("unterminated escape".into(), line, column)),
+                                None => {
+                                    return Err(err("unterminated escape".into(), line, column))
+                                }
                             }
                             j += 2;
                             continue;
@@ -275,7 +293,11 @@ pub fn tokenize(source: &str) -> Result<Vec<SpannedToken>> {
                     }
                 }
                 let len = j + 1 - i;
-                tokens.push(SpannedToken { token: Token::Str(text), line, column });
+                tokens.push(SpannedToken {
+                    token: Token::Str(text),
+                    line,
+                    column,
+                });
                 i = j + 1;
                 if consumed_newlines > 0 {
                     line += consumed_newlines;
@@ -287,7 +309,8 @@ pub fn tokenize(source: &str) -> Result<Vec<SpannedToken>> {
             '_' => {
                 // `_` alone is a wildcard; `_foo` is an identifier.
                 let mut end = i + 1;
-                while end < chars.len() && (chars[end].is_ascii_alphanumeric() || chars[end] == '_') {
+                while end < chars.len() && (chars[end].is_ascii_alphanumeric() || chars[end] == '_')
+                {
                     end += 1;
                 }
                 if end == i + 1 {
@@ -304,16 +327,18 @@ pub fn tokenize(source: &str) -> Result<Vec<SpannedToken>> {
                     end += 1;
                 }
                 let text: String = chars[i..end].iter().collect();
-                let value: i64 = text
-                    .parse()
-                    .map_err(|_| err(format!("integer literal {text} out of range"), line, column))?;
+                let value: i64 = text.parse().map_err(|_| {
+                    err(format!("integer literal {text} out of range"), line, column)
+                })?;
                 let len = end - i;
                 push!(Token::Int(value), len);
             }
             c if c.is_ascii_alphabetic() => {
                 let mut end = i;
                 while end < chars.len()
-                    && (chars[end].is_ascii_alphanumeric() || chars[end] == '_' || chars[end] == '$')
+                    && (chars[end].is_ascii_alphanumeric()
+                        || chars[end] == '_'
+                        || chars[end] == '$')
                 {
                     end += 1;
                 }
@@ -338,7 +363,11 @@ mod tests {
     use super::*;
 
     fn toks(source: &str) -> Vec<Token> {
-        tokenize(source).unwrap().into_iter().map(|t| t.token).collect()
+        tokenize(source)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.token)
+            .collect()
     }
 
     #[test]

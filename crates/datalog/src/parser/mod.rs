@@ -67,12 +67,16 @@ mod tests {
         let rule = program.rules().nth(1).unwrap();
         assert_eq!(rule.head.len(), 1);
         assert_eq!(rule.body.len(), 2);
-        assert_eq!(rule.to_string(), "reachable(X, Y) <- link(X, Z), reachable(Z, Y).");
+        assert_eq!(
+            rule.to_string(),
+            "reachable(X, Y) <- link(X, Z), reachable(Z, Y)."
+        );
     }
 
     #[test]
     fn parses_facts_with_symbols_strings_and_ints() {
-        let program = parse_program(r#"link(n1, n2). creditscore("CA", 720). flag(true)."#).unwrap();
+        let program =
+            parse_program(r#"link(n1, n2). creditscore("CA", 720). flag(true)."#).unwrap();
         let facts: Vec<_> = program.facts().collect();
         assert_eq!(facts.len(), 3);
         assert_eq!(facts[0].atom.terms[0], Term::Const(Value::str("n1")));
@@ -99,10 +103,8 @@ mod tests {
 
     #[test]
     fn parses_functional_atoms_and_singletons() {
-        let rule = parse_rule(
-            "bestcost[Me, N] = C <- agg<< C = min(Cx) >> path[P, Me, N] = Cx.",
-        )
-        .unwrap();
+        let rule =
+            parse_rule("bestcost[Me, N] = C <- agg<< C = min(Cx) >> path[P, Me, N] = Cx.").unwrap();
         assert!(rule.head[0].functional);
         assert_eq!(rule.head[0].terms.len(), 3);
         let agg = rule.agg.as_ref().unwrap();
@@ -118,27 +120,27 @@ mod tests {
 
     #[test]
     fn parses_self_singleton_as_term() {
-        let rule = parse_rule("says(Z, X) <- link(X, Z), says_reachable(Z, self[], Z, Y).").unwrap();
+        let rule =
+            parse_rule("says(Z, X) <- link(X, Z), says_reachable(Z, self[], Z, Y).").unwrap();
         let atom = rule.body[1].as_pos().unwrap();
         assert_eq!(atom.terms[1], Term::SingletonRef("self".into()));
     }
 
     #[test]
     fn parses_parameterized_predicates() {
-        let rule = parse_rule(
-            "reachable(X, Y) <- link(X, Z), says[`reachable](Z, self[], Z, Y).",
-        )
-        .unwrap();
+        let rule = parse_rule("reachable(X, Y) <- link(X, Z), says[`reachable](Z, self[], Z, Y).")
+            .unwrap();
         let atom = rule.body[1].as_pos().unwrap();
         assert_eq!(
             atom.pred,
-            PredRef::Parameterized { generic: "says".into(), param: "reachable".into() }
+            PredRef::Parameterized {
+                generic: "says".into(),
+                param: "reachable".into()
+            }
         );
         // ASCII apostrophe works the same way.
-        let rule2 = parse_rule(
-            "reachable(X, Y) <- link(X, Z), says['reachable](Z, self[], Z, Y).",
-        )
-        .unwrap();
+        let rule2 = parse_rule("reachable(X, Y) <- link(X, Z), says['reachable](Z, self[], Z, Y).")
+            .unwrap();
         assert_eq!(rule.body[1], rule2.body[1]);
     }
 
@@ -190,7 +192,10 @@ mod tests {
                 let types_atom = c.rhs[2].as_pos().unwrap();
                 assert_eq!(
                     types_atom.pred,
-                    PredRef::ParameterizedVar { generic: "types".into(), var: "T".into() }
+                    PredRef::ParameterizedVar {
+                        generic: "types".into(),
+                        var: "T".into()
+                    }
                 );
             }
             other => panic!("expected constraint, got {other:?}"),
@@ -240,12 +245,16 @@ mod tests {
 
     #[test]
     fn parses_quoted_predicate_constant_argument() {
-        let program = parse_program("exportable(`path). trustworthyPerPred[`creditscore](\"CA\").").unwrap();
+        let program =
+            parse_program("exportable(`path). trustworthyPerPred[`creditscore](\"CA\").").unwrap();
         let facts: Vec<_> = program.facts().collect();
         assert_eq!(facts[0].atom.terms[0], Term::Const(Value::pred("path")));
         assert_eq!(
             facts[1].atom.pred,
-            PredRef::Parameterized { generic: "trustworthyPerPred".into(), param: "creditscore".into() }
+            PredRef::Parameterized {
+                generic: "trustworthyPerPred".into(),
+                param: "creditscore".into()
+            }
         );
     }
 
@@ -264,10 +273,9 @@ mod tests {
 
     #[test]
     fn multi_head_rule() {
-        let rule = parse_rule(
-            "pathvar(P), path[P, Me, N] = 1, pathlink[P, Me] = N <- link(Me, N).",
-        )
-        .unwrap();
+        let rule =
+            parse_rule("pathvar(P), path[P, Me, N] = 1, pathlink[P, Me] = N <- link(Me, N).")
+                .unwrap();
         assert_eq!(rule.head.len(), 3);
         assert_eq!(rule.head_existentials(), vec!["P".to_string()]);
     }

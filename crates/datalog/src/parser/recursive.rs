@@ -81,7 +81,11 @@ impl Parser {
 
     fn error(&self, message: impl Into<String>) -> DatalogError {
         let (line, column) = self.position();
-        DatalogError::Parse { message: message.into(), line, column }
+        DatalogError::Parse {
+            message: message.into(),
+            line,
+            column,
+        }
     }
 
     fn expect(&mut self, expected: &Token) -> Result<()> {
@@ -150,7 +154,11 @@ impl Parser {
                         HeadItem::Template(t) => templates.push(t),
                     }
                 }
-                Statement::GenericRule(GenericRule { head: head_atoms, templates, body })
+                Statement::GenericRule(GenericRule {
+                    head: head_atoms,
+                    templates,
+                    body,
+                })
             }
             Arrow::GenericConstraint => {
                 let rhs = self.parse_literals_until_dot()?;
@@ -177,7 +185,11 @@ impl Parser {
     }
 
     fn heads_to_literals(&self, heads: Vec<HeadItem>) -> Result<Vec<Literal>> {
-        Ok(self.heads_to_atoms(heads)?.into_iter().map(Literal::Pos).collect())
+        Ok(self
+            .heads_to_atoms(heads)?
+            .into_iter()
+            .map(Literal::Pos)
+            .collect())
     }
 
     fn parse_arrow(&mut self) -> Arrow {
@@ -262,7 +274,9 @@ impl Parser {
                         }
                     },
                     other => {
-                        return Err(self.error(format!("expected aggregation function, found {other:?}")))
+                        return Err(
+                            self.error(format!("expected aggregation function, found {other:?}"))
+                        )
                     }
                 };
                 self.expect(&Token::LParen)?;
@@ -276,7 +290,11 @@ impl Parser {
                 };
                 self.expect(&Token::RParen)?;
                 self.expect(&Token::GtGt)?;
-                return Ok(Some(AggSpec { result_var, func, input_var }));
+                return Ok(Some(AggSpec {
+                    result_var,
+                    func,
+                    input_var,
+                }));
             }
         }
         Ok(None)
@@ -376,12 +394,14 @@ impl Parser {
                     self.pos += 1;
                     let terms = self.parse_terms_until_rparen()?;
                     let pred = match bracket_items.as_slice() {
-                        [BracketItem::QuotedPred(p)] => {
-                            PredRef::Parameterized { generic: name, param: p.clone() }
-                        }
-                        [BracketItem::Term(Term::Var(v))] => {
-                            PredRef::ParameterizedVar { generic: name, var: v.clone() }
-                        }
+                        [BracketItem::QuotedPred(p)] => PredRef::Parameterized {
+                            generic: name,
+                            param: p.clone(),
+                        },
+                        [BracketItem::Term(Term::Var(v))] => PredRef::ParameterizedVar {
+                            generic: name,
+                            var: v.clone(),
+                        },
                         [BracketItem::Term(Term::Const(Value::Int(_)))] => {
                             // `int[32]`, `int[64]`, … — width annotations on the
                             // built-in integer type collapse to `int`.
@@ -394,7 +414,11 @@ impl Parser {
                             )))
                         }
                     };
-                    Ok(Atom { pred, terms, functional: false })
+                    Ok(Atom {
+                        pred,
+                        terms,
+                        functional: false,
+                    })
                 }
                 Some(Token::Eq) => {
                     // Functional syntax: name[keys…] = value.
@@ -408,8 +432,16 @@ impl Parser {
                         });
                     }
                     terms.push(value);
-                    let pred = if is_upper { PredRef::Var(name) } else { PredRef::Named(name) };
-                    Ok(Atom { pred, terms, functional: true })
+                    let pred = if is_upper {
+                        PredRef::Var(name)
+                    } else {
+                        PredRef::Named(name)
+                    };
+                    Ok(Atom {
+                        pred,
+                        terms,
+                        functional: true,
+                    })
                 }
                 _ => Err(self.error(format!(
                     "expected `(` or `=` after bracketed predicate {name}[…]"
@@ -417,12 +449,28 @@ impl Parser {
             }
         } else if self.eat(&Token::LParen) {
             let terms = self.parse_terms_until_rparen()?;
-            let pred = if is_upper { PredRef::Var(name) } else { PredRef::Named(name) };
-            Ok(Atom { pred, terms, functional: false })
+            let pred = if is_upper {
+                PredRef::Var(name)
+            } else {
+                PredRef::Named(name)
+            };
+            Ok(Atom {
+                pred,
+                terms,
+                functional: false,
+            })
         } else {
             // Zero-argument (propositional) atom.
-            let pred = if is_upper { PredRef::Var(name) } else { PredRef::Named(name) };
-            Ok(Atom { pred, terms: Vec::new(), functional: false })
+            let pred = if is_upper {
+                PredRef::Var(name)
+            } else {
+                PredRef::Named(name)
+            };
+            Ok(Atom {
+                pred,
+                terms: Vec::new(),
+                functional: false,
+            })
         }
     }
 
@@ -448,7 +496,9 @@ impl Parser {
             self.pos += 1;
             match self.advance() {
                 Some(Token::Ident(p)) => Ok(BracketItem::QuotedPred(p)),
-                other => Err(self.error(format!("expected predicate name after quote, found {other:?}"))),
+                other => Err(self.error(format!(
+                    "expected predicate name after quote, found {other:?}"
+                ))),
             }
         } else {
             Ok(BracketItem::Term(self.parse_term()?))
@@ -543,7 +593,9 @@ impl Parser {
                 self.pos += 1;
                 // `name[]` in a term position accesses a zero-key functional
                 // predicate, e.g. `self[]`.
-                if self.peek() == Some(&Token::LBracket) && self.peek_at(1) == Some(&Token::RBracket) {
+                if self.peek() == Some(&Token::LBracket)
+                    && self.peek_at(1) == Some(&Token::RBracket)
+                {
                     self.pos += 2;
                     return Ok(Term::SingletonRef(name));
                 }

@@ -170,7 +170,7 @@ impl Relation {
                     && pattern
                         .iter()
                         .zip(tuple.iter())
-                        .all(|(p, v)| p.as_ref().map_or(true, |expected| expected == v))
+                        .all(|(p, v)| p.as_ref().is_none_or(|expected| expected == v))
             })
             .collect()
     }
@@ -182,7 +182,7 @@ impl Relation {
                 && pattern
                     .iter()
                     .zip(tuple.iter())
-                    .all(|(p, v)| p.as_ref().map_or(true, |expected| expected == v))
+                    .all(|(p, v)| p.as_ref().is_none_or(|expected| expected == v))
         })
     }
 }

@@ -93,7 +93,9 @@ pub struct Schema {
 impl Schema {
     /// An empty schema.
     pub fn new() -> Self {
-        Schema { decls: BTreeMap::new() }
+        Schema {
+            decls: BTreeMap::new(),
+        }
     }
 
     /// Look up a predicate declaration.
@@ -118,7 +120,7 @@ impl Schema {
 
     /// True if `name` is a built-in primitive type or a declared type predicate.
     pub fn is_type(&self, name: &str) -> bool {
-        BUILTIN_TYPES.contains(&name) || self.decls.get(name).map_or(false, |d| d.is_type)
+        BUILTIN_TYPES.contains(&name) || self.decls.get(name).is_some_and(|d| d.is_type)
     }
 
     /// Declare (or refine) a predicate explicitly.
@@ -144,7 +146,9 @@ impl Schema {
                     existing.is_type = is_type;
                 } else {
                     // Merge type information where the new declaration knows more.
-                    if existing.kind == PredicateKind::Relation && decl.kind != PredicateKind::Relation {
+                    if existing.kind == PredicateKind::Relation
+                        && decl.kind != PredicateKind::Relation
+                    {
                         existing.kind = decl.kind;
                     }
                     for (slot, ty) in existing.arg_types.iter_mut().zip(decl.arg_types.iter()) {
@@ -189,7 +193,9 @@ impl Schema {
         };
         let arity = atom.terms.len();
         let kind = if atom.functional {
-            PredicateKind::Functional { key_arity: arity.saturating_sub(1) }
+            PredicateKind::Functional {
+                key_arity: arity.saturating_sub(1),
+            }
         } else {
             PredicateKind::Relation
         };
@@ -309,7 +315,9 @@ impl Schema {
             arg_types[position] = Some(ty.to_string());
         }
         let kind = if atom.functional {
-            PredicateKind::Functional { key_arity: atom.terms.len().saturating_sub(1) }
+            PredicateKind::Functional {
+                key_arity: atom.terms.len().saturating_sub(1),
+            }
         } else {
             PredicateKind::Relation
         };
@@ -348,7 +356,10 @@ mod tests {
 
         let link = schema.get("link").unwrap();
         assert_eq!(link.arity, 2);
-        assert_eq!(link.arg_types, vec![Some("node".into()), Some("node".into())]);
+        assert_eq!(
+            link.arg_types,
+            vec![Some("node".into()), Some("node".into())]
+        );
         assert!(!link.inferred);
 
         let path = schema.get("path").unwrap();

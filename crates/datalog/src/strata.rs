@@ -89,7 +89,11 @@ pub fn stratify_with(
     // 2. Strongly connected components via iterative Tarjan.
     let mut nodes: Vec<String> = head_preds.iter().cloned().collect();
     nodes.sort();
-    let index_of: HashMap<String, usize> = nodes.iter().enumerate().map(|(i, n)| (n.clone(), i)).collect();
+    let index_of: HashMap<String, usize> = nodes
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.clone(), i))
+        .collect();
     let mut adjacency: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
     for (from, to, _) in &edges {
         adjacency[index_of[from]].push(index_of[to]);
@@ -167,7 +171,8 @@ pub fn stratify_with(
     }
 
     // Group rules by (level, topo_level) in ascending order.
-    let mut distinct_keys: Vec<(usize, usize)> = rule_keys.iter().map(|(a, b, _)| (*a, *b)).collect();
+    let mut distinct_keys: Vec<(usize, usize)> =
+        rule_keys.iter().map(|(a, b, _)| (*a, *b)).collect();
     distinct_keys.sort();
     distinct_keys.dedup();
     let mut strata: Vec<Vec<usize>> = Vec::with_capacity(distinct_keys.len());
@@ -194,7 +199,14 @@ fn tarjan_scc(adjacency: &[Vec<usize>]) -> Vec<usize> {
         on_stack: bool,
     }
     let n = adjacency.len();
-    let mut state = vec![NodeState { index: None, lowlink: 0, on_stack: false }; n];
+    let mut state = vec![
+        NodeState {
+            index: None,
+            lowlink: 0,
+            on_stack: false
+        };
+        n
+    ];
     let mut stack: Vec<usize> = Vec::new();
     let mut scc_of = vec![usize::MAX; n];
     let mut next_index = 0usize;

@@ -35,8 +35,12 @@ pub fn typecheck_rule(rule: &Rule, schema: &Schema, udfs: &UdfRegistry) -> Resul
     // 1. Infer the set of types guaranteed for each body variable.
     let mut var_types: HashMap<String, HashSet<String>> = HashMap::new();
     for literal in &rule.body {
-        let Literal::Pos(atom) = literal else { continue };
-        let Ok(pred) = runtime_pred_name(&atom.pred) else { continue };
+        let Literal::Pos(atom) = literal else {
+            continue;
+        };
+        let Ok(pred) = runtime_pred_name(&atom.pred) else {
+            continue;
+        };
         if udfs.is_udf(&pred) {
             continue;
         }
@@ -47,7 +51,9 @@ pub fn typecheck_rule(rule: &Rule, schema: &Schema, udfs: &UdfRegistry) -> Resul
             }
             continue;
         }
-        let Some(decl) = schema.get(&pred) else { continue };
+        let Some(decl) = schema.get(&pred) else {
+            continue;
+        };
         if decl.variadic {
             continue;
         }
@@ -112,7 +118,8 @@ fn check_atom_against_schema(
                 // for the variable and none of them is the required one, or
                 // when the required type is a declared (non-builtin) type and
                 // nothing at all is known about the variable.
-                let known_wrong = matches!(inferred, Some(types) if !types.is_empty()) && !satisfied;
+                let known_wrong =
+                    matches!(inferred, Some(types) if !types.is_empty()) && !satisfied;
                 let unknown_but_strict =
                     inferred.is_none() && !BUILTIN_TYPES.contains(&required.as_str());
                 if known_wrong || unknown_but_strict {
@@ -122,23 +129,26 @@ fn check_atom_against_schema(
                     )));
                 }
             }
-            Term::Const(value) => {
-                if BUILTIN_TYPES.contains(&required.as_str()) && value.primitive_type() != required {
-                    return Err(DatalogError::Type(format!(
-                        "in rule `{rule}`: argument {position} of {pred} requires type {required}, \
-                         but the constant {value} is a {}",
-                        value.primitive_type()
-                    )));
-                }
+            Term::Const(value)
+                if BUILTIN_TYPES.contains(&required.as_str())
+                    && value.primitive_type() != required =>
+            {
+                return Err(DatalogError::Type(format!(
+                    "in rule `{rule}`: argument {position} of {pred} requires type {required}, \
+                     but the constant {value} is a {}",
+                    value.primitive_type()
+                )));
             }
-            Term::BinOp(..) => {
-                // Arithmetic results are integers.
-                if BUILTIN_TYPES.contains(&required.as_str()) && required != "int" && required != "string" {
-                    return Err(DatalogError::Type(format!(
-                        "in rule `{rule}`: argument {position} of {pred} requires type {required}, \
-                         but an arithmetic expression produces an int"
-                    )));
-                }
+            // Arithmetic results are integers.
+            Term::BinOp(..)
+                if BUILTIN_TYPES.contains(&required.as_str())
+                    && required != "int"
+                    && required != "string" =>
+            {
+                return Err(DatalogError::Type(format!(
+                    "in rule `{rule}`: argument {position} of {pred} requires type {required}, \
+                     but an arithmetic expression produces an int"
+                )));
             }
             // Singleton accesses, wildcards and sequences are not statically
             // checkable here.

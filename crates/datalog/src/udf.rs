@@ -163,7 +163,9 @@ mod tests {
         });
         assert!(registry.is_udf("double"));
         assert!(!registry.is_udf("triple"));
-        let rows = registry.call("double", &[Some(Value::Int(4)), None]).unwrap();
+        let rows = registry
+            .call("double", &[Some(Value::Int(4)), None])
+            .unwrap();
         assert_eq!(rows, vec![vec![Value::Int(4), Value::Int(8)]]);
     }
 
@@ -199,8 +201,20 @@ mod tests {
                 Ok(vec![])
             }
         });
-        assert_eq!(registry.call("is_even", &[Some(Value::Int(2))]).unwrap().len(), 1);
-        assert_eq!(registry.call("is_even", &[Some(Value::Int(3))]).unwrap().len(), 0);
+        assert_eq!(
+            registry
+                .call("is_even", &[Some(Value::Int(2))])
+                .unwrap()
+                .len(),
+            1
+        );
+        assert_eq!(
+            registry
+                .call("is_even", &[Some(Value::Int(3))])
+                .unwrap()
+                .len(),
+            0
+        );
     }
 
     #[test]
@@ -219,7 +233,9 @@ mod tests {
             )
             .unwrap();
         assert_eq!(rows[0][2], Value::str("says$path"));
-        let rows = registry.call("int_to_string", &[Some(Value::Int(7)), None]).unwrap();
+        let rows = registry
+            .call("int_to_string", &[Some(Value::Int(7)), None])
+            .unwrap();
         assert_eq!(rows[0][1], Value::str("7"));
     }
 

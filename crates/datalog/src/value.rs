@@ -130,8 +130,9 @@ impl fmt::Display for Value {
         match self {
             Value::Int(i) => write!(f, "{i}"),
             Value::Str(s) => {
-                if s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '$')
-                    && s.chars().next().map_or(false, |c| c.is_ascii_lowercase())
+                if s.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '$')
+                    && s.chars().next().is_some_and(|c| c.is_ascii_lowercase())
                 {
                     write!(f, "{s}")
                 } else {
@@ -192,7 +193,9 @@ mod tests {
         assert_eq!(Value::str("Hello world").to_string(), "\"Hello world\"");
         assert_eq!(Value::pred("reachable").to_string(), "`reachable");
         assert_eq!(Value::Entity(9).to_string(), "@e9");
-        assert!(Value::bytes(vec![0xde, 0xad]).to_string().starts_with("0xdead"));
+        assert!(Value::bytes(vec![0xde, 0xad])
+            .to_string()
+            .starts_with("0xdead"));
     }
 
     #[test]
@@ -214,14 +217,14 @@ mod tests {
             }
         }
         assert_eq!(Value::Int(1).total_cmp(&Value::Int(5)), Ordering::Less);
-        assert_eq!(Value::str("b").total_cmp(&Value::str("a")), Ordering::Greater);
+        assert_eq!(
+            Value::str("b").total_cmp(&Value::str("a")),
+            Ordering::Greater
+        );
     }
 
     #[test]
     fn format_tuple_readable() {
-        assert_eq!(
-            format_tuple(&[Value::str("n1"), Value::Int(2)]),
-            "(n1, 2)"
-        );
+        assert_eq!(format_tuple(&[Value::str("n1"), Value::Int(2)]), "(n1, 2)");
     }
 }

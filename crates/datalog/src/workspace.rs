@@ -67,7 +67,10 @@ impl std::fmt::Debug for Workspace {
             .field("predicates", &self.relations.len())
             .field("rules", &self.rules.len())
             .field("constraints", &self.constraints.len())
-            .field("facts", &self.relations.values().map(|r| r.len()).sum::<usize>())
+            .field(
+                "facts",
+                &self.relations.values().map(|r| r.len()).sum::<usize>(),
+            )
             .finish()
     }
 }
@@ -99,7 +102,10 @@ impl Workspace {
 
     /// Create a workspace with a custom evaluation configuration.
     pub fn with_config(config: EvalConfig) -> Self {
-        Workspace { config, ..Self::new() }
+        Workspace {
+            config,
+            ..Self::new()
+        }
     }
 
     /// Disable static type checking (useful for exploratory programs whose
@@ -144,7 +150,10 @@ impl Workspace {
     /// Register a user-defined function.
     pub fn register_udf<F>(&mut self, name: impl Into<String>, f: F)
     where
-        F: Fn(&[Option<Value>]) -> std::result::Result<Vec<Vec<Value>>, String> + Send + Sync + 'static,
+        F: Fn(&[Option<Value>]) -> std::result::Result<Vec<Vec<Value>>, String>
+            + Send
+            + Sync
+            + 'static,
     {
         self.udfs.register(name, f);
     }
@@ -152,7 +161,10 @@ impl Workspace {
     /// Register a family of user-defined functions (`family$param`).
     pub fn register_udf_family<F>(&mut self, family: impl Into<String>, f: F)
     where
-        F: Fn(&str, &[Option<Value>]) -> std::result::Result<Vec<Vec<Value>>, String> + Send + Sync + 'static,
+        F: Fn(&str, &[Option<Value>]) -> std::result::Result<Vec<Vec<Value>>, String>
+            + Send
+            + Sync
+            + 'static,
     {
         self.udfs.register_family(family, f);
     }
@@ -225,7 +237,10 @@ impl Workspace {
             .entry(pred.to_string())
             .or_insert_with(|| Relation::new(pred, Some(0)));
         relation.insert_or_replace(vec![value.clone()])?;
-        self.edb_facts.entry(pred.to_string()).or_default().insert(vec![value]);
+        self.edb_facts
+            .entry(pred.to_string())
+            .or_default()
+            .insert(vec![value]);
         Ok(())
     }
 
@@ -239,13 +254,19 @@ impl Workspace {
             .entry(pred.to_string())
             .or_insert_with(|| Relation::new(pred, key_arity));
         relation.insert(tuple.clone())?;
-        self.edb_facts.entry(pred.to_string()).or_default().insert(tuple);
+        self.edb_facts
+            .entry(pred.to_string())
+            .or_default()
+            .insert(tuple);
         Ok(())
     }
 
     /// All tuples of a predicate, in deterministic order.
     pub fn query(&self, pred: &str) -> Vec<Tuple> {
-        self.relations.get(pred).map(|r| r.sorted()).unwrap_or_default()
+        self.relations
+            .get(pred)
+            .map(|r| r.sorted())
+            .unwrap_or_default()
     }
 
     /// Number of tuples stored for a predicate.
@@ -255,12 +276,15 @@ impl Workspace {
 
     /// Membership test for a fully ground tuple.
     pub fn contains_fact(&self, pred: &str, tuple: &[Value]) -> bool {
-        self.relations.get(pred).map_or(false, |r| r.contains(tuple))
+        self.relations.get(pred).is_some_and(|r| r.contains(tuple))
     }
 
     /// The value of a singleton predicate, if set.
     pub fn singleton(&self, pred: &str) -> Option<Value> {
-        self.relations.get(pred).and_then(|r| r.singleton_value()).cloned()
+        self.relations
+            .get(pred)
+            .and_then(|r| r.singleton_value())
+            .cloned()
     }
 
     /// Direct read access to a relation (used by the distributed runtime to
@@ -329,7 +353,7 @@ impl Workspace {
         for (pred, relation) in &self.relations {
             let before = snapshot.get(pred);
             for tuple in relation.iter() {
-                if before.map_or(true, |r| !r.contains(tuple)) {
+                if before.is_none_or(|r| !r.contains(tuple)) {
                     delta.entry(pred.clone()).or_default().insert(tuple.clone());
                 }
             }
@@ -374,8 +398,9 @@ impl Workspace {
             };
             evaluator.delete_with_dred(&self.rules, &self.strata, &batch, &edb)
         };
-        let check = stats
-            .and_then(|s| check_constraints(&self.constraints, &self.relations, &self.udfs).map(|_| s));
+        let check = stats.and_then(|s| {
+            check_constraints(&self.constraints, &self.relations, &self.udfs).map(|_| s)
+        });
         match check {
             Ok(stats) => Ok(stats),
             Err(error) => {
@@ -430,7 +455,8 @@ mod tests {
              reachable(X, Y) <- link(X, Z), reachable(Z, Y).",
         )
         .unwrap();
-        ws.transaction(vec![("link".into(), vec![s("a"), s("b")])]).unwrap();
+        ws.transaction(vec![("link".into(), vec![s("a"), s("b")])])
+            .unwrap();
         let report = ws
             .transaction(vec![("link".into(), vec![s("b"), s("c")])])
             .unwrap();
@@ -458,7 +484,8 @@ mod tests {
 
         // Registering bob first makes the same batch commit.
         ws.assert_fact("principal", vec![s("bob")]).unwrap();
-        ws.transaction(vec![("says_link".into(), vec![s("alice"), s("bob")])]).unwrap();
+        ws.transaction(vec![("says_link".into(), vec![s("alice"), s("bob")])])
+            .unwrap();
         assert_eq!(ws.count("link"), 1);
     }
 
@@ -484,7 +511,8 @@ mod tests {
     #[test]
     fn functional_dependency_violation_rolls_back() {
         let mut ws = Workspace::new();
-        ws.install_source("owner[X] = Y -> string(X), string(Y).\nowner[k] = v1.").unwrap();
+        ws.install_source("owner[X] = Y -> string(X), string(Y).\nowner[k] = v1.")
+            .unwrap();
         ws.fixpoint().unwrap();
         let err = ws
             .transaction(vec![("owner".into(), vec![s("k"), s("v2")])])
@@ -523,7 +551,9 @@ mod tests {
         .unwrap();
         ws.fixpoint().unwrap();
         assert!(ws.contains_fact("reachable", &[s("a"), s("c")]));
-        let stats = ws.retract(vec![("link".into(), vec![s("b"), s("c")])]).unwrap();
+        let stats = ws
+            .retract(vec![("link".into(), vec![s("b"), s("c")])])
+            .unwrap();
         assert_eq!(stats.base_deleted, 1);
         assert!(!ws.contains_fact("reachable", &[s("a"), s("c")]));
         assert!(ws.contains_fact("reachable", &[s("a"), s("b")]));
@@ -557,11 +587,15 @@ mod tests {
             let h = text.bytes().map(|b| b as i64).sum::<i64>() % 10;
             Ok(vec![vec![v, Value::Int(h)]])
         });
-        ws.install_source("bucket(X, H) <- item(X), hash10(X, H).\nitem(abc).").unwrap();
+        ws.install_source("bucket(X, H) <- item(X), hash10(X, H).\nitem(abc).")
+            .unwrap();
         ws.fixpoint().unwrap();
         assert_eq!(ws.count("bucket"), 1);
         let tuple = &ws.query("bucket")[0];
-        assert_eq!(tuple[1], Value::Int((b'a' as i64 + b'b' as i64 + b'c' as i64) % 10));
+        assert_eq!(
+            tuple[1],
+            Value::Int((b'a' as i64 + b'b' as i64 + b'c' as i64) % 10)
+        );
     }
 
     #[test]

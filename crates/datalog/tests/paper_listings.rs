@@ -8,7 +8,8 @@ use secureblox_datalog::{DatalogError, Value, Workspace};
 
 fn ws(source: &str) -> Workspace {
     let mut ws = Workspace::new();
-    ws.install_source(source).unwrap_or_else(|e| panic!("program failed to install: {e}"));
+    ws.install_source(source)
+        .unwrap_or_else(|e| panic!("program failed to install: {e}"));
     ws
 }
 
@@ -21,10 +22,15 @@ fn section2_transitive_closure_of_link() {
     let mut ws = ws("reachable(X, Y) <- link(X, Y).\n\
                      reachable(X, Y) <- link(X, Z), reachable(Z, Y).");
     for (a, b) in [("a", "b"), ("b", "c"), ("c", "d")] {
-        ws.assert_fact("link", vec![Value::str(a), Value::str(b)]).unwrap();
+        ws.assert_fact("link", vec![Value::str(a), Value::str(b)])
+            .unwrap();
     }
     ws.fixpoint().unwrap();
-    assert_eq!(ws.count("reachable"), 6, "3 direct + 2 two-hop + 1 three-hop");
+    assert_eq!(
+        ws.count("reachable"),
+        6,
+        "3 direct + 2 two-hop + 1 three-hop"
+    );
     assert!(ws.contains_fact("reachable", &[Value::str("a"), Value::str("d")]));
     assert!(!ws.contains_fact("reachable", &[Value::str("d"), Value::str("a")]));
 }
@@ -35,10 +41,17 @@ fn section2_type_declaration_is_enforced_at_runtime() {
     let mut ws = ws("p(X1, X2) -> q1(X1), q2(X2).");
     ws.assert_fact("q1", vec![Value::str("alpha")]).unwrap();
     ws.assert_fact("q2", vec![Value::str("beta")]).unwrap();
-    ws.transaction(vec![("p".into(), vec![Value::str("alpha"), Value::str("beta")])]).unwrap();
+    ws.transaction(vec![(
+        "p".into(),
+        vec![Value::str("alpha"), Value::str("beta")],
+    )])
+    .unwrap();
     // A value outside q2 violates the constraint and rolls back.
     let err = ws
-        .transaction(vec![("p".into(), vec![Value::str("alpha"), Value::str("gamma")])])
+        .transaction(vec![(
+            "p".into(),
+            vec![Value::str("alpha"), Value::str("gamma")],
+        )])
         .unwrap_err();
     assert!(matches!(err, DatalogError::ConstraintViolation(_)));
     assert_eq!(ws.count("p"), 1);
@@ -72,7 +85,8 @@ fn section2_functional_dependency_and_singleton() {
                      origin[] = V -> item(V).");
     ws.assert_fact("item", vec![Value::str("widget")]).unwrap();
     ws.assert_fact("item", vec![Value::str("gadget")]).unwrap();
-    ws.assert_fact("cost", vec![Value::str("widget"), Value::Int(10)]).unwrap();
+    ws.assert_fact("cost", vec![Value::str("widget"), Value::Int(10)])
+        .unwrap();
     ws.set_singleton("origin", Value::str("widget")).unwrap();
     ws.fixpoint().unwrap();
     assert_eq!(ws.singleton("origin"), Some(Value::str("widget")));
@@ -80,14 +94,24 @@ fn section2_functional_dependency_and_singleton() {
     // A conflicting assignment for the same key is a functional-dependency
     // violation and rolls back.
     let err = ws
-        .transaction(vec![("cost".into(), vec![Value::str("widget"), Value::Int(99)])])
+        .transaction(vec![(
+            "cost".into(),
+            vec![Value::str("widget"), Value::Int(99)],
+        )])
         .unwrap_err();
     assert!(
-        matches!(err, DatalogError::FunctionalDependency { .. } | DatalogError::ConstraintViolation(_)),
+        matches!(
+            err,
+            DatalogError::FunctionalDependency { .. } | DatalogError::ConstraintViolation(_)
+        ),
         "unexpected error {err}"
     );
     // The same assignment again is a no-op, not an error.
-    ws.transaction(vec![("cost".into(), vec![Value::str("widget"), Value::Int(10)])]).unwrap();
+    ws.transaction(vec![(
+        "cost".into(),
+        vec![Value::str("widget"), Value::Int(10)],
+    )])
+    .unwrap();
     assert_eq!(ws.count("cost"), 1);
 }
 
@@ -115,7 +139,8 @@ fn section7_path_entities_and_min_aggregate() {
         ws.assert_fact("node", vec![Value::str(n)]).unwrap();
     }
     for (a, b) in [("a", "b"), ("b", "c"), ("a", "b")] {
-        ws.assert_fact("link", vec![Value::str(a), Value::str(b)]).unwrap();
+        ws.assert_fact("link", vec![Value::str(a), Value::str(b)])
+            .unwrap();
     }
     ws.fixpoint().unwrap();
 
@@ -123,7 +148,11 @@ fn section7_path_entities_and_min_aggregate() {
     assert_eq!(ws.count("path"), 2);
     assert_eq!(ws.count("pathvar"), 2);
     assert_eq!(ws.count("bestcost"), 2);
-    let best: Vec<i64> = ws.query("bestcost").iter().filter_map(|t| t[2].as_int()).collect();
+    let best: Vec<i64> = ws
+        .query("bestcost")
+        .iter()
+        .filter_map(|t| t[2].as_int())
+        .collect();
     assert_eq!(best, vec![1, 1]);
 }
 
@@ -141,7 +170,8 @@ fn section7_negation_guard_is_stratified() {
         ws.assert_fact("node", vec![Value::str(n)]).unwrap();
     }
     for (a, b) in [("a", "b"), ("b", "c"), ("a", "c"), ("c", "d")] {
-        ws.assert_fact("link", vec![Value::str(a), Value::str(b)]).unwrap();
+        ws.assert_fact("link", vec![Value::str(a), Value::str(b)])
+            .unwrap();
     }
     ws.fixpoint().unwrap();
     // a→c exists directly, so only b→d and a→d are new two-hop routes.
@@ -168,17 +198,29 @@ fn installed_rules_are_maintained_across_insertions_and_deletions() {
     assert_eq!(ws.count("reachable"), 3);
 
     // A later transaction extends the chain.
-    ws.transaction(vec![("link".into(), vec![Value::str("c"), Value::str("d")])]).unwrap();
+    ws.transaction(vec![(
+        "link".into(),
+        vec![Value::str("c"), Value::str("d")],
+    )])
+    .unwrap();
     assert_eq!(ws.count("reachable"), 6);
 
     // Deleting the middle link removes exactly the routes that depended on it.
-    ws.retract(vec![("link".into(), vec![Value::str("b"), Value::str("c")])]).unwrap();
+    ws.retract(vec![(
+        "link".into(),
+        vec![Value::str("b"), Value::str("c")],
+    )])
+    .unwrap();
     assert_eq!(ws.count("reachable"), 2);
     assert!(ws.contains_fact("reachable", &[Value::str("a"), Value::str("b")]));
     assert!(ws.contains_fact("reachable", &[Value::str("c"), Value::str("d")]));
 
     // Re-adding it restores the full closure.
-    ws.transaction(vec![("link".into(), vec![Value::str("b"), Value::str("c")])]).unwrap();
+    ws.transaction(vec![(
+        "link".into(),
+        vec![Value::str("b"), Value::str("c")],
+    )])
+    .unwrap();
     assert_eq!(ws.count("reachable"), 6);
 }
 
@@ -199,7 +241,8 @@ fn user_defined_functions_join_into_rule_bodies() {
             .ok_or_else(|| "double: first argument must be a bound integer".to_string())?;
         Ok(vec![vec![Value::Int(x), Value::Int(2 * x)]])
     });
-    ws.install_source("twice(X, Y) <- base(X), double(X, Y).").unwrap();
+    ws.install_source("twice(X, Y) <- base(X), double(X, Y).")
+        .unwrap();
     for i in 1..=3 {
         ws.assert_fact("base", vec![Value::Int(i)]).unwrap();
     }

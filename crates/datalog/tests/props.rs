@@ -206,7 +206,8 @@ fn install_tc_workspace(edges: &BTreeSet<(usize, usize)>) -> Workspace {
     )
     .unwrap();
     for &(a, b) in edges {
-        ws.assert_fact("link", vec![node_value(a), node_value(b)]).unwrap();
+        ws.assert_fact("link", vec![node_value(a), node_value(b)])
+            .unwrap();
     }
     ws.fixpoint().unwrap();
     ws
@@ -380,12 +381,12 @@ fn arb_ident() -> impl Strategy<Value = String> {
 fn arb_program_text() -> impl Strategy<Value = String> {
     let decl = (arb_ident(), arb_ident(), arb_ident())
         .prop_map(|(p, t1, t2)| format!("{p}(X, Y) -> {t1}(X), {t2}(Y)."));
-    let fact = (arb_ident(), arb_ident(), 0i64..10_000)
-        .prop_map(|(p, a, i)| format!("{p}({a}, {i})."));
+    let fact =
+        (arb_ident(), arb_ident(), 0i64..10_000).prop_map(|(p, a, i)| format!("{p}({a}, {i})."));
     let rule = (arb_ident(), arb_ident(), arb_ident())
         .prop_map(|(h, b1, b2)| format!("{h}(X, Y) <- {b1}(X, Z), {b2}(Z, Y)."));
-    let constraint = (arb_ident(), arb_ident())
-        .prop_map(|(p, q)| format!("{p}(X, Y) -> {q}(X), {q}(Y)."));
+    let constraint =
+        (arb_ident(), arb_ident()).prop_map(|(p, q)| format!("{p}(X, Y) -> {q}(X), {q}(Y)."));
     proptest::collection::vec(prop_oneof![decl, fact, rule, constraint], 1..12)
         .prop_map(|stmts| stmts.join("\n"))
 }

@@ -56,7 +56,9 @@ impl CompiledProgram {
 
     /// Look up the concrete predicate minted for `generic[param]`.
     pub fn mapping(&self, generic: &str, param: &str) -> Option<&str> {
-        self.mappings.get(&(generic.to_string(), param.to_string())).map(|s| s.as_str())
+        self.mappings
+            .get(&(generic.to_string(), param.to_string()))
+            .map(|s| s.as_str())
     }
 }
 
@@ -69,7 +71,9 @@ pub struct GenericsCompiler {
 impl GenericsCompiler {
     /// A compiler with default limits.
     pub fn new() -> Self {
-        GenericsCompiler { config: GenericsConfig::default() }
+        GenericsCompiler {
+            config: GenericsConfig::default(),
+        }
     }
 
     /// A compiler with a custom configuration.
@@ -159,8 +163,14 @@ impl GenericsCompiler {
                     instantiated.insert(key);
                     changed = true;
 
-                    let pred_var_names = self.mint_head_predicates(generic_rule, &solution, &mut mappings)?;
-                    self.record_head_meta_facts(generic_rule, &solution, &pred_var_names, &mut meta)?;
+                    let pred_var_names =
+                        self.mint_head_predicates(generic_rule, &solution, &mut mappings)?;
+                    self.record_head_meta_facts(
+                        generic_rule,
+                        &solution,
+                        &pred_var_names,
+                        &mut meta,
+                    )?;
 
                     let seq_arity = self.sequence_arity(&solution, &meta);
                     let ictx = InstantiationContext {
@@ -201,10 +211,16 @@ impl GenericsCompiler {
         // assemble the output program.
         let mut program = Program::new();
         for statement in &concrete.statements {
-            program.statements.push(self.resolve_statement(statement, &meta, &mapping_generics)?);
+            program
+                .statements
+                .push(self.resolve_statement(statement, &meta, &mapping_generics)?);
         }
         program.statements.extend(generated.iter().cloned());
-        Ok(CompiledProgram { program, generated, mappings })
+        Ok(CompiledProgram {
+            program,
+            generated,
+            mappings,
+        })
     }
 
     /// Mint concrete names for head-existential predicate variables.  A
@@ -221,8 +237,12 @@ impl GenericsCompiler {
             if !atom.functional || atom.terms.len() < 2 {
                 continue;
             }
-            let PredRef::Named(generic) = &atom.pred else { continue };
-            let Term::Var(target) = &atom.terms[atom.terms.len() - 1] else { continue };
+            let PredRef::Named(generic) = &atom.pred else {
+                continue;
+            };
+            let Term::Var(target) = &atom.terms[atom.terms.len() - 1] else {
+                continue;
+            };
             if solution.is_bound(target) {
                 continue;
             }
@@ -326,7 +346,11 @@ impl GenericsCompiler {
 
     /// Record every predicate that appears in a generated statement so later
     /// rounds (and diagnostics) can see it in the meta-database.
-    fn register_generated_predicates(&self, statement: &Statement, meta: &mut MetaDatabase) -> Result<()> {
+    fn register_generated_predicates(
+        &self,
+        statement: &Statement,
+        meta: &mut MetaDatabase,
+    ) -> Result<()> {
         let visit_atom = |atom: &Atom, meta: &mut MetaDatabase| -> Result<()> {
             if let PredRef::Named(name) = &atom.pred {
                 if meta.arity_of(name).is_none() {
@@ -391,7 +415,11 @@ impl GenericsCompiler {
             }
         };
         let resolve_atom = |atom: &Atom| -> Result<Atom> {
-            Ok(Atom { pred: resolve_pred(&atom.pred)?, terms: atom.terms.clone(), functional: atom.functional })
+            Ok(Atom {
+                pred: resolve_pred(&atom.pred)?,
+                terms: atom.terms.clone(),
+                functional: atom.functional,
+            })
         };
         let resolve_literal = |literal: &Literal| -> Result<Literal> {
             Ok(match literal {
@@ -402,15 +430,33 @@ impl GenericsCompiler {
         };
         Ok(match statement {
             Statement::Rule(rule) => Statement::Rule(Rule {
-                head: rule.head.iter().map(&resolve_atom).collect::<Result<Vec<_>>>()?,
-                body: rule.body.iter().map(&resolve_literal).collect::<Result<Vec<_>>>()?,
+                head: rule
+                    .head
+                    .iter()
+                    .map(&resolve_atom)
+                    .collect::<Result<Vec<_>>>()?,
+                body: rule
+                    .body
+                    .iter()
+                    .map(&resolve_literal)
+                    .collect::<Result<Vec<_>>>()?,
                 agg: rule.agg.clone(),
             }),
             Statement::Constraint(constraint) => Statement::Constraint(Constraint {
-                lhs: constraint.lhs.iter().map(&resolve_literal).collect::<Result<Vec<_>>>()?,
-                rhs: constraint.rhs.iter().map(&resolve_literal).collect::<Result<Vec<_>>>()?,
+                lhs: constraint
+                    .lhs
+                    .iter()
+                    .map(&resolve_literal)
+                    .collect::<Result<Vec<_>>>()?,
+                rhs: constraint
+                    .rhs
+                    .iter()
+                    .map(&resolve_literal)
+                    .collect::<Result<Vec<_>>>()?,
             }),
-            Statement::Fact(fact) => Statement::Fact(FactDecl { atom: resolve_atom(&fact.atom)? }),
+            Statement::Fact(fact) => Statement::Fact(FactDecl {
+                atom: resolve_atom(&fact.atom)?,
+            }),
             other => other.clone(),
         })
     }
@@ -452,7 +498,10 @@ mod tests {
         let source = format!("{}\n{}", reachable_app(), SAYS_POLICY);
         let program = parse_program(&source).unwrap();
         let compiled = GenericsCompiler::new().compile(&program).unwrap();
-        assert_eq!(compiled.mapping("says", "reachable"), Some("says$reachable"));
+        assert_eq!(
+            compiled.mapping("says", "reachable"),
+            Some("says$reachable")
+        );
         let text = compiled.program.to_string();
         assert!(text.contains("says$reachable(P1, P2, V$0, V$1) -> principal(P1), principal(P2), node(V$0), node(V$1)."), "{text}");
         // The parameterized reference in the application rule is resolved.
@@ -466,7 +515,12 @@ mod tests {
         let program = parse_program(&source).unwrap();
         let compiled = GenericsCompiler::new().compile(&program).unwrap();
         let text = compiled.program.to_string();
-        assert!(text.contains("reachable(V$0, V$1) <- says$reachable(P, self[], V$0, V$1), trustworthy(P)."), "{text}");
+        assert!(
+            text.contains(
+                "reachable(V$0, V$1) <- says$reachable(P, self[], V$0, V$1), trustworthy(P)."
+            ),
+            "{text}"
+        );
     }
 
     #[test]
@@ -477,15 +531,28 @@ mod tests {
         let mut ws = Workspace::new();
         ws.install_program(&compiled.program).unwrap();
         ws.set_singleton("self", Value::str("n1")).unwrap();
-        for fact in [("principal", "n1"), ("principal", "n2"), ("trustworthy", "n2"), ("node", "n1"), ("node", "n2"), ("node", "n3")] {
+        for fact in [
+            ("principal", "n1"),
+            ("principal", "n2"),
+            ("trustworthy", "n2"),
+            ("node", "n1"),
+            ("node", "n2"),
+            ("node", "n3"),
+        ] {
             ws.assert_fact(fact.0, vec![Value::str(fact.1)]).unwrap();
         }
-        ws.assert_fact("link", vec![Value::str("n1"), Value::str("n2")]).unwrap();
+        ws.assert_fact("link", vec![Value::str("n1"), Value::str("n2")])
+            .unwrap();
         // n2 says reachable(n2, n3) to us (n1): accepted because n2 is
         // trustworthy and a known principal.
         ws.transaction(vec![(
             "says$reachable".into(),
-            vec![Value::str("n2"), Value::str("n1"), Value::str("n2"), Value::str("n3")],
+            vec![
+                Value::str("n2"),
+                Value::str("n1"),
+                Value::str("n2"),
+                Value::str("n3"),
+            ],
         )])
         .unwrap();
         assert!(ws.contains_fact("reachable", &[Value::str("n2"), Value::str("n3")]));
@@ -495,7 +562,12 @@ mod tests {
         let err = ws
             .transaction(vec![(
                 "says$reachable".into(),
-                vec![Value::str("mallory"), Value::str("n1"), Value::str("n2"), Value::str("n9")],
+                vec![
+                    Value::str("mallory"),
+                    Value::str("n1"),
+                    Value::str("n2"),
+                    Value::str("n9"),
+                ],
             )])
             .unwrap_err();
         assert!(matches!(err, DatalogError::ConstraintViolation(_)));
@@ -539,7 +611,10 @@ mod tests {
         let program = parse_program(source).unwrap();
         let compiled = GenericsCompiler::new().compile(&program).unwrap();
         // Only reachable got a says mapping; secret did not.
-        assert_eq!(compiled.mapping("says", "reachable"), Some("says$reachable"));
+        assert_eq!(
+            compiled.mapping("says", "reachable"),
+            Some("says$reachable")
+        );
         assert_eq!(compiled.mapping("says", "secret"), None);
     }
 
@@ -601,7 +676,10 @@ mod tests {
         let text = compiled.program.to_string();
         assert!(text.contains("creditscore(V$0, V$1) <- says$creditscore(P, self[], V$0, V$1), trustworthyPerPred$creditscore(P)."), "{text}");
         // The concrete fact and constraint for the delegated agency survive.
-        assert!(text.contains("trustworthyPerPred$creditscore(\"CA\")"), "{text}");
+        assert!(
+            text.contains("trustworthyPerPred$creditscore(\"CA\")"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -21,7 +21,10 @@ use secureblox_datalog::udf::UdfRegistry;
 
 /// Check one generic constraint against the meta-database.
 pub fn check_generic_constraint(constraint: &GenericConstraint, meta: &MetaDatabase) -> Result<()> {
-    let as_constraint = Constraint { lhs: constraint.lhs.clone(), rhs: constraint.rhs.clone() };
+    let as_constraint = Constraint {
+        lhs: constraint.lhs.clone(),
+        rhs: constraint.rhs.clone(),
+    };
     let udfs = UdfRegistry::new();
     check_constraint(&as_constraint, meta.relations(), &udfs).map_err(|error| match error {
         DatalogError::ConstraintViolation(violation) => DatalogError::Generics(format!(
@@ -33,7 +36,10 @@ pub fn check_generic_constraint(constraint: &GenericConstraint, meta: &MetaDatab
 }
 
 /// Check every generic constraint; the first violation rejects the program.
-pub fn check_generic_constraints(constraints: &[GenericConstraint], meta: &MetaDatabase) -> Result<()> {
+pub fn check_generic_constraints(
+    constraints: &[GenericConstraint],
+    meta: &MetaDatabase,
+) -> Result<()> {
     for constraint in constraints {
         check_generic_constraint(constraint, meta)?;
     }
@@ -47,14 +53,20 @@ mod tests {
     use secureblox_datalog::value::Value;
 
     fn generic_constraints(source: &str) -> Vec<GenericConstraint> {
-        parse_program(source).unwrap().generic_constraints().cloned().collect()
+        parse_program(source)
+            .unwrap()
+            .generic_constraints()
+            .cloned()
+            .collect()
     }
 
     #[test]
     fn satisfied_constraint_passes() {
         let mut meta = MetaDatabase::default();
-        meta.insert("says", vec![Value::pred("path"), Value::pred("says$path")]).unwrap();
-        meta.insert("exportable", vec![Value::pred("path")]).unwrap();
+        meta.insert("says", vec![Value::pred("path"), Value::pred("says$path")])
+            .unwrap();
+        meta.insert("exportable", vec![Value::pred("path")])
+            .unwrap();
         let constraints = generic_constraints("says(P, SP) --> exportable(P).");
         check_generic_constraints(&constraints, &meta).unwrap();
     }
@@ -62,8 +74,14 @@ mod tests {
     #[test]
     fn violated_constraint_rejects_program() {
         let mut meta = MetaDatabase::default();
-        meta.insert("says", vec![Value::pred("secret_table"), Value::pred("says$secret_table")])
-            .unwrap();
+        meta.insert(
+            "says",
+            vec![
+                Value::pred("secret_table"),
+                Value::pred("says$secret_table"),
+            ],
+        )
+        .unwrap();
         let constraints = generic_constraints("says(P, SP) --> exportable(P).");
         let err = check_generic_constraints(&constraints, &meta).unwrap_err();
         match err {

@@ -32,7 +32,9 @@ pub struct MetaDatabase {
 impl MetaDatabase {
     /// Build the meta-database for a program and its absorbed schema.
     pub fn from_program(program: &Program, schema: &Schema) -> Result<Self> {
-        let mut db = MetaDatabase { relations: HashMap::new() };
+        let mut db = MetaDatabase {
+            relations: HashMap::new(),
+        };
 
         // Built-in generic predicates derived from the schema.
         for decl in schema.decls() {
@@ -53,7 +55,11 @@ impl MetaDatabase {
         // predicate argument, e.g. `exportable(`path).` or
         // `trustworthyPerPred[`creditscore]("CA").`
         for fact in program.facts() {
-            let mentions_pred = fact.atom.terms.iter().any(|t| matches!(t, Term::Const(Value::Pred(_))))
+            let mentions_pred = fact
+                .atom
+                .terms
+                .iter()
+                .any(|t| matches!(t, Term::Const(Value::Pred(_))))
                 || !matches!(fact.atom.pred, secureblox_datalog::ast::PredRef::Named(_));
             if !mentions_pred {
                 continue;
@@ -88,12 +94,15 @@ impl MetaDatabase {
 
     /// True if the meta-fact is present.
     pub fn contains(&self, pred: &str, tuple: &[Value]) -> bool {
-        self.relations.get(pred).map_or(false, |r| r.contains(tuple))
+        self.relations.get(pred).is_some_and(|r| r.contains(tuple))
     }
 
     /// All tuples of one meta-predicate.
     pub fn tuples(&self, pred: &str) -> Vec<Tuple> {
-        self.relations.get(pred).map(|r| r.sorted()).unwrap_or_default()
+        self.relations
+            .get(pred)
+            .map(|r| r.sorted())
+            .unwrap_or_default()
     }
 
     /// The arity recorded for a concrete predicate, if known.
@@ -108,9 +117,17 @@ impl MetaDatabase {
     }
 
     /// Record a newly generated predicate so later generic rules can see it.
-    pub fn add_generated_predicate(&mut self, name: &str, arity: usize, functional: bool) -> Result<()> {
+    pub fn add_generated_predicate(
+        &mut self,
+        name: &str,
+        arity: usize,
+        functional: bool,
+    ) -> Result<()> {
         self.insert("predicate", vec![Value::pred(name)])?;
-        self.insert("pred_arity", vec![Value::pred(name), Value::Int(arity as i64)])?;
+        self.insert(
+            "pred_arity",
+            vec![Value::pred(name), Value::Int(arity as i64)],
+        )?;
         if functional {
             self.insert("functional", vec![Value::pred(name)])?;
         }
@@ -202,7 +219,8 @@ mod tests {
     #[test]
     fn generated_predicates_become_visible() {
         let mut db = build("reachable(X, Y) <- link(X, Y).");
-        db.add_generated_predicate("says$reachable", 4, false).unwrap();
+        db.add_generated_predicate("says$reachable", 4, false)
+            .unwrap();
         assert!(db.contains("predicate", &[Value::pred("says$reachable")]));
         assert_eq!(db.arity_of("says$reachable"), Some(4));
     }

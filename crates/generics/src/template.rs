@@ -102,7 +102,8 @@ impl<'a> InstantiationContext<'a> {
                 self.instantiate_term(rhs, &mut right)?;
                 if left.len() != 1 || right.len() != 1 {
                     return Err(self.generics_err(
-                        "variable sequences cannot appear inside arithmetic expressions".to_string(),
+                        "variable sequences cannot appear inside arithmetic expressions"
+                            .to_string(),
                     ));
                 }
                 out.push(Term::BinOp(
@@ -138,7 +139,11 @@ impl<'a> InstantiationContext<'a> {
         for term in &atom.terms {
             self.instantiate_term(term, &mut terms)?;
         }
-        Ok(vec![Atom { pred, terms, functional: atom.functional }])
+        Ok(vec![Atom {
+            pred,
+            terms,
+            functional: atom.functional,
+        }])
     }
 
     fn expand_types_form(&self, var: &str, atom: &Atom) -> Result<Vec<Atom>> {
@@ -169,7 +174,11 @@ impl<'a> InstantiationContext<'a> {
         let mut atoms = Vec::new();
         for (arg, ty) in args.into_iter().zip(decl.arg_types.iter()) {
             if let Some(ty) = ty {
-                atoms.push(Atom { pred: PredRef::Named(ty.clone()), terms: vec![arg], functional: false });
+                atoms.push(Atom {
+                    pred: PredRef::Named(ty.clone()),
+                    terms: vec![arg],
+                    functional: false,
+                });
             }
         }
         Ok(atoms)
@@ -189,7 +198,9 @@ impl<'a> InstantiationContext<'a> {
                         "the types[…] form cannot appear under negation".to_string(),
                     ));
                 }
-                out.push(Literal::Neg(atoms.into_iter().next().expect("checked length")));
+                out.push(Literal::Neg(
+                    atoms.into_iter().next().expect("checked length"),
+                ));
             }
             Literal::Cmp(lhs, op, rhs) => {
                 let mut left = Vec::with_capacity(1);
@@ -223,7 +234,11 @@ impl<'a> InstantiationContext<'a> {
                 for literal in &rule.body {
                     self.instantiate_literal(literal, &mut body)?;
                 }
-                Ok(vec![Statement::Rule(Rule { head, body, agg: rule.agg.clone() })])
+                Ok(vec![Statement::Rule(Rule {
+                    head,
+                    body,
+                    agg: rule.agg.clone(),
+                })])
             }
             Statement::Constraint(constraint) => {
                 let mut lhs = Vec::new();
@@ -283,7 +298,11 @@ mod tests {
             bindings.bind("T", Value::pred("path"));
             let mut pred_var_names = HashMap::new();
             pred_var_names.insert("ST".to_string(), "says$path".to_string());
-            Fixture { schema, bindings, pred_var_names }
+            Fixture {
+                schema,
+                bindings,
+                pred_var_names,
+            }
         }
 
         fn ctx(&self) -> InstantiationContext<'_> {

@@ -38,7 +38,11 @@ fn app_source(preds: &[(String, usize)], exportable: &[bool]) -> String {
     for (name, arity) in preds {
         let vars: Vec<String> = (0..*arity).map(|i| format!("X{i}")).collect();
         let types: Vec<String> = (0..*arity).map(|i| format!("node(X{i})")).collect();
-        src.push_str(&format!("{name}({}) -> {}.\n", vars.join(", "), types.join(", ")));
+        src.push_str(&format!(
+            "{name}({}) -> {}.\n",
+            vars.join(", "),
+            types.join(", ")
+        ));
     }
     for ((name, _), &exp) in preds.iter().zip(exportable) {
         if exp {

@@ -37,7 +37,12 @@ pub const HEADER_OVERHEAD_BYTES: usize = 48;
 impl Message {
     /// Create a message.
     pub fn new(from: NodeId, to: NodeId, kind: MessageKind, payload: impl Into<Bytes>) -> Self {
-        Message { from, to, kind, payload: payload.into() }
+        Message {
+            from,
+            to,
+            kind,
+            payload: payload.into(),
+        }
     }
 
     /// Total on-the-wire size in bytes (payload plus header overhead).

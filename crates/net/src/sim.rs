@@ -84,9 +84,14 @@ impl SimNetwork {
     pub fn send(&mut self, message: Message, now: VirtualTime) -> VirtualTime {
         let wire_size = message.wire_size();
         let deliver_at = now + self.latency.delay(wire_size).as_nanos() as u64;
-        self.stats.record_send(message.from, message.to, wire_size, message.kind);
+        self.stats
+            .record_send(message.from, message.to, wire_size, message.kind);
         self.sequence += 1;
-        self.queue.push(Reverse(Scheduled { deliver_at, sequence: self.sequence, message }));
+        self.queue.push(Reverse(Scheduled {
+            deliver_at,
+            sequence: self.sequence,
+            message,
+        }));
         deliver_at
     }
 
@@ -94,7 +99,11 @@ impl SimNetwork {
     /// recording traffic (used for bootstrap fact distribution).
     pub fn schedule_untracked(&mut self, message: Message, deliver_at: VirtualTime) {
         self.sequence += 1;
-        self.queue.push(Reverse(Scheduled { deliver_at, sequence: self.sequence, message }));
+        self.queue.push(Reverse(Scheduled {
+            deliver_at,
+            sequence: self.sequence,
+            message,
+        }));
     }
 
     /// Pop the next message in virtual-time order.
@@ -140,7 +149,12 @@ mod tests {
     #[test]
     fn deliveries_come_out_in_time_order() {
         let mut network = SimNetwork::new(3, LatencyModel::default());
-        let a = Message::new(NodeId(0), NodeId(1), MessageKind::Says, vec![0u8; 10_000_000]);
+        let a = Message::new(
+            NodeId(0),
+            NodeId(1),
+            MessageKind::Says,
+            vec![0u8; 10_000_000],
+        );
         let b = Message::new(NodeId(1), NodeId(2), MessageKind::Says, vec![0u8; 10]);
         network.send(a.clone(), 0);
         network.send(b.clone(), 0);
@@ -172,7 +186,10 @@ mod tests {
     #[test]
     fn stats_track_bytes() {
         let mut network = SimNetwork::new(2, LatencyModel::default());
-        network.send(Message::new(NodeId(0), NodeId(1), MessageKind::Says, vec![0u8; 52]), 0);
+        network.send(
+            Message::new(NodeId(0), NodeId(1), MessageKind::Says, vec![0u8; 52]),
+            0,
+        );
         let stats = network.stats();
         assert_eq!(stats.node(NodeId(0)).bytes_sent, 100);
         assert_eq!(stats.node(NodeId(1)).bytes_received, 100);

@@ -44,7 +44,10 @@ pub struct NetworkStats {
 impl NetworkStats {
     /// Statistics for `nodes` nodes.
     pub fn new(nodes: usize) -> Self {
-        NetworkStats { per_node: vec![NodeTraffic::default(); nodes], per_kind: HashMap::new() }
+        NetworkStats {
+            per_node: vec![NodeTraffic::default(); nodes],
+            per_kind: HashMap::new(),
+        }
     }
 
     /// Record one message send.
@@ -80,7 +83,11 @@ impl NetworkStats {
         if self.per_node.is_empty() {
             return 0.0;
         }
-        self.per_node.iter().map(|n| n.kilobytes_sent()).sum::<f64>() / self.per_node.len() as f64
+        self.per_node
+            .iter()
+            .map(|n| n.kilobytes_sent())
+            .sum::<f64>()
+            / self.per_node.len() as f64
     }
 
     /// Bytes attributed to a message kind.
@@ -120,7 +127,12 @@ impl TimingStats {
 
     /// Record a committed transaction on `node` finishing at virtual time
     /// `finished_at` after running for `duration` of real compute time.
-    pub fn record_transaction(&mut self, node: NodeId, duration: Duration, finished_at: VirtualTime) {
+    pub fn record_transaction(
+        &mut self,
+        node: NodeId,
+        duration: Duration,
+        finished_at: VirtualTime,
+    ) {
         self.transaction_durations[node.index()].push(duration);
         self.completion_times[node.index()].push(finished_at);
         self.last_activity[node.index()] = self.last_activity[node.index()].max(finished_at);
@@ -144,7 +156,12 @@ impl TimingStats {
 
     /// Average transaction duration across all nodes (Figure 7).
     pub fn average_transaction_duration(&self) -> Duration {
-        let all: Vec<Duration> = self.transaction_durations.iter().flatten().copied().collect();
+        let all: Vec<Duration> = self
+            .transaction_durations
+            .iter()
+            .flatten()
+            .copied()
+            .collect();
         if all.is_empty() {
             return Duration::ZERO;
         }
@@ -227,7 +244,10 @@ mod tests {
         assert_eq!(timing.total_transactions(), 3);
         assert_eq!(timing.total_rejections(), 1);
         assert_eq!(timing.total_conflicts(), 1);
-        assert_eq!(timing.average_transaction_duration(), Duration::from_millis(20));
+        assert_eq!(
+            timing.average_transaction_duration(),
+            Duration::from_millis(20)
+        );
         assert_eq!(timing.fixpoint_time(), 9_000);
         assert_eq!(timing.convergence_times(), &[1_000, 9_000, 2_000]);
     }

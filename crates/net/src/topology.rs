@@ -227,7 +227,10 @@ mod tests {
     fn grid_is_connected_for_non_square_counts() {
         for n in [2usize, 3, 5, 7, 9, 12, 16] {
             let edges = Topology::Grid.edges(n, 0);
-            assert!(is_connected(n, &edges), "grid of {n} nodes should be connected");
+            assert!(
+                is_connected(n, &edges),
+                "grid of {n} nodes should be connected"
+            );
         }
     }
 

@@ -17,10 +17,19 @@ const KINDS: [MessageKind; 4] = [
     MessageKind::Bootstrap,
 ];
 
-fn arb_sends(nodes: u32, count: usize) -> impl Strategy<Value = Vec<(u32, u32, usize, usize, u64)>> {
+fn arb_sends(
+    nodes: u32,
+    count: usize,
+) -> impl Strategy<Value = Vec<(u32, u32, usize, usize, u64)>> {
     // (from, to, payload_len, kind_index, send_time)
     proptest::collection::vec(
-        (0..nodes, 0..nodes, 0usize..4096, 0usize..KINDS.len(), 0u64..1_000_000),
+        (
+            0..nodes,
+            0..nodes,
+            0usize..4096,
+            0usize..KINDS.len(),
+            0u64..1_000_000,
+        ),
         0..count,
     )
 }

@@ -1,0 +1,101 @@
+//! Typed errors for the durable fact store.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// Errors raised while persisting, verifying, or recovering durable state.
+///
+/// Tampering and corruption are *typed* outcomes, never panics: recovery code
+/// paths distinguish an unreadable file ([`StoreError::Io`]) from a record
+/// whose HMAC chain fails ([`StoreError::TamperedRecord`]) from an object
+/// whose content hash no longer matches its name
+/// ([`StoreError::ObjectMismatch`]).
+#[derive(Debug)]
+pub enum StoreError {
+    /// An operating-system I/O failure.
+    Io {
+        path: PathBuf,
+        source: std::io::Error,
+    },
+    /// A WAL record that decodes incorrectly (bad framing, bad value tags).
+    CorruptRecord { seq: u64, reason: String },
+    /// A WAL record whose HMAC chain tag does not verify — the byte stream
+    /// was modified (or the wrong key is in use).
+    TamperedRecord { seq: u64 },
+    /// The WAL ends mid-record (torn write); `offset` is where the readable
+    /// prefix ends.
+    TruncatedWal { offset: u64 },
+    /// A content-addressed object whose SHA-1 no longer matches its id.
+    ObjectMismatch { expected: String, actual: String },
+    /// A referenced content-addressed object is absent.
+    MissingObject { id: String },
+    /// The `HEAD` pointer is unreadable or malformed.
+    CorruptHead { reason: String },
+    /// A snapshot manifest that decodes incorrectly.
+    CorruptSnapshot { reason: String },
+    /// The Merkle root recomputed after recovery does not match the
+    /// committed root.
+    RootMismatch { expected: String, actual: String },
+    /// A failure surfaced by the Datalog engine while replaying facts.
+    Replay(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { path, source } => {
+                write!(f, "I/O error on {}: {source}", path.display())
+            }
+            StoreError::CorruptRecord { seq, reason } => {
+                write!(f, "corrupt WAL record {seq}: {reason}")
+            }
+            StoreError::TamperedRecord { seq } => {
+                write!(
+                    f,
+                    "WAL record {seq} failed HMAC chain verification (tampered or wrong key)"
+                )
+            }
+            StoreError::TruncatedWal { offset } => {
+                write!(f, "WAL truncated mid-record at byte {offset} (torn write)")
+            }
+            StoreError::ObjectMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "snapshot object {expected} hashes to {actual} (content tampered)"
+                )
+            }
+            StoreError::MissingObject { id } => write!(f, "missing snapshot object {id}"),
+            StoreError::CorruptHead { reason } => write!(f, "corrupt HEAD pointer: {reason}"),
+            StoreError::CorruptSnapshot { reason } => {
+                write!(f, "corrupt snapshot manifest: {reason}")
+            }
+            StoreError::RootMismatch { expected, actual } => write!(
+                f,
+                "recovered state commits to Merkle root {actual}, snapshot committed {expected}"
+            ),
+            StoreError::Replay(message) => write!(f, "replay failed: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl StoreError {
+    /// Attach a path to a raw I/O error.
+    pub fn io(path: impl Into<PathBuf>, source: std::io::Error) -> Self {
+        StoreError::Io {
+            path: path.into(),
+            source,
+        }
+    }
+}
+
+/// Convenient result alias.
+pub type Result<T> = std::result::Result<T, StoreError>;

@@ -1,0 +1,155 @@
+//! Merkle commitment over a node's extensional database.
+//!
+//! Each relation becomes one leaf: `sha1(0x00 || len(name) || name ||
+//! content_digest)`, where the content digest is the SHA-1 of the relation's
+//! canonical snapshot encoding (and therefore also its object id in the
+//! content-addressed store).  Interior nodes are `sha1(0x01 || left ||
+//! right)`; an odd node is promoted unchanged.  The domain-separation bytes
+//! prevent a leaf from being reinterpreted as an interior node (the classic
+//! second-preimage weakness of unseparated Merkle trees).
+//!
+//! The root commits the node's *entire* EDB at a watermark: two stores have
+//! the same root iff every relation has the same name and the same canonical
+//! tuple set.  Audit paths ([`merkle_proof`] / [`verify_proof`]) let a
+//! replica prove a single relation's content against a published root without
+//! shipping the other relations.
+
+use secureblox_crypto::{sha1, Sha1};
+
+/// Digest length (SHA-1).
+pub const HASH_LEN: usize = 20;
+
+/// Hash of one relation leaf.
+pub fn leaf_hash(name: &str, content_digest: &[u8; HASH_LEN]) -> [u8; HASH_LEN] {
+    let mut hasher = Sha1::new();
+    hasher.update(&[0x00]);
+    hasher.update(&(name.len() as u32).to_be_bytes());
+    hasher.update(name.as_bytes());
+    hasher.update(content_digest);
+    hasher.finalize()
+}
+
+fn interior(left: &[u8; HASH_LEN], right: &[u8; HASH_LEN]) -> [u8; HASH_LEN] {
+    let mut hasher = Sha1::new();
+    hasher.update(&[0x01]);
+    hasher.update(left);
+    hasher.update(right);
+    hasher.finalize()
+}
+
+/// Root of the tree over `leaves` in order.  The empty EDB commits to a
+/// distinguished constant so "no snapshot yet" is not confusable with any
+/// real state.
+pub fn merkle_root(leaves: &[[u8; HASH_LEN]]) -> [u8; HASH_LEN] {
+    if leaves.is_empty() {
+        return sha1(b"secureblox-store/empty-edb/v1");
+    }
+    let mut level = leaves.to_vec();
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        for pair in level.chunks(2) {
+            match pair {
+                [left, right] => next.push(interior(left, right)),
+                [odd] => next.push(*odd),
+                _ => unreachable!("chunks(2)"),
+            }
+        }
+        level = next;
+    }
+    level[0]
+}
+
+/// One step of an audit path: the sibling hash and whether it sits to the
+/// left of the path node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProofStep {
+    pub sibling: [u8; HASH_LEN],
+    pub sibling_is_left: bool,
+}
+
+/// Audit path for `leaves[index]`; `None` when the index is out of range.
+pub fn merkle_proof(leaves: &[[u8; HASH_LEN]], index: usize) -> Option<Vec<ProofStep>> {
+    if index >= leaves.len() {
+        return None;
+    }
+    let mut path = Vec::new();
+    let mut level = leaves.to_vec();
+    let mut position = index;
+    while level.len() > 1 {
+        let sibling_index = position ^ 1;
+        if sibling_index < level.len() {
+            path.push(ProofStep {
+                sibling: level[sibling_index],
+                sibling_is_left: sibling_index < position,
+            });
+        }
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        for pair in level.chunks(2) {
+            match pair {
+                [left, right] => next.push(interior(left, right)),
+                [odd] => next.push(*odd),
+                _ => unreachable!("chunks(2)"),
+            }
+        }
+        level = next;
+        position /= 2;
+    }
+    Some(path)
+}
+
+/// Check an audit path from a leaf up to an expected root.
+pub fn verify_proof(leaf: &[u8; HASH_LEN], path: &[ProofStep], root: &[u8; HASH_LEN]) -> bool {
+    let mut current = *leaf;
+    for step in path {
+        current = if step.sibling_is_left {
+            interior(&step.sibling, &current)
+        } else {
+            interior(&current, &step.sibling)
+        };
+    }
+    current == *root
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaves(n: usize) -> Vec<[u8; HASH_LEN]> {
+        (0..n)
+            .map(|i| leaf_hash(&format!("rel{i}"), &sha1(&[i as u8])))
+            .collect()
+    }
+
+    #[test]
+    fn root_is_deterministic_and_content_sensitive() {
+        let a = leaves(5);
+        assert_eq!(merkle_root(&a), merkle_root(&a));
+        let mut b = a.clone();
+        b[3] = leaf_hash("rel3", &sha1(b"different"));
+        assert_ne!(merkle_root(&a), merkle_root(&b));
+        // Order matters: the tree commits to the sorted relation listing.
+        let mut c = a.clone();
+        c.swap(0, 4);
+        assert_ne!(merkle_root(&a), merkle_root(&c));
+        assert_ne!(merkle_root(&[]), merkle_root(&a[..1]));
+    }
+
+    #[test]
+    fn proofs_verify_for_every_leaf_and_size() {
+        for n in 1..=9usize {
+            let set = leaves(n);
+            let root = merkle_root(&set);
+            for (i, leaf) in set.iter().enumerate() {
+                let path = merkle_proof(&set, i).unwrap();
+                assert!(verify_proof(leaf, &path, &root), "n={n} i={i}");
+                let mut bad = *leaf;
+                bad[0] ^= 1;
+                assert!(
+                    !verify_proof(&bad, &path, &root),
+                    "forged leaf accepted n={n} i={i}"
+                );
+            }
+        }
+        assert!(merkle_proof(&leaves(3), 3).is_none());
+    }
+}

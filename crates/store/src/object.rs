@@ -1,0 +1,154 @@
+//! Content-addressed object store.
+//!
+//! Objects are immutable byte blobs named by the lowercase hex SHA-1 of
+//! their content, stored one file per object under `objects/`.  The name *is*
+//! the integrity check: [`ObjectStore::get`] re-hashes what it read and
+//! returns a typed [`StoreError::ObjectMismatch`] when the content no longer
+//! matches the id, so replica sync can copy objects from an untrusted
+//! directory and still detect tampering on first use.
+//!
+//! Writes go through a temporary file and an atomic rename, so a crash never
+//! leaves a half-written object under a valid name.
+
+use crate::error::{Result, StoreError};
+use secureblox_crypto::{sha1, to_hex};
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// An object id: 40 lowercase hex characters of SHA-1.
+pub type ObjectId = String;
+
+/// Hash bytes into their object id.
+pub fn object_id(bytes: &[u8]) -> ObjectId {
+    to_hex(&sha1(bytes))
+}
+
+/// Check that a string is a well-formed object id.
+pub fn is_object_id(id: &str) -> bool {
+    id.len() == 40
+        && id
+            .bytes()
+            .all(|b| b.is_ascii_hexdigit() && !b.is_ascii_uppercase())
+}
+
+/// A directory of content-addressed objects.
+pub struct ObjectStore {
+    dir: PathBuf,
+}
+
+impl ObjectStore {
+    /// Open (creating if absent) the object directory.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<ObjectStore> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| StoreError::io(&dir, e))?;
+        Ok(ObjectStore { dir })
+    }
+
+    /// The directory objects live in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_of(&self, id: &str) -> PathBuf {
+        self.dir.join(id)
+    }
+
+    /// Store bytes, returning their id.  Idempotent: an existing object with
+    /// the same id is left untouched (content addressing makes it identical).
+    pub fn put(&self, bytes: &[u8]) -> Result<ObjectId> {
+        let id = object_id(bytes);
+        let path = self.path_of(&id);
+        if path.exists() {
+            return Ok(id);
+        }
+        let tmp = self.dir.join(format!("{id}.tmp.{}", std::process::id()));
+        {
+            let mut file = fs::File::create(&tmp).map_err(|e| StoreError::io(&tmp, e))?;
+            file.write_all(bytes).map_err(|e| StoreError::io(&tmp, e))?;
+        }
+        fs::rename(&tmp, &path).map_err(|e| StoreError::io(&path, e))?;
+        Ok(id)
+    }
+
+    /// Whether an object is present (content not yet verified).
+    pub fn contains(&self, id: &str) -> bool {
+        self.path_of(id).exists()
+    }
+
+    /// Read and verify an object.
+    pub fn get(&self, id: &str) -> Result<Vec<u8>> {
+        let path = self.path_of(id);
+        let bytes = match fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(StoreError::MissingObject { id: id.to_string() })
+            }
+            Err(e) => return Err(StoreError::io(&path, e)),
+        };
+        let actual = object_id(&bytes);
+        if actual != id {
+            return Err(StoreError::ObjectMismatch {
+                expected: id.to_string(),
+                actual,
+            });
+        }
+        Ok(bytes)
+    }
+
+    /// Ids of every object present (unverified), sorted.
+    pub fn ids(&self) -> Result<Vec<ObjectId>> {
+        let mut ids = Vec::new();
+        let entries = fs::read_dir(&self.dir).map_err(|e| StoreError::io(&self.dir, e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| StoreError::io(&self.dir, e))?;
+            if let Some(name) = entry.file_name().to_str() {
+                if is_object_id(name) {
+                    ids.push(name.to_string());
+                }
+            }
+        }
+        ids.sort();
+        Ok(ids)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sbx-obj-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn put_get_roundtrip_and_idempotence() {
+        let store = ObjectStore::open(tmp("roundtrip")).unwrap();
+        let id = store.put(b"relation bytes").unwrap();
+        assert!(is_object_id(&id));
+        assert_eq!(store.put(b"relation bytes").unwrap(), id);
+        assert_eq!(store.get(&id).unwrap(), b"relation bytes");
+        assert_eq!(store.ids().unwrap(), vec![id]);
+    }
+
+    #[test]
+    fn missing_and_tampered_objects_are_typed() {
+        let store = ObjectStore::open(tmp("tamper")).unwrap();
+        let absent = object_id(b"never stored");
+        assert!(matches!(
+            store.get(&absent),
+            Err(StoreError::MissingObject { .. })
+        ));
+        let id = store.put(b"good content").unwrap();
+        let path = store.dir().join(&id);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[0] ^= 1;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            store.get(&id),
+            Err(StoreError::ObjectMismatch { .. })
+        ));
+    }
+}

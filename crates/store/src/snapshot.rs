@@ -1,0 +1,296 @@
+//! Content-addressed snapshots of a node's extensional database.
+//!
+//! A snapshot is two kinds of objects in the [`crate::object::ObjectStore`]:
+//!
+//! * one **relation object** per non-empty relation — the relation name, the
+//!   tuple count, and every tuple in canonical [`secureblox_datalog::codec`]
+//!   encoding, sorted by encoded bytes so equal relations always produce the
+//!   identical object (and therefore the identical object id);
+//! * one **manifest object** naming the watermark, the WAL sequence number
+//!   the snapshot includes, the sorted relation → object-id listing, and the
+//!   Merkle root binding them all together.
+//!
+//! A small `HEAD` file (outside the object store, swapped atomically) points
+//! at the current manifest.  Because objects are immutable and content
+//! addressed, checkpointing never rewrites old state and replica sync is
+//! "copy missing objects, then swap HEAD".
+
+use crate::error::{Result, StoreError};
+use crate::merkle::{leaf_hash, merkle_root, HASH_LEN};
+use crate::object::{is_object_id, ObjectId};
+use secureblox_crypto::sha1;
+use secureblox_datalog::codec::{deserialize_tuple, read_string, write_string};
+use secureblox_datalog::value::Tuple;
+use std::fs;
+use std::path::Path;
+
+const MANIFEST_MAGIC: &[u8; 8] = b"SBSNAP1\0";
+const RELATION_MAGIC: &[u8; 8] = b"SBREL1\0\0";
+
+/// One relation in a snapshot manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelationEntry {
+    pub name: String,
+    /// Object id of the relation object (= SHA-1 of its encoding).
+    pub object: ObjectId,
+}
+
+impl RelationEntry {
+    /// The Merkle leaf committing this relation.
+    pub fn leaf(&self) -> Result<[u8; HASH_LEN]> {
+        let digest =
+            decode_hex_digest(&self.object).ok_or_else(|| StoreError::CorruptSnapshot {
+                reason: format!("bad object id {}", self.object),
+            })?;
+        Ok(leaf_hash(&self.name, &digest))
+    }
+}
+
+/// The manifest committing a node's entire EDB at a watermark.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotManifest {
+    /// Virtual time (ns) the snapshot was taken at.
+    pub watermark: u64,
+    /// Number of WAL records the snapshot state already includes; recovery
+    /// replays only records with `seq >= wal_seq`.
+    pub wal_seq: u64,
+    /// Relations sorted by name.
+    pub relations: Vec<RelationEntry>,
+    /// Merkle root over the relation leaves in listed order.
+    pub root: [u8; HASH_LEN],
+}
+
+impl SnapshotManifest {
+    /// Recompute the Merkle root from the relation listing.
+    pub fn compute_root(relations: &[RelationEntry]) -> Result<[u8; HASH_LEN]> {
+        let leaves: Vec<[u8; HASH_LEN]> = relations
+            .iter()
+            .map(|entry| entry.leaf())
+            .collect::<Result<_>>()?;
+        Ok(merkle_root(&leaves))
+    }
+
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MANIFEST_MAGIC);
+        out.extend_from_slice(&self.watermark.to_be_bytes());
+        out.extend_from_slice(&self.wal_seq.to_be_bytes());
+        out.extend_from_slice(&(self.relations.len() as u32).to_be_bytes());
+        for entry in &self.relations {
+            write_string(&mut out, &entry.name);
+            write_string(&mut out, &entry.object);
+        }
+        out.extend_from_slice(&self.root);
+        out
+    }
+
+    pub fn decode(data: &[u8]) -> Result<SnapshotManifest> {
+        let corrupt = |reason: &str| StoreError::CorruptSnapshot {
+            reason: reason.to_string(),
+        };
+        if data.get(..8) != Some(MANIFEST_MAGIC.as_slice()) {
+            return Err(corrupt("bad manifest magic"));
+        }
+        let take8 = |pos: usize| -> Result<u64> {
+            let bytes = data
+                .get(pos..pos + 8)
+                .ok_or_else(|| corrupt("truncated header"))?;
+            Ok(u64::from_be_bytes(bytes.try_into().expect("8 bytes")))
+        };
+        let watermark = take8(8)?;
+        let wal_seq = take8(16)?;
+        let count_bytes = data.get(24..28).ok_or_else(|| corrupt("truncated count"))?;
+        let count = u32::from_be_bytes(count_bytes.try_into().expect("4 bytes")) as usize;
+        let mut pos = 28usize;
+        let mut relations = Vec::with_capacity(count);
+        for _ in 0..count {
+            let name = read_string(data, &mut pos)
+                .map_err(|reason| StoreError::CorruptSnapshot { reason })?;
+            let object = read_string(data, &mut pos)
+                .map_err(|reason| StoreError::CorruptSnapshot { reason })?;
+            if !is_object_id(&object) {
+                return Err(corrupt(&format!("malformed object id for relation {name}")));
+            }
+            relations.push(RelationEntry { name, object });
+        }
+        let root_bytes = data
+            .get(pos..pos + HASH_LEN)
+            .ok_or_else(|| corrupt("truncated root"))?;
+        pos += HASH_LEN;
+        if pos != data.len() {
+            return Err(corrupt("trailing bytes after root"));
+        }
+        if !relations.windows(2).all(|w| w[0].name < w[1].name) {
+            return Err(corrupt("relation listing not strictly sorted by name"));
+        }
+        let manifest = SnapshotManifest {
+            watermark,
+            wal_seq,
+            relations,
+            root: root_bytes.try_into().expect("20 bytes"),
+        };
+        let recomputed = SnapshotManifest::compute_root(&manifest.relations)?;
+        if recomputed != manifest.root {
+            return Err(StoreError::RootMismatch {
+                expected: secureblox_crypto::to_hex(&manifest.root),
+                actual: secureblox_crypto::to_hex(&recomputed),
+            });
+        }
+        Ok(manifest)
+    }
+}
+
+/// Encode a relation object from canonically encoded tuples (must already be
+/// sorted by encoded bytes; the encoding asserts this in debug builds).
+pub fn encode_relation<'a>(
+    name: &str,
+    encoded_tuples: impl ExactSizeIterator<Item = &'a Vec<u8>>,
+) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(RELATION_MAGIC);
+    write_string(&mut out, name);
+    out.extend_from_slice(&(encoded_tuples.len() as u32).to_be_bytes());
+    let mut previous: Option<&Vec<u8>> = None;
+    for encoded in encoded_tuples {
+        debug_assert!(
+            previous.is_none_or(|p| p < encoded),
+            "tuples must be sorted"
+        );
+        previous = Some(encoded);
+        out.extend_from_slice(encoded);
+    }
+    out
+}
+
+/// Decode a relation object into its name and tuples.
+pub fn decode_relation(data: &[u8]) -> Result<(String, Vec<Tuple>)> {
+    let corrupt = |reason: String| StoreError::CorruptSnapshot { reason };
+    if data.get(..8) != Some(RELATION_MAGIC.as_slice()) {
+        return Err(corrupt("bad relation magic".into()));
+    }
+    let mut pos = 8usize;
+    let name = read_string(data, &mut pos).map_err(corrupt)?;
+    let count_bytes = data
+        .get(pos..pos + 4)
+        .ok_or_else(|| corrupt("truncated tuple count".into()))?;
+    pos += 4;
+    let count = u32::from_be_bytes(count_bytes.try_into().expect("4 bytes")) as usize;
+    let mut tuples = Vec::with_capacity(count);
+    for _ in 0..count {
+        tuples.push(deserialize_tuple(data, &mut pos).map_err(corrupt)?);
+    }
+    if pos != data.len() {
+        return Err(corrupt(format!("trailing bytes in relation object {name}")));
+    }
+    Ok((name, tuples))
+}
+
+/// The content digest of a relation object (its would-be object id, raw).
+pub fn relation_digest(bytes: &[u8]) -> [u8; HASH_LEN] {
+    sha1(bytes)
+}
+
+fn decode_hex_digest(hex: &str) -> Option<[u8; HASH_LEN]> {
+    if hex.len() != 2 * HASH_LEN {
+        return None;
+    }
+    let mut out = [0u8; HASH_LEN];
+    for (i, chunk) in hex.as_bytes().chunks(2).enumerate() {
+        let high = (chunk[0] as char).to_digit(16)?;
+        let low = (chunk[1] as char).to_digit(16)?;
+        out[i] = (high * 16 + low) as u8;
+    }
+    Some(out)
+}
+
+/// Read the `HEAD` pointer: the manifest's object id.
+pub fn read_head(path: &Path) -> Result<Option<ObjectId>> {
+    let text = match fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(StoreError::io(path, e)),
+    };
+    let id = text.trim();
+    if !is_object_id(id) {
+        return Err(StoreError::CorruptHead {
+            reason: format!("not an object id: {id:?}"),
+        });
+    }
+    Ok(Some(id.to_string()))
+}
+
+/// Atomically swap the `HEAD` pointer to a new manifest id.
+pub fn write_head(path: &Path, id: &ObjectId) -> Result<()> {
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    fs::write(&tmp, format!("{id}\n")).map_err(|e| StoreError::io(&tmp, e))?;
+    fs::rename(&tmp, path).map_err(|e| StoreError::io(path, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::object_id;
+    use secureblox_datalog::codec::serialize_tuple;
+    use secureblox_datalog::value::Value;
+
+    fn sample_relation() -> (Vec<u8>, Vec<Tuple>) {
+        let mut tuples = vec![
+            vec![Value::str("a"), Value::Int(1)],
+            vec![Value::str("b"), Value::Int(2), Value::Bool(true)],
+        ];
+        tuples.sort_by(|x, y| serialize_tuple(x).cmp(&serialize_tuple(y)));
+        let encoded: Vec<Vec<u8>> = tuples.iter().map(|t| serialize_tuple(t)).collect();
+        (encode_relation("link", encoded.iter()), tuples)
+    }
+
+    #[test]
+    fn relation_roundtrip() {
+        let (bytes, tuples) = sample_relation();
+        let (name, back) = decode_relation(&bytes).unwrap();
+        assert_eq!(name, "link");
+        assert_eq!(back, tuples);
+        assert!(decode_relation(&bytes[..bytes.len() - 2]).is_err());
+    }
+
+    #[test]
+    fn manifest_roundtrip_and_root_check() {
+        let (bytes, _) = sample_relation();
+        let relations = vec![RelationEntry {
+            name: "link".into(),
+            object: object_id(&bytes),
+        }];
+        let root = SnapshotManifest::compute_root(&relations).unwrap();
+        let manifest = SnapshotManifest {
+            watermark: 12345,
+            wal_seq: 7,
+            relations,
+            root,
+        };
+        let encoded = manifest.encode();
+        assert_eq!(SnapshotManifest::decode(&encoded).unwrap(), manifest);
+        // A manifest whose root does not match its listing is rejected.
+        let mut forged = manifest.clone();
+        forged.root[0] ^= 1;
+        assert!(matches!(
+            SnapshotManifest::decode(&forged.encode()),
+            Err(StoreError::RootMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn head_roundtrip_and_corruption() {
+        let dir = std::env::temp_dir().join(format!("sbx-head-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let head = dir.join("HEAD");
+        assert_eq!(read_head(&head).unwrap(), None);
+        let id = object_id(b"manifest");
+        write_head(&head, &id).unwrap();
+        assert_eq!(read_head(&head).unwrap(), Some(id));
+        std::fs::write(&head, "not-a-hash\n").unwrap();
+        assert!(matches!(
+            read_head(&head),
+            Err(StoreError::CorruptHead { .. })
+        ));
+    }
+}

@@ -1,0 +1,205 @@
+//! Master → replica store synchronization.
+//!
+//! Because snapshots are immutable content-addressed objects, replication is
+//! rsync-shaped: read the master's `HEAD`, copy every object its manifest
+//! references that the replica lacks (each verified against its content
+//! address while copying), then atomically swap the replica's `HEAD`.  A
+//! reader of the replica either sees the old snapshot or the new one, never a
+//! mixture, and a corrupted master object is detected *before* the swap so a
+//! bad sync can never install a dangling or tampered snapshot.
+//!
+//! The replica holds objects + `HEAD` only — no WAL.  Recovery from a
+//! replica therefore converges to the master's last checkpoint, which is the
+//! read-replica semantics the paper-level deployments need (replicas serve
+//! queries; the master keeps the authoritative log).
+
+use crate::error::{Result, StoreError};
+use crate::object::ObjectStore;
+use crate::snapshot::{read_head, write_head, SnapshotManifest};
+use std::path::Path;
+
+/// What a sync did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SyncStats {
+    /// Objects copied into the replica.
+    pub copied: usize,
+    /// Referenced objects the replica already had.
+    pub skipped: usize,
+}
+
+/// Synchronize one node's store from `master_dir` into `replica_dir`.
+///
+/// Returns [`StoreError::CorruptHead`] when the master has no snapshot to
+/// replicate (checkpoint first).
+pub fn sync_store(master_dir: &Path, replica_dir: &Path) -> Result<SyncStats> {
+    let master_objects = ObjectStore::open(master_dir.join("objects"))?;
+    let replica_objects = ObjectStore::open(replica_dir.join("objects"))?;
+    let manifest_id =
+        read_head(&master_dir.join("HEAD"))?.ok_or_else(|| StoreError::CorruptHead {
+            reason: format!("{} has no snapshot to sync", master_dir.display()),
+        })?;
+
+    let mut stats = SyncStats::default();
+    let manifest_bytes = master_objects.get(&manifest_id)?;
+    let manifest = SnapshotManifest::decode(&manifest_bytes)?;
+    for entry in &manifest.relations {
+        if replica_objects.contains(&entry.object) {
+            stats.skipped += 1;
+            continue;
+        }
+        replica_objects.put(&master_objects.get(&entry.object)?)?;
+        stats.copied += 1;
+    }
+    if replica_objects.contains(&manifest_id) {
+        stats.skipped += 1;
+    } else {
+        replica_objects.put(&manifest_bytes)?;
+        stats.copied += 1;
+    }
+    write_head(&replica_dir.join("HEAD"), &manifest_id)?;
+    Ok(stats)
+}
+
+/// Synchronize every node store under `master_dir` (one subdirectory per
+/// principal, as laid out by `DurabilityConfig`) into `replica_dir`.
+pub fn sync_deployment(master_dir: &Path, replica_dir: &Path) -> Result<Vec<(String, SyncStats)>> {
+    let mut results = Vec::new();
+    let entries = std::fs::read_dir(master_dir).map_err(|e| StoreError::io(master_dir, e))?;
+    let mut names: Vec<String> = entries
+        .filter_map(|entry| entry.ok())
+        .filter(|entry| entry.path().is_dir())
+        .filter_map(|entry| entry.file_name().to_str().map(String::from))
+        .collect();
+    names.sort();
+    for name in names {
+        let stats = sync_store(&master_dir.join(&name), &replica_dir.join(&name))?;
+        results.push((name, stats));
+    }
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{derive_node_key, FactStore};
+    use secureblox_datalog::value::Value;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sbx-sync-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn replica_matches_master_snapshot() {
+        let master_dir = tmp("master");
+        let replica_dir = tmp("replica");
+        let key = derive_node_key(1, "n0");
+        let mut master = FactStore::open(&master_dir, &key).unwrap();
+        let facts: Vec<(String, Tuple)> = (0..5)
+            .map(|i| ("link".to_string(), vec![Value::str("n0"), Value::Int(i)]))
+            .collect();
+        master
+            .log_inserts(facts.iter().map(|(p, t)| (p.as_str(), t)), 3)
+            .unwrap();
+        let info = master.checkpoint(3).unwrap();
+
+        let stats = sync_store(&master_dir, &replica_dir).unwrap();
+        assert_eq!(stats.copied, 2); // one relation object + the manifest
+        let replica = FactStore::open(&replica_dir, &key).unwrap();
+        assert_eq!(replica.base_facts(), master.base_facts());
+        assert_eq!(replica.base_root(), master.base_root());
+        assert_eq!(replica.snapshot().unwrap().manifest_id, info.manifest_id);
+
+        // Second sync with unchanged master copies nothing.
+        let again = sync_store(&master_dir, &replica_dir).unwrap();
+        assert_eq!(
+            again,
+            SyncStats {
+                copied: 0,
+                skipped: 2
+            }
+        );
+    }
+
+    use secureblox_datalog::value::Tuple;
+
+    #[test]
+    fn replica_local_appends_survive_reopen() {
+        // A replica holds the master's snapshot (wal_seq = N) but no WAL
+        // history; its own appends must continue the numbering past N, or
+        // the `seq >= wal_seq` replay rule would silently drop them.
+        let master_dir = tmp("seqmaster");
+        let replica_dir = tmp("seqreplica");
+        let key = derive_node_key(1, "n0");
+        let mut master = FactStore::open(&master_dir, &key).unwrap();
+        let facts: Vec<(String, Tuple)> = (0..4)
+            .map(|i| ("link".to_string(), vec![Value::str("n0"), Value::Int(i)]))
+            .collect();
+        master
+            .log_inserts(facts.iter().map(|(p, t)| (p.as_str(), t)), 1)
+            .unwrap();
+        let info = master.checkpoint(1).unwrap();
+        assert_eq!(info.wal_seq, 4);
+        sync_store(&master_dir, &replica_dir).unwrap();
+
+        let mut replica = FactStore::open(&replica_dir, &key).unwrap();
+        assert_eq!(
+            replica.wal_seq(),
+            4,
+            "numbering continues past the snapshot"
+        );
+        let extra = ("link".to_string(), vec![Value::str("n0"), Value::Int(99)]);
+        replica
+            .log_inserts([(extra.0.as_str(), &extra.1)], 5)
+            .unwrap();
+        let facts_after = replica.base_facts();
+        let root_after = replica.base_root();
+        drop(replica);
+
+        let reopened = FactStore::open(&replica_dir, &key).unwrap();
+        assert_eq!(reopened.base_fact_count(), 5);
+        assert_eq!(reopened.base_facts(), facts_after);
+        assert_eq!(reopened.base_root(), root_after);
+        assert_eq!(reopened.recovered_suffix().len(), 1);
+    }
+
+    #[test]
+    fn sync_without_checkpoint_is_typed() {
+        let master_dir = tmp("nosnap");
+        let key = derive_node_key(1, "n0");
+        drop(FactStore::open(&master_dir, &key).unwrap());
+        assert!(matches!(
+            sync_store(&master_dir, &tmp("nosnap-replica")),
+            Err(StoreError::CorruptHead { .. })
+        ));
+    }
+
+    #[test]
+    fn tampered_master_object_fails_before_head_swap() {
+        let master_dir = tmp("tampermaster");
+        let replica_dir = tmp("tamperreplica");
+        let key = derive_node_key(1, "n0");
+        let mut master = FactStore::open(&master_dir, &key).unwrap();
+        let fact = ("link".to_string(), vec![Value::str("a"), Value::str("b")]);
+        master.log_inserts([(fact.0.as_str(), &fact.1)], 1).unwrap();
+        let info = master.checkpoint(1).unwrap();
+        let manifest =
+            SnapshotManifest::decode(&master.objects().get(&info.manifest_id).unwrap()).unwrap();
+        drop(master);
+        let object_path = master_dir
+            .join("objects")
+            .join(&manifest.relations[0].object);
+        let mut bytes = std::fs::read(&object_path).unwrap();
+        bytes[10] ^= 1;
+        std::fs::write(&object_path, &bytes).unwrap();
+
+        assert!(matches!(
+            sync_store(&master_dir, &replica_dir),
+            Err(StoreError::ObjectMismatch { .. })
+        ));
+        // The replica HEAD was never installed.
+        assert_eq!(read_head(&replica_dir.join("HEAD")).unwrap(), None);
+    }
+}

@@ -1,0 +1,395 @@
+//! Append-only write-ahead log of base-fact insertions and retractions.
+//!
+//! Every record is framed as `len:u32 | body | tag:20` where the body is the
+//! canonical [`secureblox_datalog::codec`] encoding of the record and the tag
+//! is an HMAC-SHA1 *chain*: `tag_i = HMAC(key, tag_{i-1} || len_i || body_i)`
+//! with an all-zero genesis tag.  Chaining means an attacker who can rewrite
+//! the file cannot splice, reorder, drop, or alter records without the key —
+//! any single flipped byte invalidates every tag from that record onward, and
+//! verification reports the first failing sequence number as a typed
+//! [`StoreError::TamperedRecord`], never a panic.
+//!
+//! Torn writes (a crash mid-append) leave a readable verified prefix followed
+//! by a partial frame; [`Wal::open_tolerant`] recovers the prefix and reports
+//! where the tail was cut, while [`Wal::open`] surfaces the typed
+//! [`StoreError::TruncatedWal`] so callers can decide.
+
+use crate::error::{Result, StoreError};
+use secureblox_crypto::hmac_sha1;
+use secureblox_datalog::codec::{deserialize_tuple, read_string, serialize_tuple, write_string};
+use secureblox_datalog::value::Tuple;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Length of the HMAC-SHA1 chain tag.
+pub const TAG_LEN: usize = 20;
+
+/// The two operations a WAL record can describe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalOp {
+    /// A base fact inserted by a committed transaction.
+    Insert,
+    /// A base fact retracted (incremental deletion).
+    Retract,
+}
+
+/// One decoded WAL record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecord {
+    /// Zero-based position in the log (also the chain index).
+    pub seq: u64,
+    /// Virtual-time watermark of the committing transaction, in nanoseconds.
+    /// Records that committed together share a watermark, which lets recovery
+    /// replay them with the original transaction boundaries.
+    pub watermark: u64,
+    pub op: WalOp,
+    /// The predicate the fact belongs to.
+    pub pred: String,
+    pub tuple: Tuple,
+}
+
+impl WalRecord {
+    fn encode_body(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32 + self.pred.len());
+        out.extend_from_slice(&self.seq.to_be_bytes());
+        out.extend_from_slice(&self.watermark.to_be_bytes());
+        out.push(match self.op {
+            WalOp::Insert => 0,
+            WalOp::Retract => 1,
+        });
+        write_string(&mut out, &self.pred);
+        out.extend_from_slice(&serialize_tuple(&self.tuple));
+        out
+    }
+
+    /// Decode a record body.  `expected_seq` is `None` for the first record
+    /// of a log — a WAL may start at any base sequence number (a store seeded
+    /// from a synced snapshot continues the master's numbering without
+    /// holding its history) — and enforces contiguity afterwards.
+    fn decode_body(index: u64, expected_seq: Option<u64>, body: &[u8]) -> Result<WalRecord> {
+        let corrupt = |reason: &str| StoreError::CorruptRecord {
+            seq: index,
+            reason: reason.into(),
+        };
+        let take8 = |pos: usize| -> Result<u64> {
+            let bytes = body
+                .get(pos..pos + 8)
+                .ok_or_else(|| corrupt("truncated header"))?;
+            Ok(u64::from_be_bytes(bytes.try_into().expect("8 bytes")))
+        };
+        let seq = take8(0)?;
+        if let Some(expected) = expected_seq {
+            if seq != expected {
+                return Err(StoreError::CorruptRecord {
+                    seq: index,
+                    reason: format!("record claims sequence {seq}, expected {expected}"),
+                });
+            }
+        }
+        let watermark = take8(8)?;
+        let op = match body.get(16) {
+            Some(0) => WalOp::Insert,
+            Some(1) => WalOp::Retract,
+            Some(other) => return Err(corrupt(&format!("unknown op tag {other}"))),
+            None => return Err(corrupt("truncated op tag")),
+        };
+        let mut pos = 17usize;
+        let pred = read_string(body, &mut pos)
+            .map_err(|reason| StoreError::CorruptRecord { seq: index, reason })?;
+        let tuple = deserialize_tuple(body, &mut pos)
+            .map_err(|reason| StoreError::CorruptRecord { seq: index, reason })?;
+        if pos != body.len() {
+            return Err(corrupt("trailing bytes after tuple"));
+        }
+        Ok(WalRecord {
+            seq,
+            watermark,
+            op,
+            pred,
+            tuple,
+        })
+    }
+}
+
+/// Compute the chain tag for one frame.
+fn chain_tag(key: &[u8], prev: &[u8; TAG_LEN], len_be: &[u8; 4], body: &[u8]) -> [u8; TAG_LEN] {
+    let mut message = Vec::with_capacity(TAG_LEN + 4 + body.len());
+    message.extend_from_slice(prev);
+    message.extend_from_slice(len_be);
+    message.extend_from_slice(body);
+    hmac_sha1(key, &message)
+}
+
+/// The outcome of reading a WAL file from disk.
+#[derive(Debug)]
+pub struct WalReadout {
+    pub records: Vec<WalRecord>,
+    /// Chain tag of the last verified record (genesis tag when empty).
+    pub last_tag: [u8; TAG_LEN],
+    /// Byte offset where a torn tail begins, if the file ends mid-frame.
+    pub torn_at: Option<u64>,
+}
+
+fn read_wal(path: &Path, key: &[u8]) -> Result<WalReadout> {
+    let mut data = Vec::new();
+    match File::open(path) {
+        Ok(mut file) => {
+            file.read_to_end(&mut data)
+                .map_err(|e| StoreError::io(path, e))?;
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => return Err(StoreError::io(path, e)),
+    }
+    let mut records = Vec::new();
+    let mut tag = [0u8; TAG_LEN];
+    let mut pos = 0usize;
+    let mut torn_at = None;
+    while pos < data.len() {
+        let frame_start = pos;
+        let Some(len_bytes) = data.get(pos..pos + 4) else {
+            torn_at = Some(frame_start as u64);
+            break;
+        };
+        let len_be: [u8; 4] = len_bytes.try_into().expect("4 bytes");
+        let len = u32::from_be_bytes(len_be) as usize;
+        let Some(body) = data.get(pos + 4..pos + 4 + len) else {
+            torn_at = Some(frame_start as u64);
+            break;
+        };
+        let Some(stored_tag) = data.get(pos + 4 + len..pos + 4 + len + TAG_LEN) else {
+            torn_at = Some(frame_start as u64);
+            break;
+        };
+        let index = records.len() as u64;
+        let expected = chain_tag(key, &tag, &len_be, body);
+        if stored_tag != expected {
+            return Err(StoreError::TamperedRecord { seq: index });
+        }
+        let expected_seq = records.last().map(|r: &WalRecord| r.seq + 1);
+        records.push(WalRecord::decode_body(index, expected_seq, body)?);
+        tag = expected;
+        pos += 4 + len + TAG_LEN;
+    }
+    Ok(WalReadout {
+        records,
+        last_tag: tag,
+        torn_at,
+    })
+}
+
+/// An open write-ahead log: verified records already on disk plus an append
+/// handle that continues the HMAC chain.
+#[derive(Debug)]
+pub struct Wal {
+    path: PathBuf,
+    key: Vec<u8>,
+    file: File,
+    next_seq: u64,
+    last_tag: [u8; TAG_LEN],
+}
+
+impl Wal {
+    /// Open (creating if absent) and verify the full log.  A torn tail is an
+    /// error here; use [`Wal::open_tolerant`] to salvage the verified prefix.
+    pub fn open(path: impl Into<PathBuf>, key: &[u8]) -> Result<(Wal, Vec<WalRecord>)> {
+        let (wal, readout) = Self::open_inner(path.into(), key)?;
+        if let Some(offset) = readout.torn_at {
+            return Err(StoreError::TruncatedWal { offset });
+        }
+        Ok((wal, readout.records))
+    }
+
+    /// Open the log, truncating a torn tail (crash mid-append) after the last
+    /// fully verified record.  Returns the salvage offset when that happened.
+    pub fn open_tolerant(
+        path: impl Into<PathBuf>,
+        key: &[u8],
+    ) -> Result<(Wal, Vec<WalRecord>, Option<u64>)> {
+        let path = path.into();
+        let (wal, readout) = Self::open_inner(path.clone(), key)?;
+        if let Some(offset) = readout.torn_at {
+            let file = OpenOptions::new()
+                .write(true)
+                .open(&path)
+                .map_err(|e| StoreError::io(&path, e))?;
+            file.set_len(offset).map_err(|e| StoreError::io(&path, e))?;
+        }
+        Ok((wal, readout.records, readout.torn_at))
+    }
+
+    fn open_inner(path: PathBuf, key: &[u8]) -> Result<(Wal, WalReadout)> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).map_err(|e| StoreError::io(parent, e))?;
+        }
+        let readout = read_wal(&path, key)?;
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| StoreError::io(&path, e))?;
+        let wal = Wal {
+            path,
+            key: key.to_vec(),
+            file,
+            next_seq: readout.records.last().map_or(0, |r| r.seq + 1),
+            last_tag: readout.last_tag,
+        };
+        Ok((wal, readout))
+    }
+
+    /// Advance the next sequence number without writing anything.  Used when
+    /// a store holds a snapshot but not the WAL history behind it (a synced
+    /// replica): fresh appends continue the snapshot's numbering so the
+    /// `seq >= wal_seq` replay rule keeps working.  Never moves backwards.
+    pub fn advance_seq_to(&mut self, seq: u64) {
+        self.next_seq = self.next_seq.max(seq);
+    }
+
+    /// Sequence number the next appended record will get (== records written).
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Append one record, extending the HMAC chain, and return it.
+    pub fn append(
+        &mut self,
+        op: WalOp,
+        pred: &str,
+        tuple: Tuple,
+        watermark: u64,
+    ) -> Result<WalRecord> {
+        let record = WalRecord {
+            seq: self.next_seq,
+            watermark,
+            op,
+            pred: pred.to_string(),
+            tuple,
+        };
+        let body = record.encode_body();
+        let len_be = (body.len() as u32).to_be_bytes();
+        let tag = chain_tag(&self.key, &self.last_tag, &len_be, &body);
+        let mut frame = Vec::with_capacity(4 + body.len() + TAG_LEN);
+        frame.extend_from_slice(&len_be);
+        frame.extend_from_slice(&body);
+        frame.extend_from_slice(&tag);
+        self.file
+            .write_all(&frame)
+            .map_err(|e| StoreError::io(&self.path, e))?;
+        self.last_tag = tag;
+        self.next_seq += 1;
+        Ok(record)
+    }
+
+    /// Flush appended records to the operating system.
+    pub fn flush(&mut self) -> Result<()> {
+        self.file.flush().map_err(|e| StoreError::io(&self.path, e))
+    }
+
+    /// Re-read and verify the log from disk without touching the append state.
+    pub fn verify(&self) -> Result<Vec<WalRecord>> {
+        let readout = read_wal(&self.path, &self.key)?;
+        if let Some(offset) = readout.torn_at {
+            return Err(StoreError::TruncatedWal { offset });
+        }
+        Ok(readout.records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secureblox_datalog::value::Value;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sbx-wal-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("wal.log")
+    }
+
+    fn sample(i: i64) -> Tuple {
+        vec![Value::str("n0"), Value::Int(i), Value::bytes(vec![7, 8, 9])]
+    }
+
+    #[test]
+    fn append_reopen_roundtrip() {
+        let path = tmp("roundtrip");
+        let key = b"k";
+        let (mut wal, records) = Wal::open(&path, key).unwrap();
+        assert!(records.is_empty());
+        for i in 0..5 {
+            wal.append(WalOp::Insert, "link", sample(i), 100 + i as u64)
+                .unwrap();
+        }
+        wal.append(WalOp::Retract, "link", sample(0), 200).unwrap();
+        drop(wal);
+        let (wal, records) = Wal::open(&path, key).unwrap();
+        assert_eq!(records.len(), 6);
+        assert_eq!(wal.next_seq(), 6);
+        assert_eq!(records[2].tuple, sample(2));
+        assert_eq!(records[5].op, WalOp::Retract);
+        assert_eq!(records[5].watermark, 200);
+    }
+
+    #[test]
+    fn flipped_byte_is_typed_tamper_error() {
+        let path = tmp("tamper");
+        let key = b"k";
+        let (mut wal, _) = Wal::open(&path, key).unwrap();
+        for i in 0..3 {
+            wal.append(WalOp::Insert, "link", sample(i), i as u64)
+                .unwrap();
+        }
+        drop(wal);
+        let clean = std::fs::read(&path).unwrap();
+        for position in [4usize, clean.len() / 2, clean.len() - 1] {
+            let mut bytes = clean.clone();
+            bytes[position] ^= 0x40;
+            std::fs::write(&path, &bytes).unwrap();
+            match Wal::open(&path, key) {
+                Err(StoreError::TamperedRecord { .. }) => {}
+                other => panic!("flip at {position}: expected TamperedRecord, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_key_rejects_first_record() {
+        let path = tmp("wrongkey");
+        let (mut wal, _) = Wal::open(&path, b"right").unwrap();
+        wal.append(WalOp::Insert, "link", sample(1), 1).unwrap();
+        drop(wal);
+        match Wal::open(&path, b"wrong") {
+            Err(StoreError::TamperedRecord { seq: 0 }) => {}
+            other => panic!("expected TamperedRecord at 0, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn torn_tail_detected_and_salvaged() {
+        let path = tmp("torn");
+        let key = b"k";
+        let (mut wal, _) = Wal::open(&path, key).unwrap();
+        wal.append(WalOp::Insert, "link", sample(1), 1).unwrap();
+        wal.append(WalOp::Insert, "link", sample(2), 2).unwrap();
+        drop(wal);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+        match Wal::open(&path, key) {
+            Err(StoreError::TruncatedWal { .. }) => {}
+            other => panic!("expected TruncatedWal, got {other:?}"),
+        }
+        let (wal, records, torn) = Wal::open_tolerant(&path, key).unwrap();
+        assert_eq!(records.len(), 1);
+        assert!(torn.is_some());
+        assert_eq!(wal.next_seq(), 1);
+        // The salvaged log is clean again and appendable.
+        drop(wal);
+        let (mut wal, records) = Wal::open(&path, key).unwrap();
+        assert_eq!(records.len(), 1);
+        wal.append(WalOp::Insert, "link", sample(3), 3).unwrap();
+        drop(wal);
+        assert_eq!(Wal::open(&path, key).unwrap().1.len(), 2);
+    }
+}

@@ -8,8 +8,14 @@
 use secureblox::apps::anonjoin::{self, AnonJoinConfig};
 
 fn main() {
-    let relays: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(3);
-    let config = AnonJoinConfig { num_relays: relays, ..AnonJoinConfig::default() };
+    let relays: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(3);
+    let config = AnonJoinConfig {
+        num_relays: relays,
+        ..AnonJoinConfig::default()
+    };
     println!(
         "anonymous join: {} interests against {} public rows over a circuit with {relays} relays",
         config.interest_rows, config.public_rows
@@ -17,11 +23,12 @@ fn main() {
     let outcome = anonjoin::run(&config).expect("anonymous join failed");
     println!(
         "replies at the initiator: {} (expected {}); owner ever saw the initiator: {}",
-        outcome.replies_at_initiator,
-        outcome.expected_matches,
-        !outcome.owner_never_saw_initiator
+        outcome.replies_at_initiator, outcome.expected_matches, !outcome.owner_never_saw_initiator
     );
     assert_eq!(outcome.replies_at_initiator, outcome.expected_matches);
     assert!(outcome.owner_never_saw_initiator);
-    println!("anonymity preserved; per-node overhead {:.2} KB", outcome.report.per_node_kb);
+    println!(
+        "anonymity preserved; per-node overhead {:.2} KB",
+        outcome.report.per_node_kb
+    );
 }

@@ -19,18 +19,27 @@ fn main() {
     } else {
         AuthScheme::NoAuth
     };
-    let enc = if args.iter().any(|a| a == "AES") { EncScheme::Aes128 } else { EncScheme::None };
+    let enc = if args.iter().any(|a| a == "AES") {
+        EncScheme::Aes128
+    } else {
+        EncScheme::None
+    };
 
     let config = PathVectorConfig {
         num_nodes: nodes,
         security: SecurityConfig::new(auth, enc),
         ..PathVectorConfig::default()
     };
-    println!("running the path-vector protocol on {nodes} simulated nodes with {}", config.security.label());
+    println!(
+        "running the path-vector protocol on {nodes} simulated nodes with {}",
+        config.security.label()
+    );
     let outcome = pathvector::run(&config).expect("path-vector run failed");
     println!(
         "fixpoint latency {:?}, avg transaction {:?}, per-node overhead {:.1} KB",
-        outcome.report.fixpoint_latency, outcome.report.average_transaction, outcome.report.per_node_kb
+        outcome.report.fixpoint_latency,
+        outcome.report.average_transaction,
+        outcome.report.per_node_kb
     );
     println!(
         "{} of {} nodes found a route to n0; {} best-cost entries in total; {} rejected batches",

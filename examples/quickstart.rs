@@ -7,8 +7,8 @@
 //! cargo run --release --example quickstart [NoAuth|HMAC|RSA] [AES]
 //! ```
 
-use secureblox::runtime::{Deployment, DeploymentConfig, NodeSpec};
 use secureblox::policy::SecurityConfig;
+use secureblox::runtime::{Deployment, DeploymentConfig, NodeSpec};
 use secureblox::{AuthScheme, EncScheme, Value};
 
 /// The application program: each node gossips its links; every node builds
@@ -35,7 +35,11 @@ fn parse_security() -> SecurityConfig {
         Some("RSA") => AuthScheme::Rsa,
         _ => AuthScheme::NoAuth,
     };
-    let enc = if args.iter().any(|a| a == "AES") { EncScheme::Aes128 } else { EncScheme::None };
+    let enc = if args.iter().any(|a| a == "AES") {
+        EncScheme::Aes128
+    } else {
+        EncScheme::None
+    };
     SecurityConfig::new(auth, enc)
 }
 
@@ -49,17 +53,27 @@ fn main() {
     for (a, b) in links {
         let a_index: usize = a[1..].parse().unwrap();
         let b_index: usize = b[1..].parse().unwrap();
-        specs[a_index].base_facts.push(("link".into(), vec![Value::str(a), Value::str(b)]));
-        specs[b_index].base_facts.push(("link".into(), vec![Value::str(b), Value::str(a)]));
+        specs[a_index]
+            .base_facts
+            .push(("link".into(), vec![Value::str(a), Value::str(b)]));
+        specs[b_index]
+            .base_facts
+            .push(("link".into(), vec![Value::str(b), Value::str(a)]));
     }
 
-    let config = DeploymentConfig { security, ..DeploymentConfig::default() };
+    let config = DeploymentConfig {
+        security,
+        ..DeploymentConfig::default()
+    };
     let mut deployment = Deployment::build(APP, &specs, config).expect("deployment build failed");
     let report = deployment.run().expect("deployment run failed");
 
     println!(
         "fixpoint latency {:?}, avg transaction {:?}, per-node overhead {:.2} KB, {} messages",
-        report.fixpoint_latency, report.average_transaction, report.per_node_kb, report.total_messages
+        report.fixpoint_latency,
+        report.average_transaction,
+        report.per_node_kb,
+        report.total_messages
     );
     for i in 0..4 {
         let principal = format!("n{i}");

@@ -18,7 +18,11 @@ fn main() {
         SecurityConfig::new(AuthScheme::NoAuth, EncScheme::None)
     };
 
-    let config = HashJoinConfig { num_nodes: nodes, security, ..HashJoinConfig::default() };
+    let config = HashJoinConfig {
+        num_nodes: nodes,
+        security,
+        ..HashJoinConfig::default()
+    };
     println!(
         "running a parallel hash join of {}x{} tuples over {nodes} nodes with {}",
         config.table_a_rows,
@@ -34,9 +38,10 @@ fn main() {
         outcome.report.fixpoint_latency
     );
     assert_eq!(outcome.results_at_initiator, outcome.expected_results);
-    if let (Some(first), Some(last)) =
-        (outcome.initiator_completions.first(), outcome.initiator_completions.last())
-    {
+    if let (Some(first), Some(last)) = (
+        outcome.initiator_completions.first(),
+        outcome.initiator_completions.last(),
+    ) {
         println!("first result batch at {first:?}, last at {last:?}");
     }
 }

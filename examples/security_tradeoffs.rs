@@ -53,7 +53,9 @@ fn main() {
         );
         assert_eq!(outcome.report.rejected_batches, 0);
         let kb = outcome.report.per_node_kb;
-        let overhead = baseline_kb.map(|base| format!("({:+.0}%)", (kb / base - 1.0) * 100.0)).unwrap_or_default();
+        let overhead = baseline_kb
+            .map(|base| format!("({:+.0}%)", (kb / base - 1.0) * 100.0))
+            .unwrap_or_default();
         if baseline_kb.is_none() {
             baseline_kb = Some(kb);
         }

@@ -39,16 +39,23 @@ const APP: &str = r#"
 fn specs(alice_trusts: &str) -> Vec<NodeSpec> {
     let mut alice = NodeSpec::new("alice");
     // Alice's local delegation decision: who she trusts for creditscore.
-    alice
-        .base_facts
-        .push(("trustworthyPerPred$creditscore".into(), vec![Value::str(alice_trusts)]));
+    alice.base_facts.push((
+        "trustworthyPerPred$creditscore".into(),
+        vec![Value::str(alice_trusts)],
+    ));
 
     let mut ca = NodeSpec::new("ca");
-    ca.base_facts.push(("myreport".into(), vec![Value::str("bob"), Value::Int(720)]));
-    ca.base_facts.push(("myreport".into(), vec![Value::str("carol"), Value::Int(810)]));
+    ca.base_facts
+        .push(("myreport".into(), vec![Value::str("bob"), Value::Int(720)]));
+    ca.base_facts.push((
+        "myreport".into(),
+        vec![Value::str("carol"), Value::Int(810)],
+    ));
 
     let mut mallory = NodeSpec::new("mallory");
-    mallory.base_facts.push(("myreport".into(), vec![Value::str("bob"), Value::Int(999)]));
+    mallory
+        .base_facts
+        .push(("myreport".into(), vec![Value::str("bob"), Value::Int(999)]));
 
     vec![alice, ca, mallory]
 }
@@ -95,7 +102,11 @@ fn main() {
         said.len(),
         if said.len() == 1 { "" } else { "s" }
     );
-    assert_eq!(scores.len(), 2, "alice should hold exactly the agency's two scores");
+    assert_eq!(
+        scores.len(),
+        2,
+        "alice should hold exactly the agency's two scores"
+    );
     assert!(scores.contains(&vec![Value::str("bob"), Value::Int(720)]));
     assert!(scores.contains(&vec![Value::str("carol"), Value::Int(810)]));
     assert!(
@@ -118,7 +129,10 @@ fn main() {
         report.rejected_batches,
         scores.len()
     );
-    assert!(report.rejected_batches >= 1, "the bad delegation must be rejected");
+    assert!(
+        report.rejected_batches >= 1,
+        "the bad delegation must be rejected"
+    );
     assert!(
         scores.iter().all(|t| t[1].as_int() != Some(999)),
         "the imposter's score must not appear even under misconfiguration"

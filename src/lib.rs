@@ -1,0 +1,10 @@
+//! Umbrella package for the SecureBlox reproduction.
+//!
+//! The substance of the reproduction lives in the workspace crates
+//! (`secureblox`, `secureblox-datalog`, `secureblox-crypto`, `secureblox-net`,
+//! `secureblox-generics`, `secureblox-store`, `secureblox-bench`); this
+//! package exists to host the repo-level integration tests in `tests/` and
+//! the runnable walkthroughs in `examples/`.
+
+pub use secureblox;
+pub use secureblox_store;

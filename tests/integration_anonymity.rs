@@ -34,6 +34,8 @@ fn longer_circuits_cost_more_bandwidth() {
     .unwrap();
     assert_eq!(short.replies_at_initiator, long.replies_at_initiator);
     // Every extra relay forwards every cell once more.
-    assert!(long.report.per_node_kb * long.report.num_nodes as f64
-        > short.report.per_node_kb * short.report.num_nodes as f64);
+    assert!(
+        long.report.per_node_kb * long.report.num_nodes as f64
+            > short.report.per_node_kb * short.report.num_nodes as f64
+    );
 }

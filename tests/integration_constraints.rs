@@ -41,7 +41,12 @@ fn says_from_unknown_principal_rolls_back_the_whole_batch() {
             ("link".into(), vec![Value::str("n0"), Value::str("n1")]),
             (
                 "says$reachable".into(),
-                vec![Value::str("mallory"), Value::str("n0"), Value::str("n1"), Value::str("n9")],
+                vec![
+                    Value::str("mallory"),
+                    Value::str("n0"),
+                    Value::str("n1"),
+                    Value::str("n9"),
+                ],
             ),
         ])
         .unwrap_err();
@@ -50,7 +55,11 @@ fn says_from_unknown_principal_rolls_back_the_whole_batch() {
     assert_eq!(ws.count("reachable"), 0);
 
     // The same link alone commits fine.
-    ws.transaction(vec![("link".into(), vec![Value::str("n0"), Value::str("n1")])]).unwrap();
+    ws.transaction(vec![(
+        "link".into(),
+        vec![Value::str("n0"), Value::str("n1")],
+    )])
+    .unwrap();
     assert_eq!(ws.count("reachable"), 1);
 }
 
@@ -58,11 +67,22 @@ fn says_from_unknown_principal_rolls_back_the_whole_batch() {
 fn hmac_policy_requires_a_matching_signature_inside_the_transaction() {
     let mut ws = secured_workspace(AuthScheme::HmacSha1);
     let secret = b"pairwise secret n0<->n1".to_vec();
-    ws.assert_fact("secret", vec![Value::str("n1"), Value::bytes(secret.clone())]).unwrap();
+    ws.assert_fact(
+        "secret",
+        vec![Value::str("n1"), Value::bytes(secret.clone())],
+    )
+    .unwrap();
 
-    let says_tuple = vec![Value::str("n1"), Value::str("n0"), Value::str("n1"), Value::str("n9")];
+    let says_tuple = vec![
+        Value::str("n1"),
+        Value::str("n0"),
+        Value::str("n1"),
+        Value::str("n9"),
+    ];
     // Without any sig$reachable fact the verification constraint fails.
-    let err = ws.transaction(vec![("says$reachable".into(), says_tuple.clone())]).unwrap_err();
+    let err = ws
+        .transaction(vec![("says$reachable".into(), says_tuple.clone())])
+        .unwrap_err();
     assert!(matches!(err, DatalogError::ConstraintViolation(_)));
 
     // With the correct HMAC tag over the serialized payload columns (what the
@@ -89,7 +109,11 @@ fn incremental_maintenance_retracts_derived_routes() {
     ])
     .unwrap();
     assert!(ws.contains_fact("reachable", &[Value::str("n0"), Value::str("n9")]));
-    ws.retract(vec![("link".into(), vec![Value::str("n1"), Value::str("n9")])]).unwrap();
+    ws.retract(vec![(
+        "link".into(),
+        vec![Value::str("n1"), Value::str("n9")],
+    )])
+    .unwrap();
     assert!(!ws.contains_fact("reachable", &[Value::str("n0"), Value::str("n9")]));
     assert!(ws.contains_fact("reachable", &[Value::str("n0"), Value::str("n1")]));
 }

@@ -22,16 +22,21 @@ fn specs() -> Vec<NodeSpec> {
     (0..3)
         .map(|i| {
             let mut spec = NodeSpec::new(format!("n{i}"));
-            spec.base_facts
-                .push(("observation".into(), vec![Value::Int(i as i64), Value::Int(100 + i as i64)]));
+            spec.base_facts.push((
+                "observation".into(),
+                vec![Value::Int(i as i64), Value::Int(100 + i as i64)],
+            ));
             spec
         })
         .collect()
 }
 
 fn imported_senders(deployment: &Deployment, principal: &str) -> Vec<i64> {
-    let mut keys: Vec<i64> =
-        deployment.query(principal, "report").iter().filter_map(|t| t[0].as_int()).collect();
+    let mut keys: Vec<i64> = deployment
+        .query(principal, "report")
+        .iter()
+        .filter_map(|t| t[0].as_int())
+        .collect();
     keys.sort_unstable();
     keys
 }
@@ -40,10 +45,13 @@ fn imported_senders(deployment: &Deployment, principal: &str) -> Vec<i64> {
 fn trustworthy_model_imports_only_from_trusted_principals() {
     let mut specs = specs();
     // n0 trusts only n1; n1 and n2 trust everyone.
-    specs[0].base_facts.push(("trustworthy".into(), vec![Value::str("n1")]));
-    for i in 1..3 {
+    specs[0]
+        .base_facts
+        .push(("trustworthy".into(), vec![Value::str("n1")]));
+    for spec in specs.iter_mut().skip(1) {
         for j in 0..3 {
-            specs[i].base_facts.push(("trustworthy".into(), vec![Value::str(format!("n{j}"))]));
+            spec.base_facts
+                .push(("trustworthy".into(), vec![Value::str(format!("n{j}"))]));
         }
     }
     let config = DeploymentConfig {
@@ -125,16 +133,25 @@ fn per_predicate_delegation_is_scoped_to_the_predicate() {
 
     // report came from n1 only; alert came from n2 only.
     assert_eq!(imported_senders(&deployment, "n0"), vec![1]);
-    let alerts: Vec<i64> =
-        deployment.query("n0", "alert").iter().filter_map(|t| t[0].as_int()).collect();
-    assert_eq!(alerts, vec![2], "only n2's alert (observation key 2) is delegated");
+    let alerts: Vec<i64> = deployment
+        .query("n0", "alert")
+        .iter()
+        .filter_map(|t| t[0].as_int())
+        .collect();
+    assert_eq!(
+        alerts,
+        vec![2],
+        "only n2's alert (observation key 2) is delegated"
+    );
 }
 
 #[test]
 fn restricted_delegation_constraint_rejects_bad_grants() {
     // The §6.1 constraint: report may only be delegated to n1.
     let mut specs = specs();
-    specs[0].base_facts.push(("trustworthyPerPred$report".into(), vec![Value::str("n2")]));
+    specs[0]
+        .base_facts
+        .push(("trustworthyPerPred$report".into(), vec![Value::str("n2")]));
     let config = DeploymentConfig {
         security: SecurityConfig {
             auth: AuthScheme::NoAuth,
@@ -159,14 +176,19 @@ fn explicit_write_access_grants_gate_imports() {
     // (and from itself — the constraint covers locally derived says tuples
     // too, exactly as the paper's generic rule is written).
     let mut specs = specs();
-    specs[0].base_facts.push(("writeAccess$report".into(), vec![Value::str("n0")]));
-    specs[0].base_facts.push(("writeAccess$report".into(), vec![Value::str("n1")]));
+    specs[0]
+        .base_facts
+        .push(("writeAccess$report".into(), vec![Value::str("n0")]));
+    specs[0]
+        .base_facts
+        .push(("writeAccess$report".into(), vec![Value::str("n1")]));
     // The other nodes grant write access to everyone.
-    for i in 1..3 {
+    for spec in specs.iter_mut().skip(1) {
         for j in 0..3 {
-            specs[i]
-                .base_facts
-                .push(("writeAccess$report".into(), vec![Value::str(format!("n{j}"))]));
+            spec.base_facts.push((
+                "writeAccess$report".into(),
+                vec![Value::str(format!("n{j}"))],
+            ));
         }
     }
     let config = DeploymentConfig {

@@ -1,0 +1,315 @@
+//! End-to-end durability: run a secured deployment to fixpoint, checkpoint,
+//! drop it, recover from disk, and get the same query results and the same
+//! per-node Merkle roots back; detect tampering as typed errors; serve
+//! identical queries from a synced read replica.
+
+use secureblox::policy::SecurityConfig;
+use secureblox::runtime::{Deployment, DeploymentConfig, DurabilityError, NodeSpec};
+use secureblox::{AuthScheme, DurabilityConfig, EncScheme, StoreError, Value};
+use secureblox_datalog::codec::serialize_tuple;
+use secureblox_datalog::value::Tuple;
+use secureblox_store::sync_deployment;
+use std::path::{Path, PathBuf};
+
+/// A three-node gossip + transitive-reachability app: every node exports its
+/// links, imports remote ones, and derives `reach` recursively, so recovery
+/// has both EDB (imported says facts) and genuinely derived IDB to rebuild.
+const REACH_APP: &str = r#"
+    link(N1, N2) -> node(N1), node(N2).
+    remote_link(N1, N2) -> node(N1), node(N2).
+    reach(N1, N2) -> node(N1), node(N2).
+    exportable(`remote_link).
+
+    says[`remote_link](self[], U, X, Y) <- link(X, Y), principal(U), U != self[].
+    reach(X, Y) <- link(X, Y).
+    reach(X, Y) <- remote_link(X, Y).
+    reach(X, Z) <- reach(X, Y), reach(Y, Z).
+"#;
+
+fn line_specs() -> Vec<NodeSpec> {
+    vec![
+        NodeSpec {
+            principal: "n0".into(),
+            base_facts: vec![("link".into(), vec![Value::str("n0"), Value::str("n1")])],
+        },
+        NodeSpec {
+            principal: "n1".into(),
+            base_facts: vec![("link".into(), vec![Value::str("n1"), Value::str("n2")])],
+        },
+        NodeSpec {
+            principal: "n2".into(),
+            base_facts: vec![],
+        },
+    ]
+}
+
+fn durable_config(dir: &Path) -> DeploymentConfig {
+    DeploymentConfig {
+        security: SecurityConfig::new(AuthScheme::HmacSha1, EncScheme::None),
+        durability: Some(DurabilityConfig::new(dir)),
+        ..DeploymentConfig::default()
+    }
+}
+
+fn fresh_dir(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sbx-e2e-{label}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn sorted(mut tuples: Vec<Tuple>) -> Vec<Tuple> {
+    tuples.sort_by_key(|t| serialize_tuple(t));
+    tuples
+}
+
+fn all_queries(deployment: &Deployment) -> Vec<(String, String, Vec<Tuple>)> {
+    let mut out = Vec::new();
+    for principal in ["n0", "n1", "n2"] {
+        for pred in ["link", "remote_link", "reach", "says$remote_link"] {
+            out.push((
+                principal.to_string(),
+                pred.to_string(),
+                sorted(deployment.query(principal, pred)),
+            ));
+        }
+    }
+    out
+}
+
+#[test]
+fn checkpoint_recover_same_fixpoint_and_roots() {
+    let dir = fresh_dir("roundtrip");
+    let mut deployment = Deployment::build(REACH_APP, &line_specs(), durable_config(&dir)).unwrap();
+    let report = deployment.run().unwrap();
+    assert_eq!(report.rejected_batches, 0);
+    // Reachability converged across all three nodes: n0 reaches n2.
+    assert!(deployment
+        .query("n0", "reach")
+        .contains(&vec![Value::str("n0"), Value::str("n2")]));
+
+    let queries = all_queries(&deployment);
+    let checkpoints = deployment.checkpoint().unwrap();
+    assert_eq!(checkpoints.len(), 3);
+    drop(deployment);
+
+    let recovered =
+        Deployment::recover(&dir, REACH_APP, &line_specs(), durable_config(&dir)).unwrap();
+    assert_eq!(
+        all_queries(&recovered),
+        queries,
+        "recovered fixpoint differs"
+    );
+    let roots = recovered.edb_roots().unwrap();
+    for (checkpoint, (principal, root)) in checkpoints.iter().zip(&roots) {
+        assert_eq!(&checkpoint.principal, principal);
+        assert_eq!(
+            &checkpoint.root, root,
+            "Merkle root differs for {principal}"
+        );
+    }
+    // A fresh checkpoint of the recovered deployment commits to the same
+    // roots — recovery is a fixpoint of itself.
+    let mut recovered = recovered;
+    let again = recovered.checkpoint().unwrap();
+    for (a, b) in checkpoints.iter().zip(&again) {
+        assert_eq!(a.root, b.root);
+    }
+}
+
+#[test]
+fn wal_only_recovery_without_any_checkpoint() {
+    let dir = fresh_dir("walonly");
+    let mut deployment = Deployment::build(REACH_APP, &line_specs(), durable_config(&dir)).unwrap();
+    deployment.run().unwrap();
+    let queries = all_queries(&deployment);
+    let roots = deployment.edb_roots().unwrap();
+    drop(deployment);
+
+    let recovered =
+        Deployment::recover(&dir, REACH_APP, &line_specs(), durable_config(&dir)).unwrap();
+    assert_eq!(all_queries(&recovered), queries);
+    assert_eq!(recovered.edb_roots().unwrap(), roots);
+}
+
+#[test]
+fn retraction_is_durable() {
+    let dir = fresh_dir("retract");
+    let mut deployment = Deployment::build(REACH_APP, &line_specs(), durable_config(&dir)).unwrap();
+    deployment.run().unwrap();
+    // n1 withdraws its link to n2 locally; DRed removes the derived reach.
+    deployment
+        .retract(
+            "n1",
+            vec![("link".into(), vec![Value::str("n1"), Value::str("n2")])],
+        )
+        .unwrap();
+    assert!(!deployment
+        .query("n1", "reach")
+        .contains(&vec![Value::str("n1"), Value::str("n2")]));
+    let queries = all_queries(&deployment);
+    drop(deployment);
+
+    let mut recovered =
+        Deployment::recover(&dir, REACH_APP, &line_specs(), durable_config(&dir)).unwrap();
+    assert_eq!(all_queries(&recovered), queries);
+    assert!(!recovered
+        .query("n1", "reach")
+        .contains(&vec![Value::str("n1"), Value::str("n2")]));
+
+    // The recovered deployment keeps appending to the same WAL chain: a
+    // further retraction survives a second crash/recover cycle.
+    recovered
+        .retract(
+            "n0",
+            vec![("link".into(), vec![Value::str("n0"), Value::str("n1")])],
+        )
+        .unwrap();
+    let queries = all_queries(&recovered);
+    drop(recovered);
+    let again = Deployment::recover(&dir, REACH_APP, &line_specs(), durable_config(&dir)).unwrap();
+    assert_eq!(all_queries(&again), queries);
+    assert!(again.query("n0", "link").is_empty());
+}
+
+#[test]
+fn run_after_recovery_is_idempotent() {
+    // Recovery leaves the outbox dedup set empty (at-least-once export), so
+    // a run() after recovery re-ships and every receiver must absorb the
+    // duplicates without changing its answers or rejecting batches.
+    let dir = fresh_dir("rerun");
+    let mut deployment = Deployment::build(REACH_APP, &line_specs(), durable_config(&dir)).unwrap();
+    deployment.run().unwrap();
+    let queries = all_queries(&deployment);
+    let roots = deployment.edb_roots().unwrap();
+    drop(deployment);
+
+    let mut recovered =
+        Deployment::recover(&dir, REACH_APP, &line_specs(), durable_config(&dir)).unwrap();
+    let report = recovered.run().unwrap();
+    assert_eq!(report.rejected_batches, 0);
+    assert_eq!(all_queries(&recovered), queries);
+    assert_eq!(recovered.edb_roots().unwrap(), roots);
+}
+
+#[test]
+fn crash_before_first_run_keeps_bootstrap_facts() {
+    // A deployment that died between build and run has empty stores; the
+    // recovered deployment must still be able to run the protocol from its
+    // bootstrap facts rather than silently converging to nothing.
+    let dir = fresh_dir("prerun");
+    let deployment = Deployment::build(REACH_APP, &line_specs(), durable_config(&dir)).unwrap();
+    drop(deployment);
+
+    let mut recovered =
+        Deployment::recover(&dir, REACH_APP, &line_specs(), durable_config(&dir)).unwrap();
+    recovered.run().unwrap();
+    assert!(recovered
+        .query("n0", "reach")
+        .contains(&vec![Value::str("n0"), Value::str("n2")]));
+
+    // And the state it built is durable in turn.
+    let queries = all_queries(&recovered);
+    drop(recovered);
+    let again = Deployment::recover(&dir, REACH_APP, &line_specs(), durable_config(&dir)).unwrap();
+    assert_eq!(all_queries(&again), queries);
+}
+
+#[test]
+fn tampered_wal_record_is_a_typed_error() {
+    let dir = fresh_dir("tamperwal");
+    let mut deployment = Deployment::build(REACH_APP, &line_specs(), durable_config(&dir)).unwrap();
+    deployment.run().unwrap();
+    deployment.checkpoint().unwrap();
+    drop(deployment);
+
+    let wal_path = dir.join("n0").join("wal.log");
+    let mut bytes = std::fs::read(&wal_path).unwrap();
+    assert!(!bytes.is_empty());
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&wal_path, &bytes).unwrap();
+
+    match Deployment::recover(&dir, REACH_APP, &line_specs(), durable_config(&dir)) {
+        Err(DurabilityError::Store(StoreError::TamperedRecord { .. })) => {}
+        Err(other) => panic!("expected typed WAL tamper detection, got {other}"),
+        Ok(_) => panic!("tampered WAL recovered successfully"),
+    }
+}
+
+#[test]
+fn tampered_snapshot_object_is_a_typed_error() {
+    let dir = fresh_dir("tampersnap");
+    let mut deployment = Deployment::build(REACH_APP, &line_specs(), durable_config(&dir)).unwrap();
+    deployment.run().unwrap();
+    deployment.checkpoint().unwrap();
+    drop(deployment);
+    // Snapshot recovery must not depend on the WAL: remove it so the flipped
+    // object is what recovery actually reads.
+    std::fs::remove_file(dir.join("n1").join("wal.log")).unwrap();
+
+    let objects_dir = dir.join("n1").join("objects");
+    let object = std::fs::read_dir(&objects_dir)
+        .unwrap()
+        .map(|entry| entry.unwrap().path())
+        .max_by_key(|path| std::fs::metadata(path).unwrap().len())
+        .unwrap();
+    let mut bytes = std::fs::read(&object).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x80;
+    std::fs::write(&object, &bytes).unwrap();
+
+    match Deployment::recover(&dir, REACH_APP, &line_specs(), durable_config(&dir)) {
+        Err(DurabilityError::Store(
+            StoreError::ObjectMismatch { .. } | StoreError::RootMismatch { .. },
+        )) => {}
+        Err(other) => panic!("expected typed snapshot tamper detection, got {other}"),
+        Ok(_) => panic!("tampered snapshot recovered successfully"),
+    }
+}
+
+#[test]
+fn synced_replica_answers_identical_queries() {
+    let master_dir = fresh_dir("syncmaster");
+    let replica_dir = fresh_dir("syncreplica");
+    let mut master =
+        Deployment::build(REACH_APP, &line_specs(), durable_config(&master_dir)).unwrap();
+    master.run().unwrap();
+    let checkpoints = master.checkpoint().unwrap();
+    let queries = all_queries(&master);
+
+    let stats = sync_deployment(&master_dir, &replica_dir).unwrap();
+    assert_eq!(stats.len(), 3);
+    assert!(stats.iter().all(|(_, s)| s.copied > 0));
+
+    let replica = Deployment::recover(
+        &replica_dir,
+        REACH_APP,
+        &line_specs(),
+        durable_config(&replica_dir),
+    )
+    .unwrap();
+    assert_eq!(all_queries(&replica), queries);
+    let roots = replica.edb_roots().unwrap();
+    for (checkpoint, (principal, root)) in checkpoints.iter().zip(&roots) {
+        assert_eq!(&checkpoint.principal, principal);
+        assert_eq!(&checkpoint.root, root);
+    }
+
+    // Re-sync after nothing changed copies zero objects (content addressing
+    // makes replication incremental for free).
+    let again = sync_deployment(&master_dir, &replica_dir).unwrap();
+    assert!(again.iter().all(|(_, s)| s.copied == 0));
+}
+
+#[test]
+fn fresh_build_refuses_directory_with_existing_state() {
+    let dir = fresh_dir("refuse");
+    let mut deployment = Deployment::build(REACH_APP, &line_specs(), durable_config(&dir)).unwrap();
+    deployment.run().unwrap();
+    drop(deployment);
+    let error = match Deployment::build(REACH_APP, &line_specs(), durable_config(&dir)) {
+        Err(error) => error,
+        Ok(_) => panic!("fresh build over existing durable state must fail"),
+    };
+    assert!(error.to_string().contains("recover"), "got: {error}");
+}

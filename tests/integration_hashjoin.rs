@@ -33,7 +33,12 @@ fn more_parallelism_reduces_per_node_overhead() {
     // Figure 12: per-node overhead falls as the work spreads over more nodes.
     let small = hashjoin::run(&config(2, AuthScheme::NoAuth, EncScheme::None)).unwrap();
     let large = hashjoin::run(&config(8, AuthScheme::NoAuth, EncScheme::None)).unwrap();
-    assert!(large.report.per_node_kb < small.report.per_node_kb, "small {} vs large {}", small.report.per_node_kb, large.report.per_node_kb);
+    assert!(
+        large.report.per_node_kb < small.report.per_node_kb,
+        "small {} vs large {}",
+        small.report.per_node_kb,
+        large.report.per_node_kb
+    );
 }
 
 #[test]
@@ -50,5 +55,8 @@ fn initiator_sees_results_arrive_over_time() {
     assert!(!outcome.initiator_completions.is_empty());
     let mut sorted = outcome.initiator_completions.clone();
     sorted.sort();
-    assert_eq!(sorted, outcome.initiator_completions, "completions are recorded in order");
+    assert_eq!(
+        sorted, outcome.initiator_completions,
+        "completions are recorded in order"
+    );
 }

@@ -24,11 +24,17 @@ fn protocol_converges_under_every_scheme() {
         (AuthScheme::Rsa, EncScheme::Aes128),
     ] {
         let outcome = run(6, auth, enc);
-        assert_eq!(outcome.nodes_with_route_to_zero, 5, "{auth:?}/{enc:?}: {outcome:?}");
+        assert_eq!(
+            outcome.nodes_with_route_to_zero, 5,
+            "{auth:?}/{enc:?}: {outcome:?}"
+        );
         assert_eq!(outcome.report.rejected_batches, 0, "{auth:?}/{enc:?}");
         // All-pairs routes: every node should know a best cost to every other
         // node in a connected graph.
-        assert!(outcome.best_cost_entries >= 6 * 5, "{auth:?}/{enc:?}: {outcome:?}");
+        assert!(
+            outcome.best_cost_entries >= 6 * 5,
+            "{auth:?}/{enc:?}: {outcome:?}"
+        );
     }
 }
 

@@ -16,13 +16,22 @@ fn specs() -> Vec<NodeSpec> {
     vec![
         NodeSpec {
             principal: "CA".into(),
-            base_facts: vec![("localscore".into(), vec![Value::str("alice"), Value::Int(720)])],
+            base_facts: vec![(
+                "localscore".into(),
+                vec![Value::str("alice"), Value::Int(720)],
+            )],
         },
         NodeSpec {
             principal: "EvilCorp".into(),
-            base_facts: vec![("localscore".into(), vec![Value::str("alice"), Value::Int(350)])],
+            base_facts: vec![(
+                "localscore".into(),
+                vec![Value::str("alice"), Value::Int(350)],
+            )],
         },
-        NodeSpec { principal: "bank".into(), base_facts: vec![] },
+        NodeSpec {
+            principal: "bank".into(),
+            base_facts: vec![],
+        },
     ]
 }
 
@@ -34,7 +43,10 @@ fn policy_source_changes_with_configuration_not_the_application() {
     let rsa = says_policy(&SecurityConfig::new(AuthScheme::Rsa, EncScheme::None));
     assert_ne!(hmac, rsa);
     for policy in [&hmac, &rsa] {
-        assert!(!policy.contains("creditscore"), "policies are generic over predicates");
+        assert!(
+            !policy.contains("creditscore"),
+            "policies are generic over predicates"
+        );
     }
     // Both compile against the same application text.
     for config in [
@@ -42,7 +54,10 @@ fn policy_source_changes_with_configuration_not_the_application() {
         SecurityConfig::new(AuthScheme::Rsa, EncScheme::None),
     ] {
         let compiled = compile_secured_program(APP, &config, &[]).unwrap();
-        assert_eq!(compiled.mapping("says", "creditscore"), Some("says$creditscore"));
+        assert_eq!(
+            compiled.mapping("says", "creditscore"),
+            Some("says$creditscore")
+        );
     }
 }
 
@@ -87,7 +102,10 @@ fn trust_all_imports_everything() {
         trust: TrustModel::TrustAll,
         ..SecurityConfig::default()
     };
-    let config = DeploymentConfig { security, ..DeploymentConfig::default() };
+    let config = DeploymentConfig {
+        security,
+        ..DeploymentConfig::default()
+    };
     let mut deployment = Deployment::build(APP, &specs(), config).unwrap();
     deployment.run().unwrap();
     // With no delegation restriction the bank ends up with both reports —
@@ -109,6 +127,9 @@ fn generic_constraint_rejects_saying_unexportable_predicates() {
 fn write_access_policy_appears_only_when_enabled() {
     let without = says_policy(&SecurityConfig::default());
     assert!(!without.contains("writeAccess"));
-    let with = says_policy(&SecurityConfig { write_access: true, ..SecurityConfig::default() });
+    let with = says_policy(&SecurityConfig {
+        write_access: true,
+        ..SecurityConfig::default()
+    });
     assert!(with.contains("writeAccess[T](P1)"));
 }
