@@ -1,8 +1,35 @@
 //! Ablation B: DatalogLB engine micro-benchmarks — fixpoint evaluation,
-//! transactional batches with constraint checking, and incremental deletion.
+//! transactional batches with constraint checking, incremental deletion, and
+//! the planner-vs-naive join comparison (a 3-literal rule over 10k-tuple
+//! relations, nested-loop scans vs selectivity-ordered index probes).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use secureblox_datalog::{Value, Workspace};
+use secureblox_datalog::{EvalConfig, Value, Workspace};
+use std::time::Instant;
+
+/// Join-heavy workload: `out(X, W) <- r(X, Y), s(Y, Z), t(Z, W).` over three
+/// chain relations of `n` tuples each.  The naive evaluator executes this as
+/// |r|·|s| (+ matches·|t|) scan work; the planner probes `s` and `t` on their
+/// bound first column.
+const TRIPLE_JOIN_TUPLES: usize = 10_000;
+
+fn triple_join_workspace(n: usize, use_planner: bool) -> Workspace {
+    let mut ws = Workspace::with_config(EvalConfig {
+        use_planner,
+        ..EvalConfig::default()
+    });
+    ws.install_source("out(X, W) <- r(X, Y), s(Y, Z), t(Z, W).")
+        .unwrap();
+    for i in 0..n as i64 {
+        ws.assert_fact("r", vec![Value::Int(i), Value::Int(i + 1)])
+            .unwrap();
+        ws.assert_fact("s", vec![Value::Int(i + 1), Value::Int(i + 2)])
+            .unwrap();
+        ws.assert_fact("t", vec![Value::Int(i + 2), Value::Int(i + 3)])
+            .unwrap();
+    }
+    ws
+}
 
 fn chain_workspace(n: usize) -> Workspace {
     let mut ws = Workspace::new();
@@ -63,7 +90,61 @@ fn bench(c: &mut Criterion) {
             .unwrap()
         })
     });
+    group.bench_function("planner_triple_join_10k", |b| {
+        // Build once; every iteration re-evaluates the rule to fixpoint over
+        // the full relations (derivations are deduplicated, so the measured
+        // work is one complete planned evaluation per iteration).
+        let mut ws = triple_join_workspace(TRIPLE_JOIN_TUPLES, true);
+        ws.fixpoint().unwrap();
+        b.iter(|| ws.fixpoint().unwrap().iterations)
+    });
     group.finish();
+
+    // Direct planner-vs-naive comparison: one measured full evaluation each.
+    // The naive nested-loop pass is far too slow to iterate under Criterion
+    // (that slowness being the point), so it is timed once.  Skipped when a
+    // CLI filter that does not name it is in effect, so filtered bench runs
+    // do not pay for the multi-second naive evaluation.
+    let filters: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|arg| !arg.starts_with('-'))
+        .collect();
+    if !filters.is_empty()
+        && !filters
+            .iter()
+            .any(|f| "planner_vs_naive_10k".contains(f.as_str()))
+    {
+        return;
+    }
+    let mut planned = triple_join_workspace(TRIPLE_JOIN_TUPLES, true);
+    let started = Instant::now();
+    planned.fixpoint().unwrap();
+    let planned_time = started.elapsed();
+    let derived = planned.count("out");
+    let mut naive = triple_join_workspace(TRIPLE_JOIN_TUPLES, false);
+    let started = Instant::now();
+    naive.fixpoint().unwrap();
+    let naive_time = started.elapsed();
+    assert_eq!(
+        derived,
+        naive.count("out"),
+        "planned and naive evaluation disagree"
+    );
+    let speedup = naive_time.as_secs_f64() / planned_time.as_secs_f64().max(1e-9);
+    println!(
+        "bench engine_micro/planner_vs_naive_10k                  planned {planned_time:>12?}  \
+         naive {naive_time:>12?}  speedup {speedup:>8.1}x"
+    );
+    let stats = planned.plan_stats();
+    println!(
+        "bench engine_micro/planner_counters                      plans {} hits {} probes {} \
+         scans {} index_builds {}",
+        stats.plans_compiled,
+        stats.plan_cache_hits,
+        stats.index_probes,
+        stats.full_scans,
+        stats.index_builds,
+    );
 }
 
 criterion_group!(benches, bench);

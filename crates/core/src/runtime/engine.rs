@@ -26,7 +26,7 @@ use crate::runtime::udfs::register_crypto_udfs;
 use secureblox_crypto::{aes128_ctr_decrypt, aes128_ctr_encrypt, EncScheme, KeyStore};
 use secureblox_datalog::error::{DatalogError, Result};
 use secureblox_datalog::value::{Tuple, Value};
-use secureblox_datalog::{EvalConfig, Workspace};
+use secureblox_datalog::{EvalConfig, PlanStatsSnapshot, Workspace};
 use secureblox_net::stats::TimingStats;
 use secureblox_net::{
     LatencyModel, Message, MessageKind, NodeId, NodeInfo, SimNetwork, VirtualTime,
@@ -145,6 +145,9 @@ pub struct DeploymentReport {
     /// Per-node sent bytes.
     pub per_node_bytes: Vec<usize>,
     pub total_messages: usize,
+    /// Planner / index counters summed over every node's workspace (plan
+    /// cache hits, index probes, full scans, …) for the bench harness.
+    pub plan: PlanStatsSnapshot,
 }
 
 impl DeploymentReport {
@@ -479,7 +482,18 @@ impl Deployment {
                 .collect(),
             per_node_bytes: stats.nodes().iter().map(|n| n.bytes_sent).collect(),
             total_messages: stats.nodes().iter().map(|n| n.messages_sent).sum(),
+            plan: self.plan_stats(),
         }
+    }
+
+    /// Planner / index counters summed over every node's workspace.  Plan
+    /// caches live in the workspaces, so they persist across deployment
+    /// ticks: steady-state ticks should show cache hits, not compilations.
+    pub fn plan_stats(&self) -> PlanStatsSnapshot {
+        self.nodes
+            .iter()
+            .map(|node| node.workspace.plan_stats())
+            .fold(PlanStatsSnapshot::default(), |acc, s| acc + s)
     }
 
     // ------------------------------------------------------------------

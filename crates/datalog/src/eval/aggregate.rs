@@ -6,6 +6,7 @@
 
 use super::bindings::{eval_term, Bindings};
 use super::join::JoinContext;
+use super::plan::{PlanStats, RulePlan};
 use super::runtime_pred_name;
 use crate::ast::{AggFunc, Rule, Term};
 use crate::error::{DatalogError, Result};
@@ -21,6 +22,18 @@ pub fn evaluate_agg_rule(
     rule: &Rule,
     relations: &HashMap<String, Relation>,
     udfs: &UdfRegistry,
+) -> Result<Vec<(String, Tuple)>> {
+    evaluate_agg_rule_with(rule, relations, udfs, None, None)
+}
+
+/// Like [`evaluate_agg_rule`] but executing the body with a compiled plan
+/// (and recording probe statistics) when one is supplied.
+pub fn evaluate_agg_rule_with(
+    rule: &Rule,
+    relations: &HashMap<String, Relation>,
+    udfs: &UdfRegistry,
+    plan: Option<&RulePlan>,
+    stats: Option<&PlanStats>,
 ) -> Result<Vec<(String, Tuple)>> {
     let agg = rule.agg.as_ref().ok_or_else(|| {
         DatalogError::Eval("evaluate_agg_rule called on a non-aggregate rule".into())
@@ -38,13 +51,16 @@ pub fn evaluate_agg_rule(
         .collect();
 
     // Enumerate body solutions and fold them into per-group accumulators.
-    let ctx = JoinContext::new(relations, udfs);
+    let ctx = match stats {
+        Some(stats) => JoinContext::with_stats(relations, udfs, stats),
+        None => JoinContext::new(relations, udfs),
+    };
     let mut groups: HashMap<Vec<Value>, AggAccumulator> = HashMap::new();
     let mut bindings = Bindings::new();
     let input_var = agg.input_var.clone();
     let group_vars_for_join = group_vars.clone();
     let func = agg.func;
-    ctx.join(&rule.body, None, &mut bindings, &mut |b| {
+    let mut fold = |b: &Bindings| {
         let mut key: Vec<Value> = Vec::with_capacity(group_vars_for_join.len());
         for var in &group_vars_for_join {
             match b.get(var) {
@@ -69,7 +85,11 @@ pub fn evaluate_agg_rule(
             .or_insert_with(|| AggAccumulator::new(func))
             .add(&input)?;
         Ok(())
-    })?;
+    };
+    match plan {
+        Some(plan) => ctx.join_planned(&rule.body, plan, None, &mut bindings, &mut fold)?,
+        None => ctx.join(&rule.body, None, &mut bindings, &mut fold)?,
+    }
 
     // Instantiate the head once per group.
     let mut derived: Vec<(String, Tuple)> = Vec::new();

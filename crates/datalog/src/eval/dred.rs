@@ -42,8 +42,10 @@ impl<'a> Evaluator<'a> {
         let mut stats = DeletionStats::default();
 
         // Snapshot the pre-deletion database: over-deletion joins run against
-        // the original state, as in the standard formulation of DRed.
-        let original = self.relations.clone();
+        // the original state, as in the standard formulation of DRed.  Held
+        // mutably so planned evaluation can build (and keep, across rules and
+        // frontier rounds) the secondary indexes it probes.
+        let mut original = self.relations.clone();
 
         // 1. Remove the base facts.
         let mut deleted: HashMap<String, HashSet<Tuple>> = HashMap::new();
@@ -80,38 +82,72 @@ impl<'a> Evaluator<'a> {
                     if pred_deleted.is_empty() {
                         continue;
                     }
-                    // Evaluate the rule against the ORIGINAL relations with
-                    // this literal restricted to the deleted tuples.
+                    // Cheap existence probe first: does any derivation of
+                    // this rule go through the deleted tuples at this
+                    // literal?  Stops at the first solution, and skips the
+                    // snapshot swap below for rules the deletions cannot
+                    // affect.  Runs the same plan full evaluation will use —
+                    // the textual order may be unevaluable (hoisted
+                    // comparisons) even when the planned order succeeds.
+                    let plan = if self.config.use_planner {
+                        Some(self.plan_cache.plan_for(
+                            rule,
+                            rule_index,
+                            Some(literal_index),
+                            &original,
+                            self.udfs,
+                            self.plan_stats,
+                        ))
+                    } else {
+                        None
+                    };
                     let ctx = JoinContext::new(&original, self.udfs);
-                    let mut solutions = Vec::new();
                     let mut bindings = super::bindings::Bindings::new();
-                    ctx.join(
-                        &rule.body,
-                        Some(DeltaRestriction {
-                            literal_index,
-                            delta: pred_deleted,
-                        }),
-                        &mut bindings,
-                        &mut |b| {
-                            solutions.push(b.clone());
-                            Ok(())
-                        },
-                    )?;
-                    if solutions.is_empty() {
+                    let mut touched = false;
+                    let restriction = DeltaRestriction {
+                        literal_index,
+                        delta: pred_deleted,
+                    };
+                    let mut stop_at_first = |_: &super::bindings::Bindings| {
+                        touched = true;
+                        // Sentinel: aborts the enumeration immediately.
+                        Err(crate::error::DatalogError::Eval(
+                            "dred existence probe satisfied".into(),
+                        ))
+                    };
+                    let probe = match &plan {
+                        Some(plan) => ctx.join_planned(
+                            &rule.body,
+                            plan,
+                            Some(restriction),
+                            &mut bindings,
+                            &mut stop_at_first,
+                        ),
+                        None => ctx.join(
+                            &rule.body,
+                            Some(restriction),
+                            &mut bindings,
+                            &mut stop_at_first,
+                        ),
+                    };
+                    match probe {
+                        Ok(()) => {}
+                        Err(_) if touched => {}
+                        Err(error) => return Err(error),
+                    }
+                    if !touched {
                         continue;
                     }
-                    // Instantiate heads through the normal path (handles
+                    // Evaluate the rule against the ORIGINAL relations with
+                    // this literal restricted to the deleted tuples,
+                    // instantiating heads through the normal path (handles
                     // existential memoization identically to derivation).
-                    let derived = {
-                        // Temporarily swap in the original relations so head
-                        // singleton references resolve as they did before.
-                        self.evaluate_rule_against(
-                            rules,
-                            rule_index,
-                            Some((literal_index, pred_deleted.clone())),
-                            &original,
-                        )?
-                    };
+                    let derived = self.evaluate_rule_against(
+                        rules,
+                        rule_index,
+                        Some((literal_index, pred_deleted.clone())),
+                        &mut original,
+                    )?;
                     for (head_pred, tuple) in derived {
                         // Explicitly asserted facts survive over-deletion.
                         if edb_facts
@@ -156,18 +192,21 @@ impl<'a> Evaluator<'a> {
 
     /// Like [`Evaluator::evaluate_rule`] but joining against an explicit
     /// relation snapshot (used by over-deletion).
+    ///
+    /// The snapshot is swapped in directly — no clone — so the only mutation
+    /// evaluation performs on it (building secondary indexes) persists across
+    /// calls, paying each index build once per deletion instead of once per
+    /// (rule, literal, frontier round).
     fn evaluate_rule_against(
         &mut self,
         rules: &[Rule],
         rule_index: usize,
         delta: Option<(usize, HashSet<Tuple>)>,
-        snapshot: &HashMap<String, crate::relation::Relation>,
+        snapshot: &mut HashMap<String, crate::relation::Relation>,
     ) -> Result<Vec<(String, Tuple)>> {
-        // Swap the snapshot in, evaluate, then restore the live relations.
-        let mut scratch = snapshot.clone();
-        std::mem::swap(self.relations, &mut scratch);
+        std::mem::swap(self.relations, snapshot);
         let result = self.evaluate_rule(rules, rule_index, delta);
-        std::mem::swap(self.relations, &mut scratch);
+        std::mem::swap(self.relations, snapshot);
         result
     }
 }
@@ -175,6 +214,7 @@ impl<'a> Evaluator<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::eval::plan::{PlanCache, PlanStats};
     use crate::eval::EvalConfig;
     use crate::parser::parse_program;
     use crate::relation::Relation;
@@ -192,6 +232,8 @@ mod tests {
         edb: HashMap<String, HashSet<Tuple>>,
         entity_counter: u64,
         memo: HashMap<(usize, Vec<Value>), u64>,
+        plan_cache: PlanCache,
+        plan_stats: PlanStats,
     }
 
     impl Fixture {
@@ -223,6 +265,8 @@ mod tests {
                 edb,
                 entity_counter: 0,
                 memo: HashMap::new(),
+                plan_cache: PlanCache::new(),
+                plan_stats: PlanStats::default(),
             };
             fixture.run_fixpoint();
             fixture
@@ -237,6 +281,8 @@ mod tests {
                 config: &config,
                 entity_counter: &mut self.entity_counter,
                 existential_memo: &mut self.memo,
+                plan_cache: &mut self.plan_cache,
+                plan_stats: &self.plan_stats,
             };
             evaluator.run(&self.rules, &self.strata).unwrap();
         }
@@ -250,6 +296,8 @@ mod tests {
                 config: &config,
                 entity_counter: &mut self.entity_counter,
                 existential_memo: &mut self.memo,
+                plan_cache: &mut self.plan_cache,
+                plan_stats: &self.plan_stats,
             };
             // Keep the EDB bookkeeping in sync.
             self.edb.get_mut(pred).map(|set| set.remove(&tuple));

@@ -1,29 +1,40 @@
-//! Nested-loop join over body literals with binding propagation.
+//! Join execution over body literals with binding propagation.
 //!
 //! The join is the workhorse of both rule evaluation and constraint checking:
 //! given a sequence of body literals and an initial substitution, it
 //! enumerates every satisfying extension and invokes a callback per solution.
 //!
+//! Execution is driven by a [`RulePlan`]: an ordered list of steps, each
+//! naming a body literal and (for stored-relation literals) the bound-column
+//! signature to probe a secondary index with.  [`JoinContext::join`] runs the
+//! trivial textual-order plan (used by constraint checking and the naive
+//! evaluation mode); [`JoinContext::join_planned`] runs a compiled plan with
+//! index probes.
+//!
 //! Literal kinds handled:
 //!
 //! * positive atoms over stored relations (optionally restricted to a delta
-//!   set for semi-naïve evaluation),
+//!   set for semi-naïve evaluation), executed as an index probe when the
+//!   plan provides a signature and the relation has that index, falling back
+//!   to a full scan otherwise,
 //! * positive atoms over built-in primitive types (`int(X)`, `string(X)`, …)
 //!   which type-check an already-bound value,
 //! * positive atoms over user-defined functions,
 //! * negated atoms (stratified negation with a ∄ semantics over unbound
-//!   positions),
+//!   positions), probing an index when one exists for the pattern,
 //! * comparisons, where `Var = ground-term` doubles as an assignment.
 
 use super::bindings::{eval_term, match_tuple, Bindings};
+use super::plan::{PlanStats, PlanStep, RulePlan};
 use super::runtime_pred_name;
 use crate::ast::{Atom, CmpOp, Literal, Term};
 use crate::error::{DatalogError, Result};
-use crate::relation::Relation;
+use crate::relation::{ColumnSet, Relation};
 use crate::schema::BUILTIN_TYPES;
 use crate::udf::UdfRegistry;
 use crate::value::{Tuple, Value};
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::AtomicU64;
 
 /// A restriction of one body literal to a delta set (semi-naïve evaluation).
 #[derive(Debug, Clone, Copy)]
@@ -38,16 +49,40 @@ pub struct DeltaRestriction<'a> {
 pub struct JoinContext<'a> {
     pub relations: &'a HashMap<String, Relation>,
     pub udfs: &'a UdfRegistry,
+    stats: Option<&'a PlanStats>,
 }
 
 impl<'a> JoinContext<'a> {
     /// Create a join context.
     pub fn new(relations: &'a HashMap<String, Relation>, udfs: &'a UdfRegistry) -> Self {
-        JoinContext { relations, udfs }
+        JoinContext {
+            relations,
+            udfs,
+            stats: None,
+        }
     }
 
-    /// Enumerate all solutions of `literals` starting from `bindings`,
-    /// invoking `callback` once per solution.
+    /// Create a join context that records probe/scan statistics.
+    pub fn with_stats(
+        relations: &'a HashMap<String, Relation>,
+        udfs: &'a UdfRegistry,
+        stats: &'a PlanStats,
+    ) -> Self {
+        JoinContext {
+            relations,
+            udfs,
+            stats: Some(stats),
+        }
+    }
+
+    fn bump(&self, pick: impl Fn(&PlanStats) -> &AtomicU64) {
+        if let Some(stats) = self.stats {
+            PlanStats::bump(pick(stats));
+        }
+    }
+
+    /// Enumerate all solutions of `literals` in textual order starting from
+    /// `bindings`, invoking `callback` once per solution.
     pub fn join<F>(
         &self,
         literals: &[Literal],
@@ -58,13 +93,15 @@ impl<'a> JoinContext<'a> {
     where
         F: FnMut(&Bindings) -> Result<()>,
     {
-        self.join_from(literals, 0, delta, bindings, callback)
+        let steps = RulePlan::textual(literals.len()).order;
+        self.join_steps(literals, &steps, 0, delta, bindings, callback)
     }
 
-    fn join_from<F>(
+    /// Enumerate all solutions following a compiled plan.
+    pub fn join_planned<F>(
         &self,
         literals: &[Literal],
-        index: usize,
+        plan: &RulePlan,
         delta: Option<DeltaRestriction<'_>>,
         bindings: &mut Bindings,
         callback: &mut F,
@@ -72,31 +109,51 @@ impl<'a> JoinContext<'a> {
     where
         F: FnMut(&Bindings) -> Result<()>,
     {
-        if index == literals.len() {
+        debug_assert_eq!(plan.order.len(), literals.len());
+        self.join_steps(literals, &plan.order, 0, delta, bindings, callback)
+    }
+
+    fn join_steps<F>(
+        &self,
+        literals: &[Literal],
+        steps: &[PlanStep],
+        position: usize,
+        delta: Option<DeltaRestriction<'_>>,
+        bindings: &mut Bindings,
+        callback: &mut F,
+    ) -> Result<()>
+    where
+        F: FnMut(&Bindings) -> Result<()>,
+    {
+        if position == steps.len() {
             return callback(bindings);
         }
-        match &literals[index] {
-            Literal::Pos(atom) => {
-                self.join_positive(literals, index, atom, delta, bindings, callback)
-            }
+        let step = &steps[position];
+        match &literals[step.literal] {
+            Literal::Pos(atom) => self.join_positive(
+                literals, steps, position, atom, step.probe, delta, bindings, callback,
+            ),
             Literal::Neg(atom) => {
                 if self.negation_holds(atom, bindings)? {
-                    self.join_from(literals, index + 1, delta, bindings, callback)
+                    self.join_steps(literals, steps, position + 1, delta, bindings, callback)
                 } else {
                     Ok(())
                 }
             }
-            Literal::Cmp(lhs, op, rhs) => {
-                self.join_comparison(literals, index, lhs, *op, rhs, delta, bindings, callback)
-            }
+            Literal::Cmp(lhs, op, rhs) => self.join_comparison(
+                literals, steps, position, lhs, *op, rhs, delta, bindings, callback,
+            ),
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn join_positive<F>(
         &self,
         literals: &[Literal],
-        index: usize,
+        steps: &[PlanStep],
+        position: usize,
         atom: &Atom,
+        probe: Option<ColumnSet>,
         delta: Option<DeltaRestriction<'_>>,
         bindings: &mut Bindings,
         callback: &mut F,
@@ -111,7 +168,7 @@ impl<'a> JoinContext<'a> {
             let value = eval_term(&atom.terms[0], bindings, self.relations)?;
             return match value {
                 Some(v) if v.primitive_type() == name => {
-                    self.join_from(literals, index + 1, delta, bindings, callback)
+                    self.join_steps(literals, steps, position + 1, delta, bindings, callback)
                 }
                 // An unbound argument to a primitive type check cannot be
                 // enumerated; treat as failure of this branch.
@@ -139,7 +196,8 @@ impl<'a> JoinContext<'a> {
             for row in rows {
                 if let Some(newly_bound) = match_tuple(&atom.terms, &row, bindings, self.relations)?
                 {
-                    let result = self.join_from(literals, index + 1, delta, bindings, callback);
+                    let result =
+                        self.join_steps(literals, steps, position + 1, delta, bindings, callback);
                     for var in &newly_bound {
                         bindings.unbind(var);
                     }
@@ -150,14 +208,15 @@ impl<'a> JoinContext<'a> {
         }
 
         // Stored relation (possibly restricted to the delta set).
-        let use_delta = delta.is_some_and(|d| d.literal_index == index);
+        let use_delta = delta.is_some_and(|d| d.literal_index == steps[position].literal);
         if use_delta {
             let delta_tuples = delta.expect("delta restriction checked above").delta;
             for tuple in delta_tuples {
                 if let Some(newly_bound) =
                     match_tuple(&atom.terms, tuple, bindings, self.relations)?
                 {
-                    let result = self.join_from(literals, index + 1, delta, bindings, callback);
+                    let result =
+                        self.join_steps(literals, steps, position + 1, delta, bindings, callback);
                     for var in &newly_bound {
                         bindings.unbind(var);
                     }
@@ -201,13 +260,20 @@ impl<'a> JoinContext<'a> {
                 }
                 if all_ground {
                     if let Some(value) = relation.functional_lookup(&key) {
+                        self.bump(|s| &s.functional_hits);
                         let mut tuple = key;
                         tuple.push(value.clone());
                         if let Some(newly_bound) =
                             match_tuple(&atom.terms, &tuple, bindings, self.relations)?
                         {
-                            let result =
-                                self.join_from(literals, index + 1, delta, bindings, callback);
+                            let result = self.join_steps(
+                                literals,
+                                steps,
+                                position + 1,
+                                delta,
+                                bindings,
+                                callback,
+                            );
                             for var in &newly_bound {
                                 bindings.unbind(var);
                             }
@@ -218,12 +284,46 @@ impl<'a> JoinContext<'a> {
                 }
             }
         }
-        // General scan.  Collect candidate tuples first to avoid holding the
-        // iterator across the recursive call.
-        let candidates: Vec<Tuple> = relation.iter().cloned().collect();
-        for tuple in &candidates {
+
+        // Index probe: evaluate the plan's bound columns and look the key up
+        // in the relation's secondary index.  Falls back to a scan when a key
+        // term is not ground at runtime (e.g. an unset singleton) or the
+        // index is missing.
+        if let Some(cols) = probe {
+            if let Some(key) = self.probe_key(atom, cols, bindings)? {
+                if let Some(ids) = relation.probe(cols, &key) {
+                    self.bump(|s| &s.index_probes);
+                    for &id in ids {
+                        let tuple = relation.tuple_by_id(id);
+                        if let Some(newly_bound) =
+                            match_tuple(&atom.terms, tuple, bindings, self.relations)?
+                        {
+                            let result = self.join_steps(
+                                literals,
+                                steps,
+                                position + 1,
+                                delta,
+                                bindings,
+                                callback,
+                            );
+                            for var in &newly_bound {
+                                bindings.unbind(var);
+                            }
+                            result?;
+                        }
+                    }
+                    return Ok(());
+                }
+            }
+        }
+
+        // General scan.  All borrows are shared, so the recursion can run
+        // under the live iterator — no snapshot of the relation is taken.
+        self.bump(|s| &s.full_scans);
+        for tuple in relation.iter() {
             if let Some(newly_bound) = match_tuple(&atom.terms, tuple, bindings, self.relations)? {
-                let result = self.join_from(literals, index + 1, delta, bindings, callback);
+                let result =
+                    self.join_steps(literals, steps, position + 1, delta, bindings, callback);
                 for var in &newly_bound {
                     bindings.unbind(var);
                 }
@@ -233,8 +333,31 @@ impl<'a> JoinContext<'a> {
         Ok(())
     }
 
+    /// Evaluate the probe key for `atom` on the columns of `cols`.  Returns
+    /// `None` when some column's term is not ground under the current
+    /// bindings (caller falls back to a scan).
+    fn probe_key(
+        &self,
+        atom: &Atom,
+        cols: ColumnSet,
+        bindings: &Bindings,
+    ) -> Result<Option<Tuple>> {
+        let mut key = Vec::with_capacity(cols.count_ones() as usize);
+        for (position, term) in atom.terms.iter().enumerate() {
+            if position >= 64 || cols & (1 << position) == 0 {
+                continue;
+            }
+            match eval_term(term, bindings, self.relations)? {
+                Some(value) => key.push(value),
+                None => return Ok(None),
+            }
+        }
+        Ok(Some(key))
+    }
+
     /// `!p(args)` holds when no stored tuple matches the (partially ground)
     /// argument pattern.  Unbound variables and wildcards act as "any value".
+    /// Uses a secondary index when one exists for the pattern's signature.
     fn negation_holds(&self, atom: &Atom, bindings: &Bindings) -> Result<bool> {
         let name = runtime_pred_name(&atom.pred)?;
         if self.udfs.is_udf(&name) {
@@ -260,7 +383,8 @@ impl<'a> JoinContext<'a> {
     fn join_comparison<F>(
         &self,
         literals: &[Literal],
-        index: usize,
+        steps: &[PlanStep],
+        position: usize,
         lhs: &Term,
         op: CmpOp,
         rhs: &Term,
@@ -279,7 +403,8 @@ impl<'a> JoinContext<'a> {
             if let (Term::Var(v), None, Some(value)) = (lhs, &lhs_value, &rhs_value) {
                 if !bindings.is_bound(v) {
                     bindings.bind(v, value.clone());
-                    let result = self.join_from(literals, index + 1, delta, bindings, callback);
+                    let result =
+                        self.join_steps(literals, steps, position + 1, delta, bindings, callback);
                     bindings.unbind(v);
                     return result;
                 }
@@ -287,7 +412,8 @@ impl<'a> JoinContext<'a> {
             if let (Term::Var(v), None, Some(value)) = (rhs, &rhs_value, &lhs_value) {
                 if !bindings.is_bound(v) {
                     bindings.bind(v, value.clone());
-                    let result = self.join_from(literals, index + 1, delta, bindings, callback);
+                    let result =
+                        self.join_steps(literals, steps, position + 1, delta, bindings, callback);
                     bindings.unbind(v);
                     return result;
                 }
@@ -309,7 +435,7 @@ impl<'a> JoinContext<'a> {
             CmpOp::Ge => ordering.is_ge(),
         };
         if holds {
-            self.join_from(literals, index + 1, delta, bindings, callback)
+            self.join_steps(literals, steps, position + 1, delta, bindings, callback)
         } else {
             Ok(())
         }
@@ -319,6 +445,7 @@ impl<'a> JoinContext<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::eval::plan::compile_rule_plan;
     use crate::parser::parse_rule;
     use crate::udf::standard_udfs;
 
@@ -363,6 +490,37 @@ mod tests {
         assert_eq!(solutions.len(), 2);
         assert!(solutions.contains(&vec![Value::str("n1"), Value::str("n3")]));
         assert!(solutions.contains(&vec![Value::str("n1"), Value::str("n4")]));
+    }
+
+    #[test]
+    fn planned_join_with_indexes_matches_textual_join() {
+        let mut relations = relations_with_edges(&[("n1", "n2"), ("n2", "n3"), ("n2", "n4")]);
+        let udfs = UdfRegistry::new();
+        let rule = parse_rule("out(X, Y) <- link(X, Z), link(Z, Y).").unwrap();
+        let plan = compile_rule_plan(&rule, None, &relations, &udfs);
+        for spec in &plan.ensure {
+            relations
+                .get_mut(&spec.pred)
+                .unwrap()
+                .ensure_index(spec.cols);
+        }
+        let stats = PlanStats::default();
+        let ctx = JoinContext::with_stats(&relations, &udfs, &stats);
+        let mut results = Vec::new();
+        let mut bindings = Bindings::new();
+        ctx.join_planned(&rule.body, &plan, None, &mut bindings, &mut |b| {
+            results.push(vec![
+                b.get("X").cloned().unwrap(),
+                b.get("Y").cloned().unwrap(),
+            ]);
+            Ok(())
+        })
+        .unwrap();
+        results.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+        let textual = collect_solutions(&relations, &udfs, "link(X, Z), link(Z, Y)", &["X", "Y"]);
+        assert_eq!(results, textual);
+        let snap = stats.snapshot();
+        assert!(snap.index_probes > 0, "second literal should probe");
     }
 
     #[test]
@@ -440,6 +598,22 @@ mod tests {
         })
         .unwrap();
         assert_eq!(results, vec![Value::Int(4)]);
+        // The planner hoists the assignments, so the planned execution takes
+        // the functional fast path instead of scanning.
+        let plan = compile_rule_plan(&rule, None, &relations, &udfs);
+        let stats = PlanStats::default();
+        let ctx = JoinContext::with_stats(&relations, &udfs, &stats);
+        let mut results = Vec::new();
+        let mut bindings = Bindings::new();
+        ctx.join_planned(&rule.body, &plan, None, &mut bindings, &mut |b| {
+            results.push(b.get("C").cloned().unwrap());
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(results, vec![Value::Int(4)]);
+        let snap = stats.snapshot();
+        assert_eq!(snap.functional_hits, 1);
+        assert_eq!(snap.full_scans, 0);
     }
 
     #[test]
@@ -477,6 +651,12 @@ mod tests {
         let ctx = JoinContext::new(&relations, &udfs);
         let mut bindings = Bindings::new();
         let result = ctx.join(&rule.body, None, &mut bindings, &mut |_| Ok(()));
+        assert!(result.is_err());
+        // The planner cannot make `Undefined` bindable either: the planned
+        // execution reports the same error instead of silently dropping it.
+        let plan = compile_rule_plan(&rule, None, &relations, &udfs);
+        let mut bindings = Bindings::new();
+        let result = ctx.join_planned(&rule.body, &plan, None, &mut bindings, &mut |_| Ok(()));
         assert!(result.is_err());
     }
 }

@@ -1,13 +1,15 @@
-//! Rule evaluation: bindings, joins, semi-naïve fixpoint, aggregation, and
-//! incremental deletion (DRed).
+//! Rule evaluation: bindings, joins, per-rule planning, semi-naïve fixpoint,
+//! aggregation, and incremental deletion (DRed).
 
 pub mod aggregate;
 pub mod bindings;
 pub mod dred;
 pub mod join;
+pub mod plan;
 pub mod seminaive;
 
 pub use bindings::Bindings;
+pub use plan::{PlanCache, PlanStats, PlanStatsSnapshot, RulePlan};
 pub use seminaive::{Evaluator, FixpointStats};
 
 use crate::ast::PredRef;
@@ -19,12 +21,19 @@ pub struct EvalConfig {
     /// Maximum number of semi-naïve iterations per stratum before evaluation
     /// is aborted with [`DatalogError::FixpointBudget`].
     pub max_iterations: usize,
+    /// When true (the default), rules are compiled into selectivity-ordered,
+    /// index-probing plans before execution; when false, bodies run as a
+    /// nested-loop join in textual literal order over full scans (the
+    /// pre-planner behaviour, kept for equivalence testing and as a bench
+    /// baseline).
+    pub use_planner: bool,
 }
 
 impl Default for EvalConfig {
     fn default() -> Self {
         EvalConfig {
             max_iterations: 10_000,
+            use_planner: true,
         }
     }
 }

@@ -1,0 +1,782 @@
+//! Per-rule compilation: cost-based literal ordering, probe signatures, and
+//! cached plans.
+//!
+//! The evaluator historically executed rule bodies as a nested-loop join in
+//! textual literal order, scanning every stored relation in full.  This
+//! module turns evaluation into compile-then-execute:
+//!
+//! * [`compile_rule_plan`] greedily orders the body's stored-relation
+//!   literals by estimated selectivity (bound-column count × relation
+//!   cardinality), pinning the delta-restricted literal first for semi-naïve
+//!   passes (unless pinning it would pre-bind a variable a pending negation,
+//!   UDF, or type check textually saw unbound, in which case the delta
+//!   literal runs at the earliest semantics-preserving point instead).
+//!   Comparisons are *hoisted* to the earliest point at which they
+//!   are evaluable — so `Var = ground-term` assignments run before the
+//!   literals they make selective, independent of textual position — while
+//!   negations, UDF calls, and built-in type checks are scheduled exactly
+//!   when the variables they textually consumed are bound (and no variable
+//!   they textually saw unbound has been bound yet), preserving the original
+//!   semantics.
+//! * Each planned stored-relation literal carries the bound-column signature
+//!   its probe will use; the plan lists the secondary indexes the executor
+//!   must [`crate::relation::Relation::ensure_index`] before joining.
+//! * [`PlanCache`] memoizes compiled plans per `(rule, delta-literal)` and
+//!   recompiles only when the body relations' cardinalities drift past a
+//!   threshold, so steady-state evaluation pays no planning cost.
+//! * [`PlanStats`] counts compilations, cache hits, index builds, probes and
+//!   scans; the runtime layer aggregates these per deployment for the bench
+//!   harness.
+
+use super::runtime_pred_name;
+use crate::ast::{Atom, CmpOp, Literal, Rule, Term};
+use crate::relation::{column_set, ColumnSet, Relation};
+use crate::schema::BUILTIN_TYPES;
+use crate::udf::UdfRegistry;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Selectivity credited to each statically bound column when estimating the
+/// cost of scheduling a stored-relation literal next.
+const BOUND_COLUMN_SELECTIVITY: f64 = 0.2;
+
+/// Cardinality drift factor beyond which a cached plan is recompiled.
+const RECOMPILE_DRIFT_FACTOR: usize = 4;
+
+/// Absolute slack added to both sides of the drift comparison so tiny
+/// relations do not thrash the cache while they grow from 0 to a few tuples.
+const RECOMPILE_DRIFT_SLACK: usize = 16;
+
+/// One scheduled body literal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanStep {
+    /// Index into the rule body.
+    pub literal: usize,
+    /// For stored-relation literals: the bound-column signature the executor
+    /// should probe with (`None` → scan, delta restriction, or a literal kind
+    /// that never probes).
+    pub probe: Option<ColumnSet>,
+}
+
+/// A secondary index the executor must ensure before running the plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexSpec {
+    pub pred: String,
+    pub cols: ColumnSet,
+}
+
+/// A compiled execution plan for one rule body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RulePlan {
+    /// Body literals in execution order.
+    pub order: Vec<PlanStep>,
+    /// Indexes to build before executing.
+    pub ensure: Vec<IndexSpec>,
+    /// Cardinalities of the body's stored relations at compile time, for the
+    /// recompile-on-drift policy.
+    pub cardinalities: Vec<(String, usize)>,
+}
+
+impl RulePlan {
+    /// The trivial textual-order plan (no probes).  Used for rules the
+    /// planner cannot analyze (meta-level predicate references) and by the
+    /// naive evaluation mode.
+    pub fn textual(body_len: usize) -> RulePlan {
+        RulePlan {
+            order: (0..body_len)
+                .map(|literal| PlanStep {
+                    literal,
+                    probe: None,
+                })
+                .collect(),
+            ensure: Vec::new(),
+            cardinalities: Vec::new(),
+        }
+    }
+}
+
+/// Counters describing planner and index behaviour.  Shared immutably with
+/// the join executor, hence the atomics (`Relaxed` throughout — these are
+/// statistics, not synchronization).
+#[derive(Debug, Default)]
+pub struct PlanStats {
+    pub plans_compiled: AtomicU64,
+    pub plan_cache_hits: AtomicU64,
+    pub plan_recompiles: AtomicU64,
+    pub index_builds: AtomicU64,
+    pub index_probes: AtomicU64,
+    pub full_scans: AtomicU64,
+    pub functional_hits: AtomicU64,
+}
+
+impl PlanStats {
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A plain-value copy of the counters.
+    pub fn snapshot(&self) -> PlanStatsSnapshot {
+        PlanStatsSnapshot {
+            plans_compiled: self.plans_compiled.load(Ordering::Relaxed),
+            plan_cache_hits: self.plan_cache_hits.load(Ordering::Relaxed),
+            plan_recompiles: self.plan_recompiles.load(Ordering::Relaxed),
+            index_builds: self.index_builds.load(Ordering::Relaxed),
+            index_probes: self.index_probes.load(Ordering::Relaxed),
+            full_scans: self.full_scans.load(Ordering::Relaxed),
+            functional_hits: self.functional_hits.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Clone for PlanStats {
+    fn clone(&self) -> Self {
+        let snapshot = self.snapshot();
+        PlanStats {
+            plans_compiled: AtomicU64::new(snapshot.plans_compiled),
+            plan_cache_hits: AtomicU64::new(snapshot.plan_cache_hits),
+            plan_recompiles: AtomicU64::new(snapshot.plan_recompiles),
+            index_builds: AtomicU64::new(snapshot.index_builds),
+            index_probes: AtomicU64::new(snapshot.index_probes),
+            full_scans: AtomicU64::new(snapshot.full_scans),
+            functional_hits: AtomicU64::new(snapshot.functional_hits),
+        }
+    }
+}
+
+/// Plain-value counters, summable across workspaces (one per deployment
+/// node), in the same spirit as `secureblox-net`'s traffic stats.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanStatsSnapshot {
+    pub plans_compiled: u64,
+    pub plan_cache_hits: u64,
+    pub plan_recompiles: u64,
+    pub index_builds: u64,
+    pub index_probes: u64,
+    pub full_scans: u64,
+    pub functional_hits: u64,
+}
+
+impl std::ops::Add for PlanStatsSnapshot {
+    type Output = PlanStatsSnapshot;
+    fn add(self, other: PlanStatsSnapshot) -> PlanStatsSnapshot {
+        PlanStatsSnapshot {
+            plans_compiled: self.plans_compiled + other.plans_compiled,
+            plan_cache_hits: self.plan_cache_hits + other.plan_cache_hits,
+            plan_recompiles: self.plan_recompiles + other.plan_recompiles,
+            index_builds: self.index_builds + other.index_builds,
+            index_probes: self.index_probes + other.index_probes,
+            full_scans: self.full_scans + other.full_scans,
+            functional_hits: self.functional_hits + other.functional_hits,
+        }
+    }
+}
+
+impl std::ops::AddAssign for PlanStatsSnapshot {
+    fn add_assign(&mut self, other: PlanStatsSnapshot) {
+        *self = *self + other;
+    }
+}
+
+/// Memoized plans per `(rule index, delta literal)` with recompile-on-drift.
+#[derive(Debug, Clone, Default)]
+pub struct PlanCache {
+    plans: HashMap<(usize, Option<usize>), RulePlan>,
+}
+
+impl PlanCache {
+    pub fn new() -> Self {
+        PlanCache::default()
+    }
+
+    /// Drop every cached plan (installed rules changed).
+    pub fn clear(&mut self) {
+        self.plans.clear();
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// True when no plan is cached.
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+
+    /// Fetch (or compile) the plan for `rule` with an optional delta-pinned
+    /// literal.  Returns a clone so the caller can mutate relations (index
+    /// ensures) while holding it.
+    pub fn plan_for(
+        &mut self,
+        rule: &Rule,
+        rule_index: usize,
+        delta_literal: Option<usize>,
+        relations: &HashMap<String, Relation>,
+        udfs: &UdfRegistry,
+        stats: &PlanStats,
+    ) -> RulePlan {
+        let key = (rule_index, delta_literal);
+        if let Some(plan) = self.plans.get(&key) {
+            if !cardinalities_drifted(&plan.cardinalities, relations) {
+                PlanStats::bump(&stats.plan_cache_hits);
+                return plan.clone();
+            }
+            PlanStats::bump(&stats.plan_recompiles);
+        } else {
+            PlanStats::bump(&stats.plans_compiled);
+        }
+        let plan = compile_rule_plan(rule, delta_literal, relations, udfs);
+        self.plans.insert(key, plan.clone());
+        plan
+    }
+}
+
+fn cardinalities_drifted(
+    snapshot: &[(String, usize)],
+    relations: &HashMap<String, Relation>,
+) -> bool {
+    snapshot.iter().any(|(pred, then)| {
+        let now = relations.get(pred).map_or(0, Relation::len);
+        let (small, large) = if now < *then {
+            (now, *then)
+        } else {
+            (*then, now)
+        };
+        large + RECOMPILE_DRIFT_SLACK > RECOMPILE_DRIFT_FACTOR * (small + RECOMPILE_DRIFT_SLACK)
+    })
+}
+
+/// How the planner treats each body literal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum LitKind {
+    /// Positive atom over a stored relation: reorderable, probe-able.
+    Stored { pred: String },
+    /// Positive atom over a built-in type check (`int(X)`, …).
+    TypeCheck,
+    /// Positive atom over a user-defined function.
+    Udf,
+    /// Negated atom.
+    Neg,
+    /// Comparison (filter or assignment).
+    Cmp,
+}
+
+/// Is `term` statically ground given the currently bound variables?
+fn term_ground(term: &Term, bound: &HashSet<String>) -> bool {
+    match term {
+        Term::Var(v) => bound.contains(v),
+        Term::Const(_) | Term::SingletonRef(_) => true,
+        Term::Wildcard | Term::VarSeq(_) => false,
+        Term::BinOp(l, _, r) => term_ground(l, bound) && term_ground(r, bound),
+    }
+}
+
+fn literal_vars(literal: &Literal) -> Vec<String> {
+    let mut vars = Vec::new();
+    literal.collect_vars(&mut vars);
+    vars
+}
+
+/// The variables a literal makes bound once executed under textual
+/// evaluation (approximation used for the readiness analysis).
+fn binds(literal: &Literal, kind: &LitKind, bound: &HashSet<String>) -> Vec<String> {
+    match kind {
+        LitKind::Stored { .. } | LitKind::Udf => literal_vars(literal),
+        LitKind::TypeCheck | LitKind::Neg => Vec::new(),
+        LitKind::Cmp => {
+            let Literal::Cmp(lhs, op, rhs) = literal else {
+                return Vec::new();
+            };
+            if *op != CmpOp::Eq {
+                return Vec::new();
+            }
+            match (lhs, rhs) {
+                (Term::Var(v), other) if !bound.contains(v) && term_ground(other, bound) => {
+                    vec![v.clone()]
+                }
+                (other, Term::Var(v)) if !bound.contains(v) && term_ground(other, bound) => {
+                    vec![v.clone()]
+                }
+                _ => Vec::new(),
+            }
+        }
+    }
+}
+
+/// Is the comparison evaluable right now (fully ground filter, or an
+/// assignment whose ground side is evaluable)?
+fn cmp_ready(lhs: &Term, op: CmpOp, rhs: &Term, bound: &HashSet<String>) -> bool {
+    if term_ground(lhs, bound) && term_ground(rhs, bound) {
+        return true;
+    }
+    if op != CmpOp::Eq {
+        return false;
+    }
+    matches!((lhs, rhs),
+        (Term::Var(v), other) if !bound.contains(v) && term_ground(other, bound))
+        || matches!((lhs, rhs),
+        (other, Term::Var(v)) if !bound.contains(v) && term_ground(other, bound))
+}
+
+/// The bound-column signature of `atom` given the bound variable set: bit `i`
+/// is set when argument `i` is statically evaluable to a ground value.
+fn probe_signature(atom: &Atom, bound: &HashSet<String>) -> ColumnSet {
+    if atom.terms.len() > 64 {
+        return 0;
+    }
+    column_set(
+        atom.terms
+            .iter()
+            .enumerate()
+            .filter(|(_, term)| term_ground(term, bound))
+            .map(|(i, _)| i),
+    )
+}
+
+/// Estimated cost of scheduling a stored-relation literal next.
+fn literal_cost(
+    atom: &Atom,
+    pred: &str,
+    bound: &HashSet<String>,
+    relations: &HashMap<String, Relation>,
+) -> f64 {
+    let relation = relations.get(pred);
+    let cardinality = relation.map_or(0, Relation::len);
+    // Functional fast path: all key columns ground → at most one tuple.
+    if let Some(key_arity) = relation.and_then(Relation::key_arity) {
+        if atom.terms.len() == key_arity + 1
+            && atom.terms[..key_arity]
+                .iter()
+                .all(|term| term_ground(term, bound))
+        {
+            return 0.5;
+        }
+    }
+    let bound_cols = probe_signature(atom, bound).count_ones();
+    (cardinality as f64) * BOUND_COLUMN_SELECTIVITY.powi(bound_cols as i32)
+}
+
+/// Compile an execution plan for `rule`.
+///
+/// `delta_literal` names the body literal restricted to a delta set in a
+/// semi-naïve pass; it is pinned to run first among the stored-relation
+/// literals (delta sets are small, so driving the join off them maximizes
+/// selectivity).
+pub fn compile_rule_plan(
+    rule: &Rule,
+    delta_literal: Option<usize>,
+    relations: &HashMap<String, Relation>,
+    udfs: &UdfRegistry,
+) -> RulePlan {
+    let body = &rule.body;
+    let n = body.len();
+
+    // Classify literals; bail to textual order on meta-level predicates.
+    let mut kinds: Vec<LitKind> = Vec::with_capacity(n);
+    for literal in body {
+        let kind = match literal {
+            Literal::Cmp(..) => LitKind::Cmp,
+            Literal::Neg(_) => LitKind::Neg,
+            Literal::Pos(atom) => {
+                let Ok(pred) = runtime_pred_name(&atom.pred) else {
+                    return RulePlan::textual(n);
+                };
+                if BUILTIN_TYPES.contains(&pred.as_str()) && atom.terms.len() == 1 {
+                    LitKind::TypeCheck
+                } else if udfs.is_udf(&pred) {
+                    LitKind::Udf
+                } else {
+                    LitKind::Stored { pred }
+                }
+            }
+        };
+        kinds.push(kind);
+    }
+
+    // Textual forward pass: record, for each pinned-kind literal (negation,
+    // type check, UDF), which of its variables textual evaluation would see
+    // bound.  The planner schedules those literals at exactly that degree of
+    // boundness to preserve semantics.
+    let mut req: Vec<HashSet<String>> = Vec::with_capacity(n);
+    {
+        let mut bound: HashSet<String> = HashSet::new();
+        for (literal, kind) in body.iter().zip(&kinds) {
+            let vars = literal_vars(literal);
+            req.push(
+                vars.iter()
+                    .filter(|v| bound.contains(*v))
+                    .cloned()
+                    .collect(),
+            );
+            for var in binds(literal, kind, &bound) {
+                bound.insert(var);
+            }
+        }
+    }
+    // Frozen variables of a pending pinned literal: variables it textually
+    // saw *unbound*.  Binding them before the literal runs would change its
+    // meaning (e.g. `!p(X, Z)` with Z textually unbound means "no p(X, _)").
+    let frozen: Vec<HashSet<String>> = body
+        .iter()
+        .zip(&req)
+        .map(|(literal, req)| {
+            literal_vars(literal)
+                .into_iter()
+                .filter(|v| !req.contains(v))
+                .collect()
+        })
+        .collect();
+
+    let mut bound: HashSet<String> = HashSet::new();
+    let mut scheduled = vec![false; n];
+    let mut order: Vec<PlanStep> = Vec::with_capacity(n);
+    let mut ensure: Vec<IndexSpec> = Vec::new();
+
+    let schedule = |index: usize,
+                    bound: &mut HashSet<String>,
+                    scheduled: &mut Vec<bool>,
+                    order: &mut Vec<PlanStep>,
+                    ensure: &mut Vec<IndexSpec>| {
+        let mut probe = None;
+        if let LitKind::Stored { pred } = &kinds[index] {
+            let Literal::Pos(atom) = &body[index] else {
+                unreachable!("stored literal is positive");
+            };
+            if delta_literal != Some(index) {
+                let cols = probe_signature(atom, bound);
+                // Skip the probe when the functional fast path already covers
+                // the lookup (all key columns ground).
+                let functional_covers = relations
+                    .get(pred)
+                    .and_then(Relation::key_arity)
+                    .is_some_and(|k| {
+                        atom.terms.len() == k + 1
+                            && atom.terms[..k].iter().all(|t| term_ground(t, bound))
+                    });
+                if cols != 0 && !functional_covers {
+                    probe = Some(cols);
+                    let spec = IndexSpec {
+                        pred: pred.clone(),
+                        cols,
+                    };
+                    if !ensure.contains(&spec) {
+                        ensure.push(spec);
+                    }
+                }
+            }
+        }
+        if let LitKind::Neg = &kinds[index] {
+            // Pre-declare the index the negation's pattern will use so the
+            // executor can probe instead of scanning.
+            if let Literal::Neg(atom) = &body[index] {
+                if let Ok(pred) = runtime_pred_name(&atom.pred) {
+                    let cols = probe_signature(atom, bound);
+                    if cols != 0 {
+                        let spec = IndexSpec { pred, cols };
+                        if !ensure.contains(&spec) {
+                            ensure.push(spec);
+                        }
+                    }
+                }
+            }
+        }
+        for var in binds(&body[index], &kinds[index], bound) {
+            bound.insert(var);
+        }
+        scheduled[index] = true;
+        order.push(PlanStep {
+            literal: index,
+            probe,
+        });
+    };
+
+    // The single frozen-variable invariant, used by every scheduling path:
+    // literal `index` must not be scheduled while it would newly bind a
+    // variable that some *other* pending pinned literal textually saw
+    // unbound — doing so would collapse ∄-over-unbound negation or turn an
+    // enumerating UDF call into a membership check.
+    let binds_frozen_of_pending =
+        |index: usize, bound: &HashSet<String>, scheduled: &[bool]| -> bool {
+            binds(&body[index], &kinds[index], bound)
+                .iter()
+                .filter(|v| !bound.contains(*v))
+                .any(|v| {
+                    (0..n).any(|f| {
+                        f != index
+                            && !scheduled[f]
+                            && matches!(kinds[f], LitKind::Neg | LitKind::TypeCheck | LitKind::Udf)
+                            && frozen[f].contains(v)
+                    })
+                })
+        };
+
+    while order.len() < n {
+        // 1. Eagerly schedule every ready floating literal, in textual order,
+        //    repeating until quiescent (an assignment can ready another).
+        loop {
+            let mut progress = false;
+            for index in 0..n {
+                if scheduled[index] {
+                    continue;
+                }
+                let ready = match &kinds[index] {
+                    LitKind::Cmp => {
+                        let Literal::Cmp(lhs, op, rhs) = &body[index] else {
+                            unreachable!()
+                        };
+                        cmp_ready(lhs, *op, rhs, &bound)
+                            && !binds_frozen_of_pending(index, &bound, &scheduled)
+                    }
+                    LitKind::Neg | LitKind::TypeCheck => {
+                        req[index].iter().all(|v| bound.contains(v))
+                    }
+                    LitKind::Udf => {
+                        req[index].iter().all(|v| bound.contains(v))
+                            && !binds_frozen_of_pending(index, &bound, &scheduled)
+                    }
+                    LitKind::Stored { .. } => false,
+                };
+                if ready {
+                    schedule(index, &mut bound, &mut scheduled, &mut order, &mut ensure);
+                    progress = true;
+                }
+            }
+            if !progress {
+                break;
+            }
+        }
+        if order.len() == n {
+            break;
+        }
+
+        // 2. Pick the next stored-relation literal: the delta literal first
+        //    (when pinning it would not pre-bind a frozen variable of a
+        //    pending pinned literal), otherwise the cheapest unblocked
+        //    candidate — with the delta literal preferred as soon as it
+        //    unblocks.
+        let blocked = |i: usize| binds_frozen_of_pending(i, &bound, &scheduled);
+        let candidates: Vec<usize> = (0..n)
+            .filter(|&i| !scheduled[i] && matches!(kinds[i], LitKind::Stored { .. }))
+            .collect();
+        let delta_candidate =
+            delta_literal.filter(|&d| !scheduled[d] && matches!(kinds[d], LitKind::Stored { .. }));
+        let choice = match delta_candidate {
+            Some(d) if !blocked(d) => Some(d),
+            _ => {
+                let unblocked: Vec<usize> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|&i| !blocked(i))
+                    .collect();
+                let pool = if unblocked.is_empty() {
+                    &candidates
+                } else {
+                    &unblocked
+                };
+                pool.iter().copied().min_by(|&a, &b| {
+                    let (LitKind::Stored { pred: pa }, LitKind::Stored { pred: pb }) =
+                        (&kinds[a], &kinds[b])
+                    else {
+                        unreachable!()
+                    };
+                    let (Literal::Pos(atom_a), Literal::Pos(atom_b)) = (&body[a], &body[b]) else {
+                        unreachable!()
+                    };
+                    // Delta sets are the most selective input: prefer the
+                    // delta literal the moment it is legal to schedule.
+                    let cost = |i: usize, atom: &Atom, pred: &str| {
+                        if delta_candidate == Some(i) {
+                            -1.0
+                        } else {
+                            literal_cost(atom, pred, &bound, relations)
+                        }
+                    };
+                    cost(a, atom_a, pa)
+                        .total_cmp(&cost(b, atom_b, pb))
+                        .then(a.cmp(&b))
+                })
+            }
+        };
+        match choice {
+            Some(index) => schedule(index, &mut bound, &mut scheduled, &mut order, &mut ensure),
+            None => {
+                // No stored literal left and the remaining floating literals
+                // never become ready (their variables are never bound):
+                // schedule them in textual order so runtime behaviour (error
+                // or empty branch) matches the naive evaluator.
+                for index in 0..n {
+                    if !scheduled[index] {
+                        schedule(index, &mut bound, &mut scheduled, &mut order, &mut ensure);
+                    }
+                }
+            }
+        }
+    }
+
+    let mut cardinalities: Vec<(String, usize)> = Vec::new();
+    for kind in &kinds {
+        if let LitKind::Stored { pred } = kind {
+            if !cardinalities.iter().any(|(p, _)| p == pred) {
+                cardinalities.push((pred.clone(), relations.get(pred).map_or(0, Relation::len)));
+            }
+        }
+    }
+
+    RulePlan {
+        order,
+        ensure,
+        cardinalities,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_rule;
+    use crate::value::Value;
+
+    fn relations_with(cards: &[(&str, usize)]) -> HashMap<String, Relation> {
+        let mut relations = HashMap::new();
+        for (pred, n) in cards {
+            let mut rel = Relation::new(*pred, None);
+            for i in 0..*n {
+                rel.insert(vec![Value::Int(i as i64), Value::Int(i as i64 + 1)])
+                    .unwrap();
+            }
+            relations.insert(pred.to_string(), rel);
+        }
+        relations
+    }
+
+    fn order_of(plan: &RulePlan) -> Vec<usize> {
+        plan.order.iter().map(|s| s.literal).collect()
+    }
+
+    #[test]
+    fn smallest_relation_drives_the_join() {
+        let relations = relations_with(&[("big", 1000), ("small", 3)]);
+        let udfs = UdfRegistry::new();
+        let rule = parse_rule("out(X, Z) <- big(X, Y), small(Y, Z).").unwrap();
+        let plan = compile_rule_plan(&rule, None, &relations, &udfs);
+        assert_eq!(order_of(&plan), vec![1, 0]);
+        // The second literal probes on its bound column (Y = column 1 of big).
+        assert_eq!(plan.order[1].probe, Some(column_set([1])));
+        assert!(plan.ensure.contains(&IndexSpec {
+            pred: "big".into(),
+            cols: column_set([1])
+        }));
+    }
+
+    #[test]
+    fn delta_literal_is_pinned_first() {
+        let relations = relations_with(&[("big", 1000), ("small", 3)]);
+        let udfs = UdfRegistry::new();
+        let rule = parse_rule("out(X, Z) <- big(X, Y), small(Y, Z).").unwrap();
+        let plan = compile_rule_plan(&rule, Some(0), &relations, &udfs);
+        assert_eq!(order_of(&plan), vec![0, 1]);
+        assert_eq!(plan.order[0].probe, None, "delta literal scans the delta");
+        assert_eq!(plan.order[1].probe, Some(column_set([0])));
+    }
+
+    #[test]
+    fn assignments_are_hoisted_before_their_consumers() {
+        let relations = relations_with(&[("edge", 100)]);
+        let udfs = UdfRegistry::new();
+        // Textual order would scan edge first; the plan assigns X = 7 first
+        // and probes edge on column 0.
+        let rule = parse_rule("out(Y) <- edge(X, Y), X = 7.").unwrap();
+        let plan = compile_rule_plan(&rule, None, &relations, &udfs);
+        assert_eq!(order_of(&plan), vec![1, 0]);
+        assert_eq!(plan.order[1].probe, Some(column_set([0])));
+    }
+
+    #[test]
+    fn comparison_needing_later_binding_is_deferred() {
+        let relations = relations_with(&[("edge", 10)]);
+        let udfs = UdfRegistry::new();
+        // C = Y + 1 precedes its producer textually; the plan defers it.
+        let rule = parse_rule("out(C) <- C = Y + 1, edge(X, Y).").unwrap();
+        let plan = compile_rule_plan(&rule, None, &relations, &udfs);
+        assert_eq!(order_of(&plan), vec![1, 0]);
+    }
+
+    #[test]
+    fn negation_keeps_its_textual_boundness() {
+        let relations = relations_with(&[("a", 10), ("b", 10), ("c", 10)]);
+        let udfs = UdfRegistry::new();
+        // !b(X, Z) textually sees X bound and Z unbound; c(Z, W) must not be
+        // scheduled before the negation even if it were cheaper.
+        let rule = parse_rule("out(X, W) <- a(X, Y), !b(X, Z), c(Z, W).").unwrap();
+        let plan = compile_rule_plan(&rule, None, &relations, &udfs);
+        let order = order_of(&plan);
+        let pos = |i: usize| order.iter().position(|&x| x == i).unwrap();
+        assert!(pos(0) < pos(1), "a before !b");
+        assert!(pos(1) < pos(2), "!b before c (Z is frozen)");
+    }
+
+    #[test]
+    fn assignment_does_not_prebind_frozen_negation_var() {
+        let relations = relations_with(&[("a", 10), ("b", 10)]);
+        let udfs = UdfRegistry::new();
+        // !b(X, Z) textually sees Z unbound (∄ b(X, _)); hoisting Z = 5 ahead
+        // of it would collapse that into the membership check !b(X, 5).
+        let rule = parse_rule("out(X) <- a(X), !b(X, Z), Z = 5.").unwrap();
+        let plan = compile_rule_plan(&rule, None, &relations, &udfs);
+        let order = order_of(&plan);
+        let pos = |i: usize| order.iter().position(|&x| x == i).unwrap();
+        assert!(pos(1) < pos(2), "!b must run before Z = 5 is assigned");
+    }
+
+    #[test]
+    fn meta_predicates_fall_back_to_textual_order() {
+        let relations = relations_with(&[]);
+        let udfs = UdfRegistry::new();
+        let rule = parse_rule("out(X) <- says[T](P, X), other(X).").unwrap();
+        let plan = compile_rule_plan(&rule, None, &relations, &udfs);
+        assert_eq!(order_of(&plan), vec![0, 1]);
+        assert!(plan.ensure.is_empty());
+    }
+
+    #[test]
+    fn plan_cache_hits_and_recompiles_on_drift() {
+        let mut relations = relations_with(&[("a", 4), ("b", 4)]);
+        let udfs = UdfRegistry::new();
+        let rule = parse_rule("out(X, Z) <- a(X, Y), b(Y, Z).").unwrap();
+        let stats = PlanStats::default();
+        let mut cache = PlanCache::new();
+        let p1 = cache.plan_for(&rule, 0, None, &relations, &udfs, &stats);
+        let p2 = cache.plan_for(&rule, 0, None, &relations, &udfs, &stats);
+        assert_eq!(p1, p2);
+        let snap = stats.snapshot();
+        assert_eq!(snap.plans_compiled, 1);
+        assert_eq!(snap.plan_cache_hits, 1);
+        // Grow `a` far beyond the drift threshold → recompile.
+        let rel = relations.get_mut("a").unwrap();
+        for i in 0..500 {
+            rel.insert(vec![Value::Int(1000 + i), Value::Int(2000 + i)])
+                .unwrap();
+        }
+        cache.plan_for(&rule, 0, None, &relations, &udfs, &stats);
+        assert_eq!(stats.snapshot().plan_recompiles, 1);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn snapshot_sums() {
+        let a = PlanStatsSnapshot {
+            index_probes: 2,
+            ..Default::default()
+        };
+        let b = PlanStatsSnapshot {
+            index_probes: 3,
+            full_scans: 1,
+            ..Default::default()
+        };
+        let mut c = a + b;
+        assert_eq!(c.index_probes, 5);
+        assert_eq!(c.full_scans, 1);
+        c += a;
+        assert_eq!(c.index_probes, 7);
+    }
+}

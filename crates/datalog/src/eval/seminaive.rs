@@ -13,9 +13,10 @@
 //!   `pathvar` rule) mint one fresh entity per distinct body binding, memoized
 //!   so re-derivations are idempotent.
 
-use super::aggregate::evaluate_agg_rule;
+use super::aggregate::evaluate_agg_rule_with;
 use super::bindings::{eval_term, Bindings};
 use super::join::{DeltaRestriction, JoinContext};
+use super::plan::{PlanCache, PlanStats, RulePlan};
 use super::runtime_pred_name;
 use super::EvalConfig;
 use crate::ast::{Literal, Rule, Term};
@@ -46,6 +47,11 @@ pub struct Evaluator<'a> {
     /// Memo of already-minted existential entities, keyed by rule index and
     /// the binding of the rule's body variables.
     pub existential_memo: &'a mut HashMap<(usize, Vec<Value>), u64>,
+    /// Compiled rule plans, reused across iterations (and across ticks when
+    /// the owning workspace lives that long).
+    pub plan_cache: &'a mut PlanCache,
+    /// Planner / index counters.
+    pub plan_stats: &'a PlanStats,
 }
 
 impl<'a> Evaluator<'a> {
@@ -152,17 +158,26 @@ impl<'a> Evaluator<'a> {
         body_vars.dedup();
 
         let mut derived: Vec<(String, Tuple)> = Vec::new();
-        let ctx = JoinContext::new(self.relations, self.udfs);
+        let plan = self.prepare_plan(rules, rule_index, delta.as_ref().map(|(i, _)| *i));
+        let ctx = JoinContext::with_stats(self.relations, self.udfs, self.plan_stats);
         let mut solutions: Vec<Bindings> = Vec::new();
         let mut bindings = Bindings::new();
         let restriction = delta.as_ref().map(|(index, tuples)| DeltaRestriction {
             literal_index: *index,
             delta: tuples,
         });
-        ctx.join(&rule.body, restriction, &mut bindings, &mut |b| {
-            solutions.push(b.clone());
-            Ok(())
-        })?;
+        match &plan {
+            Some(plan) => {
+                ctx.join_planned(&rule.body, plan, restriction, &mut bindings, &mut |b| {
+                    solutions.push(b.clone());
+                    Ok(())
+                })?
+            }
+            None => ctx.join(&rule.body, restriction, &mut bindings, &mut |b| {
+                solutions.push(b.clone());
+                Ok(())
+            })?,
+        }
 
         for mut solution in solutions {
             // Mint (or recall) entities for head-existential variables.
@@ -208,13 +223,49 @@ impl<'a> Evaluator<'a> {
         Ok(derived)
     }
 
+    /// Compile (or fetch) the plan for a rule, build the secondary indexes it
+    /// probes, and return it.  `None` when planning is disabled.
+    fn prepare_plan(
+        &mut self,
+        rules: &[Rule],
+        rule_index: usize,
+        delta_literal: Option<usize>,
+    ) -> Option<RulePlan> {
+        if !self.config.use_planner {
+            return None;
+        }
+        let plan = self.plan_cache.plan_for(
+            &rules[rule_index],
+            rule_index,
+            delta_literal,
+            self.relations,
+            self.udfs,
+            self.plan_stats,
+        );
+        for spec in &plan.ensure {
+            if let Some(relation) = self.relations.get_mut(&spec.pred) {
+                if relation.ensure_index(spec.cols) {
+                    PlanStats::bump(&self.plan_stats.index_builds);
+                }
+            }
+        }
+        Some(plan)
+    }
+
     /// Recompute an aggregation rule from the full body relations.
     fn recompute_aggregate(
         &mut self,
         rules: &[Rule],
         rule_index: usize,
     ) -> Result<Vec<(String, Tuple)>> {
-        evaluate_agg_rule(&rules[rule_index], self.relations, self.udfs)
+        let plan = self.prepare_plan(rules, rule_index, None);
+        evaluate_agg_rule_with(
+            &rules[rule_index],
+            self.relations,
+            self.udfs,
+            plan.as_ref(),
+            Some(self.plan_stats),
+        )
     }
 
     /// Insert derived tuples with strict functional-dependency checking.
@@ -286,6 +337,8 @@ mod tests {
         relations: HashMap<String, Relation>,
         entity_counter: u64,
         memo: HashMap<(usize, Vec<Value>), u64>,
+        plan_cache: PlanCache,
+        plan_stats: PlanStats,
     }
 
     impl Fixture {
@@ -316,6 +369,8 @@ mod tests {
                 relations,
                 entity_counter: 0,
                 memo: HashMap::new(),
+                plan_cache: PlanCache::new(),
+                plan_stats: PlanStats::default(),
             }
         }
 
@@ -328,6 +383,8 @@ mod tests {
                 config: &config,
                 entity_counter: &mut self.entity_counter,
                 existential_memo: &mut self.memo,
+                plan_cache: &mut self.plan_cache,
+                plan_stats: &self.plan_stats,
             };
             evaluator.run(&self.rules, &self.strata).unwrap()
         }
@@ -456,6 +513,8 @@ mod tests {
             config: &config,
             entity_counter: &mut fixture.entity_counter,
             existential_memo: &mut fixture.memo,
+            plan_cache: &mut fixture.plan_cache,
+            plan_stats: &fixture.plan_stats,
         };
         // Y is a head existential, so it actually mints an entity — that is
         // allowed.  A truly unsafe head would use an expression over unbound
@@ -473,7 +532,10 @@ mod tests {
             "count(X, C + 1) <- count(X, C).",
             &[("count", vec![s("a"), Value::Int(0)])],
         );
-        let config = EvalConfig { max_iterations: 50 };
+        let config = EvalConfig {
+            max_iterations: 50,
+            ..EvalConfig::default()
+        };
         let mut evaluator = Evaluator {
             relations: &mut fixture.relations,
             schema: &fixture.schema,
@@ -481,6 +543,8 @@ mod tests {
             config: &config,
             entity_counter: &mut fixture.entity_counter,
             existential_memo: &mut fixture.memo,
+            plan_cache: &mut fixture.plan_cache,
+            plan_stats: &fixture.plan_stats,
         };
         let err = evaluator.run(&fixture.rules, &fixture.strata).unwrap_err();
         assert!(matches!(err, DatalogError::FixpointBudget { .. }));

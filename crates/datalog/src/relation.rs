@@ -1,20 +1,126 @@
-//! In-memory relation storage with functional-dependency enforcement.
+//! In-memory relation storage with functional-dependency enforcement and
+//! lazily-built, incrementally-maintained secondary hash indexes.
+//!
+//! Tuples live in an arena (`Vec<Tuple>`) addressed by stable [`TupleId`]s; a
+//! `live` map provides membership tests and id lookup.  A secondary index is
+//! keyed by a *bound-column signature* — a bitmask of column positions — and
+//! maps the projection of a tuple onto those columns to the ids of every live
+//! tuple sharing that projection.  Indexes are built on demand (the planner
+//! requests the signatures its probes need via [`Relation::ensure_index`])
+//! and maintained incrementally: inserts append the new id to every existing
+//! index, removals delete the id again, so delta application and DRed see a
+//! consistent view at all times.
 
 use crate::error::{DatalogError, Result};
 use crate::value::{Tuple, Value};
-use std::collections::{HashMap, HashSet};
+use std::borrow::Borrow;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// Stable identifier of a tuple inside one relation's arena.
+pub type TupleId = u32;
+
+/// A bound-column signature: bit `i` set means column `i` is part of the
+/// index key.  Relations wider than 64 columns are never indexed (they fall
+/// back to scans), which is far beyond any predicate the engine stores.
+pub type ColumnSet = u64;
+
+/// Build a [`ColumnSet`] from column positions.
+pub fn column_set(columns: impl IntoIterator<Item = usize>) -> ColumnSet {
+    let mut set = 0u64;
+    for column in columns {
+        if column < 64 {
+            set |= 1 << column;
+        }
+    }
+    set
+}
+
+/// Project `tuple` onto the columns of `cols` (ascending position order).
+/// Returns `None` when the tuple is too short to have every indexed column —
+/// such a tuple can never match a probe of that signature.
+fn project(tuple: &[Value], cols: ColumnSet) -> Option<Tuple> {
+    let mut key = Vec::with_capacity(cols.count_ones() as usize);
+    for position in 0..64 {
+        if cols & (1 << position) != 0 {
+            key.push(tuple.get(position as usize)?.clone());
+        }
+    }
+    Some(key)
+}
+
+/// A live tuple shared between the arena and the membership map: one heap
+/// allocation per tuple regardless of how many structures reference it.
+/// Hashing and equality delegate to the underlying value slice so the map
+/// can be queried directly with `&[Value]`.
+#[derive(Debug, Clone)]
+struct SharedTuple(Arc<Tuple>);
+
+impl Hash for SharedTuple {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.0.as_slice().hash(state)
+    }
+}
+
+impl PartialEq for SharedTuple {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.as_slice() == other.0.as_slice()
+    }
+}
+
+impl Eq for SharedTuple {}
+
+impl Borrow<[Value]> for SharedTuple {
+    fn borrow(&self) -> &[Value] {
+        self.0.as_slice()
+    }
+}
 
 /// A stored relation: the extension of one predicate inside a workspace.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct Relation {
     name: String,
     /// `Some(k)` if the predicate is functional with `k` key columns (the
     /// remaining single column is the dependent value).
     key_arity: Option<usize>,
-    tuples: HashSet<Tuple>,
+    /// Tuple arena; slots of removed tuples are recycled via `free`.
+    arena: Vec<Arc<Tuple>>,
+    /// Live tuples: membership test and arena id lookup.
+    live: HashMap<SharedTuple, TupleId>,
+    /// Recyclable arena slots.
+    free: Vec<TupleId>,
     /// Key → value index for functional predicates, used both for fast lookup
     /// and for detecting functional-dependency violations.
     fd_index: HashMap<Tuple, Value>,
+    /// Secondary hash indexes by bound-column signature.
+    indexes: HashMap<ColumnSet, HashMap<Tuple, Vec<TupleId>>>,
+}
+
+/// Cloning compacts the arena and drops the secondary indexes: they are
+/// rebuildable caches, and the clones the engine takes (transaction rollback
+/// snapshots, DRed's pre-deletion view) should not pay for copying them.
+/// Tuples themselves are `Arc`-shared, so a clone costs two pointer copies
+/// per tuple, not a deep copy.
+impl Clone for Relation {
+    fn clone(&self) -> Self {
+        let mut arena = Vec::with_capacity(self.live.len());
+        let mut live = HashMap::with_capacity(self.live.len());
+        for key in self.live.keys() {
+            let id = arena.len() as TupleId;
+            arena.push(Arc::clone(&key.0));
+            live.insert(key.clone(), id);
+        }
+        Relation {
+            name: self.name.clone(),
+            key_arity: self.key_arity,
+            arena,
+            live,
+            free: Vec::new(),
+            fd_index: self.fd_index.clone(),
+            indexes: HashMap::new(),
+        }
+    }
 }
 
 impl Relation {
@@ -23,8 +129,11 @@ impl Relation {
         Relation {
             name: name.into(),
             key_arity,
-            tuples: HashSet::new(),
+            arena: Vec::new(),
+            live: HashMap::new(),
+            free: Vec::new(),
             fd_index: HashMap::new(),
+            indexes: HashMap::new(),
         }
     }
 
@@ -40,28 +149,28 @@ impl Relation {
 
     /// Number of tuples.
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        self.live.len()
     }
 
     /// True if the relation has no tuples.
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.live.is_empty()
     }
 
     /// Membership test.
     pub fn contains(&self, tuple: &[Value]) -> bool {
-        self.tuples.contains(tuple)
+        self.live.contains_key(tuple)
     }
 
     /// Iterate over all tuples (arbitrary order).
     pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
-        self.tuples.iter()
+        self.live.keys().map(|key| key.0.as_ref())
     }
 
     /// All tuples in a deterministic order (sorted by the total value order),
     /// for stable output and tests.
     pub fn sorted(&self) -> Vec<Tuple> {
-        let mut out: Vec<Tuple> = self.tuples.iter().cloned().collect();
+        let mut out: Vec<Tuple> = self.iter().cloned().collect();
         out.sort_by(|a, b| {
             for (x, y) in a.iter().zip(b.iter()) {
                 match x.total_cmp(y) {
@@ -106,7 +215,28 @@ impl Relation {
             }
             self.fd_index.insert(key, value);
         }
-        Ok(self.tuples.insert(tuple))
+        if self.live.contains_key(tuple.as_slice()) {
+            return Ok(false);
+        }
+        let shared = Arc::new(tuple);
+        let id = match self.free.pop() {
+            Some(id) => {
+                self.arena[id as usize] = Arc::clone(&shared);
+                id
+            }
+            None => {
+                let id = self.arena.len() as TupleId;
+                self.arena.push(Arc::clone(&shared));
+                id
+            }
+        };
+        for (cols, index) in &mut self.indexes {
+            if let Some(key) = project(&shared, *cols) {
+                index.entry(key).or_default().push(id);
+            }
+        }
+        self.live.insert(SharedTuple(shared), id);
+        Ok(true)
     }
 
     /// Insert a tuple for a functional predicate, replacing any existing
@@ -119,10 +249,9 @@ impl Relation {
                 if existing == tuple[key_arity] {
                     return Ok(false);
                 }
-                let mut old_row = key.clone();
+                let mut old_row = key;
                 old_row.push(existing);
-                self.tuples.remove(&old_row);
-                self.fd_index.remove(&key);
+                self.remove(&old_row);
             }
         }
         self.insert(tuple)
@@ -130,20 +259,37 @@ impl Relation {
 
     /// Remove a tuple, returning whether it was present.
     pub fn remove(&mut self, tuple: &[Value]) -> bool {
-        let removed = self.tuples.remove(tuple);
-        if removed {
-            if let Some(key_arity) = self.key_arity {
-                let key: Tuple = tuple[..key_arity].to_vec();
-                self.fd_index.remove(&key);
+        let Some(id) = self.live.remove(tuple) else {
+            return false;
+        };
+        // Release the tuple's allocation now rather than when the slot is
+        // recycled (retract-heavy workloads would otherwise pin the memory).
+        self.arena[id as usize] = Arc::new(Tuple::new());
+        self.free.push(id);
+        for (cols, index) in &mut self.indexes {
+            if let Some(key) = project(tuple, *cols) {
+                if let Some(bucket) = index.get_mut(&key) {
+                    bucket.retain(|&candidate| candidate != id);
+                    if bucket.is_empty() {
+                        index.remove(&key);
+                    }
+                }
             }
         }
-        removed
+        if let Some(key_arity) = self.key_arity {
+            let key: Tuple = tuple[..key_arity].to_vec();
+            self.fd_index.remove(&key);
+        }
+        true
     }
 
-    /// Remove all tuples.
+    /// Remove all tuples (and drop every index).
     pub fn clear(&mut self) {
-        self.tuples.clear();
+        self.arena.clear();
+        self.live.clear();
+        self.free.clear();
         self.fd_index.clear();
+        self.indexes.clear();
     }
 
     /// Look up the dependent value for `key` in a functional predicate.
@@ -160,11 +306,77 @@ impl Relation {
         }
     }
 
+    /// Build the secondary index for `cols` if it does not exist yet.
+    /// Returns `true` when an index was actually built.
+    pub fn ensure_index(&mut self, cols: ColumnSet) -> bool {
+        if cols == 0 || self.indexes.contains_key(&cols) {
+            return false;
+        }
+        let mut index: HashMap<Tuple, Vec<TupleId>> = HashMap::new();
+        for (tuple, &id) in &self.live {
+            if let Some(key) = project(&tuple.0, cols) {
+                index.entry(key).or_default().push(id);
+            }
+        }
+        self.indexes.insert(cols, index);
+        true
+    }
+
+    /// True if an index exists for `cols`.
+    pub fn has_index(&self, cols: ColumnSet) -> bool {
+        self.indexes.contains_key(&cols)
+    }
+
+    /// Number of secondary indexes currently maintained.
+    pub fn index_count(&self) -> usize {
+        self.indexes.len()
+    }
+
+    /// Probe the `cols` index for tuples whose projection equals `key`.
+    /// Returns `None` when no such index exists (caller falls back to a
+    /// scan); `Some(&[])` when the index exists but nothing matches.
+    pub fn probe(&self, cols: ColumnSet, key: &[Value]) -> Option<&[TupleId]> {
+        let index = self.indexes.get(&cols)?;
+        Some(index.get(key).map(Vec::as_slice).unwrap_or(&[]))
+    }
+
+    /// The tuple stored under `id`.  Only ids obtained from [`Relation::probe`]
+    /// against the current state are meaningful.
+    pub fn tuple_by_id(&self, id: TupleId) -> &Tuple {
+        self.arena[id as usize].as_ref()
+    }
+
+    /// The bound-column signature of a partial binding pattern.
+    fn pattern_cols(pattern: &[Option<Value>]) -> ColumnSet {
+        column_set(
+            pattern
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.is_some())
+                .map(|(i, _)| i),
+        )
+    }
+
     /// Tuples matching a partial binding pattern: `pattern[i] = Some(v)`
-    /// requires column `i` to equal `v`.
+    /// requires column `i` to equal `v`.  Uses an exact-signature secondary
+    /// index when one exists.
     pub fn select(&self, pattern: &[Option<Value>]) -> Vec<&Tuple> {
-        self.tuples
-            .iter()
+        let cols = Self::pattern_cols(pattern);
+        if cols != 0 && pattern.len() <= 64 {
+            if let Some(index) = self.indexes.get(&cols) {
+                let key: Tuple = pattern.iter().flatten().cloned().collect();
+                return index
+                    .get(&key)
+                    .map(|ids| {
+                        ids.iter()
+                            .map(|&id| self.tuple_by_id(id))
+                            .filter(|tuple| tuple.len() == pattern.len())
+                            .collect()
+                    })
+                    .unwrap_or_default();
+            }
+        }
+        self.iter()
             .filter(|tuple| {
                 tuple.len() == pattern.len()
                     && pattern
@@ -177,7 +389,17 @@ impl Relation {
 
     /// True if at least one tuple matches the partial binding pattern.
     pub fn matches_any(&self, pattern: &[Option<Value>]) -> bool {
-        self.tuples.iter().any(|tuple| {
+        let cols = Self::pattern_cols(pattern);
+        if cols != 0 && pattern.len() <= 64 {
+            if let Some(index) = self.indexes.get(&cols) {
+                let key: Tuple = pattern.iter().flatten().cloned().collect();
+                return index.get(&key).is_some_and(|ids| {
+                    ids.iter()
+                        .any(|&id| self.tuple_by_id(id).len() == pattern.len())
+                });
+            }
+        }
+        self.iter().any(|tuple| {
             tuple.len() == pattern.len()
                 && pattern
                     .iter()
@@ -278,5 +500,80 @@ mod tests {
     fn arity_mismatch_rejected_for_functional() {
         let mut rel = Relation::new("f", Some(1));
         assert!(rel.insert(t(&[1])).is_err());
+    }
+
+    #[test]
+    fn index_probe_matches_scan() {
+        let mut rel = Relation::new("edge", None);
+        for (a, b) in [(1, 2), (1, 3), (2, 3), (4, 1)] {
+            rel.insert(t(&[a, b])).unwrap();
+        }
+        let cols = column_set([0]);
+        assert!(rel.probe(cols, &t(&[1])).is_none(), "no index yet");
+        assert!(rel.ensure_index(cols));
+        assert!(!rel.ensure_index(cols), "second ensure is a no-op");
+        let ids = rel.probe(cols, &t(&[1])).unwrap();
+        let mut probed: Vec<Tuple> = ids.iter().map(|&id| rel.tuple_by_id(id).clone()).collect();
+        probed.sort_by_key(|t| format!("{t:?}"));
+        assert_eq!(probed, vec![t(&[1, 2]), t(&[1, 3])]);
+        assert_eq!(rel.probe(cols, &t(&[9])).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn index_maintained_across_insert_and_remove() {
+        let mut rel = Relation::new("edge", None);
+        let cols = column_set([1]);
+        rel.ensure_index(cols);
+        rel.insert(t(&[1, 2])).unwrap();
+        rel.insert(t(&[3, 2])).unwrap();
+        assert_eq!(rel.probe(cols, &t(&[2])).unwrap().len(), 2);
+        assert!(rel.remove(&t(&[1, 2])));
+        assert_eq!(rel.probe(cols, &t(&[2])).unwrap().len(), 1);
+        // Recycled arena slot gets indexed correctly.
+        rel.insert(t(&[5, 2])).unwrap();
+        let ids = rel.probe(cols, &t(&[2])).unwrap().to_vec();
+        let mut values: Vec<Tuple> = ids.iter().map(|&id| rel.tuple_by_id(id).clone()).collect();
+        values.sort_by_key(|t| format!("{t:?}"));
+        assert_eq!(values, vec![t(&[3, 2]), t(&[5, 2])]);
+        rel.clear();
+        assert_eq!(rel.index_count(), 0);
+        assert!(rel.is_empty());
+    }
+
+    #[test]
+    fn select_and_matches_any_use_index_when_present() {
+        let mut rel = Relation::new("edge", None);
+        for (a, b) in [(1, 2), (1, 3), (2, 3)] {
+            rel.insert(t(&[a, b])).unwrap();
+        }
+        rel.ensure_index(column_set([0]));
+        assert_eq!(rel.select(&[Some(Value::Int(1)), None]).len(), 2);
+        assert!(rel.matches_any(&[Some(Value::Int(2)), None]));
+        assert!(!rel.matches_any(&[Some(Value::Int(9)), None]));
+        // Mixed-arity tuples never match a different pattern arity.
+        rel.insert(t(&[1, 2, 3])).unwrap();
+        assert_eq!(rel.select(&[Some(Value::Int(1)), None]).len(), 2);
+    }
+
+    #[test]
+    fn clone_drops_indexes_but_keeps_tuples() {
+        let mut rel = Relation::new("edge", None);
+        for (a, b) in [(1, 2), (2, 3)] {
+            rel.insert(t(&[a, b])).unwrap();
+        }
+        rel.ensure_index(column_set([0]));
+        let cloned = rel.clone();
+        assert_eq!(cloned.len(), 2);
+        assert_eq!(cloned.index_count(), 0);
+        assert!(cloned.contains(&t(&[1, 2])));
+        assert_eq!(cloned.sorted(), rel.sorted());
+    }
+
+    #[test]
+    fn column_set_builds_bitmasks() {
+        assert_eq!(column_set([0, 2]), 0b101);
+        assert_eq!(column_set([]), 0);
+        // Out-of-range columns are ignored rather than overflowing.
+        assert_eq!(column_set([70]), 0);
     }
 }

@@ -14,7 +14,9 @@ use crate::ast::{Constraint, Program, Rule, Statement, Term};
 use crate::constraint::{check_constraints, check_constraints_incremental};
 use crate::error::{DatalogError, Result};
 use crate::eval::dred::DeletionStats;
-use crate::eval::{Bindings, EvalConfig, Evaluator, FixpointStats};
+use crate::eval::{
+    Bindings, EvalConfig, Evaluator, FixpointStats, PlanCache, PlanStats, PlanStatsSnapshot,
+};
 use crate::parser::parse_program;
 use crate::relation::Relation;
 use crate::schema::{PredicateKind, Schema};
@@ -59,6 +61,11 @@ pub struct Workspace {
     /// When true, negation is permitted inside recursive components
     /// (locally-stratified programs such as the path-vector protocol).
     allow_recursive_negation: bool,
+    /// Compiled rule plans, kept across transactions (and deployment ticks)
+    /// so steady-state evaluation pays no planning cost.
+    plan_cache: PlanCache,
+    /// Planner / index counters for the bench harness.
+    plan_stats: PlanStats,
 }
 
 impl std::fmt::Debug for Workspace {
@@ -97,6 +104,8 @@ impl Workspace {
             edb_facts: HashMap::new(),
             strict_typing: true,
             allow_recursive_negation: false,
+            plan_cache: PlanCache::new(),
+            plan_stats: PlanStats::default(),
         }
     }
 
@@ -205,6 +214,8 @@ impl Workspace {
             }
         }
         self.strata = stratify_with(&self.rules, &self.udfs, self.allow_recursive_negation)?;
+        // The rule set changed: previously compiled plans are stale.
+        self.plan_cache.clear();
         Ok(())
     }
 
@@ -370,8 +381,20 @@ impl Workspace {
             config: &self.config,
             entity_counter: &mut self.entity_counter,
             existential_memo: &mut self.existential_memo,
+            plan_cache: &mut self.plan_cache,
+            plan_stats: &self.plan_stats,
         };
         evaluator.run(&self.rules, &self.strata)
+    }
+
+    /// Planner and index counters accumulated by this workspace.
+    pub fn plan_stats(&self) -> PlanStatsSnapshot {
+        self.plan_stats.snapshot()
+    }
+
+    /// Number of compiled rule plans currently cached.
+    pub fn cached_plans(&self) -> usize {
+        self.plan_cache.len()
     }
 
     /// Retract base facts and incrementally maintain derived relations with
@@ -395,6 +418,8 @@ impl Workspace {
                 config: &self.config,
                 entity_counter: &mut self.entity_counter,
                 existential_memo: &mut self.existential_memo,
+                plan_cache: &mut self.plan_cache,
+                plan_stats: &self.plan_stats,
             };
             evaluator.delete_with_dred(&self.rules, &self.strata, &batch, &edb)
         };
@@ -617,6 +642,136 @@ mod tests {
         let mut lenient = Workspace::new();
         lenient.set_strict_typing(false);
         lenient.install_source(source).unwrap();
+    }
+
+    #[test]
+    fn planner_hoists_comparisons_across_producers() {
+        // `C = K + 1` textually precedes the literal that binds K.  The old
+        // textual-order evaluator errored on it ("unbound operands"); the
+        // planner defers the assignment until K is bound.
+        let source = "cost[X, Y] = C -> string(X), string(Y), int(C).\n\
+                      cost[a, b] = 4.\n\
+                      out(C) <- C = K + 1, cost[a, b] = K.";
+        let mut ws = Workspace::new();
+        ws.install_source(source).unwrap();
+        ws.fixpoint().unwrap();
+        assert_eq!(ws.query("out"), vec![vec![Value::Int(5)]]);
+        // Lock in the contrast: the naive evaluator still rejects the rule,
+        // so if the planner ever stops hoisting, this test catches it.
+        let mut naive = Workspace::with_config(EvalConfig {
+            use_planner: false,
+            ..EvalConfig::default()
+        });
+        naive.install_source(source).unwrap();
+        assert!(naive.fixpoint().is_err());
+    }
+
+    #[test]
+    fn planner_hoists_selections_before_scans() {
+        // `X = a, Y = b` after the functional literal: the planner schedules
+        // the assignments first so the functional fast path applies; results
+        // must match the naive scan.
+        let source = "cost[X, Y] = C -> string(X), string(Y), int(C).\n\
+                      cost[a, b] = 4. cost[a, c] = 9.\n\
+                      out(C) <- cost[X, Y] = C, X = a, Y = b.";
+        for use_planner in [true, false] {
+            let mut ws = Workspace::with_config(EvalConfig {
+                use_planner,
+                ..EvalConfig::default()
+            });
+            ws.install_source(source).unwrap();
+            ws.fixpoint().unwrap();
+            assert_eq!(ws.query("out"), vec![vec![Value::Int(4)]]);
+        }
+    }
+
+    #[test]
+    fn frozen_negation_variable_keeps_textual_semantics() {
+        // `!b(X, Z)` with Z textually unbound means "no b(X, _) at all"; the
+        // later assignment `Z = 5` must not be hoisted ahead of it.  With
+        // b(1, 7) present, both evaluators must derive nothing.
+        let source = "a(1). b(1, 7).\n\
+                      out(X) <- a(X), !b(X, Z), Z = 5.";
+        for use_planner in [true, false] {
+            let mut ws = Workspace::with_config(EvalConfig {
+                use_planner,
+                ..EvalConfig::default()
+            });
+            ws.install_source(source).unwrap();
+            ws.fixpoint().unwrap();
+            assert!(
+                ws.query("out").is_empty(),
+                "planner={use_planner} must not derive out"
+            );
+        }
+    }
+
+    #[test]
+    fn retract_works_with_hoisted_comparison_rules() {
+        // DRed's over-deletion probes must run the same planned order as
+        // fixpoint evaluation: this rule is only evaluable with the
+        // comparison hoisted, and retraction must not error on it.
+        let source = "cost[X, Y] = C -> string(X), string(Y), int(C).\n\
+                      cost[a, b] = 4. cost[a, c] = 9.\n\
+                      out(C) <- C = K + 1, cost[a, b] = K.";
+        let mut ws = Workspace::new();
+        ws.install_source(source).unwrap();
+        ws.fixpoint().unwrap();
+        assert_eq!(ws.query("out"), vec![vec![Value::Int(5)]]);
+        // Retracting an unrelated fact leaves the derivation alone…
+        ws.retract(vec![("cost".into(), vec![s("a"), s("c"), Value::Int(9)])])
+            .unwrap();
+        assert_eq!(ws.query("out"), vec![vec![Value::Int(5)]]);
+        // …and retracting the producing fact removes it.
+        ws.retract(vec![("cost".into(), vec![s("a"), s("b"), Value::Int(4)])])
+            .unwrap();
+        assert!(ws.query("out").is_empty());
+    }
+
+    #[test]
+    fn delta_pinning_respects_frozen_negation_vars() {
+        // r is recursive with out, so semi-naïve passes restrict r(Z) to the
+        // delta and the planner wants to pin it first — but Z is frozen for
+        // `!b(X, Z)` (textually unbound: ∄ b(X, _)), so pinning must yield.
+        // With b(1, 7) present, out(1) must never be derived.
+        let source = "seed(1). a(1). a(2). b(1, 7).\n\
+                      r(X) <- seed(X).\n\
+                      r(X) <- out(X).\n\
+                      out(X) <- a(X), !b(X, Z), r(Z).";
+        let mut results = Vec::new();
+        for use_planner in [true, false] {
+            let mut ws = Workspace::with_config(EvalConfig {
+                use_planner,
+                ..EvalConfig::default()
+            });
+            ws.install_source(source).unwrap();
+            ws.fixpoint().unwrap();
+            results.push(ws.query("out"));
+        }
+        assert_eq!(results[0], results[1], "planned and naive out diverge");
+        assert_eq!(results[0], vec![vec![Value::Int(2)]]);
+    }
+
+    #[test]
+    fn plan_stats_report_probes_and_cache_hits() {
+        let mut ws = Workspace::new();
+        ws.install_source(
+            "reachable(X, Y) <- link(X, Y).\n\
+             reachable(X, Y) <- link(X, Z), reachable(Z, Y).",
+        )
+        .unwrap();
+        for i in 0..30 {
+            ws.assert_fact("link", vec![Value::Int(i), Value::Int(i + 1)])
+                .unwrap();
+        }
+        ws.fixpoint().unwrap();
+        let stats = ws.plan_stats();
+        assert!(stats.plans_compiled > 0);
+        assert!(stats.index_probes > 0, "recursive join should probe");
+        assert!(ws.cached_plans() > 0);
+        // A second fixpoint reuses the cached plans.
+        ws.fixpoint().unwrap();
+        assert!(ws.plan_stats().plan_cache_hits > stats.plan_cache_hits);
     }
 
     #[test]

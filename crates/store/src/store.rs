@@ -290,9 +290,12 @@ impl FactStore {
             .collect()
     }
 
-    /// Write a content-addressed snapshot of the current base facts and swap
-    /// `HEAD` to it.  Old snapshots remain readable (objects are immutable);
-    /// the WAL is retained in full so the whole history stays verifiable.
+    /// Write a content-addressed snapshot of the current base facts, swap
+    /// `HEAD` to it, and compact the WAL.  Old snapshots remain readable
+    /// (objects are immutable); the log records the snapshot supersedes are
+    /// dropped — recovery would skip them anyway (`seq < wal_seq`) — so the
+    /// log stays proportional to the work since the last checkpoint rather
+    /// than to the node's lifetime.
     pub fn checkpoint(&mut self, watermark: u64) -> Result<SnapshotInfo> {
         self.wal.flush()?;
         let mut entries = Vec::new();
@@ -310,6 +313,8 @@ impl FactStore {
         };
         let manifest_id = self.objects.put(&manifest.encode())?;
         write_head(&self.dir.join("HEAD"), &manifest_id)?;
+        // The snapshot is durable: every logged record is now redundant.
+        self.wal.truncate_all(manifest.wal_seq)?;
         let info = SnapshotInfo {
             manifest_id,
             watermark,
@@ -404,6 +409,34 @@ mod tests {
         assert_eq!(store.base_root(), root);
         assert_eq!(store.watermark(), 9);
         assert_eq!(store.base_fact_count(), 3);
+    }
+
+    #[test]
+    fn checkpoint_compacts_the_wal() {
+        let dir = tmp("compact");
+        let key = derive_node_key(1, "n0");
+        let mut store = FactStore::open(&dir, &key).unwrap();
+        let facts: Vec<(String, Tuple)> = (0..5).map(fact).collect();
+        store
+            .log_inserts(facts.iter().map(|(p, t)| (p.as_str(), t)), 3)
+            .unwrap();
+        let info = store.checkpoint(3).unwrap();
+        assert_eq!(info.wal_seq, 5);
+        // The log was truncated but the numbering continues past the
+        // snapshot, so recovery replays exactly the post-checkpoint suffix.
+        assert_eq!(std::fs::metadata(dir.join("wal.log")).unwrap().len(), 0);
+        assert_eq!(store.wal_seq(), 5);
+        let late = fact(50);
+        store.log_inserts([(late.0.as_str(), &late.1)], 7).unwrap();
+        let root = store.base_root();
+        drop(store);
+
+        let store = FactStore::open(&dir, &key).unwrap();
+        assert_eq!(store.recovered_snapshot_facts().len(), 5);
+        assert_eq!(store.recovered_suffix().len(), 1);
+        assert_eq!(store.recovered_suffix()[0].seq, 5);
+        assert_eq!(store.base_fact_count(), 6);
+        assert_eq!(store.base_root(), root);
     }
 
     #[test]

@@ -286,6 +286,24 @@ impl Wal {
         self.file.flush().map_err(|e| StoreError::io(&self.path, e))
     }
 
+    /// Compact the log: drop every record on disk and restart the HMAC chain
+    /// from the genesis tag, while continuing the sequence numbering at
+    /// `next_seq` (never moving backwards).  Called after a snapshot has made
+    /// the logged history redundant — recovery skips records below the
+    /// snapshot's `wal_seq`, so a log whose first record starts there is
+    /// equivalent to the full log.
+    pub fn truncate_all(&mut self, next_seq: u64) -> Result<()> {
+        self.file
+            .flush()
+            .map_err(|e| StoreError::io(&self.path, e))?;
+        self.file
+            .set_len(0)
+            .map_err(|e| StoreError::io(&self.path, e))?;
+        self.last_tag = [0u8; TAG_LEN];
+        self.next_seq = self.next_seq.max(next_seq);
+        Ok(())
+    }
+
     /// Re-read and verify the log from disk without touching the append state.
     pub fn verify(&self) -> Result<Vec<WalRecord>> {
         let readout = read_wal(&self.path, &self.key)?;
@@ -364,6 +382,28 @@ mod tests {
             Err(StoreError::TamperedRecord { seq: 0 }) => {}
             other => panic!("expected TamperedRecord at 0, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn truncate_all_restarts_chain_and_keeps_numbering() {
+        let path = tmp("truncate");
+        let key = b"k";
+        let (mut wal, _) = Wal::open(&path, key).unwrap();
+        for i in 0..4 {
+            wal.append(WalOp::Insert, "link", sample(i), i as u64)
+                .unwrap();
+        }
+        wal.truncate_all(4).unwrap();
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 0);
+        assert_eq!(wal.next_seq(), 4);
+        // Post-compaction appends verify from the genesis tag and keep the
+        // sequence numbering.
+        wal.append(WalOp::Insert, "link", sample(99), 9).unwrap();
+        drop(wal);
+        let (wal, records) = Wal::open(&path, key).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].seq, 4);
+        assert_eq!(wal.next_seq(), 5);
     }
 
     #[test]

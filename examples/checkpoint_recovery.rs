@@ -76,6 +76,13 @@ fn main() {
             checkpoint.principal, checkpoint.root, checkpoint.watermark
         );
     }
+    // The snapshot supersedes the logged history, so the checkpoint compacts
+    // each node's WAL down to nothing.
+    let wal_len = std::fs::metadata(master_dir.join("n0").join("wal.log"))
+        .unwrap()
+        .len();
+    println!("   n0 WAL after checkpoint: {wal_len} bytes (compacted)");
+    assert_eq!(wal_len, 0);
 
     println!("\n== 3. crash (drop the deployment), then recover from disk ==");
     let reach_before = deployment.query("n0", "reach").len();
@@ -110,6 +117,15 @@ fn main() {
     println!("   replica answers identical queries: true");
 
     println!("\n== 5. tamper with one WAL byte: typed detection, no panic ==");
+    // Post-checkpoint work lands in the fresh (compacted) log; retract a
+    // link so n0's WAL has a suffix worth tampering with.
+    let mut recovered = recovered;
+    recovered
+        .retract(
+            "n0",
+            vec![("link".into(), vec![Value::str("n0"), Value::str("n1")])],
+        )
+        .unwrap();
     drop(recovered);
     let wal_path = master_dir.join("n0").join("wal.log");
     let mut bytes = std::fs::read(&wal_path).unwrap();

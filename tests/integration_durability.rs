@@ -215,11 +215,49 @@ fn crash_before_first_run_keeps_bootstrap_facts() {
 }
 
 #[test]
+fn checkpoint_compacts_wal_and_recovery_is_equivalent() {
+    // The WAL is truncated once a checkpoint has made its history redundant;
+    // recovery from snapshot + (empty) suffix must still answer identically
+    // and keep appending durably afterwards.
+    let dir = fresh_dir("compactwal");
+    let mut deployment = Deployment::build(REACH_APP, &line_specs(), durable_config(&dir)).unwrap();
+    deployment.run().unwrap();
+    let queries = all_queries(&deployment);
+    let roots = deployment.edb_roots().unwrap();
+    deployment.checkpoint().unwrap();
+    drop(deployment);
+
+    for principal in ["n0", "n1", "n2"] {
+        let wal = std::fs::metadata(dir.join(principal).join("wal.log")).unwrap();
+        assert_eq!(wal.len(), 0, "checkpoint must truncate {principal}'s WAL");
+    }
+
+    let mut recovered =
+        Deployment::recover(&dir, REACH_APP, &line_specs(), durable_config(&dir)).unwrap();
+    assert_eq!(all_queries(&recovered), queries);
+    assert_eq!(recovered.edb_roots().unwrap(), roots);
+
+    // Post-compaction retractions land in the fresh WAL suffix and survive
+    // another crash/recover cycle.
+    recovered
+        .retract(
+            "n1",
+            vec![("link".into(), vec![Value::str("n1"), Value::str("n2")])],
+        )
+        .unwrap();
+    let queries = all_queries(&recovered);
+    drop(recovered);
+    let again = Deployment::recover(&dir, REACH_APP, &line_specs(), durable_config(&dir)).unwrap();
+    assert_eq!(all_queries(&again), queries);
+}
+
+#[test]
 fn tampered_wal_record_is_a_typed_error() {
+    // No checkpoint here: checkpointing compacts the log, so the un-snapshot
+    // WAL is where tampering is meaningful.
     let dir = fresh_dir("tamperwal");
     let mut deployment = Deployment::build(REACH_APP, &line_specs(), durable_config(&dir)).unwrap();
     deployment.run().unwrap();
-    deployment.checkpoint().unwrap();
     drop(deployment);
 
     let wal_path = dir.join("n0").join("wal.log");
