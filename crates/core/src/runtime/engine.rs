@@ -26,7 +26,7 @@ use crate::runtime::udfs::register_crypto_udfs;
 use secureblox_crypto::{aes128_ctr_decrypt, aes128_ctr_encrypt, EncScheme, KeyStore};
 use secureblox_datalog::error::{DatalogError, Result};
 use secureblox_datalog::value::{Tuple, Value};
-use secureblox_datalog::{EvalConfig, PlanStatsSnapshot, Workspace};
+use secureblox_datalog::{EvalConfig, EvalOptions, PlanStatsSnapshot, Workspace};
 use secureblox_net::stats::TimingStats;
 use secureblox_net::{
     LatencyModel, Message, MessageKind, NodeId, NodeInfo, SimNetwork, VirtualTime,
@@ -97,6 +97,10 @@ pub struct DeploymentConfig {
     /// WAL under `durability.dir/<principal>`, enabling
     /// [`Deployment::checkpoint`] and [`Deployment::recover`].
     pub durability: Option<DurabilityConfig>,
+    /// Per-node evaluation parallelism: each node's workspace hash-partitions
+    /// its fixpoint deltas across this many workers (`<= 1` means serial).
+    /// The default honours `SECUREBLOX_WORKERS`.
+    pub parallelism: usize,
 }
 
 impl Default for DeploymentConfig {
@@ -114,6 +118,7 @@ impl Default for DeploymentConfig {
             grant_default_trust: true,
             grant_default_write_access: true,
             durability: None,
+            parallelism: EvalOptions::default().workers,
         }
     }
 }
@@ -148,6 +153,12 @@ pub struct DeploymentReport {
     /// Planner / index counters summed over every node's workspace (plan
     /// cache hits, index probes, full scans, …) for the bench harness.
     pub plan: PlanStatsSnapshot,
+    /// The per-node worker-pool size the deployment ran with.
+    pub workers: usize,
+    /// Fraction of the worker pool kept busy across sharded evaluations:
+    /// `shards_executed / (parallel_batches × workers)`.  `0.0` when every
+    /// batch stayed on the serial path.
+    pub worker_utilization: f64,
 }
 
 impl DeploymentReport {
@@ -240,7 +251,13 @@ impl Deployment {
 
         let mut nodes = Vec::with_capacity(specs.len());
         for (index, spec) in specs.iter().enumerate() {
-            let mut workspace = Workspace::with_config(EvalConfig::default());
+            let mut workspace = Workspace::with_config(EvalConfig {
+                exec: EvalOptions {
+                    workers: config.parallelism.max(1),
+                    ..EvalOptions::default()
+                },
+                ..EvalConfig::default()
+            });
             workspace.set_strict_typing(config.strict_typing);
             workspace.set_allow_recursive_negation(config.allow_recursive_negation);
             workspace.set_entity_namespace(index as u64 + 1);
@@ -465,6 +482,8 @@ impl Deployment {
     /// Summarize the run.
     pub fn report(&self) -> DeploymentReport {
         let stats = self.network.stats();
+        let plan = self.plan_stats();
+        let workers = self.config.parallelism.max(1);
         DeploymentReport {
             label: self.config.security.label(),
             num_nodes: self.nodes.len(),
@@ -482,7 +501,9 @@ impl Deployment {
                 .collect(),
             per_node_bytes: stats.nodes().iter().map(|n| n.bytes_sent).collect(),
             total_messages: stats.nodes().iter().map(|n| n.messages_sent).sum(),
-            plan: self.plan_stats(),
+            plan,
+            workers,
+            worker_utilization: plan.worker_utilization(workers),
         }
     }
 
@@ -1102,6 +1123,40 @@ mod tests {
         assert!(report.rejected_batches >= 1);
         assert_eq!(deployment.query("n0", "remote_link").len(), 0);
         assert_eq!(deployment.query("n1", "remote_link").len(), 1);
+    }
+
+    #[test]
+    fn parallel_deployment_matches_serial_and_reports_workers() {
+        let serial_config = DeploymentConfig {
+            security: SecurityConfig::new(AuthScheme::HmacSha1, EncScheme::None),
+            parallelism: 1,
+            ..DeploymentConfig::default()
+        };
+        let mut serial = Deployment::build(GOSSIP_APP, &two_node_specs(), serial_config).unwrap();
+        let serial_report = serial.run().unwrap();
+        let parallel_config = DeploymentConfig {
+            security: SecurityConfig::new(AuthScheme::HmacSha1, EncScheme::None),
+            parallelism: 4,
+            ..DeploymentConfig::default()
+        };
+        let mut parallel =
+            Deployment::build(GOSSIP_APP, &two_node_specs(), parallel_config).unwrap();
+        let parallel_report = parallel.run().unwrap();
+        assert_eq!(serial_report.workers, 1);
+        assert_eq!(parallel_report.workers, 4);
+        assert!(parallel_report.worker_utilization >= 0.0);
+        assert!(parallel_report.worker_utilization <= 1.0);
+        for principal in ["n0", "n1"] {
+            assert_eq!(
+                serial.query(principal, "remote_link"),
+                parallel.query(principal, "remote_link"),
+                "parallel evaluation must not change {principal}'s fixpoint"
+            );
+        }
+        assert_eq!(
+            serial_report.rejected_batches,
+            parallel_report.rejected_batches
+        );
     }
 
     #[test]

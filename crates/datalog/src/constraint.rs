@@ -7,16 +7,92 @@
 //! §5.2).  This is the enforcement point for the generated security policies:
 //! "only accept facts said by known principals", "require a verifying
 //! signature", "the sayer must have write access", and so on.
+//!
+//! Constraint bodies run through the same cost-based planner and shared
+//! [`PlanCache`] as rule evaluation: the workspace-level entry points
+//! ([`check_constraints_planned`], [`check_constraints_incremental_planned`])
+//! compile a plan per constraint side, build the secondary indexes the plans
+//! probe, and execute with index probes instead of the textual nested-loop
+//! order.  The plain textual functions remain for callers without a cache
+//! (the BloxGenerics compile-time checker) and as the equivalence baseline.
 
 use crate::ast::Constraint;
 use crate::error::{ConstraintViolation, DatalogError, Result};
 use crate::eval::bindings::Bindings;
-use crate::eval::join::JoinContext;
+use crate::eval::join::{DeltaRestriction, JoinContext};
+use crate::eval::plan::{PlanCache, PlanKey, PlanStats, RulePlan};
 use crate::relation::Relation;
 use crate::udf::UdfRegistry;
-use std::collections::HashMap;
+use crate::value::Tuple;
+use std::collections::{HashMap, HashSet};
 
-/// Check a single constraint against the current relations.
+/// Check a single constraint against the current relations, optionally with
+/// compiled plans for the two sides and a delta restriction on the lhs.
+fn check_constraint_with(
+    constraint: &Constraint,
+    relations: &HashMap<String, Relation>,
+    udfs: &UdfRegistry,
+    plans: Option<(&RulePlan, &RulePlan)>,
+    restriction: Option<DeltaRestriction<'_>>,
+    stats: Option<&PlanStats>,
+) -> Result<()> {
+    // An empty right-hand side (`p(X) -> .`) is a pure declaration.
+    if constraint.rhs.is_empty() {
+        return Ok(());
+    }
+    let ctx = match stats {
+        Some(stats) => JoinContext::with_stats(relations, udfs, stats),
+        None => JoinContext::new(relations, udfs),
+    };
+    let mut violation: Option<ConstraintViolation> = None;
+    let mut bindings = Bindings::new();
+    let mut on_lhs = |lhs_binding: &Bindings| {
+        if violation.is_some() {
+            return Ok(());
+        }
+        // Try to extend the binding to satisfy the right-hand side.
+        let mut satisfied = false;
+        let mut rhs_bindings = lhs_binding.clone();
+        let mut on_rhs = |_: &Bindings| {
+            satisfied = true;
+            Ok(())
+        };
+        match plans {
+            Some((_, rhs_plan)) => ctx.join_planned(
+                &constraint.rhs,
+                rhs_plan,
+                None,
+                &mut rhs_bindings,
+                &mut on_rhs,
+            )?,
+            None => ctx.join(&constraint.rhs, None, &mut rhs_bindings, &mut on_rhs)?,
+        }
+        if !satisfied {
+            violation = Some(ConstraintViolation {
+                constraint: constraint.to_string(),
+                witness: lhs_binding.render(),
+            });
+        }
+        Ok(())
+    };
+    match plans {
+        Some((lhs_plan, _)) => ctx.join_planned(
+            &constraint.lhs,
+            lhs_plan,
+            restriction,
+            &mut bindings,
+            &mut on_lhs,
+        )?,
+        None => ctx.join(&constraint.lhs, restriction, &mut bindings, &mut on_lhs)?,
+    }
+    match violation {
+        Some(v) => Err(DatalogError::ConstraintViolation(v)),
+        None => Ok(()),
+    }
+}
+
+/// Check a single constraint against the current relations (textual order,
+/// no plan cache — used by the BloxGenerics compile-time checker).
 ///
 /// Returns `Ok(())` when the constraint holds, or a
 /// [`DatalogError::ConstraintViolation`] describing the first violating
@@ -26,57 +102,91 @@ pub fn check_constraint(
     relations: &HashMap<String, Relation>,
     udfs: &UdfRegistry,
 ) -> Result<()> {
-    // An empty right-hand side (`p(X) -> .`) is a pure declaration.
-    if constraint.rhs.is_empty() {
-        return Ok(());
-    }
-    let ctx = JoinContext::new(relations, udfs);
-    let mut violation: Option<ConstraintViolation> = None;
-    let mut bindings = Bindings::new();
-    ctx.join(&constraint.lhs, None, &mut bindings, &mut |lhs_binding| {
-        if violation.is_some() {
-            return Ok(());
-        }
-        // Try to extend the binding to satisfy the right-hand side.
-        let mut satisfied = false;
-        let mut rhs_bindings = lhs_binding.clone();
-        ctx.join(&constraint.rhs, None, &mut rhs_bindings, &mut |_| {
-            satisfied = true;
-            Ok(())
-        })?;
-        if !satisfied {
-            violation = Some(ConstraintViolation {
-                constraint: constraint.to_string(),
-                witness: lhs_binding.render(),
-            });
-        }
-        Ok(())
-    })?;
-    match violation {
-        Some(v) => Err(DatalogError::ConstraintViolation(v)),
-        None => Ok(()),
-    }
+    check_constraint_with(constraint, relations, udfs, None, None, None)
 }
 
-/// Check constraints incrementally: only left-hand-side bindings that touch
-/// at least one tuple in `delta` (the tuples inserted by the current
-/// transaction) are examined.  This matches the engine description in the
-/// paper ("the engine checks for constraint violations for every new fact
-/// that is derived", §2) and keeps signature verification proportional to the
-/// batch size rather than to the whole database.
-pub fn check_constraints_incremental(
-    constraints: &[Constraint],
-    relations: &HashMap<String, Relation>,
+/// Compile (or fetch) the plans for both sides of a constraint and build
+/// every secondary index they probe.  Index building happens here, before
+/// execution, so the checks themselves run against immutable relations.
+fn prepare_constraint_plans(
+    index: usize,
+    constraint: &Constraint,
+    delta_literal: Option<usize>,
+    relations: &mut HashMap<String, Relation>,
     udfs: &UdfRegistry,
-    delta: &HashMap<String, std::collections::HashSet<crate::value::Tuple>>,
+    cache: &mut PlanCache,
+    stats: &PlanStats,
+) -> (RulePlan, RulePlan) {
+    let lhs = cache.plan_for(
+        PlanKey::ConstraintLhs {
+            constraint: index,
+            delta: delta_literal,
+        },
+        &constraint.lhs,
+        relations,
+        udfs,
+        stats,
+    );
+    let rhs = cache.plan_for(
+        PlanKey::ConstraintRhs { constraint: index },
+        &constraint.rhs,
+        relations,
+        udfs,
+        stats,
+    );
+    for spec in lhs.ensure.iter().chain(rhs.ensure.iter()) {
+        if let Some(relation) = relations.get_mut(&spec.pred) {
+            if relation.ensure_index(spec.cols) {
+                PlanStats::bump(&stats.index_builds);
+            }
+        }
+    }
+    (lhs, rhs)
+}
+
+/// Check all constraints through the cost-based planner and the shared plan
+/// cache; the first violation wins.
+pub fn check_constraints_planned(
+    constraints: &[Constraint],
+    relations: &mut HashMap<String, Relation>,
+    udfs: &UdfRegistry,
+    cache: &mut PlanCache,
+    stats: &PlanStats,
 ) -> Result<()> {
-    use crate::eval::join::DeltaRestriction;
-    let ctx = JoinContext::new(relations, udfs);
-    for constraint in constraints {
+    for (index, constraint) in constraints.iter().enumerate() {
         if constraint.rhs.is_empty() {
             continue;
         }
-        for (index, literal) in constraint.lhs.iter().enumerate() {
+        let (lhs_plan, rhs_plan) =
+            prepare_constraint_plans(index, constraint, None, relations, udfs, cache, stats);
+        check_constraint_with(
+            constraint,
+            relations,
+            udfs,
+            Some((&lhs_plan, &rhs_plan)),
+            None,
+            Some(stats),
+        )?;
+    }
+    Ok(())
+}
+
+/// Planned variant of [`check_constraints_incremental`]: only left-hand-side
+/// bindings that touch a tuple in `delta` are examined, each through a
+/// cached plan with the delta literal pinned.
+pub fn check_constraints_incremental_planned(
+    constraints: &[Constraint],
+    relations: &mut HashMap<String, Relation>,
+    udfs: &UdfRegistry,
+    cache: &mut PlanCache,
+    stats: &PlanStats,
+    delta: &HashMap<String, HashSet<Tuple>>,
+) -> Result<()> {
+    for (index, constraint) in constraints.iter().enumerate() {
+        if constraint.rhs.is_empty() {
+            continue;
+        }
+        for (literal_index, literal) in constraint.lhs.iter().enumerate() {
             let Some(atom) = literal.as_pos() else {
                 continue;
             };
@@ -89,37 +199,71 @@ pub fn check_constraints_incremental(
             if pred_delta.is_empty() {
                 continue;
             }
-            let mut violation: Option<ConstraintViolation> = None;
-            let mut bindings = Bindings::new();
-            ctx.join(
-                &constraint.lhs,
+            let (lhs_plan, rhs_plan) = prepare_constraint_plans(
+                index,
+                constraint,
+                Some(literal_index),
+                relations,
+                udfs,
+                cache,
+                stats,
+            );
+            check_constraint_with(
+                constraint,
+                relations,
+                udfs,
+                Some((&lhs_plan, &rhs_plan)),
                 Some(DeltaRestriction {
-                    literal_index: index,
+                    literal_index,
                     delta: pred_delta,
                 }),
-                &mut bindings,
-                &mut |lhs_binding| {
-                    if violation.is_some() {
-                        return Ok(());
-                    }
-                    let mut satisfied = false;
-                    let mut rhs_bindings = lhs_binding.clone();
-                    ctx.join(&constraint.rhs, None, &mut rhs_bindings, &mut |_| {
-                        satisfied = true;
-                        Ok(())
-                    })?;
-                    if !satisfied {
-                        violation = Some(ConstraintViolation {
-                            constraint: constraint.to_string(),
-                            witness: lhs_binding.render(),
-                        });
-                    }
-                    Ok(())
-                },
+                Some(stats),
             )?;
-            if let Some(v) = violation {
-                return Err(DatalogError::ConstraintViolation(v));
+        }
+    }
+    Ok(())
+}
+
+/// Check constraints incrementally: only left-hand-side bindings that touch
+/// at least one tuple in `delta` (the tuples inserted by the current
+/// transaction) are examined.  This matches the engine description in the
+/// paper ("the engine checks for constraint violations for every new fact
+/// that is derived", §2) and keeps signature verification proportional to the
+/// batch size rather than to the whole database.
+pub fn check_constraints_incremental(
+    constraints: &[Constraint],
+    relations: &HashMap<String, Relation>,
+    udfs: &UdfRegistry,
+    delta: &HashMap<String, HashSet<Tuple>>,
+) -> Result<()> {
+    for constraint in constraints {
+        if constraint.rhs.is_empty() {
+            continue;
+        }
+        for (literal_index, literal) in constraint.lhs.iter().enumerate() {
+            let Some(atom) = literal.as_pos() else {
+                continue;
+            };
+            let Ok(pred) = crate::eval::runtime_pred_name(&atom.pred) else {
+                continue;
+            };
+            let Some(pred_delta) = delta.get(&pred) else {
+                continue;
+            };
+            if pred_delta.is_empty() {
+                continue;
             }
+            check_constraint_with(
+                constraint,
+                relations,
+                udfs,
+                None,
+                Some(DeltaRestriction {
+                    literal_index,
+                    delta: pred_delta,
+                }),
+                None,
+            )?;
         }
     }
     Ok(())

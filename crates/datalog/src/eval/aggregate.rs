@@ -5,7 +5,8 @@
 //! this for the path-vector protocol's `bestcost` relation (§7.1).
 
 use super::bindings::{eval_term, Bindings};
-use super::join::JoinContext;
+use super::exec::{self, EvalOptions};
+use super::join::{DeltaRestriction, JoinContext};
 use super::plan::{PlanStats, RulePlan};
 use super::runtime_pred_name;
 use crate::ast::{AggFunc, Rule, Term};
@@ -35,6 +36,27 @@ pub fn evaluate_agg_rule_with(
     plan: Option<&RulePlan>,
     stats: Option<&PlanStats>,
 ) -> Result<Vec<(String, Tuple)>> {
+    evaluate_agg_rule_exec(rule, relations, udfs, plan, stats, &EvalOptions::serial())
+}
+
+/// Like [`evaluate_agg_rule_with`], additionally sharding the body
+/// enumeration across the worker pool when one is configured and the driving
+/// relation (the plan's first stored-relation literal) is large enough.
+///
+/// Each worker folds its shard of the driving tuples into a worker-local
+/// group-accumulator map; the maps are merged in shard order.  Every
+/// aggregate function the engine supports (`min`, `max`, `sum`, `count`)
+/// merges commutatively and associatively, so the merged groups — and hence
+/// the derived tuples — are independent of the sharding (asserted against
+/// the serial fold in debug builds).
+pub(crate) fn evaluate_agg_rule_exec(
+    rule: &Rule,
+    relations: &HashMap<String, Relation>,
+    udfs: &UdfRegistry,
+    plan: Option<&RulePlan>,
+    stats: Option<&PlanStats>,
+    options: &EvalOptions,
+) -> Result<Vec<(String, Tuple)>> {
     let agg = rule.agg.as_ref().ok_or_else(|| {
         DatalogError::Eval("evaluate_agg_rule called on a non-aggregate rule".into())
     })?;
@@ -50,46 +72,81 @@ pub fn evaluate_agg_rule_with(
         .cloned()
         .collect();
 
-    // Enumerate body solutions and fold them into per-group accumulators.
-    let ctx = match stats {
-        Some(stats) => JoinContext::with_stats(relations, udfs, stats),
-        None => JoinContext::new(relations, udfs),
-    };
-    let mut groups: HashMap<Vec<Value>, AggAccumulator> = HashMap::new();
-    let mut bindings = Bindings::new();
-    let input_var = agg.input_var.clone();
-    let group_vars_for_join = group_vars.clone();
-    let func = agg.func;
-    let mut fold = |b: &Bindings| {
-        let mut key: Vec<Value> = Vec::with_capacity(group_vars_for_join.len());
-        for var in &group_vars_for_join {
-            match b.get(var) {
-                Some(v) => key.push(v.clone()),
-                None => {
-                    return Err(DatalogError::Eval(format!(
-                        "aggregation group variable {var} is not bound by the rule body"
-                    )))
+    let groups = match exec::shard_driving_relation(&rule.body, plan, relations, udfs, options) {
+        Some((drive, shards)) => {
+            if let Some(stats) = stats {
+                PlanStats::bump(&stats.parallel_batches);
+            }
+            let buffers = exec::run_shards(&shards, |shard| {
+                if let Some(stats) = stats {
+                    PlanStats::bump(&stats.shards_executed);
+                }
+                let restriction = Some(DeltaRestriction {
+                    literal_index: drive,
+                    delta: shard,
+                });
+                fold_groups(
+                    rule,
+                    plan,
+                    restriction,
+                    relations,
+                    udfs,
+                    stats,
+                    &group_vars,
+                    agg.func,
+                    &agg.input_var,
+                )
+            })?;
+            let mut merged: HashMap<Vec<Value>, AggAccumulator> = HashMap::new();
+            for buffer in buffers {
+                for (key, accumulator) in buffer {
+                    match merged.entry(key) {
+                        std::collections::hash_map::Entry::Occupied(mut entry) => {
+                            entry.get_mut().merge(accumulator)?
+                        }
+                        std::collections::hash_map::Entry::Vacant(entry) => {
+                            entry.insert(accumulator);
+                        }
+                    }
                 }
             }
+            #[cfg(debug_assertions)]
+            {
+                let serial = fold_groups(
+                    rule,
+                    plan,
+                    None,
+                    relations,
+                    udfs,
+                    None,
+                    &group_vars,
+                    agg.func,
+                    &agg.input_var,
+                )?;
+                debug_assert_eq!(
+                    merged, serial,
+                    "sharded aggregation diverged from serial for rule `{rule}`"
+                );
+            }
+            merged
         }
-        let input = match func {
-            AggFunc::Count => Value::Int(1),
-            _ => b.get(&input_var).cloned().ok_or_else(|| {
-                DatalogError::Eval(format!(
-                    "aggregation input variable {input_var} is not bound by the rule body"
-                ))
-            })?,
-        };
-        groups
-            .entry(key)
-            .or_insert_with(|| AggAccumulator::new(func))
-            .add(&input)?;
-        Ok(())
+        None => {
+            if let Some(stats) = stats {
+                PlanStats::bump(&stats.serial_batches);
+            }
+            fold_groups(
+                rule,
+                plan,
+                None,
+                relations,
+                udfs,
+                stats,
+                &group_vars,
+                agg.func,
+                &agg.input_var,
+            )?
+        }
     };
-    match plan {
-        Some(plan) => ctx.join_planned(&rule.body, plan, None, &mut bindings, &mut fold)?,
-        None => ctx.join(&rule.body, None, &mut bindings, &mut fold)?,
-    }
 
     // Instantiate the head once per group.
     let mut derived: Vec<(String, Tuple)> = Vec::new();
@@ -122,8 +179,61 @@ pub fn evaluate_agg_rule_with(
     Ok(derived)
 }
 
+/// Enumerate the body solutions (optionally restricted to a shard of the
+/// driving literal) and fold them into per-group accumulators.
+#[allow(clippy::too_many_arguments)]
+fn fold_groups(
+    rule: &Rule,
+    plan: Option<&RulePlan>,
+    restriction: Option<DeltaRestriction<'_>>,
+    relations: &HashMap<String, Relation>,
+    udfs: &UdfRegistry,
+    stats: Option<&PlanStats>,
+    group_vars: &[String],
+    func: AggFunc,
+    input_var: &str,
+) -> Result<HashMap<Vec<Value>, AggAccumulator>> {
+    let ctx = match stats {
+        Some(stats) => JoinContext::with_stats(relations, udfs, stats),
+        None => JoinContext::new(relations, udfs),
+    };
+    let mut groups: HashMap<Vec<Value>, AggAccumulator> = HashMap::new();
+    let mut bindings = Bindings::new();
+    let mut fold = |b: &Bindings| {
+        let mut key: Vec<Value> = Vec::with_capacity(group_vars.len());
+        for var in group_vars {
+            match b.get(var) {
+                Some(v) => key.push(v.clone()),
+                None => {
+                    return Err(DatalogError::Eval(format!(
+                        "aggregation group variable {var} is not bound by the rule body"
+                    )))
+                }
+            }
+        }
+        let input = match func {
+            AggFunc::Count => Value::Int(1),
+            _ => b.get(input_var).cloned().ok_or_else(|| {
+                DatalogError::Eval(format!(
+                    "aggregation input variable {input_var} is not bound by the rule body"
+                ))
+            })?,
+        };
+        groups
+            .entry(key)
+            .or_insert_with(|| AggAccumulator::new(func))
+            .add(&input)?;
+        Ok(())
+    };
+    match plan {
+        Some(plan) => ctx.join_planned(&rule.body, plan, restriction, &mut bindings, &mut fold)?,
+        None => ctx.join(&rule.body, restriction, &mut bindings, &mut fold)?,
+    }
+    Ok(groups)
+}
+
 /// Accumulator for one aggregation group.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 struct AggAccumulator {
     func: AggFunc,
     current: Option<Value>,
@@ -161,6 +271,42 @@ impl AggAccumulator {
                 Some(existing) if existing.total_cmp(value).is_ge() => {}
                 _ => self.current = Some(value.clone()),
             },
+        }
+        Ok(())
+    }
+
+    /// Combine another shard's accumulator for the same group into this one.
+    /// Commutative and associative for every supported function, which is
+    /// what makes the sharded fold order-independent.
+    fn merge(&mut self, other: AggAccumulator) -> Result<()> {
+        debug_assert_eq!(
+            self.func, other.func,
+            "merging accumulators of different functions"
+        );
+        self.count += other.count;
+        match self.func {
+            AggFunc::Count => {}
+            AggFunc::Sum => {
+                self.sum = self.sum.checked_add(other.sum).ok_or_else(|| {
+                    DatalogError::Eval("integer overflow in sum aggregation".into())
+                })?;
+            }
+            AggFunc::Min => {
+                if let Some(value) = other.current {
+                    match &self.current {
+                        Some(existing) if existing.total_cmp(&value).is_le() => {}
+                        _ => self.current = Some(value),
+                    }
+                }
+            }
+            AggFunc::Max => {
+                if let Some(value) = other.current {
+                    match &self.current {
+                        Some(existing) if existing.total_cmp(&value).is_ge() => {}
+                        _ => self.current = Some(value),
+                    }
+                }
+            }
         }
         Ok(())
     }

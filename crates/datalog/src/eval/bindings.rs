@@ -11,6 +11,11 @@ use std::collections::HashMap;
 /// The join machinery binds and unbinds variables as it explores the search
 /// space; [`Bindings::bind`] records nothing — callers track which variables
 /// they introduced and remove them on backtrack.
+///
+/// `Bindings` is `Send + Sync` (values are `Arc`-shared): each worker of the
+/// sharded executor owns its own substitution and explores its shard of the
+/// search space independently, so no synchronization is needed during the
+/// join.
 #[derive(Debug, Clone, Default)]
 pub struct Bindings {
     map: HashMap<String, Value>,
@@ -200,6 +205,12 @@ mod tests {
 
     fn no_relations() -> HashMap<String, Relation> {
         HashMap::new()
+    }
+
+    #[test]
+    fn bindings_are_shareable_across_worker_threads() {
+        fn assert_sync_send<T: Sync + Send>() {}
+        assert_sync_send::<Bindings>();
     }
 
     #[test]

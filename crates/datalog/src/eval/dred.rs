@@ -6,6 +6,13 @@
 //! least one derivation using a deleted tuple.  It then *re-derives*: any
 //! over-deleted tuple with a surviving alternative derivation is put back by
 //! running the normal fixpoint over the remaining facts.
+//!
+//! Both phases ride the sharded worker pool (DESIGN.md §8): over-deletion's
+//! candidate enumeration goes through [`Evaluator::evaluate_rule`], which
+//! hash-partitions the deleted-tuple frontier across workers once it clears
+//! the parallel threshold, and re-derivation is an ordinary fixpoint run.
+//! Only the cheap existence probe stays serial — it aborts at the first
+//! solution, so there is no work to partition.
 
 use super::join::{DeltaRestriction, JoinContext};
 use super::runtime_pred_name;
@@ -91,9 +98,11 @@ impl<'a> Evaluator<'a> {
                     // comparisons) even when the planned order succeeds.
                     let plan = if self.config.use_planner {
                         Some(self.plan_cache.plan_for(
-                            rule,
-                            rule_index,
-                            Some(literal_index),
+                            super::plan::PlanKey::Rule {
+                                rule: rule_index,
+                                delta: Some(literal_index),
+                            },
+                            &rule.body,
                             &original,
                             self.udfs,
                             self.plan_stats,
@@ -142,12 +151,32 @@ impl<'a> Evaluator<'a> {
                     // this literal restricted to the deleted tuples,
                     // instantiating heads through the normal path (handles
                     // existential memoization identically to derivation).
-                    let derived = self.evaluate_rule_against(
-                        rules,
-                        rule_index,
-                        Some((literal_index, pred_deleted.clone())),
-                        &mut original,
-                    )?;
+                    // Aggregation rules cannot be head-instantiated from a
+                    // body binding (the aggregate result is not a body
+                    // variable); since they are recomputed from their full
+                    // bodies on every stratum iteration, DRed may
+                    // over-approximate instead: a deletion touching the body
+                    // invalidates every stored tuple of the head predicate,
+                    // and re-derivation recomputes the surviving groups.
+                    let derived = if rule.agg.is_some() {
+                        let mut all = Vec::new();
+                        for atom in &rule.head {
+                            let head_pred = runtime_pred_name(&atom.pred)?;
+                            if let Some(relation) = self.relations.get(&head_pred) {
+                                for tuple in relation.iter() {
+                                    all.push((head_pred.clone(), tuple.clone()));
+                                }
+                            }
+                        }
+                        all
+                    } else {
+                        self.evaluate_rule_against(
+                            rules,
+                            rule_index,
+                            Some((literal_index, pred_deleted)),
+                            &mut original,
+                        )?
+                    };
                     for (head_pred, tuple) in derived {
                         // Explicitly asserted facts survive over-deletion.
                         if edb_facts
@@ -201,7 +230,7 @@ impl<'a> Evaluator<'a> {
         &mut self,
         rules: &[Rule],
         rule_index: usize,
-        delta: Option<(usize, HashSet<Tuple>)>,
+        delta: Option<(usize, &HashSet<Tuple>)>,
         snapshot: &mut HashMap<String, crate::relation::Relation>,
     ) -> Result<Vec<(String, Tuple)>> {
         std::mem::swap(self.relations, snapshot);
@@ -391,6 +420,34 @@ mod tests {
         let stats = fixture.delete("link", vec![s("x"), s("y")]);
         assert_eq!(stats, DeletionStats::default());
         assert!(fixture.contains("reachable", &[s("a"), s("b")]));
+    }
+
+    #[test]
+    fn retraction_recomputes_aggregates() {
+        let mut fixture = Fixture::new(
+            "total[X] = S <- agg<< S = sum(Y) >> e0(X, Y).",
+            &[
+                ("e0", vec![Value::Int(1), Value::Int(2)]),
+                ("e0", vec![Value::Int(1), Value::Int(3)]),
+                ("e0", vec![Value::Int(2), Value::Int(5)]),
+            ],
+        );
+        assert!(fixture.contains("total", &[Value::Int(1), Value::Int(5)]));
+        let stats = fixture.delete("e0", vec![Value::Int(1), Value::Int(3)]);
+        assert_eq!(stats.base_deleted, 1);
+        assert!(
+            fixture.contains("total", &[Value::Int(1), Value::Int(2)]),
+            "group 1 recomputed from the surviving facts"
+        );
+        assert!(
+            fixture.contains("total", &[Value::Int(2), Value::Int(5)]),
+            "untouched group re-derived"
+        );
+        assert!(!fixture.contains("total", &[Value::Int(1), Value::Int(5)]));
+        // Deleting a group's last fact removes its aggregate entirely.
+        fixture.delete("e0", vec![Value::Int(1), Value::Int(2)]);
+        assert!(!fixture.contains("total", &[Value::Int(1), Value::Int(2)]));
+        assert!(fixture.contains("total", &[Value::Int(2), Value::Int(5)]));
     }
 
     #[test]

@@ -445,7 +445,7 @@ impl<'a> JoinContext<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::eval::plan::compile_rule_plan;
+    use crate::eval::plan::compile_body_plan;
     use crate::parser::parse_rule;
     use crate::udf::standard_udfs;
 
@@ -497,7 +497,7 @@ mod tests {
         let mut relations = relations_with_edges(&[("n1", "n2"), ("n2", "n3"), ("n2", "n4")]);
         let udfs = UdfRegistry::new();
         let rule = parse_rule("out(X, Y) <- link(X, Z), link(Z, Y).").unwrap();
-        let plan = compile_rule_plan(&rule, None, &relations, &udfs);
+        let plan = compile_body_plan(&rule.body, None, &relations, &udfs);
         for spec in &plan.ensure {
             relations
                 .get_mut(&spec.pred)
@@ -600,7 +600,7 @@ mod tests {
         assert_eq!(results, vec![Value::Int(4)]);
         // The planner hoists the assignments, so the planned execution takes
         // the functional fast path instead of scanning.
-        let plan = compile_rule_plan(&rule, None, &relations, &udfs);
+        let plan = compile_body_plan(&rule.body, None, &relations, &udfs);
         let stats = PlanStats::default();
         let ctx = JoinContext::with_stats(&relations, &udfs, &stats);
         let mut results = Vec::new();
@@ -654,7 +654,7 @@ mod tests {
         assert!(result.is_err());
         // The planner cannot make `Undefined` bindable either: the planned
         // execution reports the same error instead of silently dropping it.
-        let plan = compile_rule_plan(&rule, None, &relations, &udfs);
+        let plan = compile_body_plan(&rule.body, None, &relations, &udfs);
         let mut bindings = Bindings::new();
         let result = ctx.join_planned(&rule.body, &plan, None, &mut bindings, &mut |_| Ok(()));
         assert!(result.is_err());

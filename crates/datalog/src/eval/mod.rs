@@ -1,15 +1,18 @@
-//! Rule evaluation: bindings, joins, per-rule planning, semi-naïve fixpoint,
-//! aggregation, and incremental deletion (DRed).
+//! Rule evaluation: bindings, joins, per-rule planning, sharded parallel
+//! execution, semi-naïve fixpoint, aggregation, and incremental deletion
+//! (DRed).
 
 pub mod aggregate;
 pub mod bindings;
 pub mod dred;
+pub mod exec;
 pub mod join;
 pub mod plan;
 pub mod seminaive;
 
 pub use bindings::Bindings;
-pub use plan::{PlanCache, PlanStats, PlanStatsSnapshot, RulePlan};
+pub use exec::EvalOptions;
+pub use plan::{PlanCache, PlanKey, PlanStats, PlanStatsSnapshot, RulePlan};
 pub use seminaive::{Evaluator, FixpointStats};
 
 use crate::ast::PredRef;
@@ -27,6 +30,11 @@ pub struct EvalConfig {
     /// pre-planner behaviour, kept for equivalence testing and as a bench
     /// baseline).
     pub use_planner: bool,
+    /// Worker-pool configuration for sharded parallel execution (see
+    /// [`exec`]).  The default honours `SECUREBLOX_WORKERS` /
+    /// `SECUREBLOX_PARALLEL_THRESHOLD`; `workers <= 1` keeps the serial
+    /// path.
+    pub exec: EvalOptions,
 }
 
 impl Default for EvalConfig {
@@ -34,6 +42,7 @@ impl Default for EvalConfig {
         EvalConfig {
             max_iterations: 10_000,
             use_planner: true,
+            exec: EvalOptions::default(),
         }
     }
 }

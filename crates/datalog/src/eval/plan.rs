@@ -5,7 +5,7 @@
 //! textual literal order, scanning every stored relation in full.  This
 //! module turns evaluation into compile-then-execute:
 //!
-//! * [`compile_rule_plan`] greedily orders the body's stored-relation
+//! * [`compile_body_plan`] greedily orders a body's stored-relation
 //!   literals by estimated selectivity (bound-column count × relation
 //!   cardinality), pinning the delta-restricted literal first for semi-naïve
 //!   passes (unless pinning it would pre-bind a variable a pending negation,
@@ -21,7 +21,8 @@
 //! * Each planned stored-relation literal carries the bound-column signature
 //!   its probe will use; the plan lists the secondary indexes the executor
 //!   must [`crate::relation::Relation::ensure_index`] before joining.
-//! * [`PlanCache`] memoizes compiled plans per `(rule, delta-literal)` and
+//! * [`PlanCache`] memoizes compiled plans per [`PlanKey`] — rule bodies and
+//!   constraint sides share the cache — and
 //!   recompiles only when the body relations' cardinalities drift past a
 //!   threshold, so steady-state evaluation pays no planning cost.
 //! * [`PlanStats`] counts compilations, cache hits, index builds, probes and
@@ -29,7 +30,7 @@
 //!   harness.
 
 use super::runtime_pred_name;
-use crate::ast::{Atom, CmpOp, Literal, Rule, Term};
+use crate::ast::{Atom, CmpOp, Literal, Term};
 use crate::relation::{column_set, ColumnSet, Relation};
 use crate::schema::BUILTIN_TYPES;
 use crate::udf::UdfRegistry;
@@ -107,6 +108,15 @@ pub struct PlanStats {
     pub index_probes: AtomicU64,
     pub full_scans: AtomicU64,
     pub functional_hits: AtomicU64,
+    /// Rule / aggregate executions that took the sharded worker-pool path.
+    pub parallel_batches: AtomicU64,
+    /// Rule / aggregate executions that ran serially (single worker
+    /// configured, driving set under the threshold, or an order-sensitive
+    /// rule such as one with head existentials).
+    pub serial_batches: AtomicU64,
+    /// Non-empty shards executed by workers (≤ `parallel_batches × workers`;
+    /// the ratio is the deployment's worker utilization).
+    pub shards_executed: AtomicU64,
 }
 
 impl PlanStats {
@@ -124,6 +134,9 @@ impl PlanStats {
             index_probes: self.index_probes.load(Ordering::Relaxed),
             full_scans: self.full_scans.load(Ordering::Relaxed),
             functional_hits: self.functional_hits.load(Ordering::Relaxed),
+            parallel_batches: self.parallel_batches.load(Ordering::Relaxed),
+            serial_batches: self.serial_batches.load(Ordering::Relaxed),
+            shards_executed: self.shards_executed.load(Ordering::Relaxed),
         }
     }
 }
@@ -139,6 +152,9 @@ impl Clone for PlanStats {
             index_probes: AtomicU64::new(snapshot.index_probes),
             full_scans: AtomicU64::new(snapshot.full_scans),
             functional_hits: AtomicU64::new(snapshot.functional_hits),
+            parallel_batches: AtomicU64::new(snapshot.parallel_batches),
+            serial_batches: AtomicU64::new(snapshot.serial_batches),
+            shards_executed: AtomicU64::new(snapshot.shards_executed),
         }
     }
 }
@@ -154,6 +170,21 @@ pub struct PlanStatsSnapshot {
     pub index_probes: u64,
     pub full_scans: u64,
     pub functional_hits: u64,
+    pub parallel_batches: u64,
+    pub serial_batches: u64,
+    pub shards_executed: u64,
+}
+
+impl PlanStatsSnapshot {
+    /// Fraction of the configured worker pool kept busy across parallel
+    /// batches: `shards_executed / (parallel_batches × workers)`.  `0.0`
+    /// when nothing went parallel.
+    pub fn worker_utilization(&self, workers: usize) -> f64 {
+        if self.parallel_batches == 0 || workers == 0 {
+            return 0.0;
+        }
+        self.shards_executed as f64 / (self.parallel_batches * workers as u64) as f64
+    }
 }
 
 impl std::ops::Add for PlanStatsSnapshot {
@@ -167,6 +198,9 @@ impl std::ops::Add for PlanStatsSnapshot {
             index_probes: self.index_probes + other.index_probes,
             full_scans: self.full_scans + other.full_scans,
             functional_hits: self.functional_hits + other.functional_hits,
+            parallel_batches: self.parallel_batches + other.parallel_batches,
+            serial_batches: self.serial_batches + other.serial_batches,
+            shards_executed: self.shards_executed + other.shards_executed,
         }
     }
 }
@@ -177,10 +211,37 @@ impl std::ops::AddAssign for PlanStatsSnapshot {
     }
 }
 
-/// Memoized plans per `(rule index, delta literal)` with recompile-on-drift.
+/// Identity of a compiled plan in the cache.  Rule bodies and constraint
+/// sides share one cache (and one recompile-on-drift policy): constraint
+/// checking runs through the same cost-based planner as rule evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlanKey {
+    /// An installed rule's body, optionally with a delta-pinned literal.
+    Rule { rule: usize, delta: Option<usize> },
+    /// The left-hand side of an installed constraint, optionally with the
+    /// delta-pinned literal of an incremental check.
+    ConstraintLhs {
+        constraint: usize,
+        delta: Option<usize>,
+    },
+    /// The right-hand side of an installed constraint (always checked from
+    /// the lhs bindings; never delta-restricted).
+    ConstraintRhs { constraint: usize },
+}
+
+impl PlanKey {
+    fn delta_literal(self) -> Option<usize> {
+        match self {
+            PlanKey::Rule { delta, .. } | PlanKey::ConstraintLhs { delta, .. } => delta,
+            PlanKey::ConstraintRhs { .. } => None,
+        }
+    }
+}
+
+/// Memoized plans per [`PlanKey`] with recompile-on-drift.
 #[derive(Debug, Clone, Default)]
 pub struct PlanCache {
-    plans: HashMap<(usize, Option<usize>), RulePlan>,
+    plans: HashMap<PlanKey, RulePlan>,
 }
 
 impl PlanCache {
@@ -203,19 +264,16 @@ impl PlanCache {
         self.plans.is_empty()
     }
 
-    /// Fetch (or compile) the plan for `rule` with an optional delta-pinned
-    /// literal.  Returns a clone so the caller can mutate relations (index
-    /// ensures) while holding it.
+    /// Fetch (or compile) the plan for `body` under `key`.  Returns a clone
+    /// so the caller can mutate relations (index ensures) while holding it.
     pub fn plan_for(
         &mut self,
-        rule: &Rule,
-        rule_index: usize,
-        delta_literal: Option<usize>,
+        key: PlanKey,
+        body: &[Literal],
         relations: &HashMap<String, Relation>,
         udfs: &UdfRegistry,
         stats: &PlanStats,
     ) -> RulePlan {
-        let key = (rule_index, delta_literal);
         if let Some(plan) = self.plans.get(&key) {
             if !cardinalities_drifted(&plan.cardinalities, relations) {
                 PlanStats::bump(&stats.plan_cache_hits);
@@ -225,7 +283,7 @@ impl PlanCache {
         } else {
             PlanStats::bump(&stats.plans_compiled);
         }
-        let plan = compile_rule_plan(rule, delta_literal, relations, udfs);
+        let plan = compile_body_plan(body, key.delta_literal(), relations, udfs);
         self.plans.insert(key, plan.clone());
         plan
     }
@@ -356,19 +414,19 @@ fn literal_cost(
     (cardinality as f64) * BOUND_COLUMN_SELECTIVITY.powi(bound_cols as i32)
 }
 
-/// Compile an execution plan for `rule`.
+/// Compile an execution plan for a literal sequence (a rule body, or one
+/// side of a constraint).
 ///
 /// `delta_literal` names the body literal restricted to a delta set in a
 /// semi-naïve pass; it is pinned to run first among the stored-relation
 /// literals (delta sets are small, so driving the join off them maximizes
 /// selectivity).
-pub fn compile_rule_plan(
-    rule: &Rule,
+pub fn compile_body_plan(
+    body: &[Literal],
     delta_literal: Option<usize>,
     relations: &HashMap<String, Relation>,
     udfs: &UdfRegistry,
 ) -> RulePlan {
-    let body = &rule.body;
     let n = body.len();
 
     // Classify literals; bail to textual order on meta-level predicates.
@@ -657,7 +715,7 @@ mod tests {
         let relations = relations_with(&[("big", 1000), ("small", 3)]);
         let udfs = UdfRegistry::new();
         let rule = parse_rule("out(X, Z) <- big(X, Y), small(Y, Z).").unwrap();
-        let plan = compile_rule_plan(&rule, None, &relations, &udfs);
+        let plan = compile_body_plan(&rule.body, None, &relations, &udfs);
         assert_eq!(order_of(&plan), vec![1, 0]);
         // The second literal probes on its bound column (Y = column 1 of big).
         assert_eq!(plan.order[1].probe, Some(column_set([1])));
@@ -672,7 +730,7 @@ mod tests {
         let relations = relations_with(&[("big", 1000), ("small", 3)]);
         let udfs = UdfRegistry::new();
         let rule = parse_rule("out(X, Z) <- big(X, Y), small(Y, Z).").unwrap();
-        let plan = compile_rule_plan(&rule, Some(0), &relations, &udfs);
+        let plan = compile_body_plan(&rule.body, Some(0), &relations, &udfs);
         assert_eq!(order_of(&plan), vec![0, 1]);
         assert_eq!(plan.order[0].probe, None, "delta literal scans the delta");
         assert_eq!(plan.order[1].probe, Some(column_set([0])));
@@ -685,7 +743,7 @@ mod tests {
         // Textual order would scan edge first; the plan assigns X = 7 first
         // and probes edge on column 0.
         let rule = parse_rule("out(Y) <- edge(X, Y), X = 7.").unwrap();
-        let plan = compile_rule_plan(&rule, None, &relations, &udfs);
+        let plan = compile_body_plan(&rule.body, None, &relations, &udfs);
         assert_eq!(order_of(&plan), vec![1, 0]);
         assert_eq!(plan.order[1].probe, Some(column_set([0])));
     }
@@ -696,7 +754,7 @@ mod tests {
         let udfs = UdfRegistry::new();
         // C = Y + 1 precedes its producer textually; the plan defers it.
         let rule = parse_rule("out(C) <- C = Y + 1, edge(X, Y).").unwrap();
-        let plan = compile_rule_plan(&rule, None, &relations, &udfs);
+        let plan = compile_body_plan(&rule.body, None, &relations, &udfs);
         assert_eq!(order_of(&plan), vec![1, 0]);
     }
 
@@ -707,7 +765,7 @@ mod tests {
         // !b(X, Z) textually sees X bound and Z unbound; c(Z, W) must not be
         // scheduled before the negation even if it were cheaper.
         let rule = parse_rule("out(X, W) <- a(X, Y), !b(X, Z), c(Z, W).").unwrap();
-        let plan = compile_rule_plan(&rule, None, &relations, &udfs);
+        let plan = compile_body_plan(&rule.body, None, &relations, &udfs);
         let order = order_of(&plan);
         let pos = |i: usize| order.iter().position(|&x| x == i).unwrap();
         assert!(pos(0) < pos(1), "a before !b");
@@ -721,7 +779,7 @@ mod tests {
         // !b(X, Z) textually sees Z unbound (∄ b(X, _)); hoisting Z = 5 ahead
         // of it would collapse that into the membership check !b(X, 5).
         let rule = parse_rule("out(X) <- a(X), !b(X, Z), Z = 5.").unwrap();
-        let plan = compile_rule_plan(&rule, None, &relations, &udfs);
+        let plan = compile_body_plan(&rule.body, None, &relations, &udfs);
         let order = order_of(&plan);
         let pos = |i: usize| order.iter().position(|&x| x == i).unwrap();
         assert!(pos(1) < pos(2), "!b must run before Z = 5 is assigned");
@@ -732,7 +790,7 @@ mod tests {
         let relations = relations_with(&[]);
         let udfs = UdfRegistry::new();
         let rule = parse_rule("out(X) <- says[T](P, X), other(X).").unwrap();
-        let plan = compile_rule_plan(&rule, None, &relations, &udfs);
+        let plan = compile_body_plan(&rule.body, None, &relations, &udfs);
         assert_eq!(order_of(&plan), vec![0, 1]);
         assert!(plan.ensure.is_empty());
     }
@@ -744,8 +802,26 @@ mod tests {
         let rule = parse_rule("out(X, Z) <- a(X, Y), b(Y, Z).").unwrap();
         let stats = PlanStats::default();
         let mut cache = PlanCache::new();
-        let p1 = cache.plan_for(&rule, 0, None, &relations, &udfs, &stats);
-        let p2 = cache.plan_for(&rule, 0, None, &relations, &udfs, &stats);
+        let p1 = cache.plan_for(
+            PlanKey::Rule {
+                rule: 0,
+                delta: None,
+            },
+            &rule.body,
+            &relations,
+            &udfs,
+            &stats,
+        );
+        let p2 = cache.plan_for(
+            PlanKey::Rule {
+                rule: 0,
+                delta: None,
+            },
+            &rule.body,
+            &relations,
+            &udfs,
+            &stats,
+        );
         assert_eq!(p1, p2);
         let snap = stats.snapshot();
         assert_eq!(snap.plans_compiled, 1);
@@ -756,7 +832,16 @@ mod tests {
             rel.insert(vec![Value::Int(1000 + i), Value::Int(2000 + i)])
                 .unwrap();
         }
-        cache.plan_for(&rule, 0, None, &relations, &udfs, &stats);
+        cache.plan_for(
+            PlanKey::Rule {
+                rule: 0,
+                delta: None,
+            },
+            &rule.body,
+            &relations,
+            &udfs,
+            &stats,
+        );
         assert_eq!(stats.snapshot().plan_recompiles, 1);
         cache.clear();
         assert!(cache.is_empty());

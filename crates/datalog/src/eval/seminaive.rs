@@ -13,13 +13,14 @@
 //!   `pathvar` rule) mint one fresh entity per distinct body binding, memoized
 //!   so re-derivations are idempotent.
 
-use super::aggregate::evaluate_agg_rule_with;
-use super::bindings::{eval_term, Bindings};
+use super::aggregate::evaluate_agg_rule_exec;
+use super::bindings::Bindings;
+use super::exec;
 use super::join::{DeltaRestriction, JoinContext};
-use super::plan::{PlanCache, PlanStats, RulePlan};
+use super::plan::{PlanCache, PlanKey, PlanStats, RulePlan};
 use super::runtime_pred_name;
 use super::EvalConfig;
-use crate::ast::{Literal, Rule, Term};
+use crate::ast::{Literal, Rule};
 use crate::error::{DatalogError, Result};
 use crate::relation::Relation;
 use crate::schema::{PredicateKind, Schema};
@@ -121,11 +122,8 @@ impl<'a> Evaluator<'a> {
                     if pred_delta.is_empty() {
                         continue;
                     }
-                    let derived = self.evaluate_rule(
-                        rules,
-                        rule_index,
-                        Some((literal_index, pred_delta.clone())),
-                    )?;
+                    let derived =
+                        self.evaluate_rule(rules, rule_index, Some((literal_index, pred_delta)))?;
                     stats.derived += self.insert_derived(derived, &mut next_delta)?;
                 }
             }
@@ -142,11 +140,18 @@ impl<'a> Evaluator<'a> {
     /// Evaluate one (non-aggregate) rule, optionally restricting one body
     /// literal to a delta set, and return the derived `(predicate, tuple)`
     /// pairs without inserting them.
+    ///
+    /// When the worker pool is enabled and the driving tuple set (the delta,
+    /// or the plan's first stored relation) is large enough, the enumeration
+    /// is hash-partitioned across scoped worker threads and the per-worker
+    /// buffers are merged by sorted dedup — bit-identical to the serial
+    /// result (asserted in debug builds).  Rules with head existentials
+    /// always run serially: entity minting is order-sensitive.
     pub fn evaluate_rule(
         &mut self,
         rules: &[Rule],
         rule_index: usize,
-        delta: Option<(usize, HashSet<Tuple>)>,
+        delta: Option<(usize, &HashSet<Tuple>)>,
     ) -> Result<Vec<(String, Tuple)>> {
         let rule = &rules[rule_index];
         let existentials = rule.head_existentials();
@@ -157,13 +162,21 @@ impl<'a> Evaluator<'a> {
         body_vars.sort();
         body_vars.dedup();
 
-        let mut derived: Vec<(String, Tuple)> = Vec::new();
         let plan = self.prepare_plan(rules, rule_index, delta.as_ref().map(|(i, _)| *i));
+
+        if existentials.is_empty() {
+            if let Some(merged) = self.evaluate_rule_sharded(rule, plan.as_ref(), delta)? {
+                return Ok(merged);
+            }
+        }
+        PlanStats::bump(&self.plan_stats.serial_batches);
+
+        let mut derived: Vec<(String, Tuple)> = Vec::new();
         let ctx = JoinContext::with_stats(self.relations, self.udfs, self.plan_stats);
         let mut solutions: Vec<Bindings> = Vec::new();
         let mut bindings = Bindings::new();
-        let restriction = delta.as_ref().map(|(index, tuples)| DeltaRestriction {
-            literal_index: *index,
+        let restriction = delta.map(|(index, tuples)| DeltaRestriction {
+            literal_index: index,
             delta: tuples,
         });
         match &plan {
@@ -199,28 +212,120 @@ impl<'a> Evaluator<'a> {
                     solution.bind(var, Value::Entity(entity_id));
                 }
             }
-            for atom in &rule.head {
-                let pred = runtime_pred_name(&atom.pred)?;
-                let mut tuple: Tuple = Vec::with_capacity(atom.terms.len());
-                for term in &atom.terms {
-                    let value = match term {
-                        Term::Var(v) => solution.get(v).cloned(),
-                        other => eval_term(other, &solution, self.relations)?,
-                    };
-                    match value {
-                        Some(v) => tuple.push(v),
-                        None => {
-                            return Err(DatalogError::Eval(format!(
-                                "unsafe rule: head term {term} of {pred} is not bound by the body \
-                                 in rule `{rule}`"
-                            )))
-                        }
-                    }
-                }
-                derived.push((pred, tuple));
-            }
+            // Same head projection the sharded workers use — one
+            // implementation, so the two paths cannot drift.
+            derived.append(&mut exec::project_heads(rule, &solution, self.relations)?);
         }
         Ok(derived)
+    }
+
+    /// Try the sharded parallel path for one rule execution.  Returns
+    /// `Ok(None)` when the execution should stay serial: a single-worker
+    /// pool, a driving set below the threshold, or a body with no stored
+    /// relation to drive on.
+    ///
+    /// The driving literal is the delta literal when one is pinned,
+    /// otherwise the first stored-relation literal in plan execution order
+    /// (the join's outer loop).  Its tuple set is hash-partitioned; each
+    /// worker runs the full planned join with its shard as a
+    /// [`DeltaRestriction`] against shared read-only relation views (every
+    /// index the plan probes was built in [`Evaluator::prepare_plan`] before
+    /// this point), instantiating head tuples in a worker-local buffer.
+    fn evaluate_rule_sharded(
+        &self,
+        rule: &Rule,
+        plan: Option<&RulePlan>,
+        delta: Option<(usize, &HashSet<Tuple>)>,
+    ) -> Result<Option<Vec<(String, Tuple)>>> {
+        let options = &self.config.exec;
+        if !options.parallel_enabled() {
+            return Ok(None);
+        }
+        let (drive, shards) = match delta {
+            Some((index, tuples)) => {
+                if tuples.len() < options.parallel_threshold {
+                    return Ok(None);
+                }
+                (index, exec::partition(tuples.iter(), options.workers))
+            }
+            None => {
+                let Some(sharded) = exec::shard_driving_relation(
+                    &rule.body,
+                    plan,
+                    self.relations,
+                    self.udfs,
+                    options,
+                ) else {
+                    return Ok(None);
+                };
+                sharded
+            }
+        };
+        let relations: &HashMap<String, Relation> = self.relations;
+        let stats = self.plan_stats;
+        PlanStats::bump(&stats.parallel_batches);
+        let buffers = exec::run_shards(&shards, |shard| {
+            PlanStats::bump(&stats.shards_executed);
+            let ctx = JoinContext::with_stats(relations, self.udfs, stats);
+            let restriction = Some(DeltaRestriction {
+                literal_index: drive,
+                delta: shard,
+            });
+            let mut derived: Vec<(String, Tuple)> = Vec::new();
+            let mut bindings = Bindings::new();
+            let mut collect = |b: &Bindings| {
+                derived.append(&mut exec::project_heads(rule, b, relations)?);
+                Ok(())
+            };
+            match plan {
+                Some(plan) => {
+                    ctx.join_planned(&rule.body, plan, restriction, &mut bindings, &mut collect)?
+                }
+                None => ctx.join(&rule.body, restriction, &mut bindings, &mut collect)?,
+            }
+            Ok(derived)
+        })?;
+        let merged = exec::merge_derived(buffers);
+        #[cfg(debug_assertions)]
+        self.debug_verify_against_serial(rule, plan, delta, &merged)?;
+        Ok(Some(merged))
+    }
+
+    /// Debug-build check of the determinism argument: the merged parallel
+    /// output must equal the serial enumeration of the same execution
+    /// (sorted and deduplicated).  Runs without stats so the counters
+    /// reflect only the real evaluation.
+    #[cfg(debug_assertions)]
+    fn debug_verify_against_serial(
+        &self,
+        rule: &Rule,
+        plan: Option<&RulePlan>,
+        delta: Option<(usize, &HashSet<Tuple>)>,
+        merged: &[(String, Tuple)],
+    ) -> Result<()> {
+        let ctx = JoinContext::new(self.relations, self.udfs);
+        let restriction = delta.map(|(index, tuples)| DeltaRestriction {
+            literal_index: index,
+            delta: tuples,
+        });
+        let mut serial: Vec<(String, Tuple)> = Vec::new();
+        let mut bindings = Bindings::new();
+        let mut collect = |b: &Bindings| {
+            serial.append(&mut exec::project_heads(rule, b, self.relations)?);
+            Ok(())
+        };
+        match plan {
+            Some(plan) => {
+                ctx.join_planned(&rule.body, plan, restriction, &mut bindings, &mut collect)?
+            }
+            None => ctx.join(&rule.body, restriction, &mut bindings, &mut collect)?,
+        }
+        debug_assert_eq!(
+            exec::canonicalize_derived(serial),
+            merged,
+            "sharded evaluation diverged from serial evaluation for rule `{rule}`"
+        );
+        Ok(())
     }
 
     /// Compile (or fetch) the plan for a rule, build the secondary indexes it
@@ -235,9 +340,11 @@ impl<'a> Evaluator<'a> {
             return None;
         }
         let plan = self.plan_cache.plan_for(
-            &rules[rule_index],
-            rule_index,
-            delta_literal,
+            PlanKey::Rule {
+                rule: rule_index,
+                delta: delta_literal,
+            },
+            &rules[rule_index].body,
             self.relations,
             self.udfs,
             self.plan_stats,
@@ -252,19 +359,23 @@ impl<'a> Evaluator<'a> {
         Some(plan)
     }
 
-    /// Recompute an aggregation rule from the full body relations.
+    /// Recompute an aggregation rule from the full body relations, sharding
+    /// the fold across the worker pool when the driving relation is large
+    /// enough (accumulator merges are commutative and associative, so the
+    /// result is order-independent).
     fn recompute_aggregate(
         &mut self,
         rules: &[Rule],
         rule_index: usize,
     ) -> Result<Vec<(String, Tuple)>> {
         let plan = self.prepare_plan(rules, rule_index, None);
-        evaluate_agg_rule_with(
+        evaluate_agg_rule_exec(
             &rules[rule_index],
             self.relations,
             self.udfs,
             plan.as_ref(),
             Some(self.plan_stats),
+            &self.config.exec,
         )
     }
 

@@ -56,7 +56,7 @@ pub mod workspace;
 pub use ast::{Atom, Constraint, Literal, PredRef, Program, Rule, Statement, Term};
 pub use codec::{deserialize_tuple, serialize_tuple};
 pub use error::{DatalogError, Result};
-pub use eval::{EvalConfig, PlanStatsSnapshot};
+pub use eval::{EvalConfig, EvalOptions, PlanStatsSnapshot};
 pub use parser::{parse_program, parse_rule};
 pub use relation::Relation;
 pub use schema::{PredicateDecl, PredicateKind, Schema};

@@ -10,6 +10,17 @@
 //! and maintained incrementally: inserts append the new id to every existing
 //! index, removals delete the id again, so delta application and DRed see a
 //! consistent view at all times.
+//!
+//! Concurrency contract (DESIGN.md §8): a `Relation` is `Send + Sync`, and
+//! every read path ([`Relation::probe`], [`Relation::iter`],
+//! [`Relation::select`], [`Relation::matches_any`],
+//! [`Relation::functional_lookup`], [`Relation::tuple_by_id`]) takes `&self`,
+//! so the sharded worker pool shares relations across scoped threads as
+//! read-only probe views.  All mutation — inserts, removals, and
+//! [`Relation::ensure_index`] builds — is single-writer: the evaluator thread
+//! builds the indexes a plan probes *before* spawning workers and applies the
+//! merged derivation buffer *after* they join.  Tuples are `Arc`-shared, so
+//! the views cost no copying.
 
 use crate::error::{DatalogError, Result};
 use crate::value::{Tuple, Value};
@@ -171,15 +182,7 @@ impl Relation {
     /// for stable output and tests.
     pub fn sorted(&self) -> Vec<Tuple> {
         let mut out: Vec<Tuple> = self.iter().cloned().collect();
-        out.sort_by(|a, b| {
-            for (x, y) in a.iter().zip(b.iter()) {
-                match x.total_cmp(y) {
-                    std::cmp::Ordering::Equal => continue,
-                    other => return other,
-                }
-            }
-            a.len().cmp(&b.len())
-        });
+        out.sort_by(|a, b| crate::value::tuple_total_cmp(a, b));
         out
     }
 
@@ -567,6 +570,29 @@ mod tests {
         assert_eq!(cloned.index_count(), 0);
         assert!(cloned.contains(&t(&[1, 2])));
         assert_eq!(cloned.sorted(), rel.sorted());
+    }
+
+    #[test]
+    fn relation_is_shareable_across_worker_threads() {
+        fn assert_sync_send<T: Sync + Send>() {}
+        assert_sync_send::<Relation>();
+        // Concurrent read-only probe views over one relation.
+        let mut rel = Relation::new("edge", None);
+        let cols = column_set([0]);
+        for i in 0..64 {
+            rel.insert(t(&[i % 8, i])).unwrap();
+        }
+        rel.ensure_index(cols);
+        let total: usize = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|k| {
+                    let rel = &rel;
+                    scope.spawn(move || rel.probe(cols, &t(&[k])).map_or(0, <[u32]>::len))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(total, 4 * 8);
     }
 
     #[test]

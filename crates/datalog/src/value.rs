@@ -125,6 +125,20 @@ impl Value {
 }
 
 /// `Display` writes values the way they appear in DatalogLB source text.
+/// Lexicographic total order on tuples under [`Value::total_cmp`]: the
+/// single definition shared by [`crate::relation::Relation::sorted`] and the
+/// parallel executor's deterministic merge, so stored order and merged order
+/// can never drift apart.
+pub fn tuple_total_cmp(a: &[Value], b: &[Value]) -> Ordering {
+    for (x, y) in a.iter().zip(b.iter()) {
+        match x.total_cmp(y) {
+            Ordering::Equal => continue,
+            other => return other,
+        }
+    }
+    a.len().cmp(&b.len())
+}
+
 impl fmt::Display for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -11,11 +11,12 @@
 //! back" (§5.2) — [`Workspace::transaction`] implements exactly that.
 
 use crate::ast::{Constraint, Program, Rule, Statement, Term};
-use crate::constraint::{check_constraints, check_constraints_incremental};
+use crate::constraint::{check_constraints_incremental_planned, check_constraints_planned};
 use crate::error::{DatalogError, Result};
 use crate::eval::dred::DeletionStats;
 use crate::eval::{
-    Bindings, EvalConfig, Evaluator, FixpointStats, PlanCache, PlanStats, PlanStatsSnapshot,
+    Bindings, EvalConfig, EvalOptions, Evaluator, FixpointStats, PlanCache, PlanStats,
+    PlanStatsSnapshot,
 };
 use crate::parser::parse_program;
 use crate::relation::Relation;
@@ -121,6 +122,19 @@ impl Workspace {
     /// schema is intentionally partial).
     pub fn set_strict_typing(&mut self, strict: bool) {
         self.strict_typing = strict;
+    }
+
+    /// Reconfigure the evaluation worker pool (see
+    /// [`EvalOptions`](crate::eval::EvalOptions)): `workers > 1` shards each
+    /// stratum's driving tuple sets across scoped worker threads; `workers
+    /// <= 1` keeps the serial path.  Takes effect from the next transaction.
+    pub fn set_eval_options(&mut self, options: EvalOptions) {
+        self.config.exec = options;
+    }
+
+    /// The current worker-pool configuration.
+    pub fn eval_options(&self) -> EvalOptions {
+        self.config.exec
     }
 
     /// Permit negation inside recursive components (locally-stratified
@@ -369,7 +383,14 @@ impl Workspace {
                 }
             }
         }
-        check_constraints_incremental(&self.constraints, &self.relations, &self.udfs, &delta)?;
+        check_constraints_incremental_planned(
+            &self.constraints,
+            &mut self.relations,
+            &self.udfs,
+            &mut self.plan_cache,
+            &self.plan_stats,
+            &delta,
+        )?;
         Ok(report)
     }
 
@@ -424,7 +445,14 @@ impl Workspace {
             evaluator.delete_with_dred(&self.rules, &self.strata, &batch, &edb)
         };
         let check = stats.and_then(|s| {
-            check_constraints(&self.constraints, &self.relations, &self.udfs).map(|_| s)
+            check_constraints_planned(
+                &self.constraints,
+                &mut self.relations,
+                &self.udfs,
+                &mut self.plan_cache,
+                &self.plan_stats,
+            )
+            .map(|_| s)
         });
         match check {
             Ok(stats) => Ok(stats),
@@ -772,6 +800,124 @@ mod tests {
         // A second fixpoint reuses the cached plans.
         ws.fixpoint().unwrap();
         assert!(ws.plan_stats().plan_cache_hits > stats.plan_cache_hits);
+    }
+
+    #[test]
+    fn sharded_fixpoint_matches_serial_and_reports_utilization() {
+        let source = "reachable(X, Y) <- link(X, Y).\n\
+                      reachable(X, Y) <- link(X, Z), reachable(Z, Y).";
+        let mut serial = Workspace::with_config(EvalConfig {
+            exec: crate::eval::EvalOptions::serial(),
+            ..EvalConfig::default()
+        });
+        let mut parallel = Workspace::with_config(EvalConfig {
+            exec: crate::eval::EvalOptions {
+                workers: 4,
+                parallel_threshold: 2,
+            },
+            ..EvalConfig::default()
+        });
+        for ws in [&mut serial, &mut parallel] {
+            ws.install_source(source).unwrap();
+            for i in 0..40 {
+                ws.assert_fact("link", vec![Value::Int(i), Value::Int(i + 1)])
+                    .unwrap();
+            }
+            ws.fixpoint().unwrap();
+        }
+        assert_eq!(serial.query("reachable"), parallel.query("reachable"));
+        let stats = parallel.plan_stats();
+        assert!(stats.parallel_batches > 0, "worker pool must engage");
+        assert!(stats.shards_executed >= stats.parallel_batches);
+        let utilization = stats.worker_utilization(4);
+        assert!(utilization > 0.0 && utilization <= 1.0);
+        assert_eq!(serial.plan_stats().parallel_batches, 0);
+    }
+
+    #[test]
+    fn sharded_retraction_matches_serial() {
+        let source = "reachable(X, Y) <- link(X, Y).\n\
+                      reachable(X, Y) <- link(X, Z), reachable(Z, Y).";
+        let mut serial = Workspace::with_config(EvalConfig {
+            exec: crate::eval::EvalOptions::serial(),
+            ..EvalConfig::default()
+        });
+        let mut parallel = Workspace::with_config(EvalConfig {
+            exec: crate::eval::EvalOptions {
+                workers: 4,
+                parallel_threshold: 1,
+            },
+            ..EvalConfig::default()
+        });
+        for ws in [&mut serial, &mut parallel] {
+            ws.install_source(source).unwrap();
+            for i in 0..30 {
+                ws.assert_fact("link", vec![Value::Int(i), Value::Int(i + 1)])
+                    .unwrap();
+            }
+            ws.fixpoint().unwrap();
+            ws.retract(vec![("link".into(), vec![Value::Int(15), Value::Int(16)])])
+                .unwrap();
+        }
+        assert_eq!(serial.query("reachable"), parallel.query("reachable"));
+        assert!(parallel.plan_stats().parallel_batches > 0);
+    }
+
+    #[test]
+    fn small_deltas_stay_on_the_serial_fast_path() {
+        let mut ws = Workspace::with_config(EvalConfig {
+            exec: crate::eval::EvalOptions {
+                workers: 4,
+                parallel_threshold: 1_000_000,
+            },
+            ..EvalConfig::default()
+        });
+        ws.install_source(
+            "reachable(X, Y) <- link(X, Y).\n\
+             reachable(X, Y) <- link(X, Z), reachable(Z, Y).",
+        )
+        .unwrap();
+        for i in 0..20 {
+            ws.assert_fact("link", vec![Value::Int(i), Value::Int(i + 1)])
+                .unwrap();
+        }
+        ws.fixpoint().unwrap();
+        let stats = ws.plan_stats();
+        assert_eq!(
+            stats.parallel_batches, 0,
+            "below-threshold deltas must not shard"
+        );
+        assert!(stats.serial_batches > 0);
+        assert_eq!(ws.count("reachable"), 20 * 21 / 2);
+    }
+
+    #[test]
+    fn constraint_checks_share_the_plan_cache() {
+        let mut ws = Workspace::new();
+        ws.install_source(
+            "says_link(P, Q) -> principal(P), principal(Q).\n\
+             principal(alice). principal(bob).",
+        )
+        .unwrap();
+        assert_eq!(ws.cached_plans(), 0);
+        ws.transaction(vec![("says_link".into(), vec![s("alice"), s("bob")])])
+            .unwrap();
+        assert!(
+            ws.cached_plans() > 0,
+            "incremental constraint check must compile and cache plans"
+        );
+        let compiled = ws.plan_stats().plans_compiled;
+        // A second batch reuses the cached constraint plans.
+        ws.transaction(vec![("says_link".into(), vec![s("bob"), s("alice")])])
+            .unwrap();
+        let stats = ws.plan_stats();
+        assert_eq!(stats.plans_compiled, compiled);
+        assert!(stats.plan_cache_hits > 0);
+        // Verdicts are unchanged: an unknown principal still rolls back.
+        let err = ws
+            .transaction(vec![("says_link".into(), vec![s("mallory"), s("bob")])])
+            .unwrap_err();
+        assert!(matches!(err, DatalogError::ConstraintViolation(_)));
     }
 
     #[test]
