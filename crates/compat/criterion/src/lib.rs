@@ -14,7 +14,84 @@
 //! the benches without paying for full measurement runs.
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// One measured benchmark, accumulated for the JSON report.
+#[derive(Debug, Clone)]
+struct BenchRecord {
+    label: String,
+    mean_ns: u128,
+    best_ns: u128,
+    iterations: usize,
+    throughput: Option<Throughput>,
+}
+
+/// Results collected across every group of the current bench binary.
+static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+/// Write the accumulated results of this bench binary to
+/// `BENCH_<name>.json` (in `SECUREBLOX_BENCH_DIR`, or the working directory
+/// — the workspace root under `cargo bench`), so the perf trajectory of the
+/// repository is machine-readable run over run.  Called by `criterion_main!`
+/// after every group has executed; a binary that measured nothing writes
+/// nothing.
+pub fn write_bench_report() {
+    let results = match RESULTS.lock() {
+        Ok(results) => results,
+        Err(_) => return,
+    };
+    if results.is_empty() {
+        return;
+    }
+    let name = std::env::current_exe()
+        .ok()
+        .and_then(|path| path.file_stem().map(|s| s.to_string_lossy().into_owned()))
+        .map(|stem| {
+            // Cargo suffixes bench binaries with `-<16 hex chars>`.
+            match stem.rsplit_once('-') {
+                Some((base, hash))
+                    if hash.len() == 16 && hash.bytes().all(|b| b.is_ascii_hexdigit()) =>
+                {
+                    base.to_string()
+                }
+                _ => stem,
+            }
+        })
+        .unwrap_or_else(|| "bench".to_string());
+    let dir = std::env::var_os("SECUREBLOX_BENCH_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("."));
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"bench\": \"{name}\",\n"));
+    json.push_str(&format!(
+        "  \"quick\": {},\n  \"results\": [\n",
+        quick_mode()
+    ));
+    for (index, record) in results.iter().enumerate() {
+        let (throughput_kind, throughput_amount) = match record.throughput {
+            Some(Throughput::Bytes(n)) => ("bytes", n),
+            Some(Throughput::Elements(n)) => ("elements", n),
+            None => ("none", 0),
+        };
+        json.push_str(&format!(
+            "    {{\"label\": \"{}\", \"mean_ns\": {}, \"best_ns\": {}, \"iterations\": {}, \
+             \"throughput_kind\": \"{}\", \"throughput_amount\": {}}}{}\n",
+            record.label.replace('"', "'"),
+            record.mean_ns,
+            record.best_ns,
+            record.iterations,
+            throughput_kind,
+            throughput_amount,
+            if index + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = dir.join(format!("BENCH_{name}.json"));
+    if std::fs::write(&path, json).is_ok() {
+        println!("bench report written to {}", path.display());
+    }
+}
 
 /// Measured iteration driver handed to each benchmark closure.
 pub struct Bencher {
@@ -175,6 +252,15 @@ fn run_one(
     match bencher.result {
         Some((elapsed, iterations, best)) => {
             let mean = elapsed / iterations.max(1) as u32;
+            if let Ok(mut results) = RESULTS.lock() {
+                results.push(BenchRecord {
+                    label: label.to_string(),
+                    mean_ns: mean.as_nanos(),
+                    best_ns: best.as_nanos(),
+                    iterations,
+                    throughput,
+                });
+            }
             let rate = throughput
                 .map(|t| match t {
                     Throughput::Bytes(bytes) => {
@@ -267,6 +353,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_bench_report();
         }
     };
 }

@@ -83,10 +83,16 @@ pub struct AnonJoinOutcome {
     pub owner_never_saw_initiator: bool,
 }
 
-/// Run the anonymous join.
-pub fn run(config: &AnonJoinConfig) -> Result<AnonJoinOutcome> {
-    let initiator = "alice".to_string();
-    let owner = "datahost".to_string();
+/// The initiator's principal name.
+pub const INITIATOR: &str = "alice";
+/// The table owner's principal name.
+pub const OWNER: &str = "datahost";
+
+/// Build (but do not run) the anonymous-join deployment: alice, the relays,
+/// and the table owner, with the circuit pre-established.
+pub fn build_deployment(config: &AnonJoinConfig) -> Result<Deployment> {
+    let initiator = INITIATOR.to_string();
+    let owner = OWNER.to_string();
     let relays: Vec<String> = (0..config.num_relays)
         .map(|i| format!("relay{i}"))
         .collect();
@@ -98,10 +104,6 @@ pub fn run(config: &AnonJoinConfig) -> Result<AnonJoinOutcome> {
     let publicdata: Vec<(i64, i64)> = (0..config.public_rows as i64)
         .map(|i| (i, 1000 + i))
         .collect();
-    let expected_matches = publicdata
-        .iter()
-        .filter(|(x, _)| interests.iter().any(|(ix, _)| ix == x))
-        .count();
 
     let mut specs = vec![NodeSpec::new(&initiator)];
     specs.extend(relays.iter().map(NodeSpec::new));
@@ -124,17 +126,29 @@ pub fn run(config: &AnonJoinConfig) -> Result<AnonJoinOutcome> {
         seed: config.seed,
         singletons: vec![("table_owner".into(), Value::str(&owner))],
         circuits: vec![CircuitSpec {
-            initiator: initiator.clone(),
-            relays: relays.clone(),
-            endpoint: owner.clone(),
+            initiator,
+            relays,
+            endpoint: owner,
         }],
         extra_policies: vec![anonymity_policy()],
         ..DeploymentConfig::default()
     };
-    let mut deployment = Deployment::build(&app_source(), &specs, deployment_config)?;
+    Deployment::build(&app_source(), &specs, deployment_config)
+}
+
+/// Run the anonymous join.
+pub fn run(config: &AnonJoinConfig) -> Result<AnonJoinOutcome> {
+    // The same interest/public generators `build_deployment` seeds with:
+    // interests are a subset of the public keys, so matches are guaranteed.
+    let expected_matches = (0..config.interest_rows as i64)
+        .map(|i| i * 3)
+        .filter(|key| (0..config.public_rows as i64).contains(key))
+        .count();
+
+    let mut deployment = build_deployment(config)?;
     let report = deployment.run()?;
 
-    let replies_at_initiator = deployment.query(&initiator, "anon_reply$publicdata").len();
+    let replies_at_initiator = deployment.query(INITIATOR, "anon_reply$publicdata").len();
     // Anonymity check: no relation at the owner holding anonymity-path state
     // mentions the initiator's principal.
     let owner_never_saw_initiator = [
@@ -144,9 +158,9 @@ pub fn run(config: &AnonJoinConfig) -> Result<AnonJoinOutcome> {
     .iter()
     .all(|pred| {
         deployment
-            .query(&owner, pred)
+            .query(OWNER, pred)
             .iter()
-            .all(|tuple| tuple.iter().all(|v| v.as_str() != Some(initiator.as_str())))
+            .all(|tuple| tuple.iter().all(|v| v.as_str() != Some(INITIATOR)))
     });
     Ok(AnonJoinOutcome {
         report,

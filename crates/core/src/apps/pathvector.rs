@@ -191,6 +191,25 @@ pub fn build_deployment(config: &PathVectorConfig) -> Result<Deployment> {
     Deployment::build(&app_source(), &specs, deployment_config)
 }
 
+/// Withdraw the link between nodes `a` and `b` (both directions, as a real
+/// link failure would): each endpoint retracts its `link` base fact, DRed
+/// removes every path that used the link, and the withdrawals propagate to
+/// the rest of the network as signed `Retract` deltas through the same
+/// `says` channels the advertisements used.  Run the deployment afterwards
+/// (`Deployment::run`) to re-converge on the surviving topology.
+pub fn withdraw_link(deployment: &mut Deployment, a: usize, b: usize) -> Result<()> {
+    let (pa, pb) = (principal_name(a), principal_name(b));
+    deployment.retract(
+        &pa,
+        vec![("link".into(), vec![Value::str(&pa), Value::str(&pb)])],
+    )?;
+    deployment.retract(
+        &pb,
+        vec![("link".into(), vec![Value::str(&pb), Value::str(&pa)])],
+    )?;
+    Ok(())
+}
+
 /// Run the path-vector protocol to its distributed fixpoint.
 pub fn run(config: &PathVectorConfig) -> Result<PathVectorOutcome> {
     let mut deployment = build_deployment(config)?;
@@ -284,6 +303,59 @@ mod tests {
         // the same path entity may be dropped as FD conflicts (module docs).
         assert_eq!(outcome.report.rejected_batches, 0, "{outcome:?}");
         assert!(outcome.report.fixpoint_latency.as_nanos() > 0);
+    }
+
+    #[test]
+    fn route_withdrawal_reconverges_the_star() {
+        // Star around hub n0.  Cutting the n0–n1 spoke disconnects n1: after
+        // the withdrawals propagate, no node may still hold a route to n1,
+        // and n1 must have lost its routes — while every other leaf keeps its
+        // hub route.  This is distributed retraction end to end: the hub's
+        // DRed un-derives its advertisements, the leaves receive signed
+        // Retract deltas, and their own cascaded withdrawals fan back out.
+        let num_nodes = 5;
+        let edges: Vec<(usize, usize)> = (1..num_nodes).map(|i| (0, i)).collect();
+        let config = PathVectorConfig {
+            num_nodes,
+            edges: Some(edges),
+            security: SecurityConfig::new(AuthScheme::HmacSha1, EncScheme::None),
+            ..PathVectorConfig::default()
+        };
+        let mut deployment = build_deployment(&config).unwrap();
+        deployment.run().unwrap();
+        assert!(deployment
+            .query(&principal_name(2), "bestcost")
+            .iter()
+            .any(|t| t[1].as_str() == Some("n1")));
+
+        withdraw_link(&mut deployment, 0, 1).unwrap();
+        let report = deployment.run().unwrap();
+        assert!(report.retractions_applied > 0, "{report:?}");
+
+        for i in 0..num_nodes {
+            let best = deployment.query(&principal_name(i), "bestcost");
+            let routes_to_n1 = best.iter().any(|t| t[1].as_str() == Some("n1"));
+            if i == 1 {
+                assert!(best.is_empty(), "n1 is disconnected: {best:?}");
+                continue;
+            }
+            assert!(!routes_to_n1, "n{i} still routes to n1: {best:?}");
+            if i == 0 {
+                // The hub keeps a direct route to every surviving leaf.
+                for leaf in 2..num_nodes {
+                    assert!(
+                        best.iter()
+                            .any(|t| t[1].as_str() == Some(principal_name(leaf).as_str())),
+                        "hub lost its route to n{leaf}: {best:?}"
+                    );
+                }
+            } else {
+                assert!(
+                    best.iter().any(|t| t[1].as_str() == Some("n0")),
+                    "n{i} lost its hub route: {best:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,61 +1,120 @@
-//! Tuple serialization and the `says` export envelope.
+//! Tuple serialization and the authenticated update-stream envelope.
 //!
 //! The canonical tuple byte encoding lives in
 //! [`secureblox_datalog::codec`] — it is shared between this runtime (network
 //! payloads, signature coverage, AES plaintexts) and the durable fact store
 //! (WAL records, content-addressed snapshot objects).  This module re-exports
-//! it and adds the network-level [`SaysEnvelope`] framing.
+//! it and adds the network-level framing of the **update stream**: every
+//! inter-node batch is an ordered sequence of signed assert/retract deltas,
+//! so withdrawals travel through exactly the same channel — and under exactly
+//! the same signatures and encryption — as new derivations.
 
 pub use secureblox_datalog::codec::{deserialize_tuple, serialize_tuple};
 
 use secureblox_datalog::value::Tuple;
 
-/// A serialized `says` export: the said predicate, the tuple, and an optional
-/// detached signature.
+/// The two operations an update-stream delta can describe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaOp {
+    /// A newly derived `says`/`anon_says` tuple the receiver should import.
+    Assert,
+    /// A previously asserted tuple the origin has withdrawn; the receiver
+    /// verifies the same detached signature that authenticated the assert and
+    /// DRed-maintains everything derived from the fact.
+    Retract,
+}
+
+/// One signed delta of the update stream.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct SaysEnvelope {
+pub struct UpdateDelta {
+    pub op: DeltaOp,
     /// The parameter predicate `T` of `says[T]` (not the mangled name).
     pub pred: String,
-    /// The full `says$T` tuple, including the two principal columns.
+    /// The full `says$T` tuple, including the two principal columns (for
+    /// anonymity-circuit traffic: the payload columns only).
     pub tuple: Tuple,
-    /// Detached signature bytes (empty for NoAuth).
+    /// Detached signature bytes (empty for NoAuth and circuit traffic).
     pub signature: Vec<u8>,
 }
 
-impl SaysEnvelope {
+/// A serialized update-stream batch: a per-link sequence number and the
+/// ordered deltas.  Streams are FIFO per link (the simulator's ordered send
+/// models a TCP-like channel), and `seq` lets a receiver drop stale
+/// duplicates so every delta is applied at most once.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpdateEnvelope {
+    /// Position of this envelope in the sender's per-link stream (1-based).
+    pub seq: u64,
+    /// The deltas, in the order the receiver must apply them.
+    pub deltas: Vec<UpdateDelta>,
+}
+
+impl UpdateEnvelope {
     /// Serialize the envelope into message-payload bytes.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
-        out.extend_from_slice(&(self.pred.len() as u32).to_be_bytes());
-        out.extend_from_slice(self.pred.as_bytes());
-        out.extend_from_slice(&serialize_tuple(&self.tuple));
-        out.extend_from_slice(&(self.signature.len() as u32).to_be_bytes());
-        out.extend_from_slice(&self.signature);
+        out.extend_from_slice(&self.seq.to_be_bytes());
+        out.extend_from_slice(&(self.deltas.len() as u32).to_be_bytes());
+        for delta in &self.deltas {
+            out.push(match delta.op {
+                DeltaOp::Assert => 0,
+                DeltaOp::Retract => 1,
+            });
+            out.extend_from_slice(&(delta.pred.len() as u32).to_be_bytes());
+            out.extend_from_slice(delta.pred.as_bytes());
+            out.extend_from_slice(&serialize_tuple(&delta.tuple));
+            out.extend_from_slice(&(delta.signature.len() as u32).to_be_bytes());
+            out.extend_from_slice(&delta.signature);
+        }
         out
     }
 
     /// Parse an envelope from message-payload bytes.
     pub fn decode(data: &[u8]) -> Result<Self, String> {
         let mut pos = 0usize;
-        let len_bytes = data.get(0..4).ok_or("truncated predicate length")?;
-        pos += 4;
-        let len = u32::from_be_bytes(len_bytes.try_into().expect("4 bytes")) as usize;
-        let pred_bytes = data.get(pos..pos + len).ok_or("truncated predicate name")?;
-        pos += len;
-        let pred = String::from_utf8(pred_bytes.to_vec()).map_err(|_| "invalid predicate name")?;
-        let tuple = deserialize_tuple(data, &mut pos)?;
-        let sig_len_bytes = data.get(pos..pos + 4).ok_or("truncated signature length")?;
-        pos += 4;
-        let sig_len = u32::from_be_bytes(sig_len_bytes.try_into().expect("4 bytes")) as usize;
-        let signature = data
-            .get(pos..pos + sig_len)
-            .ok_or("truncated signature")?
-            .to_vec();
-        Ok(SaysEnvelope {
-            pred,
-            tuple,
-            signature,
-        })
+        let take4 = |data: &[u8], pos: &mut usize, what: &str| -> Result<usize, String> {
+            let bytes = data
+                .get(*pos..*pos + 4)
+                .ok_or_else(|| format!("truncated {what}"))?;
+            *pos += 4;
+            Ok(u32::from_be_bytes(bytes.try_into().expect("4 bytes")) as usize)
+        };
+        let seq_bytes = data.get(0..8).ok_or("truncated stream sequence")?;
+        pos += 8;
+        let seq = u64::from_be_bytes(seq_bytes.try_into().expect("8 bytes"));
+        let count = take4(data, &mut pos, "delta count")?;
+        let mut deltas = Vec::with_capacity(count.min(1024));
+        for _ in 0..count {
+            let op = match data.get(pos) {
+                Some(0) => DeltaOp::Assert,
+                Some(1) => DeltaOp::Retract,
+                Some(other) => return Err(format!("unknown delta op {other}")),
+                None => return Err("truncated delta op".into()),
+            };
+            pos += 1;
+            let len = take4(data, &mut pos, "predicate length")?;
+            let pred_bytes = data.get(pos..pos + len).ok_or("truncated predicate name")?;
+            pos += len;
+            let pred =
+                String::from_utf8(pred_bytes.to_vec()).map_err(|_| "invalid predicate name")?;
+            let tuple = deserialize_tuple(data, &mut pos)?;
+            let sig_len = take4(data, &mut pos, "signature length")?;
+            let signature = data
+                .get(pos..pos + sig_len)
+                .ok_or("truncated signature")?
+                .to_vec();
+            pos += sig_len;
+            deltas.push(UpdateDelta {
+                op,
+                pred,
+                tuple,
+                signature,
+            });
+        }
+        if pos != data.len() {
+            return Err("trailing bytes after deltas".into());
+        }
+        Ok(UpdateEnvelope { seq, deltas })
     }
 }
 
@@ -76,39 +135,65 @@ mod tests {
         ]
     }
 
+    fn sample_envelope() -> UpdateEnvelope {
+        UpdateEnvelope {
+            seq: 9,
+            deltas: vec![
+                UpdateDelta {
+                    op: DeltaOp::Assert,
+                    pred: "path".into(),
+                    tuple: sample_tuple(),
+                    signature: vec![9u8; 64],
+                },
+                UpdateDelta {
+                    op: DeltaOp::Retract,
+                    pred: "rehashA".into(),
+                    tuple: vec![Value::Int(1)],
+                    signature: Vec::new(),
+                },
+            ],
+        }
+    }
+
     #[test]
     fn envelope_roundtrip() {
-        let envelope = SaysEnvelope {
-            pred: "path".into(),
-            tuple: sample_tuple(),
-            signature: vec![9u8; 64],
+        let envelope = sample_envelope();
+        let back = UpdateEnvelope::decode(&envelope.encode()).unwrap();
+        assert_eq!(back, envelope);
+        assert_eq!(back.deltas[0].op, DeltaOp::Assert);
+        assert_eq!(back.deltas[1].op, DeltaOp::Retract);
+        assert!(back.deltas[1].signature.is_empty());
+    }
+
+    #[test]
+    fn empty_envelope_roundtrip() {
+        let envelope = UpdateEnvelope {
+            seq: 1,
+            deltas: Vec::new(),
         };
-        let bytes = envelope.encode();
-        let back = SaysEnvelope::decode(&bytes).unwrap();
+        let back = UpdateEnvelope::decode(&envelope.encode()).unwrap();
         assert_eq!(back, envelope);
     }
 
     #[test]
-    fn envelope_without_signature() {
-        let envelope = SaysEnvelope {
-            pred: "rehashA".into(),
-            tuple: vec![Value::Int(1)],
-            signature: Vec::new(),
-        };
-        let back = SaysEnvelope::decode(&envelope.encode()).unwrap();
-        assert!(back.signature.is_empty());
+    fn decode_rejects_truncation_and_trailing_bytes() {
+        let bytes = sample_envelope().encode();
+        for cut in [0usize, 3, 7, 11, 13, bytes.len() - 1] {
+            assert!(
+                UpdateEnvelope::decode(&bytes[..cut]).is_err(),
+                "cut at {cut}"
+            );
+        }
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(UpdateEnvelope::decode(&extended).is_err(), "trailing byte");
     }
 
     #[test]
-    fn decode_rejects_truncation() {
-        let envelope = SaysEnvelope {
-            pred: "p".into(),
-            tuple: sample_tuple(),
-            signature: vec![1, 2],
-        };
-        let bytes = envelope.encode();
-        for cut in [0usize, 3, 7, bytes.len() - 1] {
-            assert!(SaysEnvelope::decode(&bytes[..cut]).is_err(), "cut at {cut}");
-        }
+    fn decode_rejects_unknown_op() {
+        let mut bytes = sample_envelope().encode();
+        // First op byte sits right after seq (8) + count (4).
+        bytes[12] = 7;
+        assert!(UpdateEnvelope::decode(&bytes).is_err());
     }
 }

@@ -8,12 +8,18 @@
 //! * every node installs the same compiled program (queries + policies),
 //! * a batch of incoming facts is processed in a local ACID transaction —
 //!   insert, fixpoint, constraint check, commit or roll back,
-//! * tuples derived for a `says$T` predicate whose receiving principal is
-//!   remote are serialized, signed (per the generated `sig$T` rules),
-//!   optionally AES-encrypted, and shipped; the receiver inserts the `says$T`
-//!   and `sig$T` facts and its own constraints decide whether to accept them,
-//! * anonymity-circuit traffic (`anon_says$T`) is onion-wrapped and relayed
-//!   hop by hop.
+//! * all inter-node state flow rides one **authenticated update stream**: an
+//!   exported batch is an ordered sequence of signed `Assert`/`Retract`
+//!   deltas ([`UpdateEnvelope`]), shipped FIFO per link.  `Assert` deltas
+//!   carry newly derived `says$T` tuples (serialized, signed per the
+//!   generated `sig$T` rules, optionally AES-encrypted); the receiver inserts
+//!   the `says$T` and `sig$T` facts and its own constraints decide whether to
+//!   accept them.  `Retract` deltas withdraw previously shipped tuples under
+//!   the same detached signature; the receiver verifies it, DRed-maintains
+//!   everything derived from the fact, logs the retraction to its WAL, and
+//!   propagates any cascaded withdrawals onward through its own streams,
+//! * anonymity-circuit traffic (`anon_says$T`) wraps the same delta envelope
+//!   in onion layers and is relayed hop by hop.
 //!
 //! Virtual time: each node's transaction advances its own clock by the
 //! *measured* wall-clock compute time, and the network adds latency per
@@ -21,18 +27,24 @@
 //! parallel even though the simulation executes them in one process.
 
 use crate::policy::{compile_secured_program, SecurityConfig};
-use crate::runtime::codec::SaysEnvelope;
+use crate::runtime::codec::{serialize_tuple, DeltaOp, UpdateDelta, UpdateEnvelope};
+use crate::runtime::replication::ReplicaState;
 use crate::runtime::udfs::register_crypto_udfs;
-use secureblox_crypto::{aes128_ctr_decrypt, aes128_ctr_encrypt, EncScheme, KeyStore};
+use secureblox_crypto::{
+    aes128_ctr_decrypt, aes128_ctr_encrypt, hmac_sha1_verify, AuthScheme, EncScheme, KeyStore,
+    RsaSignature,
+};
 use secureblox_datalog::error::{DatalogError, Result};
-use secureblox_datalog::value::{Tuple, Value};
-use secureblox_datalog::{EvalConfig, EvalOptions, PlanStatsSnapshot, Workspace};
+use secureblox_datalog::value::{tuple_total_cmp, Tuple, Value};
+use secureblox_datalog::{column_set, EvalConfig, EvalOptions, PlanStatsSnapshot, Workspace};
 use secureblox_net::stats::TimingStats;
 use secureblox_net::{
     LatencyModel, Message, MessageKind, NodeId, NodeInfo, SimNetwork, VirtualTime,
 };
 use secureblox_store::{derive_node_key, DurabilityConfig, FactStore};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Specification of one simulated node.
@@ -117,10 +129,25 @@ impl Default for DeploymentConfig {
             extra_policies: Vec::new(),
             grant_default_trust: true,
             grant_default_write_access: true,
-            durability: None,
+            durability: env_durability(),
             parallelism: EvalOptions::default().workers,
         }
     }
+}
+
+/// Durability default from the environment: when `SECUREBLOX_DURABILITY_DIR`
+/// is set, every default-configured deployment persists its nodes under a
+/// fresh subdirectory of it.  This lets the CI matrix run the whole
+/// integration suite with durability and the worker pool enabled together
+/// without code changes.  Each call yields a distinct directory (process id
+/// plus a counter) because a fresh build refuses a directory with state.
+fn env_durability() -> Option<DurabilityConfig> {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let base = std::env::var_os("SECUREBLOX_DURABILITY_DIR")?;
+    let unique = COUNTER.fetch_add(1, Ordering::Relaxed);
+    Some(DurabilityConfig::new(
+        PathBuf::from(base).join(format!("deploy-{}-{unique}", std::process::id())),
+    ))
 }
 
 /// Summary of one deployment run — the quantities the paper's figures plot.
@@ -145,6 +172,9 @@ pub struct DeploymentReport {
     /// produces these when the same path entity is advertised to a node along
     /// two different branches (see `apps::pathvector`).
     pub conflicting_batches: usize,
+    /// Retraction deltas verified and applied across all nodes (distributed
+    /// retraction through the update stream).
+    pub retractions_applied: usize,
     /// Per-node convergence times (Figures 8/9).
     pub convergence_times: Vec<Duration>,
     /// Per-node sent bytes.
@@ -199,12 +229,23 @@ struct Circuit {
 pub(crate) struct NodeState {
     pub(crate) info: NodeInfo,
     pub(crate) workspace: Workspace,
-    /// Outgoing `says`/`anon` tuples already exported (avoid duplicates).
-    pub(crate) sent: HashSet<(String, Tuple)>,
+    /// Outgoing `says`/`anon` tuples already exported, mapped to the detached
+    /// signature they shipped with.  Membership deduplicates asserts; a tuple
+    /// that later disappears from the workspace is withdrawn through the same
+    /// channel as a `Retract` delta carrying the recorded signature, and its
+    /// entry is removed so a re-derivation re-asserts it.
+    pub(crate) sent: HashMap<(String, Tuple), Vec<u8>>,
     pub(crate) available_at: VirtualTime,
     pub(crate) pending_bootstrap: Vec<(String, Tuple)>,
     /// The node's durable fact store, when durability is configured.
     pub(crate) store: Option<FactStore>,
+    /// Set after a local or delivered retraction: the next flush scans `sent`
+    /// for withdrawn exports.  Insert-only transactions never remove `says`
+    /// tuples, so the scan is skipped on the common path.
+    pub(crate) needs_retraction_scan: bool,
+    /// Highest update-stream sequence number seen per sending node, used to
+    /// drop stale duplicates (at-most-once application per delta).
+    pub(crate) last_update_seq_in: HashMap<u32, u64>,
 }
 
 /// A complete simulated SecureBlox deployment.
@@ -217,6 +258,14 @@ pub struct Deployment {
     keystore: KeyStore,
     circuits: Vec<Circuit>,
     exportable: Vec<String>,
+    /// Per-link update-stream sequence counters (sender side).
+    stream_seq: HashMap<(usize, usize), u64>,
+    /// Per-link delivery-time floors: a stream message never arrives before
+    /// its predecessor on the same link (TCP-like FIFO channels).
+    link_floor: HashMap<(usize, usize), VirtualTime>,
+    /// Registered read replicas with per-node WAL cursors (see
+    /// `runtime::replication`).
+    pub(crate) replicas: Vec<ReplicaState>,
 }
 
 impl Deployment {
@@ -332,10 +381,12 @@ impl Deployment {
             nodes.push(NodeState {
                 info: NodeInfo::new(index as u32, spec.principal.clone()),
                 workspace,
-                sent: HashSet::new(),
+                sent: HashMap::new(),
                 available_at: 0,
                 pending_bootstrap: spec.base_facts.clone(),
                 store: None,
+                needs_retraction_scan: false,
+                last_update_seq_in: HashMap::new(),
             });
         }
 
@@ -383,6 +434,9 @@ impl Deployment {
             keystore,
             circuits,
             exportable,
+            stream_seq: HashMap::new(),
+            link_floor: HashMap::new(),
+            replicas: Vec::new(),
         };
         if let Some(durability) = deployment.config.durability.clone() {
             for node in &mut deployment.nodes {
@@ -438,6 +492,13 @@ impl Deployment {
     /// Retract base facts at `principal`'s node: incremental deletion (DRed)
     /// in the workspace, logged to the node's durable store when durability
     /// is enabled so recovery replays the retraction in order.
+    ///
+    /// Retraction is distributed: any previously exported `says$T` /
+    /// `anon_says$T` tuple that the deletion un-derives is withdrawn through
+    /// the same policy-mangled channel as a signed `Retract` delta, so
+    /// running the deployment afterwards (`run`) converges every remote
+    /// fixpoint — and every remote store Merkle root — to the state it would
+    /// have had if the facts had never been asserted.
     pub fn retract(&mut self, principal: &str, batch: Vec<(String, Tuple)>) -> Result<()> {
         let &index = self
             .principal_index
@@ -452,7 +513,26 @@ impl Deployment {
                 .log_retracts(batch.iter().map(|(p, t)| (p.as_str(), t)), finish)
                 .map_err(|e| DatalogError::Eval(format!("durability: {e}")))?;
         }
-        Ok(())
+        self.timing.record_retraction(NodeId(index as u32), finish);
+        self.nodes[index].needs_retraction_scan = true;
+        self.flush_updates(index, finish)
+    }
+
+    /// Inject a raw update-stream payload into the network as if node `from`
+    /// had sent it to node `to` — an adversarial testing hook for forged
+    /// envelopes and replayed streams.  The payload is delivered (and
+    /// scrutinized) by the normal [`MessageKind::Update`] path on the next
+    /// [`Deployment::run`].
+    pub fn inject_message(&mut self, from: usize, to: usize, payload: Vec<u8>) {
+        self.network.send(
+            Message::new(
+                NodeId(from as u32),
+                NodeId(to as u32),
+                MessageKind::Update,
+                payload,
+            ),
+            0,
+        );
     }
 
     /// Run to the distributed fixpoint: no batches pending and no messages in
@@ -493,6 +573,7 @@ impl Deployment {
             total_transactions: self.timing.total_transactions(),
             rejected_batches: self.timing.total_rejections(),
             conflicting_batches: self.timing.total_conflicts(),
+            retractions_applied: self.timing.total_retractions(),
             convergence_times: self
                 .timing
                 .convergence_times()
@@ -521,12 +602,15 @@ impl Deployment {
     // Batch processing and export
     // ------------------------------------------------------------------
 
+    /// Process one incoming batch as a local ACID transaction.  Returns
+    /// whether the batch *committed* — callers use this as channel-level
+    /// evidence that the peer's envelope was accepted by policy.
     fn process_batch(
         &mut self,
         index: usize,
         batch: Vec<(String, Tuple)>,
         arrival: VirtualTime,
-    ) -> Result<()> {
+    ) -> Result<bool> {
         let start_virtual = arrival.max(self.nodes[index].available_at);
         let started = Instant::now();
         let log_batch = match &self.nodes[index].store {
@@ -548,33 +632,86 @@ impl Deployment {
                 }
                 self.timing
                     .record_transaction(NodeId(index as u32), elapsed, finish);
-                self.flush_outbox(index, finish)?;
-                Ok(())
+                self.flush_updates(index, finish)?;
+                Ok(true)
             }
             Err(DatalogError::ConstraintViolation(_)) => {
                 // The paper's semantics: the whole batch (including the input
                 // tuples) rolls back; the sender is not notified.
                 self.timing.record_rejection(NodeId(index as u32), finish);
-                Ok(())
+                Ok(false)
             }
             Err(DatalogError::FunctionalDependency { .. }) => {
                 // Same rollback semantics, but counted separately: this is a
                 // data-level duplicate (e.g. a second composition for an
                 // already-known path entity), not a policy refusing the batch.
                 self.timing.record_conflict(NodeId(index as u32), finish);
-                Ok(())
+                Ok(false)
             }
             Err(other) => Err(other),
         }
     }
 
-    /// Export newly derived `says$T` and anonymity tuples from node `index`.
-    fn flush_outbox(&mut self, index: usize, now: VirtualTime) -> Result<()> {
+    /// Flush node `index`'s update streams: withdraw previously exported
+    /// tuples the workspace no longer derives (as signed `Retract` deltas),
+    /// export newly derived `says$T` / anonymity tuples (as `Assert` deltas),
+    /// and ship one ordered [`UpdateEnvelope`] per destination over a FIFO
+    /// link.
+    fn flush_updates(&mut self, index: usize, now: VirtualTime) -> Result<()> {
         let self_principal = self.nodes[index].info.principal.clone();
         let started = Instant::now();
-        let mut outgoing: Vec<Message> = Vec::new();
+        // Ordered deltas per destination node: retractions first (they refer
+        // to the pre-flush state), then asserts, each in deterministic order.
+        let mut per_dest: BTreeMap<usize, Vec<UpdateDelta>> = BTreeMap::new();
         let mut anon_outgoing: Vec<(usize, Message)> = Vec::new();
 
+        // 1. Withdrawals.  Insert-only transactions never remove `says`
+        //    tuples, so the scan over the export history only runs after a
+        //    retraction touched this node.
+        if self.nodes[index].needs_retraction_scan {
+            self.nodes[index].needs_retraction_scan = false;
+            let node = &self.nodes[index];
+            let mut withdrawn: Vec<(String, Tuple)> = node
+                .sent
+                .keys()
+                .filter(|(pred, tuple)| !node.workspace.contains_fact(pred, tuple))
+                .cloned()
+                .collect();
+            withdrawn.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| tuple_total_cmp(&a.1, &b.1)));
+            for key in withdrawn {
+                let signature = self.nodes[index].sent.remove(&key).unwrap_or_default();
+                let (pred, tuple) = key;
+                if let Some(param) = pred.strip_prefix("says$") {
+                    let Some(to) = tuple.get(1).and_then(|v| v.as_str()) else {
+                        continue;
+                    };
+                    let Some(&dest) = self.principal_index.get(to) else {
+                        continue;
+                    };
+                    per_dest.entry(dest).or_default().push(UpdateDelta {
+                        op: DeltaOp::Retract,
+                        pred: param.to_string(),
+                        tuple,
+                        signature,
+                    });
+                } else if let Some(param) = pred.strip_prefix("anon_says$") {
+                    let Some(to) = tuple.get(1).and_then(|v| v.as_str()).map(String::from) else {
+                        continue;
+                    };
+                    let message =
+                        self.onion_wrap_forward(index, param, &to, &tuple, DeltaOp::Retract)?;
+                    anon_outgoing.push(message);
+                } else if let Some(param) = pred.strip_prefix("anon_says_id_out$") {
+                    if let Some(message) =
+                        self.onion_wrap_backward(index, param, &tuple, DeltaOp::Retract)?
+                    {
+                        anon_outgoing.push(message);
+                    }
+                }
+            }
+        }
+
+        // 2. Assertions.
         let predicate_names = self.nodes[index].workspace.predicate_names();
         for pred in &predicate_names {
             if let Some(param) = pred.strip_prefix("says$") {
@@ -589,33 +726,20 @@ impl Deployment {
                         continue;
                     }
                     let key = (pred.clone(), tuple.clone());
-                    if self.nodes[index].sent.contains(&key) {
+                    if self.nodes[index].sent.contains_key(&key) {
                         continue;
                     }
-                    self.nodes[index].sent.insert(key);
+                    let signature = self.lookup_signature(index, param, &tuple);
+                    self.nodes[index].sent.insert(key, signature.clone());
                     let Some(&dest) = self.principal_index.get(&to) else {
                         continue;
                     };
-                    let signature = self.lookup_signature(index, param, &tuple);
-                    let envelope = SaysEnvelope {
+                    per_dest.entry(dest).or_default().push(UpdateDelta {
+                        op: DeltaOp::Assert,
                         pred: param.to_string(),
                         tuple,
                         signature,
-                    };
-                    let mut payload = envelope.encode();
-                    if self.config.security.enc == EncScheme::Aes128 {
-                        let secret = self
-                            .keystore
-                            .shared_secret(&self_principal, &to)
-                            .map_err(|e| DatalogError::Eval(e.to_string()))?;
-                        payload = aes128_ctr_encrypt(secret, &payload);
-                    }
-                    outgoing.push(Message::new(
-                        NodeId(index as u32),
-                        NodeId(dest as u32),
-                        MessageKind::Says,
-                        payload,
-                    ));
+                    });
                 }
             } else if let Some(param) = pred.strip_prefix("anon_says$") {
                 let tuples = self.nodes[index].workspace.query(pred);
@@ -629,11 +753,12 @@ impl Deployment {
                         continue;
                     }
                     let key = (pred.clone(), tuple.clone());
-                    if self.nodes[index].sent.contains(&key) {
+                    if self.nodes[index].sent.contains_key(&key) {
                         continue;
                     }
-                    self.nodes[index].sent.insert(key);
-                    let message = self.onion_wrap_forward(index, param, &to, &tuple)?;
+                    self.nodes[index].sent.insert(key, Vec::new());
+                    let message =
+                        self.onion_wrap_forward(index, param, &to, &tuple, DeltaOp::Assert)?;
                     anon_outgoing.push(message);
                 }
             } else if let Some(param) = pred.strip_prefix("anon_says_id_out$") {
@@ -643,40 +768,78 @@ impl Deployment {
                         continue;
                     }
                     let key = (pred.clone(), tuple.clone());
-                    if self.nodes[index].sent.contains(&key) {
+                    if self.nodes[index].sent.contains_key(&key) {
                         continue;
                     }
-                    self.nodes[index].sent.insert(key);
-                    if let Some(message) = self.onion_wrap_backward(index, param, &tuple)? {
+                    self.nodes[index].sent.insert(key, Vec::new());
+                    if let Some(message) =
+                        self.onion_wrap_backward(index, param, &tuple, DeltaOp::Assert)?
+                    {
                         anon_outgoing.push(message);
                     }
                 }
             }
         }
 
-        // Export processing (serialization, signature lookup, encryption)
-        // costs real compute; charge it to the node's virtual clock.
+        // 3. Export processing (serialization, signature lookup, encryption)
+        //    costs real compute; charge it to the node's virtual clock, then
+        //    ship one envelope per destination over the FIFO stream.
         let overhead = started.elapsed();
         let send_time = now + overhead.as_nanos() as u64;
         self.nodes[index].available_at = self.nodes[index].available_at.max(send_time);
-        for message in outgoing {
-            self.network.send(message, send_time);
+        for (dest, deltas) in per_dest {
+            let seq = {
+                let counter = self.stream_seq.entry((index, dest)).or_insert(0);
+                *counter += 1;
+                *counter
+            };
+            let envelope = UpdateEnvelope { seq, deltas };
+            let mut payload = envelope.encode();
+            if self.config.security.enc == EncScheme::Aes128 {
+                let to_principal = self.nodes[dest].info.principal.clone();
+                let secret = self
+                    .keystore
+                    .shared_secret(&self_principal, &to_principal)
+                    .map_err(|e| DatalogError::Eval(e.to_string()))?;
+                payload = aes128_ctr_encrypt(secret, &payload);
+            }
+            self.send_fifo(
+                Message::new(
+                    NodeId(index as u32),
+                    NodeId(dest as u32),
+                    MessageKind::Update,
+                    payload,
+                ),
+                send_time,
+            );
         }
         for (_, message) in anon_outgoing {
-            self.network.send(message, send_time);
+            self.send_fifo(message, send_time);
         }
         Ok(())
     }
 
+    /// Send a message on its link's FIFO stream: delivery never precedes the
+    /// previous message on the same (from, to) link.
+    fn send_fifo(&mut self, message: Message, now: VirtualTime) {
+        let link = (message.from.index(), message.to.index());
+        let floor = self.link_floor.get(&link).copied().unwrap_or(0);
+        let delivered = self.network.send_ordered(message, now, floor);
+        self.link_floor.insert(link, delivered);
+    }
+
     /// Find the detached signature for a `says$T` tuple in the corresponding
-    /// `sig$T` relation (empty when the scheme carries no signatures).
-    fn lookup_signature(&self, index: usize, param: &str, says_tuple: &[Value]) -> Vec<u8> {
+    /// `sig$T` relation (empty when the scheme carries no signatures), via a
+    /// secondary index on the tuple prefix — built once, maintained
+    /// incrementally — instead of a linear scan per exported tuple.
+    fn lookup_signature(&mut self, index: usize, param: &str, says_tuple: &[Value]) -> Vec<u8> {
         let sig_pred = format!("sig${param}");
-        let Some(relation) = self.nodes[index].workspace.relation(&sig_pred) else {
-            return Vec::new();
-        };
-        for tuple in relation.iter() {
-            if tuple.len() == says_tuple.len() + 1 && tuple[..says_tuple.len()] == *says_tuple {
+        let cols = column_set(0..says_tuple.len());
+        for tuple in self.nodes[index]
+            .workspace
+            .probe_indexed(&sig_pred, cols, says_tuple)
+        {
+            if tuple.len() == says_tuple.len() + 1 {
                 if let Some(bytes) = tuple[says_tuple.len()].as_bytes() {
                     return bytes.to_vec();
                 }
@@ -696,7 +859,7 @@ impl Deployment {
             .find(|c| c.initiator == initiator && c.endpoint == endpoint_index)
     }
 
-    /// Wrap an `anon_says$T` tuple in onion layers and address it to the
+    /// Wrap an `anon_says$T` delta in onion layers and address it to the
     /// first hop of the initiator's circuit to the destination.
     fn onion_wrap_forward(
         &self,
@@ -704,6 +867,7 @@ impl Deployment {
         param: &str,
         destination: &str,
         tuple: &[Value],
+        op: DeltaOp,
     ) -> Result<(usize, Message)> {
         let circuit = self.circuit_for(index, destination).ok_or_else(|| {
             DatalogError::Eval(format!(
@@ -712,11 +876,17 @@ impl Deployment {
             ))
         })?;
         // The serialized payload omits the initiator: the endpoint can only
-        // name the circuit (paper §6.2).
-        let envelope = SaysEnvelope {
-            pred: param.to_string(),
-            tuple: tuple[2..].to_vec(),
-            signature: Vec::new(),
+        // name the circuit (paper §6.2).  Circuit traffic rides the same
+        // delta envelope as peer streams; the onion layers authenticate it in
+        // place of a detached signature.
+        let envelope = UpdateEnvelope {
+            seq: 0,
+            deltas: vec![UpdateDelta {
+                op,
+                pred: param.to_string(),
+                tuple: tuple[2..].to_vec(),
+                signature: Vec::new(),
+            }],
         };
         let mut body = envelope.encode();
         for key in circuit.keys.iter().rev() {
@@ -735,12 +905,13 @@ impl Deployment {
         ))
     }
 
-    /// Wrap an `anon_says_id_out$T` reply for the backward direction.
+    /// Wrap an `anon_says_id_out$T` reply delta for the backward direction.
     fn onion_wrap_backward(
         &self,
         index: usize,
         param: &str,
         tuple: &[Value],
+        op: DeltaOp,
     ) -> Result<Option<(usize, Message)>> {
         let Some(circuit_id) = tuple[0].as_int() else {
             return Ok(None);
@@ -752,10 +923,14 @@ impl Deployment {
         else {
             return Ok(None);
         };
-        let envelope = SaysEnvelope {
-            pred: param.to_string(),
-            tuple: tuple[1..].to_vec(),
-            signature: Vec::new(),
+        let envelope = UpdateEnvelope {
+            seq: 0,
+            deltas: vec![UpdateDelta {
+                op,
+                pred: param.to_string(),
+                tuple: tuple[1..].to_vec(),
+                signature: Vec::new(),
+            }],
         };
         // The endpoint adds its own layer; each relay will add one more on
         // the way back and the initiator peels them all.
@@ -785,14 +960,18 @@ impl Deployment {
 
     fn deliver(&mut self, message: Message, arrival: VirtualTime) -> Result<()> {
         match message.kind {
-            MessageKind::Says => self.deliver_says(message, arrival),
+            MessageKind::Update => self.deliver_update(message, arrival),
             MessageKind::AnonForward => self.deliver_anon_forward(message, arrival),
             MessageKind::AnonBackward => self.deliver_anon_backward(message, arrival),
             MessageKind::Bootstrap => Ok(()),
         }
     }
 
-    fn deliver_says(&mut self, message: Message, arrival: VirtualTime) -> Result<()> {
+    /// Apply one inbound update-stream envelope: decrypt, decode, drop stale
+    /// duplicates, then apply every delta in order — each `Assert` as its own
+    /// ACID transaction (paper semantics), each `Retract` as a verified
+    /// incremental deletion.
+    fn deliver_update(&mut self, message: Message, arrival: VirtualTime) -> Result<()> {
         let to = message.to.index();
         let from_principal = self.nodes[message.from.index()].info.principal.clone();
         let to_principal = self.nodes[to].info.principal.clone();
@@ -810,21 +989,146 @@ impl Deployment {
                 }
             }
         }
-        let envelope = match SaysEnvelope::decode(&payload) {
+        let envelope = match UpdateEnvelope::decode(&payload) {
             Ok(envelope) => envelope,
             Err(_) => {
                 self.timing.record_rejection(message.to, arrival);
                 return Ok(());
             }
         };
-        let mut batch: Vec<(String, Tuple)> =
-            vec![(format!("says${}", envelope.pred), envelope.tuple.clone())];
-        if !envelope.signature.is_empty() {
-            let mut sig_tuple = envelope.tuple.clone();
-            sig_tuple.push(Value::bytes(envelope.signature.clone()));
-            batch.push((format!("sig${}", envelope.pred), sig_tuple));
+        // At-most-once per delta: links are FIFO, so a sequence number at or
+        // below the highest *accepted* sequence from this sender is a
+        // duplicate of an already applied envelope and is dropped whole.
+        if let Some(&last) = self.nodes[to].last_update_seq_in.get(&message.from.0) {
+            if envelope.seq <= last {
+                return Ok(());
+            }
         }
-        self.process_batch(to, batch, arrival)
+        // The watermark advances below only when some delta produces
+        // policy-accepted evidence (a committed transaction or a
+        // signature-verified retraction).  An envelope of forged deltas —
+        // whatever sequence number it claims — must not be able to mute the
+        // link for the peer's legitimate traffic.
+        let mut accepted = false;
+        for delta in envelope.deltas {
+            let mut batch: Vec<(String, Tuple)> =
+                vec![(format!("says${}", delta.pred), delta.tuple.clone())];
+            if !delta.signature.is_empty() {
+                let mut sig_tuple = delta.tuple.clone();
+                sig_tuple.push(Value::bytes(delta.signature.clone()));
+                batch.push((format!("sig${}", delta.pred), sig_tuple));
+            }
+            match delta.op {
+                DeltaOp::Assert => {
+                    // The receiver's own constraints (signature verification,
+                    // trust, write access) accept or roll back the batch.
+                    if self.process_batch(to, batch, arrival)? {
+                        accepted = true;
+                    }
+                }
+                DeltaOp::Retract => {
+                    // Channel-level checks mirror the datalog-side assert
+                    // constraints: only the principal that said a fact — and
+                    // whose signature still verifies over it — may retract
+                    // it, and only at the addressee.
+                    let authorized = delta.tuple.len() >= 2
+                        && delta.tuple[0].as_str() == Some(from_principal.as_str())
+                        && delta.tuple[1].as_str() == Some(to_principal.as_str())
+                        && self.verify_update_signature(&from_principal, &to_principal, &delta)?;
+                    if !authorized {
+                        self.timing.record_rejection(message.to, arrival);
+                        continue;
+                    }
+                    accepted = true;
+                    self.apply_retraction(to, batch, arrival)?;
+                }
+            }
+        }
+        if accepted {
+            let last = self.nodes[to]
+                .last_update_seq_in
+                .entry(message.from.0)
+                .or_insert(0);
+            *last = (*last).max(envelope.seq);
+        }
+        Ok(())
+    }
+
+    /// Verify a retract delta's detached signature under the deployment's
+    /// authentication scheme — the same coverage the generated `sig$T` rules
+    /// sign: the canonical encoding of the payload columns (after the two
+    /// principal columns).
+    fn verify_update_signature(
+        &self,
+        from_principal: &str,
+        to_principal: &str,
+        delta: &UpdateDelta,
+    ) -> Result<bool> {
+        let payload = serialize_tuple(&delta.tuple[2..]);
+        match self.config.security.auth {
+            AuthScheme::NoAuth => Ok(true),
+            AuthScheme::HmacSha1 => {
+                let secret = self
+                    .keystore
+                    .shared_secret(to_principal, from_principal)
+                    .map_err(|e| DatalogError::Eval(e.to_string()))?;
+                Ok(hmac_sha1_verify(secret, &payload, &delta.signature))
+            }
+            AuthScheme::Rsa => {
+                let public = self
+                    .keystore
+                    .public_key(from_principal)
+                    .map_err(|e| DatalogError::Eval(e.to_string()))?;
+                Ok(public.verify(&payload, &RsaSignature(delta.signature.clone())))
+            }
+        }
+    }
+
+    /// Apply a verified retraction batch at node `index`: DRed in the
+    /// workspace, WAL logging (so recovery replays it in order), timing, and
+    /// onward propagation of cascaded withdrawals through this node's own
+    /// update streams.
+    fn apply_retraction(
+        &mut self,
+        index: usize,
+        batch: Vec<(String, Tuple)>,
+        arrival: VirtualTime,
+    ) -> Result<()> {
+        let start_virtual = arrival.max(self.nodes[index].available_at);
+        let started = Instant::now();
+        let outcome = self.nodes[index].workspace.retract(batch.clone());
+        let elapsed = started.elapsed();
+        let finish = start_virtual + elapsed.as_nanos() as u64;
+        self.nodes[index].available_at = finish;
+        match outcome {
+            Ok(stats) => {
+                if stats.base_deleted == 0 {
+                    // Nothing was stored here (e.g. the assert had been
+                    // rejected); at-most-once means there is nothing to log
+                    // or propagate.
+                    return Ok(());
+                }
+                if let Some(store) = &mut self.nodes[index].store {
+                    store
+                        .log_retracts(batch.iter().map(|(p, t)| (p.as_str(), t)), finish)
+                        .map_err(|e| DatalogError::Eval(format!("durability: {e}")))?;
+                }
+                self.timing.record_retraction(NodeId(index as u32), finish);
+                self.nodes[index].needs_retraction_scan = true;
+                self.flush_updates(index, finish)
+            }
+            Err(DatalogError::ConstraintViolation(_)) => {
+                // Deleting the fact would violate a constraint: the whole
+                // retraction rolls back, mirroring assert-batch semantics.
+                self.timing.record_rejection(NodeId(index as u32), finish);
+                Ok(())
+            }
+            Err(DatalogError::FunctionalDependency { .. }) => {
+                self.timing.record_conflict(NodeId(index as u32), finish);
+                Ok(())
+            }
+            Err(other) => Err(other),
+        }
     }
 
     fn deliver_anon_forward(&mut self, message: Message, arrival: VirtualTime) -> Result<()> {
@@ -845,17 +1149,27 @@ impl Deployment {
         let is_endpoint = (hop as usize) == circuit.relays.len();
         if is_endpoint || circuit.relays.is_empty() && here == circuit.endpoint {
             // Deliver into the endpoint's workspace keyed by the circuit.
-            let envelope = match SaysEnvelope::decode(&peeled) {
+            let envelope = match UpdateEnvelope::decode(&peeled) {
                 Ok(envelope) => envelope,
                 Err(_) => {
                     self.timing.record_rejection(message.to, arrival);
                     return Ok(());
                 }
             };
-            let mut tuple = vec![Value::Int(circuit.id as i64)];
-            tuple.extend(envelope.tuple);
-            let batch = vec![(format!("anon_says_id_in${}", envelope.pred), tuple)];
-            return self.process_batch(here, batch, arrival);
+            for delta in envelope.deltas {
+                let mut tuple = vec![Value::Int(circuit.id as i64)];
+                tuple.extend(delta.tuple);
+                let batch = vec![(format!("anon_says_id_in${}", delta.pred), tuple)];
+                match delta.op {
+                    DeltaOp::Assert => {
+                        self.process_batch(here, batch, arrival)?;
+                    }
+                    // The onion layers already authenticate circuit traffic;
+                    // a withdrawal needs no detached signature.
+                    DeltaOp::Retract => self.apply_retraction(here, batch, arrival)?,
+                }
+            }
+            return Ok(());
         }
         // Relay: forward the peeled cell to the next hop.
         let next_hop_index = hop as usize + 1;
@@ -872,7 +1186,7 @@ impl Deployment {
         );
         let send_at = arrival.max(self.nodes[here].available_at);
         self.nodes[here].available_at = send_at;
-        self.network.send(forward, send_at);
+        self.send_fifo(forward, send_at);
         Ok(())
     }
 
@@ -899,15 +1213,23 @@ impl Deployment {
                     }
                 }
             }
-            let envelope = match SaysEnvelope::decode(&plain) {
+            let envelope = match UpdateEnvelope::decode(&plain) {
                 Ok(envelope) => envelope,
                 Err(_) => {
                     self.timing.record_rejection(message.to, arrival);
                     return Ok(());
                 }
             };
-            let batch = vec![(format!("anon_reply${}", envelope.pred), envelope.tuple)];
-            return self.process_batch(here, batch, arrival);
+            for delta in envelope.deltas {
+                let batch = vec![(format!("anon_reply${}", delta.pred), delta.tuple)];
+                match delta.op {
+                    DeltaOp::Assert => {
+                        self.process_batch(here, batch, arrival)?;
+                    }
+                    DeltaOp::Retract => self.apply_retraction(here, batch, arrival)?,
+                }
+            }
+            return Ok(());
         }
         // Relay: add this hop's layer and forward towards the initiator.
         let key = circuit.keys.get(hop as usize).cloned().unwrap_or_default();
@@ -925,7 +1247,7 @@ impl Deployment {
         );
         let send_at = arrival.max(self.nodes[here].available_at);
         self.nodes[here].available_at = send_at;
-        self.network.send(forward, send_at);
+        self.send_fifo(forward, send_at);
         Ok(())
     }
 }
@@ -1078,17 +1400,21 @@ mod tests {
         let mut deployment = Deployment::build(GOSSIP_APP, &two_node_specs(), config).unwrap();
         // Forge a message from n1 to n0 with a bad tag by injecting it
         // directly into the network.
-        let envelope = SaysEnvelope {
-            pred: "remote_link".into(),
-            tuple: vec![
-                Value::str("n1"),
-                Value::str("n0"),
-                Value::str("evil"),
-                Value::str("evil2"),
-            ],
-            signature: vec![0u8; 20],
+        let envelope = UpdateEnvelope {
+            seq: 0,
+            deltas: vec![UpdateDelta {
+                op: DeltaOp::Assert,
+                pred: "remote_link".into(),
+                tuple: vec![
+                    Value::str("n1"),
+                    Value::str("n0"),
+                    Value::str("evil"),
+                    Value::str("evil2"),
+                ],
+                signature: vec![0u8; 20],
+            }],
         };
-        let forged = Message::new(NodeId(1), NodeId(0), MessageKind::Says, envelope.encode());
+        let forged = Message::new(NodeId(1), NodeId(0), MessageKind::Update, envelope.encode());
         deployment.network.send(forged, 0);
         let report = deployment.run().unwrap();
         assert!(report.rejected_batches >= 1);

@@ -1,12 +1,16 @@
-//! The SecureBlox distributed runtime: tuple serialization, cryptographic
-//! user-defined functions, and the simulated distributed query processor.
+//! The SecureBlox distributed runtime: tuple serialization, the
+//! authenticated update-stream envelope, cryptographic user-defined
+//! functions, the simulated distributed query processor, and multi-replica
+//! durability fan-out.
 
 pub mod codec;
 pub mod durable;
 pub mod engine;
+pub mod replication;
 pub mod udfs;
 
-pub use codec::{deserialize_tuple, serialize_tuple, SaysEnvelope};
+pub use codec::{deserialize_tuple, serialize_tuple, DeltaOp, UpdateDelta, UpdateEnvelope};
 pub use durable::{CheckpointInfo, DurabilityError};
 pub use engine::{CircuitSpec, Deployment, DeploymentConfig, DeploymentReport, NodeSpec};
+pub use replication::{ReplicaState, ReplicaSyncReport};
 pub use udfs::register_crypto_udfs;

@@ -215,7 +215,7 @@ pub fn check_constraints_incremental_planned(
                 Some((&lhs_plan, &rhs_plan)),
                 Some(DeltaRestriction {
                     literal_index,
-                    delta: pred_delta,
+                    delta: pred_delta.into(),
                 }),
                 Some(stats),
             )?;
@@ -260,7 +260,7 @@ pub fn check_constraints_incremental(
                 None,
                 Some(DeltaRestriction {
                     literal_index,
-                    delta: pred_delta,
+                    delta: pred_delta.into(),
                 }),
                 None,
             )?;

@@ -6,7 +6,7 @@
 
 use super::bindings::{eval_term, Bindings};
 use super::exec::{self, EvalOptions};
-use super::join::{DeltaRestriction, JoinContext};
+use super::join::{DeltaRestriction, DeltaTuples, JoinContext};
 use super::plan::{PlanStats, RulePlan};
 use super::runtime_pred_name;
 use crate::ast::{AggFunc, Rule, Term};
@@ -83,7 +83,7 @@ pub(crate) fn evaluate_agg_rule_exec(
                 }
                 let restriction = Some(DeltaRestriction {
                     literal_index: drive,
-                    delta: shard,
+                    delta: DeltaTuples::Shard(shard),
                 });
                 fold_groups(
                     rule,

@@ -14,7 +14,7 @@
 //! Only the cheap existence probe stays serial — it aborts at the first
 //! solution, so there is no work to partition.
 
-use super::join::{DeltaRestriction, JoinContext};
+use super::join::{DeltaRestriction, DeltaTuples, JoinContext};
 use super::runtime_pred_name;
 use super::seminaive::Evaluator;
 use crate::ast::{Literal, Rule};
@@ -115,7 +115,7 @@ impl<'a> Evaluator<'a> {
                     let mut touched = false;
                     let restriction = DeltaRestriction {
                         literal_index,
-                        delta: pred_deleted,
+                        delta: DeltaTuples::Set(pred_deleted),
                     };
                     let mut stop_at_first = |_: &super::bindings::Bindings| {
                         touched = true;

@@ -5,7 +5,10 @@
 //! hash-partitions the driving tuple set of a rule execution — the semi-naïve
 //! delta, DRed's deleted-tuple frontier, or (for the initial naïve round and
 //! aggregate recomputation) the extension of the plan's first stored-relation
-//! literal — across `W` workers.  Each worker runs the ordinary planned join
+//! literal — across `W` workers.  A shard is a vector of *borrowed* tuple
+//! references into the driving set, so partitioning costs pointer pushes, not
+//! a per-execution deep copy into per-shard sets.  Each worker runs the
+//! ordinary planned join
 //! executor over its shard against *shared read-only* relation views (indexes
 //! are built single-threaded before the workers spawn; workers only probe),
 //! and the per-worker tuple buffers are merged deterministically by a sorted
@@ -34,7 +37,7 @@ use crate::relation::Relation;
 use crate::schema::BUILTIN_TYPES;
 use crate::udf::UdfRegistry;
 use crate::value::{Tuple, Value};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::OnceLock;
 
@@ -148,14 +151,18 @@ pub(crate) fn shard_of(tuple: &[Value], workers: usize) -> usize {
     (hasher.finish() % workers as u64) as usize
 }
 
-/// Hash-partition `tuples` into `workers` disjoint shards.
+/// Hash-partition `tuples` into `workers` disjoint shards of *borrowed*
+/// tuple references.  The shards alias the driving set (a delta or a relation
+/// arena) directly — no per-execution clone of the tuples into per-shard
+/// `HashSet`s, which used to dominate the partitioning cost: a shard is just
+/// a vector of pointers, and the worker enumerates it as a slice.
 pub(crate) fn partition<'a>(
     tuples: impl IntoIterator<Item = &'a Tuple>,
     workers: usize,
-) -> Vec<HashSet<Tuple>> {
-    let mut shards: Vec<HashSet<Tuple>> = (0..workers).map(|_| HashSet::new()).collect();
+) -> Vec<Vec<&'a Tuple>> {
+    let mut shards: Vec<Vec<&'a Tuple>> = (0..workers).map(|_| Vec::new()).collect();
     for tuple in tuples {
-        shards[shard_of(tuple, workers)].insert(tuple.clone());
+        shards[shard_of(tuple, workers)].push(tuple);
     }
     shards
 }
@@ -163,10 +170,10 @@ pub(crate) fn partition<'a>(
 /// Run `worker` over every non-empty shard on its own scoped thread and
 /// collect the results in shard order.  Errors are reported from the lowest
 /// shard index so failure is as deterministic as the partition itself.
-pub(crate) fn run_shards<T, F>(shards: &[HashSet<Tuple>], worker: F) -> Result<Vec<T>>
+pub(crate) fn run_shards<'a, T, F>(shards: &[Vec<&'a Tuple>], worker: F) -> Result<Vec<T>>
 where
     T: Send,
-    F: Fn(&HashSet<Tuple>) -> Result<T> + Sync,
+    F: Fn(&[&'a Tuple]) -> Result<T> + Sync,
 {
     let results: Vec<Result<T>> = std::thread::scope(|scope| {
         let handles: Vec<_> = shards
@@ -248,14 +255,15 @@ pub(crate) fn project_heads(
 /// the driving literal and hash-partition its relation's extension, or
 /// return `None` when the pool is disabled, the body has no stored literal,
 /// or the relation is under the threshold.  Shared by rule and aggregate
-/// execution so the two can never shard under different policies.
-pub(crate) fn shard_driving_relation(
+/// execution so the two can never shard under different policies.  The
+/// shards borrow straight out of the relation arena.
+pub(crate) fn shard_driving_relation<'a>(
     body: &[Literal],
     plan: Option<&RulePlan>,
-    relations: &HashMap<String, Relation>,
+    relations: &'a HashMap<String, Relation>,
     udfs: &UdfRegistry,
     options: &EvalOptions,
-) -> Option<(usize, Vec<HashSet<Tuple>>)> {
+) -> Option<(usize, Vec<Vec<&'a Tuple>>)> {
     if !options.parallel_enabled() {
         return None;
     }
@@ -331,8 +339,17 @@ mod tests {
             let total: usize = shards.iter().map(|s| s.len()).sum();
             assert_eq!(total, tuples.len(), "shards must partition the input");
             for tuple in &tuples {
-                let holders = shards.iter().filter(|s| s.contains(tuple)).count();
+                let holders = shards
+                    .iter()
+                    .filter(|s| s.iter().any(|held| *held == tuple))
+                    .count();
                 assert_eq!(holders, 1, "each tuple lives in exactly one shard");
+            }
+            // Shards borrow the input: no tuple is cloned by partitioning.
+            for shard in &shards {
+                for &held in shard {
+                    assert!(tuples.iter().any(|original| std::ptr::eq(original, held)));
+                }
             }
         }
     }
@@ -368,11 +385,9 @@ mod tests {
 
     #[test]
     fn run_shards_skips_empty_and_propagates_first_error() {
-        let shards = vec![
-            [t(&[1])].into_iter().collect::<HashSet<Tuple>>(),
-            HashSet::new(),
-            [t(&[2]), t(&[3])].into_iter().collect(),
-        ];
+        let owned = [t(&[1]), t(&[2]), t(&[3])];
+        let shards: Vec<Vec<&Tuple>> =
+            vec![vec![&owned[0]], Vec::new(), vec![&owned[1], &owned[2]]];
         let sizes = run_shards(&shards, |shard| Ok(shard.len())).unwrap();
         assert_eq!(sizes, vec![1, 2], "empty shard spawned no worker");
 

@@ -16,7 +16,7 @@
 use super::aggregate::evaluate_agg_rule_exec;
 use super::bindings::Bindings;
 use super::exec;
-use super::join::{DeltaRestriction, JoinContext};
+use super::join::{DeltaRestriction, DeltaTuples, JoinContext};
 use super::plan::{PlanCache, PlanKey, PlanStats, RulePlan};
 use super::runtime_pred_name;
 use super::EvalConfig;
@@ -177,7 +177,7 @@ impl<'a> Evaluator<'a> {
         let mut bindings = Bindings::new();
         let restriction = delta.map(|(index, tuples)| DeltaRestriction {
             literal_index: index,
-            delta: tuples,
+            delta: DeltaTuples::Set(tuples),
         });
         match &plan {
             Some(plan) => {
@@ -269,7 +269,7 @@ impl<'a> Evaluator<'a> {
             let ctx = JoinContext::with_stats(relations, self.udfs, stats);
             let restriction = Some(DeltaRestriction {
                 literal_index: drive,
-                delta: shard,
+                delta: DeltaTuples::Shard(shard),
             });
             let mut derived: Vec<(String, Tuple)> = Vec::new();
             let mut bindings = Bindings::new();
@@ -306,7 +306,7 @@ impl<'a> Evaluator<'a> {
         let ctx = JoinContext::new(self.relations, self.udfs);
         let restriction = delta.map(|(index, tuples)| DeltaRestriction {
             literal_index: index,
-            delta: tuples,
+            delta: DeltaTuples::Set(tuples),
         });
         let mut serial: Vec<(String, Tuple)> = Vec::new();
         let mut bindings = Bindings::new();

@@ -58,7 +58,7 @@ pub use codec::{deserialize_tuple, serialize_tuple};
 pub use error::{DatalogError, Result};
 pub use eval::{EvalConfig, EvalOptions, PlanStatsSnapshot};
 pub use parser::{parse_program, parse_rule};
-pub use relation::Relation;
+pub use relation::{column_set, ColumnSet, Relation};
 pub use schema::{PredicateDecl, PredicateKind, Schema};
 pub use udf::{UdfRegistry, UdfRows};
 pub use value::{Tuple, Value};

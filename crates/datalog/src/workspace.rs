@@ -318,6 +318,30 @@ impl Workspace {
         self.relations.get(pred)
     }
 
+    /// Probe `pred` on a secondary index over the columns of `cols`, building
+    /// the index on first use (it is maintained incrementally afterwards).
+    /// Returns every stored tuple whose projection onto `cols` equals `key`
+    /// — the distributed runtime uses this to find the detached signature of
+    /// an exported tuple without scanning the whole signature relation.
+    pub fn probe_indexed(
+        &mut self,
+        pred: &str,
+        cols: crate::relation::ColumnSet,
+        key: &[Value],
+    ) -> Vec<Tuple> {
+        let Some(relation) = self.relations.get_mut(pred) else {
+            return Vec::new();
+        };
+        relation.ensure_index(cols);
+        match relation.probe(cols, key) {
+            Some(ids) => ids
+                .iter()
+                .map(|&id| relation.tuple_by_id(id).clone())
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
     /// Remove every tuple of a predicate without touching derived data (used
     /// for transient outbox predicates such as `export`).
     pub fn clear_relation(&mut self, pred: &str) {

@@ -20,8 +20,10 @@ pub struct Message {
 /// Logical channel of a message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MessageKind {
-    /// An authenticated (and possibly encrypted) batch of `says` tuples.
-    Says,
+    /// An authenticated (and possibly encrypted) ordered batch of
+    /// assert/retract deltas — the unified update stream carrying both newly
+    /// derived and withdrawn `says` tuples.
+    Update,
     /// An onion-wrapped anonymity-circuit cell travelling forward.
     AnonForward,
     /// An onion-wrapped anonymity-circuit cell travelling backward.
@@ -57,7 +59,7 @@ mod tests {
 
     #[test]
     fn wire_size_includes_header() {
-        let msg = Message::new(NodeId(0), NodeId(1), MessageKind::Says, vec![0u8; 100]);
+        let msg = Message::new(NodeId(0), NodeId(1), MessageKind::Update, vec![0u8; 100]);
         assert_eq!(msg.wire_size(), 100 + HEADER_OVERHEAD_BYTES);
         let empty = Message::new(NodeId(0), NodeId(1), MessageKind::Bootstrap, Vec::new());
         assert_eq!(empty.wire_size(), HEADER_OVERHEAD_BYTES);

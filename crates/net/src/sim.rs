@@ -82,8 +82,23 @@ impl SimNetwork {
     /// Send a message at virtual time `now`; it will be delivered after the
     /// modelled latency.  Traffic is recorded against both endpoints.
     pub fn send(&mut self, message: Message, now: VirtualTime) -> VirtualTime {
+        self.send_ordered(message, now, 0)
+    }
+
+    /// Send a message whose delivery must not precede `floor` — the FIFO
+    /// guarantee of a stream-shaped channel.  The update-stream runtime keeps
+    /// a per-link floor at the previous message's delivery time so an ordered
+    /// delta stream can never be reordered by a smaller message overtaking a
+    /// larger one (deliveries at equal times stay FIFO by send sequence).
+    /// Returns the scheduled delivery time, which is the caller's next floor.
+    pub fn send_ordered(
+        &mut self,
+        message: Message,
+        now: VirtualTime,
+        floor: VirtualTime,
+    ) -> VirtualTime {
         let wire_size = message.wire_size();
-        let deliver_at = now + self.latency.delay(wire_size).as_nanos() as u64;
+        let deliver_at = (now + self.latency.delay(wire_size).as_nanos() as u64).max(floor);
         self.stats
             .record_send(message.from, message.to, wire_size, message.kind);
         self.sequence += 1;
@@ -152,10 +167,10 @@ mod tests {
         let a = Message::new(
             NodeId(0),
             NodeId(1),
-            MessageKind::Says,
+            MessageKind::Update,
             vec![0u8; 10_000_000],
         );
-        let b = Message::new(NodeId(1), NodeId(2), MessageKind::Says, vec![0u8; 10]);
+        let b = Message::new(NodeId(1), NodeId(2), MessageKind::Update, vec![0u8; 10]);
         network.send(a.clone(), 0);
         network.send(b.clone(), 0);
         // The small message overtakes the large one despite being sent second.
@@ -172,7 +187,7 @@ mod tests {
         let mut network = SimNetwork::new(2, LatencyModel::default());
         for i in 0..5u8 {
             network.send(
-                Message::new(NodeId(0), NodeId(1), MessageKind::Says, vec![i]),
+                Message::new(NodeId(0), NodeId(1), MessageKind::Update, vec![i]),
                 0,
             );
         }
@@ -184,10 +199,31 @@ mod tests {
     }
 
     #[test]
+    fn ordered_send_respects_the_floor() {
+        let mut network = SimNetwork::new(2, LatencyModel::default());
+        // A huge message followed by a tiny one on the same link: with plain
+        // send the tiny one would overtake; the floor keeps the stream FIFO.
+        let big = Message::new(
+            NodeId(0),
+            NodeId(1),
+            MessageKind::Update,
+            vec![0u8; 10_000_000],
+        );
+        let small = Message::new(NodeId(0), NodeId(1), MessageKind::Update, vec![1u8]);
+        let first_at = network.send_ordered(big.clone(), 0, 0);
+        let second_at = network.send_ordered(small.clone(), 0, first_at);
+        assert!(second_at >= first_at);
+        let (_, first) = network.next_delivery().unwrap();
+        let (_, second) = network.next_delivery().unwrap();
+        assert_eq!(first, big, "stream order preserved");
+        assert_eq!(second, small);
+    }
+
+    #[test]
     fn stats_track_bytes() {
         let mut network = SimNetwork::new(2, LatencyModel::default());
         network.send(
-            Message::new(NodeId(0), NodeId(1), MessageKind::Says, vec![0u8; 52]),
+            Message::new(NodeId(0), NodeId(1), MessageKind::Update, vec![0u8; 52]),
             0,
         );
         let stats = network.stats();

@@ -111,6 +111,8 @@ pub struct TimingStats {
     /// Batches rolled back by functional-dependency conflicts (e.g. duplicate
     /// advertisements of the same path entity), per node.
     conflicting_batches: Vec<usize>,
+    /// Retraction deltas applied (verified and DRed-maintained), per node.
+    retractions_applied: Vec<usize>,
 }
 
 impl TimingStats {
@@ -122,6 +124,7 @@ impl TimingStats {
             completion_times: vec![Vec::new(); nodes],
             rejected_batches: vec![0; nodes],
             conflicting_batches: vec![0; nodes],
+            retractions_applied: vec![0; nodes],
         }
     }
 
@@ -154,6 +157,13 @@ impl TimingStats {
         self.last_activity[node.index()] = self.last_activity[node.index()].max(finished_at);
     }
 
+    /// Record a retraction delta applied on `node`: the signature verified,
+    /// the facts were deleted, and derived state was DRed-maintained.
+    pub fn record_retraction(&mut self, node: NodeId, finished_at: VirtualTime) {
+        self.retractions_applied[node.index()] += 1;
+        self.last_activity[node.index()] = self.last_activity[node.index()].max(finished_at);
+    }
+
     /// Average transaction duration across all nodes (Figure 7).
     pub fn average_transaction_duration(&self) -> Duration {
         let all: Vec<Duration> = self
@@ -181,6 +191,11 @@ impl TimingStats {
     /// Number of functional-dependency-conflicting batches across all nodes.
     pub fn total_conflicts(&self) -> usize {
         self.conflicting_batches.iter().sum()
+    }
+
+    /// Number of retraction deltas applied across all nodes.
+    pub fn total_retractions(&self) -> usize {
+        self.retractions_applied.iter().sum()
     }
 
     /// The virtual time at which the distributed fixpoint was reached
@@ -223,13 +238,13 @@ mod tests {
     #[test]
     fn traffic_accounting() {
         let mut stats = NetworkStats::new(2);
-        stats.record_send(NodeId(0), NodeId(1), 1024, MessageKind::Says);
-        stats.record_send(NodeId(1), NodeId(0), 2048, MessageKind::Says);
+        stats.record_send(NodeId(0), NodeId(1), 1024, MessageKind::Update);
+        stats.record_send(NodeId(1), NodeId(0), 2048, MessageKind::Update);
         assert_eq!(stats.node(NodeId(0)).bytes_sent, 1024);
         assert_eq!(stats.node(NodeId(0)).bytes_received, 2048);
         assert_eq!(stats.total_bytes(), 3072);
         assert!((stats.average_per_node_kb() - 1.5).abs() < 1e-9);
-        assert_eq!(stats.bytes_for_kind(MessageKind::Says), 3072);
+        assert_eq!(stats.bytes_for_kind(MessageKind::Update), 3072);
         assert_eq!(stats.bytes_for_kind(MessageKind::AnonForward), 0);
     }
 
@@ -241,15 +256,17 @@ mod tests {
         timing.record_transaction(NodeId(1), Duration::from_millis(20), 9_000);
         timing.record_rejection(NodeId(2), 2_000);
         timing.record_conflict(NodeId(0), 500);
+        timing.record_retraction(NodeId(1), 9_500);
         assert_eq!(timing.total_transactions(), 3);
         assert_eq!(timing.total_rejections(), 1);
         assert_eq!(timing.total_conflicts(), 1);
+        assert_eq!(timing.total_retractions(), 1);
         assert_eq!(
             timing.average_transaction_duration(),
             Duration::from_millis(20)
         );
-        assert_eq!(timing.fixpoint_time(), 9_000);
-        assert_eq!(timing.convergence_times(), &[1_000, 9_000, 2_000]);
+        assert_eq!(timing.fixpoint_time(), 9_500);
+        assert_eq!(timing.convergence_times(), &[1_000, 9_500, 2_000]);
     }
 
     #[test]

@@ -11,7 +11,7 @@ use std::collections::BTreeMap;
 use std::time::Duration;
 
 const KINDS: [MessageKind; 4] = [
-    MessageKind::Says,
+    MessageKind::Update,
     MessageKind::AnonForward,
     MessageKind::AnonBackward,
     MessageKind::Bootstrap,

@@ -38,6 +38,11 @@ pub enum StoreError {
     RootMismatch { expected: String, actual: String },
     /// A failure surfaced by the Datalog engine while replaying facts.
     Replay(String),
+    /// A replica holds a record at a WAL position whose content differs from
+    /// the master's — local appends consumed sequence numbers the master
+    /// later used.  Shipping the suffix would silently diverge the replica,
+    /// so synchronization refuses instead.
+    ReplicaDiverged { seq: u64 },
 }
 
 impl fmt::Display for StoreError {
@@ -74,6 +79,13 @@ impl fmt::Display for StoreError {
                 "recovered state commits to Merkle root {actual}, snapshot committed {expected}"
             ),
             StoreError::Replay(message) => write!(f, "replay failed: {message}"),
+            StoreError::ReplicaDiverged { seq } => {
+                write!(
+                    f,
+                    "replica WAL diverged from the master at sequence {seq} (conflicting local \
+                     appends); re-seed the replica from a snapshot"
+                )
+            }
         }
     }
 }

@@ -264,6 +264,13 @@ impl FactStore {
         Ok(())
     }
 
+    /// Flush appended WAL records to the operating system (a no-op when
+    /// every batch already flushes).  Replication reads the log file from
+    /// disk, so it flushes before shipping a suffix.
+    pub fn flush(&mut self) -> Result<()> {
+        self.wal.flush()
+    }
+
     /// The Merkle root committing the current base-fact state, computed
     /// without writing anything.
     pub fn base_root(&self) -> [u8; HASH_LEN] {

@@ -146,10 +146,48 @@ proptest! {
         master.log_inserts(facts.iter().map(|(p, t)| (p.as_str(), t)), 1).unwrap();
         let info = master.checkpoint(1).unwrap();
 
-        sync_store(&master_dir, &replica_dir).unwrap();
+        sync_store(&master_dir, &replica_dir, &key).unwrap();
         let replica = FactStore::open(&replica_dir, &key).unwrap();
         prop_assert_eq!(replica.base_facts(), master.base_facts());
         prop_assert_eq!(replica.base_root(), info.root);
         prop_assert_eq!(replica.snapshot().unwrap().manifest_id.clone(), info.manifest_id);
+    }
+
+    /// WAL-suffix catch-up equivalence: a replica kept up to date through
+    /// incremental suffix syncs holds exactly the state a fresh replica gets
+    /// from a full snapshot transfer of the master's final state.
+    #[test]
+    fn suffix_sync_equals_full_snapshot_sync(facts in arb_facts(10),
+                                             late in arb_facts(6),
+                                             retract_first in any::<bool>()) {
+        let master_dir = fresh_dir("sufm");
+        let incremental_dir = fresh_dir("sufi");
+        let full_dir = fresh_dir("suff");
+        let key = derive_node_key(5, "n0");
+        let mut master = FactStore::open(&master_dir, &key).unwrap();
+        master.log_inserts(facts.iter().map(|(p, t)| (p.as_str(), t)), 1).unwrap();
+        master.checkpoint(1).unwrap();
+        // Incremental replica tracks the snapshot...
+        sync_store(&master_dir, &incremental_dir, &key).unwrap();
+        // ...then the master keeps mutating: appends, and possibly a
+        // retraction of an original fact.
+        master.log_inserts(late.iter().map(|(p, t)| (p.as_str(), t)), 2).unwrap();
+        if retract_first {
+            if let Some((pred, tuple)) = facts.first() {
+                master.log_retracts([(pred.as_str(), tuple)], 3).unwrap();
+            }
+        }
+        let stats = sync_store(&master_dir, &incremental_dir, &key).unwrap();
+        prop_assert_eq!(stats.copied, 0);
+
+        // A fresh replica gets the same state via a full snapshot transfer.
+        master.checkpoint(4).unwrap();
+        sync_store(&master_dir, &full_dir, &key).unwrap();
+
+        let incremental = FactStore::open(&incremental_dir, &key).unwrap();
+        let full = FactStore::open(&full_dir, &key).unwrap();
+        prop_assert_eq!(incremental.base_facts(), full.base_facts());
+        prop_assert_eq!(incremental.base_root(), full.base_root());
+        prop_assert_eq!(incremental.base_facts(), master.base_facts());
     }
 }

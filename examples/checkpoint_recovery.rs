@@ -102,11 +102,11 @@ fn main() {
     assert!(matches);
 
     println!("\n== 4. replicate: copy missing objects, swap HEAD, recover replica ==");
-    let stats = sync_deployment(&master_dir, &replica_dir).unwrap();
+    let stats = sync_deployment(&master_dir, &replica_dir, 1).unwrap();
     for (node, s) in &stats {
         println!(
-            "   {node}: copied {} objects, {} already present",
-            s.copied, s.skipped
+            "   {node}: copied {} objects, {} already present, {} WAL records shipped",
+            s.copied, s.skipped, s.wal_records
         );
     }
     let replica = Deployment::recover(&replica_dir, APP, &specs(), config(&replica_dir)).unwrap();

@@ -1,4 +1,8 @@
-//! The authenticated path-vector routing protocol (paper §7.1 / §8.1).
+//! The authenticated path-vector routing protocol (paper §7.1 / §8.1), plus
+//! a route-withdrawal scene showcasing distributed retraction: a link fails,
+//! both endpoints retract their advertisements, signed `Retract` deltas
+//! propagate through the `says` channels, and the network re-converges on
+//! the surviving topology.
 //!
 //! Run with:
 //! ```text
@@ -34,18 +38,52 @@ fn main() {
         "running the path-vector protocol on {nodes} simulated nodes with {}",
         config.security.label()
     );
-    let outcome = pathvector::run(&config).expect("path-vector run failed");
+    let mut deployment = pathvector::build_deployment(&config).expect("build failed");
+    let report = deployment.run().expect("path-vector run failed");
+    let routes_to_zero = |deployment: &secureblox::runtime::Deployment| {
+        (1..nodes)
+            .filter(|&i| {
+                deployment
+                    .query(&pathvector::principal_name(i), "bestcost")
+                    .iter()
+                    .any(|t| t.get(1).and_then(|v| v.as_str()) == Some("n0"))
+            })
+            .count()
+    };
     println!(
         "fixpoint latency {:?}, avg transaction {:?}, per-node overhead {:.1} KB",
-        outcome.report.fixpoint_latency,
-        outcome.report.average_transaction,
-        outcome.report.per_node_kb
+        report.fixpoint_latency, report.average_transaction, report.per_node_kb
     );
     println!(
-        "{} of {} nodes found a route to n0; {} best-cost entries in total; {} rejected batches",
-        outcome.nodes_with_route_to_zero,
+        "{} of {} nodes found a route to n0; {} rejected batches",
+        routes_to_zero(&deployment),
         nodes - 1,
-        outcome.best_cost_entries,
-        outcome.report.rejected_batches
+        report.rejected_batches
     );
+
+    // Route withdrawal: fail the ring link n0–n1.  Both endpoints retract
+    // the link; DRed removes every path composed over it; the withdrawals
+    // ship as signed Retract deltas and the network re-converges (the ring
+    // guarantees an alternative route the long way around).
+    println!("\nlink n0-n1 fails: withdrawing the advertisement on both endpoints");
+    pathvector::withdraw_link(&mut deployment, 0, 1).expect("withdrawal failed");
+    let after = deployment.run().expect("re-convergence failed");
+    println!(
+        "re-converged: {} retraction deltas applied across the network",
+        after.retractions_applied
+    );
+    println!(
+        "{} of {} nodes still reach n0 over surviving links",
+        routes_to_zero(&deployment),
+        nodes - 1
+    );
+    let n1_best = deployment.query(&pathvector::principal_name(1), "bestcost");
+    let n1_to_n0 = n1_best
+        .iter()
+        .find(|t| t.get(1).and_then(|v| v.as_str()) == Some("n0"))
+        .and_then(|t| t.get(2).and_then(|v| v.as_int()));
+    match n1_to_n0 {
+        Some(cost) => println!("n1 now reaches n0 at cost {cost} (was 1 before the failure)"),
+        None => println!("n1 has no remaining route to n0"),
+    }
 }

@@ -1,6 +1,9 @@
-//! Integration tests of the anonymity constructs (paper §6.2, §7.3).
+//! Integration tests of the anonymity constructs (paper §6.2, §7.3),
+//! including retraction over onion circuits: withdrawals ride the same
+//! delta envelope as assertions, wrapped in the same onion layers.
 
-use secureblox::apps::anonjoin::{self, AnonJoinConfig};
+use secureblox::apps::anonjoin::{self, AnonJoinConfig, INITIATOR, OWNER};
+use secureblox::Value;
 
 #[test]
 fn anonymous_join_is_correct_and_anonymous() {
@@ -38,4 +41,57 @@ fn longer_circuits_cost_more_bandwidth() {
         long.report.per_node_kb * long.report.num_nodes as f64
             > short.report.per_node_kb * short.report.num_nodes as f64
     );
+}
+
+#[test]
+fn retraction_propagates_through_the_circuit_both_ways() {
+    // Forward: the initiator retracting an interest withdraws the anonymous
+    // request at the owner.  Backward: the owner retracting a public row
+    // withdraws the reply at the initiator.  Both travel as Retract deltas
+    // inside ordinary onion cells.
+    let config = AnonJoinConfig {
+        num_relays: 2,
+        public_rows: 40,
+        interest_rows: 4,
+        ..AnonJoinConfig::default()
+    };
+    let mut deployment = anonjoin::build_deployment(&config).unwrap();
+    deployment.run().unwrap();
+    let replies_before = deployment.query(INITIATOR, "anon_reply$publicdata").len();
+    assert!(replies_before > 0);
+
+    // Backward direction: the owner withdraws the public row with key 0
+    // (which matches alice's interest 0), so her reply must disappear.
+    deployment
+        .retract(
+            OWNER,
+            vec![("publicdata".into(), vec![Value::Int(0), Value::Int(1000)])],
+        )
+        .unwrap();
+    let report = deployment.run().unwrap();
+    assert!(report.retractions_applied > 0, "{report:?}");
+    let replies = deployment.query(INITIATOR, "anon_reply$publicdata");
+    assert_eq!(replies.len(), replies_before - 1, "{replies:?}");
+    assert!(!replies.contains(&vec![Value::Int(0), Value::Int(1000)]));
+
+    // Forward direction: alice withdraws the interest with key 3; the
+    // owner's stored anonymous request for its hash must disappear.
+    let requests_before = deployment
+        .query(OWNER, "anon_says_id_in$req_publicdata")
+        .len();
+    deployment
+        .retract(
+            INITIATOR,
+            vec![("interests".into(), vec![Value::Int(3), Value::Int(1)])],
+        )
+        .unwrap();
+    deployment.run().unwrap();
+    let requests_after = deployment
+        .query(OWNER, "anon_says_id_in$req_publicdata")
+        .len();
+    assert_eq!(requests_after, requests_before - 1);
+    // And the reply that request produced is withdrawn from alice in turn.
+    let replies = deployment.query(INITIATOR, "anon_reply$publicdata");
+    assert!(!replies.contains(&vec![Value::Int(3), Value::Int(1003)]));
+    assert_eq!(replies.len(), replies_before - 2);
 }

@@ -315,7 +315,7 @@ fn synced_replica_answers_identical_queries() {
     let checkpoints = master.checkpoint().unwrap();
     let queries = all_queries(&master);
 
-    let stats = sync_deployment(&master_dir, &replica_dir).unwrap();
+    let stats = sync_deployment(&master_dir, &replica_dir, 1).unwrap();
     assert_eq!(stats.len(), 3);
     assert!(stats.iter().all(|(_, s)| s.copied > 0));
 
@@ -335,8 +335,87 @@ fn synced_replica_answers_identical_queries() {
 
     // Re-sync after nothing changed copies zero objects (content addressing
     // makes replication incremental for free).
-    let again = sync_deployment(&master_dir, &replica_dir).unwrap();
+    let again = sync_deployment(&master_dir, &replica_dir, 1).unwrap();
     assert!(again.iter().all(|(_, s)| s.copied == 0));
+}
+
+#[test]
+fn multi_replica_fanout_ships_suffixes_with_independent_cursors() {
+    // Two replicas registered at different times: the early one catches up
+    // incrementally (WAL suffix only), the late one transfers everything,
+    // and both recover to deployments answering the master's queries.
+    let master_dir = fresh_dir("fanout-master");
+    let r1_dir = fresh_dir("fanout-r1");
+    let r2_dir = fresh_dir("fanout-r2");
+    let mut master =
+        Deployment::build(REACH_APP, &line_specs(), durable_config(&master_dir)).unwrap();
+    master.run().unwrap();
+
+    master.add_replica("r1", &r1_dir).unwrap();
+    let first = master.sync_replicas().unwrap();
+    assert_eq!(first.len(), 1);
+    let r1_initial: usize = first[0].nodes.iter().map(|(_, s)| s.wal_records).sum();
+    assert!(r1_initial > 0, "initial catch-up ships the WAL: {first:?}");
+
+    // Cursors track each node's WAL head.
+    let cursors = master.replica_cursors("r1").unwrap().clone();
+    assert_eq!(cursors.len(), 3);
+    assert!(cursors.values().all(|&seq| seq > 0));
+
+    // Mutate the master (a distributed retraction reaches every node's WAL),
+    // then register the second replica and fan out.
+    master
+        .retract(
+            "n1",
+            vec![("link".into(), vec![Value::str("n1"), Value::str("n2")])],
+        )
+        .unwrap();
+    master.run().unwrap();
+    master.add_replica("r2", &r2_dir).unwrap();
+    let second = master.sync_replicas().unwrap();
+    assert_eq!(second.len(), 2);
+    let r1_suffix: usize = second[0].nodes.iter().map(|(_, s)| s.wal_records).sum();
+    let r2_full: usize = second[1].nodes.iter().map(|(_, s)| s.wal_records).sum();
+    assert!(r1_suffix > 0, "{second:?}");
+    assert!(
+        r2_full > r1_suffix,
+        "late replica must transfer more than the early one's suffix: {second:?}"
+    );
+
+    // A third pass with an unchanged master touches no replica disk.
+    let third = master.sync_replicas().unwrap();
+    for report in &third {
+        assert!(report.nodes.is_empty(), "{third:?}");
+        assert_eq!(report.up_to_date, 3, "{third:?}");
+    }
+
+    // Both replicas recover to the master's exact answers.
+    let queries = all_queries(&master);
+    let roots = master.edb_roots().unwrap();
+    for dir in [&r1_dir, &r2_dir] {
+        let replica =
+            Deployment::recover(dir, REACH_APP, &line_specs(), durable_config(dir)).unwrap();
+        assert_eq!(all_queries(&replica), queries);
+        assert_eq!(replica.edb_roots().unwrap(), roots);
+    }
+}
+
+#[test]
+fn replica_sync_without_durability_is_typed() {
+    let config = DeploymentConfig {
+        security: SecurityConfig::new(AuthScheme::HmacSha1, EncScheme::None),
+        durability: None,
+        ..DeploymentConfig::default()
+    };
+    let mut deployment = Deployment::build(REACH_APP, &line_specs(), config).unwrap();
+    assert!(matches!(
+        deployment.add_replica("r", fresh_dir("no-dur")),
+        Err(DurabilityError::Disabled)
+    ));
+    assert!(matches!(
+        deployment.sync_replicas(),
+        Err(DurabilityError::Disabled)
+    ));
 }
 
 #[test]

@@ -9,7 +9,9 @@
 use proptest::prelude::*;
 use secureblox::apps::{hashjoin, pathvector};
 use secureblox::policy::{says_policy, SecurityConfig, TrustModel};
-use secureblox::runtime::{deserialize_tuple, serialize_tuple, SaysEnvelope};
+use secureblox::runtime::{
+    deserialize_tuple, serialize_tuple, DeltaOp, UpdateDelta, UpdateEnvelope,
+};
 use secureblox::{parse_program, AuthScheme, EncScheme, Value};
 
 // ---------------------------------------------------------------------------
@@ -66,27 +68,45 @@ proptest! {
         prop_assert_eq!(serialize_tuple(&tuple), serialize_tuple(&tuple.clone()));
     }
 
-    /// The says envelope (predicate + tuple + detached signature) roundtrips
-    /// for arbitrary contents.
+    /// The update-stream envelope (sequence + ordered signed deltas)
+    /// roundtrips for arbitrary contents.
     #[test]
-    fn says_envelope_roundtrip(pred in "[a-z][a-z0-9_]{0,16}",
-                               tuple in arb_tuple(),
-                               signature in proptest::collection::vec(any::<u8>(), 0..160)) {
-        let envelope = SaysEnvelope { pred, tuple, signature };
-        let decoded = SaysEnvelope::decode(&envelope.encode()).unwrap();
+    fn update_envelope_roundtrip(seq in any::<u64>(),
+                                 pred in "[a-z][a-z0-9_]{0,16}",
+                                 retract in any::<bool>(),
+                                 tuple in arb_tuple(),
+                                 signature in proptest::collection::vec(any::<u8>(), 0..160)) {
+        let envelope = UpdateEnvelope {
+            seq,
+            deltas: vec![UpdateDelta {
+                op: if retract { DeltaOp::Retract } else { DeltaOp::Assert },
+                pred,
+                tuple,
+                signature,
+            }],
+        };
+        let decoded = UpdateEnvelope::decode(&envelope.encode()).unwrap();
         prop_assert_eq!(decoded, envelope);
     }
 
     /// Decoding never panics on truncated envelopes: it either errors or (for
     /// prefixes that happen to frame correctly) returns some envelope.
     #[test]
-    fn says_envelope_decode_never_panics(pred in "[a-z][a-z0-9_]{0,8}",
-                                         tuple in arb_tuple(),
-                                         cut_fraction in 0.0f64..1.0) {
-        let envelope = SaysEnvelope { pred, tuple, signature: vec![7u8; 20] };
+    fn update_envelope_decode_never_panics(pred in "[a-z][a-z0-9_]{0,8}",
+                                           tuple in arb_tuple(),
+                                           cut_fraction in 0.0f64..1.0) {
+        let envelope = UpdateEnvelope {
+            seq: 3,
+            deltas: vec![UpdateDelta {
+                op: DeltaOp::Assert,
+                pred,
+                tuple,
+                signature: vec![7u8; 20],
+            }],
+        };
         let bytes = envelope.encode();
         let cut = ((bytes.len() as f64) * cut_fraction) as usize;
-        let _ = SaysEnvelope::decode(&bytes[..cut.min(bytes.len())]);
+        let _ = UpdateEnvelope::decode(&bytes[..cut.min(bytes.len())]);
     }
 }
 
