@@ -103,6 +103,54 @@ fn bench(c: &mut Criterion) {
         ws.fixpoint().unwrap();
         b.iter(|| ws.fixpoint().unwrap().iterations)
     });
+    group.bench_function("intern_insert_10k", |b| {
+        // Dictionary-encoding cost: 10k mixed-type base facts (fresh strings
+        // intern, repeated ints hit the dictionary) into columnar relations.
+        b.iter(|| {
+            let mut ws = Workspace::new();
+            ws.install_source("seen(K) <- kv(K, V).").unwrap();
+            for i in 0..TRIPLE_JOIN_TUPLES as i64 {
+                ws.assert_fact(
+                    "kv",
+                    vec![Value::str(format!("key-{i}")), Value::Int(i % 64)],
+                )
+                .unwrap();
+            }
+            ws.count("kv")
+        })
+    });
+    group.bench_function("batch_join_10k", |b| {
+        // The batch plane's hot loop in isolation: one planned two-literal
+        // join over 10k-tuple relations, re-evaluated to fixpoint per
+        // iteration on interned id frames.
+        let mut ws = Workspace::with_config(EvalConfig {
+            use_planner: true,
+            ..EvalConfig::default()
+        });
+        ws.install_source("out(X, Z) <- r(X, Y), s(Y, Z).").unwrap();
+        for i in 0..TRIPLE_JOIN_TUPLES as i64 {
+            ws.assert_fact("r", vec![Value::Int(i), Value::Int(i + 1)])
+                .unwrap();
+            ws.assert_fact("s", vec![Value::Int(i + 1), Value::Int(i + 2)])
+                .unwrap();
+        }
+        ws.fixpoint().unwrap();
+        b.iter(|| ws.fixpoint().unwrap().iterations)
+    });
+    // Persistent-pool scaling: the same triple join re-converged on a
+    // long-lived worker pool at each width (the pool outlives every
+    // fixpoint, so these measure steady-state dispatch, not thread spawns).
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_function(format!("pool_triple_join_10k_w{workers}"), |b| {
+            let mut ws = triple_join_workspace_with(
+                TRIPLE_JOIN_TUPLES,
+                true,
+                EvalOptions::with_workers(workers),
+            );
+            ws.fixpoint().unwrap();
+            b.iter(|| ws.fixpoint().unwrap().iterations)
+        });
+    }
     group.finish();
 
     // Direct comparisons below run outside Criterion: one measured full

@@ -15,11 +15,15 @@
 //! 3. replay the snapshot facts as one transaction, then the WAL suffix
 //!    grouped by the original commit watermarks, re-running the seminaive
 //!    fixpoint — derived state is rebuilt, never read from disk;
-//! 4. resume each node's virtual clock at its watermark, with an empty
-//!    outbox dedup set: exports have at-least-once semantics across a
-//!    crash (messages in flight at the crash may never have arrived), so
-//!    the first `run()` re-ships the outbox and receivers absorb
-//!    duplicates idempotently.
+//! 4. resume each node's virtual clock at its watermark. Assert exports keep
+//!    at-least-once semantics across a crash (messages in flight at the
+//!    crash may never have arrived): the outbox dedup set omits every tuple
+//!    still derived, so the first `run()` re-ships it and receivers absorb
+//!    duplicates idempotently. Retract exports are recovered from the WAL's
+//!    export-cursor records: a cursor entry whose tuple is *no longer*
+//!    derived marks a withdrawal that may have been lost in flight, so it is
+//!    restored into the outbox set and the first `run()` re-sends the
+//!    retraction under the originally recorded signature.
 //!
 //! A recovered deployment answers the same queries and commits to the same
 //! per-node Merkle roots as the one that was dropped.
@@ -197,6 +201,9 @@ impl Deployment {
                         }
                         node.workspace.retract(vec![(record.pred, record.tuple)])?;
                     }
+                    // Export-cursor records carry no base facts; the store
+                    // already folded them into its cursor state at open.
+                    WalOp::ExportMark | WalOp::ExportClear => {}
                 }
             }
             if !pending.is_empty() {
@@ -206,12 +213,22 @@ impl Deployment {
             // facts alone may drive rules).
             node.workspace.fixpoint()?;
 
-            // `sent` is deliberately left empty: a crash may have dropped
-            // exported messages that were still in flight, and the WAL gives
-            // no way to know which arrived.  Recovery therefore has
-            // at-least-once export semantics — the first run() re-ships the
-            // whole outbox, and receivers that already logged a tuple absorb
-            // the duplicate as an idempotent set insert.
+            // Rebuild the outbox dedup set from the WAL's export cursor.
+            // Entries whose tuple is still derived stay OUT of `sent`: a
+            // crash may have dropped the assert in flight, so the first
+            // run() re-ships it and receivers absorb the duplicate as an
+            // idempotent set insert (at-least-once asserts).  Entries whose
+            // tuple is *gone* from the fixpoint are the §9.3 gap: the local
+            // retraction committed but the withdrawal message may never
+            // have left.  Restoring them into `sent` (with the signature
+            // the export went out under) and flagging a retraction scan
+            // makes the first flush re-send exactly those Retract deltas.
+            for (pred, tuple, signature) in store.export_cursor() {
+                if !node.workspace.contains_fact(&pred, &tuple) {
+                    node.sent.insert((pred, tuple), signature);
+                }
+            }
+            node.needs_retraction_scan = !node.sent.is_empty();
             node.available_at = store.watermark();
             node.store = Some(store);
         }

@@ -664,6 +664,10 @@ impl Deployment {
         // to the pre-flush state), then asserts, each in deterministic order.
         let mut per_dest: BTreeMap<usize, Vec<UpdateDelta>> = BTreeMap::new();
         let mut anon_outgoing: Vec<(usize, Message)> = Vec::new();
+        // Export-cursor mutations to WAL-log after the scans: marks for newly
+        // shipped tuples, clears for flushed withdrawals.
+        let mut export_marks: Vec<(String, Tuple, Vec<u8>)> = Vec::new();
+        let mut export_clears: Vec<(String, Tuple)> = Vec::new();
 
         // 1. Withdrawals.  Insert-only transactions never remove `says`
         //    tuples, so the scan over the export history only runs after a
@@ -680,6 +684,7 @@ impl Deployment {
             withdrawn.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| tuple_total_cmp(&a.1, &b.1)));
             for key in withdrawn {
                 let signature = self.nodes[index].sent.remove(&key).unwrap_or_default();
+                export_clears.push(key.clone());
                 let (pred, tuple) = key;
                 if let Some(param) = pred.strip_prefix("says$") {
                     let Some(to) = tuple.get(1).and_then(|v| v.as_str()) else {
@@ -730,6 +735,7 @@ impl Deployment {
                         continue;
                     }
                     let signature = self.lookup_signature(index, param, &tuple);
+                    export_marks.push((key.0.clone(), key.1.clone(), signature.clone()));
                     self.nodes[index].sent.insert(key, signature.clone());
                     let Some(&dest) = self.principal_index.get(&to) else {
                         continue;
@@ -756,6 +762,7 @@ impl Deployment {
                     if self.nodes[index].sent.contains_key(&key) {
                         continue;
                     }
+                    export_marks.push((key.0.clone(), key.1.clone(), Vec::new()));
                     self.nodes[index].sent.insert(key, Vec::new());
                     let message =
                         self.onion_wrap_forward(index, param, &to, &tuple, DeltaOp::Assert)?;
@@ -771,6 +778,7 @@ impl Deployment {
                     if self.nodes[index].sent.contains_key(&key) {
                         continue;
                     }
+                    export_marks.push((key.0.clone(), key.1.clone(), Vec::new()));
                     self.nodes[index].sent.insert(key, Vec::new());
                     if let Some(message) =
                         self.onion_wrap_backward(index, param, &tuple, DeltaOp::Assert)?
@@ -778,6 +786,25 @@ impl Deployment {
                         anon_outgoing.push(message);
                     }
                 }
+            }
+        }
+
+        // Persist the export-cursor mutations before anything ships: a mark
+        // must hit the WAL no later than its message leaves, or a crash in
+        // between would lose the recovery obligation the message created.
+        if !export_clears.is_empty() || !export_marks.is_empty() {
+            if let Some(store) = &mut self.nodes[index].store {
+                store
+                    .log_export_clears(export_clears.iter().map(|(p, t)| (p.as_str(), t)), now)
+                    .map_err(|e| DatalogError::Eval(format!("durability: {e}")))?;
+                store
+                    .log_export_marks(
+                        export_marks
+                            .iter()
+                            .map(|(p, t, s)| (p.as_str(), t, s.as_slice())),
+                        now,
+                    )
+                    .map_err(|e| DatalogError::Eval(format!("durability: {e}")))?;
             }
         }
 

@@ -19,8 +19,10 @@
 use crate::ast::Constraint;
 use crate::error::{ConstraintViolation, DatalogError, Result};
 use crate::eval::bindings::Bindings;
-use crate::eval::join::{DeltaRestriction, JoinContext};
+use crate::eval::exec::{self, EvalOptions};
+use crate::eval::join::{DeltaRestriction, DeltaTuples, JoinContext};
 use crate::eval::plan::{PlanCache, PlanKey, PlanStats, RulePlan};
+use crate::eval::pool::WorkerPool;
 use crate::relation::Relation;
 use crate::udf::UdfRegistry;
 use crate::value::Tuple;
@@ -144,14 +146,56 @@ fn prepare_constraint_plans(
     (lhs, rhs)
 }
 
+/// Shard one constraint's left-hand-side enumeration across the worker
+/// pool: each shard checks its slice of the driving tuples independently
+/// (the rhs witness search runs per lhs binding, inside the shard), and
+/// errors are reported from the lowest shard index, so which violation
+/// aborts is as deterministic as the partition itself.  Whether *any*
+/// violation exists — the transaction verdict — is shard-independent.
+#[allow(clippy::too_many_arguments)]
+fn check_constraint_sharded(
+    constraint: &Constraint,
+    relations: &HashMap<String, Relation>,
+    udfs: &UdfRegistry,
+    plans: (&RulePlan, &RulePlan),
+    literal_index: usize,
+    shards: &[Vec<&Tuple>],
+    stats: &PlanStats,
+    pool: Option<&WorkerPool>,
+) -> Result<()> {
+    if shards.iter().filter(|shard| !shard.is_empty()).count() > 1 {
+        PlanStats::bump(&stats.parallel_batches);
+    }
+    exec::run_shards(pool, shards, |shard| {
+        PlanStats::bump(&stats.shards_executed);
+        check_constraint_with(
+            constraint,
+            relations,
+            udfs,
+            Some(plans),
+            Some(DeltaRestriction {
+                literal_index,
+                delta: DeltaTuples::Shard(shard),
+            }),
+            Some(stats),
+        )
+    })
+    .map(|_| ())
+}
+
 /// Check all constraints through the cost-based planner and the shared plan
-/// cache; the first violation wins.
+/// cache; the first violation wins.  When the pool is enabled and an lhs
+/// drives off a stored relation above the parallel threshold, that
+/// relation's extension is hash-partitioned and the shards check
+/// concurrently.
 pub fn check_constraints_planned(
     constraints: &[Constraint],
     relations: &mut HashMap<String, Relation>,
     udfs: &UdfRegistry,
     cache: &mut PlanCache,
     stats: &PlanStats,
+    options: &EvalOptions,
+    pool: Option<&WorkerPool>,
 ) -> Result<()> {
     for (index, constraint) in constraints.iter().enumerate() {
         if constraint.rhs.is_empty() {
@@ -159,6 +203,28 @@ pub fn check_constraints_planned(
         }
         let (lhs_plan, rhs_plan) =
             prepare_constraint_plans(index, constraint, None, relations, udfs, cache, stats);
+        let relations = &*relations;
+        if pool.is_some() {
+            if let Some((drive, shards)) = exec::shard_driving_relation(
+                &constraint.lhs,
+                Some(&lhs_plan),
+                relations,
+                udfs,
+                options,
+            ) {
+                check_constraint_sharded(
+                    constraint,
+                    relations,
+                    udfs,
+                    (&lhs_plan, &rhs_plan),
+                    drive,
+                    &shards,
+                    stats,
+                    pool,
+                )?;
+                continue;
+            }
+        }
         check_constraint_with(
             constraint,
             relations,
@@ -173,7 +239,9 @@ pub fn check_constraints_planned(
 
 /// Planned variant of [`check_constraints_incremental`]: only left-hand-side
 /// bindings that touch a tuple in `delta` are examined, each through a
-/// cached plan with the delta literal pinned.
+/// cached plan with the delta literal pinned.  Deltas above the parallel
+/// threshold are hash-partitioned and checked concurrently on the pool.
+#[allow(clippy::too_many_arguments)]
 pub fn check_constraints_incremental_planned(
     constraints: &[Constraint],
     relations: &mut HashMap<String, Relation>,
@@ -181,6 +249,8 @@ pub fn check_constraints_incremental_planned(
     cache: &mut PlanCache,
     stats: &PlanStats,
     delta: &HashMap<String, HashSet<Tuple>>,
+    options: &EvalOptions,
+    pool: Option<&WorkerPool>,
 ) -> Result<()> {
     for (index, constraint) in constraints.iter().enumerate() {
         if constraint.rhs.is_empty() {
@@ -208,6 +278,24 @@ pub fn check_constraints_incremental_planned(
                 cache,
                 stats,
             );
+            let relations = &*relations;
+            if pool.is_some()
+                && options.parallel_enabled()
+                && pred_delta.len() >= options.parallel_threshold
+            {
+                let shards = exec::partition(pred_delta.iter(), options.workers);
+                check_constraint_sharded(
+                    constraint,
+                    relations,
+                    udfs,
+                    (&lhs_plan, &rhs_plan),
+                    literal_index,
+                    &shards,
+                    stats,
+                    pool,
+                )?;
+                continue;
+            }
             check_constraint_with(
                 constraint,
                 relations,

@@ -8,6 +8,7 @@ use super::bindings::{eval_term, Bindings};
 use super::exec::{self, EvalOptions};
 use super::join::{DeltaRestriction, DeltaTuples, JoinContext};
 use super::plan::{PlanStats, RulePlan};
+use super::pool::WorkerPool;
 use super::runtime_pred_name;
 use crate::ast::{AggFunc, Rule, Term};
 use crate::error::{DatalogError, Result};
@@ -36,7 +37,15 @@ pub fn evaluate_agg_rule_with(
     plan: Option<&RulePlan>,
     stats: Option<&PlanStats>,
 ) -> Result<Vec<(String, Tuple)>> {
-    evaluate_agg_rule_exec(rule, relations, udfs, plan, stats, &EvalOptions::serial())
+    evaluate_agg_rule_exec(
+        rule,
+        relations,
+        udfs,
+        plan,
+        stats,
+        &EvalOptions::serial(),
+        None,
+    )
 }
 
 /// Like [`evaluate_agg_rule_with`], additionally sharding the body
@@ -49,6 +58,7 @@ pub fn evaluate_agg_rule_with(
 /// merges commutatively and associatively, so the merged groups — and hence
 /// the derived tuples — are independent of the sharding (asserted against
 /// the serial fold in debug builds).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn evaluate_agg_rule_exec(
     rule: &Rule,
     relations: &HashMap<String, Relation>,
@@ -56,6 +66,7 @@ pub(crate) fn evaluate_agg_rule_exec(
     plan: Option<&RulePlan>,
     stats: Option<&PlanStats>,
     options: &EvalOptions,
+    pool: Option<&WorkerPool>,
 ) -> Result<Vec<(String, Tuple)>> {
     let agg = rule.agg.as_ref().ok_or_else(|| {
         DatalogError::Eval("evaluate_agg_rule called on a non-aggregate rule".into())
@@ -77,7 +88,7 @@ pub(crate) fn evaluate_agg_rule_exec(
             if let Some(stats) = stats {
                 PlanStats::bump(&stats.parallel_batches);
             }
-            let buffers = exec::run_shards(&shards, |shard| {
+            let buffers = exec::run_shards(pool, &shards, |shard| {
                 if let Some(stats) = stats {
                     PlanStats::bump(&stats.shards_executed);
                 }

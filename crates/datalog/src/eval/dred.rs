@@ -245,12 +245,14 @@ mod tests {
     use super::*;
     use crate::eval::plan::{PlanCache, PlanStats};
     use crate::eval::EvalConfig;
+    use crate::intern::Interner;
     use crate::parser::parse_program;
     use crate::relation::Relation;
     use crate::schema::Schema;
     use crate::strata::stratify;
     use crate::udf::UdfRegistry;
     use crate::value::Value;
+    use std::sync::Arc;
 
     struct Fixture {
         rules: Vec<Rule>,
@@ -258,6 +260,7 @@ mod tests {
         schema: Schema,
         udfs: UdfRegistry,
         relations: HashMap<String, Relation>,
+        interner: Arc<Interner>,
         edb: HashMap<String, HashSet<Tuple>>,
         entity_counter: u64,
         memo: HashMap<(usize, Vec<Value>), u64>,
@@ -273,12 +276,13 @@ mod tests {
             let rules: Vec<Rule> = program.rules().cloned().collect();
             let udfs = UdfRegistry::new();
             let strata = stratify(&rules, &udfs).unwrap();
+            let interner = Arc::new(Interner::new());
             let mut relations: HashMap<String, Relation> = HashMap::new();
             let mut edb: HashMap<String, HashSet<Tuple>> = HashMap::new();
             for (pred, tuple) in facts {
                 relations
                     .entry(pred.to_string())
-                    .or_insert_with(|| Relation::new(*pred, None))
+                    .or_insert_with(|| Relation::with_interner(*pred, None, Arc::clone(&interner)))
                     .insert(tuple.clone())
                     .unwrap();
                 edb.entry(pred.to_string())
@@ -291,6 +295,7 @@ mod tests {
                 schema,
                 udfs,
                 relations,
+                interner,
                 edb,
                 entity_counter: 0,
                 memo: HashMap::new(),
@@ -312,6 +317,8 @@ mod tests {
                 existential_memo: &mut self.memo,
                 plan_cache: &mut self.plan_cache,
                 plan_stats: &self.plan_stats,
+                interner: &self.interner,
+                pool: None,
             };
             evaluator.run(&self.rules, &self.strata).unwrap();
         }
@@ -327,6 +334,8 @@ mod tests {
                 existential_memo: &mut self.memo,
                 plan_cache: &mut self.plan_cache,
                 plan_stats: &self.plan_stats,
+                interner: &self.interner,
+                pool: None,
             };
             // Keep the EDB bookkeeping in sync.
             self.edb.get_mut(pred).map(|set| set.remove(&tuple));

@@ -30,6 +30,7 @@
 
 use super::bindings::{eval_term, Bindings};
 use super::plan::RulePlan;
+use super::pool::WorkerPool;
 use super::runtime_pred_name;
 use crate::ast::{Literal, Rule, Term};
 use crate::error::{DatalogError, Result};
@@ -167,29 +168,134 @@ pub(crate) fn partition<'a>(
     shards
 }
 
-/// Run `worker` over every non-empty shard on its own scoped thread and
+/// Run `worker` over every non-empty shard on the persistent pool and
 /// collect the results in shard order.  Errors are reported from the lowest
 /// shard index so failure is as deterministic as the partition itself.
-pub(crate) fn run_shards<'a, T, F>(shards: &[Vec<&'a Tuple>], worker: F) -> Result<Vec<T>>
+/// Without a pool (serial configurations, unit tests) the shards run inline
+/// on the calling thread — same results, no spawn.
+pub(crate) fn run_shards<'a, T, F>(
+    pool: Option<&WorkerPool>,
+    shards: &[Vec<&'a Tuple>],
+    worker: F,
+) -> Result<Vec<T>>
 where
     T: Send,
     F: Fn(&[&'a Tuple]) -> Result<T> + Sync,
 {
-    let results: Vec<Result<T>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = shards
-            .iter()
-            .filter(|shard| !shard.is_empty())
-            .map(|shard| scope.spawn(|| worker(shard)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|handle| match handle.join() {
-                Ok(result) => result,
-                Err(_) => Err(DatalogError::Eval("evaluation worker panicked".into())),
-            })
-            .collect()
-    });
+    let occupied: Vec<&Vec<&'a Tuple>> = shards.iter().filter(|shard| !shard.is_empty()).collect();
+    let results: Vec<Result<T>> = match pool {
+        Some(pool) if occupied.len() > 1 => {
+            let tasks: Vec<_> = occupied
+                .iter()
+                .map(|shard| {
+                    let worker = &worker;
+                    move || worker(shard)
+                })
+                .collect();
+            pool.execute(tasks)
+                .into_iter()
+                .map(|result| match result {
+                    Ok(result) => result,
+                    Err(_) => Err(DatalogError::Eval("evaluation worker panicked".into())),
+                })
+                .collect()
+        }
+        _ => occupied.iter().map(|shard| worker(shard)).collect(),
+    };
     results.into_iter().collect()
+}
+
+/// Sharded derivation with a **pipelined merge**: each worker sorts and
+/// dedups its own buffer on its pool thread, and the evaluator thread folds
+/// buffers into the accumulated result in *arrival* order — merging batch
+/// `k` while workers are still joining batch `k+1`.  The sorted-merge fold
+/// is commutative and associative, so the output equals
+/// [`merge_derived`] of the per-shard buffers regardless of arrival order.
+/// Errors are still reported from the lowest shard index.
+pub(crate) fn run_shards_merged<'a, F>(
+    pool: Option<&WorkerPool>,
+    shards: &[Vec<&'a Tuple>],
+    worker: F,
+) -> Result<Vec<(String, Tuple)>>
+where
+    F: Fn(&[&'a Tuple]) -> Result<Vec<(String, Tuple)>> + Sync,
+{
+    let occupied: Vec<&Vec<&'a Tuple>> = shards.iter().filter(|shard| !shard.is_empty()).collect();
+    let sorted_worker = |shard: &[&'a Tuple]| -> Result<Vec<(String, Tuple)>> {
+        let mut buffer = worker(shard)?;
+        buffer.sort_by(derived_cmp);
+        buffer.dedup();
+        Ok(buffer)
+    };
+    let Some(pool) = pool.filter(|_| occupied.len() > 1) else {
+        return Ok(merge_derived(
+            occupied
+                .iter()
+                .map(|shard| sorted_worker(shard))
+                .collect::<Result<Vec<_>>>()?,
+        ));
+    };
+    let tasks: Vec<_> = occupied
+        .iter()
+        .map(|shard| {
+            let sorted_worker = &sorted_worker;
+            move || sorted_worker(shard)
+        })
+        .collect();
+    let mut merged: Vec<(String, Tuple)> = Vec::new();
+    let mut first_error: Option<(usize, DatalogError)> = None;
+    pool.execute_streaming(tasks, |index, result| {
+        let outcome = match result {
+            Ok(outcome) => outcome,
+            Err(_) => Err(DatalogError::Eval("evaluation worker panicked".into())),
+        };
+        match outcome {
+            Ok(buffer) => merged = merge_two_sorted(std::mem::take(&mut merged), buffer),
+            Err(error) => {
+                if first_error
+                    .as_ref()
+                    .is_none_or(|(lowest, _)| index < *lowest)
+                {
+                    first_error = Some((index, error));
+                }
+            }
+        }
+    });
+    match first_error {
+        Some((_, error)) => Err(error),
+        None => Ok(merged),
+    }
+}
+
+/// Merge two sorted, deduplicated derivation buffers into one.
+fn merge_two_sorted(a: Vec<(String, Tuple)>, b: Vec<(String, Tuple)>) -> Vec<(String, Tuple)> {
+    if a.is_empty() {
+        return b;
+    }
+    if b.is_empty() {
+        return a;
+    }
+    let mut merged = Vec::with_capacity(a.len() + b.len());
+    let mut left = a.into_iter().peekable();
+    let mut right = b.into_iter().peekable();
+    loop {
+        let pick_left = match (left.peek(), right.peek()) {
+            (Some(l), Some(r)) => match derived_cmp(l, r) {
+                std::cmp::Ordering::Less => true,
+                std::cmp::Ordering::Greater => false,
+                std::cmp::Ordering::Equal => {
+                    right.next();
+                    true
+                }
+            },
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => break,
+        };
+        let item = if pick_left { left.next() } else { right.next() };
+        merged.push(item.expect("peeked"));
+    }
+    merged
 }
 
 /// Total order on derived `(predicate, tuple)` pairs: predicate name, then
@@ -388,18 +494,54 @@ mod tests {
         let owned = [t(&[1]), t(&[2]), t(&[3])];
         let shards: Vec<Vec<&Tuple>> =
             vec![vec![&owned[0]], Vec::new(), vec![&owned[1], &owned[2]]];
-        let sizes = run_shards(&shards, |shard| Ok(shard.len())).unwrap();
-        assert_eq!(sizes, vec![1, 2], "empty shard spawned no worker");
+        let pool = WorkerPool::new(2);
+        for pool in [None, Some(&pool)] {
+            let sizes = run_shards(pool, &shards, |shard| Ok(shard.len())).unwrap();
+            assert_eq!(sizes, vec![1, 2], "empty shard ran no worker");
 
-        let err = run_shards(&shards, |shard| {
-            if shard.len() == 2 {
-                Err(DatalogError::Eval("boom".into()))
-            } else {
-                Ok(())
-            }
-        })
-        .unwrap_err();
-        assert!(matches!(err, DatalogError::Eval(m) if m == "boom"));
+            let err = run_shards(pool, &shards, |shard| {
+                if shard.len() == 2 {
+                    Err(DatalogError::Eval("boom".into()))
+                } else {
+                    Ok(())
+                }
+            })
+            .unwrap_err();
+            assert!(matches!(err, DatalogError::Eval(m) if m == "boom"));
+        }
+    }
+
+    #[test]
+    fn merged_run_equals_sorted_dedup_merge() {
+        let owned = [t(&[1]), t(&[2]), t(&[3]), t(&[4])];
+        let shards: Vec<Vec<&Tuple>> =
+            vec![vec![&owned[0], &owned[2]], vec![&owned[1]], vec![&owned[3]]];
+        // Workers derive overlapping heads; the pipelined merge must agree
+        // with the barrier merge exactly.
+        let worker = |shard: &[&Tuple]| -> Result<Vec<(String, Tuple)>> {
+            Ok(shard
+                .iter()
+                .flat_map(|tuple| {
+                    vec![
+                        ("p".to_string(), (*tuple).clone()),
+                        ("shared".to_string(), t(&[0])),
+                    ]
+                })
+                .collect())
+        };
+        let pool = WorkerPool::new(3);
+        let expected = {
+            let buffers: Vec<_> = shards
+                .iter()
+                .filter(|s| !s.is_empty())
+                .map(|s| worker(s).unwrap())
+                .collect();
+            merge_derived(buffers)
+        };
+        for pool in [None, Some(&pool)] {
+            let merged = run_shards_merged(pool, &shards, worker).unwrap();
+            assert_eq!(merged, expected);
+        }
     }
 
     #[test]

@@ -335,7 +335,7 @@ impl<'a> JoinContext<'a> {
             if let Some(key) = self.probe_key(atom, cols, bindings)? {
                 if let Some(ids) = relation.probe(cols, &key) {
                     self.bump(|s| &s.index_probes);
-                    for &id in ids {
+                    for id in ids {
                         let tuple = relation.tuple_by_id(id);
                         if let Some(newly_bound) =
                             match_tuple(&atom.terms, tuple, bindings, self.relations)?

@@ -3,16 +3,19 @@
 //! (DRed).
 
 pub mod aggregate;
+pub mod batch;
 pub mod bindings;
 pub mod dred;
 pub mod exec;
 pub mod join;
 pub mod plan;
+pub mod pool;
 pub mod seminaive;
 
 pub use bindings::Bindings;
 pub use exec::EvalOptions;
 pub use plan::{PlanCache, PlanKey, PlanStats, PlanStatsSnapshot, RulePlan};
+pub use pool::WorkerPool;
 pub use seminaive::{Evaluator, FixpointStats};
 
 use crate::ast::PredRef;

@@ -12,21 +12,38 @@
 //! * Head-existential variables (allowed by DatalogLB rules such as the
 //!   `pathvar` rule) mint one fresh entity per distinct body binding, memoized
 //!   so re-derivations are idempotent.
+//!
+//! ## Round structure (DESIGN.md §10)
+//!
+//! Each round of a stratum runs in two phases.  **Phase A** evaluates every
+//! `(rule, delta-literal)` combination read-only against the round-start
+//! relations: batch-eligible combinations run the columnar id-space executor
+//! ([`super::batch`]), the rest the tuple-at-a-time join, and independent
+//! combinations fan out across the persistent worker pool.  **Phase B**
+//! inserts the collected derivations sequentially in combination order.
+//! Because phase A never observes phase B, the end state of a round is a
+//! pure function of its start state — independent of the worker count.
+//! Rules with head existentials always evaluate serially in phase A: entity
+//! minting is order-sensitive.
 
 use super::aggregate::evaluate_agg_rule_exec;
+use super::batch::{self, BatchJob, IdBatch};
 use super::bindings::Bindings;
-use super::exec;
+use super::exec::{self, EvalOptions};
 use super::join::{DeltaRestriction, DeltaTuples, JoinContext};
 use super::plan::{PlanCache, PlanKey, PlanStats, RulePlan};
+use super::pool::WorkerPool;
 use super::runtime_pred_name;
 use super::EvalConfig;
 use crate::ast::{Literal, Rule};
 use crate::error::{DatalogError, Result};
+use crate::intern::Interner;
 use crate::relation::Relation;
 use crate::schema::{PredicateKind, Schema};
 use crate::udf::UdfRegistry;
 use crate::value::{Tuple, Value};
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// Statistics of one fixpoint run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -35,6 +52,14 @@ pub struct FixpointStats {
     pub derived: usize,
     /// Total number of semi-naïve iterations across strata.
     pub iterations: usize,
+}
+
+/// Result of evaluating one `(rule, delta-literal)` combination in phase A.
+/// Id-space derivations stay interned until insertion; only genuinely new
+/// tuples are rehydrated (for the delta sets).
+enum Derivation {
+    Values(Vec<(String, Tuple)>),
+    Ids(Vec<(String, IdBatch)>),
 }
 
 /// Mutable evaluation state borrowed from a workspace.
@@ -53,6 +78,13 @@ pub struct Evaluator<'a> {
     pub plan_cache: &'a mut PlanCache,
     /// Planner / index counters.
     pub plan_stats: &'a PlanStats,
+    /// The workspace dictionary every relation this evaluator creates must
+    /// share — batch execution requires one dictionary per workspace (see
+    /// [`crate::intern`]).
+    pub interner: &'a Arc<Interner>,
+    /// Persistent worker pool for sharded and rule-level fan-out.  `None`
+    /// keeps every execution on the calling thread.
+    pub pool: Option<&'a WorkerPool>,
 }
 
 impl<'a> Evaluator<'a> {
@@ -88,9 +120,11 @@ impl<'a> Evaluator<'a> {
 
         // Initial (naïve) round over the full relations.
         let mut delta: HashMap<String, HashSet<Tuple>> = HashMap::new();
-        for &rule_index in &normal_rules {
-            let derived = self.evaluate_rule(rules, rule_index, None)?;
-            stats.derived += self.insert_derived(derived, &mut delta)?;
+        let combos: Vec<(usize, Option<usize>)> =
+            normal_rules.iter().map(|&index| (index, None)).collect();
+        let empty_delta = HashMap::new();
+        for derivation in self.evaluate_round(rules, &combos, &empty_delta)? {
+            stats.derived += self.insert_derivation(derivation, &mut delta)?;
         }
         for &rule_index in &agg_rules {
             let derived = self.recompute_aggregate(rules, rule_index)?;
@@ -105,7 +139,7 @@ impl<'a> Evaluator<'a> {
                     iterations: self.config.max_iterations,
                 });
             }
-            let mut next_delta: HashMap<String, HashSet<Tuple>> = HashMap::new();
+            let mut combos: Vec<(usize, Option<usize>)> = Vec::new();
             for &rule_index in &normal_rules {
                 let rule = &rules[rule_index];
                 for (literal_index, literal) in rule.body.iter().enumerate() {
@@ -122,10 +156,12 @@ impl<'a> Evaluator<'a> {
                     if pred_delta.is_empty() {
                         continue;
                     }
-                    let derived =
-                        self.evaluate_rule(rules, rule_index, Some((literal_index, pred_delta)))?;
-                    stats.derived += self.insert_derived(derived, &mut next_delta)?;
+                    combos.push((rule_index, Some(literal_index)));
                 }
+            }
+            let mut next_delta: HashMap<String, HashSet<Tuple>> = HashMap::new();
+            for derivation in self.evaluate_round(rules, &combos, &delta)? {
+                stats.derived += self.insert_derivation(derivation, &mut next_delta)?;
             }
             for &rule_index in &agg_rules {
                 let derived = self.recompute_aggregate(rules, rule_index)?;
@@ -137,16 +173,155 @@ impl<'a> Evaluator<'a> {
         Ok(stats)
     }
 
+    /// Phase A of one round: evaluate every `(rule, delta-literal)`
+    /// combination against the round-start relations and return the
+    /// derivations in combination order (phase B —
+    /// [`Self::insert_derivation`] — is the caller's loop).
+    ///
+    /// Plans are prepared serially (they mutate the plan cache and build
+    /// indexes); head-existential combinations evaluate serially next
+    /// (entity minting is order-sensitive); the remaining combinations are
+    /// read-only and fan out across the worker pool when any driving set
+    /// clears the parallel threshold.  Errors surface in combination order,
+    /// so failures are deterministic at any worker count.
+    fn evaluate_round(
+        &mut self,
+        rules: &[Rule],
+        combos: &[(usize, Option<usize>)],
+        delta_sets: &HashMap<String, HashSet<Tuple>>,
+    ) -> Result<Vec<Derivation>> {
+        type ResolvedCombo<'a> = (usize, Option<(usize, &'a HashSet<Tuple>)>);
+        let mut resolved: Vec<ResolvedCombo> = Vec::with_capacity(combos.len());
+        for &(rule_index, literal) in combos {
+            let delta = match literal {
+                Some(literal_index) => {
+                    let Literal::Pos(atom) = &rules[rule_index].body[literal_index] else {
+                        return Err(DatalogError::Eval(
+                            "delta combination on a non-positive literal".into(),
+                        ));
+                    };
+                    let pred = runtime_pred_name(&atom.pred)?;
+                    let set = delta_sets.get(&pred).ok_or_else(|| {
+                        DatalogError::Eval("delta combination without a delta set".into())
+                    })?;
+                    Some((literal_index, set))
+                }
+                None => None,
+            };
+            resolved.push((rule_index, delta));
+        }
+
+        let mut plans: Vec<Option<RulePlan>> = Vec::with_capacity(resolved.len());
+        for &(rule_index, delta) in &resolved {
+            plans.push(self.prepare_plan(rules, rule_index, delta.map(|(i, _)| i)));
+        }
+
+        // Batch-compile on this (the evaluator) thread — the only place the
+        // batch path interns, which keeps dictionary ids worker-independent.
+        let mut results: Vec<Option<Derivation>> = combos.iter().map(|_| None).collect();
+        let mut jobs: Vec<Option<BatchJob>> = Vec::with_capacity(resolved.len());
+        let mut pending: Vec<usize> = Vec::new();
+        for (index, &(rule_index, delta)) in resolved.iter().enumerate() {
+            let rule = &rules[rule_index];
+            if !rule.head_existentials().is_empty() {
+                jobs.push(None);
+                continue;
+            }
+            jobs.push(plans[index].as_ref().and_then(|plan| {
+                batch::compile_batch(rule, plan, delta, self.relations, self.udfs, self.interner)
+            }));
+            pending.push(index);
+        }
+
+        // Serial part: head-existential combinations, in combination order.
+        for (index, &(rule_index, delta)) in resolved.iter().enumerate() {
+            if !rules[rule_index].head_existentials().is_empty() {
+                let derived = self.evaluate_rule(rules, rule_index, delta)?;
+                results[index] = Some(Derivation::Values(derived));
+            }
+        }
+
+        // Read-only part.
+        let relations: &HashMap<String, Relation> = self.relations;
+        let udfs = self.udfs;
+        let stats = self.plan_stats;
+        let options = &self.config.exec;
+        let pool = self.pool;
+        let run_one = |index: usize| -> Result<Derivation> {
+            let (rule_index, delta) = resolved[index];
+            match &jobs[index] {
+                Some(job) => {
+                    batch::execute_batch(job, relations, stats, options, pool).map(Derivation::Ids)
+                }
+                None => evaluate_tuple_combo(
+                    &rules[rule_index],
+                    plans[index].as_ref(),
+                    delta,
+                    relations,
+                    udfs,
+                    stats,
+                    options,
+                    pool,
+                )
+                .map(Derivation::Values),
+            }
+        };
+        let fan_out = pool.is_some()
+            && options.parallel_enabled()
+            && pending.len() > 1
+            && pending.iter().any(|&index| {
+                let (rule_index, delta) = resolved[index];
+                driving_size(&rules[rule_index], delta, relations) >= options.parallel_threshold
+            });
+        if fan_out {
+            PlanStats::bump(&stats.parallel_batches);
+            let run_one = &run_one;
+            let tasks: Vec<_> = pending
+                .iter()
+                .map(|&index| move || run_one(index))
+                .collect();
+            let outcomes = pool.expect("fan-out requires a pool").execute(tasks);
+            for (&index, outcome) in pending.iter().zip(outcomes) {
+                let derivation = outcome
+                    .map_err(|_| DatalogError::Eval("evaluation worker panicked".into()))??;
+                results[index] = Some(derivation);
+            }
+        } else {
+            for &index in &pending {
+                results[index] = Some(run_one(index)?);
+            }
+        }
+
+        #[cfg(debug_assertions)]
+        for &index in &pending {
+            if let (Some(_), Some(Derivation::Ids(rows))) = (&jobs[index], &results[index]) {
+                let (rule_index, delta) = resolved[index];
+                debug_verify_batch(
+                    &rules[rule_index],
+                    plans[index].as_ref(),
+                    delta,
+                    relations,
+                    udfs,
+                    self.interner,
+                    rows,
+                )?;
+            }
+        }
+
+        Ok(results
+            .into_iter()
+            .map(|result| result.expect("every combination evaluated"))
+            .collect())
+    }
+
     /// Evaluate one (non-aggregate) rule, optionally restricting one body
     /// literal to a delta set, and return the derived `(predicate, tuple)`
     /// pairs without inserting them.
     ///
-    /// When the worker pool is enabled and the driving tuple set (the delta,
-    /// or the plan's first stored relation) is large enough, the enumeration
-    /// is hash-partitioned across scoped worker threads and the per-worker
-    /// buffers are merged by sorted dedup — bit-identical to the serial
-    /// result (asserted in debug builds).  Rules with head existentials
-    /// always run serially: entity minting is order-sensitive.
+    /// Non-existential rules run through the read-only combination path
+    /// (sharded across the worker pool when the driving set is large
+    /// enough).  Rules with head existentials always run serially: entity
+    /// minting is order-sensitive.
     pub fn evaluate_rule(
         &mut self,
         rules: &[Rule],
@@ -155,21 +330,28 @@ impl<'a> Evaluator<'a> {
     ) -> Result<Vec<(String, Tuple)>> {
         let rule = &rules[rule_index];
         let existentials = rule.head_existentials();
+        let plan = self.prepare_plan(rules, rule_index, delta.as_ref().map(|(i, _)| *i));
+
+        if existentials.is_empty() {
+            return evaluate_tuple_combo(
+                rule,
+                plan.as_ref(),
+                delta,
+                self.relations,
+                self.udfs,
+                self.plan_stats,
+                &self.config.exec,
+                self.pool,
+            );
+        }
+        PlanStats::bump(&self.plan_stats.serial_batches);
+
         let mut body_vars: Vec<String> = Vec::new();
         for literal in &rule.body {
             literal.collect_vars(&mut body_vars);
         }
         body_vars.sort();
         body_vars.dedup();
-
-        let plan = self.prepare_plan(rules, rule_index, delta.as_ref().map(|(i, _)| *i));
-
-        if existentials.is_empty() {
-            if let Some(merged) = self.evaluate_rule_sharded(rule, plan.as_ref(), delta)? {
-                return Ok(merged);
-            }
-        }
-        PlanStats::bump(&self.plan_stats.serial_batches);
 
         let mut derived: Vec<(String, Tuple)> = Vec::new();
         let ctx = JoinContext::with_stats(self.relations, self.udfs, self.plan_stats);
@@ -194,138 +376,27 @@ impl<'a> Evaluator<'a> {
 
         for mut solution in solutions {
             // Mint (or recall) entities for head-existential variables.
-            if !existentials.is_empty() {
-                let memo_key: Vec<Value> = body_vars
-                    .iter()
-                    .filter_map(|v| solution.get(v).cloned())
-                    .collect();
-                for (offset, var) in existentials.iter().enumerate() {
-                    let mut key = memo_key.clone();
-                    key.push(Value::Int(offset as i64));
-                    let entity_id = *self
-                        .existential_memo
-                        .entry((rule_index, key))
-                        .or_insert_with(|| {
-                            *self.entity_counter += 1;
-                            *self.entity_counter
-                        });
-                    solution.bind(var, Value::Entity(entity_id));
-                }
+            let memo_key: Vec<Value> = body_vars
+                .iter()
+                .filter_map(|v| solution.get(v).cloned())
+                .collect();
+            for (offset, var) in existentials.iter().enumerate() {
+                let mut key = memo_key.clone();
+                key.push(Value::Int(offset as i64));
+                let entity_id = *self
+                    .existential_memo
+                    .entry((rule_index, key))
+                    .or_insert_with(|| {
+                        *self.entity_counter += 1;
+                        *self.entity_counter
+                    });
+                solution.bind(var, Value::Entity(entity_id));
             }
-            // Same head projection the sharded workers use — one
-            // implementation, so the two paths cannot drift.
+            // Same head projection the combination paths use — one
+            // implementation, so the paths cannot drift.
             derived.append(&mut exec::project_heads(rule, &solution, self.relations)?);
         }
         Ok(derived)
-    }
-
-    /// Try the sharded parallel path for one rule execution.  Returns
-    /// `Ok(None)` when the execution should stay serial: a single-worker
-    /// pool, a driving set below the threshold, or a body with no stored
-    /// relation to drive on.
-    ///
-    /// The driving literal is the delta literal when one is pinned,
-    /// otherwise the first stored-relation literal in plan execution order
-    /// (the join's outer loop).  Its tuple set is hash-partitioned; each
-    /// worker runs the full planned join with its shard as a
-    /// [`DeltaRestriction`] against shared read-only relation views (every
-    /// index the plan probes was built in [`Evaluator::prepare_plan`] before
-    /// this point), instantiating head tuples in a worker-local buffer.
-    fn evaluate_rule_sharded(
-        &self,
-        rule: &Rule,
-        plan: Option<&RulePlan>,
-        delta: Option<(usize, &HashSet<Tuple>)>,
-    ) -> Result<Option<Vec<(String, Tuple)>>> {
-        let options = &self.config.exec;
-        if !options.parallel_enabled() {
-            return Ok(None);
-        }
-        let (drive, shards) = match delta {
-            Some((index, tuples)) => {
-                if tuples.len() < options.parallel_threshold {
-                    return Ok(None);
-                }
-                (index, exec::partition(tuples.iter(), options.workers))
-            }
-            None => {
-                let Some(sharded) = exec::shard_driving_relation(
-                    &rule.body,
-                    plan,
-                    self.relations,
-                    self.udfs,
-                    options,
-                ) else {
-                    return Ok(None);
-                };
-                sharded
-            }
-        };
-        let relations: &HashMap<String, Relation> = self.relations;
-        let stats = self.plan_stats;
-        PlanStats::bump(&stats.parallel_batches);
-        let buffers = exec::run_shards(&shards, |shard| {
-            PlanStats::bump(&stats.shards_executed);
-            let ctx = JoinContext::with_stats(relations, self.udfs, stats);
-            let restriction = Some(DeltaRestriction {
-                literal_index: drive,
-                delta: DeltaTuples::Shard(shard),
-            });
-            let mut derived: Vec<(String, Tuple)> = Vec::new();
-            let mut bindings = Bindings::new();
-            let mut collect = |b: &Bindings| {
-                derived.append(&mut exec::project_heads(rule, b, relations)?);
-                Ok(())
-            };
-            match plan {
-                Some(plan) => {
-                    ctx.join_planned(&rule.body, plan, restriction, &mut bindings, &mut collect)?
-                }
-                None => ctx.join(&rule.body, restriction, &mut bindings, &mut collect)?,
-            }
-            Ok(derived)
-        })?;
-        let merged = exec::merge_derived(buffers);
-        #[cfg(debug_assertions)]
-        self.debug_verify_against_serial(rule, plan, delta, &merged)?;
-        Ok(Some(merged))
-    }
-
-    /// Debug-build check of the determinism argument: the merged parallel
-    /// output must equal the serial enumeration of the same execution
-    /// (sorted and deduplicated).  Runs without stats so the counters
-    /// reflect only the real evaluation.
-    #[cfg(debug_assertions)]
-    fn debug_verify_against_serial(
-        &self,
-        rule: &Rule,
-        plan: Option<&RulePlan>,
-        delta: Option<(usize, &HashSet<Tuple>)>,
-        merged: &[(String, Tuple)],
-    ) -> Result<()> {
-        let ctx = JoinContext::new(self.relations, self.udfs);
-        let restriction = delta.map(|(index, tuples)| DeltaRestriction {
-            literal_index: index,
-            delta: DeltaTuples::Set(tuples),
-        });
-        let mut serial: Vec<(String, Tuple)> = Vec::new();
-        let mut bindings = Bindings::new();
-        let mut collect = |b: &Bindings| {
-            serial.append(&mut exec::project_heads(rule, b, self.relations)?);
-            Ok(())
-        };
-        match plan {
-            Some(plan) => {
-                ctx.join_planned(&rule.body, plan, restriction, &mut bindings, &mut collect)?
-            }
-            None => ctx.join(&rule.body, restriction, &mut bindings, &mut collect)?,
-        }
-        debug_assert_eq!(
-            exec::canonicalize_derived(serial),
-            merged,
-            "sharded evaluation diverged from serial evaluation for rule `{rule}`"
-        );
-        Ok(())
     }
 
     /// Compile (or fetch) the plan for a rule, build the secondary indexes it
@@ -376,7 +447,37 @@ impl<'a> Evaluator<'a> {
             plan.as_ref(),
             Some(self.plan_stats),
             &self.config.exec,
+            self.pool,
         )
+    }
+
+    /// Phase B: insert one combination's derivations with strict
+    /// functional-dependency checking, adding new tuples to `delta`.
+    /// Id-space derivations insert without rehydration; only genuinely new
+    /// rows are resolved back to values (for the delta set).
+    fn insert_derivation(
+        &mut self,
+        derivation: Derivation,
+        delta: &mut HashMap<String, HashSet<Tuple>>,
+    ) -> Result<usize> {
+        match derivation {
+            Derivation::Values(derived) => self.insert_derived(derived, delta),
+            Derivation::Ids(derived) => {
+                let mut inserted = 0usize;
+                for (pred, batch) in derived {
+                    let relation = self.relation_entry(&pred);
+                    for index in 0..batch.rows() {
+                        let row = batch.row(index);
+                        if relation.insert_ids(row)? {
+                            inserted += 1;
+                            let tuple = relation.interner().resolve_row(row);
+                            delta.entry(pred.clone()).or_default().insert(tuple);
+                        }
+                    }
+                }
+                Ok(inserted)
+            }
+        }
     }
 
     /// Insert derived tuples with strict functional-dependency checking.
@@ -416,20 +517,239 @@ impl<'a> Evaluator<'a> {
     }
 
     /// Get or create the relation for `pred`, using the schema to decide the
-    /// storage kind.
+    /// storage kind.  New relations share the evaluator's dictionary.
     pub fn relation_entry(&mut self, pred: &str) -> &mut Relation {
         if !self.relations.contains_key(pred) {
             let key_arity = self.schema.get(pred).and_then(|decl| match decl.kind {
                 PredicateKind::Functional { key_arity } => Some(key_arity),
                 PredicateKind::Relation => None,
             });
-            self.relations
-                .insert(pred.to_string(), Relation::new(pred, key_arity));
+            self.relations.insert(
+                pred.to_string(),
+                Relation::with_interner(pred, key_arity, Arc::clone(self.interner)),
+            );
         }
         self.relations
             .get_mut(pred)
             .expect("relation just inserted")
     }
+}
+
+/// Rough size of a combination's driving tuple set, for the rule-level
+/// fan-out gate: the delta set when one is pinned, otherwise the first
+/// stored body relation.
+fn driving_size(
+    rule: &Rule,
+    delta: Option<(usize, &HashSet<Tuple>)>,
+    relations: &HashMap<String, Relation>,
+) -> usize {
+    if let Some((_, set)) = delta {
+        return set.len();
+    }
+    for literal in &rule.body {
+        if let Literal::Pos(atom) = literal {
+            if let Ok(pred) = runtime_pred_name(&atom.pred) {
+                if let Some(relation) = relations.get(&pred) {
+                    return relation.len();
+                }
+            }
+        }
+    }
+    0
+}
+
+/// Evaluate one non-existential `(rule, delta)` combination read-only:
+/// sharded across the worker pool when the driving set is large enough,
+/// serial tuple-at-a-time otherwise.  Heads are projected inside the
+/// enumeration callback — no per-solution `Bindings` clone.
+#[allow(clippy::too_many_arguments)]
+fn evaluate_tuple_combo(
+    rule: &Rule,
+    plan: Option<&RulePlan>,
+    delta: Option<(usize, &HashSet<Tuple>)>,
+    relations: &HashMap<String, Relation>,
+    udfs: &UdfRegistry,
+    stats: &PlanStats,
+    options: &EvalOptions,
+    pool: Option<&WorkerPool>,
+) -> Result<Vec<(String, Tuple)>> {
+    if let Some(merged) =
+        evaluate_tuple_sharded(rule, plan, delta, relations, udfs, stats, options, pool)?
+    {
+        return Ok(merged);
+    }
+    PlanStats::bump(&stats.serial_batches);
+    let ctx = JoinContext::with_stats(relations, udfs, stats);
+    let restriction = delta.map(|(index, tuples)| DeltaRestriction {
+        literal_index: index,
+        delta: DeltaTuples::Set(tuples),
+    });
+    let mut derived: Vec<(String, Tuple)> = Vec::new();
+    let mut bindings = Bindings::new();
+    let mut collect = |b: &Bindings| {
+        derived.append(&mut exec::project_heads(rule, b, relations)?);
+        Ok(())
+    };
+    match plan {
+        Some(plan) => {
+            ctx.join_planned(&rule.body, plan, restriction, &mut bindings, &mut collect)?
+        }
+        None => ctx.join(&rule.body, restriction, &mut bindings, &mut collect)?,
+    }
+    Ok(derived)
+}
+
+/// Try the sharded parallel path for one combination.  Returns `Ok(None)`
+/// when the execution should stay serial: parallelism disabled, a driving
+/// set below the threshold, or a body with no stored relation to drive on.
+///
+/// The driving literal is the delta literal when one is pinned, otherwise
+/// the first stored-relation literal in plan execution order (the join's
+/// outer loop).  Its tuple set is hash-partitioned; each worker runs the
+/// full planned join with its shard as a [`DeltaRestriction`] against shared
+/// read-only relation views (every index the plan probes was built in
+/// [`Evaluator::prepare_plan`] before this point), instantiating head tuples
+/// in a worker-local buffer.  Workers sort and deduplicate their own
+/// buffers; the caller folds them with a pipelined two-way merge as they
+/// arrive — bit-identical to the serial result (asserted in debug builds).
+#[allow(clippy::too_many_arguments)]
+fn evaluate_tuple_sharded(
+    rule: &Rule,
+    plan: Option<&RulePlan>,
+    delta: Option<(usize, &HashSet<Tuple>)>,
+    relations: &HashMap<String, Relation>,
+    udfs: &UdfRegistry,
+    stats: &PlanStats,
+    options: &EvalOptions,
+    pool: Option<&WorkerPool>,
+) -> Result<Option<Vec<(String, Tuple)>>> {
+    if !options.parallel_enabled() {
+        return Ok(None);
+    }
+    let (drive, shards) = match delta {
+        Some((index, tuples)) => {
+            if tuples.len() < options.parallel_threshold {
+                return Ok(None);
+            }
+            (index, exec::partition(tuples.iter(), options.workers))
+        }
+        None => {
+            let Some(sharded) =
+                exec::shard_driving_relation(&rule.body, plan, relations, udfs, options)
+            else {
+                return Ok(None);
+            };
+            sharded
+        }
+    };
+    PlanStats::bump(&stats.parallel_batches);
+    let merged = exec::run_shards_merged(pool, &shards, |shard| {
+        PlanStats::bump(&stats.shards_executed);
+        let ctx = JoinContext::with_stats(relations, udfs, stats);
+        let restriction = Some(DeltaRestriction {
+            literal_index: drive,
+            delta: DeltaTuples::Shard(shard),
+        });
+        let mut derived: Vec<(String, Tuple)> = Vec::new();
+        let mut bindings = Bindings::new();
+        let mut collect = |b: &Bindings| {
+            derived.append(&mut exec::project_heads(rule, b, relations)?);
+            Ok(())
+        };
+        match plan {
+            Some(plan) => {
+                ctx.join_planned(&rule.body, plan, restriction, &mut bindings, &mut collect)?
+            }
+            None => ctx.join(&rule.body, restriction, &mut bindings, &mut collect)?,
+        }
+        Ok(derived)
+    })?;
+    #[cfg(debug_assertions)]
+    debug_verify_against_serial(rule, plan, delta, relations, udfs, &merged)?;
+    Ok(Some(merged))
+}
+
+/// Debug-build check of the determinism argument: the merged parallel
+/// output must equal the serial enumeration of the same execution
+/// (sorted and deduplicated).  Runs without stats so the counters
+/// reflect only the real evaluation.
+#[cfg(debug_assertions)]
+fn debug_verify_against_serial(
+    rule: &Rule,
+    plan: Option<&RulePlan>,
+    delta: Option<(usize, &HashSet<Tuple>)>,
+    relations: &HashMap<String, Relation>,
+    udfs: &UdfRegistry,
+    merged: &[(String, Tuple)],
+) -> Result<()> {
+    let ctx = JoinContext::new(relations, udfs);
+    let restriction = delta.map(|(index, tuples)| DeltaRestriction {
+        literal_index: index,
+        delta: DeltaTuples::Set(tuples),
+    });
+    let mut serial: Vec<(String, Tuple)> = Vec::new();
+    let mut bindings = Bindings::new();
+    let mut collect = |b: &Bindings| {
+        serial.append(&mut exec::project_heads(rule, b, relations)?);
+        Ok(())
+    };
+    match plan {
+        Some(plan) => {
+            ctx.join_planned(&rule.body, plan, restriction, &mut bindings, &mut collect)?
+        }
+        None => ctx.join(&rule.body, restriction, &mut bindings, &mut collect)?,
+    }
+    debug_assert_eq!(
+        exec::canonicalize_derived(serial),
+        merged,
+        "sharded evaluation diverged from serial evaluation for rule `{rule}`"
+    );
+    Ok(())
+}
+
+/// Debug-build check of the batch executor: its rehydrated output must equal
+/// the tuple-at-a-time enumeration of the same combination.
+#[cfg(debug_assertions)]
+fn debug_verify_batch(
+    rule: &Rule,
+    plan: Option<&RulePlan>,
+    delta: Option<(usize, &HashSet<Tuple>)>,
+    relations: &HashMap<String, Relation>,
+    udfs: &UdfRegistry,
+    interner: &Arc<Interner>,
+    rows: &[(String, IdBatch)],
+) -> Result<()> {
+    let ctx = JoinContext::new(relations, udfs);
+    let restriction = delta.map(|(index, tuples)| DeltaRestriction {
+        literal_index: index,
+        delta: DeltaTuples::Set(tuples),
+    });
+    let mut serial: Vec<(String, Tuple)> = Vec::new();
+    let mut bindings = Bindings::new();
+    let mut collect = |b: &Bindings| {
+        serial.append(&mut exec::project_heads(rule, b, relations)?);
+        Ok(())
+    };
+    match plan {
+        Some(plan) => {
+            ctx.join_planned(&rule.body, plan, restriction, &mut bindings, &mut collect)?
+        }
+        None => ctx.join(&rule.body, restriction, &mut bindings, &mut collect)?,
+    }
+    let rehydrated: Vec<(String, Tuple)> = rows
+        .iter()
+        .flat_map(|(pred, batch)| {
+            batch
+                .iter()
+                .map(|row| (pred.clone(), interner.resolve_row(row)))
+        })
+        .collect();
+    debug_assert_eq!(
+        exec::canonicalize_derived(serial),
+        exec::canonicalize_derived(rehydrated),
+        "batch evaluation diverged from tuple-at-a-time for rule `{rule}`"
+    );
+    Ok(())
 }
 
 #[cfg(test)]
@@ -440,12 +760,14 @@ mod tests {
     use crate::udf::UdfRegistry;
 
     /// Build the pieces an Evaluator needs from a program plus EDB facts.
+    /// Relations share one dictionary so the batch path is exercised.
     struct Fixture {
         rules: Vec<Rule>,
         strata: Vec<Vec<usize>>,
         schema: Schema,
         udfs: UdfRegistry,
         relations: HashMap<String, Relation>,
+        interner: Arc<Interner>,
         entity_counter: u64,
         memo: HashMap<(usize, Vec<Value>), u64>,
         plan_cache: PlanCache,
@@ -460,6 +782,7 @@ mod tests {
             let rules: Vec<Rule> = program.rules().cloned().collect();
             let udfs = UdfRegistry::new();
             let strata = stratify(&rules, &udfs).unwrap();
+            let interner = Arc::new(Interner::new());
             let mut relations = HashMap::new();
             for (pred, tuple) in facts {
                 let key_arity = schema.get(pred).and_then(|d| match d.kind {
@@ -468,7 +791,9 @@ mod tests {
                 });
                 relations
                     .entry(pred.to_string())
-                    .or_insert_with(|| Relation::new(*pred, key_arity))
+                    .or_insert_with(|| {
+                        Relation::with_interner(*pred, key_arity, Arc::clone(&interner))
+                    })
                     .insert(tuple.clone())
                     .unwrap();
             }
@@ -478,6 +803,7 @@ mod tests {
                 schema,
                 udfs,
                 relations,
+                interner,
                 entity_counter: 0,
                 memo: HashMap::new(),
                 plan_cache: PlanCache::new(),
@@ -496,6 +822,8 @@ mod tests {
                 existential_memo: &mut self.memo,
                 plan_cache: &mut self.plan_cache,
                 plan_stats: &self.plan_stats,
+                interner: &self.interner,
+                pool: None,
             };
             evaluator.run(&self.rules, &self.strata).unwrap()
         }
@@ -611,6 +939,29 @@ mod tests {
     }
 
     #[test]
+    fn batch_path_runs_for_eligible_rules() {
+        let facts: Vec<(&str, Vec<Value>)> = (0..32)
+            .flat_map(|i| {
+                vec![
+                    ("r", vec![Value::Int(i), Value::Int(i + 1)]),
+                    ("s", vec![Value::Int(i + 1), Value::Int(i + 2)]),
+                ]
+            })
+            .collect();
+        let mut fixture = Fixture::new("out(X, Z) <- r(X, Y), s(Y, Z).", &facts);
+        fixture.run();
+        assert_eq!(fixture.tuples("out").len(), 32);
+        // Derived relations share the fixture dictionary, so re-running
+        // stays on the batch path and derives nothing new.
+        let stats = fixture.run();
+        assert_eq!(stats.derived, 0);
+        assert!(Arc::ptr_eq(
+            fixture.relations.get("out").unwrap().interner(),
+            &fixture.interner
+        ));
+    }
+
+    #[test]
     fn unsafe_rule_rejected() {
         let mut fixture = Fixture::new(
             "out(X, Y) <- link(X, _).",
@@ -626,6 +977,8 @@ mod tests {
             existential_memo: &mut fixture.memo,
             plan_cache: &mut fixture.plan_cache,
             plan_stats: &fixture.plan_stats,
+            interner: &fixture.interner,
+            pool: None,
         };
         // Y is a head existential, so it actually mints an entity — that is
         // allowed.  A truly unsafe head would use an expression over unbound
@@ -656,6 +1009,8 @@ mod tests {
             existential_memo: &mut fixture.memo,
             plan_cache: &mut fixture.plan_cache,
             plan_stats: &fixture.plan_stats,
+            interner: &fixture.interner,
+            pool: None,
         };
         let err = evaluator.run(&fixture.rules, &fixture.strata).unwrap_err();
         assert!(matches!(err, DatalogError::FixpointBudget { .. }));

@@ -44,6 +44,7 @@ pub mod codec;
 pub mod constraint;
 pub mod error;
 pub mod eval;
+pub mod intern;
 pub mod parser;
 pub mod relation;
 pub mod schema;
@@ -57,6 +58,7 @@ pub use ast::{Atom, Constraint, Literal, PredRef, Program, Rule, Statement, Term
 pub use codec::{deserialize_tuple, serialize_tuple};
 pub use error::{DatalogError, Result};
 pub use eval::{EvalConfig, EvalOptions, PlanStatsSnapshot};
+pub use intern::Interner;
 pub use parser::{parse_program, parse_rule};
 pub use relation::{column_set, ColumnSet, Relation};
 pub use schema::{PredicateDecl, PredicateKind, Schema};

@@ -1,46 +1,71 @@
-//! In-memory relation storage with functional-dependency enforcement and
-//! lazily-built, incrementally-maintained secondary hash indexes.
+//! Interned, columnar relation storage with functional-dependency
+//! enforcement and lazily-built, incrementally-maintained secondary indexes.
 //!
-//! Tuples live in an arena (`Vec<Tuple>`) addressed by stable [`TupleId`]s; a
-//! `live` map provides membership tests and id lookup.  A secondary index is
-//! keyed by a *bound-column signature* — a bitmask of column positions — and
-//! maps the projection of a tuple onto those columns to the ids of every live
-//! tuple sharing that projection.  Indexes are built on demand (the planner
-//! requests the signatures its probes need via [`Relation::ensure_index`])
-//! and maintained incrementally: inserts append the new id to every existing
-//! index, removals delete the id again, so delta application and DRed see a
-//! consistent view at all times.
+//! Every value is encoded to a dense `u32` id by the workspace's shared
+//! [`Interner`] at insert time.  The authoritative hot-path storage is
+//! column-major: tuples of the same arity live in one [`ColumnGroup`] whose
+//! `arity` parallel `Vec<u32>` columns the batch executor scans directly.
+//! Membership, the functional-dependency index, and every secondary index
+//! key on 64-bit FNV hashes of id projections ([`fnv_ids`]) — equality and
+//! hashing on the hot path are integer ops, and index maintenance projects
+//! id rows instead of cloning `Value`s per probe.  Bucket candidates are
+//! verified against the exact id projection before they are returned, so a
+//! hash collision can never surface a wrong tuple.
+//!
+//! Alongside the columns, each live tuple keeps one materialized
+//! `Arc<Tuple>` row: the boundary representation handed to everything that
+//! must see real `Value`s (the codec, signing, Merkle commitments, UDFs,
+//! comparisons).  It is maintained at insert time, so boundary reads are
+//! free and dictionary ids never leak out of the storage layer.
+//!
+//! A tuple's [`TupleId`] is stable for its lifetime; removed slots are
+//! recycled.  Secondary indexes are built on demand (the planner requests
+//! the signatures its probes need via [`Relation::ensure_index`]) and
+//! maintained incrementally, so delta application and DRed see a consistent
+//! view at all times.
 //!
 //! Concurrency contract (DESIGN.md §8): a `Relation` is `Send + Sync`, and
 //! every read path ([`Relation::probe`], [`Relation::iter`],
 //! [`Relation::select`], [`Relation::matches_any`],
-//! [`Relation::functional_lookup`], [`Relation::tuple_by_id`]) takes `&self`,
-//! so the sharded worker pool shares relations across scoped threads as
-//! read-only probe views.  All mutation — inserts, removals, and
-//! [`Relation::ensure_index`] builds — is single-writer: the evaluator thread
-//! builds the indexes a plan probes *before* spawning workers and applies the
-//! merged derivation buffer *after* they join.  Tuples are `Arc`-shared, so
-//! the views cost no copying.
+//! [`Relation::functional_lookup`], [`Relation::tuple_by_id`],
+//! [`Relation::group`]) takes `&self`, so the worker pool shares relations
+//! across threads as read-only probe views.  All mutation — inserts,
+//! removals, and [`Relation::ensure_index`] builds — is single-writer: the
+//! evaluator thread builds the indexes a plan probes *before* handing
+//! batches to workers and applies the merged derivation buffer *after* they
+//! finish.
 
 use crate::error::{DatalogError, Result};
+use crate::intern::{fnv_ids, Interner, PassBuild};
 use crate::value::{Tuple, Value};
-use std::borrow::Borrow;
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
-/// Stable identifier of a tuple inside one relation's arena.
+/// Stable identifier of a tuple inside one relation.
 pub type TupleId = u32;
 
 /// A bound-column signature: bit `i` set means column `i` is part of the
-/// index key.  Relations wider than 64 columns are never indexed (they fall
-/// back to scans), which is far beyond any predicate the engine stores.
+/// index key.  Relations wider than 64 columns are never indexed — the
+/// planner's `probe_signature` falls back to scans for them (see
+/// [`column_set`]).
 pub type ColumnSet = u64;
 
 /// Build a [`ColumnSet`] from column positions.
+///
+/// Positions ≥ 64 cannot be represented.  In debug builds this asserts —
+/// silently dropping a position would build a *wrong* (too-coarse) index
+/// key for a wide predicate.  In release builds the position is ignored,
+/// which is safe for every in-tree caller because the planner's
+/// `probe_signature` already refuses to plan probes on predicates wider
+/// than 64 columns (they fall back to full scans).
 pub fn column_set(columns: impl IntoIterator<Item = usize>) -> ColumnSet {
     let mut set = 0u64;
     for column in columns {
+        debug_assert!(
+            column < 64,
+            "column position {column} does not fit a ColumnSet; \
+             predicates wider than 64 columns must fall back to scans"
+        );
         if column < 64 {
             set |= 1 << column;
         }
@@ -48,103 +73,167 @@ pub fn column_set(columns: impl IntoIterator<Item = usize>) -> ColumnSet {
     set
 }
 
-/// Project `tuple` onto the columns of `cols` (ascending position order).
-/// Returns `None` when the tuple is too short to have every indexed column —
-/// such a tuple can never match a probe of that signature.
-fn project(tuple: &[Value], cols: ColumnSet) -> Option<Tuple> {
-    let mut key = Vec::with_capacity(cols.count_ones() as usize);
-    for position in 0..64 {
-        if cols & (1 << position) != 0 {
-            key.push(tuple.get(position as usize)?.clone());
+/// Sentinel arity marking a recycled slot.
+const FREE_SLOT: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    /// Arity of the stored tuple, or [`FREE_SLOT`].
+    arity: u32,
+    /// Row position inside the tuple's [`ColumnGroup`].
+    row: u32,
+}
+
+/// Column-major storage for all live tuples of one arity: `arity` parallel
+/// id columns plus a back-pointer from each row to its stable [`TupleId`].
+/// This is what the batch executor scans.
+#[derive(Debug, Clone, Default)]
+pub struct ColumnGroup {
+    arity: usize,
+    cols: Vec<Vec<u32>>,
+    ids: Vec<TupleId>,
+}
+
+impl ColumnGroup {
+    fn new(arity: usize) -> Self {
+        ColumnGroup {
+            arity,
+            cols: (0..arity).map(|_| Vec::new()).collect(),
+            ids: Vec::new(),
         }
     }
-    Some(key)
-}
 
-/// A live tuple shared between the arena and the membership map: one heap
-/// allocation per tuple regardless of how many structures reference it.
-/// Hashing and equality delegate to the underlying value slice so the map
-/// can be queried directly with `&[Value]`.
-#[derive(Debug, Clone)]
-struct SharedTuple(Arc<Tuple>);
-
-impl Hash for SharedTuple {
-    fn hash<H: Hasher>(&self, state: &mut H) {
-        self.0.as_slice().hash(state)
+    /// The arity shared by every row of this group.
+    pub fn arity(&self) -> usize {
+        self.arity
     }
-}
 
-impl PartialEq for SharedTuple {
-    fn eq(&self, other: &Self) -> bool {
-        self.0.as_slice() == other.0.as_slice()
+    /// Number of live rows.
+    pub fn rows(&self) -> usize {
+        self.ids.len()
     }
-}
 
-impl Eq for SharedTuple {}
+    /// The id column at position `col`.
+    pub fn col(&self, col: usize) -> &[u32] {
+        &self.cols[col]
+    }
 
-impl Borrow<[Value]> for SharedTuple {
-    fn borrow(&self) -> &[Value] {
-        self.0.as_slice()
+    /// Back-pointers: `tuple_ids()[row]` is the [`TupleId`] of row `row`.
+    pub fn tuple_ids(&self) -> &[TupleId] {
+        &self.ids
+    }
+
+    fn push(&mut self, ids: &[u32], tuple_id: TupleId) -> u32 {
+        debug_assert_eq!(ids.len(), self.arity);
+        for (col, &id) in self.cols.iter_mut().zip(ids) {
+            col.push(id);
+        }
+        self.ids.push(tuple_id);
+        (self.ids.len() - 1) as u32
+    }
+
+    /// Remove `row` by swapping the last row into its place; returns the
+    /// [`TupleId`] of the moved row (if any) so the caller can fix its slot.
+    fn swap_remove(&mut self, row: u32) -> Option<TupleId> {
+        let row = row as usize;
+        for col in &mut self.cols {
+            col.swap_remove(row);
+        }
+        self.ids.swap_remove(row);
+        self.ids.get(row).copied()
     }
 }
 
 /// A stored relation: the extension of one predicate inside a workspace.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Relation {
     name: String,
     /// `Some(k)` if the predicate is functional with `k` key columns (the
     /// remaining single column is the dependent value).
     key_arity: Option<usize>,
-    /// Tuple arena; slots of removed tuples are recycled via `free`.
-    arena: Vec<Arc<Tuple>>,
-    /// Live tuples: membership test and arena id lookup.
-    live: HashMap<SharedTuple, TupleId>,
-    /// Recyclable arena slots.
+    /// The value dictionary (shared workspace-wide via `Arc`).
+    interner: Arc<Interner>,
+    /// Materialized boundary rows, indexed by [`TupleId`]; recycled slots
+    /// hold an empty tuple.
+    rows: Vec<Arc<Tuple>>,
+    /// Per-tuple location: arity + row inside that arity's group.
+    slots: Vec<Slot>,
+    /// Recyclable slots.
     free: Vec<TupleId>,
-    /// Key → value index for functional predicates, used both for fast lookup
-    /// and for detecting functional-dependency violations.
-    fd_index: HashMap<Tuple, Value>,
-    /// Secondary hash indexes by bound-column signature.
-    indexes: HashMap<ColumnSet, HashMap<Tuple, Vec<TupleId>>>,
+    /// Live tuple count.
+    len: usize,
+    /// Column-major id storage, one group per arity (linear scan: a
+    /// relation in practice holds one or two arities).
+    groups: Vec<ColumnGroup>,
+    /// Membership: hash of (arity, id row) → candidate ids.
+    live: HashMap<u64, Vec<TupleId>, PassBuild>,
+    /// Functional predicates: hash of the key-id prefix → candidate ids.
+    fd_index: HashMap<u64, Vec<TupleId>, PassBuild>,
+    /// Secondary indexes: signature → (hash of id projection → ids).
+    indexes: HashMap<ColumnSet, HashMap<u64, Vec<TupleId>, PassBuild>>,
+    /// Bumped on every successful mutation (insert/remove/clear); lets the
+    /// transaction delta scan skip relations that provably did not change.
+    version: u64,
 }
 
-/// Cloning compacts the arena and drops the secondary indexes: they are
-/// rebuildable caches, and the clones the engine takes (transaction rollback
-/// snapshots, DRed's pre-deletion view) should not pay for copying them.
-/// Tuples themselves are `Arc`-shared, so a clone costs two pointer copies
-/// per tuple, not a deep copy.
+impl Default for Relation {
+    fn default() -> Self {
+        Relation::new("", None)
+    }
+}
+
+/// Cloning preserves [`TupleId`]s, shares the interner and the `Arc`'d
+/// boundary rows, and drops the secondary indexes: they are rebuildable
+/// caches, and the clones the engine takes (transaction rollback snapshots,
+/// DRed's pre-deletion view) should not pay for copying them.  All other
+/// state is integer vectors and integer-keyed maps, so a clone is a flat
+/// memcpy plus one refcount bump per tuple — no value is rehashed.
 impl Clone for Relation {
     fn clone(&self) -> Self {
-        let mut arena = Vec::with_capacity(self.live.len());
-        let mut live = HashMap::with_capacity(self.live.len());
-        for key in self.live.keys() {
-            let id = arena.len() as TupleId;
-            arena.push(Arc::clone(&key.0));
-            live.insert(key.clone(), id);
-        }
         Relation {
             name: self.name.clone(),
             key_arity: self.key_arity,
-            arena,
-            live,
-            free: Vec::new(),
+            interner: Arc::clone(&self.interner),
+            rows: self.rows.clone(),
+            slots: self.slots.clone(),
+            free: self.free.clone(),
+            len: self.len,
+            groups: self.groups.clone(),
+            live: self.live.clone(),
             fd_index: self.fd_index.clone(),
             indexes: HashMap::new(),
+            version: self.version,
         }
     }
 }
 
 impl Relation {
-    /// Create an empty relation.
+    /// Create an empty relation with a private dictionary.  Inside a
+    /// workspace use [`Relation::with_interner`] so every relation shares
+    /// one dictionary and the batch executor can join in id space.
     pub fn new(name: impl Into<String>, key_arity: Option<usize>) -> Self {
+        Relation::with_interner(name, key_arity, Arc::new(Interner::new()))
+    }
+
+    /// Create an empty relation sharing `interner`.
+    pub fn with_interner(
+        name: impl Into<String>,
+        key_arity: Option<usize>,
+        interner: Arc<Interner>,
+    ) -> Self {
         Relation {
             name: name.into(),
             key_arity,
-            arena: Vec::new(),
-            live: HashMap::new(),
+            interner,
+            rows: Vec::new(),
+            slots: Vec::new(),
             free: Vec::new(),
-            fd_index: HashMap::new(),
+            len: 0,
+            groups: Vec::new(),
+            live: HashMap::default(),
+            fd_index: HashMap::default(),
             indexes: HashMap::new(),
+            version: 0,
         }
     }
 
@@ -158,24 +247,172 @@ impl Relation {
         self.key_arity
     }
 
+    /// The value dictionary this relation encodes against.
+    pub fn interner(&self) -> &Arc<Interner> {
+        &self.interner
+    }
+
+    /// Mutation counter: unchanged version ⇒ unchanged contents (the
+    /// converse does not hold; a remove+reinsert bumps it twice).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
     /// Number of tuples.
     pub fn len(&self) -> usize {
-        self.live.len()
+        self.len
     }
 
     /// True if the relation has no tuples.
     pub fn is_empty(&self) -> bool {
-        self.live.is_empty()
+        self.len == 0
+    }
+
+    /// The column group for `arity`, if any tuple of that arity was ever
+    /// inserted.  Rows removed from a group leave it in place (possibly
+    /// empty).
+    pub fn group(&self, arity: usize) -> Option<&ColumnGroup> {
+        self.groups.iter().find(|group| group.arity == arity)
+    }
+
+    /// All column groups (the batch executor's scan entry point).
+    pub fn column_groups(&self) -> &[ColumnGroup] {
+        &self.groups
+    }
+
+    fn group_mut(&mut self, arity: usize) -> &mut ColumnGroup {
+        if let Some(position) = self.groups.iter().position(|group| group.arity == arity) {
+            &mut self.groups[position]
+        } else {
+            self.groups.push(ColumnGroup::new(arity));
+            self.groups.last_mut().expect("just pushed")
+        }
+    }
+
+    /// The id at column `col` of the live tuple `id`, or `None` when the
+    /// tuple is shorter.
+    fn row_id_at(&self, id: TupleId, col: usize) -> Option<u32> {
+        let slot = self.slots[id as usize];
+        debug_assert_ne!(slot.arity, FREE_SLOT);
+        if col >= slot.arity as usize {
+            return None;
+        }
+        let group = self.group(slot.arity as usize)?;
+        Some(group.cols[col][slot.row as usize])
+    }
+
+    /// Gather the full id row of live tuple `id` into `out` (cleared first).
+    pub fn row_ids(&self, id: TupleId, out: &mut Vec<u32>) {
+        out.clear();
+        let slot = self.slots[id as usize];
+        debug_assert_ne!(slot.arity, FREE_SLOT);
+        if let Some(group) = self.group(slot.arity as usize) {
+            for col in &group.cols {
+                out.push(col[slot.row as usize]);
+            }
+        }
+    }
+
+    fn row_hash(ids: &[u32]) -> u64 {
+        fnv_ids(ids.len() as u64, ids.iter().copied())
+    }
+
+    /// Find the live tuple whose id row equals `ids`, verifying candidates.
+    fn find_live(&self, ids: &[u32]) -> Option<TupleId> {
+        let bucket = self.live.get(&Self::row_hash(ids))?;
+        bucket
+            .iter()
+            .copied()
+            .find(|&candidate| self.id_row_equals(candidate, ids))
+    }
+
+    fn id_row_equals(&self, id: TupleId, ids: &[u32]) -> bool {
+        let slot = self.slots[id as usize];
+        if slot.arity as usize != ids.len() {
+            return false;
+        }
+        let Some(group) = self.group(slot.arity as usize) else {
+            return false;
+        };
+        group
+            .cols
+            .iter()
+            .zip(ids)
+            .all(|(col, &want)| col[slot.row as usize] == want)
+    }
+
+    fn fd_hash(key_ids: &[u32]) -> u64 {
+        // Seeded differently from row_hash so a functional predicate's key
+        // and a full row never collide structurally.
+        fnv_ids(0x5d, key_ids.iter().copied())
+    }
+
+    /// Find the functional row whose key-id prefix equals `key_ids`.
+    fn find_fd(&self, key_ids: &[u32]) -> Option<TupleId> {
+        let bucket = self.fd_index.get(&Self::fd_hash(key_ids))?;
+        bucket.iter().copied().find(|&candidate| {
+            key_ids
+                .iter()
+                .enumerate()
+                .all(|(col, &want)| self.row_id_at(candidate, col) == Some(want))
+        })
+    }
+
+    /// Hash of the projection of `ids` onto `cols`, or `None` when the row
+    /// is too short to have every indexed column — such a row can never
+    /// match a probe of that signature and is excluded from the index.
+    fn project_hash(ids: &[u32], cols: ColumnSet) -> Option<u64> {
+        if cols == 0 {
+            return None;
+        }
+        let highest = 63 - cols.leading_zeros() as usize;
+        if highest >= ids.len() {
+            return None;
+        }
+        let mut mask = cols;
+        Some(fnv_ids(
+            cols,
+            std::iter::from_fn(move || {
+                if mask == 0 {
+                    return None;
+                }
+                let position = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                Some(ids[position])
+            }),
+        ))
+    }
+
+    /// True when live tuple `id` projects onto `cols` exactly as `key_ids`.
+    fn projection_matches(&self, id: TupleId, cols: ColumnSet, key_ids: &[u32]) -> bool {
+        let mut mask = cols;
+        for &want in key_ids {
+            if mask == 0 {
+                return false;
+            }
+            let position = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            if self.row_id_at(id, position) != Some(want) {
+                return false;
+            }
+        }
+        mask == 0
     }
 
     /// Membership test.
     pub fn contains(&self, tuple: &[Value]) -> bool {
-        self.live.contains_key(tuple)
+        let mut ids = Vec::with_capacity(tuple.len());
+        self.interner.try_row(tuple, &mut ids) && self.find_live(&ids).is_some()
     }
 
-    /// Iterate over all tuples (arbitrary order).
+    /// Iterate over all tuples in [`TupleId`]-stable group order — a
+    /// deterministic function of the operation sequence applied to the
+    /// relation (unlike the value-hash order of the previous row store).
     pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
-        self.live.keys().map(|key| key.0.as_ref())
+        self.groups
+            .iter()
+            .flat_map(|group| group.ids.iter())
+            .map(|&id| self.rows[id as usize].as_ref())
     }
 
     /// All tuples in a deterministic order (sorted by the total value order),
@@ -192,54 +429,100 @@ impl Relation {
     /// present, and a [`DatalogError::FunctionalDependency`] error if the
     /// predicate is functional and the key already maps to a different value.
     pub fn insert(&mut self, tuple: Tuple) -> Result<bool> {
+        let mut ids = Vec::with_capacity(tuple.len());
+        self.interner.intern_row(&tuple, &mut ids);
+        match self.check_insert_ids(&ids)? {
+            None => Ok(false),
+            Some(()) => {
+                self.insert_row(Arc::new(tuple), &ids);
+                Ok(true)
+            }
+        }
+    }
+
+    /// Insert a pre-encoded id row (the batch executor's insert path; the
+    /// ids must come from this relation's own interner).  Identical
+    /// semantics to [`Relation::insert`]; the boundary row is rehydrated
+    /// once, only for genuinely new tuples.
+    pub fn insert_ids(&mut self, ids: &[u32]) -> Result<bool> {
+        match self.check_insert_ids(ids)? {
+            None => Ok(false),
+            Some(()) => {
+                let tuple = self.interner.resolve_row(ids);
+                self.insert_row(Arc::new(tuple), ids);
+                Ok(true)
+            }
+        }
+    }
+
+    /// Shared admission check: `Ok(None)` = duplicate, `Ok(Some(()))` =
+    /// insert may proceed, `Err` = functional-dependency violation.
+    fn check_insert_ids(&self, ids: &[u32]) -> Result<Option<()>> {
         if let Some(key_arity) = self.key_arity {
-            if tuple.len() != key_arity + 1 {
+            if ids.len() != key_arity + 1 {
                 return Err(DatalogError::Eval(format!(
                     "functional predicate {} expects {} columns, got {}",
                     self.name,
                     key_arity + 1,
-                    tuple.len()
+                    ids.len()
                 )));
             }
-            let key: Tuple = tuple[..key_arity].to_vec();
-            let value = tuple[key_arity].clone();
-            if let Some(existing) = self.fd_index.get(&key) {
-                if *existing == value {
-                    return Ok(false);
+            if let Some(existing_id) = self.find_fd(&ids[..key_arity]) {
+                let existing_value = self.rows[existing_id as usize][key_arity].clone();
+                if self.row_id_at(existing_id, key_arity) == Some(ids[key_arity]) {
+                    return Ok(None);
                 }
-                let mut existing_row = key.clone();
-                existing_row.push(existing.clone());
                 return Err(DatalogError::FunctionalDependency {
                     predicate: self.name.clone(),
-                    key,
-                    existing: vec![existing_row[key_arity].clone()],
-                    attempted: vec![value],
+                    key: self.interner.resolve_row(&ids[..key_arity]),
+                    existing: vec![existing_value],
+                    attempted: vec![self.interner.value(ids[key_arity])],
                 });
             }
-            self.fd_index.insert(key, value);
+            // A live duplicate always has a matching fd entry, so reaching
+            // here means the row is new.
+            debug_assert!(self.find_live(ids).is_none());
+        } else if self.find_live(ids).is_some() {
+            return Ok(None);
         }
-        if self.live.contains_key(tuple.as_slice()) {
-            return Ok(false);
-        }
-        let shared = Arc::new(tuple);
+        Ok(Some(()))
+    }
+
+    fn insert_row(&mut self, tuple: Arc<Tuple>, ids: &[u32]) {
         let id = match self.free.pop() {
             Some(id) => {
-                self.arena[id as usize] = Arc::clone(&shared);
+                self.rows[id as usize] = tuple;
                 id
             }
             None => {
-                let id = self.arena.len() as TupleId;
-                self.arena.push(Arc::clone(&shared));
+                let id = self.rows.len() as TupleId;
+                self.rows.push(tuple);
+                self.slots.push(Slot {
+                    arity: FREE_SLOT,
+                    row: 0,
+                });
                 id
             }
         };
-        for (cols, index) in &mut self.indexes {
-            if let Some(key) = project(&shared, *cols) {
-                index.entry(key).or_default().push(id);
+        let row = self.group_mut(ids.len()).push(ids, id);
+        self.slots[id as usize] = Slot {
+            arity: ids.len() as u32,
+            row,
+        };
+        self.live.entry(Self::row_hash(ids)).or_default().push(id);
+        if let Some(key_arity) = self.key_arity {
+            self.fd_index
+                .entry(Self::fd_hash(&ids[..key_arity]))
+                .or_default()
+                .push(id);
+        }
+        for (&cols, index) in &mut self.indexes {
+            if let Some(hash) = Self::project_hash(ids, cols) {
+                index.entry(hash).or_default().push(id);
             }
         }
-        self.live.insert(SharedTuple(shared), id);
-        Ok(true)
+        self.len += 1;
+        self.version += 1;
     }
 
     /// Insert a tuple for a functional predicate, replacing any existing
@@ -247,14 +530,16 @@ impl Relation {
     /// better aggregate legitimately supersedes the previous one).
     pub fn insert_or_replace(&mut self, tuple: Tuple) -> Result<bool> {
         if let Some(key_arity) = self.key_arity {
-            let key: Tuple = tuple[..key_arity].to_vec();
-            if let Some(existing) = self.fd_index.get(&key).cloned() {
-                if existing == tuple[key_arity] {
-                    return Ok(false);
+            if tuple.len() == key_arity + 1 {
+                let mut key_ids = Vec::with_capacity(key_arity);
+                if self.interner.try_row(&tuple[..key_arity], &mut key_ids) {
+                    if let Some(existing_id) = self.find_fd(&key_ids) {
+                        if self.rows[existing_id as usize][key_arity] == tuple[key_arity] {
+                            return Ok(false);
+                        }
+                        self.remove_by_id(existing_id);
+                    }
                 }
-                let mut old_row = key;
-                old_row.push(existing);
-                self.remove(&old_row);
             }
         }
         self.insert(tuple)
@@ -262,48 +547,104 @@ impl Relation {
 
     /// Remove a tuple, returning whether it was present.
     pub fn remove(&mut self, tuple: &[Value]) -> bool {
-        let Some(id) = self.live.remove(tuple) else {
+        let mut ids = Vec::with_capacity(tuple.len());
+        if !self.interner.try_row(tuple, &mut ids) {
+            return false;
+        }
+        let Some(id) = self.find_live(&ids) else {
             return false;
         };
-        // Release the tuple's allocation now rather than when the slot is
-        // recycled (retract-heavy workloads would otherwise pin the memory).
-        self.arena[id as usize] = Arc::new(Tuple::new());
-        self.free.push(id);
-        for (cols, index) in &mut self.indexes {
-            if let Some(key) = project(tuple, *cols) {
-                if let Some(bucket) = index.get_mut(&key) {
-                    bucket.retain(|&candidate| candidate != id);
+        self.remove_found(id, &ids);
+        true
+    }
+
+    fn remove_by_id(&mut self, id: TupleId) {
+        let mut ids = Vec::new();
+        self.row_ids(id, &mut ids);
+        self.remove_found(id, &ids);
+    }
+
+    fn remove_found(&mut self, id: TupleId, ids: &[u32]) {
+        let retain = |bucket: &mut Vec<TupleId>| bucket.retain(|&candidate| candidate != id);
+        if let Some(bucket) = self.live.get_mut(&Self::row_hash(ids)) {
+            retain(bucket);
+            if bucket.is_empty() {
+                self.live.remove(&Self::row_hash(ids));
+            }
+        }
+        if let Some(key_arity) = self.key_arity {
+            if ids.len() == key_arity + 1 {
+                let hash = Self::fd_hash(&ids[..key_arity]);
+                if let Some(bucket) = self.fd_index.get_mut(&hash) {
+                    retain(bucket);
                     if bucket.is_empty() {
-                        index.remove(&key);
+                        self.fd_index.remove(&hash);
                     }
                 }
             }
         }
-        if let Some(key_arity) = self.key_arity {
-            let key: Tuple = tuple[..key_arity].to_vec();
-            self.fd_index.remove(&key);
+        for (&cols, index) in &mut self.indexes {
+            if let Some(hash) = Self::project_hash(ids, cols) {
+                if let Some(bucket) = index.get_mut(&hash) {
+                    retain(bucket);
+                    if bucket.is_empty() {
+                        index.remove(&hash);
+                    }
+                }
+            }
         }
-        true
+        let slot = self.slots[id as usize];
+        let position = self
+            .groups
+            .iter()
+            .position(|group| group.arity == slot.arity as usize)
+            .expect("live tuple has a group");
+        if let Some(moved) = self.groups[position].swap_remove(slot.row) {
+            self.slots[moved as usize].row = slot.row;
+        }
+        // Release the tuple's allocation now rather than when the slot is
+        // recycled (retract-heavy workloads would otherwise pin the memory).
+        self.rows[id as usize] = Arc::new(Tuple::new());
+        self.slots[id as usize] = Slot {
+            arity: FREE_SLOT,
+            row: 0,
+        };
+        self.free.push(id);
+        self.len -= 1;
+        self.version += 1;
     }
 
     /// Remove all tuples (and drop every index).
     pub fn clear(&mut self) {
-        self.arena.clear();
-        self.live.clear();
+        self.rows.clear();
+        self.slots.clear();
         self.free.clear();
+        self.len = 0;
+        self.groups.clear();
+        self.live.clear();
         self.fd_index.clear();
         self.indexes.clear();
+        self.version += 1;
     }
 
     /// Look up the dependent value for `key` in a functional predicate.
     pub fn functional_lookup(&self, key: &[Value]) -> Option<&Value> {
-        self.fd_index.get(key)
+        let key_arity = self.key_arity?;
+        if key.len() != key_arity {
+            return None;
+        }
+        let mut key_ids = Vec::with_capacity(key.len());
+        if !self.interner.try_row(key, &mut key_ids) {
+            return None;
+        }
+        let id = self.find_fd(&key_ids)?;
+        Some(&self.rows[id as usize][key_arity])
     }
 
     /// The value of a zero-key functional predicate (`p[] = v`), if set.
     pub fn singleton_value(&self) -> Option<&Value> {
         if self.key_arity == Some(0) {
-            self.fd_index.get(&Vec::new() as &Tuple)
+            self.functional_lookup(&[])
         } else {
             None
         }
@@ -315,10 +656,15 @@ impl Relation {
         if cols == 0 || self.indexes.contains_key(&cols) {
             return false;
         }
-        let mut index: HashMap<Tuple, Vec<TupleId>> = HashMap::new();
-        for (tuple, &id) in &self.live {
-            if let Some(key) = project(&tuple.0, cols) {
-                index.entry(key).or_default().push(id);
+        let mut index: HashMap<u64, Vec<TupleId>, PassBuild> = HashMap::default();
+        let mut ids = Vec::new();
+        for group in &self.groups {
+            for row in 0..group.rows() {
+                ids.clear();
+                ids.extend(group.cols.iter().map(|col| col[row]));
+                if let Some(hash) = Self::project_hash(&ids, cols) {
+                    index.entry(hash).or_default().push(group.ids[row]);
+                }
             }
         }
         self.indexes.insert(cols, index);
@@ -337,20 +683,60 @@ impl Relation {
 
     /// Probe the `cols` index for tuples whose projection equals `key`.
     /// Returns `None` when no such index exists (caller falls back to a
-    /// scan); `Some(&[])` when the index exists but nothing matches.
-    pub fn probe(&self, cols: ColumnSet, key: &[Value]) -> Option<&[TupleId]> {
+    /// scan); `Some(empty)` when the index exists but nothing matches.
+    /// Candidates are verified, so the result is exact.
+    pub fn probe(&self, cols: ColumnSet, key: &[Value]) -> Option<Vec<TupleId>> {
         let index = self.indexes.get(&cols)?;
-        Some(index.get(key).map(Vec::as_slice).unwrap_or(&[]))
+        let mut key_ids = Vec::with_capacity(key.len());
+        if !self.interner.try_row(key, &mut key_ids) {
+            // Some key value exists in no relation sharing the dictionary:
+            // a definitive miss.
+            return Some(Vec::new());
+        }
+        let hash = fnv_ids(cols, key_ids.iter().copied());
+        let Some(bucket) = index.get(&hash) else {
+            return Some(Vec::new());
+        };
+        Some(
+            bucket
+                .iter()
+                .copied()
+                .filter(|&id| self.projection_matches(id, cols, &key_ids))
+                .collect(),
+        )
+    }
+
+    /// Probe the `cols` index with a pre-encoded id key.  Returns the raw
+    /// bucket: candidates whose projection hash matches.  The batch
+    /// executor verifies every constrained column against the candidate's
+    /// id row anyway, which subsumes collision filtering — callers that do
+    /// not must use [`Relation::probe`].
+    pub fn probe_ids(&self, cols: ColumnSet, key_ids: &[u32]) -> Option<&[TupleId]> {
+        let index = self.indexes.get(&cols)?;
+        let hash = fnv_ids(cols, key_ids.iter().copied());
+        Some(index.get(&hash).map(Vec::as_slice).unwrap_or(&[]))
+    }
+
+    /// The secondary index for `cols` as its raw projection-hash map, for
+    /// probe loops that resolve the index once per batch step and look up
+    /// many precomputed [`fnv_ids`] hashes against it.  Buckets are
+    /// collision-unfiltered — callers must re-verify candidates.
+    pub fn index_map(&self, cols: ColumnSet) -> Option<&HashMap<u64, Vec<TupleId>, PassBuild>> {
+        self.indexes.get(&cols)
     }
 
     /// The tuple stored under `id`.  Only ids obtained from [`Relation::probe`]
     /// against the current state are meaningful.
     pub fn tuple_by_id(&self, id: TupleId) -> &Tuple {
-        self.arena[id as usize].as_ref()
+        self.rows[id as usize].as_ref()
     }
 
-    /// The bound-column signature of a partial binding pattern.
+    /// The bound-column signature of a partial binding pattern, or 0 when
+    /// the pattern is too wide to index (scan fallback).
     fn pattern_cols(pattern: &[Option<Value>]) -> ColumnSet {
+        if pattern.len() > 64 {
+            return 0;
+        }
         column_set(
             pattern
                 .iter()
@@ -360,55 +746,49 @@ impl Relation {
         )
     }
 
+    fn matches_pattern(tuple: &[Value], pattern: &[Option<Value>]) -> bool {
+        tuple.len() == pattern.len()
+            && pattern
+                .iter()
+                .zip(tuple.iter())
+                .all(|(p, v)| p.as_ref().is_none_or(|expected| expected == v))
+    }
+
     /// Tuples matching a partial binding pattern: `pattern[i] = Some(v)`
     /// requires column `i` to equal `v`.  Uses an exact-signature secondary
     /// index when one exists.
     pub fn select(&self, pattern: &[Option<Value>]) -> Vec<&Tuple> {
         let cols = Self::pattern_cols(pattern);
-        if cols != 0 && pattern.len() <= 64 {
-            if let Some(index) = self.indexes.get(&cols) {
-                let key: Tuple = pattern.iter().flatten().cloned().collect();
-                return index
-                    .get(&key)
-                    .map(|ids| {
-                        ids.iter()
-                            .map(|&id| self.tuple_by_id(id))
-                            .filter(|tuple| tuple.len() == pattern.len())
-                            .collect()
-                    })
-                    .unwrap_or_default();
+        if cols != 0 {
+            if let Some(ids) =
+                self.probe(cols, &pattern.iter().flatten().cloned().collect::<Tuple>())
+            {
+                return ids
+                    .into_iter()
+                    .map(|id| self.tuple_by_id(id))
+                    .filter(|tuple| tuple.len() == pattern.len())
+                    .collect();
             }
         }
         self.iter()
-            .filter(|tuple| {
-                tuple.len() == pattern.len()
-                    && pattern
-                        .iter()
-                        .zip(tuple.iter())
-                        .all(|(p, v)| p.as_ref().is_none_or(|expected| expected == v))
-            })
+            .filter(|tuple| Self::matches_pattern(tuple, pattern))
             .collect()
     }
 
     /// True if at least one tuple matches the partial binding pattern.
     pub fn matches_any(&self, pattern: &[Option<Value>]) -> bool {
         let cols = Self::pattern_cols(pattern);
-        if cols != 0 && pattern.len() <= 64 {
-            if let Some(index) = self.indexes.get(&cols) {
-                let key: Tuple = pattern.iter().flatten().cloned().collect();
-                return index.get(&key).is_some_and(|ids| {
-                    ids.iter()
-                        .any(|&id| self.tuple_by_id(id).len() == pattern.len())
-                });
+        if cols != 0 {
+            if let Some(ids) =
+                self.probe(cols, &pattern.iter().flatten().cloned().collect::<Tuple>())
+            {
+                return ids
+                    .into_iter()
+                    .any(|id| self.tuple_by_id(id).len() == pattern.len());
             }
         }
-        self.iter().any(|tuple| {
-            tuple.len() == pattern.len()
-                && pattern
-                    .iter()
-                    .zip(tuple.iter())
-                    .all(|(p, v)| p.as_ref().is_none_or(|expected| expected == v))
-        })
+        self.iter()
+            .any(|tuple| Self::matches_pattern(tuple, pattern))
     }
 }
 
@@ -532,9 +912,9 @@ mod tests {
         assert_eq!(rel.probe(cols, &t(&[2])).unwrap().len(), 2);
         assert!(rel.remove(&t(&[1, 2])));
         assert_eq!(rel.probe(cols, &t(&[2])).unwrap().len(), 1);
-        // Recycled arena slot gets indexed correctly.
+        // Recycled slot gets indexed correctly.
         rel.insert(t(&[5, 2])).unwrap();
-        let ids = rel.probe(cols, &t(&[2])).unwrap().to_vec();
+        let ids = rel.probe(cols, &t(&[2])).unwrap();
         let mut values: Vec<Tuple> = ids.iter().map(|&id| rel.tuple_by_id(id).clone()).collect();
         values.sort_by_key(|t| format!("{t:?}"));
         assert_eq!(values, vec![t(&[3, 2]), t(&[5, 2])]);
@@ -570,6 +950,84 @@ mod tests {
         assert_eq!(cloned.index_count(), 0);
         assert!(cloned.contains(&t(&[1, 2])));
         assert_eq!(cloned.sorted(), rel.sorted());
+        // The dictionary is shared, so id-space ops agree across clones.
+        assert!(Arc::ptr_eq(rel.interner(), cloned.interner()));
+        assert_eq!(cloned.version(), rel.version());
+    }
+
+    #[test]
+    fn column_groups_expose_interned_columns() {
+        let mut rel = Relation::new("edge", None);
+        rel.insert(t(&[1, 2])).unwrap();
+        rel.insert(t(&[1, 3])).unwrap();
+        rel.insert(vec![Value::Int(9)]).unwrap();
+        let group = rel.group(2).unwrap();
+        assert_eq!(group.arity(), 2);
+        assert_eq!(group.rows(), 2);
+        // Column 0 holds the same interned id twice (both tuples start 1).
+        assert_eq!(group.col(0)[0], group.col(0)[1]);
+        assert_ne!(group.col(1)[0], group.col(1)[1]);
+        // Back-pointers round-trip through the boundary rows.
+        for (row, &id) in group.tuple_ids().iter().enumerate() {
+            let mut ids = Vec::new();
+            rel.row_ids(id, &mut ids);
+            assert_eq!(ids, vec![group.col(0)[row], group.col(1)[row]]);
+            assert_eq!(rel.tuple_by_id(id).len(), 2);
+        }
+        assert_eq!(rel.group(1).unwrap().rows(), 1);
+        assert!(rel.group(3).is_none());
+    }
+
+    #[test]
+    fn insert_ids_matches_value_insert() {
+        let interner = Arc::new(Interner::new());
+        let mut rel = Relation::with_interner("edge", None, Arc::clone(&interner));
+        let mut ids = Vec::new();
+        interner.intern_row(&t(&[4, 5]), &mut ids);
+        assert!(rel.insert_ids(&ids).unwrap());
+        assert!(!rel.insert_ids(&ids).unwrap(), "id insert dedups");
+        assert!(!rel.insert(t(&[4, 5])).unwrap(), "value insert sees it");
+        assert!(rel.contains(&t(&[4, 5])));
+        assert_eq!(rel.sorted(), vec![t(&[4, 5])]);
+        // Functional semantics are enforced on the id path too.
+        let mut frel = Relation::with_interner("f", Some(1), Arc::clone(&interner));
+        let mut row = Vec::new();
+        interner.intern_row(&t(&[1, 10]), &mut row);
+        assert!(frel.insert_ids(&row).unwrap());
+        interner.intern_row(&t(&[1, 11]), &mut row);
+        assert!(frel.insert_ids(&row).is_err());
+    }
+
+    #[test]
+    fn probe_ids_returns_raw_candidates() {
+        let mut rel = Relation::new("edge", None);
+        for (a, b) in [(1, 2), (1, 3), (2, 3)] {
+            rel.insert(t(&[a, b])).unwrap();
+        }
+        let cols = column_set([0]);
+        assert!(rel.probe_ids(cols, &[0]).is_none(), "no index yet");
+        rel.ensure_index(cols);
+        let one = rel.interner().try_id(&Value::Int(1)).unwrap();
+        let candidates = rel.probe_ids(cols, &[one]).unwrap();
+        assert_eq!(candidates.len(), 2);
+        for &id in candidates {
+            assert_eq!(rel.tuple_by_id(id)[0], Value::Int(1));
+        }
+    }
+
+    #[test]
+    fn version_tracks_mutations_only() {
+        let mut rel = Relation::new("edge", None);
+        let v0 = rel.version();
+        rel.insert(t(&[1, 2])).unwrap();
+        let v1 = rel.version();
+        assert_ne!(v0, v1);
+        rel.insert(t(&[1, 2])).unwrap(); // duplicate: no change
+        assert_eq!(rel.version(), v1);
+        rel.ensure_index(column_set([0])); // cache build: no change
+        assert_eq!(rel.version(), v1);
+        assert!(rel.remove(&t(&[1, 2])));
+        assert_ne!(rel.version(), v1);
     }
 
     #[test]
@@ -587,7 +1045,7 @@ mod tests {
             let handles: Vec<_> = (0..4)
                 .map(|k| {
                     let rel = &rel;
-                    scope.spawn(move || rel.probe(cols, &t(&[k])).map_or(0, <[u32]>::len))
+                    scope.spawn(move || rel.probe(cols, &t(&[k])).map_or(0, |ids| ids.len()))
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).sum()
@@ -599,7 +1057,17 @@ mod tests {
     fn column_set_builds_bitmasks() {
         assert_eq!(column_set([0, 2]), 0b101);
         assert_eq!(column_set([]), 0);
-        // Out-of-range columns are ignored rather than overflowing.
-        assert_eq!(column_set([70]), 0);
+    }
+
+    #[test]
+    fn column_set_rejects_wide_positions() {
+        // Positions ≥ 64 are a planner bug: loud in debug builds, a
+        // documented ignore (scan fallback) in release builds.
+        if cfg!(debug_assertions) {
+            let result = std::panic::catch_unwind(|| column_set([70]));
+            assert!(result.is_err());
+        } else {
+            assert_eq!(column_set([70]), 0);
+        }
     }
 }

@@ -16,8 +16,9 @@ use crate::error::{DatalogError, Result};
 use crate::eval::dred::DeletionStats;
 use crate::eval::{
     Bindings, EvalConfig, EvalOptions, Evaluator, FixpointStats, PlanCache, PlanStats,
-    PlanStatsSnapshot,
+    PlanStatsSnapshot, WorkerPool,
 };
+use crate::intern::Interner;
 use crate::parser::parse_program;
 use crate::relation::Relation;
 use crate::schema::{PredicateKind, Schema};
@@ -26,6 +27,7 @@ use crate::typecheck::typecheck_program;
 use crate::udf::UdfRegistry;
 use crate::value::{Tuple, Value};
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Outcome of a successfully committed transaction.
@@ -67,6 +69,13 @@ pub struct Workspace {
     plan_cache: PlanCache,
     /// Planner / index counters for the bench harness.
     plan_stats: PlanStats,
+    /// The workspace-wide value dictionary.  Every relation of this workspace
+    /// shares it, which is what makes the columnar batch executor eligible
+    /// (see [`crate::intern`]).
+    interner: Arc<Interner>,
+    /// Persistent worker pool, created lazily on the first parallel fixpoint
+    /// and kept for the workspace's lifetime.  Clones share the pool.
+    pool: Option<Arc<WorkerPool>>,
 }
 
 impl std::fmt::Debug for Workspace {
@@ -107,6 +116,8 @@ impl Workspace {
             allow_recursive_negation: false,
             plan_cache: PlanCache::new(),
             plan_stats: PlanStats::default(),
+            interner: Arc::new(Interner::new()),
+            pool: None,
         }
     }
 
@@ -260,7 +271,7 @@ impl Workspace {
         let relation = self
             .relations
             .entry(pred.to_string())
-            .or_insert_with(|| Relation::new(pred, Some(0)));
+            .or_insert_with(|| Relation::with_interner(pred, Some(0), Arc::clone(&self.interner)));
         relation.insert_or_replace(vec![value.clone()])?;
         self.edb_facts
             .entry(pred.to_string())
@@ -274,10 +285,9 @@ impl Workspace {
             PredicateKind::Functional { key_arity } => Some(key_arity),
             PredicateKind::Relation => None,
         });
-        let relation = self
-            .relations
-            .entry(pred.to_string())
-            .or_insert_with(|| Relation::new(pred, key_arity));
+        let relation = self.relations.entry(pred.to_string()).or_insert_with(|| {
+            Relation::with_interner(pred, key_arity, Arc::clone(&self.interner))
+        });
         relation.insert(tuple.clone())?;
         self.edb_facts
             .entry(pred.to_string())
@@ -401,12 +411,19 @@ impl Workspace {
         let mut delta: HashMap<String, HashSet<Tuple>> = HashMap::new();
         for (pred, relation) in &self.relations {
             let before = snapshot.get(pred);
+            // Mutation counters make untouched relations free to skip — on
+            // converged fixpoints this reduces the delta scan to nothing.
+            if before.is_some_and(|r| r.version() == relation.version()) {
+                continue;
+            }
             for tuple in relation.iter() {
                 if before.is_none_or(|r| !r.contains(tuple)) {
                     delta.entry(pred.clone()).or_default().insert(tuple.clone());
                 }
             }
         }
+        self.ensure_pool();
+        let pool = self.pool.clone();
         check_constraints_incremental_planned(
             &self.constraints,
             &mut self.relations,
@@ -414,11 +431,28 @@ impl Workspace {
             &mut self.plan_cache,
             &self.plan_stats,
             &delta,
+            &self.config.exec,
+            pool.as_deref(),
         )?;
         Ok(report)
     }
 
+    /// Lazily (re)create the persistent worker pool to match the configured
+    /// worker count; drop it when parallelism is disabled.
+    fn ensure_pool(&mut self) {
+        if !self.config.exec.parallel_enabled() {
+            self.pool = None;
+            return;
+        }
+        let workers = self.config.exec.workers;
+        if self.pool.as_ref().is_none_or(|p| p.size() != workers) {
+            self.pool = Some(Arc::new(WorkerPool::new(workers)));
+        }
+    }
+
     fn run_rules(&mut self) -> Result<FixpointStats> {
+        self.ensure_pool();
+        let pool = self.pool.clone();
         let mut evaluator = Evaluator {
             relations: &mut self.relations,
             schema: &self.schema,
@@ -428,6 +462,8 @@ impl Workspace {
             existential_memo: &mut self.existential_memo,
             plan_cache: &mut self.plan_cache,
             plan_stats: &self.plan_stats,
+            interner: &self.interner,
+            pool: pool.as_deref(),
         };
         evaluator.run(&self.rules, &self.strata)
     }
@@ -455,6 +491,8 @@ impl Workspace {
             }
         }
         let edb = self.edb_facts.clone();
+        self.ensure_pool();
+        let pool = self.pool.clone();
         let stats = {
             let mut evaluator = Evaluator {
                 relations: &mut self.relations,
@@ -465,6 +503,8 @@ impl Workspace {
                 existential_memo: &mut self.existential_memo,
                 plan_cache: &mut self.plan_cache,
                 plan_stats: &self.plan_stats,
+                interner: &self.interner,
+                pool: pool.as_deref(),
             };
             evaluator.delete_with_dred(&self.rules, &self.strata, &batch, &edb)
         };
@@ -475,6 +515,8 @@ impl Workspace {
                 &self.udfs,
                 &mut self.plan_cache,
                 &self.plan_stats,
+                &self.config.exec,
+                pool.as_deref(),
             )
             .map(|_| s)
         });
@@ -885,6 +927,45 @@ mod tests {
         }
         assert_eq!(serial.query("reachable"), parallel.query("reachable"));
         assert!(parallel.plan_stats().parallel_batches > 0);
+    }
+
+    #[test]
+    fn sharded_constraint_check_matches_serial() {
+        let source = "says_link(P, Q) -> principal(P), principal(Q).\n\
+                      link(X, Y) <- says_link(X, Y).";
+        let configs = [
+            crate::eval::EvalOptions::serial(),
+            crate::eval::EvalOptions {
+                workers: 4,
+                parallel_threshold: 2,
+            },
+        ];
+        for exec in configs {
+            let mut ws = Workspace::with_config(EvalConfig {
+                exec,
+                ..EvalConfig::default()
+            });
+            ws.install_source(source).unwrap();
+            let mut batch = Vec::new();
+            for i in 0..40 {
+                let (p, q) = (format!("p{i}"), format!("p{}", i + 1));
+                ws.assert_fact("principal", vec![Value::str(p.clone())])
+                    .unwrap();
+                ws.assert_fact("principal", vec![Value::str(q.clone())])
+                    .unwrap();
+                batch.push(("says_link".into(), vec![Value::str(p), Value::str(q)]));
+            }
+            // A large satisfied batch passes under sharded checking...
+            ws.transaction(batch.clone()).unwrap();
+            // ...and one unknown principal among many still aborts.
+            batch.push((
+                "says_link".into(),
+                vec![Value::str("mallory"), Value::str("p0")],
+            ));
+            let before = ws.count("link");
+            assert!(ws.transaction(batch).is_err());
+            assert_eq!(ws.count("link"), before, "violation must roll back");
+        }
     }
 
     #[test]

@@ -78,6 +78,10 @@ impl SnapshotInfo {
     }
 }
 
+/// Export-cursor map: predicate + canonical tuple encoding → decoded tuple
+/// and the detached signature the tuple shipped under.
+type ExportCursor = BTreeMap<(String, Vec<u8>), (Tuple, Vec<u8>)>;
+
 /// A node's durable fact store, open for appending.
 pub struct FactStore {
     dir: PathBuf,
@@ -87,6 +91,11 @@ pub struct FactStore {
     /// → decoded tuple.  Keying by the canonical bytes both deduplicates and
     /// fixes the deterministic order every commitment is computed in.
     base: BTreeMap<String, BTreeMap<Vec<u8>, Tuple>>,
+    /// Export cursor: the tuples this node has shipped to peers (keyed by
+    /// predicate + canonical tuple encoding) with the detached signature each
+    /// one went out under.  Rebuilt from `ExportMark`/`ExportClear` records
+    /// at open; never part of the base facts or the Merkle commitment.
+    export_cursor: ExportCursor,
     /// Latest snapshot (from `HEAD`), if any.
     snapshot: Option<SnapshotInfo>,
     /// Highest watermark applied (snapshot or WAL).
@@ -147,12 +156,13 @@ impl FactStore {
         wal.advance_seq_to(snapshot_seq);
         let mut watermark = snapshot.as_ref().map_or(0, |s| s.watermark);
         let mut recovered_suffix = Vec::new();
+        let mut export_cursor = BTreeMap::new();
         for record in records {
             if record.seq < snapshot_seq {
                 continue;
             }
             watermark = watermark.max(record.watermark);
-            apply(&mut base, &record);
+            apply(&mut base, &mut export_cursor, &record);
             recovered_suffix.push(record);
         }
 
@@ -161,6 +171,7 @@ impl FactStore {
             wal,
             objects,
             base,
+            export_cursor,
             snapshot,
             watermark,
             recovered_snapshot_facts,
@@ -236,7 +247,7 @@ impl FactStore {
             let record = self
                 .wal
                 .append(WalOp::Insert, pred, tuple.clone(), watermark)?;
-            apply(&mut self.base, &record);
+            apply(&mut self.base, &mut self.export_cursor, &record);
         }
         self.watermark = self.watermark.max(watermark);
         if self.flush_each_batch {
@@ -255,13 +266,70 @@ impl FactStore {
             let record = self
                 .wal
                 .append(WalOp::Retract, pred, tuple.clone(), watermark)?;
-            apply(&mut self.base, &record);
+            apply(&mut self.base, &mut self.export_cursor, &record);
         }
         self.watermark = self.watermark.max(watermark);
         if self.flush_each_batch {
             self.wal.flush()?;
         }
         Ok(())
+    }
+
+    /// Log export-cursor entries: each tuple was shipped to a peer under the
+    /// given detached signature.  Cursor records never touch the base facts
+    /// (or the Merkle commitment); they exist so recovery knows which exports
+    /// a crashed node still owes withdrawal messages for.
+    pub fn log_export_marks<'a>(
+        &mut self,
+        entries: impl IntoIterator<Item = (&'a str, &'a Tuple, &'a [u8])>,
+        watermark: u64,
+    ) -> Result<()> {
+        for (pred, tuple, signature) in entries {
+            let record = self.wal.append_signed(
+                WalOp::ExportMark,
+                pred,
+                tuple.clone(),
+                watermark,
+                signature.to_vec(),
+            )?;
+            apply(&mut self.base, &mut self.export_cursor, &record);
+        }
+        self.watermark = self.watermark.max(watermark);
+        if self.flush_each_batch {
+            self.wal.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Log the withdrawal of export-cursor entries: the retraction for each
+    /// tuple has been flushed to its peer, discharging the recovery
+    /// obligation the matching [`WalOp::ExportMark`] created.
+    pub fn log_export_clears<'a>(
+        &mut self,
+        entries: impl IntoIterator<Item = (&'a str, &'a Tuple)>,
+        watermark: u64,
+    ) -> Result<()> {
+        for (pred, tuple) in entries {
+            let record = self
+                .wal
+                .append(WalOp::ExportClear, pred, tuple.clone(), watermark)?;
+            apply(&mut self.base, &mut self.export_cursor, &record);
+        }
+        self.watermark = self.watermark.max(watermark);
+        if self.flush_each_batch {
+            self.wal.flush()?;
+        }
+        Ok(())
+    }
+
+    /// The live export cursor in deterministic (predicate, canonical tuple)
+    /// order: every tuple currently shipped to a peer with the signature it
+    /// went out under.
+    pub fn export_cursor(&self) -> Vec<(String, Tuple, Vec<u8>)> {
+        self.export_cursor
+            .iter()
+            .map(|((pred, _), (tuple, signature))| (pred.clone(), tuple.clone(), signature.clone()))
+            .collect()
     }
 
     /// Flush appended WAL records to the operating system (a no-op when
@@ -320,8 +388,17 @@ impl FactStore {
         };
         let manifest_id = self.objects.put(&manifest.encode())?;
         write_head(&self.dir.join("HEAD"), &manifest_id)?;
-        // The snapshot is durable: every logged record is now redundant.
+        // The snapshot is durable: every logged base-fact record is now
+        // redundant.  The export cursor is *not* in the snapshot (it is not
+        // part of the fact state or its commitment), so re-log its live
+        // entries after compaction; their sequence numbers land at or past
+        // `wal_seq`, so recovery replays them as ordinary suffix records.
         self.wal.truncate_all(manifest.wal_seq)?;
+        for ((pred, _), (tuple, signature)) in self.export_cursor.clone() {
+            self.wal
+                .append_signed(WalOp::ExportMark, &pred, tuple, watermark, signature)?;
+        }
+        self.wal.flush()?;
         let info = SnapshotInfo {
             manifest_id,
             watermark,
@@ -334,7 +411,11 @@ impl FactStore {
     }
 }
 
-fn apply(base: &mut BTreeMap<String, BTreeMap<Vec<u8>, Tuple>>, record: &WalRecord) {
+fn apply(
+    base: &mut BTreeMap<String, BTreeMap<Vec<u8>, Tuple>>,
+    export_cursor: &mut ExportCursor,
+    record: &WalRecord,
+) {
     match record.op {
         WalOp::Insert => {
             base.entry(record.pred.clone())
@@ -348,6 +429,15 @@ fn apply(base: &mut BTreeMap<String, BTreeMap<Vec<u8>, Tuple>>, record: &WalReco
                     base.remove(&record.pred);
                 }
             }
+        }
+        WalOp::ExportMark => {
+            export_cursor.insert(
+                (record.pred.clone(), serialize_tuple(&record.tuple)),
+                (record.tuple.clone(), record.signature.clone()),
+            );
+        }
+        WalOp::ExportClear => {
+            export_cursor.remove(&(record.pred.clone(), serialize_tuple(&record.tuple)));
         }
     }
 }
@@ -459,6 +549,51 @@ mod tests {
         // watermark/wal_seq header differs.
         assert_eq!(a.root, b.root);
         assert_eq!(a.root, store.base_root());
+    }
+
+    #[test]
+    fn export_cursor_survives_reopen_and_checkpoint() {
+        let dir = tmp("exportcursor");
+        let key = derive_node_key(1, "n0");
+        let mut store = FactStore::open(&dir, &key).unwrap();
+        let f = fact(1);
+        store.log_inserts([(f.0.as_str(), &f.1)], 1).unwrap();
+        let root = store.base_root();
+        let exported = vec![Value::str("n0"), Value::str("n1"), Value::Int(7)];
+        let gone = vec![Value::str("n0"), Value::str("n1"), Value::Int(8)];
+        store
+            .log_export_marks(
+                [
+                    ("says$link", &exported, &[0xAB, 0xCD][..]),
+                    ("says$link", &gone, &[][..]),
+                ],
+                2,
+            )
+            .unwrap();
+        store.log_export_clears([("says$link", &gone)], 3).unwrap();
+        // Cursor entries never move the Merkle commitment.
+        assert_eq!(store.base_root(), root);
+        assert_eq!(store.base_fact_count(), 1);
+        drop(store);
+
+        let mut store = FactStore::open(&dir, &key).unwrap();
+        assert_eq!(
+            store.export_cursor(),
+            vec![("says$link".to_string(), exported.clone(), vec![0xAB, 0xCD])]
+        );
+        assert_eq!(store.base_root(), root);
+        // Checkpoint compaction re-logs the live cursor past the snapshot's
+        // replay boundary, so it survives the WAL truncation too.
+        let info = store.checkpoint(4).unwrap();
+        assert_eq!(info.root, root);
+        drop(store);
+        let store = FactStore::open(&dir, &key).unwrap();
+        assert_eq!(
+            store.export_cursor(),
+            vec![("says$link".to_string(), exported, vec![0xAB, 0xCD])]
+        );
+        assert_eq!(store.base_root(), root);
+        assert_eq!(store.base_fact_count(), 1);
     }
 
     #[test]

@@ -105,11 +105,12 @@ pub fn sync_store(master_dir: &Path, replica_dir: &Path, key: &[u8]) -> Result<S
         if disk_next.is_some_and(|next| record.seq > next) && stats.wal_records == 0 {
             replica_wal.truncate_all(record.seq)?;
         }
-        replica_wal.append(
+        replica_wal.append_signed(
             record.op,
             &record.pred,
             record.tuple.clone(),
             record.watermark,
+            record.signature.clone(),
         )?;
         stats.wal_records += 1;
     }

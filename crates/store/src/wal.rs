@@ -25,13 +25,19 @@ use std::path::{Path, PathBuf};
 /// Length of the HMAC-SHA1 chain tag.
 pub const TAG_LEN: usize = 20;
 
-/// The two operations a WAL record can describe.
+/// The operations a WAL record can describe.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WalOp {
     /// A base fact inserted by a committed transaction.
     Insert,
     /// A base fact retracted (incremental deletion).
     Retract,
+    /// An export-cursor entry: this tuple was shipped to a peer with the
+    /// recorded detached signature.  Never touches the base fact set.
+    ExportMark,
+    /// The matching cursor withdrawal: the retraction for this tuple has been
+    /// flushed to the peer, so no recovery obligation remains.
+    ExportClear,
 }
 
 /// One decoded WAL record.
@@ -47,6 +53,10 @@ pub struct WalRecord {
     /// The predicate the fact belongs to.
     pub pred: String,
     pub tuple: Tuple,
+    /// Detached signature shipped with the tuple; only encoded for the export
+    /// ops, so [`WalOp::Insert`]/[`WalOp::Retract`] frames stay byte-identical
+    /// to logs written before export tracking existed.
+    pub signature: Vec<u8>,
 }
 
 impl WalRecord {
@@ -57,9 +67,15 @@ impl WalRecord {
         out.push(match self.op {
             WalOp::Insert => 0,
             WalOp::Retract => 1,
+            WalOp::ExportMark => 2,
+            WalOp::ExportClear => 3,
         });
         write_string(&mut out, &self.pred);
         out.extend_from_slice(&serialize_tuple(&self.tuple));
+        if matches!(self.op, WalOp::ExportMark | WalOp::ExportClear) {
+            out.extend_from_slice(&(self.signature.len() as u32).to_be_bytes());
+            out.extend_from_slice(&self.signature);
+        }
         out
     }
 
@@ -91,6 +107,8 @@ impl WalRecord {
         let op = match body.get(16) {
             Some(0) => WalOp::Insert,
             Some(1) => WalOp::Retract,
+            Some(2) => WalOp::ExportMark,
+            Some(3) => WalOp::ExportClear,
             Some(other) => return Err(corrupt(&format!("unknown op tag {other}"))),
             None => return Err(corrupt("truncated op tag")),
         };
@@ -99,6 +117,20 @@ impl WalRecord {
             .map_err(|reason| StoreError::CorruptRecord { seq: index, reason })?;
         let tuple = deserialize_tuple(body, &mut pos)
             .map_err(|reason| StoreError::CorruptRecord { seq: index, reason })?;
+        let signature = if matches!(op, WalOp::ExportMark | WalOp::ExportClear) {
+            let len_bytes = body
+                .get(pos..pos + 4)
+                .ok_or_else(|| corrupt("truncated signature length"))?;
+            let len = u32::from_be_bytes(len_bytes.try_into().expect("4 bytes")) as usize;
+            pos += 4;
+            let bytes = body
+                .get(pos..pos + len)
+                .ok_or_else(|| corrupt("truncated signature"))?;
+            pos += len;
+            bytes.to_vec()
+        } else {
+            Vec::new()
+        };
         if pos != body.len() {
             return Err(corrupt("trailing bytes after tuple"));
         }
@@ -108,6 +140,7 @@ impl WalRecord {
             op,
             pred,
             tuple,
+            signature,
         })
     }
 }
@@ -259,12 +292,26 @@ impl Wal {
         tuple: Tuple,
         watermark: u64,
     ) -> Result<WalRecord> {
+        self.append_signed(op, pred, tuple, watermark, Vec::new())
+    }
+
+    /// [`Wal::append`] with a detached signature payload; only the export ops
+    /// encode it, base-fact records ignore it.
+    pub fn append_signed(
+        &mut self,
+        op: WalOp,
+        pred: &str,
+        tuple: Tuple,
+        watermark: u64,
+        signature: Vec<u8>,
+    ) -> Result<WalRecord> {
         let record = WalRecord {
             seq: self.next_seq,
             watermark,
             op,
             pred: pred.to_string(),
             tuple,
+            signature,
         };
         let body = record.encode_body();
         let len_be = (body.len() as u32).to_be_bytes();
@@ -348,6 +395,33 @@ mod tests {
         assert_eq!(records[2].tuple, sample(2));
         assert_eq!(records[5].op, WalOp::Retract);
         assert_eq!(records[5].watermark, 200);
+    }
+
+    #[test]
+    fn export_ops_roundtrip_with_signature() {
+        let path = tmp("export");
+        let key = b"k";
+        let (mut wal, _) = Wal::open(&path, key).unwrap();
+        wal.append(WalOp::Insert, "link", sample(1), 10).unwrap();
+        wal.append_signed(
+            WalOp::ExportMark,
+            "says$link",
+            sample(2),
+            11,
+            vec![0xAA, 0xBB, 0xCC],
+        )
+        .unwrap();
+        wal.append_signed(WalOp::ExportClear, "says$link", sample(2), 12, Vec::new())
+            .unwrap();
+        drop(wal);
+        let (_, records) = Wal::open(&path, key).unwrap();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].signature, Vec::<u8>::new());
+        assert_eq!(records[1].op, WalOp::ExportMark);
+        assert_eq!(records[1].pred, "says$link");
+        assert_eq!(records[1].signature, vec![0xAA, 0xBB, 0xCC]);
+        assert_eq!(records[2].op, WalOp::ExportClear);
+        assert!(records[2].signature.is_empty());
     }
 
     #[test]

@@ -59,7 +59,7 @@ proptest! {
             let op = if i % 3 == 2 { WalOp::Retract } else { WalOp::Insert };
             let watermark = watermarks[i % watermarks.len()] as u64;
             wal.append(op, pred, tuple.clone(), watermark).unwrap();
-            expected.push(WalRecord { seq: i as u64, watermark, op, pred: pred.clone(), tuple: tuple.clone() });
+            expected.push(WalRecord { seq: i as u64, watermark, op, pred: pred.clone(), tuple: tuple.clone(), signature: Vec::new() });
         }
         drop(wal);
         let (_, records) = Wal::open(&path, &key).unwrap();

@@ -11,7 +11,7 @@
 use secureblox::policy::SecurityConfig;
 use secureblox::runtime::{Deployment, DeploymentConfig, NodeSpec};
 use secureblox::{AuthScheme, DurabilityConfig, EncScheme, Value};
-use secureblox_store::sync_deployment;
+use secureblox_store::{derive_node_key, sync_deployment, FactStore, WalOp};
 
 const APP: &str = r#"
     link(N1, N2) -> node(N1), node(N2).
@@ -76,17 +76,26 @@ fn main() {
             checkpoint.principal, checkpoint.root, checkpoint.watermark
         );
     }
-    // The snapshot supersedes the logged history, so the checkpoint compacts
-    // each node's WAL down to nothing.
+    // The snapshot supersedes the logged history, so the checkpoint drops
+    // every base-fact record; only the re-logged per-peer export cursor
+    // survives the compaction (DESIGN.md §9.3).
     let wal_len = std::fs::metadata(master_dir.join("n0").join("wal.log"))
         .unwrap()
         .len();
-    println!("   n0 WAL after checkpoint: {wal_len} bytes (compacted)");
-    assert_eq!(wal_len, 0);
+    println!("   n0 WAL after checkpoint: {wal_len} bytes (export cursor only)");
 
     println!("\n== 3. crash (drop the deployment), then recover from disk ==");
     let reach_before = deployment.query("n0", "reach").len();
     drop(deployment);
+    let n0_store = FactStore::open(master_dir.join("n0"), &derive_node_key(1, "n0")).unwrap();
+    let suffix = n0_store.recovered_suffix().to_vec();
+    println!(
+        "   n0 compacted WAL holds {} export-cursor marks, 0 base facts",
+        suffix.len()
+    );
+    assert!(!suffix.is_empty());
+    assert!(suffix.iter().all(|record| record.op == WalOp::ExportMark));
+    drop(n0_store);
     let recovered = Deployment::recover(&master_dir, APP, &specs(), config(&master_dir)).unwrap();
     println!(
         "   n0 reach after recovery: {:?} tuples",

@@ -8,7 +8,7 @@ use secureblox::runtime::{Deployment, DeploymentConfig, DurabilityError, NodeSpe
 use secureblox::{AuthScheme, DurabilityConfig, EncScheme, StoreError, Value};
 use secureblox_datalog::codec::serialize_tuple;
 use secureblox_datalog::value::Tuple;
-use secureblox_store::sync_deployment;
+use secureblox_store::{derive_node_key, sync_deployment, FactStore, WalOp};
 use std::path::{Path, PathBuf};
 
 /// A three-node gossip + transitive-reachability app: every node exports its
@@ -172,6 +172,61 @@ fn retraction_is_durable() {
 }
 
 #[test]
+fn in_flight_retraction_withdrawal_is_resent_after_crash() {
+    let dir = fresh_dir("inflightretract");
+    let mut deployment = Deployment::build(REACH_APP, &line_specs(), durable_config(&dir)).unwrap();
+    deployment.run().unwrap();
+    assert!(deployment
+        .query("n0", "remote_link")
+        .contains(&vec![Value::str("n1"), Value::str("n2")]));
+    drop(deployment);
+
+    // Simulate a crash inside `retract`: n1's local retraction reached its
+    // WAL, but the node died before the withdrawal messages were flushed to
+    // its peers.  The export-cursor records from the earlier run are still
+    // in the log, so recovery knows the exports are now orphaned.
+    let key = derive_node_key(1, "n1");
+    let mut store = FactStore::open(dir.join("n1"), &key).unwrap();
+    let link = vec![Value::str("n1"), Value::str("n2")];
+    let watermark = store.watermark() + 1;
+    store.log_retracts([("link", &link)], watermark).unwrap();
+    drop(store);
+
+    let mut recovered =
+        Deployment::recover(&dir, REACH_APP, &line_specs(), durable_config(&dir)).unwrap();
+    // n1's own fixpoint already reflects the replayed retraction ...
+    assert!(!recovered.query("n1", "link").contains(&link));
+    // ... but the peers still hold the imported copy until the withdrawal
+    // is re-sent.
+    assert!(recovered
+        .query("n0", "remote_link")
+        .contains(&vec![Value::str("n1"), Value::str("n2")]));
+
+    let report = recovered.run().unwrap();
+    assert_eq!(report.rejected_batches, 0);
+    for principal in ["n0", "n2"] {
+        assert!(
+            !recovered
+                .query(principal, "remote_link")
+                .contains(&vec![Value::str("n1"), Value::str("n2")]),
+            "{principal} must drop the withdrawn remote link"
+        );
+    }
+    assert!(!recovered
+        .query("n0", "reach")
+        .contains(&vec![Value::str("n0"), Value::str("n2")]));
+
+    // The resend discharged the cursor entries: another crash/recover cycle
+    // owes nothing and converges to the same answers.
+    let queries = all_queries(&recovered);
+    drop(recovered);
+    let mut again =
+        Deployment::recover(&dir, REACH_APP, &line_specs(), durable_config(&dir)).unwrap();
+    again.run().unwrap();
+    assert_eq!(all_queries(&again), queries);
+}
+
+#[test]
 fn run_after_recovery_is_idempotent() {
     // Recovery leaves the outbox dedup set empty (at-least-once export), so
     // a run() after recovery re-ships and every receiver must absorb the
@@ -227,9 +282,17 @@ fn checkpoint_compacts_wal_and_recovery_is_equivalent() {
     deployment.checkpoint().unwrap();
     drop(deployment);
 
+    // Checkpointing drops every base-fact record (the snapshot supersedes
+    // them); only re-logged export-cursor marks survive the compaction.
     for principal in ["n0", "n1", "n2"] {
-        let wal = std::fs::metadata(dir.join(principal).join("wal.log")).unwrap();
-        assert_eq!(wal.len(), 0, "checkpoint must truncate {principal}'s WAL");
+        let store = FactStore::open(dir.join(principal), &derive_node_key(1, principal)).unwrap();
+        assert!(
+            store
+                .recovered_suffix()
+                .iter()
+                .all(|record| record.op == WalOp::ExportMark),
+            "{principal}'s compacted WAL must hold only export-cursor marks"
+        );
     }
 
     let mut recovered =
