@@ -91,6 +91,17 @@ pub fn write_bench_report() {
     if std::fs::write(&path, json).is_ok() {
         println!("bench report written to {}", path.display());
     }
+    // Sidecar telemetry snapshot: every counter/gauge/histogram the bench
+    // touched, in Prometheus text format, so a perf regression can be
+    // cross-read against the runtime's own instrumentation (cache hits,
+    // WAL batch sizes, pool queue depth, …) from the same run.
+    let telemetry = secureblox_telemetry::prometheus_text();
+    if !telemetry.is_empty() {
+        let telemetry_path = dir.join(format!("TELEMETRY_{name}.prom"));
+        if std::fs::write(&telemetry_path, telemetry).is_ok() {
+            println!("telemetry snapshot written to {}", telemetry_path.display());
+        }
+    }
 }
 
 /// Measured iteration driver handed to each benchmark closure.

@@ -42,6 +42,7 @@ use secureblox_net::{
     LatencyModel, Message, MessageKind, NodeId, NodeInfo, SimNetwork, VirtualTime,
 };
 use secureblox_store::{derive_node_key, DurabilityConfig, FactStore};
+use secureblox_telemetry::HistogramSummary;
 use std::collections::{BTreeMap, HashMap};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -189,6 +190,13 @@ pub struct DeploymentReport {
     /// `shards_executed / (parallel_batches × workers)`.  `0.0` when every
     /// batch stayed on the serial path.
     pub worker_utilization: f64,
+    /// Named latency-histogram summaries (p50/p90/p99/max, nanoseconds) from
+    /// the process-wide telemetry registry at report time: fixpoint latency
+    /// (`datalog_fixpoint_ns`), WAL appends (`store_wal_append_ns`),
+    /// update-stream applies (`engine_update_apply_ns`), and every other
+    /// histogram the run touched.  Registry-wide and monotone across runs in
+    /// one process, unlike the per-run fields above.
+    pub telemetry: Vec<HistogramSummary>,
 }
 
 impl DeploymentReport {
@@ -564,6 +572,11 @@ impl Deployment {
         let stats = self.network.stats();
         let plan = self.plan_stats();
         let workers = self.config.parallelism.max(1);
+        // Publish the summed planner counters and per-node traffic to the
+        // global registry as gauge views, then snapshot every histogram the
+        // run touched into the report's telemetry section.
+        plan.publish_to_registry();
+        stats.publish_to_registry();
         DeploymentReport {
             label: self.config.security.label(),
             num_nodes: self.nodes.len(),
@@ -585,6 +598,7 @@ impl Deployment {
             plan,
             workers,
             worker_utilization: plan.worker_utilization(workers),
+            telemetry: secureblox_telemetry::histogram_summaries(),
         }
     }
 
@@ -619,6 +633,7 @@ impl Deployment {
         };
         let outcome = self.nodes[index].workspace.transaction(batch);
         let elapsed = started.elapsed();
+        secureblox_telemetry::histogram!("engine_txn_apply_ns").record_duration(elapsed);
         let finish = start_virtual + elapsed.as_nanos() as u64;
         self.nodes[index].available_at = finish;
         match outcome {
@@ -999,6 +1014,9 @@ impl Deployment {
     /// ACID transaction (paper semantics), each `Retract` as a verified
     /// incremental deletion.
     fn deliver_update(&mut self, message: Message, arrival: VirtualTime) -> Result<()> {
+        let _apply_timer = secureblox_telemetry::histogram!("engine_update_apply_ns").start_timer();
+        let mut update_span =
+            secureblox_telemetry::span("engine", "update_apply").node(message.to.0 as u64);
         let to = message.to.index();
         let from_principal = self.nodes[message.from.index()].info.principal.clone();
         let to_principal = self.nodes[to].info.principal.clone();
@@ -1037,6 +1055,9 @@ impl Deployment {
         // whatever sequence number it claims — must not be able to mute the
         // link for the peer's legitimate traffic.
         let mut accepted = false;
+        update_span.record_field("from", message.from.0 as u64);
+        update_span.record_field("seq", envelope.seq);
+        update_span.record_field("deltas", envelope.deltas.len() as u64);
         for delta in envelope.deltas {
             let mut batch: Vec<(String, Tuple)> =
                 vec![(format!("says${}", delta.pred), delta.tuple.clone())];
@@ -1078,6 +1099,7 @@ impl Deployment {
                 .or_insert(0);
             *last = (*last).max(envelope.seq);
         }
+        update_span.record_field("accepted", accepted as u64);
         Ok(())
     }
 
@@ -1091,6 +1113,9 @@ impl Deployment {
         to_principal: &str,
         delta: &UpdateDelta,
     ) -> Result<bool> {
+        secureblox_telemetry::counter!("engine_signature_checks_total").inc();
+        let _verify_timer =
+            secureblox_telemetry::histogram!("engine_update_verify_ns").start_timer();
         let payload = serialize_tuple(&delta.tuple[2..]);
         match self.config.security.auth {
             AuthScheme::NoAuth => Ok(true),
@@ -1125,6 +1150,7 @@ impl Deployment {
         let started = Instant::now();
         let outcome = self.nodes[index].workspace.retract(batch.clone());
         let elapsed = started.elapsed();
+        secureblox_telemetry::histogram!("engine_retraction_apply_ns").record_duration(elapsed);
         let finish = start_virtual + elapsed.as_nanos() as u64;
         self.nodes[index].available_at = finish;
         match outcome {
@@ -1140,6 +1166,11 @@ impl Deployment {
                         .log_retracts(batch.iter().map(|(p, t)| (p.as_str(), t)), finish)
                         .map_err(|e| DatalogError::Eval(format!("durability: {e}")))?;
                 }
+                // A cascade: the retraction removed stored facts and may now
+                // propagate further withdrawals through this node's streams.
+                secureblox_telemetry::counter!("engine_retraction_cascades_total").inc();
+                secureblox_telemetry::histogram!("engine_retraction_deleted_facts")
+                    .record((stats.base_deleted + stats.over_deleted) as u64);
                 self.timing.record_retraction(NodeId(index as u32), finish);
                 self.nodes[index].needs_retraction_scan = true;
                 self.flush_updates(index, finish)

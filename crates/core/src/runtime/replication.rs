@@ -118,6 +118,16 @@ impl Deployment {
             };
             for (principal, master_seq, has_snapshot) in &masters {
                 let cursor = replica.cursors.get(principal).copied();
+                // Cursor lag observed *before* this sync round catches the
+                // replica up — how far behind the master's WAL head it was.
+                let lag = master_seq.saturating_sub(cursor.unwrap_or(0));
+                secureblox_telemetry::registry()
+                    .gauge(&format!(
+                        "engine_replica_cursor_lag{{replica=\"{}\",node=\"{}\"}}",
+                        replica.name, principal
+                    ))
+                    .set(lag as i64);
+                secureblox_telemetry::histogram!("engine_replica_cursor_lag_records").record(lag);
                 // A cursor at the master's WAL head means the replica already
                 // holds every record; skip without touching its disk.  (A
                 // master with neither snapshot nor WAL records has nothing to

@@ -185,6 +185,24 @@ impl PlanStatsSnapshot {
         }
         self.shards_executed as f64 / (self.parallel_batches * workers as u64) as f64
     }
+
+    /// Publish this snapshot into the global telemetry registry as
+    /// `datalog_plan_stats_*` gauges, so exporters see the same numbers this
+    /// struct reports.  The snapshot (summed across a deployment's
+    /// workspaces) remains the API of record; the gauges are a view.
+    pub fn publish_to_registry(&self) {
+        use secureblox_telemetry::gauge;
+        gauge!("datalog_plan_stats_plans_compiled").set(self.plans_compiled as i64);
+        gauge!("datalog_plan_stats_plan_cache_hits").set(self.plan_cache_hits as i64);
+        gauge!("datalog_plan_stats_plan_recompiles").set(self.plan_recompiles as i64);
+        gauge!("datalog_plan_stats_index_builds").set(self.index_builds as i64);
+        gauge!("datalog_plan_stats_index_probes").set(self.index_probes as i64);
+        gauge!("datalog_plan_stats_full_scans").set(self.full_scans as i64);
+        gauge!("datalog_plan_stats_functional_hits").set(self.functional_hits as i64);
+        gauge!("datalog_plan_stats_parallel_batches").set(self.parallel_batches as i64);
+        gauge!("datalog_plan_stats_serial_batches").set(self.serial_batches as i64);
+        gauge!("datalog_plan_stats_shards_executed").set(self.shards_executed as i64);
+    }
 }
 
 impl std::ops::Add for PlanStatsSnapshot {
@@ -277,13 +295,18 @@ impl PlanCache {
         if let Some(plan) = self.plans.get(&key) {
             if !cardinalities_drifted(&plan.cardinalities, relations) {
                 PlanStats::bump(&stats.plan_cache_hits);
+                secureblox_telemetry::counter!("datalog_plan_cache_hits_total").inc();
                 return plan.clone();
             }
             PlanStats::bump(&stats.plan_recompiles);
+            secureblox_telemetry::counter!("datalog_plan_recompiles_total").inc();
         } else {
             PlanStats::bump(&stats.plans_compiled);
+            secureblox_telemetry::counter!("datalog_plans_compiled_total").inc();
         }
+        let timer = secureblox_telemetry::histogram!("datalog_plan_compile_ns").start_timer();
         let plan = compile_body_plan(body, key.delta_literal(), relations, udfs);
+        drop(timer);
         self.plans.insert(key, plan.clone());
         plan
     }

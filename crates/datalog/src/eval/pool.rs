@@ -121,10 +121,16 @@ impl WorkerPool {
         let injector = self.injector.as_ref().expect("pool is alive");
         let (done, arrivals) = channel::<(usize, std::thread::Result<T>)>();
         let count = tasks.len();
+        let queue_depth = secureblox_telemetry::gauge!("datalog_pool_queue_depth");
+        let busy = secureblox_telemetry::histogram!("datalog_pool_task_busy_ns");
+        queue_depth.add(count as i64);
         for (index, task) in tasks.into_iter().enumerate() {
             let done = done.clone();
             let job: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+                queue_depth.add(-1);
+                let timer = busy.start_timer();
                 let result = catch_unwind(AssertUnwindSafe(task));
+                drop(timer);
                 // The receiver outlives the loop below; a send can only
                 // fail if the caller's stack unwound, which `on_done` is
                 // contractually barred from causing.

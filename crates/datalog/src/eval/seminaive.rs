@@ -330,6 +330,10 @@ impl<'a> Evaluator<'a> {
     ) -> Result<Vec<(String, Tuple)>> {
         let rule = &rules[rule_index];
         let existentials = rule.head_existentials();
+        // One observation per (rule, delta) batch execution — coarse enough
+        // to stay inside the telemetry overhead budget.
+        let _batch_timer =
+            secureblox_telemetry::histogram!("datalog_rule_batch_join_ns").start_timer();
         let plan = self.prepare_plan(rules, rule_index, delta.as_ref().map(|(i, _)| *i));
 
         if existentials.is_empty() {

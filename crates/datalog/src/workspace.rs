@@ -381,6 +381,10 @@ impl Workspace {
         match result {
             Ok(mut report) => {
                 report.duration = start.elapsed();
+                secureblox_telemetry::histogram!("datalog_fixpoint_ns")
+                    .record_duration(report.duration);
+                secureblox_telemetry::gauge!("datalog_intern_table_size")
+                    .set_max(self.interner.len() as i64);
                 Ok(report)
             }
             Err(error) => {
@@ -482,6 +486,7 @@ impl Workspace {
     /// DRed.  Constraints are re-checked afterwards; a violation rolls the
     /// whole retraction back.
     pub fn retract(&mut self, batch: Vec<(String, Tuple)>) -> Result<DeletionStats> {
+        let timer = secureblox_telemetry::histogram!("datalog_retract_ns").start_timer();
         let snapshot_relations = self.relations.clone();
         let snapshot_edb = self.edb_facts.clone();
 
@@ -525,6 +530,7 @@ impl Workspace {
             Err(error) => {
                 self.relations = snapshot_relations;
                 self.edb_facts = snapshot_edb;
+                timer.cancel();
                 Err(error)
             }
         }

@@ -32,6 +32,18 @@ pub enum MessageKind {
     Bootstrap,
 }
 
+impl MessageKind {
+    /// Stable lowercase label, used in telemetry metric names.
+    pub fn label(self) -> &'static str {
+        match self {
+            MessageKind::Update => "update",
+            MessageKind::AnonForward => "anon_forward",
+            MessageKind::AnonBackward => "anon_backward",
+            MessageKind::Bootstrap => "bootstrap",
+        }
+    }
+}
+
 /// Fixed per-message header overhead, approximating the paper's UDP/IP
 /// headers plus a small SecureBlox envelope (sender, receiver, predicate tag).
 pub const HEADER_OVERHEAD_BYTES: usize = 48;

@@ -68,6 +68,29 @@ pub struct SimNetwork {
     stats: NetworkStats,
 }
 
+/// The per-kind modelled-latency histogram (virtual nanoseconds from send to
+/// delivery).  One static handle per kind keeps the send path free of name
+/// formatting and registry lookups.
+fn latency_histogram(
+    kind: crate::message::MessageKind,
+) -> &'static secureblox_telemetry::Histogram {
+    use crate::message::MessageKind;
+    match kind {
+        MessageKind::Update => {
+            secureblox_telemetry::histogram!("net_message_latency_ns{kind=\"update\"}")
+        }
+        MessageKind::AnonForward => {
+            secureblox_telemetry::histogram!("net_message_latency_ns{kind=\"anon_forward\"}")
+        }
+        MessageKind::AnonBackward => {
+            secureblox_telemetry::histogram!("net_message_latency_ns{kind=\"anon_backward\"}")
+        }
+        MessageKind::Bootstrap => {
+            secureblox_telemetry::histogram!("net_message_latency_ns{kind=\"bootstrap\"}")
+        }
+    }
+}
+
 impl SimNetwork {
     /// Create a network with the given latency model for `nodes` nodes.
     pub fn new(nodes: usize, latency: LatencyModel) -> Self {
@@ -101,12 +124,16 @@ impl SimNetwork {
         let deliver_at = (now + self.latency.delay(wire_size).as_nanos() as u64).max(floor);
         self.stats
             .record_send(message.from, message.to, wire_size, message.kind);
+        // Modelled send-to-delivery latency (virtual ns), including any FIFO
+        // floor wait, bucketed by message kind.
+        latency_histogram(message.kind).record(deliver_at - now);
         self.sequence += 1;
         self.queue.push(Reverse(Scheduled {
             deliver_at,
             sequence: self.sequence,
             message,
         }));
+        secureblox_telemetry::gauge!("net_in_flight").set(self.queue.len() as i64);
         deliver_at
     }
 
@@ -123,7 +150,11 @@ impl SimNetwork {
 
     /// Pop the next message in virtual-time order.
     pub fn next_delivery(&mut self) -> Option<(VirtualTime, Message)> {
-        self.queue.pop().map(|Reverse(s)| (s.deliver_at, s.message))
+        let delivery = self.queue.pop().map(|Reverse(s)| (s.deliver_at, s.message));
+        if delivery.is_some() {
+            secureblox_telemetry::gauge!("net_in_flight").set(self.queue.len() as i64);
+        }
+        delivery
     }
 
     /// Number of in-flight messages.

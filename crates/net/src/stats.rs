@@ -21,9 +21,16 @@ pub struct NodeTraffic {
 }
 
 impl NodeTraffic {
-    /// Total traffic attributable to this node, in bytes.  The paper reports
-    /// per-node overhead as the node's aggregate bandwidth use; sent bytes are
-    /// the convention used here (received bytes mirror another node's sends).
+    /// Total traffic attributable to this node, in bytes.
+    ///
+    /// **Sent bytes only — received bytes are intentionally excluded.**  The
+    /// paper reports per-node overhead as the bandwidth a node *originates*;
+    /// every received byte is some other node's sent byte, so summing both
+    /// directions would double-count each message at the deployment level
+    /// (`NetworkStats::total_bytes` sums this per-node value).  Callers that
+    /// want the receive direction read [`NodeTraffic::bytes_received`]
+    /// directly, or the `net_node_bytes_received{node="..."}` gauge published
+    /// by [`NetworkStats::publish_to_registry`].
     pub fn total_bytes(&self) -> usize {
         self.bytes_sent
     }
@@ -93,6 +100,38 @@ impl NetworkStats {
     /// Bytes attributed to a message kind.
     pub fn bytes_for_kind(&self, kind: MessageKind) -> usize {
         self.per_kind.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Publish these statistics into the global telemetry registry as
+    /// labelled gauges — `net_node_bytes_sent{node="i"}`,
+    /// `net_node_bytes_received{node="i"}` (the receive direction
+    /// [`NodeTraffic::total_bytes`] deliberately excludes),
+    /// `net_node_messages_{sent,received}{node="i"}`, and
+    /// `net_bytes_by_kind{kind="..."}`.  This struct stays the API of
+    /// record; the gauges are a view for exporters, refreshed on each call
+    /// (per-node label names are interned once per node, so this is not for
+    /// per-send hot paths — `Deployment::report` calls it once per run).
+    pub fn publish_to_registry(&self) {
+        let registry = secureblox_telemetry::registry();
+        for (index, traffic) in self.per_node.iter().enumerate() {
+            registry
+                .gauge(&format!("net_node_bytes_sent{{node=\"{index}\"}}"))
+                .set(traffic.bytes_sent as i64);
+            registry
+                .gauge(&format!("net_node_bytes_received{{node=\"{index}\"}}"))
+                .set(traffic.bytes_received as i64);
+            registry
+                .gauge(&format!("net_node_messages_sent{{node=\"{index}\"}}"))
+                .set(traffic.messages_sent as i64);
+            registry
+                .gauge(&format!("net_node_messages_received{{node=\"{index}\"}}"))
+                .set(traffic.messages_received as i64);
+        }
+        for (kind, bytes) in &self.per_kind {
+            registry
+                .gauge(&format!("net_bytes_by_kind{{kind=\"{}\"}}", kind.label()))
+                .set(*bytes as i64);
+        }
     }
 }
 
@@ -246,6 +285,49 @@ mod tests {
         assert!((stats.average_per_node_kb() - 1.5).abs() < 1e-9);
         assert_eq!(stats.bytes_for_kind(MessageKind::Update), 3072);
         assert_eq!(stats.bytes_for_kind(MessageKind::AnonForward), 0);
+    }
+
+    #[test]
+    fn total_bytes_counts_sent_only_by_design() {
+        // The documented asymmetry: `total_bytes` is the *originated*
+        // bandwidth.  Received bytes are some other node's sends — counting
+        // them here would double-count every message when the per-node
+        // values are summed (the deployment-level figure of the paper's §8).
+        let mut stats = NetworkStats::new(2);
+        stats.record_send(NodeId(0), NodeId(1), 1000, MessageKind::Update);
+        stats.record_send(NodeId(1), NodeId(0), 500, MessageKind::Update);
+        let node0 = stats.node(NodeId(0));
+        assert_eq!(node0.bytes_sent, 1000);
+        assert_eq!(node0.bytes_received, 500);
+        assert_eq!(node0.total_bytes(), node0.bytes_sent);
+        assert_ne!(node0.total_bytes(), node0.bytes_sent + node0.bytes_received);
+        // Summing per-node totals equals each message counted exactly once.
+        let summed: usize = stats.nodes().iter().map(NodeTraffic::total_bytes).sum();
+        assert_eq!(summed, stats.total_bytes());
+        assert_eq!(summed, 1500);
+    }
+
+    #[test]
+    fn publish_exposes_both_directions_as_gauges() {
+        let mut stats = NetworkStats::new(2);
+        stats.record_send(NodeId(0), NodeId(1), 1000, MessageKind::Update);
+        stats.publish_to_registry();
+        let registry = secureblox_telemetry::registry();
+        assert_eq!(
+            registry.gauge("net_node_bytes_sent{node=\"0\"}").get(),
+            1000
+        );
+        // The receive direction `total_bytes` excludes is observable here.
+        assert_eq!(
+            registry.gauge("net_node_bytes_received{node=\"1\"}").get(),
+            1000
+        );
+        assert_eq!(
+            registry.gauge("net_bytes_by_kind{kind=\"update\"}").get(),
+            1000
+        );
+        let text = registry.prometheus_text();
+        assert!(text.contains("net_node_bytes_received{node=\"1\"} 1000"));
     }
 
     #[test]

@@ -110,6 +110,9 @@ pub struct FactStore {
 impl FactStore {
     /// Open a store directory, performing full verification and recovery.
     pub fn open(dir: impl Into<PathBuf>, key: &[u8]) -> Result<FactStore> {
+        let _recovery_timer =
+            secureblox_telemetry::histogram!("store_recovery_replay_ns").start_timer();
+        let mut recover_span = secureblox_telemetry::span("store", "recover");
         let dir = dir.into();
         std::fs::create_dir_all(&dir).map_err(|e| StoreError::io(&dir, e))?;
         let objects = ObjectStore::open(dir.join("objects"))?;
@@ -166,6 +169,10 @@ impl FactStore {
             recovered_suffix.push(record);
         }
 
+        secureblox_telemetry::counter!("store_recovery_records_total")
+            .add(recovered_suffix.len() as u64);
+        recover_span.record_field("suffix_records", recovered_suffix.len());
+        recover_span.record_field("snapshot_facts", recovered_snapshot_facts.len());
         Ok(FactStore {
             dir,
             wal,
@@ -243,16 +250,20 @@ impl FactStore {
         facts: impl IntoIterator<Item = (&'a str, &'a Tuple)>,
         watermark: u64,
     ) -> Result<()> {
+        let timer = secureblox_telemetry::histogram!("store_wal_append_ns").start_timer();
+        let mut appended = 0u64;
         for (pred, tuple) in facts {
             let record = self
                 .wal
                 .append(WalOp::Insert, pred, tuple.clone(), watermark)?;
             apply(&mut self.base, &mut self.export_cursor, &record);
+            appended += 1;
         }
         self.watermark = self.watermark.max(watermark);
         if self.flush_each_batch {
             self.wal.flush()?;
         }
+        wal_batch_telemetry(timer, appended);
         Ok(())
     }
 
@@ -262,16 +273,20 @@ impl FactStore {
         facts: impl IntoIterator<Item = (&'a str, &'a Tuple)>,
         watermark: u64,
     ) -> Result<()> {
+        let timer = secureblox_telemetry::histogram!("store_wal_append_ns").start_timer();
+        let mut appended = 0u64;
         for (pred, tuple) in facts {
             let record = self
                 .wal
                 .append(WalOp::Retract, pred, tuple.clone(), watermark)?;
             apply(&mut self.base, &mut self.export_cursor, &record);
+            appended += 1;
         }
         self.watermark = self.watermark.max(watermark);
         if self.flush_each_batch {
             self.wal.flush()?;
         }
+        wal_batch_telemetry(timer, appended);
         Ok(())
     }
 
@@ -284,6 +299,8 @@ impl FactStore {
         entries: impl IntoIterator<Item = (&'a str, &'a Tuple, &'a [u8])>,
         watermark: u64,
     ) -> Result<()> {
+        let timer = secureblox_telemetry::histogram!("store_wal_append_ns").start_timer();
+        let mut appended = 0u64;
         for (pred, tuple, signature) in entries {
             let record = self.wal.append_signed(
                 WalOp::ExportMark,
@@ -293,11 +310,13 @@ impl FactStore {
                 signature.to_vec(),
             )?;
             apply(&mut self.base, &mut self.export_cursor, &record);
+            appended += 1;
         }
         self.watermark = self.watermark.max(watermark);
         if self.flush_each_batch {
             self.wal.flush()?;
         }
+        wal_batch_telemetry(timer, appended);
         Ok(())
     }
 
@@ -309,16 +328,20 @@ impl FactStore {
         entries: impl IntoIterator<Item = (&'a str, &'a Tuple)>,
         watermark: u64,
     ) -> Result<()> {
+        let timer = secureblox_telemetry::histogram!("store_wal_append_ns").start_timer();
+        let mut appended = 0u64;
         for (pred, tuple) in entries {
             let record = self
                 .wal
                 .append(WalOp::ExportClear, pred, tuple.clone(), watermark)?;
             apply(&mut self.base, &mut self.export_cursor, &record);
+            appended += 1;
         }
         self.watermark = self.watermark.max(watermark);
         if self.flush_each_batch {
             self.wal.flush()?;
         }
+        wal_batch_telemetry(timer, appended);
         Ok(())
     }
 
@@ -372,7 +395,12 @@ impl FactStore {
     /// log stays proportional to the work since the last checkpoint rather
     /// than to the node's lifetime.
     pub fn checkpoint(&mut self, watermark: u64) -> Result<SnapshotInfo> {
+        let _checkpoint_timer =
+            secureblox_telemetry::histogram!("store_checkpoint_ns").start_timer();
+        let mut checkpoint_span = secureblox_telemetry::span("store", "checkpoint");
         self.wal.flush()?;
+        let snapshot_timer =
+            secureblox_telemetry::histogram!("store_snapshot_write_ns").start_timer();
         let mut entries = Vec::new();
         for (name, bytes) in self.relation_entries_dry() {
             let object = self.objects.put(&bytes)?;
@@ -388,6 +416,9 @@ impl FactStore {
         };
         let manifest_id = self.objects.put(&manifest.encode())?;
         write_head(&self.dir.join("HEAD"), &manifest_id)?;
+        drop(snapshot_timer);
+        checkpoint_span.record_field("relations", manifest.relations.len());
+        checkpoint_span.record_field("wal_seq", manifest.wal_seq);
         // The snapshot is durable: every logged base-fact record is now
         // redundant.  The export cursor is *not* in the snapshot (it is not
         // part of the fact state or its commitment), so re-log its live
@@ -409,6 +440,15 @@ impl FactStore {
         self.watermark = watermark;
         Ok(info)
     }
+}
+
+/// Record one WAL append batch into the telemetry plane: the batch's append
+/// latency (the timer started before the first record), its size, and the
+/// running record total.
+fn wal_batch_telemetry(timer: secureblox_telemetry::Timer, records: u64) {
+    drop(timer); // closes store_wal_append_ns
+    secureblox_telemetry::histogram!("store_wal_batch_size").record(records);
+    secureblox_telemetry::counter!("store_wal_records_total").add(records);
 }
 
 fn apply(

@@ -50,6 +50,8 @@ pub struct SyncStats {
 /// has checkpointed replicates the snapshot (incrementally, by content
 /// address) plus whatever WAL suffix follows it.
 pub fn sync_store(master_dir: &Path, replica_dir: &Path, key: &[u8]) -> Result<SyncStats> {
+    let _sync_timer = secureblox_telemetry::histogram!("store_sync_ns").start_timer();
+    let mut sync_span = secureblox_telemetry::span("store", "sync");
     let mut stats = SyncStats::default();
 
     // 1. Snapshot objects and HEAD swap (when the master has a snapshot).
@@ -81,6 +83,8 @@ pub fn sync_store(master_dir: &Path, replica_dir: &Path, key: &[u8]) -> Result<S
     //    replica does not hold yet to the replica's own chain.
     let (_, master_records) = Wal::open(master_dir.join("wal.log"), key)?;
     let (mut replica_wal, replica_records) = Wal::open(replica_dir.join("wal.log"), key)?;
+    let replica_wal_path = replica_dir.join("wal.log");
+    let wal_bytes_before = std::fs::metadata(&replica_wal_path).map_or(0, |m| m.len());
     // Records below the snapshot watermark are superseded by the snapshot
     // copied above; recovery skips them, and appends continue past it.
     replica_wal.advance_seq_to(snapshot_seq);
@@ -115,6 +119,17 @@ pub fn sync_store(master_dir: &Path, replica_dir: &Path, key: &[u8]) -> Result<S
         stats.wal_records += 1;
     }
     replica_wal.flush()?;
+    // The suffix's on-disk size: what this sync actually shipped at WAL
+    // granularity (0 when the replica was already caught up).  A rebuilt
+    // replica log can shrink; count growth only.
+    let wal_bytes_after = std::fs::metadata(&replica_wal_path).map_or(0, |m| m.len());
+    let suffix_bytes = wal_bytes_after.saturating_sub(wal_bytes_before);
+    secureblox_telemetry::counter!("store_sync_suffix_bytes_total").add(suffix_bytes);
+    secureblox_telemetry::counter!("store_sync_suffix_records_total").add(stats.wal_records as u64);
+    secureblox_telemetry::counter!("store_sync_objects_copied_total").add(stats.copied as u64);
+    sync_span.record_field("copied", stats.copied);
+    sync_span.record_field("wal_records", stats.wal_records);
+    sync_span.record_field("suffix_bytes", suffix_bytes);
     Ok(stats)
 }
 

@@ -1,0 +1,612 @@
+//! The metric registry: counters, gauges, and log₂-bucket histograms.
+//!
+//! Metrics are identified by name and live for the life of the process —
+//! the registry leaks one small allocation per *name* so handles can be
+//! `&'static` and hot paths never touch the registry lock.  Call sites go
+//! through [`counter!`](crate::counter)/[`gauge!`](crate::gauge)/
+//! [`histogram!`](crate::histogram), which cache the lookup in a
+//! per-call-site `OnceLock`.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+use std::time::{Duration, Instant};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A signed instantaneous value (queue depths, table sizes, lags).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    pub const fn new() -> Self {
+        Gauge(AtomicI64::new(0))
+    }
+
+    #[inline]
+    pub fn set(&self, value: i64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Record a high-water mark: keeps the maximum of the current value and
+    /// `value`.
+    #[inline]
+    pub fn set_max(&self, value: i64) {
+        self.0.fetch_max(value, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: value `v` lands in bucket
+/// `64 - v.leading_zeros()`, i.e. bucket 0 holds exactly 0, bucket *i* holds
+/// `[2^(i-1), 2^i)`, and bucket 64 holds `[2^63, u64::MAX]`.
+pub const BUCKETS: usize = 65;
+
+/// A fixed-bucket log₂-scale histogram with atomic buckets.
+///
+/// Designed for nanosecond latencies: 65 power-of-two buckets cover the full
+/// `u64` range with ≤2x relative quantile error, recording is two relaxed
+/// RMWs plus a `leading_zeros`, and readout walks the bucket array without
+/// stopping writers.  Recording is gated on
+/// [`metrics_enabled`](crate::metrics_enabled).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    pub const fn new() -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Histogram {
+            buckets: [ZERO; BUCKETS],
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// The bucket index `value` falls into.
+    #[inline]
+    pub fn bucket_index(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// The largest value bucket `index` can hold (inclusive).
+    pub fn bucket_upper_bound(index: usize) -> u64 {
+        match index {
+            0 => 0,
+            64.. => u64::MAX,
+            i => (1u64 << i) - 1,
+        }
+    }
+
+    /// Record one observation.  A no-op while metrics are disabled.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if !crate::metrics_enabled() {
+            return;
+        }
+        self.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Record a duration in nanoseconds.
+    #[inline]
+    pub fn record_duration(&self, duration: Duration) {
+        self.record(duration.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Start a timer that records into this histogram when dropped.  While
+    /// metrics are disabled the clock is never read.
+    pub fn start_timer(&'static self) -> Timer {
+        Timer {
+            histogram: self,
+            start: crate::metrics_enabled().then(Instant::now),
+        }
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// The value at quantile `q` in `[0, 1]`, reported as the upper bound of
+    /// the bucket containing that rank (a conservative, ≤2x estimate).
+    /// Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (index, bucket) in self.buckets.iter().enumerate() {
+            cumulative += bucket.load(Ordering::Relaxed);
+            if cumulative >= rank {
+                return Self::bucket_upper_bound(index).min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// Per-bucket counts (index, count) for non-empty buckets.
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(index, bucket)| {
+                let n = bucket.load(Ordering::Relaxed);
+                (n > 0).then_some((index, n))
+            })
+            .collect()
+    }
+
+    fn reset(&self) {
+        for bucket in &self.buckets {
+            bucket.store(0, Ordering::Relaxed);
+        }
+        self.sum.store(0, Ordering::Relaxed);
+        self.count.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+
+    fn summary(&self, name: &str) -> HistogramSummary {
+        HistogramSummary {
+            name: name.to_string(),
+            count: self.count(),
+            sum: self.sum(),
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+            max: self.max(),
+        }
+    }
+}
+
+/// RAII timer: records the elapsed nanoseconds into its histogram on drop.
+#[derive(Debug)]
+pub struct Timer {
+    histogram: &'static Histogram,
+    start: Option<Instant>,
+}
+
+impl Timer {
+    /// Stop without recording (e.g. on an error path that should not skew a
+    /// latency distribution).
+    pub fn cancel(mut self) {
+        self.start = None;
+    }
+}
+
+impl Drop for Timer {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            self.histogram.record_duration(start.elapsed());
+        }
+    }
+}
+
+/// A quantile digest of one histogram — the shape embedded in
+/// `DeploymentReport::telemetry` and the bench sidecar files.  All values
+/// are in the histogram's native unit (nanoseconds for latencies).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSummary {
+    pub name: String,
+    pub count: u64,
+    pub sum: u64,
+    pub p50: u64,
+    pub p90: u64,
+    pub p99: u64,
+    pub max: u64,
+}
+
+impl HistogramSummary {
+    /// Mean observation, zero when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// The name-to-metric maps.  Names registered once stay registered; the
+/// handles are leaked (one allocation per distinct name over the process
+/// lifetime) so they can be shared as `&'static` without reference counting
+/// on the hot path.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, &'static Counter>>,
+    gauges: Mutex<BTreeMap<String, &'static Gauge>>,
+    histograms: Mutex<BTreeMap<String, &'static Histogram>>,
+}
+
+fn intern<T: Default + 'static>(
+    map: &Mutex<BTreeMap<String, &'static T>>,
+    name: &str,
+) -> &'static T {
+    let mut map = map.lock().unwrap_or_else(PoisonError::into_inner);
+    if let Some(existing) = map.get(name) {
+        return existing;
+    }
+    let leaked: &'static T = Box::leak(Box::default());
+    map.insert(name.to_string(), leaked);
+    leaked
+}
+
+impl Registry {
+    /// Get or create the counter called `name`.
+    pub fn counter(&self, name: &str) -> &'static Counter {
+        intern(&self.counters, name)
+    }
+
+    /// Get or create the gauge called `name`.
+    pub fn gauge(&self, name: &str) -> &'static Gauge {
+        intern(&self.gauges, name)
+    }
+
+    /// Get or create the histogram called `name`.
+    pub fn histogram(&self, name: &str) -> &'static Histogram {
+        intern(&self.histograms, name)
+    }
+
+    /// Zero every registered metric (names stay registered).  For benches
+    /// and tests that need a clean slate inside one process.
+    pub fn reset(&self) {
+        for counter in self
+            .counters
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .values()
+        {
+            counter.reset();
+        }
+        for gauge in self
+            .gauges
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .values()
+        {
+            gauge.set(0);
+        }
+        for histogram in self
+            .histograms
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .values()
+        {
+            histogram.reset();
+        }
+    }
+
+    /// Quantile summaries of every histogram that has recorded at least one
+    /// observation, sorted by name.
+    pub fn histogram_summaries(&self) -> Vec<HistogramSummary> {
+        self.histograms
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .filter(|(_, histogram)| histogram.count() > 0)
+            .map(|(name, histogram)| histogram.summary(name))
+            .collect()
+    }
+
+    /// Render every metric in Prometheus text exposition format.  Labelled
+    /// names (`name{label="x"}`) share one `# TYPE` line per base name.
+    pub fn prometheus_text(&self) -> String {
+        let mut out = String::new();
+        let mut last_type_line = String::new();
+        let mut type_line = |out: &mut String, name: &str, kind: &str| {
+            let base = name.split('{').next().unwrap_or(name);
+            let line = format!("# TYPE {base} {kind}\n");
+            if line != last_type_line {
+                out.push_str(&line);
+                last_type_line = line;
+            }
+        };
+        for (name, counter) in self
+            .counters
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+        {
+            type_line(&mut out, name, "counter");
+            out.push_str(&format!("{name} {}\n", counter.get()));
+        }
+        for (name, gauge) in self
+            .gauges
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+        {
+            type_line(&mut out, name, "gauge");
+            out.push_str(&format!("{name} {}\n", gauge.get()));
+        }
+        for (name, histogram) in self
+            .histograms
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+        {
+            type_line(&mut out, name, "histogram");
+            let mut cumulative = 0u64;
+            for (index, count) in histogram.nonzero_buckets() {
+                cumulative += count;
+                out.push_str(&format!(
+                    "{name}_bucket{{le=\"{}\"}} {cumulative}\n",
+                    Histogram::bucket_upper_bound(index)
+                ));
+            }
+            out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
+            out.push_str(&format!("{name}_sum {}\n", histogram.sum()));
+            out.push_str(&format!("{name}_count {}\n", histogram.count()));
+        }
+        out
+    }
+}
+
+/// The process-wide registry.
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+/// [`Registry::histogram_summaries`] on the global registry.
+pub fn histogram_summaries() -> Vec<HistogramSummary> {
+    registry().histogram_summaries()
+}
+
+/// [`Registry::prometheus_text`] on the global registry.
+pub fn prometheus_text() -> String {
+    registry().prometheus_text()
+}
+
+/// A `&'static Counter` from the global registry, with the lookup cached at
+/// the call site.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<&'static $crate::Counter> =
+            ::std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::registry().counter($name))
+    }};
+}
+
+/// A `&'static Gauge` from the global registry, cached at the call site.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<&'static $crate::Gauge> = ::std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::registry().gauge($name))
+    }};
+}
+
+/// A `&'static Histogram` from the global registry, cached at the call site.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<&'static $crate::Histogram> =
+            ::std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::registry().histogram($name))
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        // Bucket 0 is exactly zero.
+        assert_eq!(Histogram::bucket_index(0), 0);
+        // Bucket i holds [2^(i-1), 2^i).
+        for i in 1..64usize {
+            let low = 1u64 << (i - 1);
+            let high = (1u64 << i) - 1;
+            assert_eq!(Histogram::bucket_index(low), i, "lower edge of bucket {i}");
+            assert_eq!(Histogram::bucket_index(high), i, "upper edge of bucket {i}");
+            assert_eq!(Histogram::bucket_upper_bound(i), high);
+        }
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_upper_bound(64), u64::MAX);
+        assert_eq!(Histogram::bucket_upper_bound(0), 0);
+        // Adjacent boundary values land in adjacent buckets.
+        assert_eq!(Histogram::bucket_index(1023), 10);
+        assert_eq!(Histogram::bucket_index(1024), 11);
+    }
+
+    #[test]
+    fn p99_readout_walks_cumulative_buckets() {
+        let _guard = crate::test_flag_lock();
+        let histogram = Histogram::new();
+        // 99 fast observations (~1µs) and one slow outlier (~1ms).
+        for _ in 0..99 {
+            histogram.record(1_000);
+        }
+        histogram.record(1_000_000);
+        assert_eq!(histogram.count(), 100);
+        // p50 and p90 sit in the 1µs bucket: [512, 1024) → upper bound 1023.
+        assert_eq!(histogram.quantile(0.50), 1_023);
+        assert_eq!(histogram.quantile(0.90), 1_023);
+        // p99 is the 99th of 100 ranks — still the fast bucket…
+        assert_eq!(histogram.quantile(0.99), 1_023);
+        // …and the max / p100 is the outlier, capped at the observed max.
+        assert_eq!(histogram.quantile(1.0), 1_000_000);
+        assert_eq!(histogram.max(), 1_000_000);
+        // With 2% outliers, p99 crosses into the slow bucket.
+        let skewed = Histogram::new();
+        for _ in 0..98 {
+            skewed.record(1_000);
+        }
+        skewed.record(1_000_000);
+        skewed.record(1_000_000);
+        assert_eq!(skewed.quantile(0.99), 1_000_000);
+    }
+
+    #[test]
+    fn empty_histogram_reads_zero() {
+        let histogram = Histogram::new();
+        assert_eq!(histogram.quantile(0.99), 0);
+        assert_eq!(histogram.count(), 0);
+        assert_eq!(histogram.max(), 0);
+    }
+
+    #[test]
+    fn disabled_metrics_skip_histograms_but_not_counters() {
+        let _guard = crate::test_flag_lock();
+        let histogram = Histogram::new();
+        let counter = Counter::new();
+        crate::set_metrics_enabled(false);
+        histogram.record(42);
+        counter.inc();
+        crate::set_metrics_enabled(true);
+        assert_eq!(histogram.count(), 0, "gated while disabled");
+        assert_eq!(counter.get(), 1, "counters always count");
+        histogram.record(42);
+        assert_eq!(histogram.count(), 1);
+    }
+
+    #[test]
+    fn registry_interns_by_name() {
+        let registry = Registry::default();
+        let a = registry.counter("test_total");
+        let b = registry.counter("test_total");
+        assert!(std::ptr::eq(a, b));
+        a.add(3);
+        assert_eq!(b.get(), 3);
+        let g = registry.gauge("test_depth");
+        g.set(7);
+        g.add(-2);
+        assert_eq!(registry.gauge("test_depth").get(), 5);
+    }
+
+    #[test]
+    fn registry_reset_zeroes_everything() {
+        let _guard = crate::test_flag_lock();
+        let registry = Registry::default();
+        registry.counter("c").add(9);
+        registry.gauge("g").set(-4);
+        registry.histogram("h").record(100);
+        registry.reset();
+        assert_eq!(registry.counter("c").get(), 0);
+        assert_eq!(registry.gauge("g").get(), 0);
+        assert_eq!(registry.histogram("h").count(), 0);
+    }
+
+    #[test]
+    fn prometheus_text_renders_all_kinds() {
+        let _guard = crate::test_flag_lock();
+        let registry = Registry::default();
+        registry.counter("requests_total").add(5);
+        registry.gauge("queue_depth").set(3);
+        let h = registry.histogram("latency_ns");
+        h.record(700);
+        h.record(800);
+        h.record(100_000);
+        let text = registry.prometheus_text();
+        assert!(text.contains("# TYPE requests_total counter"));
+        assert!(text.contains("requests_total 5"));
+        assert!(text.contains("# TYPE queue_depth gauge"));
+        assert!(text.contains("queue_depth 3"));
+        assert!(text.contains("# TYPE latency_ns histogram"));
+        assert!(text.contains("latency_ns_bucket{le=\"1023\"} 2"));
+        assert!(text.contains("latency_ns_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("latency_ns_sum 101500"));
+        assert!(text.contains("latency_ns_count 3"));
+    }
+
+    #[test]
+    fn labelled_gauges_share_one_type_line() {
+        let registry = Registry::default();
+        registry.gauge("node_bytes{node=\"0\"}").set(10);
+        registry.gauge("node_bytes{node=\"1\"}").set(20);
+        let text = registry.prometheus_text();
+        assert_eq!(text.matches("# TYPE node_bytes gauge").count(), 1);
+        assert!(text.contains("node_bytes{node=\"0\"} 10"));
+        assert!(text.contains("node_bytes{node=\"1\"} 20"));
+    }
+
+    #[test]
+    fn summaries_skip_empty_histograms() {
+        let _guard = crate::test_flag_lock();
+        let registry = Registry::default();
+        registry.histogram("never_recorded");
+        let h = registry.histogram("recorded");
+        h.record(10);
+        let summaries = registry.histogram_summaries();
+        assert_eq!(summaries.len(), 1);
+        assert_eq!(summaries[0].name, "recorded");
+        assert_eq!(summaries[0].count, 1);
+        assert!((summaries[0].mean() - 10.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn timer_records_elapsed_nanoseconds() {
+        let _guard = crate::test_flag_lock();
+        let registry = Registry::default();
+        let h: &'static Histogram = registry.histogram("timed_ns");
+        {
+            let _timer = h.start_timer();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(h.count(), 1);
+        assert!(h.sum() >= 1_000_000, "at least the slept millisecond");
+        let timer = h.start_timer();
+        timer.cancel();
+        assert_eq!(h.count(), 1, "cancelled timers record nothing");
+    }
+}
