@@ -29,6 +29,7 @@
 use crate::policy::{compile_secured_program, SecurityConfig};
 use crate::runtime::codec::{serialize_tuple, DeltaOp, UpdateDelta, UpdateEnvelope};
 use crate::runtime::replication::ReplicaState;
+use crate::runtime::stream::{LinkOutbox, StreamingConfig};
 use crate::runtime::udfs::register_crypto_udfs;
 use secureblox_crypto::{
     aes128_ctr_decrypt, aes128_ctr_encrypt, hmac_sha1_verify, AuthScheme, EncScheme, KeyStore,
@@ -43,7 +44,7 @@ use secureblox_net::{
 };
 use secureblox_store::{derive_node_key, DurabilityConfig, FactStore};
 use secureblox_telemetry::HistogramSummary;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -114,6 +115,14 @@ pub struct DeploymentConfig {
     /// its fixpoint deltas across this many workers (`<= 1` means serial).
     /// The default honours `SECUREBLOX_WORKERS`.
     pub parallelism: usize,
+    /// Streaming-scheduler knobs: per-link delta batching, annihilation, and
+    /// credit-based backpressure.  The default honours `SECUREBLOX_STREAMING`,
+    /// `SECUREBLOX_BATCH_MAX`, and `SECUREBLOX_QUEUE_HIGH_WATER`.
+    pub streaming: StreamingConfig,
+    /// Maximum deliveries one [`Deployment::run`] will process before
+    /// declaring the protocol non-convergent.  The default honours
+    /// `SECUREBLOX_MESSAGE_BUDGET` (falling back to 10 million).
+    pub message_budget: usize,
 }
 
 impl Default for DeploymentConfig {
@@ -132,8 +141,20 @@ impl Default for DeploymentConfig {
             grant_default_write_access: true,
             durability: env_durability(),
             parallelism: EvalOptions::default().workers,
+            streaming: StreamingConfig::default(),
+            message_budget: env_message_budget(),
         }
     }
+}
+
+/// Message-budget default from the environment (`SECUREBLOX_MESSAGE_BUDGET`),
+/// falling back to 10 million deliveries.
+fn env_message_budget() -> usize {
+    std::env::var("SECUREBLOX_MESSAGE_BUDGET")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&v| v >= 1)
+        .unwrap_or(10_000_000)
 }
 
 /// Durability default from the environment: when `SECUREBLOX_DURABILITY_DIR`
@@ -190,6 +211,11 @@ pub struct DeploymentReport {
     /// `shards_executed / (parallel_batches × workers)`.  `0.0` when every
     /// batch stayed on the serial path.
     pub worker_utilization: f64,
+    /// Median committed-transaction (apply) latency across all nodes — the
+    /// p50 figure of the streaming-throughput benchmark.
+    pub apply_latency_p50: Duration,
+    /// 99th-percentile committed-transaction (apply) latency.
+    pub apply_latency_p99: Duration,
     /// Named latency-histogram summaries (p50/p90/p99/max, nanoseconds) from
     /// the process-wide telemetry registry at report time: fixpoint latency
     /// (`datalog_fixpoint_ns`), WAL appends (`store_wal_append_ns`),
@@ -254,6 +280,10 @@ pub(crate) struct NodeState {
     /// Highest update-stream sequence number seen per sending node, used to
     /// drop stale duplicates (at-most-once application per delta).
     pub(crate) last_update_seq_in: HashMap<u32, u64>,
+    /// Streaming mode: the per-link receive queue.  Delivered envelopes push
+    /// their deltas here; a drain applies the whole queue in run-grouped
+    /// batches and returns credit for every drained delta.
+    pub(crate) inbox: HashMap<u32, VecDeque<UpdateDelta>>,
 }
 
 /// A complete simulated SecureBlox deployment.
@@ -268,9 +298,9 @@ pub struct Deployment {
     exportable: Vec<String>,
     /// Per-link update-stream sequence counters (sender side).
     stream_seq: HashMap<(usize, usize), u64>,
-    /// Per-link delivery-time floors: a stream message never arrives before
-    /// its predecessor on the same link (TCP-like FIFO channels).
-    link_floor: HashMap<(usize, usize), VirtualTime>,
+    /// Streaming mode: per-link sender outboxes (coalescing + credit), keyed
+    /// by (sender, destination) node index.
+    outboxes: HashMap<(usize, usize), LinkOutbox>,
     /// Registered read replicas with per-node WAL cursors (see
     /// `runtime::replication`).
     pub(crate) replicas: Vec<ReplicaState>,
@@ -395,6 +425,7 @@ impl Deployment {
                 store: None,
                 needs_retraction_scan: false,
                 last_update_seq_in: HashMap::new(),
+                inbox: HashMap::new(),
             });
         }
 
@@ -443,7 +474,7 @@ impl Deployment {
             circuits,
             exportable,
             stream_seq: HashMap::new(),
-            link_floor: HashMap::new(),
+            outboxes: HashMap::new(),
             replicas: Vec::new(),
         };
         if let Some(durability) = deployment.config.durability.clone() {
@@ -531,6 +562,13 @@ impl Deployment {
     /// envelopes and replayed streams.  The payload is delivered (and
     /// scrutinized) by the normal [`MessageKind::Update`] path on the next
     /// [`Deployment::run`].
+    ///
+    /// **Intentionally bypasses the per-link FIFO floor**: the plain `send`
+    /// at virtual time 0 lets the injected payload overtake every legitimate
+    /// message queued on the same link — the reordering/replay position an
+    /// on-path adversary gets on a real network.  The receiver's defenses
+    /// (sequence watermark, signature constraints) must hold against it; see
+    /// the `stale_seq_replay_is_rejected_even_out_of_order` regression test.
     pub fn inject_message(&mut self, from: usize, to: usize, payload: Vec<u8>) {
         self.network.send(
             Message::new(
@@ -551,16 +589,42 @@ impl Deployment {
             let batch = std::mem::take(&mut self.nodes[index].pending_bootstrap);
             self.process_batch(index, batch, 0)?;
         }
-        // Message loop.
+        // Message loop.  When the network goes quiet the streaming
+        // scheduler may still hold sub-batch residues in its outboxes
+        // (Nagle hold, see `drain_outbox`); force-flushing them wakes the
+        // loop back up until delivery *and* outboxes are both drained.
         let mut guard = 0usize;
-        let message_budget = 10_000_000usize;
-        while let Some((arrival, message)) = self.network.next_delivery() {
+        let message_budget = self.config.message_budget;
+        loop {
+            let Some((arrival, message)) = self.network.next_delivery() else {
+                if self.config.streaming.enabled && self.flush_pending_outboxes()? {
+                    continue;
+                }
+                break;
+            };
             guard += 1;
             if guard > message_budget {
-                return Err(DatalogError::Eval(
-                    "distributed execution exceeded its message budget; the protocol is not converging"
-                        .into(),
-                ));
+                let busiest: Vec<String> = self
+                    .network
+                    .stats()
+                    .busiest_links(3)
+                    .into_iter()
+                    .map(|(from, to, traffic)| {
+                        format!(
+                            "{}->{} ({} msgs, {} bytes)",
+                            self.nodes[from.index()].info.principal,
+                            self.nodes[to.index()].info.principal,
+                            traffic.messages,
+                            traffic.bytes
+                        )
+                    })
+                    .collect();
+                return Err(DatalogError::Eval(format!(
+                    "distributed execution exceeded its message budget of {message_budget} \
+                     (SECUREBLOX_MESSAGE_BUDGET / DeploymentConfig::message_budget); the \
+                     protocol is not converging; busiest links: {}",
+                    busiest.join(", ")
+                )));
             }
             self.deliver(message, arrival)?;
         }
@@ -598,6 +662,8 @@ impl Deployment {
             plan,
             workers,
             worker_utilization: plan.worker_utilization(workers),
+            apply_latency_p50: self.timing.transaction_duration_percentile(0.5),
+            apply_latency_p99: self.timing.transaction_duration_percentile(0.99),
             telemetry: secureblox_telemetry::histogram_summaries(),
         }
     }
@@ -624,6 +690,21 @@ impl Deployment {
         index: usize,
         batch: Vec<(String, Tuple)>,
         arrival: VirtualTime,
+    ) -> Result<bool> {
+        self.process_batch_with(index, batch, arrival, true)
+    }
+
+    /// [`Deployment::process_batch`], with verdict recording on rollback made
+    /// optional.  The streaming scheduler's combined-batch attempt passes
+    /// `record_failure = false`: a rolled-back *combined* transaction is not a
+    /// verdict — the batch is replayed delta-by-delta, and those replays
+    /// produce exactly the per-envelope path's rejections and conflicts.
+    fn process_batch_with(
+        &mut self,
+        index: usize,
+        batch: Vec<(String, Tuple)>,
+        arrival: VirtualTime,
+        record_failure: bool,
     ) -> Result<bool> {
         let start_virtual = arrival.max(self.nodes[index].available_at);
         let started = Instant::now();
@@ -653,14 +734,18 @@ impl Deployment {
             Err(DatalogError::ConstraintViolation(_)) => {
                 // The paper's semantics: the whole batch (including the input
                 // tuples) rolls back; the sender is not notified.
-                self.timing.record_rejection(NodeId(index as u32), finish);
+                if record_failure {
+                    self.timing.record_rejection(NodeId(index as u32), finish);
+                }
                 Ok(false)
             }
             Err(DatalogError::FunctionalDependency { .. }) => {
                 // Same rollback semantics, but counted separately: this is a
                 // data-level duplicate (e.g. a second composition for an
                 // already-known path entity), not a policy refusing the batch.
-                self.timing.record_conflict(NodeId(index as u32), finish);
+                if record_failure {
+                    self.timing.record_conflict(NodeId(index as u32), finish);
+                }
                 Ok(false)
             }
             Err(other) => Err(other),
@@ -825,49 +910,118 @@ impl Deployment {
 
         // 3. Export processing (serialization, signature lookup, encryption)
         //    costs real compute; charge it to the node's virtual clock, then
-        //    ship one envelope per destination over the FIFO stream.
+        //    ship over the FIFO stream — directly (one envelope per
+        //    destination, the seed path) or through the per-link outboxes
+        //    (streaming: coalescing, annihilation, credit).
         let overhead = started.elapsed();
         let send_time = now + overhead.as_nanos() as u64;
         self.nodes[index].available_at = self.nodes[index].available_at.max(send_time);
-        for (dest, deltas) in per_dest {
+        if self.config.streaming.enabled {
+            for (dest, deltas) in per_dest {
+                let high_water = self.config.streaming.queue_high_water;
+                let outbox = self
+                    .outboxes
+                    .entry((index, dest))
+                    .or_insert_with(|| LinkOutbox::new(high_water));
+                for delta in deltas {
+                    if outbox.push(delta) {
+                        secureblox_telemetry::counter!("engine_stream_annihilated_total").add(2);
+                    }
+                }
+                self.drain_outbox(index, dest, send_time, false)?;
+            }
+        } else {
+            for (dest, deltas) in per_dest {
+                let seq = {
+                    let counter = self.stream_seq.entry((index, dest)).or_insert(0);
+                    *counter += 1;
+                    *counter
+                };
+                self.ship_envelope(index, dest, UpdateEnvelope { seq, deltas }, send_time)?;
+            }
+        }
+        for (_, message) in anon_outgoing {
+            self.network.send_fifo(message, send_time);
+        }
+        Ok(())
+    }
+
+    /// Ship as much of the `(index, dest)` outbox as its credit window
+    /// allows, in envelopes of up to `batch_max` deltas each.  Marks the
+    /// outbox stalled when deltas remain with no credit left — the stall ends
+    /// (and shipping resumes) when the receiver's credit grant arrives.
+    ///
+    /// Unless `force`d, a residue smaller than `batch_max` is *held* (Nagle
+    /// style): while other traffic is still in flight, the next flushes keep
+    /// topping the outbox up and whole-batch envelopes amortize the
+    /// receiver's per-transaction cost.  [`Deployment::run`] force-flushes
+    /// every outbox at quiescence, so held deltas always ship before the run
+    /// can converge.
+    fn drain_outbox(
+        &mut self,
+        index: usize,
+        dest: usize,
+        now: VirtualTime,
+        force: bool,
+    ) -> Result<()> {
+        let batch_max = self.config.streaming.batch_max;
+        loop {
+            let Some(outbox) = self.outboxes.get_mut(&(index, dest)) else {
+                return Ok(());
+            };
+            if outbox.live() == 0 || (!force && outbox.live() < batch_max) {
+                return Ok(());
+            }
+            if outbox.credit() == 0 {
+                outbox.mark_stalled(now);
+                return Ok(());
+            }
+            let take = batch_max.min(outbox.credit());
+            let deltas = outbox.take_batch(take);
+            outbox.consume_credit(deltas.len());
+            if deltas.is_empty() {
+                return Ok(());
+            }
+            secureblox_telemetry::histogram!("engine_stream_batch_deltas")
+                .record(deltas.len() as u64);
             let seq = {
                 let counter = self.stream_seq.entry((index, dest)).or_insert(0);
                 *counter += 1;
                 *counter
             };
-            let envelope = UpdateEnvelope { seq, deltas };
-            let mut payload = envelope.encode();
-            if self.config.security.enc == EncScheme::Aes128 {
-                let to_principal = self.nodes[dest].info.principal.clone();
-                let secret = self
-                    .keystore
-                    .shared_secret(&self_principal, &to_principal)
-                    .map_err(|e| DatalogError::Eval(e.to_string()))?;
-                payload = aes128_ctr_encrypt(secret, &payload);
-            }
-            self.send_fifo(
-                Message::new(
-                    NodeId(index as u32),
-                    NodeId(dest as u32),
-                    MessageKind::Update,
-                    payload,
-                ),
-                send_time,
-            );
+            self.ship_envelope(index, dest, UpdateEnvelope { seq, deltas }, now)?;
         }
-        for (_, message) in anon_outgoing {
-            self.send_fifo(message, send_time);
-        }
-        Ok(())
     }
 
-    /// Send a message on its link's FIFO stream: delivery never precedes the
-    /// previous message on the same (from, to) link.
-    fn send_fifo(&mut self, message: Message, now: VirtualTime) {
-        let link = (message.from.index(), message.to.index());
-        let floor = self.link_floor.get(&link).copied().unwrap_or(0);
-        let delivered = self.network.send_ordered(message, now, floor);
-        self.link_floor.insert(link, delivered);
+    /// Encode (and, under AES, encrypt) one update-stream envelope and send
+    /// it on the link's FIFO stream.
+    fn ship_envelope(
+        &mut self,
+        index: usize,
+        dest: usize,
+        envelope: UpdateEnvelope,
+        send_time: VirtualTime,
+    ) -> Result<()> {
+        let mut payload = envelope.encode();
+        if self.config.security.enc == EncScheme::Aes128 {
+            let from_principal = &self.nodes[index].info.principal;
+            let to_principal = &self.nodes[dest].info.principal;
+            let secret = self
+                .keystore
+                .shared_secret(from_principal, to_principal)
+                .map_err(|e| DatalogError::Eval(e.to_string()))?;
+            payload = aes128_ctr_encrypt(secret, &payload);
+        }
+        self.network.send_fifo(
+            Message::new(
+                NodeId(index as u32),
+                NodeId(dest as u32),
+                MessageKind::Update,
+                payload,
+            ),
+            send_time,
+        );
+        Ok(())
     }
 
     /// Find the detached signature for a `says$T` tuple in the corresponding
@@ -1006,7 +1160,60 @@ impl Deployment {
             MessageKind::AnonForward => self.deliver_anon_forward(message, arrival),
             MessageKind::AnonBackward => self.deliver_anon_backward(message, arrival),
             MessageKind::Bootstrap => Ok(()),
+            MessageKind::Credit => self.deliver_credit(message, arrival),
         }
+    }
+
+    /// A credit grant travelling back to a sender: top up the link's outbox
+    /// window (capped at the high-water mark, so forged or replayed grants
+    /// can refill but never grow it) and resume a stalled stream.
+    fn deliver_credit(&mut self, message: Message, arrival: VirtualTime) -> Result<()> {
+        let Some(granted) = secureblox_net::message::decode_credit(&message.payload) else {
+            // Malformed grant — drop it rather than trusting the count.
+            self.timing.record_rejection(message.to, arrival);
+            return Ok(());
+        };
+        // The grant is addressed to the sender side of the data stream:
+        // outboxes are keyed (sender, destination) = (message.to, message.from).
+        let link = (message.to.index(), message.from.index());
+        let Some(outbox) = self.outboxes.get_mut(&link) else {
+            // Credit for a stream that never sent anything (forged): ignore.
+            return Ok(());
+        };
+        if let Some(stalled_for) = outbox.grant_credit(granted, arrival) {
+            secureblox_telemetry::histogram!("engine_stream_stall_ns").record(stalled_for);
+        }
+        self.drain_outbox(link.0, link.1, arrival, false)
+    }
+
+    /// Force-flush every outbox still holding deltas (see
+    /// [`Deployment::drain_outbox`]'s Nagle hold).  Called by
+    /// [`Deployment::run`] when the network goes quiet; returns whether
+    /// anything shipped (so the message loop resumes).  Credit is returned
+    /// unconditionally per drained delta, so by quiescence every window has
+    /// refilled — an unshippable residue here is a protocol bug, not a
+    /// schedule, and fails loudly rather than silently dropping deltas.
+    fn flush_pending_outboxes(&mut self) -> Result<bool> {
+        let pending: Vec<(usize, usize)> = self
+            .outboxes
+            .iter()
+            .filter(|(_, outbox)| outbox.live() > 0)
+            .map(|(&link, _)| link)
+            .collect();
+        let mut shipped = false;
+        for (index, dest) in pending {
+            let now = self.nodes[index].available_at;
+            let before = self.outboxes[&(index, dest)].live();
+            self.drain_outbox(index, dest, now, true)?;
+            let after = self.outboxes.get(&(index, dest)).map_or(0, |o| o.live());
+            shipped |= after < before;
+        }
+        if !shipped && self.outboxes.values().any(|o| o.live() > 0) {
+            return Err(DatalogError::Eval(
+                "streaming outboxes wedged at quiescence: held deltas with no credit".into(),
+            ));
+        }
+        Ok(shipped)
     }
 
     /// Apply one inbound update-stream envelope: decrypt, decode, drop stale
@@ -1058,37 +1265,40 @@ impl Deployment {
         update_span.record_field("from", message.from.0 as u64);
         update_span.record_field("seq", envelope.seq);
         update_span.record_field("deltas", envelope.deltas.len() as u64);
-        for delta in envelope.deltas {
-            let mut batch: Vec<(String, Tuple)> =
-                vec![(format!("says${}", delta.pred), delta.tuple.clone())];
-            if !delta.signature.is_empty() {
-                let mut sig_tuple = delta.tuple.clone();
-                sig_tuple.push(Value::bytes(delta.signature.clone()));
-                batch.push((format!("sig${}", delta.pred), sig_tuple));
-            }
-            match delta.op {
-                DeltaOp::Assert => {
-                    // The receiver's own constraints (signature verification,
-                    // trust, write access) accept or roll back the batch.
-                    if self.process_batch(to, batch, arrival)? {
+        if self.config.streaming.enabled {
+            accepted = self.drain_inbox(message.from, message.to, envelope.deltas, arrival)?;
+        } else {
+            for delta in envelope.deltas {
+                let batch = delta_batch(&delta);
+                match delta.op {
+                    DeltaOp::Assert => {
+                        // The receiver's own constraints (signature
+                        // verification, trust, write access) accept or roll
+                        // back the batch.
+                        if self.process_batch(to, batch, arrival)? {
+                            accepted = true;
+                        }
+                    }
+                    DeltaOp::Retract => {
+                        // Channel-level checks mirror the datalog-side assert
+                        // constraints: only the principal that said a fact —
+                        // and whose signature still verifies over it — may
+                        // retract it, and only at the addressee.
+                        let authorized = delta.tuple.len() >= 2
+                            && delta.tuple[0].as_str() == Some(from_principal.as_str())
+                            && delta.tuple[1].as_str() == Some(to_principal.as_str())
+                            && self.verify_update_signature(
+                                &from_principal,
+                                &to_principal,
+                                &delta,
+                            )?;
+                        if !authorized {
+                            self.timing.record_rejection(message.to, arrival);
+                            continue;
+                        }
                         accepted = true;
+                        self.apply_retraction(to, batch, arrival)?;
                     }
-                }
-                DeltaOp::Retract => {
-                    // Channel-level checks mirror the datalog-side assert
-                    // constraints: only the principal that said a fact — and
-                    // whose signature still verifies over it — may retract
-                    // it, and only at the addressee.
-                    let authorized = delta.tuple.len() >= 2
-                        && delta.tuple[0].as_str() == Some(from_principal.as_str())
-                        && delta.tuple[1].as_str() == Some(to_principal.as_str())
-                        && self.verify_update_signature(&from_principal, &to_principal, &delta)?;
-                    if !authorized {
-                        self.timing.record_rejection(message.to, arrival);
-                        continue;
-                    }
-                    accepted = true;
-                    self.apply_retraction(to, batch, arrival)?;
                 }
             }
         }
@@ -1134,6 +1344,175 @@ impl Deployment {
                 Ok(public.verify(&payload, &RsaSignature(delta.signature.clone())))
             }
         }
+    }
+
+    /// Streaming mode: push an envelope's deltas onto the per-link receive
+    /// queue, drain the whole queue in run-grouped batches (consecutive
+    /// same-op deltas apply as ONE workspace operation — one plan lookup, one
+    /// fixpoint, one WAL group), then return credit for every drained delta.
+    /// Returns whether any delta produced policy-accepted evidence.
+    fn drain_inbox(
+        &mut self,
+        from: NodeId,
+        to_id: NodeId,
+        deltas: Vec<UpdateDelta>,
+        arrival: VirtualTime,
+    ) -> Result<bool> {
+        let to = to_id.index();
+        let queue = self.nodes[to].inbox.entry(from.0).or_default();
+        queue.extend(deltas);
+        secureblox_telemetry::histogram!("engine_stream_queue_depth").record(queue.len() as u64);
+        let drained: Vec<UpdateDelta> = std::mem::take(queue).into();
+        if drained.is_empty() {
+            return Ok(false);
+        }
+        let from_principal = self.nodes[from.index()].info.principal.clone();
+        let to_principal = self.nodes[to].info.principal.clone();
+        let mut accepted = false;
+        let mut start = 0;
+        while start < drained.len() {
+            let op = drained[start].op;
+            let mut end = start + 1;
+            while end < drained.len() && drained[end].op == op {
+                end += 1;
+            }
+            let run = &drained[start..end];
+            let run_accepted = match op {
+                DeltaOp::Assert => self.apply_assert_run(to, run, arrival)?,
+                DeltaOp::Retract => {
+                    self.apply_retract_run(to, &from_principal, &to_principal, run, arrival)?
+                }
+            };
+            accepted |= run_accepted;
+            start = end;
+        }
+        // Return the drained deltas' credit once the applies finish.  The
+        // grant is unconditional — rejected deltas were still drained — so
+        // every shipped delta eventually refills the sender's window and a
+        // stalled outbox can never deadlock.  Credit rides a plain
+        // (unordered) message: grants are cumulative counts, order-free.
+        let send_at = arrival.max(self.nodes[to].available_at);
+        secureblox_telemetry::counter!("engine_stream_credits_total").inc();
+        self.network.send(
+            Message::new(
+                to_id,
+                from,
+                MessageKind::Credit,
+                secureblox_net::message::encode_credit(drained.len() as u64),
+            ),
+            send_at,
+        );
+        Ok(accepted)
+    }
+
+    /// Apply a run of `Assert` deltas as ONE combined ACID transaction.  On a
+    /// combined rollback (constraint violation or functional-dependency
+    /// conflict — which say some *individual* delta is bad, not the whole
+    /// run), replay delta-by-delta: the combined rollback was total, so the
+    /// replay starts from clean state and produces exactly the per-envelope
+    /// path's verdicts and final state.
+    fn apply_assert_run(
+        &mut self,
+        to: usize,
+        run: &[UpdateDelta],
+        arrival: VirtualTime,
+    ) -> Result<bool> {
+        if run.len() == 1 {
+            return self.process_batch(to, delta_batch(&run[0]), arrival);
+        }
+        let combined: Vec<(String, Tuple)> = run.iter().flat_map(delta_batch).collect();
+        if self.process_batch_with(to, combined, arrival, false)? {
+            return Ok(true);
+        }
+        secureblox_telemetry::counter!("engine_stream_fallbacks_total").inc();
+        let mut accepted = false;
+        for delta in run {
+            if self.process_batch(to, delta_batch(delta), arrival)? {
+                accepted = true;
+            }
+        }
+        Ok(accepted)
+    }
+
+    /// Apply a run of `Retract` deltas: authorization (addressee + detached
+    /// signature) stays per delta — exactly the per-envelope checks — then
+    /// all authorized deltas that actually delete something retract as ONE
+    /// combined DRed pass.  Per-delta replay on a combined rollback, as for
+    /// asserts.
+    fn apply_retract_run(
+        &mut self,
+        to: usize,
+        from_principal: &str,
+        to_principal: &str,
+        run: &[UpdateDelta],
+        arrival: VirtualTime,
+    ) -> Result<bool> {
+        let to_id = NodeId(to as u32);
+        let mut accepted = false;
+        let mut live: Vec<&UpdateDelta> = Vec::new();
+        for delta in run {
+            let authorized = delta.tuple.len() >= 2
+                && delta.tuple[0].as_str() == Some(from_principal)
+                && delta.tuple[1].as_str() == Some(to_principal)
+                && self.verify_update_signature(from_principal, to_principal, delta)?;
+            if !authorized {
+                self.timing.record_rejection(to_id, arrival);
+                continue;
+            }
+            accepted = true;
+            // Per-envelope semantics skip logging and propagation when the
+            // fact was never stored (`base_deleted == 0`, e.g. the assert had
+            // been rejected); filter those no-ops out before combining so the
+            // retraction count and WAL contents match exactly.
+            if self.nodes[to]
+                .workspace
+                .contains_fact(&format!("says${}", delta.pred), &delta.tuple)
+            {
+                live.push(delta);
+            }
+        }
+        if live.is_empty() {
+            return Ok(accepted);
+        }
+        if live.len() == 1 {
+            self.apply_retraction(to, delta_batch(live[0]), arrival)?;
+            return Ok(accepted);
+        }
+        let combined: Vec<(String, Tuple)> = live.iter().copied().flat_map(delta_batch).collect();
+        let start_virtual = arrival.max(self.nodes[to].available_at);
+        let started = Instant::now();
+        let outcome = self.nodes[to].workspace.retract(combined.clone());
+        let elapsed = started.elapsed();
+        secureblox_telemetry::histogram!("engine_retraction_apply_ns").record_duration(elapsed);
+        let finish = start_virtual + elapsed.as_nanos() as u64;
+        self.nodes[to].available_at = finish;
+        match outcome {
+            Ok(stats) => {
+                if let Some(store) = &mut self.nodes[to].store {
+                    store
+                        .log_retracts(combined.iter().map(|(p, t)| (p.as_str(), t)), finish)
+                        .map_err(|e| DatalogError::Eval(format!("durability: {e}")))?;
+                }
+                secureblox_telemetry::counter!("engine_retraction_cascades_total").inc();
+                secureblox_telemetry::histogram!("engine_retraction_deleted_facts")
+                    .record((stats.base_deleted + stats.over_deleted) as u64);
+                for _ in &live {
+                    self.timing.record_retraction(to_id, finish);
+                }
+                self.nodes[to].needs_retraction_scan = true;
+                self.flush_updates(to, finish)?;
+            }
+            Err(
+                DatalogError::ConstraintViolation(_) | DatalogError::FunctionalDependency { .. },
+            ) => {
+                secureblox_telemetry::counter!("engine_stream_fallbacks_total").inc();
+                for delta in live {
+                    self.apply_retraction(to, delta_batch(delta), arrival)?;
+                }
+            }
+            Err(other) => return Err(other),
+        }
+        Ok(accepted)
     }
 
     /// Apply a verified retraction batch at node `index`: DRed in the
@@ -1244,7 +1623,7 @@ impl Deployment {
         );
         let send_at = arrival.max(self.nodes[here].available_at);
         self.nodes[here].available_at = send_at;
-        self.send_fifo(forward, send_at);
+        self.network.send_fifo(forward, send_at);
         Ok(())
     }
 
@@ -1305,9 +1684,23 @@ impl Deployment {
         );
         let send_at = arrival.max(self.nodes[here].available_at);
         self.nodes[here].available_at = send_at;
-        self.send_fifo(forward, send_at);
+        self.network.send_fifo(forward, send_at);
         Ok(())
     }
+}
+
+/// The receiver-side insertion batch for one update-stream delta: the
+/// `says$T` tuple plus, when a detached signature rides along, the matching
+/// `sig$T` row the generated verification constraints consume.
+fn delta_batch(delta: &UpdateDelta) -> Vec<(String, Tuple)> {
+    let mut batch: Vec<(String, Tuple)> =
+        vec![(format!("says${}", delta.pred), delta.tuple.clone())];
+    if !delta.signature.is_empty() {
+        let mut sig_tuple = delta.tuple.clone();
+        sig_tuple.push(Value::bytes(delta.signature.clone()));
+        batch.push((format!("sig${}", delta.pred), sig_tuple));
+    }
+    batch
 }
 
 /// Encode an anonymity cell: circuit id, hop index, body.
@@ -1541,6 +1934,123 @@ mod tests {
             serial_report.rejected_batches,
             parallel_report.rejected_batches
         );
+    }
+
+    #[test]
+    fn stale_seq_replay_is_rejected_even_out_of_order() {
+        // NoAuth, so nothing but the sequence watermark stands between an
+        // injected replay and the workspace: the deltas would be accepted if
+        // the envelope were fresh.
+        let config = DeploymentConfig {
+            security: SecurityConfig::new(AuthScheme::NoAuth, EncScheme::None),
+            ..DeploymentConfig::default()
+        };
+        let mut deployment = Deployment::build(GOSSIP_APP, &two_node_specs(), config).unwrap();
+        deployment.run().unwrap();
+        // The legitimate n1→n0 stream used sequence 1; replay that sequence
+        // with attacker-chosen contents.  `inject_message` sends at virtual
+        // time 0, bypassing the per-link FIFO floor — the replay arrives
+        // *before* anything else queued on the link, the strongest reordering
+        // an on-path adversary can force.
+        let replay = UpdateEnvelope {
+            seq: 1,
+            deltas: vec![UpdateDelta {
+                op: DeltaOp::Assert,
+                pred: "remote_link".into(),
+                tuple: vec![
+                    Value::str("n1"),
+                    Value::str("n0"),
+                    Value::str("evil"),
+                    Value::str("evil2"),
+                ],
+                signature: Vec::new(),
+            }],
+        };
+        deployment.inject_message(1, 0, replay.encode());
+        deployment.run().unwrap();
+        assert!(
+            !deployment
+                .query("n0", "remote_link")
+                .contains(&vec![Value::str("evil"), Value::str("evil2")]),
+            "stale-sequence replay must be dropped whole, not applied"
+        );
+        assert_eq!(deployment.query("n0", "remote_link").len(), 1);
+    }
+
+    #[test]
+    fn exhausted_message_budget_names_busiest_links() {
+        let config = DeploymentConfig {
+            security: SecurityConfig::new(AuthScheme::NoAuth, EncScheme::None),
+            message_budget: 1,
+            ..DeploymentConfig::default()
+        };
+        let mut deployment = Deployment::build(GOSSIP_APP, &two_node_specs(), config).unwrap();
+        let err = deployment.run().unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("message budget of 1"), "got: {text}");
+        assert!(text.contains("busiest links:"), "got: {text}");
+        assert!(text.contains("msgs"), "got: {text}");
+    }
+
+    #[test]
+    fn streaming_gossip_matches_per_envelope_path() {
+        let baseline_config = DeploymentConfig {
+            security: SecurityConfig::new(AuthScheme::HmacSha1, EncScheme::None),
+            streaming: StreamingConfig::disabled(),
+            ..DeploymentConfig::default()
+        };
+        let mut baseline =
+            Deployment::build(GOSSIP_APP, &two_node_specs(), baseline_config).unwrap();
+        let baseline_report = baseline.run().unwrap();
+        let streaming_config = DeploymentConfig {
+            security: SecurityConfig::new(AuthScheme::HmacSha1, EncScheme::None),
+            streaming: StreamingConfig::with_knobs(8, 32),
+            ..DeploymentConfig::default()
+        };
+        let mut streaming =
+            Deployment::build(GOSSIP_APP, &two_node_specs(), streaming_config).unwrap();
+        let streaming_report = streaming.run().unwrap();
+        for principal in ["n0", "n1"] {
+            for pred in ["remote_link", "says$remote_link", "link"] {
+                assert_eq!(
+                    baseline.query(principal, pred),
+                    streaming.query(principal, pred),
+                    "{principal}/{pred} diverged under streaming"
+                );
+            }
+        }
+        assert_eq!(
+            baseline_report.rejected_batches,
+            streaming_report.rejected_batches
+        );
+        assert_eq!(
+            baseline_report.retractions_applied,
+            streaming_report.retractions_applied
+        );
+    }
+
+    #[test]
+    fn streaming_retraction_converges_and_annihilates_nothing_shipped() {
+        // Assert, converge, retract at the source: the withdrawal must cross
+        // the wire as a Retract delta and remove the remote copy, exactly as
+        // on the per-envelope path.
+        let config = DeploymentConfig {
+            security: SecurityConfig::new(AuthScheme::HmacSha1, EncScheme::None),
+            streaming: StreamingConfig::with_knobs(8, 32),
+            ..DeploymentConfig::default()
+        };
+        let mut deployment = Deployment::build(GOSSIP_APP, &two_node_specs(), config).unwrap();
+        deployment.run().unwrap();
+        assert_eq!(deployment.query("n0", "remote_link").len(), 1);
+        deployment
+            .retract(
+                "n1",
+                vec![("link".into(), vec![Value::str("n1"), Value::str("n0")])],
+            )
+            .unwrap();
+        let report = deployment.run().unwrap();
+        assert_eq!(deployment.query("n0", "remote_link").len(), 0);
+        assert!(report.retractions_applied >= 1);
     }
 
     #[test]

@@ -44,6 +44,21 @@ pub struct TransactionReport {
     pub duration: Duration,
 }
 
+/// Outcome of a committed multi-delta batch ([`Workspace::apply_deltas`]).
+#[derive(Debug, Clone, Default)]
+pub struct DeltaApplyReport {
+    /// Base facts newly inserted.
+    pub inserted: usize,
+    /// Tuples derived by the (single) fixpoint computation.
+    pub derived: usize,
+    /// Semi-naïve iterations executed.
+    pub iterations: usize,
+    /// Incremental-deletion statistics for the retraction half.
+    pub dred: DeletionStats,
+    /// Wall-clock duration of the whole batch apply.
+    pub duration: Duration,
+}
+
 /// A LogicBlox-style workspace.
 #[derive(Clone)]
 pub struct Workspace {
@@ -536,6 +551,128 @@ impl Workspace {
         }
     }
 
+    /// Apply a mixed multi-delta batch — retractions then assertions — inside
+    /// one ACID transaction with **one** fixpoint computation and **one**
+    /// constraint pass, instead of a transaction per delta.  This is the
+    /// streaming runtime's amortized entry point: a drained per-link batch of
+    /// update-stream deltas pays plan lookup, semi-naïve evaluation, and
+    /// constraint checking once for the whole batch.
+    ///
+    /// Semantics match running [`Workspace::retract`] on `retracts` followed
+    /// by [`Workspace::transaction`] on `asserts`, except atomically: any
+    /// violation rolls back *both* halves, leaving the workspace exactly as it
+    /// was (callers that need per-delta verdict granularity replay the batch
+    /// delta-by-delta after a rollback).  Retractions are DRed-maintained;
+    /// when any base fact was actually deleted the constraint pass is the full
+    /// planned check (deletions are not covered by an added-tuples delta),
+    /// otherwise the incremental check over this batch's additions.
+    pub fn apply_deltas(
+        &mut self,
+        retracts: Vec<(String, Tuple)>,
+        asserts: Vec<(String, Tuple)>,
+    ) -> Result<DeltaApplyReport> {
+        let start = Instant::now();
+        let snapshot_relations = self.relations.clone();
+        let snapshot_edb = self.edb_facts.clone();
+        let snapshot_counter = self.entity_counter;
+        let snapshot_memo = self.existential_memo.clone();
+
+        let result = self.apply_deltas_inner(retracts, asserts, &snapshot_relations);
+        match result {
+            Ok(mut report) => {
+                report.duration = start.elapsed();
+                secureblox_telemetry::histogram!("datalog_fixpoint_ns")
+                    .record_duration(report.duration);
+                secureblox_telemetry::gauge!("datalog_intern_table_size")
+                    .set_max(self.interner.len() as i64);
+                Ok(report)
+            }
+            Err(error) => {
+                self.relations = snapshot_relations;
+                self.edb_facts = snapshot_edb;
+                self.entity_counter = snapshot_counter;
+                self.existential_memo = snapshot_memo;
+                Err(error)
+            }
+        }
+    }
+
+    fn apply_deltas_inner(
+        &mut self,
+        retracts: Vec<(String, Tuple)>,
+        asserts: Vec<(String, Tuple)>,
+        snapshot: &HashMap<String, Relation>,
+    ) -> Result<DeltaApplyReport> {
+        let mut report = DeltaApplyReport::default();
+        if !retracts.is_empty() {
+            for (pred, tuple) in &retracts {
+                if let Some(set) = self.edb_facts.get_mut(pred) {
+                    set.remove(tuple);
+                }
+            }
+            let edb = self.edb_facts.clone();
+            self.ensure_pool();
+            let pool = self.pool.clone();
+            let mut evaluator = Evaluator {
+                relations: &mut self.relations,
+                schema: &self.schema,
+                udfs: &self.udfs,
+                config: &self.config,
+                entity_counter: &mut self.entity_counter,
+                existential_memo: &mut self.existential_memo,
+                plan_cache: &mut self.plan_cache,
+                plan_stats: &self.plan_stats,
+                interner: &self.interner,
+                pool: pool.as_deref(),
+            };
+            report.dred = evaluator.delete_with_dred(&self.rules, &self.strata, &retracts, &edb)?;
+        }
+        for (pred, tuple) in asserts {
+            self.insert_edb(&pred, tuple)?;
+            report.inserted += 1;
+        }
+        let stats = self.run_rules()?;
+        report.derived = stats.derived;
+        report.iterations = stats.iterations;
+        self.ensure_pool();
+        let pool = self.pool.clone();
+        if report.dred.base_deleted > 0 || report.dred.over_deleted > 0 {
+            check_constraints_planned(
+                &self.constraints,
+                &mut self.relations,
+                &self.udfs,
+                &mut self.plan_cache,
+                &self.plan_stats,
+                &self.config.exec,
+                pool.as_deref(),
+            )?;
+        } else {
+            let mut delta: HashMap<String, HashSet<Tuple>> = HashMap::new();
+            for (pred, relation) in &self.relations {
+                let before = snapshot.get(pred);
+                if before.is_some_and(|r| r.version() == relation.version()) {
+                    continue;
+                }
+                for tuple in relation.iter() {
+                    if before.is_none_or(|r| !r.contains(tuple)) {
+                        delta.entry(pred.clone()).or_default().insert(tuple.clone());
+                    }
+                }
+            }
+            check_constraints_incremental_planned(
+                &self.constraints,
+                &mut self.relations,
+                &self.udfs,
+                &mut self.plan_cache,
+                &self.plan_stats,
+                &delta,
+                &self.config.exec,
+                pool.as_deref(),
+            )?;
+        }
+        Ok(report)
+    }
+
     /// Names of all predicates with stored tuples (sorted, for diagnostics).
     pub fn predicate_names(&self) -> Vec<String> {
         let mut names: Vec<String> = self.relations.keys().cloned().collect();
@@ -644,6 +781,101 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, DatalogError::FunctionalDependency { .. }));
         assert_eq!(ws.query("owner"), vec![vec![s("k"), s("v1")]]);
+    }
+
+    #[test]
+    fn apply_deltas_mixed_batch_single_fixpoint() {
+        let mut ws = Workspace::new();
+        ws.install_source(
+            "reachable(X, Y) <- link(X, Y).\n\
+             reachable(X, Y) <- link(X, Z), reachable(Z, Y).\n\
+             link(a, b). link(b, c).",
+        )
+        .unwrap();
+        ws.fixpoint().unwrap();
+        assert!(ws.contains_fact("reachable", &[s("a"), s("c")]));
+        // One batch: retract b→c, assert b→d and d→e.
+        let report = ws
+            .apply_deltas(
+                vec![("link".into(), vec![s("b"), s("c")])],
+                vec![
+                    ("link".into(), vec![s("b"), s("d")]),
+                    ("link".into(), vec![s("d"), s("e")]),
+                ],
+            )
+            .unwrap();
+        assert_eq!(report.inserted, 2);
+        assert_eq!(report.dred.base_deleted, 1);
+        assert!(!ws.contains_fact("reachable", &[s("a"), s("c")]));
+        assert!(ws.contains_fact("reachable", &[s("a"), s("e")]));
+
+        // Equivalent to retract-then-transaction on a parallel workspace.
+        let mut seq = Workspace::new();
+        seq.install_source(
+            "reachable(X, Y) <- link(X, Y).\n\
+             reachable(X, Y) <- link(X, Z), reachable(Z, Y).\n\
+             link(a, b). link(b, c).",
+        )
+        .unwrap();
+        seq.fixpoint().unwrap();
+        seq.retract(vec![("link".into(), vec![s("b"), s("c")])])
+            .unwrap();
+        seq.transaction(vec![
+            ("link".into(), vec![s("b"), s("d")]),
+            ("link".into(), vec![s("d"), s("e")]),
+        ])
+        .unwrap();
+        for pred in ["link", "reachable"] {
+            let mut batched = ws.query(pred);
+            let mut sequential = seq.query(pred);
+            batched.sort_by_key(|t| crate::codec::serialize_tuple(t));
+            sequential.sort_by_key(|t| crate::codec::serialize_tuple(t));
+            assert_eq!(batched, sequential, "{pred} diverged");
+        }
+    }
+
+    #[test]
+    fn apply_deltas_violation_rolls_back_both_halves() {
+        let mut ws = Workspace::new();
+        ws.install_source(
+            "says_link(P, Q) -> principal(P), principal(Q).\n\
+             link(X, Y) <- says_link(X, Y).\n\
+             principal(alice). principal(bob).\n\
+             says_link(alice, bob).",
+        )
+        .unwrap();
+        ws.fixpoint().unwrap();
+        assert_eq!(ws.count("link"), 1);
+        // Retract a valid fact and assert a constraint-violating one: the
+        // rollback must restore the retracted half too.
+        let err = ws
+            .apply_deltas(
+                vec![("says_link".into(), vec![s("alice"), s("bob")])],
+                vec![("says_link".into(), vec![s("alice"), s("mallory")])],
+            )
+            .unwrap_err();
+        assert!(matches!(err, DatalogError::ConstraintViolation(_)));
+        assert_eq!(ws.count("says_link"), 1);
+        assert_eq!(ws.count("link"), 1);
+        assert!(ws.contains_fact("says_link", &[s("alice"), s("bob")]));
+    }
+
+    #[test]
+    fn apply_deltas_empty_halves_match_existing_paths() {
+        let mut ws = Workspace::new();
+        ws.install_source("reachable(X, Y) <- link(X, Y).").unwrap();
+        let report = ws
+            .apply_deltas(Vec::new(), vec![("link".into(), vec![s("a"), s("b")])])
+            .unwrap();
+        assert_eq!(report.inserted, 1);
+        assert_eq!(report.dred, DeletionStats::default());
+        assert!(ws.contains_fact("reachable", &[s("a"), s("b")]));
+        let report = ws
+            .apply_deltas(vec![("link".into(), vec![s("a"), s("b")])], Vec::new())
+            .unwrap();
+        assert_eq!(report.dred.base_deleted, 1);
+        assert!(!ws.contains_fact("reachable", &[s("a"), s("b")]));
+        assert_eq!(ws.count("link"), 0);
     }
 
     #[test]

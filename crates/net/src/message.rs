@@ -30,6 +30,11 @@ pub enum MessageKind {
     AnonBackward,
     /// Initial base-fact distribution (not counted as protocol overhead).
     Bootstrap,
+    /// A flow-control credit grant travelling from a receiver back to a
+    /// sender: the payload is the number of update-stream deltas the receiver
+    /// has drained from its per-link queue, returning that much send window
+    /// to the sender's outbox (credit-based backpressure).
+    Credit,
 }
 
 impl MessageKind {
@@ -40,8 +45,20 @@ impl MessageKind {
             MessageKind::AnonForward => "anon_forward",
             MessageKind::AnonBackward => "anon_backward",
             MessageKind::Bootstrap => "bootstrap",
+            MessageKind::Credit => "credit",
         }
     }
+}
+
+/// Encode a credit-grant payload: the number of drained deltas, big-endian.
+pub fn encode_credit(deltas: u64) -> Vec<u8> {
+    deltas.to_be_bytes().to_vec()
+}
+
+/// Decode a credit-grant payload.  `None` for malformed (non-8-byte)
+/// payloads, which receivers drop rather than trusting.
+pub fn decode_credit(payload: &[u8]) -> Option<u64> {
+    Some(u64::from_be_bytes(payload.try_into().ok()?))
 }
 
 /// Fixed per-message header overhead, approximating the paper's UDP/IP
@@ -68,6 +85,15 @@ impl Message {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn credit_payload_roundtrip() {
+        assert_eq!(decode_credit(&encode_credit(0)), Some(0));
+        assert_eq!(decode_credit(&encode_credit(u64::MAX)), Some(u64::MAX));
+        assert_eq!(decode_credit(&encode_credit(12345)), Some(12345));
+        assert_eq!(decode_credit(b"short"), None);
+        assert_eq!(decode_credit(b"nine bytes!"), None);
+    }
 
     #[test]
     fn wire_size_includes_header() {

@@ -3,7 +3,7 @@
 use crate::message::Message;
 use crate::stats::NetworkStats;
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 use std::time::Duration;
 
 /// Virtual time in nanoseconds since the start of the experiment.
@@ -66,6 +66,10 @@ pub struct SimNetwork {
     queue: BinaryHeap<Reverse<Scheduled>>,
     sequence: u64,
     stats: NetworkStats,
+    /// Per-link delivery-time floors for [`SimNetwork::send_fifo`]: a stream
+    /// message never arrives before its predecessor on the same (from, to)
+    /// link, modelling a TCP-like ordered channel.
+    link_floor: HashMap<(usize, usize), VirtualTime>,
 }
 
 /// The per-kind modelled-latency histogram (virtual nanoseconds from send to
@@ -88,6 +92,9 @@ fn latency_histogram(
         MessageKind::Bootstrap => {
             secureblox_telemetry::histogram!("net_message_latency_ns{kind=\"bootstrap\"}")
         }
+        MessageKind::Credit => {
+            secureblox_telemetry::histogram!("net_message_latency_ns{kind=\"credit\"}")
+        }
     }
 }
 
@@ -99,6 +106,7 @@ impl SimNetwork {
             queue: BinaryHeap::new(),
             sequence: 0,
             stats: NetworkStats::new(nodes),
+            link_floor: HashMap::new(),
         }
     }
 
@@ -135,6 +143,18 @@ impl SimNetwork {
         }));
         secureblox_telemetry::gauge!("net_in_flight").set(self.queue.len() as i64);
         deliver_at
+    }
+
+    /// Send a message on its link's FIFO stream: delivery never precedes the
+    /// previous `send_fifo` message on the same (from, to) link.  The network
+    /// keeps the per-link floors internally, so every caller shares one
+    /// stream order per link.  Returns the scheduled delivery time.
+    pub fn send_fifo(&mut self, message: Message, now: VirtualTime) -> VirtualTime {
+        let link = (message.from.index(), message.to.index());
+        let floor = self.link_floor.get(&link).copied().unwrap_or(0);
+        let delivered = self.send_ordered(message, now, floor);
+        self.link_floor.insert(link, delivered);
+        delivered
     }
 
     /// Schedule a message for delivery at an exact virtual time without
@@ -248,6 +268,29 @@ mod tests {
         let (_, second) = network.next_delivery().unwrap();
         assert_eq!(first, big, "stream order preserved");
         assert_eq!(second, small);
+    }
+
+    #[test]
+    fn send_fifo_keeps_per_link_order_across_calls() {
+        let mut network = SimNetwork::new(3, LatencyModel::default());
+        let big = Message::new(
+            NodeId(0),
+            NodeId(1),
+            MessageKind::Update,
+            vec![0u8; 10_000_000],
+        );
+        let small = Message::new(NodeId(0), NodeId(1), MessageKind::Update, vec![1u8]);
+        // A message on a *different* link is unaffected by 0→1's floor.
+        let other_link = Message::new(NodeId(0), NodeId(2), MessageKind::Update, vec![2u8]);
+        let first_at = network.send_fifo(big.clone(), 0);
+        let second_at = network.send_fifo(small.clone(), 0);
+        let other_at = network.send_fifo(other_link.clone(), 0);
+        assert!(second_at >= first_at, "same-link FIFO preserved");
+        assert!(other_at < first_at, "other links are independent streams");
+        let (_, first) = network.next_delivery().unwrap();
+        assert_eq!(first, other_link);
+        let (_, second) = network.next_delivery().unwrap();
+        assert_eq!(second, big);
     }
 
     #[test]

@@ -41,11 +41,19 @@ impl NodeTraffic {
     }
 }
 
+/// Traffic counters for one directed link.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkTraffic {
+    pub messages: usize,
+    pub bytes: usize,
+}
+
 /// Traffic statistics for a whole deployment.
 #[derive(Debug, Clone, Default)]
 pub struct NetworkStats {
     per_node: Vec<NodeTraffic>,
     per_kind: HashMap<MessageKind, usize>,
+    per_link: HashMap<(NodeId, NodeId), LinkTraffic>,
 }
 
 impl NetworkStats {
@@ -54,6 +62,7 @@ impl NetworkStats {
         NetworkStats {
             per_node: vec![NodeTraffic::default(); nodes],
             per_kind: HashMap::new(),
+            per_link: HashMap::new(),
         }
     }
 
@@ -68,6 +77,32 @@ impl NetworkStats {
             receiver.messages_received += 1;
         }
         *self.per_kind.entry(kind).or_insert(0) += wire_size;
+        let link = self.per_link.entry((from, to)).or_default();
+        link.messages += 1;
+        link.bytes += wire_size;
+    }
+
+    /// Traffic counters for one directed link.
+    pub fn link(&self, from: NodeId, to: NodeId) -> LinkTraffic {
+        self.per_link.get(&(from, to)).copied().unwrap_or_default()
+    }
+
+    /// The `k` links that carried the most messages, busiest first (ties
+    /// broken by bytes, then by link id for determinism).  Used to name the
+    /// hot spots when a run exceeds its message budget without converging.
+    pub fn busiest_links(&self, k: usize) -> Vec<(NodeId, NodeId, LinkTraffic)> {
+        let mut links: Vec<(NodeId, NodeId, LinkTraffic)> = self
+            .per_link
+            .iter()
+            .map(|(&(from, to), &traffic)| (from, to, traffic))
+            .collect();
+        links.sort_by(|a, b| {
+            (b.2.messages, b.2.bytes)
+                .cmp(&(a.2.messages, a.2.bytes))
+                .then_with(|| (a.0 .0, a.1 .0).cmp(&(b.0 .0, b.1 .0)))
+        });
+        links.truncate(k);
+        links
     }
 
     /// Counters for one node.
@@ -217,6 +252,25 @@ impl TimingStats {
         all.iter().sum::<Duration>() / all.len() as u32
     }
 
+    /// The `q`-th percentile (0.0..=1.0) of committed-transaction durations
+    /// across all nodes, by the nearest-rank method.  `Duration::ZERO` when
+    /// nothing committed.  Backs the p50/p99 apply-latency figures of the
+    /// streaming-throughput benchmark.
+    pub fn transaction_duration_percentile(&self, q: f64) -> Duration {
+        let mut all: Vec<Duration> = self
+            .transaction_durations
+            .iter()
+            .flatten()
+            .copied()
+            .collect();
+        if all.is_empty() {
+            return Duration::ZERO;
+        }
+        all.sort_unstable();
+        let rank = ((q.clamp(0.0, 1.0) * all.len() as f64).ceil() as usize).max(1) - 1;
+        all[rank.min(all.len() - 1)]
+    }
+
     /// Number of committed transactions across all nodes.
     pub fn total_transactions(&self) -> usize {
         self.transaction_durations.iter().map(|v| v.len()).sum()
@@ -285,6 +339,55 @@ mod tests {
         assert!((stats.average_per_node_kb() - 1.5).abs() < 1e-9);
         assert_eq!(stats.bytes_for_kind(MessageKind::Update), 3072);
         assert_eq!(stats.bytes_for_kind(MessageKind::AnonForward), 0);
+    }
+
+    #[test]
+    fn per_link_counters_and_busiest_links() {
+        let mut stats = NetworkStats::new(3);
+        stats.record_send(NodeId(0), NodeId(1), 100, MessageKind::Update);
+        stats.record_send(NodeId(0), NodeId(1), 200, MessageKind::Update);
+        stats.record_send(NodeId(1), NodeId(2), 50, MessageKind::Update);
+        assert_eq!(
+            stats.link(NodeId(0), NodeId(1)),
+            LinkTraffic {
+                messages: 2,
+                bytes: 300
+            }
+        );
+        // Directed: the reverse link is untouched.
+        assert_eq!(stats.link(NodeId(1), NodeId(0)), LinkTraffic::default());
+        let busiest = stats.busiest_links(1);
+        assert_eq!(busiest.len(), 1);
+        assert_eq!((busiest[0].0, busiest[0].1), (NodeId(0), NodeId(1)));
+        assert_eq!(busiest[0].2.messages, 2);
+        // Asking for more links than exist returns them all, busiest first.
+        let all = stats.busiest_links(10);
+        assert_eq!(all.len(), 2);
+        assert!(all[0].2.messages >= all[1].2.messages);
+    }
+
+    #[test]
+    fn transaction_duration_percentiles() {
+        let mut timing = TimingStats::new(2);
+        for ms in 1..=100u64 {
+            timing.record_transaction(NodeId((ms % 2) as u32), Duration::from_millis(ms), ms);
+        }
+        assert_eq!(
+            timing.transaction_duration_percentile(0.5),
+            Duration::from_millis(50)
+        );
+        assert_eq!(
+            timing.transaction_duration_percentile(0.99),
+            Duration::from_millis(99)
+        );
+        assert_eq!(
+            timing.transaction_duration_percentile(1.0),
+            Duration::from_millis(100)
+        );
+        assert_eq!(
+            TimingStats::new(1).transaction_duration_percentile(0.5),
+            Duration::ZERO
+        );
     }
 
     #[test]
