@@ -44,7 +44,7 @@ use secureblox_net::{
 };
 use secureblox_store::{derive_node_key, DurabilityConfig, FactStore};
 use secureblox_telemetry::HistogramSummary;
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -280,10 +280,6 @@ pub(crate) struct NodeState {
     /// Highest update-stream sequence number seen per sending node, used to
     /// drop stale duplicates (at-most-once application per delta).
     pub(crate) last_update_seq_in: HashMap<u32, u64>,
-    /// Streaming mode: the per-link receive queue.  Delivered envelopes push
-    /// their deltas here; a drain applies the whole queue in run-grouped
-    /// batches and returns credit for every drained delta.
-    pub(crate) inbox: HashMap<u32, VecDeque<UpdateDelta>>,
 }
 
 /// A complete simulated SecureBlox deployment.
@@ -299,8 +295,10 @@ pub struct Deployment {
     /// Per-link update-stream sequence counters (sender side).
     stream_seq: HashMap<(usize, usize), u64>,
     /// Streaming mode: per-link sender outboxes (coalescing + credit), keyed
-    /// by (sender, destination) node index.
-    outboxes: HashMap<(usize, usize), LinkOutbox>,
+    /// by (sender, destination) node index.  A `BTreeMap` so the quiescence
+    /// force-flush walks links in a deterministic order (the simulator's
+    /// bit-for-bit reproducibility depends on it).
+    outboxes: BTreeMap<(usize, usize), LinkOutbox>,
     /// Registered read replicas with per-node WAL cursors (see
     /// `runtime::replication`).
     pub(crate) replicas: Vec<ReplicaState>,
@@ -425,7 +423,6 @@ impl Deployment {
                 store: None,
                 needs_retraction_scan: false,
                 last_update_seq_in: HashMap::new(),
-                inbox: HashMap::new(),
             });
         }
 
@@ -474,7 +471,7 @@ impl Deployment {
             circuits,
             exportable,
             stream_seq: HashMap::new(),
-            outboxes: HashMap::new(),
+            outboxes: BTreeMap::new(),
             replicas: Vec::new(),
         };
         if let Some(durability) = deployment.config.durability.clone() {
@@ -691,20 +688,31 @@ impl Deployment {
         batch: Vec<(String, Tuple)>,
         arrival: VirtualTime,
     ) -> Result<bool> {
-        self.process_batch_with(index, batch, arrival, true)
+        let committed = self.apply_transaction(index, batch, arrival, false)?;
+        if committed {
+            let finish = self.nodes[index].available_at;
+            self.flush_updates(index, finish)?;
+        }
+        Ok(committed)
     }
 
-    /// [`Deployment::process_batch`], with verdict recording on rollback made
-    /// optional.  The streaming scheduler's combined-batch attempt passes
-    /// `record_failure = false`: a rolled-back *combined* transaction is not a
-    /// verdict — the batch is replayed delta-by-delta, and those replays
-    /// produce exactly the per-envelope path's rejections and conflicts.
-    fn process_batch_with(
+    /// The transaction step shared by [`Deployment::process_batch`] and the
+    /// streaming drain: apply `batch` as one ACID transaction, account
+    /// virtual time, WAL-log on commit, and record the verdict.  Does NOT
+    /// flush update streams — the caller decides when (per transaction on
+    /// the per-envelope path, once per drained envelope in streaming mode).
+    ///
+    /// `incremental` selects [`Workspace::transaction_incremental`], the
+    /// seeded snapshot-free path with identical verdicts; it requires a
+    /// converged workspace, which every streaming drain has (the bootstrap
+    /// transaction at time zero converges each node, and every later
+    /// transaction or DRed retraction leaves a fixpoint).
+    fn apply_transaction(
         &mut self,
         index: usize,
         batch: Vec<(String, Tuple)>,
         arrival: VirtualTime,
-        record_failure: bool,
+        incremental: bool,
     ) -> Result<bool> {
         let start_virtual = arrival.max(self.nodes[index].available_at);
         let started = Instant::now();
@@ -712,7 +720,11 @@ impl Deployment {
             Some(_) if !batch.is_empty() => Some(batch.clone()),
             _ => None,
         };
-        let outcome = self.nodes[index].workspace.transaction(batch);
+        let outcome = if incremental {
+            self.nodes[index].workspace.transaction_incremental(batch)
+        } else {
+            self.nodes[index].workspace.transaction(batch)
+        };
         let elapsed = started.elapsed();
         secureblox_telemetry::histogram!("engine_txn_apply_ns").record_duration(elapsed);
         let finish = start_virtual + elapsed.as_nanos() as u64;
@@ -728,24 +740,19 @@ impl Deployment {
                 }
                 self.timing
                     .record_transaction(NodeId(index as u32), elapsed, finish);
-                self.flush_updates(index, finish)?;
                 Ok(true)
             }
             Err(DatalogError::ConstraintViolation(_)) => {
                 // The paper's semantics: the whole batch (including the input
                 // tuples) rolls back; the sender is not notified.
-                if record_failure {
-                    self.timing.record_rejection(NodeId(index as u32), finish);
-                }
+                self.timing.record_rejection(NodeId(index as u32), finish);
                 Ok(false)
             }
             Err(DatalogError::FunctionalDependency { .. }) => {
                 // Same rollback semantics, but counted separately: this is a
                 // data-level duplicate (e.g. a second composition for an
                 // already-known path entity), not a policy refusing the batch.
-                if record_failure {
-                    self.timing.record_conflict(NodeId(index as u32), finish);
-                }
+                self.timing.record_conflict(NodeId(index as u32), finish);
                 Ok(false)
             }
             Err(other) => Err(other),
@@ -1346,11 +1353,17 @@ impl Deployment {
         }
     }
 
-    /// Streaming mode: push an envelope's deltas onto the per-link receive
-    /// queue, drain the whole queue in run-grouped batches (consecutive
-    /// same-op deltas apply as ONE workspace operation — one plan lookup, one
-    /// fixpoint, one WAL group), then return credit for every drained delta.
-    /// Returns whether any delta produced policy-accepted evidence.
+    /// Streaming mode: apply one delivered envelope's deltas in order, each
+    /// with exactly the per-envelope path's verdict — every `Assert` is its
+    /// own ACID transaction (via the seeded, snapshot-free
+    /// [`Workspace::transaction_incremental`], which commits and rolls back
+    /// identically to [`Workspace::transaction`]), every `Retract` is
+    /// authorized and DRed-applied individually.  What the batch amortizes
+    /// is *scheduling*, not semantics: one export flush per drained envelope
+    /// instead of one per committed delta (flushes are idempotent — the
+    /// `sent` cursor dedups — so deferring them cannot change what ships),
+    /// plus the sender-side coalescing and credit return below.  Returns
+    /// whether any delta produced policy-accepted evidence.
     fn drain_inbox(
         &mut self,
         from: NodeId,
@@ -1359,32 +1372,46 @@ impl Deployment {
         arrival: VirtualTime,
     ) -> Result<bool> {
         let to = to_id.index();
-        let queue = self.nodes[to].inbox.entry(from.0).or_default();
-        queue.extend(deltas);
-        secureblox_telemetry::histogram!("engine_stream_queue_depth").record(queue.len() as u64);
-        let drained: Vec<UpdateDelta> = std::mem::take(queue).into();
-        if drained.is_empty() {
+        secureblox_telemetry::histogram!("engine_stream_recv_batch_deltas")
+            .record(deltas.len() as u64);
+        if deltas.is_empty() {
             return Ok(false);
         }
         let from_principal = self.nodes[from.index()].info.principal.clone();
         let to_principal = self.nodes[to].info.principal.clone();
         let mut accepted = false;
-        let mut start = 0;
-        while start < drained.len() {
-            let op = drained[start].op;
-            let mut end = start + 1;
-            while end < drained.len() && drained[end].op == op {
-                end += 1;
-            }
-            let run = &drained[start..end];
-            let run_accepted = match op {
-                DeltaOp::Assert => self.apply_assert_run(to, run, arrival)?,
-                DeltaOp::Retract => {
-                    self.apply_retract_run(to, &from_principal, &to_principal, run, arrival)?
+        let mut dirty = false;
+        for delta in &deltas {
+            match delta.op {
+                DeltaOp::Assert => {
+                    if self.apply_transaction(to, delta_batch(delta), arrival, true)? {
+                        accepted = true;
+                        dirty = true;
+                    }
                 }
-            };
-            accepted |= run_accepted;
-            start = end;
+                DeltaOp::Retract => {
+                    // Channel-level checks, per delta, exactly as on the
+                    // per-envelope path: only the principal that said a fact
+                    // — and whose signature still verifies over it — may
+                    // retract it, and only at the addressee.
+                    let authorized = delta.tuple.len() >= 2
+                        && delta.tuple[0].as_str() == Some(from_principal.as_str())
+                        && delta.tuple[1].as_str() == Some(to_principal.as_str())
+                        && self.verify_update_signature(&from_principal, &to_principal, delta)?;
+                    if !authorized {
+                        self.timing.record_rejection(to_id, arrival);
+                        continue;
+                    }
+                    accepted = true;
+                    if self.apply_retraction_inner(to, delta_batch(delta), arrival)? {
+                        dirty = true;
+                    }
+                }
+            }
+        }
+        if dirty {
+            let now = self.nodes[to].available_at;
+            self.flush_updates(to, now)?;
         }
         // Return the drained deltas' credit once the applies finish.  The
         // grant is unconditional — rejected deltas were still drained — so
@@ -1398,133 +1425,40 @@ impl Deployment {
                 to_id,
                 from,
                 MessageKind::Credit,
-                secureblox_net::message::encode_credit(drained.len() as u64),
+                secureblox_net::message::encode_credit(deltas.len() as u64),
             ),
             send_at,
         );
         Ok(accepted)
     }
 
-    /// Apply a run of `Assert` deltas as ONE combined ACID transaction.  On a
-    /// combined rollback (constraint violation or functional-dependency
-    /// conflict — which say some *individual* delta is bad, not the whole
-    /// run), replay delta-by-delta: the combined rollback was total, so the
-    /// replay starts from clean state and produces exactly the per-envelope
-    /// path's verdicts and final state.
-    fn apply_assert_run(
-        &mut self,
-        to: usize,
-        run: &[UpdateDelta],
-        arrival: VirtualTime,
-    ) -> Result<bool> {
-        if run.len() == 1 {
-            return self.process_batch(to, delta_batch(&run[0]), arrival);
-        }
-        let combined: Vec<(String, Tuple)> = run.iter().flat_map(delta_batch).collect();
-        if self.process_batch_with(to, combined, arrival, false)? {
-            return Ok(true);
-        }
-        secureblox_telemetry::counter!("engine_stream_fallbacks_total").inc();
-        let mut accepted = false;
-        for delta in run {
-            if self.process_batch(to, delta_batch(delta), arrival)? {
-                accepted = true;
-            }
-        }
-        Ok(accepted)
-    }
-
-    /// Apply a run of `Retract` deltas: authorization (addressee + detached
-    /// signature) stays per delta — exactly the per-envelope checks — then
-    /// all authorized deltas that actually delete something retract as ONE
-    /// combined DRed pass.  Per-delta replay on a combined rollback, as for
-    /// asserts.
-    fn apply_retract_run(
-        &mut self,
-        to: usize,
-        from_principal: &str,
-        to_principal: &str,
-        run: &[UpdateDelta],
-        arrival: VirtualTime,
-    ) -> Result<bool> {
-        let to_id = NodeId(to as u32);
-        let mut accepted = false;
-        let mut live: Vec<&UpdateDelta> = Vec::new();
-        for delta in run {
-            let authorized = delta.tuple.len() >= 2
-                && delta.tuple[0].as_str() == Some(from_principal)
-                && delta.tuple[1].as_str() == Some(to_principal)
-                && self.verify_update_signature(from_principal, to_principal, delta)?;
-            if !authorized {
-                self.timing.record_rejection(to_id, arrival);
-                continue;
-            }
-            accepted = true;
-            // Per-envelope semantics skip logging and propagation when the
-            // fact was never stored (`base_deleted == 0`, e.g. the assert had
-            // been rejected); filter those no-ops out before combining so the
-            // retraction count and WAL contents match exactly.
-            if self.nodes[to]
-                .workspace
-                .contains_fact(&format!("says${}", delta.pred), &delta.tuple)
-            {
-                live.push(delta);
-            }
-        }
-        if live.is_empty() {
-            return Ok(accepted);
-        }
-        if live.len() == 1 {
-            self.apply_retraction(to, delta_batch(live[0]), arrival)?;
-            return Ok(accepted);
-        }
-        let combined: Vec<(String, Tuple)> = live.iter().copied().flat_map(delta_batch).collect();
-        let start_virtual = arrival.max(self.nodes[to].available_at);
-        let started = Instant::now();
-        let outcome = self.nodes[to].workspace.retract(combined.clone());
-        let elapsed = started.elapsed();
-        secureblox_telemetry::histogram!("engine_retraction_apply_ns").record_duration(elapsed);
-        let finish = start_virtual + elapsed.as_nanos() as u64;
-        self.nodes[to].available_at = finish;
-        match outcome {
-            Ok(stats) => {
-                if let Some(store) = &mut self.nodes[to].store {
-                    store
-                        .log_retracts(combined.iter().map(|(p, t)| (p.as_str(), t)), finish)
-                        .map_err(|e| DatalogError::Eval(format!("durability: {e}")))?;
-                }
-                secureblox_telemetry::counter!("engine_retraction_cascades_total").inc();
-                secureblox_telemetry::histogram!("engine_retraction_deleted_facts")
-                    .record((stats.base_deleted + stats.over_deleted) as u64);
-                for _ in &live {
-                    self.timing.record_retraction(to_id, finish);
-                }
-                self.nodes[to].needs_retraction_scan = true;
-                self.flush_updates(to, finish)?;
-            }
-            Err(
-                DatalogError::ConstraintViolation(_) | DatalogError::FunctionalDependency { .. },
-            ) => {
-                secureblox_telemetry::counter!("engine_stream_fallbacks_total").inc();
-                for delta in live {
-                    self.apply_retraction(to, delta_batch(delta), arrival)?;
-                }
-            }
-            Err(other) => return Err(other),
-        }
-        Ok(accepted)
-    }
-
-    /// Apply a verified retraction batch at node `index`: DRed in the
-    /// workspace, WAL logging (so recovery replays it in order), timing, and
-    /// onward propagation of cascaded withdrawals through this node's own
-    /// update streams.
+    /// Apply a verified retraction batch at node `index` and, when it deleted
+    /// stored facts, immediately propagate the cascaded withdrawals through
+    /// this node's own update streams (the per-envelope path's behaviour;
+    /// the streaming drain defers that flush to the end of the envelope).
     fn apply_retraction(
         &mut self,
         index: usize,
         batch: Vec<(String, Tuple)>,
         arrival: VirtualTime,
     ) -> Result<()> {
+        if self.apply_retraction_inner(index, batch, arrival)? {
+            let finish = self.nodes[index].available_at;
+            self.flush_updates(index, finish)?;
+        }
+        Ok(())
+    }
+
+    /// DRed the batch out of the workspace, WAL-log it (so recovery replays
+    /// it in order), and record the verdict.  Returns whether stored facts
+    /// were actually deleted — only then does the caller need to flush
+    /// update streams for cascaded withdrawals.
+    fn apply_retraction_inner(
+        &mut self,
+        index: usize,
+        batch: Vec<(String, Tuple)>,
+        arrival: VirtualTime,
+    ) -> Result<bool> {
         let start_virtual = arrival.max(self.nodes[index].available_at);
         let started = Instant::now();
         let outcome = self.nodes[index].workspace.retract(batch.clone());
@@ -1538,7 +1472,7 @@ impl Deployment {
                     // Nothing was stored here (e.g. the assert had been
                     // rejected); at-most-once means there is nothing to log
                     // or propagate.
-                    return Ok(());
+                    return Ok(false);
                 }
                 if let Some(store) = &mut self.nodes[index].store {
                     store
@@ -1552,17 +1486,17 @@ impl Deployment {
                     .record((stats.base_deleted + stats.over_deleted) as u64);
                 self.timing.record_retraction(NodeId(index as u32), finish);
                 self.nodes[index].needs_retraction_scan = true;
-                self.flush_updates(index, finish)
+                Ok(true)
             }
             Err(DatalogError::ConstraintViolation(_)) => {
                 // Deleting the fact would violate a constraint: the whole
                 // retraction rolls back, mirroring assert-batch semantics.
                 self.timing.record_rejection(NodeId(index as u32), finish);
-                Ok(())
+                Ok(false)
             }
             Err(DatalogError::FunctionalDependency { .. }) => {
                 self.timing.record_conflict(NodeId(index as u32), finish);
-                Ok(())
+                Ok(false)
             }
             Err(other) => Err(other),
         }

@@ -319,6 +319,7 @@ mod tests {
                 plan_stats: &self.plan_stats,
                 interner: &self.interner,
                 pool: None,
+                journal: None,
             };
             evaluator.run(&self.rules, &self.strata).unwrap();
         }
@@ -336,6 +337,7 @@ mod tests {
                 plan_stats: &self.plan_stats,
                 interner: &self.interner,
                 pool: None,
+                journal: None,
             };
             // Keep the EDB bookkeeping in sync.
             self.edb.get_mut(pred).map(|set| set.remove(&tuple));

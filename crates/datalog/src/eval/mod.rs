@@ -16,7 +16,7 @@ pub use bindings::Bindings;
 pub use exec::EvalOptions;
 pub use plan::{PlanCache, PlanKey, PlanStats, PlanStatsSnapshot, RulePlan};
 pub use pool::WorkerPool;
-pub use seminaive::{Evaluator, FixpointStats};
+pub use seminaive::{EvalJournal, Evaluator, FixpointStats};
 
 use crate::ast::PredRef;
 use crate::error::{DatalogError, Result};

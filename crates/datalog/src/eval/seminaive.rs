@@ -62,6 +62,98 @@ enum Derivation {
     Ids(Vec<(String, IdBatch)>),
 }
 
+/// Undo log of the mutations one fixpoint run performs, letting
+/// `Workspace::transaction_incremental` roll a failed transaction back
+/// without having cloned the full relation map.  Ops are recorded in
+/// execution order; undoing replays them in reverse — an `Added` op removes
+/// the tuple again, a `Displaced` op re-inserts the value an aggregate
+/// recomputation displaced.  Interleaving matters: one run can insert a
+/// tuple and later displace it (or displace, then re-insert), and only
+/// strict reverse-order replay restores the exact prior state.
+#[derive(Debug, Default)]
+pub struct EvalJournal {
+    ops: Vec<JournalOp>,
+    /// Relations created during the run, removed again on undo.
+    created: Vec<String>,
+    /// Existential-memo keys minted during the run.
+    minted: Vec<(usize, Vec<Value>)>,
+}
+
+#[derive(Debug)]
+enum JournalOp {
+    Added(String, Tuple),
+    Displaced(String, Tuple),
+}
+
+impl EvalJournal {
+    pub(crate) fn record_added(&mut self, pred: &str, tuple: Tuple) {
+        self.ops.push(JournalOp::Added(pred.to_string(), tuple));
+    }
+
+    pub(crate) fn record_displaced(&mut self, pred: &str, tuple: Tuple) {
+        self.ops.push(JournalOp::Displaced(pred.to_string(), tuple));
+    }
+
+    pub(crate) fn record_created(&mut self, pred: &str) {
+        self.created.push(pred.to_string());
+    }
+
+    /// The run's surviving additions per predicate: every tuple recorded as
+    /// inserted that is still stored (an aggregate displacement can remove
+    /// an earlier insertion).  This is the incremental constraint-check
+    /// delta — the same set a full-snapshot version diff would produce.
+    pub fn added_delta(
+        &self,
+        relations: &HashMap<String, Relation>,
+    ) -> HashMap<String, HashSet<Tuple>> {
+        let mut delta: HashMap<String, HashSet<Tuple>> = HashMap::new();
+        for op in &self.ops {
+            if let JournalOp::Added(pred, tuple) = op {
+                if relations.get(pred).is_some_and(|r| r.contains(tuple)) {
+                    delta
+                        .entry(pred.clone())
+                        .or_default()
+                        .insert(tuple.clone());
+                }
+            }
+        }
+        delta
+    }
+
+    /// Roll every journaled mutation back.  Restores the relations and the
+    /// existential memo to their exact pre-run state; the caller restores
+    /// the (plain-copy) entity counter itself.
+    pub fn undo(
+        self,
+        relations: &mut HashMap<String, Relation>,
+        existential_memo: &mut HashMap<(usize, Vec<Value>), u64>,
+    ) {
+        for op in self.ops.into_iter().rev() {
+            match op {
+                JournalOp::Added(pred, tuple) => {
+                    if let Some(relation) = relations.get_mut(&pred) {
+                        relation.remove(&tuple);
+                    }
+                }
+                JournalOp::Displaced(pred, tuple) => {
+                    // The displacing tuple was journaled as `Added` after
+                    // this op, so reverse replay has already removed it;
+                    // re-inserting the displaced value cannot conflict.
+                    if let Some(relation) = relations.get_mut(&pred) {
+                        let _ = relation.insert_or_replace(tuple);
+                    }
+                }
+            }
+        }
+        for pred in self.created {
+            relations.remove(&pred);
+        }
+        for key in self.minted {
+            existential_memo.remove(&key);
+        }
+    }
+}
+
 /// Mutable evaluation state borrowed from a workspace.
 pub struct Evaluator<'a> {
     pub relations: &'a mut HashMap<String, Relation>,
@@ -85,6 +177,10 @@ pub struct Evaluator<'a> {
     /// Persistent worker pool for sharded and rule-level fan-out.  `None`
     /// keeps every execution on the calling thread.
     pub pool: Option<&'a WorkerPool>,
+    /// Undo log for incremental (snapshot-free) transactions.  `None` — the
+    /// default everywhere except [`Evaluator::run_seeded`] callers — records
+    /// nothing.
+    pub journal: Option<&'a mut EvalJournal>,
 }
 
 impl<'a> Evaluator<'a> {
@@ -169,6 +265,140 @@ impl<'a> Evaluator<'a> {
             }
             delta = next_delta;
             stats.iterations += 1;
+        }
+        Ok(stats)
+    }
+
+    /// Run all strata to fixpoint from a **converged** database, driving the
+    /// first round of each stratum off `seed` — the base tuples inserted
+    /// since the last fixpoint — instead of naïvely re-evaluating every rule.
+    ///
+    /// From a converged state the naïve round is pure overhead: a rule
+    /// binding that touches no new tuple can only re-derive a tuple that is
+    /// already stored.  Restricting the first round to combinations with at
+    /// least one new-tuple literal therefore produces the same final state,
+    /// the same genuinely-new deltas, and the same verdicts as
+    /// [`Evaluator::run`], at cost proportional to the seed's consequences
+    /// rather than to the whole database.  The caller owns two
+    /// preconditions: the database is at fixpoint, and no rule negates a
+    /// predicate that can *shrink* between fixpoints — aggregate heads are
+    /// the only such predicates (displacement is the one non-monotone
+    /// mutation a committed transaction performs), which is what
+    /// `Workspace` gates on before choosing this entry point.
+    pub fn run_seeded(
+        &mut self,
+        rules: &[Rule],
+        strata: &[Vec<usize>],
+        seed: &HashMap<String, HashSet<Tuple>>,
+    ) -> Result<FixpointStats> {
+        let mut stats = FixpointStats::default();
+        // Everything new since the pre-transaction fixpoint: the seed plus
+        // every tuple derived so far.  Later strata must see earlier strata's
+        // additions as first-round drivers, so each stratum merges its deltas
+        // back in.
+        let mut accumulated: HashMap<String, HashSet<Tuple>> = seed
+            .iter()
+            .filter(|(_, set)| !set.is_empty())
+            .map(|(pred, set)| (pred.clone(), set.clone()))
+            .collect();
+        for stratum in strata {
+            let stratum_stats = self.run_stratum_seeded(rules, stratum, &mut accumulated)?;
+            stats.derived += stratum_stats.derived;
+            stats.iterations += stratum_stats.iterations;
+        }
+        Ok(stats)
+    }
+
+    /// One stratum of [`Evaluator::run_seeded`]: a seeded first round, then
+    /// the ordinary semi-naïve loop of [`Evaluator::run_stratum`].
+    fn run_stratum_seeded(
+        &mut self,
+        rules: &[Rule],
+        stratum: &[usize],
+        accumulated: &mut HashMap<String, HashSet<Tuple>>,
+    ) -> Result<FixpointStats> {
+        let mut stats = FixpointStats::default();
+        let mut idb_preds: HashSet<String> = HashSet::new();
+        for &rule_index in stratum {
+            for atom in &rules[rule_index].head {
+                idb_preds.insert(runtime_pred_name(&atom.pred)?);
+            }
+        }
+        let (agg_rules, normal_rules): (Vec<usize>, Vec<usize>) = stratum
+            .iter()
+            .copied()
+            .partition(|&i| rules[i].agg.is_some());
+
+        // Seeded first round: every `(rule, positive-literal)` combination
+        // whose predicate has accumulated new tuples.  Aggregation rules
+        // whose bodies are untouched are skipped — recomputation would
+        // reproduce the stored values exactly (the previous fixpoint's final
+        // round recomputed them against this same state).
+        let mut delta: HashMap<String, HashSet<Tuple>> = HashMap::new();
+        let mut combos: Vec<(usize, Option<usize>)> = Vec::new();
+        for &rule_index in &normal_rules {
+            for (literal_index, literal) in rules[rule_index].body.iter().enumerate() {
+                let Literal::Pos(atom) = literal else {
+                    continue;
+                };
+                let pred = runtime_pred_name(&atom.pred)?;
+                if accumulated.get(&pred).is_some_and(|set| !set.is_empty()) {
+                    combos.push((rule_index, Some(literal_index)));
+                }
+            }
+        }
+        for derivation in self.evaluate_round(rules, &combos, accumulated)? {
+            stats.derived += self.insert_derivation(derivation, &mut delta)?;
+        }
+        for &rule_index in &agg_rules {
+            if !rule_touched(&rules[rule_index], accumulated) {
+                continue;
+            }
+            let derived = self.recompute_aggregate(rules, rule_index)?;
+            stats.derived += self.insert_replacing(derived, &mut delta)?;
+        }
+        stats.iterations += 1;
+        merge_delta(accumulated, &delta);
+
+        // Semi-naïve iterations, exactly as in `run_stratum` (aggregates
+        // recompute every round once the stratum is in motion).
+        while delta.values().any(|d| !d.is_empty()) {
+            if stats.iterations > self.config.max_iterations {
+                return Err(DatalogError::FixpointBudget {
+                    iterations: self.config.max_iterations,
+                });
+            }
+            let mut combos: Vec<(usize, Option<usize>)> = Vec::new();
+            for &rule_index in &normal_rules {
+                let rule = &rules[rule_index];
+                for (literal_index, literal) in rule.body.iter().enumerate() {
+                    let Literal::Pos(atom) = literal else {
+                        continue;
+                    };
+                    let pred = runtime_pred_name(&atom.pred)?;
+                    if !idb_preds.contains(&pred) {
+                        continue;
+                    }
+                    let Some(pred_delta) = delta.get(&pred) else {
+                        continue;
+                    };
+                    if pred_delta.is_empty() {
+                        continue;
+                    }
+                    combos.push((rule_index, Some(literal_index)));
+                }
+            }
+            let mut next_delta: HashMap<String, HashSet<Tuple>> = HashMap::new();
+            for derivation in self.evaluate_round(rules, &combos, &delta)? {
+                stats.derived += self.insert_derivation(derivation, &mut next_delta)?;
+            }
+            for &rule_index in &agg_rules {
+                let derived = self.recompute_aggregate(rules, rule_index)?;
+                stats.derived += self.insert_replacing(derived, &mut next_delta)?;
+            }
+            delta = next_delta;
+            stats.iterations += 1;
+            merge_delta(accumulated, &delta);
         }
         Ok(stats)
     }
@@ -387,13 +617,16 @@ impl<'a> Evaluator<'a> {
             for (offset, var) in existentials.iter().enumerate() {
                 let mut key = memo_key.clone();
                 key.push(Value::Int(offset as i64));
-                let entity_id = *self
-                    .existential_memo
-                    .entry((rule_index, key))
-                    .or_insert_with(|| {
+                let entity_id = match self.existential_memo.entry((rule_index, key)) {
+                    std::collections::hash_map::Entry::Occupied(entry) => *entry.get(),
+                    std::collections::hash_map::Entry::Vacant(entry) => {
                         *self.entity_counter += 1;
-                        *self.entity_counter
-                    });
+                        if let Some(journal) = self.journal.as_deref_mut() {
+                            journal.minted.push(entry.key().clone());
+                        }
+                        *entry.insert(*self.entity_counter)
+                    }
+                };
                 solution.bind(var, Value::Entity(entity_id));
             }
             // Same head projection the combination paths use — one
@@ -469,12 +702,19 @@ impl<'a> Evaluator<'a> {
             Derivation::Ids(derived) => {
                 let mut inserted = 0usize;
                 for (pred, batch) in derived {
-                    let relation = self.relation_entry(&pred);
+                    self.relation_entry(&pred);
                     for index in 0..batch.rows() {
                         let row = batch.row(index);
+                        let relation = self
+                            .relations
+                            .get_mut(&pred)
+                            .expect("relation just ensured");
                         if relation.insert_ids(row)? {
                             inserted += 1;
                             let tuple = relation.interner().resolve_row(row);
+                            if let Some(journal) = self.journal.as_deref_mut() {
+                                journal.record_added(&pred, tuple.clone());
+                            }
                             delta.entry(pred.clone()).or_default().insert(tuple);
                         }
                     }
@@ -496,6 +736,9 @@ impl<'a> Evaluator<'a> {
             let relation = self.relation_entry(&pred);
             if relation.insert(tuple.clone())? {
                 inserted += 1;
+                if let Some(journal) = self.journal.as_deref_mut() {
+                    journal.record_added(&pred, tuple.clone());
+                }
                 delta.entry(pred).or_default().insert(tuple);
             }
         }
@@ -512,7 +755,19 @@ impl<'a> Evaluator<'a> {
         let mut inserted = 0usize;
         for (pred, tuple) in derived {
             let relation = self.relation_entry(&pred);
-            if relation.insert_or_replace(tuple.clone())? {
+            let (added, displaced) = relation.insert_or_replace_returning(tuple.clone())?;
+            if let Some(journal) = self.journal.as_deref_mut() {
+                // Displacement is journaled before the insertion that caused
+                // it — reverse replay then restores the displaced value after
+                // removing its replacement.
+                if let Some(old) = displaced {
+                    journal.record_displaced(&pred, old);
+                }
+                if added {
+                    journal.record_added(&pred, tuple.clone());
+                }
+            }
+            if added {
                 inserted += 1;
                 delta.entry(pred).or_default().insert(tuple);
             }
@@ -532,11 +787,47 @@ impl<'a> Evaluator<'a> {
                 pred.to_string(),
                 Relation::with_interner(pred, key_arity, Arc::clone(self.interner)),
             );
+            if let Some(journal) = self.journal.as_deref_mut() {
+                journal.record_created(pred);
+            }
         }
         self.relations
             .get_mut(pred)
             .expect("relation just inserted")
     }
+}
+
+/// Fold one round's delta into the accumulated new-tuple map of a seeded
+/// run (so later strata — and rules positioned after the producing round —
+/// see it as a first-round driver).
+fn merge_delta(
+    accumulated: &mut HashMap<String, HashSet<Tuple>>,
+    delta: &HashMap<String, HashSet<Tuple>>,
+) {
+    for (pred, set) in delta {
+        if set.is_empty() {
+            continue;
+        }
+        accumulated
+            .entry(pred.clone())
+            .or_default()
+            .extend(set.iter().cloned());
+    }
+}
+
+/// Does any body literal of `rule` — positive or negative — read a
+/// predicate with accumulated new tuples?  Untouched aggregation rules skip
+/// recomputation in a seeded first round: their stored values are exactly
+/// what recomputation would produce.
+fn rule_touched(rule: &Rule, accumulated: &HashMap<String, HashSet<Tuple>>) -> bool {
+    rule.body.iter().any(|literal| {
+        let atom = match literal {
+            Literal::Pos(atom) | Literal::Neg(atom) => atom,
+            Literal::Cmp(..) => return false,
+        };
+        runtime_pred_name(&atom.pred)
+            .is_ok_and(|pred| accumulated.get(&pred).is_some_and(|set| !set.is_empty()))
+    })
 }
 
 /// Rough size of a combination's driving tuple set, for the rule-level
@@ -828,6 +1119,7 @@ mod tests {
                 plan_stats: &self.plan_stats,
                 interner: &self.interner,
                 pool: None,
+                journal: None,
             };
             evaluator.run(&self.rules, &self.strata).unwrap()
         }
@@ -983,6 +1275,7 @@ mod tests {
             plan_stats: &fixture.plan_stats,
             interner: &fixture.interner,
             pool: None,
+            journal: None,
         };
         // Y is a head existential, so it actually mints an entity — that is
         // allowed.  A truly unsafe head would use an expression over unbound
@@ -1015,6 +1308,7 @@ mod tests {
             plan_stats: &fixture.plan_stats,
             interner: &fixture.interner,
             pool: None,
+            journal: None,
         };
         let err = evaluator.run(&fixture.rules, &fixture.strata).unwrap_err();
         assert!(matches!(err, DatalogError::FixpointBudget { .. }));

@@ -64,4 +64,4 @@ pub use relation::{column_set, ColumnSet, Relation};
 pub use schema::{PredicateDecl, PredicateKind, Schema};
 pub use udf::{UdfRegistry, UdfRows};
 pub use value::{Tuple, Value};
-pub use workspace::{DeltaApplyReport, TransactionReport, Workspace};
+pub use workspace::{TransactionReport, Workspace};

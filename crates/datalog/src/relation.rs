@@ -529,20 +529,30 @@ impl Relation {
     /// value for the same key (used by aggregation recomputation, where a
     /// better aggregate legitimately supersedes the previous one).
     pub fn insert_or_replace(&mut self, tuple: Tuple) -> Result<bool> {
+        self.insert_or_replace_returning(tuple)
+            .map(|(inserted, _)| inserted)
+    }
+
+    /// [`Relation::insert_or_replace`], also returning the displaced tuple
+    /// (if any) so callers keeping an undo journal can restore it on
+    /// rollback.
+    pub fn insert_or_replace_returning(&mut self, tuple: Tuple) -> Result<(bool, Option<Tuple>)> {
+        let mut displaced = None;
         if let Some(key_arity) = self.key_arity {
             if tuple.len() == key_arity + 1 {
                 let mut key_ids = Vec::with_capacity(key_arity);
                 if self.interner.try_row(&tuple[..key_arity], &mut key_ids) {
                     if let Some(existing_id) = self.find_fd(&key_ids) {
                         if self.rows[existing_id as usize][key_arity] == tuple[key_arity] {
-                            return Ok(false);
+                            return Ok((false, None));
                         }
+                        displaced = Some((*self.rows[existing_id as usize]).clone());
                         self.remove_by_id(existing_id);
                     }
                 }
             }
         }
-        self.insert(tuple)
+        self.insert(tuple).map(|inserted| (inserted, displaced))
     }
 
     /// Remove a tuple, returning whether it was present.

@@ -10,12 +10,12 @@
 //! constraint, then the transaction (including the input tuples) is rolled
 //! back" (§5.2) — [`Workspace::transaction`] implements exactly that.
 
-use crate::ast::{Constraint, Program, Rule, Statement, Term};
+use crate::ast::{Constraint, Literal, Program, Rule, Statement, Term};
 use crate::constraint::{check_constraints_incremental_planned, check_constraints_planned};
 use crate::error::{DatalogError, Result};
 use crate::eval::dred::DeletionStats;
 use crate::eval::{
-    Bindings, EvalConfig, EvalOptions, Evaluator, FixpointStats, PlanCache, PlanStats,
+    Bindings, EvalConfig, EvalJournal, EvalOptions, Evaluator, FixpointStats, PlanCache, PlanStats,
     PlanStatsSnapshot, WorkerPool,
 };
 use crate::intern::Interner;
@@ -41,21 +41,6 @@ pub struct TransactionReport {
     pub iterations: usize,
     /// Wall-clock duration of the transaction (insert + fixpoint + constraint
     /// check), which the evaluation harness reports as "transaction duration".
-    pub duration: Duration,
-}
-
-/// Outcome of a committed multi-delta batch ([`Workspace::apply_deltas`]).
-#[derive(Debug, Clone, Default)]
-pub struct DeltaApplyReport {
-    /// Base facts newly inserted.
-    pub inserted: usize,
-    /// Tuples derived by the (single) fixpoint computation.
-    pub derived: usize,
-    /// Semi-naïve iterations executed.
-    pub iterations: usize,
-    /// Incremental-deletion statistics for the retraction half.
-    pub dred: DeletionStats,
-    /// Wall-clock duration of the whole batch apply.
     pub duration: Duration,
 }
 
@@ -91,6 +76,13 @@ pub struct Workspace {
     /// Persistent worker pool, created lazily on the first parallel fixpoint
     /// and kept for the workspace's lifetime.  Clones share the pool.
     pool: Option<Arc<WorkerPool>>,
+    /// Whether the installed program is eligible for seeded (incremental)
+    /// transactions: no negated body literal reads an aggregate-rule head.
+    /// Aggregate heads are the one predicate class that can *shrink* during a
+    /// fixpoint (value displacement), so negation over them could enable
+    /// derivations a delta-seeded first round never drives.  Recomputed on
+    /// every program install.
+    seedable: bool,
 }
 
 impl std::fmt::Debug for Workspace {
@@ -133,6 +125,7 @@ impl Workspace {
             plan_stats: PlanStats::default(),
             interner: Arc::new(Interner::new()),
             pool: None,
+            seedable: true,
         }
     }
 
@@ -254,9 +247,40 @@ impl Workspace {
             }
         }
         self.strata = stratify_with(&self.rules, &self.udfs, self.allow_recursive_negation)?;
+        self.seedable = Self::compute_seedable(&self.rules);
         // The rule set changed: previously compiled plans are stale.
         self.plan_cache.clear();
         Ok(())
+    }
+
+    /// A program is seedable iff no negated body literal reads a predicate
+    /// that an aggregate rule writes (see the `seedable` field).
+    fn compute_seedable(rules: &[Rule]) -> bool {
+        let mut agg_heads: HashSet<String> = HashSet::new();
+        for rule in rules {
+            if rule.agg.is_some() {
+                for atom in &rule.head {
+                    if let Ok(name) = crate::eval::runtime_pred_name(&atom.pred) {
+                        agg_heads.insert(name);
+                    }
+                }
+            }
+        }
+        if agg_heads.is_empty() {
+            return true;
+        }
+        for rule in rules {
+            for literal in &rule.body {
+                if let Literal::Neg(atom) = literal {
+                    if let Ok(name) = crate::eval::runtime_pred_name(&atom.pred) {
+                        if agg_heads.contains(&name) {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+        true
     }
 
     fn ground_terms(&self, terms: &[Term]) -> Result<Tuple> {
@@ -483,8 +507,35 @@ impl Workspace {
             plan_stats: &self.plan_stats,
             interner: &self.interner,
             pool: pool.as_deref(),
+            journal: None,
         };
         evaluator.run(&self.rules, &self.strata)
+    }
+
+    /// Run the installed rules from a converged state, driving the first
+    /// semi-naïve round with `seed` (this transaction's new base tuples) and
+    /// journaling every mutation for snapshot-free rollback.
+    fn run_rules_seeded(
+        &mut self,
+        seed: &HashMap<String, HashSet<Tuple>>,
+        journal: &mut EvalJournal,
+    ) -> Result<FixpointStats> {
+        self.ensure_pool();
+        let pool = self.pool.clone();
+        let mut evaluator = Evaluator {
+            relations: &mut self.relations,
+            schema: &self.schema,
+            udfs: &self.udfs,
+            config: &self.config,
+            entity_counter: &mut self.entity_counter,
+            existential_memo: &mut self.existential_memo,
+            plan_cache: &mut self.plan_cache,
+            plan_stats: &self.plan_stats,
+            interner: &self.interner,
+            pool: pool.as_deref(),
+            journal: Some(journal),
+        };
+        evaluator.run_seeded(&self.rules, &self.strata, seed)
     }
 
     /// Planner and index counters accumulated by this workspace.
@@ -525,6 +576,7 @@ impl Workspace {
                 plan_stats: &self.plan_stats,
                 interner: &self.interner,
                 pool: pool.as_deref(),
+                journal: None,
             };
             evaluator.delete_with_dred(&self.rules, &self.strata, &batch, &edb)
         };
@@ -551,33 +603,33 @@ impl Workspace {
         }
     }
 
-    /// Apply a mixed multi-delta batch — retractions then assertions — inside
-    /// one ACID transaction with **one** fixpoint computation and **one**
-    /// constraint pass, instead of a transaction per delta.  This is the
-    /// streaming runtime's amortized entry point: a drained per-link batch of
-    /// update-stream deltas pays plan lookup, semi-naïve evaluation, and
-    /// constraint checking once for the whole batch.
+    /// [`Workspace::transaction`] without the per-transaction snapshot clone
+    /// or the O(database) naive first round: the fixpoint is *seeded* with
+    /// this batch's new base tuples (valid only from a converged state — every
+    /// committed or rolled-back transaction and every DRed retraction leaves
+    /// one), and every mutation is journaled so a constraint violation or FD
+    /// conflict rolls back by reverse-replaying the journal.  Verdicts and
+    /// the resulting database are identical to [`Workspace::transaction`];
+    /// only the cost differs.  This is the streaming runtime's per-delta
+    /// apply step, keeping exact per-envelope acceptance semantics while a
+    /// drained batch amortizes flushes and scheduling.
     ///
-    /// Semantics match running [`Workspace::retract`] on `retracts` followed
-    /// by [`Workspace::transaction`] on `asserts`, except atomically: any
-    /// violation rolls back *both* halves, leaving the workspace exactly as it
-    /// was (callers that need per-delta verdict granularity replay the batch
-    /// delta-by-delta after a rollback).  Retractions are DRed-maintained;
-    /// when any base fact was actually deleted the constraint pass is the full
-    /// planned check (deletions are not covered by an added-tuples delta),
-    /// otherwise the incremental check over this batch's additions.
-    pub fn apply_deltas(
+    /// Programs where a negated literal reads an aggregate head are not
+    /// seedable (see `seedable`); those fall back to the snapshot path.
+    pub fn transaction_incremental(
         &mut self,
-        retracts: Vec<(String, Tuple)>,
-        asserts: Vec<(String, Tuple)>,
-    ) -> Result<DeltaApplyReport> {
+        batch: Vec<(String, Tuple)>,
+    ) -> Result<TransactionReport> {
+        if !self.seedable {
+            return self.transaction(batch);
+        }
         let start = Instant::now();
-        let snapshot_relations = self.relations.clone();
-        let snapshot_edb = self.edb_facts.clone();
         let snapshot_counter = self.entity_counter;
-        let snapshot_memo = self.existential_memo.clone();
-
-        let result = self.apply_deltas_inner(retracts, asserts, &snapshot_relations);
+        let mut journal = EvalJournal::default();
+        let mut edb_added: Vec<(String, Tuple)> = Vec::new();
+        let mut edb_created: Vec<String> = Vec::new();
+        let result =
+            self.transaction_incremental_inner(batch, &mut journal, &mut edb_added, &mut edb_created);
         match result {
             Ok(mut report) => {
                 report.duration = start.elapsed();
@@ -588,88 +640,77 @@ impl Workspace {
                 Ok(report)
             }
             Err(error) => {
-                self.relations = snapshot_relations;
-                self.edb_facts = snapshot_edb;
+                journal.undo(&mut self.relations, &mut self.existential_memo);
+                for (pred, tuple) in edb_added.iter().rev() {
+                    if let Some(set) = self.edb_facts.get_mut(pred) {
+                        set.remove(tuple);
+                    }
+                }
+                for pred in &edb_created {
+                    self.edb_facts.remove(pred);
+                }
                 self.entity_counter = snapshot_counter;
-                self.existential_memo = snapshot_memo;
                 Err(error)
             }
         }
     }
 
-    fn apply_deltas_inner(
+    fn transaction_incremental_inner(
         &mut self,
-        retracts: Vec<(String, Tuple)>,
-        asserts: Vec<(String, Tuple)>,
-        snapshot: &HashMap<String, Relation>,
-    ) -> Result<DeltaApplyReport> {
-        let mut report = DeltaApplyReport::default();
-        if !retracts.is_empty() {
-            for (pred, tuple) in &retracts {
-                if let Some(set) = self.edb_facts.get_mut(pred) {
-                    set.remove(tuple);
-                }
+        batch: Vec<(String, Tuple)>,
+        journal: &mut EvalJournal,
+        edb_added: &mut Vec<(String, Tuple)>,
+        edb_created: &mut Vec<String>,
+    ) -> Result<TransactionReport> {
+        let mut report = TransactionReport::default();
+        let mut seed: HashMap<String, HashSet<Tuple>> = HashMap::new();
+        for (pred, tuple) in batch {
+            let key_arity = self.schema.get(&pred).and_then(|decl| match decl.kind {
+                PredicateKind::Functional { key_arity } => Some(key_arity),
+                PredicateKind::Relation => None,
+            });
+            if !self.relations.contains_key(&pred) {
+                journal.record_created(&pred);
             }
-            let edb = self.edb_facts.clone();
-            self.ensure_pool();
-            let pool = self.pool.clone();
-            let mut evaluator = Evaluator {
-                relations: &mut self.relations,
-                schema: &self.schema,
-                udfs: &self.udfs,
-                config: &self.config,
-                entity_counter: &mut self.entity_counter,
-                existential_memo: &mut self.existential_memo,
-                plan_cache: &mut self.plan_cache,
-                plan_stats: &self.plan_stats,
-                interner: &self.interner,
-                pool: pool.as_deref(),
-            };
-            report.dred = evaluator.delete_with_dred(&self.rules, &self.strata, &retracts, &edb)?;
-        }
-        for (pred, tuple) in asserts {
-            self.insert_edb(&pred, tuple)?;
+            let relation = self.relations.entry(pred.clone()).or_insert_with(|| {
+                Relation::with_interner(&pred, key_arity, Arc::clone(&self.interner))
+            });
+            if relation.insert(tuple.clone())? {
+                journal.record_added(&pred, tuple.clone());
+                seed.entry(pred.clone()).or_default().insert(tuple.clone());
+            }
+            if !self.edb_facts.contains_key(&pred) {
+                edb_created.push(pred.clone());
+            }
+            if self
+                .edb_facts
+                .entry(pred.clone())
+                .or_default()
+                .insert(tuple.clone())
+            {
+                edb_added.push((pred, tuple));
+            }
             report.inserted += 1;
         }
-        let stats = self.run_rules()?;
+        let stats = self.run_rules_seeded(&seed, journal)?;
         report.derived = stats.derived;
         report.iterations = stats.iterations;
+        // Incremental constraint checking over this transaction's surviving
+        // additions — the journal yields the same delta a full-snapshot
+        // version diff would.
+        let delta = journal.added_delta(&self.relations);
         self.ensure_pool();
         let pool = self.pool.clone();
-        if report.dred.base_deleted > 0 || report.dred.over_deleted > 0 {
-            check_constraints_planned(
-                &self.constraints,
-                &mut self.relations,
-                &self.udfs,
-                &mut self.plan_cache,
-                &self.plan_stats,
-                &self.config.exec,
-                pool.as_deref(),
-            )?;
-        } else {
-            let mut delta: HashMap<String, HashSet<Tuple>> = HashMap::new();
-            for (pred, relation) in &self.relations {
-                let before = snapshot.get(pred);
-                if before.is_some_and(|r| r.version() == relation.version()) {
-                    continue;
-                }
-                for tuple in relation.iter() {
-                    if before.is_none_or(|r| !r.contains(tuple)) {
-                        delta.entry(pred.clone()).or_default().insert(tuple.clone());
-                    }
-                }
-            }
-            check_constraints_incremental_planned(
-                &self.constraints,
-                &mut self.relations,
-                &self.udfs,
-                &mut self.plan_cache,
-                &self.plan_stats,
-                &delta,
-                &self.config.exec,
-                pool.as_deref(),
-            )?;
-        }
+        check_constraints_incremental_planned(
+            &self.constraints,
+            &mut self.relations,
+            &self.udfs,
+            &mut self.plan_cache,
+            &self.plan_stats,
+            &delta,
+            &self.config.exec,
+            pool.as_deref(),
+        )?;
         Ok(report)
     }
 
@@ -783,99 +824,147 @@ mod tests {
         assert_eq!(ws.query("owner"), vec![vec![s("k"), s("v1")]]);
     }
 
-    #[test]
-    fn apply_deltas_mixed_batch_single_fixpoint() {
-        let mut ws = Workspace::new();
-        ws.install_source(
-            "reachable(X, Y) <- link(X, Y).\n\
-             reachable(X, Y) <- link(X, Z), reachable(Z, Y).\n\
-             link(a, b). link(b, c).",
-        )
-        .unwrap();
-        ws.fixpoint().unwrap();
-        assert!(ws.contains_fact("reachable", &[s("a"), s("c")]));
-        // One batch: retract b→c, assert b→d and d→e.
-        let report = ws
-            .apply_deltas(
-                vec![("link".into(), vec![s("b"), s("c")])],
-                vec![
-                    ("link".into(), vec![s("b"), s("d")]),
-                    ("link".into(), vec![s("d"), s("e")]),
-                ],
-            )
-            .unwrap();
-        assert_eq!(report.inserted, 2);
-        assert_eq!(report.dred.base_deleted, 1);
-        assert!(!ws.contains_fact("reachable", &[s("a"), s("c")]));
-        assert!(ws.contains_fact("reachable", &[s("a"), s("e")]));
-
-        // Equivalent to retract-then-transaction on a parallel workspace.
-        let mut seq = Workspace::new();
-        seq.install_source(
-            "reachable(X, Y) <- link(X, Y).\n\
-             reachable(X, Y) <- link(X, Z), reachable(Z, Y).\n\
-             link(a, b). link(b, c).",
-        )
-        .unwrap();
-        seq.fixpoint().unwrap();
-        seq.retract(vec![("link".into(), vec![s("b"), s("c")])])
-            .unwrap();
-        seq.transaction(vec![
-            ("link".into(), vec![s("b"), s("d")]),
-            ("link".into(), vec![s("d"), s("e")]),
-        ])
-        .unwrap();
-        for pred in ["link", "reachable"] {
-            let mut batched = ws.query(pred);
-            let mut sequential = seq.query(pred);
-            batched.sort_by_key(|t| crate::codec::serialize_tuple(t));
-            sequential.sort_by_key(|t| crate::codec::serialize_tuple(t));
-            assert_eq!(batched, sequential, "{pred} diverged");
+    /// Drive the same delta sequence through `transaction` and
+    /// `transaction_incremental` on parallel workspaces, asserting identical
+    /// per-delta verdicts and identical final databases.
+    fn assert_incremental_matches(source: &str, batches: &[Vec<(String, Tuple)>]) {
+        let mut full = Workspace::new();
+        full.install_source(source).unwrap();
+        full.fixpoint().unwrap();
+        let mut inc = Workspace::new();
+        inc.install_source(source).unwrap();
+        inc.fixpoint().unwrap();
+        for (step, batch) in batches.iter().enumerate() {
+            let a = full.transaction(batch.clone());
+            let b = inc.transaction_incremental(batch.clone());
+            match (&a, &b) {
+                (Ok(ra), Ok(rb)) => assert_eq!(ra.inserted, rb.inserted, "step {step}"),
+                (Err(ea), Err(eb)) => assert_eq!(
+                    std::mem::discriminant(ea),
+                    std::mem::discriminant(eb),
+                    "step {step}: verdicts diverged ({ea} vs {eb})"
+                ),
+                _ => panic!("step {step}: verdicts diverged ({a:?} vs {b:?})"),
+            }
+            assert_eq!(
+                full.predicate_names(),
+                inc.predicate_names(),
+                "step {step}: predicate sets diverged"
+            );
+            for pred in full.predicate_names() {
+                assert_eq!(
+                    full.query(&pred),
+                    inc.query(&pred),
+                    "step {step}: {pred} diverged"
+                );
+            }
         }
     }
 
     #[test]
-    fn apply_deltas_violation_rolls_back_both_halves() {
+    fn transaction_incremental_matches_transaction() {
+        assert_incremental_matches(
+            "reachable(X, Y) <- link(X, Y).\n\
+             reachable(X, Y) <- link(X, Z), reachable(Z, Y).\n\
+             link(a, b).",
+            &[
+                vec![("link".into(), vec![s("b"), s("c")])],
+                vec![
+                    ("link".into(), vec![s("c"), s("d")]),
+                    ("link".into(), vec![s("d"), s("a")]),
+                ],
+                // Duplicate re-assertion: no new delta, nothing derived.
+                vec![("link".into(), vec![s("a"), s("b")])],
+            ],
+        );
+    }
+
+    #[test]
+    fn transaction_incremental_matches_on_rejection_order() {
+        // The exact shape from the streaming engine: a delta that violates a
+        // constraint must be rejected in its own transaction even though a
+        // LATER delta would have satisfied it — per-delta verdicts are
+        // order-sensitive and the incremental path must preserve that.
+        assert_incremental_matches(
+            "says_link(P, Q) -> principal(P), principal(Q).\n\
+             link(X, Y) <- says_link(X, Y).\n\
+             principal(alice).",
+            &[
+                vec![("says_link".into(), vec![s("alice"), s("mallory")])], // rejected
+                vec![("principal".into(), vec![s("mallory")])],            // commits
+                vec![("says_link".into(), vec![s("alice"), s("mallory")])], // now commits
+            ],
+        );
+    }
+
+    #[test]
+    fn transaction_incremental_matches_with_aggregates_and_existentials() {
+        // Aggregate displacement (min over paths) plus head-existential
+        // minting, across commits and an FD rejection.
+        assert_incremental_matches(
+            "cost[X, Y] = C -> string(X), string(Y), int(C).\n\
+             pathvar(P) -> .\n\
+             pathvar(P), path(P, X, Y, C) <- cost[X, Y] = C.\n\
+             best[X] = C <- agg<< C = min(Cx) >> path(_, X, _, Cx).\n\
+             cost[a, b] = 5.",
+            &[
+                vec![("cost".into(), vec![s("a"), s("c"), Value::Int(3)])], // displaces best[a]
+                vec![("cost".into(), vec![s("a"), s("b"), Value::Int(1)])], // FD conflict: rolls back
+                vec![("cost".into(), vec![s("b"), s("c"), Value::Int(9)])],
+            ],
+        );
+    }
+
+    #[test]
+    fn transaction_incremental_rollback_restores_exact_state() {
         let mut ws = Workspace::new();
         ws.install_source(
             "says_link(P, Q) -> principal(P), principal(Q).\n\
              link(X, Y) <- says_link(X, Y).\n\
+             reach(X, Y) <- link(X, Y).\n\
+             reach(X, Y) <- link(X, Z), reach(Z, Y).\n\
              principal(alice). principal(bob).\n\
              says_link(alice, bob).",
         )
         .unwrap();
         ws.fixpoint().unwrap();
-        assert_eq!(ws.count("link"), 1);
-        // Retract a valid fact and assert a constraint-violating one: the
-        // rollback must restore the retracted half too.
+        let before_facts = ws.total_facts();
+        let before_links = ws.query("link");
         let err = ws
-            .apply_deltas(
-                vec![("says_link".into(), vec![s("alice"), s("bob")])],
-                vec![("says_link".into(), vec![s("alice"), s("mallory")])],
-            )
+            .transaction_incremental(vec![
+                ("says_link".into(), vec![s("bob"), s("mallory")]),
+            ])
             .unwrap_err();
         assert!(matches!(err, DatalogError::ConstraintViolation(_)));
+        assert_eq!(ws.total_facts(), before_facts);
+        assert_eq!(ws.query("link"), before_links);
         assert_eq!(ws.count("says_link"), 1);
-        assert_eq!(ws.count("link"), 1);
-        assert!(ws.contains_fact("says_link", &[s("alice"), s("bob")]));
+        // And the workspace is still fully usable afterwards.
+        ws.transaction_incremental(vec![("principal".into(), vec![s("mallory")])])
+            .unwrap();
+        ws.transaction_incremental(vec![
+            ("says_link".into(), vec![s("bob"), s("mallory")]),
+        ])
+        .unwrap();
+        assert!(ws.contains_fact("reach", &[s("alice"), s("mallory")]));
     }
 
     #[test]
-    fn apply_deltas_empty_halves_match_existing_paths() {
+    fn non_seedable_program_falls_back_to_snapshot_path() {
+        // Negation over an aggregate head: not seedable, must still be
+        // correct via the `transaction` fallback.
+        let source = "cost[X] = C -> string(X), int(C).\n\
+                      best[] = C <- agg<< C = min(Cx) >> cost[_] = Cx.\n\
+                      cheap(X) <- cost[X] = C, !best[] = _, C > 0.\n\
+                      cost[a] = 5.";
         let mut ws = Workspace::new();
-        ws.install_source("reachable(X, Y) <- link(X, Y).").unwrap();
-        let report = ws
-            .apply_deltas(Vec::new(), vec![("link".into(), vec![s("a"), s("b")])])
+        ws.set_strict_typing(false);
+        ws.install_source(source).unwrap();
+        assert!(!ws.seedable);
+        ws.fixpoint().unwrap();
+        ws.transaction_incremental(vec![("cost".into(), vec![s("b"), Value::Int(2)])])
             .unwrap();
-        assert_eq!(report.inserted, 1);
-        assert_eq!(report.dred, DeletionStats::default());
-        assert!(ws.contains_fact("reachable", &[s("a"), s("b")]));
-        let report = ws
-            .apply_deltas(vec![("link".into(), vec![s("a"), s("b")])], Vec::new())
-            .unwrap();
-        assert_eq!(report.dred.base_deleted, 1);
-        assert!(!ws.contains_fact("reachable", &[s("a"), s("b")]));
-        assert_eq!(ws.count("link"), 0);
+        assert_eq!(ws.singleton("best"), Some(Value::Int(2)));
     }
 
     #[test]

@@ -17,8 +17,8 @@
 //!   legitimately differ between any two runs of the same scenario.
 //!
 //! The durable REACH scenario also exercises recovery: a streaming-mode WAL
-//! (whole batches logged as record groups sharing one watermark) must
-//! replay to the same state the live deployment held.
+//! (one record group per delta transaction, exactly as on the per-envelope
+//! path) must replay to the same state the live deployment held.
 
 use proptest::prelude::*;
 use secureblox::apps::pathvector;
@@ -178,9 +178,9 @@ fn streaming_durable_run_matches_per_envelope_bit_for_bit() {
     }
 }
 
-/// A streaming-mode WAL replays faithfully: recovery groups batch records by
-/// their shared watermark and re-applies them as the original transactions,
-/// landing on the same relations and Merkle roots the live deployment held.
+/// A streaming-mode WAL replays faithfully: recovery re-applies the logged
+/// record groups as the original per-delta transactions, landing on the same
+/// relations and Merkle roots the live deployment held.
 #[test]
 fn recovery_replays_streaming_batch_wal_records_in_order() {
     let streaming = StreamingConfig::with_knobs(8, 32);
@@ -206,6 +206,87 @@ fn recovery_replays_streaming_batch_wal_records_in_order() {
         "recovered Merkle roots diverged from the live streaming deployment"
     );
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Order-sensitive acceptance inside one coalesced envelope
+// ---------------------------------------------------------------------------
+
+/// An app whose import acceptance is ORDER-SENSITIVE: an imported `edge`
+/// only satisfies its constraint once both endpoint `vertex` facts are
+/// known, and the export scan (sorted by predicate name) ships `says$edge`
+/// *before* `says$vertex` in the same flush.  The per-envelope path rejects
+/// the edge delta permanently — its transaction runs before the vertices
+/// arrive, and the sender's `sent` cursor never re-ships it.
+const ORDER_APP: &str = r#"
+    vertex(N) -> node(N).
+    edge(N1, N2) -> node(N1), node(N2).
+    edge(N1, N2) -> vertex(N1), vertex(N2).
+    local_vertex(N) -> node(N).
+    local_edge(N1, N2) -> node(N1), node(N2).
+    exportable(`edge).
+    exportable(`vertex).
+
+    vertex(N) <- local_vertex(N).
+    edge(X, Y) <- local_edge(X, Y).
+    says[`edge](self[], U, X, Y) <- local_edge(X, Y), principal(U), U != self[].
+    says[`vertex](self[], U, N) <- local_vertex(N), principal(U), U != self[].
+"#;
+
+fn run_order_scenario(streaming: StreamingConfig) -> (Vec<Tuple>, Vec<Tuple>, usize) {
+    let specs = vec![
+        NodeSpec {
+            principal: "n0".into(),
+            base_facts: vec![
+                ("local_vertex".into(), vec![Value::str("n0")]),
+                ("local_vertex".into(), vec![Value::str("n1")]),
+                ("local_edge".into(), vec![Value::str("n0"), Value::str("n1")]),
+            ],
+        },
+        NodeSpec {
+            principal: "n1".into(),
+            base_facts: vec![],
+        },
+    ];
+    let config = DeploymentConfig {
+        security: SecurityConfig::new(AuthScheme::HmacSha1, EncScheme::None),
+        streaming,
+        ..DeploymentConfig::default()
+    };
+    let mut deployment = Deployment::build(ORDER_APP, &specs, config).unwrap();
+    let report = deployment.run().unwrap();
+    (
+        sorted(deployment.query("n1", "edge")),
+        sorted(deployment.query("n1", "vertex")),
+        report.rejected_batches,
+    )
+}
+
+/// The regression locked in by the review: a coalesced envelope carrying
+/// [`says$edge(a,b)`, `says$vertex(a)`, `says$vertex(b)`] must NOT accept
+/// the edge just because the vertices ride in the same batch.  Per-delta
+/// verdicts are order-sensitive, and streaming must reproduce the
+/// per-envelope path's rejection exactly — a combined whole-batch
+/// transaction would commit and silently widen policy acceptance.
+#[test]
+fn coalesced_envelope_keeps_per_delta_rejection_semantics() {
+    let per_envelope = run_order_scenario(StreamingConfig::disabled());
+    // The edge is rejected (its endpoints are unknown when it applies) and
+    // never re-shipped; the vertices land.
+    assert_eq!(per_envelope.0, Vec::<Tuple>::new());
+    assert_eq!(
+        per_envelope.1,
+        vec![vec![Value::str("n0")], vec![Value::str("n1")]]
+    );
+    assert!(per_envelope.2 >= 1, "edge delta must be rejected");
+
+    for (batch_max, high_water) in [(4usize, 16usize), (64, 256)] {
+        let streamed = run_order_scenario(StreamingConfig::with_knobs(batch_max, high_water));
+        assert_eq!(
+            streamed, per_envelope,
+            "streaming (batch={batch_max}, window={high_water}) diverged from per-envelope"
+        );
+    }
 }
 
 // ---------------------------------------------------------------------------
