@@ -19,6 +19,7 @@
 
 use crate::policy::SecurityConfig;
 use crate::runtime::engine::{Deployment, DeploymentConfig, DeploymentReport, NodeSpec};
+use crate::runtime::reactor::ReactorConfig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use secureblox_datalog::error::Result;
@@ -88,6 +89,11 @@ pub struct PathVectorConfig {
     pub security: SecurityConfig,
     pub latency: LatencyModel,
     pub seed: u64,
+    /// Executor choice.  The default honours `SECUREBLOX_REACTOR`; the
+    /// figure-reproduction byte/latency comparisons pin
+    /// [`ReactorConfig::disabled`] because wire-byte totals under streaming
+    /// coalescing are properties of the deterministic reference schedule.
+    pub reactor: ReactorConfig,
 }
 
 impl Default for PathVectorConfig {
@@ -99,6 +105,7 @@ impl Default for PathVectorConfig {
             security: SecurityConfig::default(),
             latency: LatencyModel::default(),
             seed: 1,
+            reactor: ReactorConfig::default(),
         }
     }
 }
@@ -186,6 +193,7 @@ pub fn build_deployment(config: &PathVectorConfig) -> Result<Deployment> {
         // The advertisement rule's "not already on the path" guard negates a
         // recursively maintained predicate — a locally stratified program.
         allow_recursive_negation: true,
+        reactor: config.reactor.clone(),
         ..DeploymentConfig::default()
     };
     Deployment::build(&app_source(), &specs, deployment_config)

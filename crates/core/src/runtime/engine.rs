@@ -28,6 +28,7 @@
 
 use crate::policy::{compile_secured_program, SecurityConfig};
 use crate::runtime::codec::{serialize_tuple, DeltaOp, UpdateDelta, UpdateEnvelope};
+use crate::runtime::reactor::ReactorConfig;
 use crate::runtime::replication::ReplicaState;
 use crate::runtime::stream::{LinkOutbox, StreamingConfig};
 use crate::runtime::udfs::register_crypto_udfs;
@@ -119,10 +120,15 @@ pub struct DeploymentConfig {
     /// credit-based backpressure.  The default honours `SECUREBLOX_STREAMING`,
     /// `SECUREBLOX_BATCH_MAX`, and `SECUREBLOX_QUEUE_HIGH_WATER`.
     pub streaming: StreamingConfig,
-    /// Maximum deliveries one [`Deployment::run`] will process before
-    /// declaring the protocol non-convergent.  The default honours
+    /// Maximum data-plane deliveries one [`Deployment::run`] will process
+    /// before declaring the protocol non-convergent.  The default honours
     /// `SECUREBLOX_MESSAGE_BUDGET` (falling back to 10 million).
     pub message_budget: usize,
+    /// Event-driven reactor executor: nodes run as wall-clock-parallel worker
+    /// tasks woken by message arrival instead of turns in the virtual-time
+    /// loop.  The default honours `SECUREBLOX_REACTOR` and
+    /// `SECUREBLOX_REACTOR_THREADS`.
+    pub reactor: ReactorConfig,
 }
 
 impl Default for DeploymentConfig {
@@ -143,8 +149,19 @@ impl Default for DeploymentConfig {
             parallelism: EvalOptions::default().workers,
             streaming: StreamingConfig::default(),
             message_budget: env_message_budget(),
+            reactor: ReactorConfig::default(),
         }
     }
+}
+
+/// Whether a message kind spends the non-convergence budget.  Control
+/// traffic (credit grants, bootstrap markers) is caused by — and bounded by —
+/// data-plane deliveries, so only the latter count.
+pub(crate) fn is_data_plane(kind: MessageKind) -> bool {
+    matches!(
+        kind,
+        MessageKind::Update | MessageKind::AnonForward | MessageKind::AnonBackward
+    )
 }
 
 /// Message-budget default from the environment (`SECUREBLOX_MESSAGE_BUDGET`),
@@ -249,7 +266,7 @@ impl DeploymentReport {
 
 /// A pre-established anonymity circuit.
 #[derive(Debug, Clone)]
-struct Circuit {
+pub(crate) struct Circuit {
     id: u64,
     initiator: usize,
     /// Relay node indices in forward order.
@@ -280,28 +297,79 @@ pub(crate) struct NodeState {
     /// Highest update-stream sequence number seen per sending node, used to
     /// drop stale duplicates (at-most-once application per delta).
     pub(crate) last_update_seq_in: HashMap<u32, u64>,
+    /// Per-destination update-stream sequence counters (sender side).  Owned
+    /// by the sending node so reactor tasks never share counter state.
+    pub(crate) stream_seq: HashMap<usize, u64>,
+    /// Streaming mode: this node's per-destination sender outboxes
+    /// (coalescing + credit).  A `BTreeMap` so the quiescence force-flush
+    /// walks links in a deterministic order (the reference executor's
+    /// bit-for-bit reproducibility depends on it).  Sender-owned: a credit
+    /// grant is *addressed to* the data sender, so delivering it only ever
+    /// touches the receiving node's own state.
+    pub(crate) outboxes: BTreeMap<usize, LinkOutbox>,
+}
+
+/// Immutable cross-node state shared by every node task: the principal
+/// universe, provisioned key material, and pre-established circuits.  Nothing
+/// here is written after [`Deployment::build`], so reactor workers share it
+/// by plain reference.
+pub(crate) struct EngineShared {
+    /// Principal name per node index — lets delivery paths name a *peer*
+    /// without touching that peer's (possibly locked) node state.
+    pub(crate) principals: Vec<String>,
+    pub(crate) principal_index: HashMap<String, usize>,
+    pub(crate) keystore: KeyStore,
+    pub(crate) circuits: Vec<Circuit>,
 }
 
 /// A complete simulated SecureBlox deployment.
 pub struct Deployment {
     pub(crate) nodes: Vec<NodeState>,
-    pub(crate) principal_index: HashMap<String, usize>,
     pub(crate) network: SimNetwork,
     pub(crate) timing: TimingStats,
     pub(crate) config: DeploymentConfig,
-    keystore: KeyStore,
-    circuits: Vec<Circuit>,
+    pub(crate) shared: EngineShared,
     exportable: Vec<String>,
-    /// Per-link update-stream sequence counters (sender side).
-    stream_seq: HashMap<(usize, usize), u64>,
-    /// Streaming mode: per-link sender outboxes (coalescing + credit), keyed
-    /// by (sender, destination) node index.  A `BTreeMap` so the quiescence
-    /// force-flush walks links in a deterministic order (the simulator's
-    /// bit-for-bit reproducibility depends on it).
-    outboxes: BTreeMap<(usize, usize), LinkOutbox>,
     /// Registered read replicas with per-node WAL cursors (see
     /// `runtime::replication`).
     pub(crate) replicas: Vec<ReplicaState>,
+}
+
+/// Where a node context's outbound messages go.  The reference executor
+/// passes the [`SimNetwork`] itself; the reactor substitutes a per-task sink
+/// that computes delivery times locally, records into a per-task statistics
+/// shard, and enqueues into the concurrent [`secureblox_net::LinkLanes`].
+pub(crate) trait NetSink {
+    /// Latency-modelled send; returns the delivery time.
+    fn send(&mut self, message: Message, now: VirtualTime) -> VirtualTime;
+    /// Send on the link's FIFO stream: delivery never precedes the previous
+    /// `send_fifo` message on the same (from, to) link.
+    fn send_fifo(&mut self, message: Message, now: VirtualTime) -> VirtualTime;
+}
+
+impl NetSink for SimNetwork {
+    fn send(&mut self, message: Message, now: VirtualTime) -> VirtualTime {
+        SimNetwork::send(self, message, now)
+    }
+
+    fn send_fifo(&mut self, message: Message, now: VirtualTime) -> VirtualTime {
+        SimNetwork::send_fifo(self, message, now)
+    }
+}
+
+/// One node's engine context: exclusive access to that node's state plus the
+/// shared immutable deployment state, an outbound [`NetSink`], and a timing
+/// recorder.  Every per-node operation — transactions, export flushes,
+/// delivery handlers — lives here, so the virtual-time reference loop and the
+/// reactor's worker tasks drive *identical* logic and differ only in how they
+/// schedule nodes and route messages.
+pub(crate) struct NodeCtx<'a> {
+    pub(crate) index: usize,
+    pub(crate) node: &'a mut NodeState,
+    pub(crate) shared: &'a EngineShared,
+    pub(crate) config: &'a DeploymentConfig,
+    pub(crate) net: &'a mut dyn NetSink,
+    pub(crate) timing: &'a mut TimingStats,
 }
 
 impl Deployment {
@@ -423,6 +491,8 @@ impl Deployment {
                 store: None,
                 needs_retraction_scan: false,
                 last_update_seq_in: HashMap::new(),
+                stream_seq: HashMap::new(),
+                outboxes: BTreeMap::new(),
             });
         }
 
@@ -463,15 +533,16 @@ impl Deployment {
         let timing = TimingStats::new(specs.len());
         let mut deployment = Deployment {
             nodes,
-            principal_index,
             network,
             timing,
             config,
-            keystore,
-            circuits,
+            shared: EngineShared {
+                principals,
+                principal_index,
+                keystore,
+                circuits,
+            },
             exportable,
-            stream_seq: HashMap::new(),
-            outboxes: BTreeMap::new(),
             replicas: Vec::new(),
         };
         if let Some(durability) = deployment.config.durability.clone() {
@@ -504,7 +575,8 @@ impl Deployment {
 
     /// Query a predicate on the node hosting `principal`.
     pub fn query(&self, principal: &str, pred: &str) -> Vec<Tuple> {
-        self.principal_index
+        self.shared
+            .principal_index
             .get(principal)
             .map(|&i| self.nodes[i].workspace.query(pred))
             .unwrap_or_default()
@@ -513,7 +585,8 @@ impl Deployment {
     /// Completion times (virtual) of committed transactions at `principal`'s
     /// node — the series behind the hash-join CDFs.
     pub fn completion_times(&self, principal: &str) -> Vec<Duration> {
-        self.principal_index
+        self.shared
+            .principal_index
             .get(principal)
             .map(|&i| {
                 self.timing
@@ -537,6 +610,7 @@ impl Deployment {
     /// have had if the facts had never been asserted.
     pub fn retract(&mut self, principal: &str, batch: Vec<(String, Tuple)>) -> Result<()> {
         let &index = self
+            .shared
             .principal_index
             .get(principal)
             .ok_or_else(|| DatalogError::Eval(format!("unknown principal {principal}")))?;
@@ -551,7 +625,21 @@ impl Deployment {
         }
         self.timing.record_retraction(NodeId(index as u32), finish);
         self.nodes[index].needs_retraction_scan = true;
-        self.flush_updates(index, finish)
+        self.node_ctx(index).flush_updates(finish)
+    }
+
+    /// Borrow one node's engine context against the deployment's shared state
+    /// and network — the reference executor's way of driving [`NodeCtx`]
+    /// operations (the reactor builds its contexts against per-task sinks).
+    pub(crate) fn node_ctx(&mut self, index: usize) -> NodeCtx<'_> {
+        NodeCtx {
+            index,
+            node: &mut self.nodes[index],
+            shared: &self.shared,
+            config: &self.config,
+            net: &mut self.network,
+            timing: &mut self.timing,
+        }
     }
 
     /// Inject a raw update-stream payload into the network as if node `from`
@@ -579,12 +667,24 @@ impl Deployment {
     }
 
     /// Run to the distributed fixpoint: no batches pending and no messages in
-    /// flight.
+    /// flight.  Dispatches on [`DeploymentConfig::reactor`]: the event-driven
+    /// executor (`runtime::reactor`) runs nodes wall-clock-parallel; the
+    /// virtual-time reference loop below stays the deterministic baseline.
     pub fn run(&mut self) -> Result<DeploymentReport> {
+        if self.config.reactor.enabled {
+            self.run_reactor()
+        } else {
+            self.run_virtual()
+        }
+    }
+
+    /// The deterministic reference executor: one global loop delivering
+    /// messages in virtual-time order.
+    fn run_virtual(&mut self) -> Result<DeploymentReport> {
         // Bootstrap batches at virtual time zero.
         for index in 0..self.nodes.len() {
             let batch = std::mem::take(&mut self.nodes[index].pending_bootstrap);
-            self.process_batch(index, batch, 0)?;
+            self.node_ctx(index).process_batch(batch, 0)?;
         }
         // Message loop.  When the network goes quiet the streaming
         // scheduler may still hold sub-batch residues in its outboxes
@@ -599,33 +699,48 @@ impl Deployment {
                 }
                 break;
             };
-            guard += 1;
-            if guard > message_budget {
-                let busiest: Vec<String> = self
-                    .network
-                    .stats()
-                    .busiest_links(3)
-                    .into_iter()
-                    .map(|(from, to, traffic)| {
-                        format!(
-                            "{}->{} ({} msgs, {} bytes)",
-                            self.nodes[from.index()].info.principal,
-                            self.nodes[to.index()].info.principal,
-                            traffic.messages,
-                            traffic.bytes
-                        )
-                    })
-                    .collect();
-                return Err(DatalogError::Eval(format!(
-                    "distributed execution exceeded its message budget of {message_budget} \
-                     (SECUREBLOX_MESSAGE_BUDGET / DeploymentConfig::message_budget); the \
-                     protocol is not converging; busiest links: {}",
-                    busiest.join(", ")
-                )));
+            // Only data-plane traffic spends budget.  Control messages —
+            // credit grants above all — are *caused* by data deliveries
+            // (bounded by them one-to-one), and counting them once made
+            // backpressure-heavy streaming runs trip the non-convergence
+            // error at half the configured budget.
+            if is_data_plane(message.kind) {
+                guard += 1;
+                if guard > message_budget {
+                    return Err(self.budget_exceeded_error());
+                }
             }
-            self.deliver(message, arrival)?;
+            self.node_ctx(message.to.index())
+                .deliver(message, arrival)?;
         }
         Ok(self.report())
+    }
+
+    /// The non-convergence diagnostic for an exhausted message budget, naming
+    /// the busiest links.  Shared by both executors.
+    pub(crate) fn budget_exceeded_error(&self) -> DatalogError {
+        let message_budget = self.config.message_budget;
+        let busiest: Vec<String> = self
+            .network
+            .stats()
+            .busiest_links(3)
+            .into_iter()
+            .map(|(from, to, traffic)| {
+                format!(
+                    "{}->{} ({} msgs, {} bytes)",
+                    self.nodes[from.index()].info.principal,
+                    self.nodes[to.index()].info.principal,
+                    traffic.messages,
+                    traffic.bytes
+                )
+            })
+            .collect();
+        DatalogError::Eval(format!(
+            "distributed execution exceeded its message budget of {message_budget} \
+             (SECUREBLOX_MESSAGE_BUDGET / DeploymentConfig::message_budget); the \
+             protocol is not converging; busiest links: {}",
+            busiest.join(", ")
+        ))
     }
 
     /// Summarize the run.
@@ -675,6 +790,49 @@ impl Deployment {
             .fold(PlanStatsSnapshot::default(), |acc, s| acc + s)
     }
 
+    /// Force-flush every outbox still holding deltas (see
+    /// [`NodeCtx::drain_outbox`]'s Nagle hold).  Called by the reference
+    /// loop when the network goes quiet; returns whether anything shipped
+    /// (so the message loop resumes).  Credit is returned unconditionally
+    /// per drained delta, so by quiescence every window has refilled — an
+    /// unshippable residue here is a protocol bug, not a schedule, and
+    /// fails loudly rather than silently dropping deltas.
+    fn flush_pending_outboxes(&mut self) -> Result<bool> {
+        let mut shipped = false;
+        for index in 0..self.nodes.len() {
+            let pending: Vec<usize> = self.nodes[index]
+                .outboxes
+                .iter()
+                .filter(|(_, outbox)| outbox.live() > 0)
+                .map(|(&dest, _)| dest)
+                .collect();
+            if pending.is_empty() {
+                continue;
+            }
+            let now = self.nodes[index].available_at;
+            let mut ctx = self.node_ctx(index);
+            for dest in pending {
+                let before = ctx.node.outboxes[&dest].live();
+                ctx.drain_outbox(dest, now, true)?;
+                let after = ctx.node.outboxes.get(&dest).map_or(0, |o| o.live());
+                shipped |= after < before;
+            }
+        }
+        if !shipped
+            && self
+                .nodes
+                .iter()
+                .any(|node| node.outboxes.values().any(|o| o.live() > 0))
+        {
+            return Err(DatalogError::Eval(
+                "streaming outboxes wedged at quiescence: held deltas with no credit".into(),
+            ));
+        }
+        Ok(shipped)
+    }
+}
+
+impl NodeCtx<'_> {
     // ------------------------------------------------------------------
     // Batch processing and export
     // ------------------------------------------------------------------
@@ -682,16 +840,15 @@ impl Deployment {
     /// Process one incoming batch as a local ACID transaction.  Returns
     /// whether the batch *committed* — callers use this as channel-level
     /// evidence that the peer's envelope was accepted by policy.
-    fn process_batch(
+    pub(crate) fn process_batch(
         &mut self,
-        index: usize,
         batch: Vec<(String, Tuple)>,
         arrival: VirtualTime,
     ) -> Result<bool> {
-        let committed = self.apply_transaction(index, batch, arrival, false)?;
+        let committed = self.apply_transaction(batch, arrival, false)?;
         if committed {
-            let finish = self.nodes[index].available_at;
-            self.flush_updates(index, finish)?;
+            let finish = self.node.available_at;
+            self.flush_updates(finish)?;
         }
         Ok(committed)
     }
@@ -709,63 +866,64 @@ impl Deployment {
     /// transaction or DRed retraction leaves a fixpoint).
     fn apply_transaction(
         &mut self,
-        index: usize,
         batch: Vec<(String, Tuple)>,
         arrival: VirtualTime,
         incremental: bool,
     ) -> Result<bool> {
-        let start_virtual = arrival.max(self.nodes[index].available_at);
+        let start_virtual = arrival.max(self.node.available_at);
         let started = Instant::now();
-        let log_batch = match &self.nodes[index].store {
+        let log_batch = match &self.node.store {
             Some(_) if !batch.is_empty() => Some(batch.clone()),
             _ => None,
         };
         let outcome = if incremental {
-            self.nodes[index].workspace.transaction_incremental(batch)
+            self.node.workspace.transaction_incremental(batch)
         } else {
-            self.nodes[index].workspace.transaction(batch)
+            self.node.workspace.transaction(batch)
         };
         let elapsed = started.elapsed();
         secureblox_telemetry::histogram!("engine_txn_apply_ns").record_duration(elapsed);
         let finish = start_virtual + elapsed.as_nanos() as u64;
-        self.nodes[index].available_at = finish;
+        self.node.available_at = finish;
         match outcome {
             Ok(_) => {
                 // Log only *committed* batches: rolled-back facts are not
                 // part of the EDB and must not resurface at recovery.
-                if let (Some(store), Some(batch)) = (&mut self.nodes[index].store, log_batch) {
+                if let (Some(store), Some(batch)) = (&mut self.node.store, log_batch) {
                     store
                         .log_inserts(batch.iter().map(|(p, t)| (p.as_str(), t)), finish)
                         .map_err(|e| DatalogError::Eval(format!("durability: {e}")))?;
                 }
                 self.timing
-                    .record_transaction(NodeId(index as u32), elapsed, finish);
+                    .record_transaction(NodeId(self.index as u32), elapsed, finish);
                 Ok(true)
             }
             Err(DatalogError::ConstraintViolation(_)) => {
                 // The paper's semantics: the whole batch (including the input
                 // tuples) rolls back; the sender is not notified.
-                self.timing.record_rejection(NodeId(index as u32), finish);
+                self.timing
+                    .record_rejection(NodeId(self.index as u32), finish);
                 Ok(false)
             }
             Err(DatalogError::FunctionalDependency { .. }) => {
                 // Same rollback semantics, but counted separately: this is a
                 // data-level duplicate (e.g. a second composition for an
                 // already-known path entity), not a policy refusing the batch.
-                self.timing.record_conflict(NodeId(index as u32), finish);
+                self.timing
+                    .record_conflict(NodeId(self.index as u32), finish);
                 Ok(false)
             }
             Err(other) => Err(other),
         }
     }
 
-    /// Flush node `index`'s update streams: withdraw previously exported
+    /// Flush this node's update streams: withdraw previously exported
     /// tuples the workspace no longer derives (as signed `Retract` deltas),
     /// export newly derived `says$T` / anonymity tuples (as `Assert` deltas),
     /// and ship one ordered [`UpdateEnvelope`] per destination over a FIFO
     /// link.
-    fn flush_updates(&mut self, index: usize, now: VirtualTime) -> Result<()> {
-        let self_principal = self.nodes[index].info.principal.clone();
+    pub(crate) fn flush_updates(&mut self, now: VirtualTime) -> Result<()> {
+        let self_principal = self.node.info.principal.clone();
         let started = Instant::now();
         // Ordered deltas per destination node: retractions first (they refer
         // to the pre-flush state), then asserts, each in deterministic order.
@@ -779,9 +937,9 @@ impl Deployment {
         // 1. Withdrawals.  Insert-only transactions never remove `says`
         //    tuples, so the scan over the export history only runs after a
         //    retraction touched this node.
-        if self.nodes[index].needs_retraction_scan {
-            self.nodes[index].needs_retraction_scan = false;
-            let node = &self.nodes[index];
+        if self.node.needs_retraction_scan {
+            self.node.needs_retraction_scan = false;
+            let node = &self.node;
             let mut withdrawn: Vec<(String, Tuple)> = node
                 .sent
                 .keys()
@@ -790,14 +948,14 @@ impl Deployment {
                 .collect();
             withdrawn.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| tuple_total_cmp(&a.1, &b.1)));
             for key in withdrawn {
-                let signature = self.nodes[index].sent.remove(&key).unwrap_or_default();
+                let signature = self.node.sent.remove(&key).unwrap_or_default();
                 export_clears.push(key.clone());
                 let (pred, tuple) = key;
                 if let Some(param) = pred.strip_prefix("says$") {
                     let Some(to) = tuple.get(1).and_then(|v| v.as_str()) else {
                         continue;
                     };
-                    let Some(&dest) = self.principal_index.get(to) else {
+                    let Some(&dest) = self.shared.principal_index.get(to) else {
                         continue;
                     };
                     per_dest.entry(dest).or_default().push(UpdateDelta {
@@ -810,12 +968,11 @@ impl Deployment {
                     let Some(to) = tuple.get(1).and_then(|v| v.as_str()).map(String::from) else {
                         continue;
                     };
-                    let message =
-                        self.onion_wrap_forward(index, param, &to, &tuple, DeltaOp::Retract)?;
+                    let message = self.onion_wrap_forward(param, &to, &tuple, DeltaOp::Retract)?;
                     anon_outgoing.push(message);
                 } else if let Some(param) = pred.strip_prefix("anon_says_id_out$") {
                     if let Some(message) =
-                        self.onion_wrap_backward(index, param, &tuple, DeltaOp::Retract)?
+                        self.onion_wrap_backward(param, &tuple, DeltaOp::Retract)?
                     {
                         anon_outgoing.push(message);
                     }
@@ -824,10 +981,10 @@ impl Deployment {
         }
 
         // 2. Assertions.
-        let predicate_names = self.nodes[index].workspace.predicate_names();
+        let predicate_names = self.node.workspace.predicate_names();
         for pred in &predicate_names {
             if let Some(param) = pred.strip_prefix("says$") {
-                let tuples = self.nodes[index].workspace.query(pred);
+                let tuples = self.node.workspace.query(pred);
                 for tuple in tuples {
                     if tuple.len() < 2 {
                         continue;
@@ -838,13 +995,13 @@ impl Deployment {
                         continue;
                     }
                     let key = (pred.clone(), tuple.clone());
-                    if self.nodes[index].sent.contains_key(&key) {
+                    if self.node.sent.contains_key(&key) {
                         continue;
                     }
-                    let signature = self.lookup_signature(index, param, &tuple);
+                    let signature = self.lookup_signature(param, &tuple);
                     export_marks.push((key.0.clone(), key.1.clone(), signature.clone()));
-                    self.nodes[index].sent.insert(key, signature.clone());
-                    let Some(&dest) = self.principal_index.get(&to) else {
+                    self.node.sent.insert(key, signature.clone());
+                    let Some(&dest) = self.shared.principal_index.get(&to) else {
                         continue;
                     };
                     per_dest.entry(dest).or_default().push(UpdateDelta {
@@ -855,7 +1012,7 @@ impl Deployment {
                     });
                 }
             } else if let Some(param) = pred.strip_prefix("anon_says$") {
-                let tuples = self.nodes[index].workspace.query(pred);
+                let tuples = self.node.workspace.query(pred);
                 for tuple in tuples {
                     if tuple.len() < 2 {
                         continue;
@@ -866,29 +1023,28 @@ impl Deployment {
                         continue;
                     }
                     let key = (pred.clone(), tuple.clone());
-                    if self.nodes[index].sent.contains_key(&key) {
+                    if self.node.sent.contains_key(&key) {
                         continue;
                     }
                     export_marks.push((key.0.clone(), key.1.clone(), Vec::new()));
-                    self.nodes[index].sent.insert(key, Vec::new());
-                    let message =
-                        self.onion_wrap_forward(index, param, &to, &tuple, DeltaOp::Assert)?;
+                    self.node.sent.insert(key, Vec::new());
+                    let message = self.onion_wrap_forward(param, &to, &tuple, DeltaOp::Assert)?;
                     anon_outgoing.push(message);
                 }
             } else if let Some(param) = pred.strip_prefix("anon_says_id_out$") {
-                let tuples = self.nodes[index].workspace.query(pred);
+                let tuples = self.node.workspace.query(pred);
                 for tuple in tuples {
                     if tuple.is_empty() {
                         continue;
                     }
                     let key = (pred.clone(), tuple.clone());
-                    if self.nodes[index].sent.contains_key(&key) {
+                    if self.node.sent.contains_key(&key) {
                         continue;
                     }
                     export_marks.push((key.0.clone(), key.1.clone(), Vec::new()));
-                    self.nodes[index].sent.insert(key, Vec::new());
+                    self.node.sent.insert(key, Vec::new());
                     if let Some(message) =
-                        self.onion_wrap_backward(index, param, &tuple, DeltaOp::Assert)?
+                        self.onion_wrap_backward(param, &tuple, DeltaOp::Assert)?
                     {
                         anon_outgoing.push(message);
                     }
@@ -900,7 +1056,7 @@ impl Deployment {
         // must hit the WAL no later than its message leaves, or a crash in
         // between would lose the recovery obligation the message created.
         if !export_clears.is_empty() || !export_marks.is_empty() {
-            if let Some(store) = &mut self.nodes[index].store {
+            if let Some(store) = &mut self.node.store {
                 store
                     .log_export_clears(export_clears.iter().map(|(p, t)| (p.as_str(), t)), now)
                     .map_err(|e| DatalogError::Eval(format!("durability: {e}")))?;
@@ -922,38 +1078,39 @@ impl Deployment {
         //    (streaming: coalescing, annihilation, credit).
         let overhead = started.elapsed();
         let send_time = now + overhead.as_nanos() as u64;
-        self.nodes[index].available_at = self.nodes[index].available_at.max(send_time);
+        self.node.available_at = self.node.available_at.max(send_time);
         if self.config.streaming.enabled {
             for (dest, deltas) in per_dest {
                 let high_water = self.config.streaming.queue_high_water;
                 let outbox = self
+                    .node
                     .outboxes
-                    .entry((index, dest))
+                    .entry(dest)
                     .or_insert_with(|| LinkOutbox::new(high_water));
                 for delta in deltas {
                     if outbox.push(delta) {
                         secureblox_telemetry::counter!("engine_stream_annihilated_total").add(2);
                     }
                 }
-                self.drain_outbox(index, dest, send_time, false)?;
+                self.drain_outbox(dest, send_time, false)?;
             }
         } else {
             for (dest, deltas) in per_dest {
                 let seq = {
-                    let counter = self.stream_seq.entry((index, dest)).or_insert(0);
+                    let counter = self.node.stream_seq.entry(dest).or_insert(0);
                     *counter += 1;
                     *counter
                 };
-                self.ship_envelope(index, dest, UpdateEnvelope { seq, deltas }, send_time)?;
+                self.ship_envelope(dest, UpdateEnvelope { seq, deltas }, send_time)?;
             }
         }
         for (_, message) in anon_outgoing {
-            self.network.send_fifo(message, send_time);
+            self.net.send_fifo(message, send_time);
         }
         Ok(())
     }
 
-    /// Ship as much of the `(index, dest)` outbox as its credit window
+    /// Ship as much of this node's `dest` outbox as its credit window
     /// allows, in envelopes of up to `batch_max` deltas each.  Marks the
     /// outbox stalled when deltas remain with no credit left — the stall ends
     /// (and shipping resumes) when the receiver's credit grant arrives.
@@ -961,19 +1118,18 @@ impl Deployment {
     /// Unless `force`d, a residue smaller than `batch_max` is *held* (Nagle
     /// style): while other traffic is still in flight, the next flushes keep
     /// topping the outbox up and whole-batch envelopes amortize the
-    /// receiver's per-transaction cost.  [`Deployment::run`] force-flushes
-    /// every outbox at quiescence, so held deltas always ship before the run
-    /// can converge.
-    fn drain_outbox(
+    /// receiver's per-transaction cost.  Both executors force-flush every
+    /// outbox at quiescence, so held deltas always ship before a run can
+    /// converge.
+    pub(crate) fn drain_outbox(
         &mut self,
-        index: usize,
         dest: usize,
         now: VirtualTime,
         force: bool,
     ) -> Result<()> {
         let batch_max = self.config.streaming.batch_max;
         loop {
-            let Some(outbox) = self.outboxes.get_mut(&(index, dest)) else {
+            let Some(outbox) = self.node.outboxes.get_mut(&dest) else {
                 return Ok(());
             };
             if outbox.live() == 0 || (!force && outbox.live() < batch_max) {
@@ -992,11 +1148,11 @@ impl Deployment {
             secureblox_telemetry::histogram!("engine_stream_batch_deltas")
                 .record(deltas.len() as u64);
             let seq = {
-                let counter = self.stream_seq.entry((index, dest)).or_insert(0);
+                let counter = self.node.stream_seq.entry(dest).or_insert(0);
                 *counter += 1;
                 *counter
             };
-            self.ship_envelope(index, dest, UpdateEnvelope { seq, deltas }, now)?;
+            self.ship_envelope(dest, UpdateEnvelope { seq, deltas }, now)?;
         }
     }
 
@@ -1004,24 +1160,24 @@ impl Deployment {
     /// it on the link's FIFO stream.
     fn ship_envelope(
         &mut self,
-        index: usize,
         dest: usize,
         envelope: UpdateEnvelope,
         send_time: VirtualTime,
     ) -> Result<()> {
         let mut payload = envelope.encode();
         if self.config.security.enc == EncScheme::Aes128 {
-            let from_principal = &self.nodes[index].info.principal;
-            let to_principal = &self.nodes[dest].info.principal;
+            let from_principal = &self.node.info.principal;
+            let to_principal = &self.shared.principals[dest];
             let secret = self
+                .shared
                 .keystore
                 .shared_secret(from_principal, to_principal)
                 .map_err(|e| DatalogError::Eval(e.to_string()))?;
             payload = aes128_ctr_encrypt(secret, &payload);
         }
-        self.network.send_fifo(
+        self.net.send_fifo(
             Message::new(
-                NodeId(index as u32),
+                NodeId(self.index as u32),
                 NodeId(dest as u32),
                 MessageKind::Update,
                 payload,
@@ -1035,10 +1191,11 @@ impl Deployment {
     /// `sig$T` relation (empty when the scheme carries no signatures), via a
     /// secondary index on the tuple prefix — built once, maintained
     /// incrementally — instead of a linear scan per exported tuple.
-    fn lookup_signature(&mut self, index: usize, param: &str, says_tuple: &[Value]) -> Vec<u8> {
+    fn lookup_signature(&mut self, param: &str, says_tuple: &[Value]) -> Vec<u8> {
         let sig_pred = format!("sig${param}");
         let cols = column_set(0..says_tuple.len());
-        for tuple in self.nodes[index]
+        for tuple in self
+            .node
             .workspace
             .probe_indexed(&sig_pred, cols, says_tuple)
         {
@@ -1055,27 +1212,27 @@ impl Deployment {
     // Anonymity circuits
     // ------------------------------------------------------------------
 
-    fn circuit_for(&self, initiator: usize, endpoint: &str) -> Option<&Circuit> {
-        let endpoint_index = *self.principal_index.get(endpoint)?;
-        self.circuits
+    fn circuit_for(&self, endpoint: &str) -> Option<&Circuit> {
+        let endpoint_index = *self.shared.principal_index.get(endpoint)?;
+        self.shared
+            .circuits
             .iter()
-            .find(|c| c.initiator == initiator && c.endpoint == endpoint_index)
+            .find(|c| c.initiator == self.index && c.endpoint == endpoint_index)
     }
 
     /// Wrap an `anon_says$T` delta in onion layers and address it to the
-    /// first hop of the initiator's circuit to the destination.
+    /// first hop of this node's circuit to the destination.
     fn onion_wrap_forward(
         &self,
-        index: usize,
         param: &str,
         destination: &str,
         tuple: &[Value],
         op: DeltaOp,
     ) -> Result<(usize, Message)> {
-        let circuit = self.circuit_for(index, destination).ok_or_else(|| {
+        let circuit = self.circuit_for(destination).ok_or_else(|| {
             DatalogError::Eval(format!(
                 "no anonymity circuit from {} to {destination}; declare it in DeploymentConfig::circuits",
-                self.nodes[index].info.principal
+                self.node.info.principal
             ))
         })?;
         // The serialized payload omits the initiator: the endpoint can only
@@ -1100,7 +1257,7 @@ impl Deployment {
         Ok((
             first_hop,
             Message::new(
-                NodeId(index as u32),
+                NodeId(self.index as u32),
                 NodeId(first_hop as u32),
                 MessageKind::AnonForward,
                 payload,
@@ -1111,7 +1268,6 @@ impl Deployment {
     /// Wrap an `anon_says_id_out$T` reply delta for the backward direction.
     fn onion_wrap_backward(
         &self,
-        index: usize,
         param: &str,
         tuple: &[Value],
         op: DeltaOp,
@@ -1120,9 +1276,10 @@ impl Deployment {
             return Ok(None);
         };
         let Some(circuit) = self
+            .shared
             .circuits
             .iter()
-            .find(|c| c.id == circuit_id as u64 && c.endpoint == index)
+            .find(|c| c.id == circuit_id as u64 && c.endpoint == self.index)
         else {
             return Ok(None);
         };
@@ -1149,7 +1306,7 @@ impl Deployment {
         Ok(Some((
             next,
             Message::new(
-                NodeId(index as u32),
+                NodeId(self.index as u32),
                 NodeId(next as u32),
                 MessageKind::AnonBackward,
                 payload,
@@ -1161,7 +1318,7 @@ impl Deployment {
     // Delivery
     // ------------------------------------------------------------------
 
-    fn deliver(&mut self, message: Message, arrival: VirtualTime) -> Result<()> {
+    pub(crate) fn deliver(&mut self, message: Message, arrival: VirtualTime) -> Result<()> {
         match message.kind {
             MessageKind::Update => self.deliver_update(message, arrival),
             MessageKind::AnonForward => self.deliver_anon_forward(message, arrival),
@@ -1180,47 +1337,17 @@ impl Deployment {
             self.timing.record_rejection(message.to, arrival);
             return Ok(());
         };
-        // The grant is addressed to the sender side of the data stream:
-        // outboxes are keyed (sender, destination) = (message.to, message.from).
-        let link = (message.to.index(), message.from.index());
-        let Some(outbox) = self.outboxes.get_mut(&link) else {
+        // The grant is addressed to the sender side of the data stream: this
+        // node is the sender, `message.from` the receiver that granted.
+        let dest = message.from.index();
+        let Some(outbox) = self.node.outboxes.get_mut(&dest) else {
             // Credit for a stream that never sent anything (forged): ignore.
             return Ok(());
         };
         if let Some(stalled_for) = outbox.grant_credit(granted, arrival) {
             secureblox_telemetry::histogram!("engine_stream_stall_ns").record(stalled_for);
         }
-        self.drain_outbox(link.0, link.1, arrival, false)
-    }
-
-    /// Force-flush every outbox still holding deltas (see
-    /// [`Deployment::drain_outbox`]'s Nagle hold).  Called by
-    /// [`Deployment::run`] when the network goes quiet; returns whether
-    /// anything shipped (so the message loop resumes).  Credit is returned
-    /// unconditionally per drained delta, so by quiescence every window has
-    /// refilled — an unshippable residue here is a protocol bug, not a
-    /// schedule, and fails loudly rather than silently dropping deltas.
-    fn flush_pending_outboxes(&mut self) -> Result<bool> {
-        let pending: Vec<(usize, usize)> = self
-            .outboxes
-            .iter()
-            .filter(|(_, outbox)| outbox.live() > 0)
-            .map(|(&link, _)| link)
-            .collect();
-        let mut shipped = false;
-        for (index, dest) in pending {
-            let now = self.nodes[index].available_at;
-            let before = self.outboxes[&(index, dest)].live();
-            self.drain_outbox(index, dest, now, true)?;
-            let after = self.outboxes.get(&(index, dest)).map_or(0, |o| o.live());
-            shipped |= after < before;
-        }
-        if !shipped && self.outboxes.values().any(|o| o.live() > 0) {
-            return Err(DatalogError::Eval(
-                "streaming outboxes wedged at quiescence: held deltas with no credit".into(),
-            ));
-        }
-        Ok(shipped)
+        self.drain_outbox(dest, arrival, false)
     }
 
     /// Apply one inbound update-stream envelope: decrypt, decode, drop stale
@@ -1231,12 +1358,12 @@ impl Deployment {
         let _apply_timer = secureblox_telemetry::histogram!("engine_update_apply_ns").start_timer();
         let mut update_span =
             secureblox_telemetry::span("engine", "update_apply").node(message.to.0 as u64);
-        let to = message.to.index();
-        let from_principal = self.nodes[message.from.index()].info.principal.clone();
-        let to_principal = self.nodes[to].info.principal.clone();
+        let from_principal = self.shared.principals[message.from.index()].clone();
+        let to_principal = self.node.info.principal.clone();
         let mut payload = message.payload.to_vec();
         if self.config.security.enc == EncScheme::Aes128 {
             let secret = self
+                .shared
                 .keystore
                 .shared_secret(&to_principal, &from_principal)
                 .map_err(|e| DatalogError::Eval(e.to_string()))?;
@@ -1258,7 +1385,7 @@ impl Deployment {
         // At-most-once per delta: links are FIFO, so a sequence number at or
         // below the highest *accepted* sequence from this sender is a
         // duplicate of an already applied envelope and is dropped whole.
-        if let Some(&last) = self.nodes[to].last_update_seq_in.get(&message.from.0) {
+        if let Some(&last) = self.node.last_update_seq_in.get(&message.from.0) {
             if envelope.seq <= last {
                 return Ok(());
             }
@@ -1273,7 +1400,7 @@ impl Deployment {
         update_span.record_field("seq", envelope.seq);
         update_span.record_field("deltas", envelope.deltas.len() as u64);
         if self.config.streaming.enabled {
-            accepted = self.drain_inbox(message.from, message.to, envelope.deltas, arrival)?;
+            accepted = self.drain_inbox(message.from, envelope.deltas, arrival)?;
         } else {
             for delta in envelope.deltas {
                 let batch = delta_batch(&delta);
@@ -1282,7 +1409,7 @@ impl Deployment {
                         // The receiver's own constraints (signature
                         // verification, trust, write access) accept or roll
                         // back the batch.
-                        if self.process_batch(to, batch, arrival)? {
+                        if self.process_batch(batch, arrival)? {
                             accepted = true;
                         }
                     }
@@ -1304,13 +1431,14 @@ impl Deployment {
                             continue;
                         }
                         accepted = true;
-                        self.apply_retraction(to, batch, arrival)?;
+                        self.apply_retraction(batch, arrival)?;
                     }
                 }
             }
         }
         if accepted {
-            let last = self.nodes[to]
+            let last = self
+                .node
                 .last_update_seq_in
                 .entry(message.from.0)
                 .or_insert(0);
@@ -1338,6 +1466,7 @@ impl Deployment {
             AuthScheme::NoAuth => Ok(true),
             AuthScheme::HmacSha1 => {
                 let secret = self
+                    .shared
                     .keystore
                     .shared_secret(to_principal, from_principal)
                     .map_err(|e| DatalogError::Eval(e.to_string()))?;
@@ -1345,6 +1474,7 @@ impl Deployment {
             }
             AuthScheme::Rsa => {
                 let public = self
+                    .shared
                     .keystore
                     .public_key(from_principal)
                     .map_err(|e| DatalogError::Eval(e.to_string()))?;
@@ -1367,24 +1497,23 @@ impl Deployment {
     fn drain_inbox(
         &mut self,
         from: NodeId,
-        to_id: NodeId,
         deltas: Vec<UpdateDelta>,
         arrival: VirtualTime,
     ) -> Result<bool> {
-        let to = to_id.index();
+        let to_id = NodeId(self.index as u32);
         secureblox_telemetry::histogram!("engine_stream_recv_batch_deltas")
             .record(deltas.len() as u64);
         if deltas.is_empty() {
             return Ok(false);
         }
-        let from_principal = self.nodes[from.index()].info.principal.clone();
-        let to_principal = self.nodes[to].info.principal.clone();
+        let from_principal = self.shared.principals[from.index()].clone();
+        let to_principal = self.node.info.principal.clone();
         let mut accepted = false;
         let mut dirty = false;
         for delta in &deltas {
             match delta.op {
                 DeltaOp::Assert => {
-                    if self.apply_transaction(to, delta_batch(delta), arrival, true)? {
+                    if self.apply_transaction(delta_batch(delta), arrival, true)? {
                         accepted = true;
                         dirty = true;
                     }
@@ -1403,24 +1532,24 @@ impl Deployment {
                         continue;
                     }
                     accepted = true;
-                    if self.apply_retraction_inner(to, delta_batch(delta), arrival)? {
+                    if self.apply_retraction_inner(delta_batch(delta), arrival)? {
                         dirty = true;
                     }
                 }
             }
         }
         if dirty {
-            let now = self.nodes[to].available_at;
-            self.flush_updates(to, now)?;
+            let now = self.node.available_at;
+            self.flush_updates(now)?;
         }
         // Return the drained deltas' credit once the applies finish.  The
         // grant is unconditional — rejected deltas were still drained — so
         // every shipped delta eventually refills the sender's window and a
         // stalled outbox can never deadlock.  Credit rides a plain
         // (unordered) message: grants are cumulative counts, order-free.
-        let send_at = arrival.max(self.nodes[to].available_at);
+        let send_at = arrival.max(self.node.available_at);
         secureblox_telemetry::counter!("engine_stream_credits_total").inc();
-        self.network.send(
+        self.net.send(
             Message::new(
                 to_id,
                 from,
@@ -1432,19 +1561,18 @@ impl Deployment {
         Ok(accepted)
     }
 
-    /// Apply a verified retraction batch at node `index` and, when it deleted
+    /// Apply a verified retraction batch here and, when it deleted
     /// stored facts, immediately propagate the cascaded withdrawals through
     /// this node's own update streams (the per-envelope path's behaviour;
     /// the streaming drain defers that flush to the end of the envelope).
     fn apply_retraction(
         &mut self,
-        index: usize,
         batch: Vec<(String, Tuple)>,
         arrival: VirtualTime,
     ) -> Result<()> {
-        if self.apply_retraction_inner(index, batch, arrival)? {
-            let finish = self.nodes[index].available_at;
-            self.flush_updates(index, finish)?;
+        if self.apply_retraction_inner(batch, arrival)? {
+            let finish = self.node.available_at;
+            self.flush_updates(finish)?;
         }
         Ok(())
     }
@@ -1455,17 +1583,16 @@ impl Deployment {
     /// update streams for cascaded withdrawals.
     fn apply_retraction_inner(
         &mut self,
-        index: usize,
         batch: Vec<(String, Tuple)>,
         arrival: VirtualTime,
     ) -> Result<bool> {
-        let start_virtual = arrival.max(self.nodes[index].available_at);
+        let start_virtual = arrival.max(self.node.available_at);
         let started = Instant::now();
-        let outcome = self.nodes[index].workspace.retract(batch.clone());
+        let outcome = self.node.workspace.retract(batch.clone());
         let elapsed = started.elapsed();
         secureblox_telemetry::histogram!("engine_retraction_apply_ns").record_duration(elapsed);
         let finish = start_virtual + elapsed.as_nanos() as u64;
-        self.nodes[index].available_at = finish;
+        self.node.available_at = finish;
         match outcome {
             Ok(stats) => {
                 if stats.base_deleted == 0 {
@@ -1474,7 +1601,7 @@ impl Deployment {
                     // or propagate.
                     return Ok(false);
                 }
-                if let Some(store) = &mut self.nodes[index].store {
+                if let Some(store) = &mut self.node.store {
                     store
                         .log_retracts(batch.iter().map(|(p, t)| (p.as_str(), t)), finish)
                         .map_err(|e| DatalogError::Eval(format!("durability: {e}")))?;
@@ -1484,18 +1611,21 @@ impl Deployment {
                 secureblox_telemetry::counter!("engine_retraction_cascades_total").inc();
                 secureblox_telemetry::histogram!("engine_retraction_deleted_facts")
                     .record((stats.base_deleted + stats.over_deleted) as u64);
-                self.timing.record_retraction(NodeId(index as u32), finish);
-                self.nodes[index].needs_retraction_scan = true;
+                self.timing
+                    .record_retraction(NodeId(self.index as u32), finish);
+                self.node.needs_retraction_scan = true;
                 Ok(true)
             }
             Err(DatalogError::ConstraintViolation(_)) => {
                 // Deleting the fact would violate a constraint: the whole
                 // retraction rolls back, mirroring assert-batch semantics.
-                self.timing.record_rejection(NodeId(index as u32), finish);
+                self.timing
+                    .record_rejection(NodeId(self.index as u32), finish);
                 Ok(false)
             }
             Err(DatalogError::FunctionalDependency { .. }) => {
-                self.timing.record_conflict(NodeId(index as u32), finish);
+                self.timing
+                    .record_conflict(NodeId(self.index as u32), finish);
                 Ok(false)
             }
             Err(other) => Err(other),
@@ -1503,12 +1633,18 @@ impl Deployment {
     }
 
     fn deliver_anon_forward(&mut self, message: Message, arrival: VirtualTime) -> Result<()> {
-        let here = message.to.index();
+        let here = self.index;
         let Some((circuit_id, hop, body)) = decode_anon_cell(&message.payload) else {
             self.timing.record_rejection(message.to, arrival);
             return Ok(());
         };
-        let Some(circuit) = self.circuits.iter().find(|c| c.id == circuit_id).cloned() else {
+        let Some(circuit) = self
+            .shared
+            .circuits
+            .iter()
+            .find(|c| c.id == circuit_id)
+            .cloned()
+        else {
             self.timing.record_rejection(message.to, arrival);
             return Ok(());
         };
@@ -1533,11 +1669,11 @@ impl Deployment {
                 let batch = vec![(format!("anon_says_id_in${}", delta.pred), tuple)];
                 match delta.op {
                     DeltaOp::Assert => {
-                        self.process_batch(here, batch, arrival)?;
+                        self.process_batch(batch, arrival)?;
                     }
                     // The onion layers already authenticate circuit traffic;
                     // a withdrawal needs no detached signature.
-                    DeltaOp::Retract => self.apply_retraction(here, batch, arrival)?,
+                    DeltaOp::Retract => self.apply_retraction(batch, arrival)?,
                 }
             }
             return Ok(());
@@ -1555,19 +1691,25 @@ impl Deployment {
             MessageKind::AnonForward,
             encode_anon_cell(circuit_id, next_hop_index as u32, &peeled),
         );
-        let send_at = arrival.max(self.nodes[here].available_at);
-        self.nodes[here].available_at = send_at;
-        self.network.send_fifo(forward, send_at);
+        let send_at = arrival.max(self.node.available_at);
+        self.node.available_at = send_at;
+        self.net.send_fifo(forward, send_at);
         Ok(())
     }
 
     fn deliver_anon_backward(&mut self, message: Message, arrival: VirtualTime) -> Result<()> {
-        let here = message.to.index();
+        let here = self.index;
         let Some((circuit_id, hop, body)) = decode_anon_cell(&message.payload) else {
             self.timing.record_rejection(message.to, arrival);
             return Ok(());
         };
-        let Some(circuit) = self.circuits.iter().find(|c| c.id == circuit_id).cloned() else {
+        let Some(circuit) = self
+            .shared
+            .circuits
+            .iter()
+            .find(|c| c.id == circuit_id)
+            .cloned()
+        else {
             self.timing.record_rejection(message.to, arrival);
             return Ok(());
         };
@@ -1595,9 +1737,9 @@ impl Deployment {
                 let batch = vec![(format!("anon_reply${}", delta.pred), delta.tuple)];
                 match delta.op {
                     DeltaOp::Assert => {
-                        self.process_batch(here, batch, arrival)?;
+                        self.process_batch(batch, arrival)?;
                     }
-                    DeltaOp::Retract => self.apply_retraction(here, batch, arrival)?,
+                    DeltaOp::Retract => self.apply_retraction(batch, arrival)?,
                 }
             }
             return Ok(());
@@ -1616,9 +1758,9 @@ impl Deployment {
             MessageKind::AnonBackward,
             encode_anon_cell(circuit_id, next_hop, &wrapped),
         );
-        let send_at = arrival.max(self.nodes[here].available_at);
-        self.nodes[here].available_at = send_at;
-        self.network.send_fifo(forward, send_at);
+        let send_at = arrival.max(self.node.available_at);
+        self.node.available_at = send_at;
+        self.net.send_fifo(forward, send_at);
         Ok(())
     }
 }
@@ -1985,6 +2127,78 @@ mod tests {
         let report = deployment.run().unwrap();
         assert_eq!(deployment.query("n0", "remote_link").len(), 0);
         assert!(report.retractions_applied >= 1);
+    }
+
+    /// Regression (PR 9): the non-convergence guard must count only
+    /// data-plane deliveries.  A streaming gossip exchange is exactly two
+    /// Update envelopes plus two Credit grants; with the old counting the
+    /// credits spent half the budget and a budget of 2 tripped spuriously.
+    #[test]
+    fn credit_messages_do_not_spend_the_message_budget() {
+        let config = DeploymentConfig {
+            security: SecurityConfig::new(AuthScheme::HmacSha1, EncScheme::None),
+            streaming: StreamingConfig::with_knobs(8, 32),
+            message_budget: 2,
+            ..DeploymentConfig::default()
+        };
+        let mut deployment = Deployment::build(GOSSIP_APP, &two_node_specs(), config).unwrap();
+        deployment.run().expect(
+            "a budget equal to the data-plane message count must suffice; \
+             credit grants are control traffic",
+        );
+        let stats = deployment.network.stats();
+        assert_eq!(stats.messages_for_kind(MessageKind::Update), 2);
+        assert!(
+            stats.messages_for_kind(MessageKind::Credit) >= 2,
+            "backpressure credits must actually have flowed for this test to bite"
+        );
+        assert_eq!(deployment.query("n0", "remote_link").len(), 1);
+        assert_eq!(deployment.query("n1", "remote_link").len(), 1);
+    }
+
+    #[test]
+    fn reactor_gossip_matches_reference() {
+        let (reference, reference_report) =
+            run_gossip(SecurityConfig::new(AuthScheme::HmacSha1, EncScheme::None));
+        let config = DeploymentConfig {
+            security: SecurityConfig::new(AuthScheme::HmacSha1, EncScheme::None),
+            reactor: ReactorConfig::with_threads(2),
+            ..DeploymentConfig::default()
+        };
+        let mut reactor = Deployment::build(GOSSIP_APP, &two_node_specs(), config).unwrap();
+        let reactor_report = reactor.run().unwrap();
+        for principal in ["n0", "n1"] {
+            for pred in ["remote_link", "says$remote_link", "link"] {
+                assert_eq!(
+                    reference.query(principal, pred),
+                    reactor.query(principal, pred),
+                    "{principal}/{pred} diverged under the reactor executor"
+                );
+            }
+        }
+        assert_eq!(
+            reference_report.rejected_batches,
+            reactor_report.rejected_batches
+        );
+        assert_eq!(
+            reference_report.total_messages, reactor_report.total_messages,
+            "the reactor's per-task traffic shards must merge to the same totals"
+        );
+    }
+
+    #[test]
+    fn reactor_budget_exhaustion_reports_like_the_reference() {
+        let config = DeploymentConfig {
+            security: SecurityConfig::new(AuthScheme::NoAuth, EncScheme::None),
+            message_budget: 1,
+            reactor: ReactorConfig::with_threads(2),
+            ..DeploymentConfig::default()
+        };
+        let mut deployment = Deployment::build(GOSSIP_APP, &two_node_specs(), config).unwrap();
+        let err = deployment.run().unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("message budget of 1"), "got: {text}");
+        assert!(text.contains("busiest links:"), "got: {text}");
     }
 
     #[test]

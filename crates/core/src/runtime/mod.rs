@@ -6,6 +6,7 @@
 pub mod codec;
 pub mod durable;
 pub mod engine;
+pub mod reactor;
 pub mod replication;
 pub mod stream;
 pub mod udfs;
@@ -13,6 +14,7 @@ pub mod udfs;
 pub use codec::{deserialize_tuple, serialize_tuple, DeltaOp, UpdateDelta, UpdateEnvelope};
 pub use durable::{CheckpointInfo, DurabilityError};
 pub use engine::{CircuitSpec, Deployment, DeploymentConfig, DeploymentReport, NodeSpec};
+pub use reactor::ReactorConfig;
 pub use replication::{ReplicaState, ReplicaSyncReport};
 pub use stream::{LinkOutbox, StreamingConfig};
 pub use udfs::register_crypto_udfs;

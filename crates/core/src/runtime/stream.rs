@@ -87,14 +87,14 @@ impl StreamingConfig {
     }
 }
 
-fn env_flag(name: &str) -> bool {
+pub(crate) fn env_flag(name: &str) -> bool {
     std::env::var(name).is_ok_and(|v| {
         let v = v.trim().to_ascii_lowercase();
         !v.is_empty() && v != "0" && v != "false" && v != "off"
     })
 }
 
-fn env_usize(name: &str, default: usize) -> usize {
+pub(crate) fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name)
         .ok()
         .and_then(|v| v.trim().parse::<usize>().ok())

@@ -110,10 +110,7 @@ impl EvalJournal {
         for op in &self.ops {
             if let JournalOp::Added(pred, tuple) = op {
                 if relations.get(pred).is_some_and(|r| r.contains(tuple)) {
-                    delta
-                        .entry(pred.clone())
-                        .or_default()
-                        .insert(tuple.clone());
+                    delta.entry(pred.clone()).or_default().insert(tuple.clone());
                 }
             }
         }

@@ -628,8 +628,12 @@ impl Workspace {
         let mut journal = EvalJournal::default();
         let mut edb_added: Vec<(String, Tuple)> = Vec::new();
         let mut edb_created: Vec<String> = Vec::new();
-        let result =
-            self.transaction_incremental_inner(batch, &mut journal, &mut edb_added, &mut edb_created);
+        let result = self.transaction_incremental_inner(
+            batch,
+            &mut journal,
+            &mut edb_added,
+            &mut edb_created,
+        );
         match result {
             Ok(mut report) => {
                 report.duration = start.elapsed();
@@ -891,7 +895,7 @@ mod tests {
              principal(alice).",
             &[
                 vec![("says_link".into(), vec![s("alice"), s("mallory")])], // rejected
-                vec![("principal".into(), vec![s("mallory")])],            // commits
+                vec![("principal".into(), vec![s("mallory")])],             // commits
                 vec![("says_link".into(), vec![s("alice"), s("mallory")])], // now commits
             ],
         );
@@ -931,9 +935,7 @@ mod tests {
         let before_facts = ws.total_facts();
         let before_links = ws.query("link");
         let err = ws
-            .transaction_incremental(vec![
-                ("says_link".into(), vec![s("bob"), s("mallory")]),
-            ])
+            .transaction_incremental(vec![("says_link".into(), vec![s("bob"), s("mallory")])])
             .unwrap_err();
         assert!(matches!(err, DatalogError::ConstraintViolation(_)));
         assert_eq!(ws.total_facts(), before_facts);
@@ -942,10 +944,8 @@ mod tests {
         // And the workspace is still fully usable afterwards.
         ws.transaction_incremental(vec![("principal".into(), vec![s("mallory")])])
             .unwrap();
-        ws.transaction_incremental(vec![
-            ("says_link".into(), vec![s("bob"), s("mallory")]),
-        ])
-        .unwrap();
+        ws.transaction_incremental(vec![("says_link".into(), vec![s("bob"), s("mallory")])])
+            .unwrap();
         assert!(ws.contains_fact("reach", &[s("alice"), s("mallory")]));
     }
 

@@ -25,6 +25,6 @@ pub mod topology;
 
 pub use message::{Message, MessageKind};
 pub use node::{NodeId, NodeInfo};
-pub use sim::{LatencyModel, SimNetwork, VirtualTime};
+pub use sim::{record_message_latency, LatencyModel, LinkLanes, SimNetwork, VirtualTime};
 pub use stats::{NetworkStats, NodeTraffic, TimingStats};
 pub use topology::Topology;

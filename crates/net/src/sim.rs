@@ -3,7 +3,8 @@
 use crate::message::Message;
 use crate::stats::NetworkStats;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::Mutex;
 use std::time::Duration;
 
 /// Virtual time in nanoseconds since the start of the experiment.
@@ -95,6 +96,80 @@ fn latency_histogram(
         MessageKind::Credit => {
             secureblox_telemetry::histogram!("net_message_latency_ns{kind=\"credit\"}")
         }
+    }
+}
+
+/// Record one message's modelled send-to-delivery latency (virtual
+/// nanoseconds) into the per-kind telemetry histogram.  [`SimNetwork`] does
+/// this itself on every send; the reactor executor computes delivery times in
+/// its own per-node sinks and calls this directly.
+pub fn record_message_latency(kind: crate::message::MessageKind, latency_ns: VirtualTime) {
+    latency_histogram(kind).record(latency_ns);
+}
+
+/// Concurrent per-link FIFO mailboxes for the reactor executor.
+///
+/// Where [`SimNetwork`] holds one global delivery queue ordered by virtual
+/// time, `LinkLanes` holds an N×N grid of independently locked queues — one
+/// per directed link — so sender tasks can enqueue and receiver tasks can
+/// drain concurrently while each link stays FIFO in *push* order.  Push order
+/// is the sender's causal send order, which is exactly the guarantee
+/// [`SimNetwork::send_fifo`] provides in the reference executor; the global
+/// cross-link virtual-time interleaving is deliberately *not* reproduced
+/// (outcome equivalence, not schedule equivalence — see DESIGN.md §13).
+///
+/// Each entry carries the virtual delivery time computed at send, so
+/// receivers can still advance their per-node virtual clocks and the
+/// `DeploymentReport` latency figures keep their meaning.
+#[derive(Debug)]
+pub struct LinkLanes {
+    nodes: usize,
+    lanes: Vec<Mutex<VecDeque<(VirtualTime, Message)>>>,
+}
+
+impl LinkLanes {
+    /// Empty lanes for an `nodes` × `nodes` deployment.
+    pub fn new(nodes: usize) -> Self {
+        LinkLanes {
+            nodes,
+            lanes: (0..nodes * nodes)
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+        }
+    }
+
+    fn lane(&self, from: usize, to: usize) -> &Mutex<VecDeque<(VirtualTime, Message)>> {
+        &self.lanes[from * self.nodes + to]
+    }
+
+    /// Append a message to its (from, to) lane.  Lanes are FIFO, so a lane's
+    /// drain order is always the sender's push order.
+    pub fn push(&self, deliver_at: VirtualTime, message: Message) {
+        self.lane(message.from.index(), message.to.index())
+            .lock()
+            .expect("link lane poisoned")
+            .push_back((deliver_at, message));
+    }
+
+    /// Move every queued message addressed to node `to` into `sink`,
+    /// scanning sender lanes in index order.  Per-link order is preserved;
+    /// the interleaving *between* different senders is arbitrary.
+    pub fn drain_to(&self, to: usize, sink: &mut Vec<(VirtualTime, Message)>) {
+        for from in 0..self.nodes {
+            let mut lane = self.lane(from, to).lock().expect("link lane poisoned");
+            while let Some(entry) = lane.pop_front() {
+                sink.push(entry);
+            }
+        }
+    }
+
+    /// True when every lane is empty.  Only meaningful at quiescence (no
+    /// concurrent pushes); the reactor's epoch counter, not this scan, is the
+    /// authoritative idle test.
+    pub fn is_empty(&self) -> bool {
+        self.lanes
+            .iter()
+            .all(|lane| lane.lock().expect("link lane poisoned").is_empty())
     }
 }
 
@@ -191,6 +266,13 @@ impl SimNetwork {
     /// Traffic statistics collected so far.
     pub fn stats(&self) -> &NetworkStats {
         &self.stats
+    }
+
+    /// Fold a per-task statistics shard (recorded outside this network by a
+    /// reactor sender) into this network's counters, so `stats()` reports the
+    /// whole deployment regardless of executor mode.
+    pub fn absorb_stats(&mut self, shard: &NetworkStats) {
+        self.stats.merge(shard);
     }
 
     /// The latency model in force.
@@ -304,6 +386,69 @@ mod tests {
         assert_eq!(stats.node(NodeId(0)).bytes_sent, 100);
         assert_eq!(stats.node(NodeId(1)).bytes_received, 100);
         assert_eq!(stats.node(NodeId(0)).messages_sent, 1);
+    }
+
+    #[test]
+    fn link_lanes_preserve_per_link_fifo_and_drain_concurrently() {
+        let lanes = LinkLanes::new(3);
+        for i in 0..4u8 {
+            lanes.push(
+                u64::from(i),
+                Message::new(NodeId(0), NodeId(2), MessageKind::Update, vec![i]),
+            );
+        }
+        lanes.push(
+            7,
+            Message::new(NodeId(1), NodeId(2), MessageKind::Credit, vec![9]),
+        );
+        // A message for a different receiver stays in its own lane.
+        lanes.push(
+            8,
+            Message::new(NodeId(0), NodeId(1), MessageKind::Update, vec![8]),
+        );
+        let mut inbox = Vec::new();
+        lanes.drain_to(2, &mut inbox);
+        let from0: Vec<u8> = inbox
+            .iter()
+            .filter(|(_, m)| m.from == NodeId(0))
+            .map(|(_, m)| m.payload[0])
+            .collect();
+        assert_eq!(from0, vec![0, 1, 2, 3], "per-link FIFO is push order");
+        assert_eq!(inbox.len(), 5);
+        assert!(!lanes.is_empty(), "node 1's inbox is still queued");
+        let mut other = Vec::new();
+        lanes.drain_to(1, &mut other);
+        assert_eq!(other.len(), 1);
+        assert!(lanes.is_empty());
+    }
+
+    #[test]
+    fn absorbed_shards_match_a_shared_recorder() {
+        // Record the same sends once through a shared recorder, once through
+        // two per-task shards merged afterwards: identical statistics.
+        let mut shared = NetworkStats::new(2);
+        shared.record_send(NodeId(0), NodeId(1), 100, MessageKind::Update);
+        shared.record_send(NodeId(1), NodeId(0), 40, MessageKind::Credit);
+
+        let mut network = SimNetwork::new(2, LatencyModel::default());
+        let mut shard_a = NetworkStats::new(2);
+        shard_a.record_send(NodeId(0), NodeId(1), 100, MessageKind::Update);
+        let mut shard_b = NetworkStats::new(2);
+        shard_b.record_send(NodeId(1), NodeId(0), 40, MessageKind::Credit);
+        network.absorb_stats(&shard_a);
+        network.absorb_stats(&shard_b);
+
+        let merged = network.stats();
+        assert_eq!(merged.node(NodeId(0)), shared.node(NodeId(0)));
+        assert_eq!(merged.node(NodeId(1)), shared.node(NodeId(1)));
+        assert_eq!(
+            merged.messages_for_kind(MessageKind::Credit),
+            shared.messages_for_kind(MessageKind::Credit)
+        );
+        assert_eq!(
+            merged.link(NodeId(0), NodeId(1)),
+            shared.link(NodeId(0), NodeId(1))
+        );
     }
 
     #[test]

@@ -52,7 +52,7 @@ pub struct LinkTraffic {
 #[derive(Debug, Clone, Default)]
 pub struct NetworkStats {
     per_node: Vec<NodeTraffic>,
-    per_kind: HashMap<MessageKind, usize>,
+    per_kind: HashMap<MessageKind, LinkTraffic>,
     per_link: HashMap<(NodeId, NodeId), LinkTraffic>,
 }
 
@@ -76,10 +76,39 @@ impl NetworkStats {
             receiver.bytes_received += wire_size;
             receiver.messages_received += 1;
         }
-        *self.per_kind.entry(kind).or_insert(0) += wire_size;
+        let kind_traffic = self.per_kind.entry(kind).or_default();
+        kind_traffic.messages += 1;
+        kind_traffic.bytes += wire_size;
         let link = self.per_link.entry((from, to)).or_default();
         link.messages += 1;
         link.bytes += wire_size;
+    }
+
+    /// Fold another statistics shard into this one.  The reactor executor
+    /// gives every node task its own [`NetworkStats`] shard (recorded on the
+    /// sender side, lock-free) and merges them at the end of the run; the
+    /// merged result is indistinguishable from one shared recorder.
+    pub fn merge(&mut self, other: &NetworkStats) {
+        if self.per_node.len() < other.per_node.len() {
+            self.per_node
+                .resize(other.per_node.len(), NodeTraffic::default());
+        }
+        for (mine, theirs) in self.per_node.iter_mut().zip(&other.per_node) {
+            mine.bytes_sent += theirs.bytes_sent;
+            mine.bytes_received += theirs.bytes_received;
+            mine.messages_sent += theirs.messages_sent;
+            mine.messages_received += theirs.messages_received;
+        }
+        for (&kind, traffic) in &other.per_kind {
+            let mine = self.per_kind.entry(kind).or_default();
+            mine.messages += traffic.messages;
+            mine.bytes += traffic.bytes;
+        }
+        for (&link, traffic) in &other.per_link {
+            let mine = self.per_link.entry(link).or_default();
+            mine.messages += traffic.messages;
+            mine.bytes += traffic.bytes;
+        }
     }
 
     /// Traffic counters for one directed link.
@@ -134,7 +163,14 @@ impl NetworkStats {
 
     /// Bytes attributed to a message kind.
     pub fn bytes_for_kind(&self, kind: MessageKind) -> usize {
-        self.per_kind.get(&kind).copied().unwrap_or(0)
+        self.per_kind.get(&kind).map_or(0, |t| t.bytes)
+    }
+
+    /// Messages of a given kind.  Backs the data-plane / control-plane split
+    /// of the message-budget guard and its regression test: credit grants are
+    /// control traffic and must not count against a convergence budget.
+    pub fn messages_for_kind(&self, kind: MessageKind) -> usize {
+        self.per_kind.get(&kind).map_or(0, |t| t.messages)
     }
 
     /// Publish these statistics into the global telemetry registry as
@@ -162,10 +198,10 @@ impl NetworkStats {
                 .gauge(&format!("net_node_messages_received{{node=\"{index}\"}}"))
                 .set(traffic.messages_received as i64);
         }
-        for (kind, bytes) in &self.per_kind {
+        for (kind, traffic) in &self.per_kind {
             registry
                 .gauge(&format!("net_bytes_by_kind{{kind=\"{}\"}}", kind.label()))
-                .set(*bytes as i64);
+                .set(traffic.bytes as i64);
         }
     }
 }
@@ -199,6 +235,42 @@ impl TimingStats {
             rejected_batches: vec![0; nodes],
             conflicting_batches: vec![0; nodes],
             retractions_applied: vec![0; nodes],
+        }
+    }
+
+    /// Fold another timing shard into this one.  Per-node series concatenate
+    /// (each reactor task only ever records rows for its own node, so the
+    /// within-node order is preserved); counters add; activity watermarks
+    /// take the maximum.
+    pub fn merge(&mut self, other: TimingStats) {
+        let nodes = self
+            .transaction_durations
+            .len()
+            .max(other.last_activity.len());
+        if self.transaction_durations.len() < nodes {
+            *self = {
+                let mut grown = TimingStats::new(nodes);
+                grown.merge(std::mem::take(self));
+                grown
+            };
+        }
+        for (index, durations) in other.transaction_durations.into_iter().enumerate() {
+            self.transaction_durations[index].extend(durations);
+        }
+        for (index, completions) in other.completion_times.into_iter().enumerate() {
+            self.completion_times[index].extend(completions);
+        }
+        for (index, &activity) in other.last_activity.iter().enumerate() {
+            self.last_activity[index] = self.last_activity[index].max(activity);
+        }
+        for (index, &count) in other.rejected_batches.iter().enumerate() {
+            self.rejected_batches[index] += count;
+        }
+        for (index, &count) in other.conflicting_batches.iter().enumerate() {
+            self.conflicting_batches[index] += count;
+        }
+        for (index, &count) in other.retractions_applied.iter().enumerate() {
+            self.retractions_applied[index] += count;
         }
     }
 

@@ -240,7 +240,10 @@ fn run_order_scenario(streaming: StreamingConfig) -> (Vec<Tuple>, Vec<Tuple>, us
             base_facts: vec![
                 ("local_vertex".into(), vec![Value::str("n0")]),
                 ("local_vertex".into(), vec![Value::str("n1")]),
-                ("local_edge".into(), vec![Value::str("n0"), Value::str("n1")]),
+                (
+                    "local_edge".into(),
+                    vec![Value::str("n0"), Value::str("n1")],
+                ),
             ],
         },
         NodeSpec {
