@@ -8,6 +8,7 @@
 
 use crate::policy::SecurityConfig;
 use crate::runtime::engine::{Deployment, DeploymentConfig, DeploymentReport, NodeSpec};
+use crate::runtime::shard::ShardMap;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -48,6 +49,32 @@ pub fn app_source() -> String {
     // Join the co-located rehashed tuples and send results to the initiator.
     says[`joinresult](self[], U, E1, E2, E3)
       <- rehashA(E1, E2), rehashB(E3, E2), initiator[] = U.
+    "#
+    .to_string()
+}
+
+/// The same join on the runtime shard layer: the tables are declared sharded
+/// in the [`ShardMap`] and the join is written partition-blind — no
+/// `rehash` relations, no `prin_minhash`/`prin_maxhash` facts, no routing
+/// rules.  The exchange planner classifies the join as both-sides shuffle on
+/// the join attribute and generates the §7.2 rehash dataflow itself.
+pub fn sharded_app_source() -> String {
+    r#"
+    tableA(E1, E2) -> int[32](E1), int[32](E2).
+    tableB(E3, E2) -> int[32](E3), int[32](E2).
+    joinresult(E1, E2, E3) -> int[32](E1), int[32](E2), int[32](E3).
+    initiator[] = U -> principal(U).
+
+    exportable(`joinresult).
+
+    // Partition-blind join: the shard planner rewrites both body atoms to
+    // their exchanged (rehashed-on-E2) copies.
+    joinresult(E1, E2, E3) <- tableA(E1, E2), tableB(E3, E2).
+
+    // Each member ships its partition of the result to the initiator; the
+    // initiator's own partition is imported locally.
+    says[`joinresult](self[], U, E1, E2, E3)
+      <- joinresult(E1, E2, E3), initiator[] = U.
     "#
     .to_string()
 }
@@ -99,13 +126,10 @@ pub fn principal_name(i: usize) -> String {
     format!("n{i}")
 }
 
-/// Mirror of the engine's `sha1hash` UDF, used to partition the hash space.
+/// The partition hash — the same definition the engine's `sha1hash` UDF and
+/// the shard ring use (`runtime::shard::shard_hash`).
 fn bucket_hash(value: i64) -> i64 {
-    let encoded = crate::runtime::codec::serialize_tuple(&[Value::Int(value)]);
-    let digest = secureblox_crypto::sha1(&encoded);
-    let mut raw = [0u8; 8];
-    raw.copy_from_slice(&digest[..8]);
-    i64::from_be_bytes(raw).unsigned_abs() as i64 & i64::MAX
+    crate::runtime::shard::shard_hash(&Value::Int(value))
 }
 
 /// A generated input table: `(join attribute, payload)` rows.
@@ -202,9 +226,57 @@ pub fn build_deployment(config: &HashJoinConfig) -> Result<(Deployment, usize)> 
     Deployment::build(&app_source(), &specs, deployment_config).map(|d| (d, expected))
 }
 
+/// Build (but do not run) the shard-layer variant of the experiment: the
+/// same generated tables handed to the runtime as *unplaced* shared facts —
+/// [`Deployment::build`] routes every tuple to its ring owner.
+pub fn build_sharded_deployment(config: &HashJoinConfig) -> Result<(Deployment, usize)> {
+    let (table_a, table_b) = generate_tables(config);
+    let expected = expected_join_size(&table_a, &table_b);
+    let principals: Vec<String> = (0..config.num_nodes).map(principal_name).collect();
+    let specs: Vec<NodeSpec> = principals.iter().map(NodeSpec::new).collect();
+
+    let mut shared_facts: Vec<(String, Vec<Value>)> = Vec::new();
+    for (e1, e2) in &table_a {
+        shared_facts.push(("tableA".into(), vec![Value::Int(*e1), Value::Int(*e2)]));
+    }
+    for (e3, e2) in &table_b {
+        shared_facts.push(("tableB".into(), vec![Value::Int(*e3), Value::Int(*e2)]));
+    }
+
+    let deployment_config = DeploymentConfig {
+        security: config.security.clone(),
+        latency: config.latency.clone(),
+        seed: config.seed,
+        singletons: vec![("initiator".into(), Value::str(principal_name(0)))],
+        shared_facts,
+        sharding: Some(
+            ShardMap::new(principals)
+                .shard("tableA", 0)
+                .shard("tableB", 0),
+        ),
+        ..DeploymentConfig::default()
+    };
+    Deployment::build(&sharded_app_source(), &specs, deployment_config).map(|d| (d, expected))
+}
+
 /// Run the hash-join experiment.
 pub fn run(config: &HashJoinConfig) -> Result<HashJoinOutcome> {
     let (mut deployment, expected_results) = build_deployment(config)?;
+    let report = deployment.run()?;
+    let initiator = principal_name(0);
+    let results_at_initiator = deployment.query(&initiator, "joinresult").len();
+    let initiator_completions = deployment.completion_times(&initiator);
+    Ok(HashJoinOutcome {
+        report,
+        results_at_initiator,
+        expected_results,
+        initiator_completions,
+    })
+}
+
+/// Run the shard-layer variant of the experiment.
+pub fn run_sharded(config: &HashJoinConfig) -> Result<HashJoinOutcome> {
+    let (mut deployment, expected_results) = build_sharded_deployment(config)?;
     let report = deployment.run()?;
     let initiator = principal_name(0);
     let results_at_initiator = deployment.query(&initiator, "joinresult").len();

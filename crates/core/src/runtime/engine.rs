@@ -30,6 +30,7 @@ use crate::policy::{compile_secured_program, SecurityConfig};
 use crate::runtime::codec::{serialize_tuple, DeltaOp, UpdateDelta, UpdateEnvelope};
 use crate::runtime::reactor::ReactorConfig;
 use crate::runtime::replication::ReplicaState;
+use crate::runtime::shard::{self, ShardMap, ShardReport};
 use crate::runtime::stream::{LinkOutbox, StreamingConfig};
 use crate::runtime::udfs::register_crypto_udfs;
 use secureblox_crypto::{
@@ -37,6 +38,7 @@ use secureblox_crypto::{
     RsaSignature,
 };
 use secureblox_datalog::error::{DatalogError, Result};
+use secureblox_datalog::eval::shuffle::{is_exchange_pred, ExchangeSummary};
 use secureblox_datalog::value::{tuple_total_cmp, Tuple, Value};
 use secureblox_datalog::{column_set, EvalConfig, EvalOptions, PlanStatsSnapshot, Workspace};
 use secureblox_net::stats::TimingStats;
@@ -129,6 +131,12 @@ pub struct DeploymentConfig {
     /// loop.  The default honours `SECUREBLOX_REACTOR` and
     /// `SECUREBLOX_REACTOR_THREADS`.
     pub reactor: ReactorConfig,
+    /// Horizontal EDB sharding: when set (and active), base facts of the
+    /// mapped relations are routed to their consistent-hash ring owner at
+    /// build/ingest time, and cross-partition rule evaluation goes through
+    /// planner-generated exchange dataflows over the signed update stream
+    /// (see `runtime::shard`).
+    pub sharding: Option<ShardMap>,
 }
 
 impl Default for DeploymentConfig {
@@ -150,6 +158,7 @@ impl Default for DeploymentConfig {
             streaming: StreamingConfig::default(),
             message_budget: env_message_budget(),
             reactor: ReactorConfig::default(),
+            sharding: None,
         }
     }
 }
@@ -240,6 +249,10 @@ pub struct DeploymentReport {
     /// histogram the run touched.  Registry-wide and monotone across runs in
     /// one process, unlike the per-run fields above.
     pub telemetry: Vec<HistogramSummary>,
+    /// Shard-plane view — partition population, exchange traffic, planner
+    /// classification, skew — when the deployment runs with an active
+    /// [`DeploymentConfig::sharding`] map.
+    pub shard: Option<ShardReport>,
 }
 
 impl DeploymentReport {
@@ -300,6 +313,10 @@ pub(crate) struct NodeState {
     /// Per-destination update-stream sequence counters (sender side).  Owned
     /// by the sending node so reactor tasks never share counter state.
     pub(crate) stream_seq: HashMap<usize, u64>,
+    /// Bytes of exchange-relation deltas (`shard_xchg_*` / `shard_bcast_*`)
+    /// this node shipped on the update stream — the wire cost of the shard
+    /// plane, separated from ordinary `says` traffic.
+    pub(crate) exchange_bytes: usize,
     /// Streaming mode: this node's per-destination sender outboxes
     /// (coalescing + credit).  A `BTreeMap` so the quiescence force-flush
     /// walks links in a deterministic order (the reference executor's
@@ -333,6 +350,9 @@ pub struct Deployment {
     /// Registered read replicas with per-node WAL cursors (see
     /// `runtime::replication`).
     pub(crate) replicas: Vec<ReplicaState>,
+    /// Exchange-planner classification counts from the post-compile rewrite,
+    /// surfaced through [`DeploymentReport::shard`].
+    pub(crate) shard_summary: Option<ExchangeSummary>,
 }
 
 /// Where a node context's outbound messages go.  The reference executor
@@ -376,6 +396,56 @@ impl Deployment {
     /// Build a deployment: provision keys, generate and compile the policies
     /// together with `app_source`, and install the result on every node.
     pub fn build(app_source: &str, specs: &[NodeSpec], config: DeploymentConfig) -> Result<Self> {
+        // Sharding pre-pass: validate the map against the app, generate the
+        // exchange declarations and routing rules (compiled with the app so
+        // the `says` policy covers them), and route every sharded base fact
+        // — spec-placed or shared — to its ring owner.  Everything here is a
+        // deterministic function of (app_source, specs, config), which
+        // durable recovery's rebuild-then-replay depends on.
+        let mut config = config;
+        let mut effective_source = app_source.to_string();
+        let mut routed_specs: Option<Vec<NodeSpec>> = None;
+        let shard_artifacts = match config.sharding.clone().filter(|m| m.is_active()) {
+            Some(map) => {
+                let mut initial: Vec<(String, Tuple)> = specs
+                    .iter()
+                    .flat_map(|spec| spec.base_facts.iter().cloned())
+                    .collect();
+                initial.extend(config.shared_facts.iter().cloned());
+                let artifacts = shard::analyze(app_source, &map, &initial, config.strict_typing)?;
+                effective_source.push_str(&artifacts.generated_source);
+                let mut routed = shard::route_specs(specs, &map)?;
+                let ring = map.ring();
+                let spec_index: HashMap<&str, usize> = specs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, spec)| (spec.principal.as_str(), i))
+                    .collect();
+                let mut replicated = Vec::new();
+                for (pred, tuple) in config.shared_facts.drain(..) {
+                    match shard::fact_owner(&map, &ring, &pred, &tuple)? {
+                        Some(owner) => {
+                            let &dest = spec_index.get(owner).ok_or_else(|| {
+                                DatalogError::Eval(format!(
+                                    "shard owner {owner} is not a deployment node"
+                                ))
+                            })?;
+                            routed[dest].base_facts.push((pred, tuple));
+                        }
+                        None => replicated.push((pred, tuple)),
+                    }
+                }
+                // Every node carries the ring's Datalog mirror.
+                replicated.extend(map.exchange_facts());
+                config.shared_facts = replicated;
+                routed_specs = Some(routed);
+                Some(artifacts)
+            }
+            None => None,
+        };
+        let specs: &[NodeSpec] = routed_specs.as_deref().unwrap_or(specs);
+        let app_source: &str = &effective_source;
+
         let principals: Vec<String> = specs.iter().map(|s| s.principal.clone()).collect();
         let needs_secrets = config.security.needs_secrets() || !config.circuits.is_empty();
         let keystore = if config.security.needs_rsa() {
@@ -387,8 +457,17 @@ impl Deployment {
         }
         .map_err(|e| DatalogError::Eval(format!("key provisioning failed: {e}")))?;
 
-        let compiled =
+        let mut compiled =
             compile_secured_program(app_source, &config.security, &config.extra_policies)?;
+        // Post-compile: re-plan over the compiled rules (the same pure
+        // classification as the pre-pass) and swap each shuffled/broadcast
+        // sharded body atom for its exchanged copy.
+        let shard_summary = match &shard_artifacts {
+            Some(artifacts) => {
+                Some(shard::rewrite_program(&mut compiled.program, artifacts)?.summary)
+            }
+            None => None,
+        };
         let exportable: Vec<String> = compiled
             .mappings
             .iter()
@@ -492,6 +571,7 @@ impl Deployment {
                 needs_retraction_scan: false,
                 last_update_seq_in: HashMap::new(),
                 stream_seq: HashMap::new(),
+                exchange_bytes: 0,
                 outboxes: BTreeMap::new(),
             });
         }
@@ -544,6 +624,7 @@ impl Deployment {
             },
             exportable,
             replicas: Vec::new(),
+            shard_summary,
         };
         if let Some(durability) = deployment.config.durability.clone() {
             for node in &mut deployment.nodes {
@@ -776,6 +857,7 @@ impl Deployment {
             worker_utilization: plan.worker_utilization(workers),
             apply_latency_p50: self.timing.transaction_duration_percentile(0.5),
             apply_latency_p99: self.timing.transaction_duration_percentile(0.99),
+            shard: self.shard_report(),
             telemetry: secureblox_telemetry::histogram_summaries(),
         }
     }
@@ -1164,6 +1246,21 @@ impl NodeCtx<'_> {
         envelope: UpdateEnvelope,
         send_time: VirtualTime,
     ) -> Result<()> {
+        if self.config.sharding.is_some() {
+            let bytes: usize = envelope
+                .deltas
+                .iter()
+                .filter(|delta| is_exchange_pred(&delta.pred))
+                .map(|delta| {
+                    delta.pred.len() + serialize_tuple(&delta.tuple).len() + delta.signature.len()
+                })
+                .sum();
+            if bytes > 0 {
+                self.node.exchange_bytes += bytes;
+                secureblox_telemetry::counter!("engine_shard_exchange_bytes_total")
+                    .add(bytes as u64);
+            }
+        }
         let mut payload = envelope.encode();
         if self.config.security.enc == EncScheme::Aes128 {
             let from_principal = &self.node.info.principal;
@@ -1399,6 +1496,15 @@ impl NodeCtx<'_> {
         update_span.record_field("from", message.from.0 as u64);
         update_span.record_field("seq", envelope.seq);
         update_span.record_field("deltas", envelope.deltas.len() as u64);
+        // Shuffle-apply latency: wall time to apply an envelope that carries
+        // exchange deltas — the receive half of a shard exchange step.
+        let _shuffle_timer = envelope
+            .deltas
+            .iter()
+            .any(|delta| is_exchange_pred(&delta.pred))
+            .then(|| {
+                secureblox_telemetry::histogram!("engine_shard_shuffle_apply_ns").start_timer()
+            });
         if self.config.streaming.enabled {
             accepted = self.drain_inbox(message.from, envelope.deltas, arrival)?;
         } else {

@@ -8,6 +8,7 @@ pub mod durable;
 pub mod engine;
 pub mod reactor;
 pub mod replication;
+pub mod shard;
 pub mod stream;
 pub mod udfs;
 
@@ -16,5 +17,6 @@ pub use durable::{CheckpointInfo, DurabilityError};
 pub use engine::{CircuitSpec, Deployment, DeploymentConfig, DeploymentReport, NodeSpec};
 pub use reactor::ReactorConfig;
 pub use replication::{ReplicaState, ReplicaSyncReport};
+pub use shard::{shard_hash, RepartitionReport, ShardMap, ShardReport, ShardRing, ShardSegment};
 pub use stream::{LinkOutbox, StreamingConfig};
 pub use udfs::register_crypto_udfs;

@@ -10,9 +10,7 @@
 
 use crate::runtime::codec::serialize_tuple;
 use secureblox_crypto::rsa::{RsaKeyPair, RsaPublicKey, RsaSignature};
-use secureblox_crypto::{
-    aes128_ctr_decrypt, aes128_ctr_encrypt, hmac_sha1, hmac_sha1_verify, sha1,
-};
+use secureblox_crypto::{aes128_ctr_decrypt, aes128_ctr_encrypt, hmac_sha1, hmac_sha1_verify};
 use secureblox_datalog::udf::require_bound;
 use secureblox_datalog::value::Value;
 use secureblox_datalog::Workspace;
@@ -20,14 +18,24 @@ use secureblox_datalog::Workspace;
 /// Register every SecureBlox UDF into `workspace`.
 pub fn register_crypto_udfs(workspace: &mut Workspace) {
     // sha1hash(X, H): positive 63-bit hash of the canonical encoding of X,
-    // used for hash partitioning (paper §7.2 uses sha1 for rehashing).
+    // used for hash partitioning (paper §7.2 uses sha1 for rehashing).  The
+    // one definition shared with Rust-side routing lives in
+    // `runtime::shard::shard_hash`, so DatalogLB rules and the shard ring
+    // always agree on owners.
     workspace.register_udf("sha1hash", |args| {
         let value = require_bound(args, 0, "sha1hash")?;
-        let digest = sha1(&serialize_tuple(std::slice::from_ref(&value)));
-        let mut raw = [0u8; 8];
-        raw.copy_from_slice(&digest[..8]);
-        let hash = i64::from_be_bytes(raw).unsigned_abs() as i64 & i64::MAX;
+        let hash = crate::runtime::shard::shard_hash(&value);
         Ok(vec![vec![value, Value::Int(hash)]])
+    });
+
+    // sha1slot(X, B): the fixed hash slot of X — `shard_hash(X)` folded into
+    // `[0, SHARD_SLOTS)`.  The generated shard routing rules join this slot
+    // id against the replicated `shard_slot(B, Owner)` table, an indexed
+    // equality join whose cost is independent of the group size.
+    workspace.register_udf("sha1slot", |args| {
+        let value = require_bound(args, 0, "sha1slot")?;
+        let slot = crate::runtime::shard::slot_of(&value);
+        Ok(vec![vec![value, Value::Int(slot)]])
     });
 
     // serialize(V..., T): canonical byte encoding of the argument values.

@@ -11,6 +11,7 @@ pub mod join;
 pub mod plan;
 pub mod pool;
 pub mod seminaive;
+pub mod shuffle;
 
 pub use bindings::Bindings;
 pub use exec::EvalOptions;

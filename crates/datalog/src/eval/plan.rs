@@ -434,6 +434,14 @@ fn literal_cost(
         }
     }
     let bound_cols = probe_signature(atom, bound).count_ones();
+    scan_cost(cardinality, bound_cols as usize)
+}
+
+/// The planner's selectivity model: cost of scanning `cardinality` rows with
+/// `bound_cols` columns already bound.  Exposed for the exchange planner
+/// ([`super::shuffle`]), whose shuffle-vs-broadcast movement costs must use
+/// the same units as local scheduling costs.
+pub fn scan_cost(cardinality: usize, bound_cols: usize) -> f64 {
     (cardinality as f64) * BOUND_COLUMN_SELECTIVITY.powi(bound_cols as i32)
 }
 

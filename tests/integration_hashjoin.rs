@@ -50,6 +50,40 @@ fn security_increases_overhead_but_not_results() {
 }
 
 #[test]
+fn shard_layer_join_matches_the_hand_routed_reference() {
+    // The original app routes by hand in DatalogLB (rehash rules over
+    // prin_minhash/prin_maxhash); the sharded variant writes the join
+    // partition-blind and lets the exchange planner generate the rehash.
+    // Same tables, same results — tuple for tuple at the initiator.
+    let reference = hashjoin::run(&config(4, AuthScheme::NoAuth, EncScheme::None)).unwrap();
+    let sharded = hashjoin::run_sharded(&config(4, AuthScheme::NoAuth, EncScheme::None)).unwrap();
+    assert!(sharded.expected_results > 0);
+    assert_eq!(sharded.expected_results, reference.expected_results);
+    assert_eq!(sharded.results_at_initiator, sharded.expected_results);
+    assert_eq!(sharded.results_at_initiator, reference.results_at_initiator);
+    let shard_view = sharded
+        .report
+        .shard
+        .expect("sharded run reports the shard plane");
+    assert_eq!(shard_view.partitions, 4);
+    assert_eq!(
+        shard_view.shuffle_literals, 2,
+        "the join should be planned as a both-sides shuffle on the join attribute"
+    );
+    assert!(shard_view.exchange_bytes > 0, "the shuffle must ship bytes");
+    assert!(reference.report.shard.is_none());
+}
+
+#[test]
+fn shard_layer_join_is_identical_under_signatures() {
+    let reference = hashjoin::run(&config(3, AuthScheme::Rsa, EncScheme::Aes128)).unwrap();
+    let sharded = hashjoin::run_sharded(&config(3, AuthScheme::Rsa, EncScheme::Aes128)).unwrap();
+    assert_eq!(sharded.results_at_initiator, sharded.expected_results);
+    assert_eq!(sharded.results_at_initiator, reference.results_at_initiator);
+    assert_eq!(sharded.report.rejected_batches, 0);
+}
+
+#[test]
 fn initiator_sees_results_arrive_over_time() {
     let outcome = hashjoin::run(&config(4, AuthScheme::NoAuth, EncScheme::None)).unwrap();
     assert!(!outcome.initiator_completions.is_empty());
